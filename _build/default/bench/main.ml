@@ -1,0 +1,624 @@
+(* Benchmark harness: one experiment per mechanism the paper argues for
+   qualitatively (DESIGN.md section 4 maps each to the paper's sections;
+   EXPERIMENTS.md records the measured series).
+
+   Output: for every experiment E1..E12 a parameter-sweep table, then a
+   Bechamel micro-benchmark group over the headline operations. *)
+
+open Compo_core
+module G = Compo_scenarios.Gates
+module W = Compo_scenarios.Workload
+module Steel = Compo_scenarios.Steel
+
+let ok = Errors.or_fail
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let header id claim =
+  say "";
+  say "--- %s: %s" id claim
+
+(* Median seconds per call over [repeat] samples of [batch] calls each. *)
+let time_per ?(repeat = 21) ?(batch = 1) f =
+  f ();
+  let sample () =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to batch do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) /. float_of_int batch
+  in
+  let samples = Array.init repeat (fun _ -> sample ()) in
+  Array.sort compare samples;
+  samples.(repeat / 2)
+
+let us t = t *. 1e6
+
+(* ------------------------------------------------------------------ *)
+(* E1: copy-in of component data vs. view inheritance (section 2)      *)
+
+let e1 () =
+  header "E1"
+    "copy-in vs view inheritance: cost of keeping N inheritors fresh after \
+     a transmitter update (section 2, problem 1)";
+  say "%8s %14s %14s %8s" "N" "view (us)" "copy (us)" "ratio";
+  List.iter
+    (fun n ->
+      let db = Database.create () in
+      ok (G.define_schema db);
+      let iface, impls = ok (W.interface_with_inheritors db ~n) in
+      let store = Database.store db in
+      let flip = ref 4 in
+      (* view strategy: update the transmitter; freshness is free, so the
+         total cost is the update plus one read through the binding *)
+      let view () =
+        flip := if !flip = 4 then 5 else 4;
+        ok (Database.set_attr db iface "Length" (Value.Int !flip));
+        ignore (ok (Database.get_attr db (List.hd impls) "Length"))
+      in
+      (* copy strategy: after the update, every inheritor's materialized
+         copy must be refreshed *)
+      let copy () =
+        flip := if !flip = 4 then 5 else 4;
+        ok (Database.set_attr db iface "Length" (Value.Int !flip));
+        List.iter (fun impl -> ignore (ok (Inheritance.materialize store impl))) impls
+      in
+      let tv = time_per view and tc = time_per copy in
+      say "%8d %14.2f %14.2f %8.1f" n (us tv) (us tc) (tc /. tv))
+    [ 10; 100; 1000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E2: inherited-attribute read vs. chain depth (section 4.1)          *)
+
+let e2 () =
+  header "E2" "inherited read latency vs. inheritance-chain depth (section 4.1)";
+  say "%8s %14s" "depth" "read (us)";
+  List.iter
+    (fun depth ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth);
+      let nodes = ok (W.chain_instance db ~depth ~payload:7) in
+      let leaf = List.nth nodes depth in
+      let read () = ignore (ok (Database.get_attr db leaf "Payload")) in
+      say "%8d %14.3f" depth (us (time_per ~batch:10 read)))
+    [ 0; 2; 4; 8; 16; 32 ]
+
+(* ------------------------------------------------------------------ *)
+(* E3: composite expansion (section 6)                                 *)
+
+let e3 () =
+  header "E3" "expansion time vs. component-tree size (section 6)";
+  say "%8s %8s %8s %14s" "depth" "fanout" "nodes" "expand (us)";
+  List.iter
+    (fun (depth, fanout) ->
+      let db = Database.create () in
+      ok (G.define_schema db);
+      let top = ok (W.component_tree db ~depth ~fanout) in
+      let store = Database.store db in
+      let nodes = Composite.node_count (ok (Composite.expand store top)) in
+      let expand () = ignore (ok (Composite.expand store top)) in
+      say "%8d %8d %8d %14.2f" depth fanout nodes (us (time_per expand)))
+    [ (1, 2); (2, 2); (3, 2); (2, 4); (4, 2) ]
+
+(* ------------------------------------------------------------------ *)
+(* E4: permeability selectivity (section 4.3)                          *)
+
+let attr_names = List.init 64 (fun i -> "A" ^ string_of_int i)
+
+let e4_db k =
+  let db = Database.create () in
+  let attrs =
+    List.map (fun n -> { Schema.attr_name = n; attr_domain = Domain.Integer }) attr_names
+  in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Wide";
+         ot_inheritor_in = None;
+         ot_attrs = attrs;
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok
+    (Database.define_inher_rel_type db
+       {
+         Schema.it_name = "SomeOf_Wide";
+         it_transmitter = "Wide";
+         it_inheritor = None;
+         it_inheriting = List.filteri (fun i _ -> i < k) attr_names;
+         it_attrs = [];
+         it_subclasses = [];
+         it_constraints = [];
+       });
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "User";
+         ot_inheritor_in = Some "SomeOf_Wide";
+         ot_attrs = [];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  let wide =
+    ok
+      (Database.new_object db ~ty:"Wide"
+         ~attrs:(List.map (fun n -> (n, Value.Int 1)) attr_names)
+         ())
+  in
+  let user = ok (Database.new_object db ~ty:"User" ()) in
+  let _ = ok (Database.bind db ~via:"SomeOf_Wide" ~transmitter:wide ~inheritor:user ()) in
+  (db, user)
+
+let e4 () =
+  header "E4"
+    "permeability: cost of materializing an inheritor vs. how many of 64 \
+     attributes the relationship lets through (section 4.3)";
+  say "%8s %18s" "k" "materialize (us)";
+  List.iter
+    (fun k ->
+      let db, user = e4_db k in
+      let store = Database.store db in
+      let mat () = ignore (ok (Inheritance.materialize store user)) in
+      say "%8d %18.2f" k (us (time_per ~batch:5 mat)))
+    [ 1; 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: constraint checking (section 5)                                 *)
+
+let e5 () =
+  header "E5" "ScrewingType constraint check vs. bores per screwing (section 5)";
+  say "%8s %14s" "bores" "validate (us)";
+  List.iter
+    (fun bores ->
+      let db = Database.create () in
+      ok (Steel.define_schema db);
+      let structure = ok (W.screwed_structure db ~girders:2 ~bores_per_joint:bores) in
+      let screwing = List.hd (ok (Database.subrel_members db structure "Screwings")) in
+      let validate () = ignore (ok (Database.validate db screwing)) in
+      say "%8d %14.2f" bores (us (time_per validate)))
+    [ 1; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: lock inheritance overhead (section 6)                           *)
+
+let e6 () =
+  header "E6"
+    "lock-inheritance overhead: transactional read (S-locks every hop) vs. \
+     plain read, by chain depth (section 6)";
+  say "%8s %14s %14s %10s" "depth" "plain (us)" "txn (us)" "locks";
+  List.iter
+    (fun depth ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth);
+      let nodes = ok (W.chain_instance db ~depth ~payload:7) in
+      let leaf = List.nth nodes depth in
+      let store = Database.store db in
+      let plain () = ignore (ok (Inheritance.attr store leaf "Payload")) in
+      let mg = Compo_txn.Transaction.create_manager store in
+      let txn_read () =
+        let t = Compo_txn.Transaction.begin_txn mg ~user:"bench" in
+        ignore (ok (Compo_txn.Transaction.get_attr mg t leaf "Payload"));
+        ok (Compo_txn.Transaction.commit mg t)
+      in
+      (* count the locks one such read takes *)
+      let t = Compo_txn.Transaction.begin_txn mg ~user:"count" in
+      ignore (ok (Compo_txn.Transaction.get_attr mg t leaf "Payload"));
+      let locks =
+        List.length
+          (Compo_txn.Lock_manager.locks_of
+             (Compo_txn.Transaction.lock_manager mg)
+             ~txn:(Compo_txn.Transaction.id t))
+      in
+      ignore (ok (Compo_txn.Transaction.commit mg t));
+      say "%8d %14.3f %14.3f %10d" depth
+        (us (time_per ~batch:10 plain))
+        (us (time_per ~batch:10 txn_read))
+        locks)
+    [ 0; 2; 4; 8; 16 ]
+
+(* ------------------------------------------------------------------ *)
+(* E7: version selection policies (section 6)                          *)
+
+let e7 () =
+  header "E7" "generic-reference resolution by policy and #versions (section 6)";
+  say "%8s %16s %16s %16s" "versions" "bottom-up (us)" "top-down (us)" "env (us)";
+  List.iter
+    (fun n ->
+      let db = Database.create () in
+      ok (G.define_schema db);
+      let store = Database.store db in
+      let reg = Compo_versions.Versioned.create () in
+      let g = ok (Compo_versions.Versioned.new_graph reg ~name:"g") in
+      let iface = ok (G.nor_interface db) in
+      let first = ok (G.new_implementation db ~interface:iface ~time_behavior:n ()) in
+      let v1 = ok (Compo_versions.Version_graph.add_root g ~obj:first ()) in
+      ok (Compo_versions.Version_graph.promote g v1 Compo_versions.Version_graph.Released);
+      let rec grow from k =
+        if k = 0 then ()
+        else begin
+          let _, obj = ok (Compo_versions.Versioned.derive_version reg store ~graph:"g" ~from) in
+          ok (Inheritance.set_attr store obj "TimeBehavior" (Value.Int k));
+          let id = Option.get (Compo_versions.Version_graph.version_of_object g obj) in
+          ok (Compo_versions.Version_graph.promote g id Compo_versions.Version_graph.Released);
+          grow id (k - 1)
+        end
+      in
+      grow v1 (n - 1);
+      ok (Compo_versions.Version_graph.set_default g v1);
+      let envs = Compo_versions.Generic_ref.Env_table.create () in
+      Compo_versions.Generic_ref.Env_table.define envs ~env:"e";
+      ok (Compo_versions.Generic_ref.Env_table.pin envs ~env:"e" ~graph:"g" ~version:v1);
+      let gref policy =
+        { Compo_versions.Generic_ref.gr_graph = g; gr_via = "SomeOf_Gate"; gr_policy = policy }
+      in
+      let run_resolve policy () =
+        ignore (ok (Compo_versions.Generic_ref.resolve store ~envs (gref policy)))
+      in
+      say "%8d %16.3f %16.3f %16.3f" n
+        (us (time_per ~batch:10 (run_resolve Compo_versions.Generic_ref.Bottom_up)))
+        (us
+           (time_per ~batch:10
+              (run_resolve
+                 (Compo_versions.Generic_ref.Top_down
+                    Expr.(path [ "TimeBehavior" ] <= int 1)))))
+        (us
+           (time_per ~batch:10
+              (run_resolve (Compo_versions.Generic_ref.Environment "e")))))
+    [ 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E8: DDL parse + elaborate throughput                                *)
+
+let e8 () =
+  header "E8" "DDL front-end: parse + elaborate the paper's schemas";
+  let gates = Compo_scenarios.Paper_ddl.gates in
+  let steel = Compo_scenarios.Paper_ddl.steel in
+  let load () =
+    let db = Database.create () in
+    ok (Compo_ddl.Elaborate.load_string db gates);
+    ok (Compo_ddl.Elaborate.load_string db steel)
+  in
+  let t = time_per load in
+  let db = Database.create () in
+  ok (Compo_ddl.Elaborate.load_string db gates);
+  ok (Compo_ddl.Elaborate.load_string db steel);
+  let types = List.length (Schema.entries (Database.schema db)) in
+  say "both paper schemas: %d types, %.2f ms per load, %.0f types/s" types
+    (t *. 1e3)
+    (float_of_int types /. t)
+
+(* ------------------------------------------------------------------ *)
+(* E9: WAL append and recovery replay                                  *)
+
+let temp_journal_dir () =
+  let dir = Filename.temp_file "compo-bench" "" in
+  Sys.remove dir;
+  dir
+
+let part_type =
+  {
+    Schema.ot_name = "Part";
+    ot_inheritor_in = None;
+    ot_attrs = [ { Schema.attr_name = "Weight"; attr_domain = Domain.Integer } ];
+    ot_subclasses = [];
+    ot_subrels = [];
+    ot_constraints = [];
+  }
+
+let e9 () =
+  header "E9" "journal: logged-update throughput and recovery replay scaling";
+  (* append throughput *)
+  let dir = temp_journal_dir () in
+  let j = ok (Compo_storage.Journal.open_dir dir) in
+  ok (Compo_storage.Journal.define_obj_type j part_type);
+  let p = ok (Compo_storage.Journal.new_object j ~ty:"Part" ~attrs:[ ("Weight", Value.Int 0) ] ()) in
+  let i = ref 0 in
+  let append () =
+    incr i;
+    ok (Compo_storage.Journal.set_attr j p "Weight" (Value.Int !i))
+  in
+  let t = time_per ~batch:100 append in
+  say "logged set_attr: %.2f us/op (%.0f ops/s)" (us t) (1.0 /. t);
+  Compo_storage.Journal.close j;
+  (* replay scaling *)
+  say "%10s %16s" "wal ops" "recovery (ms)";
+  List.iter
+    (fun n ->
+      let dir = temp_journal_dir () in
+      let j = ok (Compo_storage.Journal.open_dir dir) in
+      ok (Compo_storage.Journal.define_obj_type j part_type);
+      let p = ok (Compo_storage.Journal.new_object j ~ty:"Part" ~attrs:[ ("Weight", Value.Int 0) ] ()) in
+      for k = 1 to n do
+        ok (Compo_storage.Journal.set_attr j p "Weight" (Value.Int k))
+      done;
+      Compo_storage.Journal.close j;
+      let recover () =
+        let j = ok (Compo_storage.Journal.open_dir dir) in
+        Compo_storage.Journal.close j
+      in
+      say "%10d %16.2f" n (1e3 *. time_per ~repeat:7 recover))
+    [ 500; 1000; 2000; 4000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: query evaluation                                               *)
+
+let e10 () =
+  header "E10" "select-where latency vs. class extent (top-down selection, section 6)";
+  say "%8s %14s %16s %10s" "extent" "scan (us)" "indexed (us)" "hits";
+  List.iter
+    (fun n ->
+      let db = Database.create () in
+      ok (G.define_schema db);
+      for i = 1 to n do
+        let pi = ok (G.new_pin_interface db ~pins:[ G.In; G.In; G.Out ]) in
+        let iface =
+          ok (G.new_interface db ~pin_interface:pi ~length:(4 + (i mod 8)) ~width:2)
+        in
+        ignore (ok (G.new_implementation db ~interface:iface ~time_behavior:(i mod 8) ()))
+      done;
+      (* scan: range predicate over inherited data *)
+      let scan_where = Expr.(path [ "Length" ] <= int 5) in
+      let hits = List.length (ok (Database.select db ~cls:"Interfaces" ~where:scan_where ())) in
+      let scan () = ignore (ok (Database.select db ~cls:"Interfaces" ~where:scan_where ())) in
+      (* index ablation: equality on an own attribute, with a hash index *)
+      ok (Database.create_index db ~cls:"Implementations" ~attr:"TimeBehavior");
+      let ix_where = Expr.(path [ "TimeBehavior" ] = int 3) in
+      let indexed () =
+        ignore (ok (Database.select db ~cls:"Implementations" ~where:ix_where ()))
+      in
+      say "%8d %14.2f %16.3f %10d" n (us (time_per scan)) (us (time_per ~batch:20 indexed)) hits)
+    [ 100; 500; 2000 ]
+
+(* ------------------------------------------------------------------ *)
+(* E11: bill of materials / configurations (section 2)                 *)
+
+let e11 () =
+  header "E11" "bill of materials vs. structure size (section 2, configurations)";
+  say "%8s %14s %14s" "girders" "bom (us)" "components";
+  List.iter
+    (fun girders ->
+      let db = Database.create () in
+      ok (Steel.define_schema db);
+      let structure = ok (W.screwed_structure db ~girders ~bores_per_joint:2) in
+      let comps = List.length (ok (Database.bill_of_materials db structure)) in
+      let bom () = ignore (ok (Database.bill_of_materials db structure)) in
+      say "%8d %14.2f %14d" girders (us (time_per bom)) comps)
+    [ 4; 16; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* E12: deadlock detection                                             *)
+
+let e12_setup chain =
+  let db = Database.create () in
+  ok (G.define_schema db);
+  let store = Database.store db in
+  let mg = Compo_txn.Transaction.create_manager store in
+  let lm = Compo_txn.Transaction.lock_manager mg in
+  let objs =
+    Array.init chain (fun _ -> ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2))
+  in
+  (* txn i X-locks obj i and waits for obj (i+1): a chain of waits *)
+  for i = 0 to chain - 1 do
+    match Compo_txn.Lock_manager.acquire lm ~txn:i objs.(i) Compo_txn.Lock.X with
+    | Ok `Granted -> ()
+    | _ -> failwith "setup"
+  done;
+  for i = 0 to chain - 2 do
+    match Compo_txn.Lock_manager.acquire lm ~txn:i objs.(i + 1) Compo_txn.Lock.X with
+    | Ok (`Blocked _) -> ()
+    | _ -> failwith "setup"
+  done;
+  (lm, objs)
+
+let e12 () =
+  header "E12" "deadlock detection cost vs. waits-for chain length (section 6)";
+  say "%8s %18s" "txns" "detect (us)";
+  List.iter
+    (fun chain ->
+      let lm, objs = e12_setup chain in
+      (* the last transaction closing the cycle triggers a full traversal *)
+      let detect () =
+        match Compo_txn.Lock_manager.acquire lm ~txn:(chain - 1) objs.(0) Compo_txn.Lock.X with
+        | Error _ -> ()
+        | Ok `Granted | Ok (`Blocked _) -> failwith "expected deadlock"
+      in
+      say "%8d %18.3f" chain (us (time_per ~batch:10 detect)))
+    [ 4; 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* E13: workspace checkout / check-in (long design transactions)       *)
+
+let e13 () =
+  header "E13"
+    "workspace cycle (checkout -> edit -> checkin) vs. composite size \
+     (section 6 / [KLMP84] long transactions)";
+  say "%8s %8s %16s %16s" "depth" "fanout" "checkout (us)" "checkin (us)";
+  List.iter
+    (fun (depth, fanout) ->
+      let db = Database.create () in
+      let top = ok (W.component_tree db ~depth ~fanout) in
+      let mg = Compo_txn.Transaction.create_manager (Database.store db) in
+      let ws = Compo_workspace.Workspace.create_manager mg in
+      let cycle which () =
+        let w = ok (Compo_workspace.Workspace.checkout ws ~user:"bench" top) in
+        let priv = Compo_workspace.Workspace.private_root w in
+        ok (Database.set_attr db priv "Payload" (Value.Int 9));
+        match which with
+        | `Checkout -> ignore (ok (Compo_workspace.Workspace.discard ws w))
+        | `Checkin -> ignore (ok (Compo_workspace.Workspace.checkin ws w))
+      in
+      say "%8d %8d %16.1f %16.1f" depth fanout
+        (us (time_per ~repeat:11 (cycle `Checkout)))
+        (us (time_per ~repeat:11 (cycle `Checkin))))
+    [ (1, 2); (2, 2); (3, 2); (3, 3) ]
+
+(* ------------------------------------------------------------------ *)
+(* E14: trigger dispatch overhead                                      *)
+
+let e14 () =
+  header "E14" "trigger overhead: update with N non-matching + 1 matching rule";
+  say "%8s %18s %18s" "rules" "plain (us)" "triggered (us)";
+  List.iter
+    (fun n ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth:1);
+      let nodes = ok (W.chain_instance db ~depth:1 ~payload:0) in
+      let root = List.hd nodes in
+      let eng = Compo_core.Triggers.create db in
+      for i = 1 to n do
+        ok
+          (Compo_core.Triggers.add_rule eng
+             {
+               Compo_core.Triggers.r_name = "noise" ^ string_of_int i;
+               r_pattern = Compo_core.Triggers.On_bind { via = None };
+               r_condition = None;
+               r_action = (fun _ _ -> Ok ());
+             })
+      done;
+      ok
+        (Compo_core.Triggers.add_rule eng
+           {
+             Compo_core.Triggers.r_name = "hit";
+             r_pattern = Compo_core.Triggers.On_update { ty = None; attr = Some "Payload" };
+             r_condition = None;
+             r_action = (fun _ _ -> Ok ());
+           });
+      let i = ref 0 in
+      let plain () =
+        incr i;
+        ok (Database.set_attr db root "Payload" (Value.Int !i))
+      in
+      let triggered () =
+        incr i;
+        ok (Compo_core.Triggers.set_attr eng root "Payload" (Value.Int !i))
+      in
+      say "%8d %18.3f %18.3f" n
+        (us (time_per ~batch:20 plain))
+        (us (time_per ~batch:20 triggered)))
+    [ 0; 8; 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks over the headline operations              *)
+
+let bechamel_group () =
+  let open Bechamel in
+  let open Toolkit in
+  say "";
+  say "=== Bechamel micro-benchmarks (ns/run, OLS on monotonic clock) ===";
+  (* shared fixtures *)
+  let view_db = Database.create () in
+  ok (G.define_schema view_db);
+  let iface, impls = ok (W.interface_with_inheritors view_db ~n:100) in
+  let impl0 = List.hd impls in
+  let view_store = Database.store view_db in
+  let chain_db = Database.create () in
+  ok (W.chain_schema chain_db ~depth:8);
+  let chain_nodes = ok (W.chain_instance chain_db ~depth:8 ~payload:7) in
+  let chain_leaf = List.nth chain_nodes 8 in
+  let tree_db = Database.create () in
+  ok (G.define_schema tree_db);
+  let tree_top = ok (W.component_tree tree_db ~depth:3 ~fanout:2) in
+  let steel = Database.create () in
+  ok (Steel.define_schema steel);
+  let structure = ok (W.screwed_structure steel ~girders:8 ~bores_per_joint:8) in
+  let screwing = List.hd (ok (Database.subrel_members steel structure "Screwings")) in
+  let perm_db, perm_user = e4_db 16 in
+  let perm_store = Database.store perm_db in
+  let mg = Compo_txn.Transaction.create_manager view_store in
+  let sel_db = Database.create () in
+  ok (G.define_schema sel_db);
+  for i = 1 to 1000 do
+    let pi = ok (G.new_pin_interface sel_db ~pins:[ G.In; G.In; G.Out ]) in
+    ignore (ok (G.new_interface sel_db ~pin_interface:pi ~length:(4 + (i mod 8)) ~width:2))
+  done;
+  let where = Expr.(path [ "Length" ] <= int 5) in
+  let wal_dir = temp_journal_dir () in
+  let j = ok (Compo_storage.Journal.open_dir wal_dir) in
+  ok (Compo_storage.Journal.define_obj_type j part_type);
+  let part = ok (Compo_storage.Journal.new_object j ~ty:"Part" ~attrs:[ ("Weight", Value.Int 0) ] ()) in
+  let flip = ref 4 in
+  let counter = ref 0 in
+  let lm12, objs12 = e12_setup 16 in
+  let tests =
+    [
+      Test.make ~name:"E1 view: transmitter update + read"
+        (Staged.stage (fun () ->
+             flip := if !flip = 4 then 5 else 4;
+             ok (Database.set_attr view_db iface "Length" (Value.Int !flip));
+             ignore (ok (Database.get_attr view_db impl0 "Length"))));
+      Test.make ~name:"E1 copy: refresh 100 inheritors"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun impl -> ignore (ok (Inheritance.materialize view_store impl)))
+               impls));
+      Test.make ~name:"E2 read through 8 hops"
+        (Staged.stage (fun () -> ignore (ok (Database.get_attr chain_db chain_leaf "Payload"))));
+      Test.make ~name:"E3 expand tree d3 f2"
+        (Staged.stage (fun () -> ignore (ok (Database.expand tree_db tree_top))));
+      Test.make ~name:"E4 materialize 16 of 64 attrs"
+        (Staged.stage (fun () -> ignore (ok (Inheritance.materialize perm_store perm_user))));
+      Test.make ~name:"E5 validate screwing (8 bores)"
+        (Staged.stage (fun () -> ignore (ok (Database.validate steel screwing))));
+      Test.make ~name:"E6 transactional inherited read"
+        (Staged.stage (fun () ->
+             let t = Compo_txn.Transaction.begin_txn mg ~user:"bench" in
+             ignore (ok (Compo_txn.Transaction.get_attr mg t impl0 "Length"));
+             ok (Compo_txn.Transaction.commit mg t)));
+      Test.make ~name:"E8 parse+elaborate gates.ddl"
+        (Staged.stage (fun () ->
+             let db = Database.create () in
+             ok (Compo_ddl.Elaborate.load_string db Compo_scenarios.Paper_ddl.gates)));
+      Test.make ~name:"E9 logged set_attr"
+        (Staged.stage (fun () ->
+             incr counter;
+             ok (Compo_storage.Journal.set_attr j part "Weight" (Value.Int !counter))));
+      Test.make ~name:"E10 select 1000 interfaces"
+        (Staged.stage (fun () ->
+             ignore (ok (Database.select sel_db ~cls:"Interfaces" ~where ()))));
+      Test.make ~name:"E11 bill of materials (8 girders)"
+        (Staged.stage (fun () -> ignore (ok (Database.bill_of_materials steel structure))));
+      Test.make ~name:"E12 deadlock check (16 txns)"
+        (Staged.stage (fun () ->
+             match
+               Compo_txn.Lock_manager.acquire lm12 ~txn:15 objs12.(0) Compo_txn.Lock.X
+             with
+             | Error _ -> ()
+             | Ok _ -> failwith "expected deadlock"));
+    ]
+  in
+  let grouped = Test.make_grouped ~name:"compo" ~fmt:"%s %s" tests in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:1000 ~stabilize:true ~quota:(Time.second 0.25) () in
+  let raw = Benchmark.all cfg instances grouped in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun name est acc -> (name, est) :: acc) results [] in
+  List.iter
+    (fun (name, est) ->
+      let ns =
+        match Analyze.OLS.estimates est with Some (v :: _) -> v | _ -> nan
+      in
+      say "%-42s %12.1f ns/run" name ns)
+    (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
+  Compo_storage.Journal.close j
+
+let () =
+  say "compo benchmark harness (experiments E1-E14; see DESIGN.md section 4)";
+  e1 ();
+  e2 ();
+  e3 ();
+  e4 ();
+  e5 ();
+  e6 ();
+  e7 ();
+  e8 ();
+  e9 ();
+  e10 ();
+  e11 ();
+  e12 ();
+  e13 ();
+  e14 ();
+  bechamel_group ();
+  say "";
+  say "bench done."

@@ -1,0 +1,538 @@
+(* compo: command-line front end for journaled design databases.
+
+   compo check <file.ddl>          parse and elaborate a schema file
+   compo format <file.ddl>         pretty-print a schema file (normal form)
+   compo init <dir> [-s file.ddl]  create a database directory
+   compo info <dir>                database statistics
+   compo dump-schema <dir>         print a database's schema as DDL
+   compo validate <dir>            check all integrity constraints
+   compo show <dir> <id>           display one object
+   compo checkpoint <dir>          collapse the WAL into a snapshot
+   compo demo <gates|steel> <dir>  build a paper scenario into a database *)
+
+open Compo_core
+
+let or_die = function
+  | Ok v -> v
+  | Error e ->
+      prerr_endline ("compo: " ^ Errors.to_string e);
+      exit 1
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | contents -> contents
+  | exception Sys_error msg ->
+      prerr_endline ("compo: " ^ msg);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* Commands                                                            *)
+
+let cmd_check files =
+  (* files load cumulatively, so later ones may use earlier definitions
+     (steel.ddl uses the Point domain from gates.ddl) *)
+  let db = Database.create () in
+  let seen = ref 0 in
+  List.iter
+    (fun path ->
+      or_die (Compo_ddl.Elaborate.load_string db (read_file path));
+      let total = List.length (Schema.entries (Database.schema db)) in
+      Printf.printf "%s: ok (%d new types)\n" path (total - !seen);
+      seen := total)
+    files
+
+let cmd_format path =
+  let db = Database.create () in
+  or_die (Compo_ddl.Elaborate.load_string db (read_file path));
+  print_string (Compo_ddl.Pretty.schema_to_string (Database.schema db))
+
+let cmd_init dir schemas =
+  let j = or_die (Compo_storage.Journal.open_dir dir) in
+  List.iter
+    (fun path ->
+      or_die (Compo_ddl.Elaborate.load_string (Compo_storage.Journal.db j) (read_file path)))
+    schemas;
+  or_die (Compo_storage.Journal.checkpoint j);
+  Compo_storage.Journal.close j;
+  Printf.printf "initialized %s (%d types)\n" dir
+    (List.length (Schema.entries (Database.schema (Compo_storage.Journal.db j))))
+
+let with_journal dir f =
+  let j = or_die (Compo_storage.Journal.open_dir dir) in
+  let result = f j in
+  Compo_storage.Journal.close j;
+  result
+
+let cmd_info dir =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let store = Database.store db in
+      if not (Compo_storage.Journal.recovered_clean j) then
+        print_endline "warning: torn WAL tail was skipped during recovery";
+      Printf.printf "types:        %d\n"
+        (List.length (Schema.entries (Database.schema db)));
+      Printf.printf "domains:      %d\n"
+        (List.length (Schema.domains (Database.schema db)));
+      let objects = ref 0 and rels = ref 0 and links = ref 0 in
+      Store.iter store (fun e ->
+          match e.Store.kind with
+          | Store.Object_entity -> incr objects
+          | Store.Relationship_entity -> incr rels
+          | Store.Inheritance_link -> incr links);
+      Printf.printf "objects:      %d\n" !objects;
+      Printf.printf "relationships:%d\n" !rels;
+      Printf.printf "inh. links:   %d\n" !links;
+      Printf.printf "classes:      %s\n"
+        (String.concat ", "
+           (List.map
+              (fun c ->
+                Printf.sprintf "%s(%d)" c
+                  (List.length (Result.get_ok (Store.class_members store c))))
+              (Store.class_names store)));
+      Printf.printf "wal:          %d bytes, %d records replayed\n"
+        (Compo_storage.Journal.wal_size_bytes j)
+        (Compo_storage.Journal.wal_records_replayed j))
+
+let cmd_dump_schema dir =
+  with_journal dir (fun j ->
+      print_string
+        (Compo_ddl.Pretty.schema_to_string (Database.schema (Compo_storage.Journal.db j))))
+
+let cmd_validate dir =
+  with_journal dir (fun j ->
+      let violations = Database.validate_all (Compo_storage.Journal.db j) in
+      if violations = [] then print_endline "all constraints hold"
+      else begin
+        List.iter
+          (fun v -> Format.printf "%a@." Constraints.pp_violation v)
+          violations;
+        exit 1
+      end)
+
+let parse_id raw =
+  let raw = if String.length raw > 0 && raw.[0] = '@' then String.sub raw 1 (String.length raw - 1) else raw in
+  match int_of_string_opt raw with
+  | Some i -> Surrogate.of_int i
+  | None ->
+      prerr_endline ("compo: invalid object id " ^ raw);
+      exit 1
+
+let cmd_show dir raw_id =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let store = Database.store db in
+      let s = parse_id raw_id in
+      let e = or_die (Store.get store s) in
+      Printf.printf "%s : %s (%s)\n"
+        (Surrogate.to_string s)
+        e.Store.type_name
+        (match e.Store.kind with
+        | Store.Object_entity -> "object"
+        | Store.Relationship_entity -> "relationship"
+        | Store.Inheritance_link -> "inheritance link");
+      (match e.Store.owner with
+      | Some o -> Printf.printf "owner: %s\n" (Surrogate.to_string o)
+      | None -> ());
+      (match e.Store.bound with
+      | Some b ->
+          Printf.printf "inherits from %s via %s\n"
+            (Surrogate.to_string b.Store.b_transmitter)
+            b.Store.b_via
+      | None -> ());
+      (* effective attributes, marking inherited ones *)
+      (match Schema.effective_attrs (Database.schema db) e.Store.type_name with
+      | Ok attrs ->
+          List.iter
+            (fun ((a : Schema.attr_def), src) ->
+              let v =
+                match Database.get_attr db s a.attr_name with
+                | Ok v -> Value.to_string v
+                | Error _ -> "?"
+              in
+              let marker =
+                match src with
+                | Schema.Own -> ""
+                | Schema.Via rel -> "  (inherited via " ^ rel ^ ")"
+              in
+              Printf.printf "  %s = %s%s\n" a.attr_name v marker)
+            attrs
+      | Error _ -> ());
+      Store.Smap.iter
+        (fun name v ->
+          Printf.printf "  participant %s = %s\n" name (Value.to_string v))
+        e.Store.participants;
+      (match Schema.effective_subclasses (Database.schema db) e.Store.type_name with
+      | Ok subs ->
+          List.iter
+            (fun ((sc : Schema.subclass_def), _) ->
+              match Database.subclass_members db s sc.sc_name with
+              | Ok ms ->
+                  Printf.printf "  %s: {%s}\n" sc.sc_name
+                    (String.concat ", " (List.map Surrogate.to_string ms))
+              | Error _ -> ())
+            subs
+      | Error _ -> ());
+      Store.Smap.iter
+        (fun name ms ->
+          Printf.printf "  %s (subrels): {%s}\n" name
+            (String.concat ", " (List.map Surrogate.to_string ms)))
+        e.Store.subrels)
+
+let cmd_query dir cls where_src =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let where =
+        Option.map (fun src -> or_die (Compo_ddl.Parser.parse_expr src)) where_src
+      in
+      let found = or_die (Database.select db ~cls ?where ()) in
+      List.iter
+        (fun s ->
+          let ty = or_die (Database.type_of db s) in
+          (* a compact one-line rendering: the first few effective attrs *)
+          let attrs =
+            match Schema.effective_attrs (Database.schema db) ty with
+            | Error _ -> ""
+            | Ok defs ->
+                String.concat " "
+                  (List.filteri
+                     (fun i _ -> i < 4)
+                     (List.map
+                        (fun ((a : Schema.attr_def), _) ->
+                          let v =
+                            match Database.get_attr db s a.attr_name with
+                            | Ok v -> Value.to_string v
+                            | Error _ -> "?"
+                          in
+                          a.attr_name ^ "=" ^ v)
+                        defs))
+          in
+          Printf.printf "%s %s %s\n" (Surrogate.to_string s) ty attrs)
+        found;
+      Printf.printf "%d object(s)\n" (List.length found))
+
+let cmd_simulate dir raw_id bits =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let gate = parse_id raw_id in
+      (* external IN pins in subclass order get the bits in order *)
+      let pins = or_die (Database.subclass_members db gate "Pins") in
+      let in_pins =
+        List.filter
+          (fun p ->
+            match Database.get_attr db p "InOut" with
+            | Ok (Value.Enum_case "IN") -> true
+            | _ -> false)
+          pins
+      in
+      let bit_list =
+        List.filter_map
+          (fun c ->
+            match c with '0' -> Some false | '1' -> Some true | _ -> None)
+          (List.init (String.length bits) (String.get bits))
+      in
+      if List.length bit_list <> List.length in_pins then begin
+        Printf.eprintf "compo: gate has %d input pins, got %d bits\n"
+          (List.length in_pins) (List.length bit_list);
+        exit 1
+      end;
+      let inputs = List.combine in_pins bit_list in
+      match Compo_scenarios.Simulate.simulate db ~gate ~inputs with
+      | Ok outs ->
+          List.iter
+            (fun (pin, v) ->
+              Printf.printf "%s = %b\n" (Surrogate.to_string pin) v)
+            outs
+      | Error e ->
+          prerr_endline ("compo: " ^ Errors.to_string e);
+          exit 1)
+
+let cmd_optimize dir raw_id =
+  let j = or_die (Compo_storage.Journal.open_dir dir) in
+  let db = Compo_storage.Journal.db j in
+  let gate = parse_id raw_id in
+  let stats = or_die (Compo_scenarios.Optimize.optimize db ~gate) in
+  (* the rewrites bypassed the WAL; checkpoint for durability *)
+  or_die (Compo_storage.Journal.checkpoint j);
+  Compo_storage.Journal.close j;
+  Printf.printf "removed %d dead gate(s), merged %d duplicate(s), dropped %d wire(s) in %d pass(es)\n"
+    stats.Compo_scenarios.Optimize.removed_gates
+    stats.Compo_scenarios.Optimize.merged_gates
+    stats.Compo_scenarios.Optimize.removed_wires
+    stats.Compo_scenarios.Optimize.passes
+
+let cmd_checkpoint dir =
+  with_journal dir (fun j ->
+      or_die (Compo_storage.Journal.checkpoint j);
+      print_endline "checkpoint written")
+
+let cmd_demo scenario dir =
+  let j = or_die (Compo_storage.Journal.open_dir dir) in
+  let db = Compo_storage.Journal.db j in
+  (match scenario with
+  | "gates" ->
+      or_die (Compo_scenarios.Gates.define_schema db);
+      let ff = or_die (Compo_scenarios.Gates.flip_flop db) in
+      let iface = or_die (Compo_scenarios.Gates.nor_interface db) in
+      let _ = or_die (Compo_scenarios.Gates.nor_implementation db ~interface:iface) in
+      Printf.printf "built the flip-flop %s and a NOR interface %s\n"
+        (Surrogate.to_string ff) (Surrogate.to_string iface)
+  | "steel" ->
+      or_die (Compo_scenarios.Steel.define_schema db);
+      let s =
+        or_die (Compo_scenarios.Workload.screwed_structure db ~girders:3 ~bores_per_joint:2)
+      in
+      Printf.printf "built weight-carrying structure %s\n" (Surrogate.to_string s)
+  | other ->
+      prerr_endline ("compo: unknown demo " ^ other ^ " (use gates or steel)");
+      exit 1);
+  or_die (Compo_storage.Journal.checkpoint j);
+  Compo_storage.Journal.close j;
+  Printf.printf "saved to %s\n" dir
+
+(* ------------------------------------------------------------------ *)
+(* Cmdliner wiring                                                     *)
+
+open Cmdliner
+
+let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+let check_cmd =
+  let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.ddl") in
+  Cmd.v (Cmd.info "check" ~doc:"Parse and elaborate schema files")
+    Term.(const cmd_check $ files)
+
+let format_cmd =
+  let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ddl") in
+  Cmd.v (Cmd.info "format" ~doc:"Pretty-print a schema file in normal form")
+    Term.(const cmd_format $ file)
+
+let init_cmd =
+  let schemas =
+    Arg.(value & opt_all file [] & info [ "s"; "schema" ] ~docv:"FILE.ddl"
+           ~doc:"Schema file(s) to load into the new database.")
+  in
+  Cmd.v (Cmd.info "init" ~doc:"Create a journaled database directory")
+    Term.(const cmd_init $ dir_arg $ schemas)
+
+let info_cmd =
+  Cmd.v (Cmd.info "info" ~doc:"Show database statistics")
+    Term.(const cmd_info $ dir_arg)
+
+let dump_schema_cmd =
+  Cmd.v (Cmd.info "dump-schema" ~doc:"Print the database schema as DDL")
+    Term.(const cmd_dump_schema $ dir_arg)
+
+let validate_cmd =
+  Cmd.v (Cmd.info "validate" ~doc:"Check all integrity constraints")
+    Term.(const cmd_validate $ dir_arg)
+
+let show_cmd =
+  let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"ID") in
+  Cmd.v (Cmd.info "show" ~doc:"Display one object with its inherited data")
+    Term.(const cmd_show $ dir_arg $ id)
+
+let query_cmd =
+  let cls = Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS") in
+  let where =
+    Arg.(value & opt (some string) None & info [ "w"; "where" ] ~docv:"EXPR"
+           ~doc:"Selection predicate in the constraint-expression syntax, \
+                 e.g. 'Length <= 5'.")
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Select class members by predicate")
+    Term.(const cmd_query $ dir_arg $ cls $ where)
+
+let simulate_cmd =
+  let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"GATE-ID") in
+  let bits =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"BITS"
+           ~doc:"Input values for the gate's IN pins in order, e.g. 10.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc:"Evaluate a gate netlist")
+    Term.(const cmd_simulate $ dir_arg $ id $ bits)
+
+let optimize_cmd =
+  let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"GATE-ID") in
+  Cmd.v (Cmd.info "optimize" ~doc:"Dead-gate elimination and duplicate merging on a netlist")
+    Term.(const cmd_optimize $ dir_arg $ id)
+
+let checkpoint_cmd =
+  Cmd.v (Cmd.info "checkpoint" ~doc:"Collapse the WAL into a snapshot")
+    Term.(const cmd_checkpoint $ dir_arg)
+
+let demo_cmd =
+  let scenario =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SCENARIO"
+           ~doc:"gates or steel")
+  in
+  let dir = Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR") in
+  Cmd.v (Cmd.info "demo" ~doc:"Build one of the paper's scenarios into a database")
+    Term.(const cmd_demo $ scenario $ dir)
+
+(* ------------------------------------------------------------------ *)
+(* Version management: a versions.bin sidecar next to the journal       *)
+
+let versions_path dir = Filename.concat dir "versions.bin"
+
+let load_versions dir =
+  if Sys.file_exists (versions_path dir) then
+    or_die (Compo_versions.Versioned.load_file (versions_path dir))
+  else Compo_versions.Versioned.create ()
+
+let save_versions dir reg =
+  or_die (Compo_versions.Versioned.save_file reg (versions_path dir))
+
+let parse_state = function
+  | "released" -> Compo_versions.Version_graph.Released
+  | "frozen" -> Compo_versions.Version_graph.Frozen
+  | other ->
+      prerr_endline ("compo: unknown state " ^ other ^ " (released|frozen)");
+      exit 1
+
+let cmd_version_list dir =
+  let reg = load_versions dir in
+  let module VG = Compo_versions.Version_graph in
+  List.iter
+    (fun name ->
+      let g = or_die (Compo_versions.Versioned.graph reg name) in
+      Printf.printf "%s%s\n" name
+        (match VG.default_version g with
+        | Some d -> Printf.sprintf " (default v%d)" d
+        | None -> "");
+      List.iter
+        (fun v ->
+          let state =
+            match VG.state_of g v.VG.ver_id with
+            | Ok st -> VG.state_to_string st
+            | Error _ -> "?"
+          in
+          Printf.printf "  v%d %s %s%s%s\n" v.VG.ver_id
+            (Surrogate.to_string v.VG.ver_object)
+            state
+            (match v.VG.ver_predecessors with
+            | [] -> ""
+            | ps -> " <- " ^ String.concat "," (List.map (Printf.sprintf "v%d") ps))
+            (if v.VG.ver_note = "" then "" else " (" ^ v.VG.ver_note ^ ")"))
+        (VG.versions g))
+    (Compo_versions.Versioned.graphs reg)
+
+let cmd_version_new_graph dir name =
+  let reg = load_versions dir in
+  let _ = or_die (Compo_versions.Versioned.new_graph reg ~name) in
+  save_versions dir reg;
+  Printf.printf "graph %s created\n" name
+
+let cmd_version_root dir graph raw_id =
+  let reg = load_versions dir in
+  with_journal dir (fun j ->
+      let obj = parse_id raw_id in
+      let _ = or_die (Store.get (Database.store (Compo_storage.Journal.db j)) obj) in
+      let v = or_die (Compo_versions.Versioned.register_root reg ~graph ~obj) in
+      save_versions dir reg;
+      Printf.printf "v%d registered as root of %s\n" v graph)
+
+let cmd_version_derive dir graph from_id =
+  let reg = load_versions dir in
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let v, copy =
+        or_die
+          (Compo_versions.Versioned.derive_version reg (Database.store db) ~graph
+             ~from:from_id)
+      in
+      (* the deep copy bypassed the WAL; a checkpoint makes it durable *)
+      or_die (Compo_storage.Journal.checkpoint j);
+      save_versions dir reg;
+      Printf.printf "v%d derived from v%d (object %s)\n" v from_id
+        (Surrogate.to_string copy))
+
+let cmd_version_promote dir graph id state =
+  let reg = load_versions dir in
+  or_die (Compo_versions.Versioned.promote reg ~graph ~version:id (parse_state state));
+  save_versions dir reg;
+  Printf.printf "v%d promoted to %s\n" id state
+
+let cmd_version_default dir graph id =
+  let reg = load_versions dir in
+  or_die (Compo_versions.Versioned.set_default reg ~graph ~version:id);
+  save_versions dir reg;
+  Printf.printf "v%d is now the default of %s\n" id graph
+
+let cmd_version_audit dir raw_id =
+  let reg = load_versions dir in
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let root = parse_id raw_id in
+      let entries =
+        or_die (Compo_versions.Config_report.configuration reg (Database.store db) root)
+      in
+      List.iter
+        (fun e ->
+          Format.printf "%a@." Compo_versions.Config_report.pp_entry e)
+        entries;
+      let outdated = Compo_versions.Config_report.outdated entries in
+      Printf.printf "%d use(s), %d outdated, %d unmanaged\n" (List.length entries)
+        (List.length outdated)
+        (List.length (Compo_versions.Config_report.unmanaged entries)))
+
+(* COMPO_LOG=debug|info|warning enables logging on stderr. *)
+let setup_logs () =
+  match Sys.getenv_opt "COMPO_LOG" with
+  | None -> ()
+  | Some level ->
+      let level =
+        match String.lowercase_ascii level with
+        | "debug" -> Some Logs.Debug
+        | "info" -> Some Logs.Info
+        | _ -> Some Logs.Warning
+      in
+      Logs.set_level level;
+      Logs.set_reporter (Logs_fmt.reporter ())
+
+let version_group =
+  let open Cmdliner in
+  let graph_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"GRAPH") in
+  let id_at n = Arg.(required & pos n (some string) None & info [] ~docv:"ID") in
+  let int_at n docv = Arg.(required & pos n (some int) None & info [] ~docv) in
+  Cmd.group
+    (Cmd.info "version" ~doc:"Version-graph management (versions.bin sidecar)")
+    [
+      Cmd.v (Cmd.info "list" ~doc:"List graphs and versions")
+        Term.(const cmd_version_list $ dir_arg);
+      Cmd.v (Cmd.info "new-graph" ~doc:"Create a version graph")
+        Term.(const cmd_version_new_graph $ dir_arg $ graph_arg);
+      Cmd.v (Cmd.info "root" ~doc:"Register an object as the root version")
+        Term.(const cmd_version_root $ dir_arg $ graph_arg $ id_at 2);
+      Cmd.v (Cmd.info "derive" ~doc:"Derive a new in-work version (deep copy)")
+        Term.(const cmd_version_derive $ dir_arg $ graph_arg $ int_at 2 "FROM");
+      Cmd.v (Cmd.info "promote" ~doc:"Promote a version (released|frozen)")
+        Term.(
+          const cmd_version_promote $ dir_arg $ graph_arg $ int_at 2 "VERSION"
+          $ Arg.(required & pos 3 (some string) None & info [] ~docv:"STATE"));
+      Cmd.v (Cmd.info "default" ~doc:"Set the default version")
+        Term.(const cmd_version_default $ dir_arg $ graph_arg $ int_at 2 "VERSION");
+      Cmd.v (Cmd.info "audit" ~doc:"Configuration audit of a composite")
+        Term.(const cmd_version_audit $ dir_arg $ id_at 1);
+    ]
+
+let () =
+  setup_logs ();
+  let doc = "complex and composite objects for CAD/CAM databases" in
+  let info = Cmd.info "compo" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            check_cmd;
+            format_cmd;
+            init_cmd;
+            info_cmd;
+            dump_schema_cmd;
+            validate_cmd;
+            query_cmd;
+            show_cmd;
+            simulate_cmd;
+            optimize_cmd;
+            checkpoint_cmd;
+            demo_cmd;
+            version_group;
+          ]))

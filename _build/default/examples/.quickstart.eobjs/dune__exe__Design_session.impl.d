@@ -1,0 +1,1 @@
+examples/design_session.ml: Access_control Compo_core Compo_scenarios Compo_txn Compo_workspace Conflict Database Errors Format List Lock Lock_manager Surrogate Transaction Value

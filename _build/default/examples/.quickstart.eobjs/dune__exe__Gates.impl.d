@@ -1,0 +1,1 @@
+examples/gates.ml: Compo_core Compo_scenarios Composite Database Errors Format List Printf String Surrogate Value

@@ -1,0 +1,1 @@
+examples/gates.mli:

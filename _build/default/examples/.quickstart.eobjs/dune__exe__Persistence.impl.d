@@ -1,0 +1,1 @@
+examples/persistence.ml: Array Compo_core Compo_ddl Compo_scenarios Compo_storage Database Errors Filename Format In_channel Journal Out_channel String Surrogate Sys Value

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Compo_core Compo_ddl Database Errors Format List Schema String Surrogate Value

@@ -1,0 +1,1 @@
+examples/steel.ml: Compo_core Compo_scenarios Constraints Database Errors Format List Surrogate Value

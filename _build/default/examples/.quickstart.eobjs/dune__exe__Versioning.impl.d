@@ -1,0 +1,1 @@
+examples/versioning.ml: Compo_core Compo_scenarios Compo_versions Config_report Database Errors Expr Format Generic_ref List Option String Value Version_graph Versioned

@@ -1,0 +1,106 @@
+(* The paper's chip-design scenario, end to end: Figures 1-4.
+
+   Run with: dune exec examples/gates.exe *)
+
+open Compo_core
+module G = Compo_scenarios.Gates
+
+let ok = Errors.or_fail
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  say "== gates: the paper's running example ==";
+  let db = Database.create () in
+  ok (G.define_schema db);
+
+  (* Figure 1: the flip-flop as a self-contained complex object. *)
+  let ff = ok (G.flip_flop db) in
+  say "flip-flop %s: %d external pins, %d NOR subgates, %d wires"
+    (Surrogate.to_string ff)
+    (List.length (ok (Database.subclass_members db ff "Pins")))
+    (List.length (ok (Database.subclass_members db ff "SubGates")))
+    (List.length (ok (Database.subrel_members db ff "Wires")));
+
+  (* Figure 2: interface and implementations. *)
+  let nor_iface = ok (G.nor_interface db) in
+  let fast = ok (G.new_implementation db ~interface:nor_iface ~time_behavior:1 ()) in
+  let small = ok (G.new_implementation db ~interface:nor_iface ~time_behavior:4 ()) in
+  say "NOR interface %s has %d implementations sharing Length=%s"
+    (Surrogate.to_string nor_iface)
+    (List.length (ok (Database.implementations_of db nor_iface)))
+    (Value.to_string (ok (Database.get_attr db fast "Length")));
+
+  (* Figure 3: a composite gate using NOR as a placed component. *)
+  let latch_iface = ok (G.nor_interface db) in
+  let latch = ok (G.new_implementation db ~interface:latch_iface ()) in
+  let u1 = ok (G.use_component db ~composite:latch ~component_interface:nor_iface ~x:2 ~y:0) in
+  let u2 = ok (G.use_component db ~composite:latch ~component_interface:nor_iface ~x:2 ~y:4) in
+  say "latch uses NOR twice: u1 at %s, u2 at %s; each sees %d component pins"
+    (Value.to_string (ok (Database.get_attr db u1 "GateLocation")))
+    (Value.to_string (ok (Database.get_attr db u2 "GateLocation")))
+    (List.length (ok (Database.subclass_members db u1 "Pins")));
+
+  (* wire an external pin of the latch to a component pin *)
+  let ext_pin = List.hd (ok (Database.subclass_members db latch "Pins")) in
+  let comp_pin = List.hd (ok (Database.subclass_members db u1 "Pins")) in
+  let _ = ok (G.wire db ~parent:latch ~from_pin:ext_pin ~to_pin:comp_pin) in
+  say "wired external pin to component pin (where-clause checked on creation)";
+
+  (* Figure 4: nor_iface is simultaneously the interface of `fast`/`small`
+     and a component inside `latch`. *)
+  say "dual role of the NOR interface:";
+  say "  implementations: %s"
+    (String.concat ", "
+       (List.map Surrogate.to_string (ok (Database.implementations_of db nor_iface))));
+  say "  used as component by: %s"
+    (String.concat ", "
+       (List.map Surrogate.to_string (ok (Database.where_used db nor_iface))));
+
+  (* Updating the shared interface reaches both roles and stamps links. *)
+  ok (Database.set_attr db nor_iface "Width" (Value.Int 3));
+  say "after interface update: u1 Width=%s, small Width=%s, stale links=%d"
+    (Value.to_string (ok (Database.get_attr db u1 "Width")))
+    (Value.to_string (ok (Database.get_attr db small "Width")))
+    (List.length
+       (List.filter
+          (fun l -> ok (Database.is_stale db l))
+          (ok (Database.links_of db nor_iface))));
+
+  (* Section 4.3: tailored permeability through SomeOf_Gate. *)
+  let probe = ok (G.new_timing_probe db ~implementation:fast ~note:"timing sim") in
+  say "timing probe sees TimeBehavior=%s through SomeOf_Gate"
+    (Value.to_string (ok (Database.get_attr db probe "TimeBehavior")));
+
+  (* Expansion of the composite (section 6). *)
+  let node = ok (Database.expand db latch) in
+  say "expansion of the latch has %d nodes:" (Composite.node_count node);
+  Format.printf "%a@." Composite.pp_node node;
+
+  say "bill of materials of the latch:";
+  List.iter
+    (fun (c, n) -> say "  %s x%d" (Surrogate.to_string c) n)
+    (ok (Database.bill_of_materials db latch));
+
+  (* The model is executable: simulate the Figure 1 flip-flop. *)
+  let pins = ok (Database.subclass_members db ff "Pins") in
+  (match pins with
+  | [ s; r; _q; _q' ] ->
+      let show name sv rv =
+        match Compo_scenarios.Simulate.simulate db ~gate:ff ~inputs:[ (s, sv); (r, rv) ] with
+        | Ok outs ->
+            say "flip-flop %s: %s" name
+              (String.concat ", "
+                 (List.map
+                    (fun (p, v) -> Printf.sprintf "%s=%b" (Surrogate.to_string p) v)
+                    outs))
+        | Error e -> say "flip-flop %s: %s" name (Errors.to_string e)
+      in
+      show "set (S=1,R=0)" true false;
+      show "reset (S=0,R=1)" false true;
+      show "hold (S=0,R=0)" false false
+  | _ -> ());
+
+  (* ...and analyzable: worst-path delay through the component tree *)
+  say "latch critical-path delay: %d time units"
+    (ok (Compo_scenarios.Simulate.propagation_delay db latch));
+  say "gates example done."

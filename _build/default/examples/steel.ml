@@ -1,0 +1,102 @@
+(* The paper's steel-construction example (section 5, Figure 5).
+
+   Run with: dune exec examples/steel.exe *)
+
+open Compo_core
+module S = Compo_scenarios.Steel
+
+let ok = Errors.or_fail
+let say fmt = Format.printf (fmt ^^ "@.")
+
+let () =
+  say "== steel: weight-carrying structures ==";
+  let db = Database.create () in
+  ok (S.define_schema db);
+
+  (* catalog: one girder design, one plate design *)
+  let girder_if =
+    ok
+      (S.new_girder_interface db ~length:400 ~height:20 ~width:20
+         ~bores:[ (12, 5, (20, 0)); (12, 5, (380, 0)) ])
+  in
+  let plate_if =
+    ok
+      (S.new_plate_interface db ~thickness:5 ~area:(60, 60)
+         ~bores:[ (12, 5, (10, 10)); (12, 5, (50, 50)) ])
+  in
+  say "girder interface %s (L=400), plate interface %s (t=5)"
+    (Surrogate.to_string girder_if) (Surrogate.to_string plate_if);
+
+  (* two realizations of the girder differing only in local data *)
+  let wood = ok (S.new_girder db ~interface:girder_if ~material:"wood") in
+  let metal = ok (S.new_girder db ~interface:girder_if ~material:"metal") in
+  say "girder realizations: %s (wood), %s (metal), both inherit L=%s"
+    (Surrogate.to_string wood) (Surrogate.to_string metal)
+    (Value.to_string (ok (Database.get_attr db wood "Length")));
+
+  (* a structure assembling one girder and one plate *)
+  let frame = ok (S.new_structure db ~designer:"Pegels" ~description:"portal frame") in
+  let g_comp = ok (S.add_girder db ~structure:frame ~girder_interface:girder_if) in
+  let p_comp = ok (S.add_plate db ~structure:frame ~plate_interface:plate_if) in
+  say "structure %s: girder bores %d, plate bores %d (all inherited)"
+    (Surrogate.to_string frame)
+    (List.length (ok (S.bores_of db g_comp)))
+    (List.length (ok (S.bores_of db p_comp)));
+
+  (* screw them together: bolt length must be nut + sum of bore lengths *)
+  let g_bore = List.hd (ok (S.bores_of db g_comp)) in
+  let p_bore = List.hd (ok (S.bores_of db p_comp)) in
+  let bolt = ok (S.new_bolt db ~length:12 ~diameter:12) in
+  let nut = ok (S.new_nut db ~length:2 ~diameter:12) in
+  let screwing =
+    ok (S.screw db ~structure:frame ~bores:[ g_bore; p_bore ] ~bolt ~nut ~strength:80)
+  in
+  say "screwing %s created (bolt and nut hidden inside the relationship)"
+    (Surrogate.to_string screwing);
+  (match Database.validate db screwing with
+  | Ok [] -> say "screwing constraints hold: 12 = 2 + (5 + 5)"
+  | Ok (v :: _) -> say "unexpected violation: %s" (Format.asprintf "%a" Constraints.pp_violation v)
+  | Error e -> say "error: %s" (Errors.to_string e));
+
+  (* a wrong bolt is caught by the section 5 constraints *)
+  let short_bolt = ok (S.new_bolt db ~length:5 ~diameter:12) in
+  let short_nut = ok (S.new_nut db ~length:2 ~diameter:12) in
+  let g_bore2 = List.nth (ok (S.bores_of db g_comp)) 1 in
+  let p_bore2 = List.nth (ok (S.bores_of db p_comp)) 1 in
+  let bad =
+    ok
+      (S.screw db ~structure:frame ~bores:[ g_bore2; p_bore2 ] ~bolt:short_bolt
+         ~nut:short_nut ~strength:80)
+  in
+  List.iter
+    (fun v -> say "violation detected: %s" (Format.asprintf "%a" Constraints.pp_violation v))
+    (ok (Database.validate db bad));
+
+  (* bores outside the structure are rejected by the where-clause *)
+  let lonely_if =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[ (12, 5, (0, 0)) ])
+  in
+  let foreign_bore = List.hd (ok (S.bores_of db lonely_if)) in
+  (match
+     S.screw db ~structure:frame ~bores:[ foreign_bore ] ~bolt ~nut ~strength:10
+   with
+  | Error e -> say "foreign bore rejected: %s" (Errors.to_string e)
+  | Ok _ -> failwith "BUG: foreign bore accepted");
+
+  (* the catalog update story: a redesigned girder profile *)
+  ok (Database.set_attr db girder_if "Height" (Value.Int 25));
+  say "girder redesigned: structure sees Height=%s; %d links stamped stale"
+    (Value.to_string (ok (Database.get_attr db g_comp "Height")))
+    (List.length
+       (List.filter
+          (fun l -> ok (Database.is_stale db l))
+          (ok (Database.links_of db girder_if))));
+
+  say "bill of materials of the frame:";
+  List.iter
+    (fun (c, n) ->
+      say "  %s (%s) x%d" (Surrogate.to_string c)
+        (ok (Database.type_of db c))
+        n)
+    (ok (Database.bill_of_materials db frame));
+  say "steel example done."

@@ -1,0 +1,1 @@
+lib/core/binary.ml: Array Buffer Bytes Char Errors Int32 Int64 Lazy List Printf Result String

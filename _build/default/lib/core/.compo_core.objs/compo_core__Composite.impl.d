@@ -1,0 +1,1 @@
+lib/core/composite.ml: Format Inheritance List Option Result Store Surrogate

@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Errors Eval Expr Format List Option Printf Result Schema Store String Surrogate

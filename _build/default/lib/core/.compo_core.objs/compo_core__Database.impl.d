@@ -1,0 +1,1 @@
+lib/core/database.ml: Composite Constraints Domain Errors Expr Format Index Inheritance List Option Ordered_index Printf Query Result Schema Store String Surrogate Value

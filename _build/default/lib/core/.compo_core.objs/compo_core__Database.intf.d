@@ -1,0 +1,1 @@
+lib/core/database.mli: Composite Constraints Domain Errors Expr Schema Store Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/domain.ml: Errors Format List Option Result String

@@ -1,0 +1,1 @@
+lib/core/domain.mli: Errors Format

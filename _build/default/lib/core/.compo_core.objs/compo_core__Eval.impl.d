@@ -1,0 +1,1 @@
+lib/core/eval.ml: Errors Expr Float Inheritance List Map Option Printf Result Schema Store String Surrogate Value

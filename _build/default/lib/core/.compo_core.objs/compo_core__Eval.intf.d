@@ -1,0 +1,1 @@
+lib/core/eval.mli: Errors Expr Store Surrogate Value

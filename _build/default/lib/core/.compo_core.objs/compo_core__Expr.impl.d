@@ -1,0 +1,1 @@
+lib/core/expr.ml: Format List Option String Value

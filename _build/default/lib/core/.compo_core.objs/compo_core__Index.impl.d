@@ -1,0 +1,1 @@
+lib/core/index.ml: Errors Hashtbl List Option Printf Result Schema Store Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/inheritance.ml: Errors List Option Printf Result Schema Store String Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/inheritance.mli: Errors Store Surrogate Value

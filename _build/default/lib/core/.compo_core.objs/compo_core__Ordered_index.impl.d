@@ -1,0 +1,1 @@
+lib/core/ordered_index.ml: Errors List Map Option Printf Result Schema Store Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/ordered_index.mli: Errors Store Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/query.ml: Errors Eval Float Inheritance List Result Store Value

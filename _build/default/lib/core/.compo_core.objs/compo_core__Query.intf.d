@@ -1,0 +1,1 @@
+lib/core/query.mli: Errors Eval Expr Store Surrogate Value

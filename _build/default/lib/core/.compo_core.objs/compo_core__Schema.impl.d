@@ -1,0 +1,1 @@
+lib/core/schema.ml: Domain Errors Expr Hashtbl List Printf Result String

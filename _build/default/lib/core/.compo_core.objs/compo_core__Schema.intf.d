@@ -1,0 +1,1 @@
+lib/core/schema.mli: Domain Errors Expr

@@ -1,0 +1,1 @@
+lib/core/store.ml: Errors Hashtbl List Map Option Printf Result Schema String Surrogate Value

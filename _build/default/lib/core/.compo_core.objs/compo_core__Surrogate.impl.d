@@ -1,0 +1,1 @@
+lib/core/surrogate.ml: Format Hashtbl Int Map Set

@@ -1,0 +1,1 @@
+lib/core/triggers.ml: Database Errors Eval Expr Inheritance List Logs Printf Result Store String Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/triggers.mli: Database Errors Expr Surrogate Value

@@ -1,0 +1,1 @@
+lib/core/value.ml: Array Bool Domain Errors Float Format Hashtbl Int List Printf String Surrogate

@@ -1,0 +1,124 @@
+let truncated () = Error (Errors.Io_error "truncated input")
+
+let bad_tag what tag =
+  Error (Errors.Io_error (Printf.sprintf "bad %s tag 0x%02x" what tag))
+
+let ( let* ) = Result.bind
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 4096
+  let byte b i = Buffer.add_char b (Char.chr (i land 0xff))
+
+  let int b i =
+    let bytes = Bytes.create 8 in
+    Bytes.set_int64_le bytes 0 (Int64.of_int i);
+    Buffer.add_bytes b bytes
+
+  let bool b v = byte b (if v then 1 else 0)
+
+  let float b f =
+    let bytes = Bytes.create 8 in
+    Bytes.set_int64_le bytes 0 (Int64.bits_of_float f);
+    Buffer.add_bytes b bytes
+
+  let string b s =
+    int b (String.length s);
+    Buffer.add_string b s
+
+  let list b enc_elt xs =
+    int b (List.length xs);
+    List.iter enc_elt xs
+
+  let option b enc_elt = function
+    | None -> byte b 0
+    | Some x ->
+        byte b 1;
+        enc_elt x
+
+  let contents = Buffer.contents
+end
+
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string src = { src; pos = 0 }
+  let at_end d = d.pos >= String.length d.src
+
+  let take d n =
+    if d.pos + n > String.length d.src then truncated ()
+    else begin
+      let s = String.sub d.src d.pos n in
+      d.pos <- d.pos + n;
+      Ok s
+    end
+
+  let byte d =
+    let* s = take d 1 in
+    Ok (Char.code s.[0])
+
+  let int d =
+    let* s = take d 8 in
+    Ok (Int64.to_int (String.get_int64_le s 0))
+
+  let bool d =
+    let* b = byte d in
+    Ok (b <> 0)
+
+  let float d =
+    let* s = take d 8 in
+    Ok (Int64.float_of_bits (String.get_int64_le s 0))
+
+  let string d =
+    let* n = int d in
+    if n < 0 || n > String.length d.src - d.pos then truncated () else take d n
+
+  let list d dec_elt =
+    let* n = int d in
+    if n < 0 then truncated ()
+    else
+      let rec go acc i =
+        if i = 0 then Ok (List.rev acc)
+        else
+          let* x = dec_elt () in
+          go (x :: acc) (i - 1)
+      in
+      go [] n
+
+  let option d dec_elt =
+    let* tag = byte d in
+    match tag with
+    | 0 -> Ok None
+    | 1 ->
+        let* x = dec_elt () in
+        Ok (Some x)
+    | t -> bad_tag "option" t
+end
+
+(* ------------------------------------------------------------------ *)
+(* CRC-32 (IEEE)                                                       *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref (Int32.of_int n) in
+         for _ = 0 to 7 do
+           if Int32.logand !c 1l <> 0l then
+             c := Int32.logxor 0xEDB88320l (Int32.shift_right_logical !c 1)
+           else c := Int32.shift_right_logical !c 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFFl in
+  String.iter
+    (fun ch ->
+      let idx =
+        Int32.to_int (Int32.logand (Int32.logxor !crc (Int32.of_int (Char.code ch))) 0xFFl)
+      in
+      crc := Int32.logxor table.(idx) (Int32.shift_right_logical !crc 8))
+    s;
+  Int32.logxor !crc 0xFFFFFFFFl
+

@@ -1,0 +1,37 @@
+(** Generic binary encoding primitives (length-prefixed, little-endian),
+    shared by the persistence codec ({!Compo_storage.Codec}) and the
+    version-registry serializer ({!Compo_versions.Versioned}). *)
+
+(** Append-only encoder. *)
+module Enc : sig
+  type t
+
+  val create : unit -> t
+  val byte : t -> int -> unit
+  val int : t -> int -> unit
+  val bool : t -> bool -> unit
+  val float : t -> float -> unit
+  val string : t -> string -> unit
+  val list : t -> ('a -> unit) -> 'a list -> unit
+  val option : t -> ('a -> unit) -> 'a option -> unit
+  val contents : t -> string
+end
+
+(** Cursor-based decoder; malformed input yields [Io_error], never an
+    exception. *)
+module Dec : sig
+  type t
+
+  val of_string : string -> t
+  val byte : t -> (int, Errors.t) result
+  val int : t -> (int, Errors.t) result
+  val bool : t -> (bool, Errors.t) result
+  val float : t -> (float, Errors.t) result
+  val string : t -> (string, Errors.t) result
+  val list : t -> (unit -> ('a, Errors.t) result) -> ('a list, Errors.t) result
+  val option : t -> (unit -> ('a, Errors.t) result) -> ('a option, Errors.t) result
+  val at_end : t -> bool
+end
+
+val crc32 : string -> int32
+(** CRC-32 (IEEE polynomial). *)

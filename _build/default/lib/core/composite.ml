@@ -1,0 +1,138 @@
+type node = {
+  n_object : Surrogate.t;
+  n_type : string;
+  n_children : (string * node list) list;
+  n_component : node option;
+}
+
+let ( let* ) = Result.bind
+
+let rec expand_at store depth s =
+  let* e = Store.get store s in
+  let expand_class classes acc =
+    Store.Smap.fold
+      (fun name members acc ->
+        let* acc = acc in
+        let* nodes =
+          List.fold_left
+            (fun acc m ->
+              let* acc = acc in
+              let* n = expand_at store depth m in
+              Ok (n :: acc))
+            (Ok []) members
+        in
+        Ok ((name, List.rev nodes) :: acc))
+      classes acc
+  in
+  (* both subobject classes and subrelationship classes belong to the
+     complex object's structure (section 5 hides bolts and nuts inside a
+     subrelationship, and they must surface in the expansion) *)
+  let* children = expand_class e.Store.subrels (expand_class e.Store.subobjs (Ok [])) in
+  let* component =
+    match e.Store.bound with
+    | Some b when depth <> 0 ->
+        let* n = expand_at store (depth - 1) b.b_transmitter in
+        Ok (Some n)
+    | Some _ | None -> Ok None
+  in
+  Ok
+    {
+      n_object = s;
+      n_type = e.Store.type_name;
+      n_children = List.rev children;
+      n_component = component;
+    }
+
+let expand store ?(max_depth = -1) s = expand_at store max_depth s
+
+let rec node_count n =
+  1
+  + List.fold_left
+      (fun acc (_, ns) -> List.fold_left (fun a n -> a + node_count n) acc ns)
+      0 n.n_children
+  + (match n.n_component with Some c -> node_count c | None -> 0)
+
+let rec components_of store s =
+  let* e = Store.get store s in
+  let member_components members =
+    List.filter_map
+      (fun m ->
+        match Store.get store m with
+        | Ok { Store.bound = Some b; _ } -> Some b.b_transmitter
+        | Ok _ | Error _ -> None)
+      members
+  in
+  let direct =
+    Store.Smap.fold
+      (fun _ members acc -> acc @ member_components members)
+      e.Store.subobjs []
+  in
+  (* components hidden inside subrelationship objects (section 5: "bolds
+     and nuts are hidden in the relationship ScrewingType") *)
+  Store.Smap.fold
+    (fun _ rels acc ->
+      let* acc = acc in
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* nested = components_of store r in
+          Ok (acc @ nested))
+        (Ok acc) rels)
+    e.Store.subrels (Ok direct)
+
+let bill_of_materials store s =
+  let table = Surrogate.Tbl.create 16 in
+  let add c n =
+    let existing = Option.value ~default:0 (Surrogate.Tbl.find_opt table c) in
+    Surrogate.Tbl.replace table c (existing + n)
+  in
+  (* Multiplicity flows down use paths: each use of a component re-traverses
+     it, so a girder used inside a truss used three times is counted three
+     times. *)
+  let rec go s =
+    let* comps = components_of store s in
+    List.fold_left
+      (fun acc c ->
+        let* () = acc in
+        add c 1;
+        go c)
+      (Ok ()) comps
+  in
+  let* () = go s in
+  let entries = Surrogate.Tbl.fold (fun c n acc -> (c, n) :: acc) table [] in
+  Ok (List.sort (fun (a, _) (b, _) -> Surrogate.compare a b) entries)
+
+let where_used store s =
+  let* inheritors = Inheritance.inheritors_of store s in
+  let owners =
+    List.filter_map
+      (fun i ->
+        match Store.get store i with
+        | Ok { Store.owner = Some o; _ } -> Some o
+        | Ok _ | Error _ -> None)
+      inheritors
+  in
+  Ok (List.sort_uniq Surrogate.compare owners)
+
+let implementations_of store s =
+  let* inheritors = Inheritance.inheritors_of store s in
+  Ok
+    (List.filter
+       (fun i ->
+         match Store.get store i with
+         | Ok { Store.owner = None; _ } -> true
+         | Ok _ | Error _ -> false)
+       inheritors)
+
+let rec pp_node ppf n =
+  Format.fprintf ppf "@[<v 2>%a : %s" Surrogate.pp n.n_object n.n_type;
+  (match n.n_component with
+  | Some c -> Format.fprintf ppf "@,component -> %a" pp_node c
+  | None -> ());
+  List.iter
+    (fun (name, children) ->
+      List.iter
+        (fun c -> Format.fprintf ppf "@,%s: %a" name pp_node c)
+        children)
+    n.n_children;
+  Format.fprintf ppf "@]"

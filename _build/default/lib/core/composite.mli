@@ -1,0 +1,50 @@
+(** Composite-object operations: configurations, expansion, bill of
+    materials, where-used (paper sections 2 and 6).
+
+    "Which components does a composite object have, which components do its
+    components have, etc.?" (section 2, configurations) and "sometimes it
+    is necessary to see a composite object with some or all of its
+    components materialized ('expansion' of a composite object)"
+    (section 6).
+
+    A {e component use} is a subobject bound (as inheritor) to the
+    component object (its transmitter).  Expansion follows the complex
+    object's own structure and, at each bound subobject, recurses into the
+    component. *)
+
+type node = {
+  n_object : Surrogate.t;
+  n_type : string;
+  n_children : (string * node list) list;
+      (** own subclass name -> member expansions *)
+  n_component : node option;
+      (** expansion of the transmitter when the object is a bound
+          inheritor; [None] for unbound or non-inheritor objects *)
+}
+
+val expand : Store.t -> ?max_depth:int -> Surrogate.t -> (node, Errors.t) result
+(** [max_depth] bounds recursion into components (the paper's "some or all
+    of its components materialized"); own structure is always expanded.
+    Default: unbounded (bindings are acyclic, so expansion terminates). *)
+
+val node_count : node -> int
+(** Number of nodes in the expansion, the composite's "size". *)
+
+val components_of : Store.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Direct components: transmitters of the object's bound subobjects. *)
+
+val bill_of_materials :
+  Store.t -> Surrogate.t -> ((Surrogate.t * int) list, Errors.t) result
+(** Component objects with their total use counts, multiplied along
+    use paths (a girder used twice in a truss used three times counts six
+    times).  Sorted by surrogate. *)
+
+val where_used : Store.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Composite objects that use the given object as a component, i.e. the
+    owners of its inheritor subobjects. *)
+
+val implementations_of : Store.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Top-level inheritors — the implementations of an interface (as opposed
+    to component uses, which are subobjects). *)
+
+val pp_node : Format.formatter -> node -> unit

@@ -1,0 +1,127 @@
+type violation = {
+  v_entity : Surrogate.t;
+  v_constraint : string;
+  v_detail : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a: constraint %s violated%s" Surrogate.pp v.v_entity
+    v.v_constraint
+    (if v.v_detail = "" then "" else " (" ^ v.v_detail ^ ")")
+
+let ( let* ) = Result.bind
+
+let constraints_of_type schema ty =
+  match Schema.find schema ty with
+  | Some (Schema.Obj_type o) -> o.ot_constraints
+  | Some (Schema.Rel_type r) -> r.rt_constraints
+  | Some (Schema.Inher_type i) -> i.it_constraints
+  | None -> []
+
+let eval_constraint store s (c : Schema.named_constraint) =
+  let env = Eval.env ~self:s store in
+  match Eval.eval_bool env c.c_expr with
+  | Ok true -> None
+  | Ok false ->
+      Some
+        {
+          v_entity = s;
+          v_constraint = c.c_name;
+          v_detail = Expr.to_string c.c_expr;
+        }
+  | Error e ->
+      Some
+        {
+          v_entity = s;
+          v_constraint = c.c_name;
+          v_detail = "evaluation failed: " ^ Errors.to_string e;
+        }
+
+(* Locate the subrelationship class of [parent] containing [rel]. *)
+let subrel_class_of store parent rel =
+  match Store.get store parent with
+  | Error _ -> None
+  | Ok pe ->
+      Store.Smap.fold
+        (fun name members acc ->
+          match acc with
+          | Some _ -> acc
+          | None ->
+              if List.exists (Surrogate.equal rel) members then Some name
+              else None)
+        pe.Store.subrels None
+
+let subrel_def_of schema parent_ty name =
+  match Schema.find schema parent_ty with
+  | Some (Schema.Obj_type o) ->
+      List.find_opt
+        (fun (sr : Schema.subrel_def) -> String.equal sr.sr_name name)
+        o.ot_subrels
+  | Some (Schema.Rel_type _) | Some (Schema.Inher_type _) | None -> None
+
+let check_subrel_where store ~parent ~rel =
+  let schema = Store.schema store in
+  let* pe = Store.get store parent in
+  match subrel_class_of store parent rel with
+  | None ->
+      Error
+        (Errors.Unknown_class
+           (Printf.sprintf "%s is not a subrelationship of %s"
+              (Surrogate.to_string rel) (Surrogate.to_string parent)))
+  | Some sub_name -> (
+      match subrel_def_of schema pe.Store.type_name sub_name with
+      | None -> Ok []
+      | Some sr -> (
+          match sr.sr_where with
+          | None -> Ok []
+          | Some pred -> (
+              let binder = Option.value ~default:sr.sr_name sr.sr_binder in
+              let env =
+                Eval.with_var (Eval.env ~self:parent store) binder (Eval.E rel)
+              in
+              match Eval.eval_bool env pred with
+              | Ok true -> Ok []
+              | Ok false ->
+                  Ok
+                    [
+                      {
+                        v_entity = rel;
+                        v_constraint = sub_name ^ ".where";
+                        v_detail = Expr.to_string pred;
+                      };
+                    ]
+              | Error e ->
+                  Ok
+                    [
+                      {
+                        v_entity = rel;
+                        v_constraint = sub_name ^ ".where";
+                        v_detail = "evaluation failed: " ^ Errors.to_string e;
+                      };
+                    ])))
+
+let check_entity store s =
+  let schema = Store.schema store in
+  let* e = Store.get store s in
+  let own =
+    List.filter_map
+      (eval_constraint store s)
+      (constraints_of_type schema e.Store.type_name)
+  in
+  let* where_violations =
+    match (e.Store.kind, e.Store.owner) with
+    | Store.Relationship_entity, Some parent -> (
+        match check_subrel_where store ~parent ~rel:s with
+        | Ok vs -> Ok vs
+        | Error _ -> Ok [] (* not a subrel member: nothing to check *))
+    | _ -> Ok []
+  in
+  Ok (own @ where_violations)
+
+let check_all store =
+  Store.fold store
+    (fun acc e ->
+      match check_entity store e.Store.id with
+      | Ok vs -> vs @ acc
+      | Error _ -> acc)
+    []

@@ -1,0 +1,36 @@
+(** Integrity constraint checking.
+
+    "Integrity constraints may be defined with the definition of an object
+    type.  They are local to the object type, i.e. they define conditions
+    the attributes of the objects have to obey" (section 3).  Relationship
+    types and inheritance relationship types carry constraints the same way
+    (section 4.1), and subrelationship classes restrict their participants
+    with a [where] clause (section 3's [Wires] example).
+
+    Constraints are checked against the {e effective} data of an object, so
+    a constraint over inherited attributes (e.g. [GirderInterface]'s
+    [Length < 100*Height*Width] re-stated on a composite) sees component
+    values through the inheritance bindings. *)
+
+type violation = {
+  v_entity : Surrogate.t;
+  v_constraint : string;  (** constraint name, or ["where"] for subrels *)
+  v_detail : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check_entity : Store.t -> Surrogate.t -> (violation list, Errors.t) result
+(** Evaluate the constraints of the entity's own type.  For a relationship
+    that is a member of a subrelationship class, the owning type's [where]
+    clause is checked as well.  Evaluation errors (e.g. a path through an
+    unbound inheritor) are reported as violations rather than failures, so
+    a partially-built design can still be checked. *)
+
+val check_all : Store.t -> violation list
+(** Check every entity in the store. *)
+
+val check_subrel_where :
+  Store.t -> parent:Surrogate.t -> rel:Surrogate.t -> (violation list, Errors.t) result
+(** Check just the [where] clause of the subrelationship class of [parent]
+    that contains [rel]. *)

@@ -1,0 +1,125 @@
+type t =
+  | Integer
+  | Real
+  | Boolean
+  | String
+  | Enum of string list
+  | Record of (string * t) list
+  | List_of of t
+  | Set_of of t
+  | Matrix_of of t
+  | Tuple of t list
+  | Ref of string option
+  | Named of string
+
+let rec equal a b =
+  match (a, b) with
+  | Integer, Integer | Real, Real | Boolean, Boolean | String, String -> true
+  | Enum xs, Enum ys -> List.equal String.equal xs ys
+  | Record xs, Record ys ->
+      List.equal (fun (n, d) (m, e) -> String.equal n m && equal d e) xs ys
+  | List_of d, List_of e | Set_of d, Set_of e | Matrix_of d, Matrix_of e ->
+      equal d e
+  | Tuple xs, Tuple ys -> List.equal equal xs ys
+  | Ref a, Ref b -> Option.equal String.equal a b
+  | Named a, Named b -> String.equal a b
+  | ( ( Integer | Real | Boolean | String | Enum _ | Record _ | List_of _
+      | Set_of _ | Matrix_of _ | Tuple _ | Ref _ | Named _ ),
+      _ ) ->
+      false
+
+let rec pp ppf = function
+  | Integer -> Format.pp_print_string ppf "integer"
+  | Real -> Format.pp_print_string ppf "real"
+  | Boolean -> Format.pp_print_string ppf "boolean"
+  | String -> Format.pp_print_string ppf "string"
+  | Enum cs ->
+      Format.fprintf ppf "(%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           Format.pp_print_string)
+        cs
+  | Record fields ->
+      let pp_field ppf (n, d) = Format.fprintf ppf "%s: %a" n pp d in
+      Format.fprintf ppf "record (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+           pp_field)
+        fields
+  | List_of d -> Format.fprintf ppf "list-of %a" pp d
+  | Set_of d -> Format.fprintf ppf "set-of %a" pp d
+  | Matrix_of d -> Format.fprintf ppf "matrix-of %a" pp d
+  | Tuple ds ->
+      Format.fprintf ppf "tuple (%a)"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp)
+        ds
+  | Ref None -> Format.pp_print_string ppf "object"
+  | Ref (Some ty) -> Format.fprintf ppf "object-of-type %s" ty
+  | Named n -> Format.pp_print_string ppf n
+
+let to_string d = Format.asprintf "%a" pp d
+
+let rec well_formed = function
+  | Integer | Real | Boolean | String | Ref _ | Named _ -> Ok ()
+  | Enum [] -> Error (Errors.Schema_error "enumeration domain with no cases")
+  | Enum cs ->
+      let sorted = List.sort_uniq String.compare cs in
+      if List.length sorted <> List.length cs then
+        Error (Errors.Schema_error "enumeration domain with duplicate cases")
+      else Ok ()
+  | Record [] -> Error (Errors.Schema_error "record domain with no fields")
+  | Record fields ->
+      let names = List.map fst fields in
+      let sorted = List.sort_uniq String.compare names in
+      if List.length sorted <> List.length names then
+        Error (Errors.Schema_error "record domain with duplicate field names")
+      else
+        List.fold_left
+          (fun acc (_, d) ->
+            match acc with Ok () -> well_formed d | Error _ as e -> e)
+          (Ok ()) fields
+  | List_of d | Set_of d | Matrix_of d -> well_formed d
+  | Tuple [] -> Error (Errors.Schema_error "tuple domain with no components")
+  | Tuple ds ->
+      List.fold_left
+        (fun acc d ->
+          match acc with Ok () -> well_formed d | Error _ as e -> e)
+        (Ok ()) ds
+
+let expand ~lookup domain =
+  (* [seen] tracks named domains on the current expansion path so that a
+     recursive named domain is reported rather than looping forever. *)
+  let rec go seen = function
+    | (Integer | Real | Boolean | String | Enum _ | Ref _) as d -> Ok d
+    | Record fields ->
+        let rec fields_go acc = function
+          | [] -> Ok (Record (List.rev acc))
+          | (n, d) :: rest -> (
+              match go seen d with
+              | Ok d' -> fields_go ((n, d') :: acc) rest
+              | Error _ as e -> e)
+        in
+        fields_go [] fields
+    | List_of d -> Result.map (fun d' -> List_of d') (go seen d)
+    | Set_of d -> Result.map (fun d' -> Set_of d') (go seen d)
+    | Matrix_of d -> Result.map (fun d' -> Matrix_of d') (go seen d)
+    | Tuple ds ->
+        let rec tuple_go acc = function
+          | [] -> Ok (Tuple (List.rev acc))
+          | d :: rest -> (
+              match go seen d with
+              | Ok d' -> tuple_go (d' :: acc) rest
+              | Error _ as e -> e)
+        in
+        tuple_go [] ds
+    | Named n -> (
+        if List.mem n seen then
+          Error (Errors.Schema_error ("recursive named domain: " ^ n))
+        else
+          match lookup n with
+          | None -> Error (Errors.Unknown_type ("domain " ^ n))
+          | Some d -> go (n :: seen) d)
+  in
+  go [] domain

@@ -1,0 +1,37 @@
+(** Attribute domains (paper section 3).
+
+    "Attribute values belong to a particular domain.  Domains may be simple
+    (integer, string, etc.) or structured (using constructors as record,
+    list-of, set-of, etc.)."  The paper's examples additionally use
+    enumeration domains (e.g. [domain I/O = (IN, OUT)]) and a matrix
+    constructor ([Function: matrix-of boolean]), so both are first-class. *)
+
+type t =
+  | Integer
+  | Real
+  | Boolean
+  | String
+  | Enum of string list  (** e.g. [domain I/O = (IN, OUT)] *)
+  | Record of (string * t) list  (** e.g. [domain Point = (X, Y: integer)] *)
+  | List_of of t
+  | Set_of of t
+  | Matrix_of of t  (** e.g. [Function: matrix-of boolean] *)
+  | Tuple of t list
+  | Ref of string option
+      (** Reference to an object; [Ref (Some ty)] restricts the target's
+          object type, [Ref None] admits any object.  Used for relationship
+          participants ([object-of-type T] vs. plain [object]). *)
+  | Named of string
+      (** Use of a named domain; resolved against a registry by [expand]. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val well_formed : t -> (unit, Errors.t) result
+(** Rejects empty enums, duplicate record fields, and empty tuples. *)
+
+val expand : lookup:(string -> t option) -> t -> (t, Errors.t) result
+(** [expand ~lookup d] replaces every [Named n] by [lookup n], recursively.
+    Named domains may not be recursive; cycles are reported as
+    [Schema_error]. *)

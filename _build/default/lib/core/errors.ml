@@ -1,0 +1,50 @@
+type t =
+  | Type_error of string
+  | Unknown_type of string
+  | Unknown_attribute of string
+  | Unknown_class of string
+  | Unknown_object of string
+  | Duplicate_definition of string
+  | Inherited_readonly of string
+  | Constraint_violation of string
+  | Binding_cycle of string
+  | Invalid_binding of string
+  | Schema_error of string
+  | Eval_error of string
+  | Delete_restricted of string
+  | Parse_error of { line : int; col : int; message : string }
+  | Lock_error of string
+  | Access_denied of string
+  | Io_error of string
+
+exception Compo_error of t
+
+let to_string = function
+  | Type_error m -> "type error: " ^ m
+  | Unknown_type m -> "unknown type: " ^ m
+  | Unknown_attribute m -> "unknown attribute: " ^ m
+  | Unknown_class m -> "unknown class: " ^ m
+  | Unknown_object m -> "unknown object: " ^ m
+  | Duplicate_definition m -> "duplicate definition: " ^ m
+  | Inherited_readonly m -> "inherited data is read-only in the inheritor: " ^ m
+  | Constraint_violation m -> "constraint violation: " ^ m
+  | Binding_cycle m -> "inheritance binding would create a cycle: " ^ m
+  | Invalid_binding m -> "invalid inheritance binding: " ^ m
+  | Schema_error m -> "schema error: " ^ m
+  | Eval_error m -> "evaluation error: " ^ m
+  | Delete_restricted m -> "delete restricted: " ^ m
+  | Parse_error { line; col; message } ->
+      Printf.sprintf "parse error at line %d, column %d: %s" line col message
+  | Lock_error m -> "lock error: " ^ m
+  | Access_denied m -> "access denied: " ^ m
+  | Io_error m -> "i/o error: " ^ m
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+let or_fail = function Ok v -> v | Error e -> raise (Compo_error e)
+let fail e = Error e
+
+let () =
+  Printexc.register_printer (function
+    | Compo_error e -> Some ("Compo_error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,44 @@
+(** Typed errors shared by all [compo_core] modules.
+
+    Core operations return [('a, Errors.t) result]; the [or_fail] helper
+    converts to the [Compo_error] exception at application boundaries. *)
+
+type t =
+  | Type_error of string
+      (** A value does not conform to the domain it was checked against. *)
+  | Unknown_type of string  (** Reference to an undefined type name. *)
+  | Unknown_attribute of string
+      (** Reference to an attribute absent from the (effective) type. *)
+  | Unknown_class of string  (** Reference to an undefined class name. *)
+  | Unknown_object of string  (** Dangling surrogate. *)
+  | Duplicate_definition of string
+      (** A type, class, or attribute name was defined twice. *)
+  | Inherited_readonly of string
+      (** Attempt to update inherited data in an inheritor (paper section 2:
+          "The inherited data must not be updated in the inheritor"). *)
+  | Constraint_violation of string
+      (** A named integrity constraint evaluated to false. *)
+  | Binding_cycle of string
+      (** Binding would make an object transitively inherit from itself. *)
+  | Invalid_binding of string
+      (** Transmitter/inheritor type mismatch for an inheritance relation. *)
+  | Schema_error of string  (** Ill-formed type definition. *)
+  | Eval_error of string  (** Expression evaluation failure. *)
+  | Delete_restricted of string
+      (** Deleting a transmitter that still has bound inheritors. *)
+  | Parse_error of { line : int; col : int; message : string }
+      (** DDL syntax error with source position. *)
+  | Lock_error of string  (** Lock manager refusal (conflict, deadlock). *)
+  | Access_denied of string  (** Access-control manager refusal. *)
+  | Io_error of string  (** Persistence-layer failure. *)
+
+exception Compo_error of t
+
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+
+val or_fail : ('a, t) result -> 'a
+(** [or_fail r] returns the payload of [Ok] or raises [Compo_error]. *)
+
+val fail : t -> ('a, t) result
+(** [fail e] is [Error e]; reads better in long match arms. *)

@@ -1,0 +1,92 @@
+type t = {
+  ix_store : Store.t;
+  ix_cls : string;
+  ix_attr : string;
+  (* value -> members, newest first; a member may appear under at most one
+     value, tracked by [current] *)
+  buckets : (Value.t, Surrogate.t list) Hashtbl.t;
+  current : Value.t Surrogate.Tbl.t;
+  mutable hook : Store.hook_id option;
+  mutable ix_hits : int;
+}
+
+let ( let* ) = Result.bind
+let cls t = t.ix_cls
+let attr t = t.ix_attr
+
+let remove_entry t s =
+  match Surrogate.Tbl.find_opt t.current s with
+  | None -> ()
+  | Some v ->
+      Surrogate.Tbl.remove t.current s;
+      let remaining =
+        List.filter
+          (fun m -> not (Surrogate.equal m s))
+          (Option.value ~default:[] (Hashtbl.find_opt t.buckets v))
+      in
+      if remaining = [] then Hashtbl.remove t.buckets v
+      else Hashtbl.replace t.buckets v remaining
+
+let add_entry t s v =
+  Surrogate.Tbl.replace t.current s v;
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.buckets v) in
+  Hashtbl.replace t.buckets v (s :: existing)
+
+(* Re-derive the entry for one surrogate from the store's current state:
+   present in the class -> indexed under its local attribute value,
+   otherwise absent. *)
+let refresh t s =
+  remove_entry t s;
+  match Store.get t.ix_store s with
+  | Error _ -> () (* deleted *)
+  | Ok e ->
+      if List.mem t.ix_cls e.Store.classes_of then
+        let v =
+          Option.value ~default:Value.Null
+            (Store.Smap.find_opt t.ix_attr e.Store.attrs)
+        in
+        add_entry t s v
+
+let create store ~cls ~attr =
+  let* member_type = Store.class_member_type store cls in
+  let* () =
+    match Schema.find_effective_attr (Store.schema store) member_type attr with
+    | Some (_, Schema.Own) -> Ok ()
+    | Some (_, Schema.Via rel) ->
+        Error
+          (Errors.Schema_error
+             (Printf.sprintf
+                "cannot index %s.%s: inherited through %s (its value lives \
+                 on the transmitter)"
+                member_type attr rel))
+    | None -> Error (Errors.Unknown_attribute (member_type ^ "." ^ attr))
+  in
+  let t =
+    {
+      ix_store = store;
+      ix_cls = cls;
+      ix_attr = attr;
+      buckets = Hashtbl.create 256;
+      current = Surrogate.Tbl.create 256;
+      hook = None;
+      ix_hits = 0;
+    }
+  in
+  let* members = Store.class_members store cls in
+  List.iter (refresh t) members;
+  t.hook <- Some (Store.add_write_hook store (refresh t));
+  Ok t
+
+let lookup t v =
+  t.ix_hits <- t.ix_hits + 1;
+  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.buckets v))
+
+let size t = Surrogate.Tbl.length t.current
+let hits t = t.ix_hits
+
+let drop t =
+  match t.hook with
+  | Some id ->
+      Store.remove_hook t.ix_store id;
+      t.hook <- None
+  | None -> ()

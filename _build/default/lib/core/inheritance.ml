@@ -1,0 +1,257 @@
+type binding = Store.binding = {
+  b_link : Surrogate.t;
+  b_via : string;
+  b_transmitter : Surrogate.t;
+}
+
+let ( let* ) = Result.bind
+
+let binding_of store s = Result.map (fun e -> e.Store.bound) (Store.get store s)
+
+let transmitter_of store s =
+  Result.map (Option.map (fun b -> b.b_transmitter)) (binding_of store s)
+
+let links_of store s =
+  Result.map (fun e -> e.Store.inheritor_links) (Store.get store s)
+
+let link_inheritor store link =
+  match Store.participant store link "inheritor" with
+  | Ok (Value.Ref i) -> Some i
+  | Ok _ | Error _ -> None
+
+let inheritors_of store s =
+  let* links = links_of store s in
+  Ok (List.filter_map (link_inheritor store) links)
+
+let transmitter_closure store s =
+  let rec go acc s =
+    match binding_of store s with
+    | Ok (Some b) ->
+        if List.exists (Surrogate.equal b.b_transmitter) acc then List.rev acc
+        else go (b.b_transmitter :: acc) b.b_transmitter
+    | Ok None | Error _ -> List.rev acc
+  in
+  go [] s
+
+let inheritor_closure store s =
+  let rec go acc s =
+    match inheritors_of store s with
+    | Error _ -> acc
+    | Ok direct ->
+        List.fold_left
+          (fun acc i ->
+            if List.exists (Surrogate.equal i) acc then acc
+            else go (i :: acc) i)
+          acc direct
+  in
+  List.rev (go [] s)
+
+(* ------------------------------------------------------------------ *)
+(* Binding                                                             *)
+
+let bind store ~via ~transmitter ~inheritor ?(attrs = []) () =
+  let schema = Store.schema store in
+  let* irel = Schema.find_inher_rel_type schema via in
+  let* ie = Store.get store inheritor in
+  let* _te = Store.get store transmitter in
+  let* () =
+    match Schema.find schema ie.Store.type_name with
+    | Some (Schema.Obj_type { ot_inheritor_in = Some r; _ })
+      when String.equal r via ->
+        Ok ()
+    | Some _ ->
+        Error
+          (Errors.Invalid_binding
+             (Printf.sprintf "type %s is not declared inheritor-in %s"
+                ie.Store.type_name via))
+    | None -> Error (Errors.Unknown_type ie.Store.type_name)
+  in
+  let* () =
+    if Store.is_instance_of store transmitter irel.it_transmitter then Ok ()
+    else
+      Error
+        (Errors.Invalid_binding
+           (Printf.sprintf "transmitter is not an instance of %s"
+              irel.it_transmitter))
+  in
+  let* () =
+    match ie.Store.bound with
+    | Some b ->
+        Error
+          (Errors.Invalid_binding
+             (Printf.sprintf "inheritor already bound to %s (unbind first)"
+                (Surrogate.to_string b.b_transmitter)))
+    | None -> Ok ()
+  in
+  let* () =
+    if
+      Surrogate.equal transmitter inheritor
+      || List.exists (Surrogate.equal inheritor)
+           (transmitter_closure store transmitter)
+    then
+      Error
+        (Errors.Binding_cycle
+           (Printf.sprintf "%s would transitively inherit from itself"
+              (Surrogate.to_string inheritor)))
+    else Ok ()
+  in
+  Store.add_inheritance_link store ~ty:via ~transmitter ~inheritor ~attrs
+
+let unbind store inheritor =
+  let* b = binding_of store inheritor in
+  match b with
+  | None ->
+      Error
+        (Errors.Invalid_binding
+           (Surrogate.to_string inheritor ^ " is not bound to a transmitter"))
+  | Some b -> Store.remove_inheritance_link store b.b_link
+
+(* ------------------------------------------------------------------ *)
+(* Resolution                                                          *)
+
+(* A permeable feature resolves on the transmitter, hop by hop; each hop
+   fires the read hook so the lock manager can S-lock the transmitter
+   ("lock inheritance in the reverse direction of data inheritance"). *)
+let rec attr store s name =
+  let* e = Store.get store s in
+  match Schema.find_effective_attr (Store.schema store) e.Store.type_name name with
+  | None -> Error (Errors.Unknown_attribute (e.Store.type_name ^ "." ^ name))
+  | Some (_, Schema.Own) -> Store.local_attr store s name
+  | Some (_, Schema.Via _) -> (
+      match e.Store.bound with
+      | None ->
+          Store.notify_read store s;
+          Ok Value.Null
+      | Some b ->
+          Store.notify_read store s;
+          attr store b.b_transmitter name)
+
+let rec subclass_members store s name =
+  let* e = Store.get store s in
+  match
+    Schema.find_effective_subclass (Store.schema store) e.Store.type_name name
+  with
+  | None -> Error (Errors.Unknown_class (e.Store.type_name ^ "." ^ name))
+  | Some (_, Schema.Own) -> Store.subclass_members store s name
+  | Some (_, Schema.Via _) -> (
+      match e.Store.bound with
+      | None ->
+          Store.notify_read store s;
+          Ok []
+      | Some b ->
+          Store.notify_read store s;
+          subclass_members store b.b_transmitter name)
+
+(* ------------------------------------------------------------------ *)
+(* Staleness stamping (consistency control, sections 2 / 4.1)          *)
+
+let stamp_link store link note =
+  match Store.get store link with
+  | Error _ -> ()
+  | Ok le ->
+      le.Store.attrs <-
+        Store.Smap.add "_stale" (Value.Bool true)
+          (Store.Smap.add "_note" (Value.Str note) le.Store.attrs)
+
+let stamp_stale store s ~attr ~note =
+  let schema = Store.schema store in
+  let rec go stamped visited s =
+    if Surrogate.Set.mem s visited then (stamped, visited)
+    else
+      let visited = Surrogate.Set.add s visited in
+      match Store.get store s with
+      | Error _ -> (stamped, visited)
+      | Ok e ->
+          List.fold_left
+            (fun (stamped, visited) link ->
+              match Store.get store link with
+              | Error _ -> (stamped, visited)
+              | Ok le ->
+                  let permeable =
+                    match
+                      Schema.find_inher_rel_type schema le.Store.type_name
+                    with
+                    | Ok irel -> List.mem attr irel.it_inheriting
+                    | Error _ -> false
+                  in
+                  if not permeable then (stamped, visited)
+                  else begin
+                    stamp_link store link note;
+                    match link_inheritor store link with
+                    | Some i -> go (link :: stamped) visited i
+                    | None -> (link :: stamped, visited)
+                  end)
+            (stamped, visited) e.Store.inheritor_links
+  in
+  List.rev (fst (go [] Surrogate.Set.empty s))
+
+let set_attr store s name value =
+  let* () = Store.set_attr store s name value in
+  let note = Printf.sprintf "transmitter attribute %s updated" name in
+  let (_ : Surrogate.t list) = stamp_stale store s ~attr:name ~note in
+  Ok ()
+
+let link_flag store link name =
+  let* le = Store.get store link in
+  if le.Store.kind <> Store.Inheritance_link then
+    Error
+      (Errors.Invalid_binding
+         (Surrogate.to_string link ^ " is not an inheritance link"))
+  else Ok (Store.Smap.find_opt name le.Store.attrs)
+
+let is_stale store link =
+  let* v = link_flag store link "_stale" in
+  Ok (match v with Some (Value.Bool b) -> b | Some _ | None -> false)
+
+let stale_note store link =
+  let* v = link_flag store link "_note" in
+  Ok (match v with Some (Value.Str s) -> s | Some _ | None -> "")
+
+let acknowledge store link =
+  let* le = Store.get store link in
+  if le.Store.kind <> Store.Inheritance_link then
+    Error
+      (Errors.Invalid_binding
+         (Surrogate.to_string link ^ " is not an inheritance link"))
+  else begin
+    le.Store.attrs <-
+      Store.Smap.add "_stale" (Value.Bool false) le.Store.attrs;
+    Ok ()
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Copy-in baseline (section 2, strategy 1)                            *)
+
+type snapshot = {
+  snap_of : Surrogate.t;
+  snap_attrs : (string * Value.t) list;
+  snap_subobjs : (string * Surrogate.t list) list;
+}
+
+let effective_attr_names store s =
+  let* e = Store.get store s in
+  let* attrs = Schema.effective_attrs (Store.schema store) e.Store.type_name in
+  Ok (List.map (fun (a, _) -> a.Schema.attr_name) attrs)
+
+let materialize store s =
+  let* e = Store.get store s in
+  let schema = Store.schema store in
+  let* attr_defs = Schema.effective_attrs schema e.Store.type_name in
+  let* snap_attrs =
+    List.fold_left
+      (fun acc (a, _) ->
+        let* acc = acc in
+        let* v = attr store s a.Schema.attr_name in
+        Ok ((a.Schema.attr_name, v) :: acc))
+      (Ok []) attr_defs
+  in
+  let* sub_defs = Schema.effective_subclasses schema e.Store.type_name in
+  let* snap_subobjs =
+    List.fold_left
+      (fun acc (sc, _) ->
+        let* acc = acc in
+        let* ms = subclass_members store s sc.Schema.sc_name in
+        Ok ((sc.Schema.sc_name, ms) :: acc))
+      (Ok []) sub_defs
+  in
+  Ok { snap_of = s; snap_attrs = List.rev snap_attrs; snap_subobjs = List.rev snap_subobjs }

@@ -1,0 +1,102 @@
+(** Value inheritance — the paper's central mechanism (sections 2 and 4).
+
+    "Via the inheritance relationship, attributes of an object (the
+    transmitter) and their values are inherited by another object (the
+    inheritor).  The inherited data must not be updated in the inheritor,
+    whereas updates of the transmitter data involve all inheritors.  The
+    inheritance relationship is selective: only the explicitly specified
+    parts of data are transfered from the transmitter to the inheritor."
+
+    Inherited data is resolved {e through} the binding at read time (the
+    "view" strategy of section 2), so a transmitter update is instantly
+    visible in every inheritor; {!materialize} implements the paper's
+    copy-in alternative purely as a measurable baseline. *)
+
+type binding = Store.binding = {
+  b_link : Surrogate.t;
+  b_via : string;
+  b_transmitter : Surrogate.t;
+}
+
+val bind :
+  Store.t ->
+  via:string ->
+  transmitter:Surrogate.t ->
+  inheritor:Surrogate.t ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  (Surrogate.t, Errors.t) result
+(** Establish the object-level inheritance relationship; returns the
+    surrogate of the relationship object.  Checks:
+    - [via] is an inheritance relationship type [R];
+    - the inheritor's object type is declared [inheritor-in R]
+      (section 4.1's explicit opt-in);
+    - the transmitter is an instance of [R]'s transmitter type (possibly
+      along its own transmitter chain);
+    - the inheritor is not already bound (rebinding requires {!unbind});
+    - no cycle: the transmitter must not transitively inherit from the
+      inheritor ([Binding_cycle]). *)
+
+val unbind : Store.t -> Surrogate.t -> (unit, Errors.t) result
+(** Remove the binding of the given {e inheritor}.  The object keeps its
+    type-level structure but loses access to the transmitter's values
+    (reads of inherited attributes yield [Null] afterwards). *)
+
+val binding_of : Store.t -> Surrogate.t -> (binding option, Errors.t) result
+
+val transmitter_of : Store.t -> Surrogate.t -> (Surrogate.t option, Errors.t) result
+val inheritors_of : Store.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Direct inheritor {e objects} (not the link objects). *)
+
+val links_of : Store.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Inheritance-relationship objects in which the entity is transmitter. *)
+
+val transmitter_closure : Store.t -> Surrogate.t -> Surrogate.t list
+(** Transmitters reachable by following bindings upward, nearest first. *)
+
+val inheritor_closure : Store.t -> Surrogate.t -> Surrogate.t list
+(** All objects that (transitively) inherit from the entity. *)
+
+val attr : Store.t -> Surrogate.t -> string -> (Value.t, Errors.t) result
+(** Inheritance-aware attribute read.  Locally-owned attributes read
+    locally; permeable attributes resolve through the binding chain,
+    notifying the read hook at every hop (the transaction layer turns those
+    notifications into the paper's reverse "lock inheritance").  Unbound
+    inheritors read permeable attributes as [Null]. *)
+
+val subclass_members :
+  Store.t -> Surrogate.t -> string -> (Surrogate.t list, Errors.t) result
+(** Inheritance-aware subclass membership: permeable subclasses are views
+    of the transmitter's members. *)
+
+val set_attr : Store.t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+(** Write a locally-owned attribute and stamp every (transitively)
+    dependent inheritance link stale — the consistency-control use of
+    relationship attributes described in sections 2 and 4.1.  Writing an
+    inherited attribute fails with [Inherited_readonly]. *)
+
+val stamp_stale :
+  Store.t -> Surrogate.t -> attr:string -> note:string -> Surrogate.t list
+(** Mark all inheritance links through which [attr] is (transitively)
+    permeable as needing adaptation; returns the stamped link objects in
+    propagation order (used by {!Triggers} to run adaptation rules). *)
+
+val is_stale : Store.t -> Surrogate.t -> (bool, Errors.t) result
+(** Staleness flag of an inheritance-relationship object. *)
+
+val stale_note : Store.t -> Surrogate.t -> (string, Errors.t) result
+val acknowledge : Store.t -> Surrogate.t -> (unit, Errors.t) result
+(** Clear the staleness flag after manual adaptation (the paper: "in most
+    cases this adaptation has to be done manually by a user"). *)
+
+(** Materialized copy of an object's effective data — the section 2
+    copy-in strategy, provided as a baseline for benchmark E1. *)
+type snapshot = {
+  snap_of : Surrogate.t;
+  snap_attrs : (string * Value.t) list;  (** all effective attributes *)
+  snap_subobjs : (string * Surrogate.t list) list;
+}
+
+val materialize : Store.t -> Surrogate.t -> (snapshot, Errors.t) result
+
+val effective_attr_names : Store.t -> Surrogate.t -> (string list, Errors.t) result

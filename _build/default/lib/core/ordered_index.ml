@@ -1,0 +1,123 @@
+module Vmap = Map.Make (Value)
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+type t = {
+  ox_store : Store.t;
+  ox_cls : string;
+  ox_attr : string;
+  mutable tree : Surrogate.t list Vmap.t;  (* value -> members, newest first *)
+  current : Value.t Surrogate.Tbl.t;
+  mutable hook : Store.hook_id option;
+  mutable ox_hits : int;
+}
+
+let ( let* ) = Result.bind
+let cls t = t.ox_cls
+let attr t = t.ox_attr
+
+let remove_entry t s =
+  match Surrogate.Tbl.find_opt t.current s with
+  | None -> ()
+  | Some v ->
+      Surrogate.Tbl.remove t.current s;
+      t.tree <-
+        Vmap.update v
+          (function
+            | None -> None
+            | Some members -> (
+                match
+                  List.filter (fun m -> not (Surrogate.equal m s)) members
+                with
+                | [] -> None
+                | remaining -> Some remaining))
+          t.tree
+
+let add_entry t s v =
+  Surrogate.Tbl.replace t.current s v;
+  t.tree <-
+    Vmap.update v
+      (function None -> Some [ s ] | Some members -> Some (s :: members))
+      t.tree
+
+let refresh t s =
+  remove_entry t s;
+  match Store.get t.ox_store s with
+  | Error _ -> ()
+  | Ok e ->
+      if List.mem t.ox_cls e.Store.classes_of then
+        let v =
+          Option.value ~default:Value.Null
+            (Store.Smap.find_opt t.ox_attr e.Store.attrs)
+        in
+        add_entry t s v
+
+let create store ~cls ~attr =
+  let* member_type = Store.class_member_type store cls in
+  let* () =
+    match Schema.find_effective_attr (Store.schema store) member_type attr with
+    | Some (_, Schema.Own) -> Ok ()
+    | Some (_, Schema.Via rel) ->
+        Error
+          (Errors.Schema_error
+             (Printf.sprintf "cannot index %s.%s: inherited through %s"
+                member_type attr rel))
+    | None -> Error (Errors.Unknown_attribute (member_type ^ "." ^ attr))
+  in
+  let t =
+    {
+      ox_store = store;
+      ox_cls = cls;
+      ox_attr = attr;
+      tree = Vmap.empty;
+      current = Surrogate.Tbl.create 256;
+      hook = None;
+      ox_hits = 0;
+    }
+  in
+  let* members = Store.class_members store cls in
+  List.iter (refresh t) members;
+  t.hook <- Some (Store.add_write_hook store (refresh t));
+  Ok t
+
+let range t ~lo ~hi =
+  t.ox_hits <- t.ox_hits + 1;
+  (* clip the tree to the bounds (logarithmic), then fold ascending *)
+  let clipped =
+    let after_lo =
+      match lo with
+      | Unbounded -> t.tree
+      | Inclusive b ->
+          let _, eq, above = Vmap.split b t.tree in
+          (match eq with Some m -> Vmap.add b m above | None -> above)
+      | Exclusive b ->
+          let _, _, above = Vmap.split b t.tree in
+          above
+    in
+    match hi with
+    | Unbounded -> after_lo
+    | Inclusive b ->
+        let below, eq, _ = Vmap.split b after_lo in
+        (match eq with Some m -> Vmap.add b m below | None -> below)
+    | Exclusive b ->
+        let below, _, _ = Vmap.split b after_lo in
+        below
+  in
+  let buckets =
+    Vmap.fold (fun _ members acc -> List.rev members :: acc) clipped []
+  in
+  List.concat (List.rev buckets)
+
+let lookup t v =
+  t.ox_hits <- t.ox_hits + 1;
+  List.rev (Option.value ~default:[] (Vmap.find_opt v t.tree))
+
+let size t = Surrogate.Tbl.length t.current
+let hits t = t.ox_hits
+
+let drop t =
+  match t.hook with
+  | Some id ->
+      Store.remove_hook t.ox_store id;
+      t.hook <- None
+  | None -> ()

@@ -1,0 +1,26 @@
+(** Ordered attribute indexes over top-level classes.
+
+    The ordered counterpart of {!Index}: members are kept in a balanced
+    map over {!Value.compare}, so range predicates ([<], [<=], [>], [>=])
+    and equality are answered without scanning the extent.  Maintenance
+    follows the same write-hook protocol as {!Index}, with the same
+    restriction to locally-owned attributes. *)
+
+type t
+
+type bound = Unbounded | Inclusive of Value.t | Exclusive of Value.t
+
+val create : Store.t -> cls:string -> attr:string -> (t, Errors.t) result
+val cls : t -> string
+val attr : t -> string
+
+val range : t -> lo:bound -> hi:bound -> Surrogate.t list
+(** Members whose attribute lies within the bounds, in ascending attribute
+    order (ties in insertion order).  [Null] values sort lowest (rank
+    order of {!Value.compare}), so uninitialised attributes are excluded
+    by any lower bound above [Null]. *)
+
+val lookup : t -> Value.t -> Surrogate.t list
+val size : t -> int
+val hits : t -> int
+val drop : t -> unit

@@ -1,0 +1,96 @@
+let ( let* ) = Result.bind
+
+let matching store ~self expr =
+  match Eval.eval_bool (Eval.env ~self store) expr with
+  | Ok b -> b
+  | Error _ -> false
+
+let filter_candidates store where candidates =
+  match where with
+  | None -> candidates
+  | Some pred -> List.filter (fun s -> matching store ~self:s pred) candidates
+
+let select store ~cls ?where () =
+  let* members = Store.class_members store cls in
+  Ok (filter_candidates store where members)
+
+let select_subobjects store ~parent ~subclass ?where () =
+  let* members = Inheritance.subclass_members store parent subclass in
+  Ok (filter_candidates store where members)
+
+let project store objects name =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest ->
+        let* v = Inheritance.attr store s name in
+        go (v :: acc) rest
+  in
+  go [] objects
+
+let navigate store ~from path = Eval.eval_items (Eval.env ~self:from store) path
+
+let order_by store ?(descending = false) ~attr objects =
+  let* keyed =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* v = Inheritance.attr store s attr in
+        Ok ((s, v) :: acc))
+      (Ok []) objects
+  in
+  let keyed = List.rev keyed in
+  let cmp (_, a) (_, b) =
+    let c = Value.compare a b in
+    if descending then -c else c
+  in
+  Ok (List.map fst (List.stable_sort cmp keyed))
+
+type aggregate = Count_values | Count_distinct | Sum | Min | Max
+
+(* numbers compare by magnitude across Int/Real, everything else by the
+   structural order -- the same rule the expression evaluator applies *)
+let numeric_compare a b =
+  match (Value.as_float a, Value.as_float b) with
+  | Some x, Some y -> Float.compare x y
+  | _ -> Value.compare a b
+
+let aggregate store agg ~attr objects =
+  let* values =
+    List.fold_left
+      (fun acc s ->
+        let* acc = acc in
+        let* v = Inheritance.attr store s attr in
+        Ok (v :: acc))
+      (Ok []) objects
+  in
+  let non_null = List.filter (fun v -> not (Value.equal v Value.Null)) values in
+  match agg with
+  | Count_values -> Ok (Value.Int (List.length non_null))
+  | Count_distinct ->
+      Ok (Value.Int (List.length (List.sort_uniq Value.compare values)))
+  | Sum ->
+      List.fold_left
+        (fun acc v ->
+          let* acc = acc in
+          match (acc, v) with
+          | Value.Int a, Value.Int b -> Ok (Value.Int (a + b))
+          | acc, v -> (
+              match (Value.as_float acc, Value.as_float v) with
+              | Some a, Some b -> Ok (Value.Real (a +. b))
+              | _ ->
+                  Error
+                    (Errors.Eval_error
+                       ("sum over non-numeric value " ^ Value.to_string v))))
+        (Ok (Value.Int 0)) non_null
+  | Min ->
+      Ok
+        (List.fold_left
+           (fun acc v ->
+             if Value.equal acc Value.Null || numeric_compare v acc < 0 then v else acc)
+           Value.Null non_null)
+  | Max ->
+      Ok
+        (List.fold_left
+           (fun acc v ->
+             if Value.equal acc Value.Null || numeric_compare v acc > 0 then v else acc)
+           Value.Null non_null)

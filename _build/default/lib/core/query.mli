@@ -1,0 +1,51 @@
+(** Queries over classes and subclasses.
+
+    A small selection facility in the spirit of the paper's "top-down
+    selection" of components ("A component is selected by queries ...
+    giving the required properties of the component", section 6).  The
+    [where] predicate is an {!Expr} evaluated with the candidate object as
+    [self], so it sees inherited data. *)
+
+val select :
+  Store.t -> cls:string -> ?where:Expr.t -> unit -> (Surrogate.t list, Errors.t) result
+(** Members of a top-level class satisfying the predicate.  A candidate for
+    which the predicate fails to evaluate is excluded (a design object with
+    unbound components simply does not match). *)
+
+val select_subobjects :
+  Store.t ->
+  parent:Surrogate.t ->
+  subclass:string ->
+  ?where:Expr.t ->
+  unit ->
+  (Surrogate.t list, Errors.t) result
+(** Same over a (possibly inherited) subclass of a complex object. *)
+
+val project :
+  Store.t -> Surrogate.t list -> string -> (Value.t list, Errors.t) result
+(** Inheritance-aware attribute projection over a list of objects. *)
+
+val navigate :
+  Store.t -> from:Surrogate.t -> Expr.path -> (Eval.item list, Errors.t) result
+(** Path navigation starting at an object ([Pins], [SubGates.Pins], ...). *)
+
+val matching : Store.t -> self:Surrogate.t -> Expr.t -> bool
+(** Convenience: does the predicate hold for [self]?  Evaluation failures
+    count as [false]. *)
+
+val order_by :
+  Store.t -> ?descending:bool -> attr:string -> Surrogate.t list ->
+  (Surrogate.t list, Errors.t) result
+(** Sort objects by an (inheritance-aware) attribute, [Value.compare]
+    order, stable. *)
+
+(** Aggregate over an (inheritance-aware) attribute of a set of objects.
+    [Count_distinct] counts distinct values ([Null] included). *)
+type aggregate = Count_values | Count_distinct | Sum | Min | Max
+
+val aggregate :
+  Store.t -> aggregate -> attr:string -> Surrogate.t list ->
+  (Value.t, Errors.t) result
+(** [Sum] requires numeric values ([Null]s are skipped); [Min]/[Max] use
+    [Value.compare] over non-[Null] values and yield [Null] on an empty
+    range; [Count_values] counts non-[Null] values. *)

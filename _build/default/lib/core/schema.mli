@@ -1,0 +1,157 @@
+(** Type definitions and the schema registry.
+
+    Three kinds of types (paper sections 3 and 4.1):
+
+    - {b object types} ([obj-type]) with attributes, local subobject classes,
+      local subrelationship classes, and constraints;
+    - {b relationship types} ([rel-type]) which additionally declare the
+      participants they relate;
+    - {b inheritance relationship types} ([inher-rel-type]) which declare a
+      transmitter type, an (optional) inheritor type, and the {e permeability}
+      — the [inheriting] clause listing which attributes and subclasses flow
+      from transmitter to inheritor.
+
+    An object type opts into being an inheritor with [inheritor-in: R]
+    ("With the definition of an object type it must be explicitly stated
+    that the type is an inheritor type", section 4.1).  Its {e effective}
+    attribute set is then its own attributes plus the permeable part of the
+    transmitter type's effective attributes, recursively — this is the
+    type-level half of value inheritance (plain generalization). *)
+
+type attr_def = { attr_name : string; attr_domain : Domain.t }
+type named_constraint = { c_name : string; c_expr : Expr.t }
+
+type card = One | Many
+
+type participant = {
+  p_name : string;
+  p_card : card;  (** [Many] for [set-of object-of-type T] *)
+  p_type : string option;  (** [None] admits any object *)
+}
+
+type member_type =
+  | Named_type of string
+  | Inline of obj_type
+      (** Anonymous member type declared inline in a subclass definition
+          (the paper's [SubGates: inheritor-in: ...; attributes: ...]).
+          Registered under ["<owner>.<subclass>"] at definition time. *)
+
+and subclass_def = { sc_name : string; sc_member : member_type }
+
+and subrel_def = {
+  sr_name : string;
+  sr_rel_type : string;
+  sr_binder : string option;
+      (** Variable bound to the relationship object inside [sr_where];
+          defaults to [sr_name]. *)
+  sr_where : Expr.t option;
+}
+
+and obj_type = {
+  ot_name : string;
+  ot_inheritor_in : string option;
+  ot_attrs : attr_def list;
+  ot_subclasses : subclass_def list;
+  ot_subrels : subrel_def list;
+  ot_constraints : named_constraint list;
+}
+
+type rel_type = {
+  rt_name : string;
+  rt_relates : participant list;
+  rt_attrs : attr_def list;
+  rt_subclasses : subclass_def list;
+  rt_constraints : named_constraint list;
+}
+
+type inher_rel_type = {
+  it_name : string;
+  it_transmitter : string;
+  it_inheritor : string option;
+  it_inheriting : string list;
+  it_attrs : attr_def list;
+  it_subclasses : subclass_def list;
+      (** section 4.1: "the inheritance relationship may possess
+          attributes, subobjects and constraints" — e.g. a class of
+          adaptation notes attached to the link *)
+  it_constraints : named_constraint list;
+}
+
+type entry =
+  | Obj_type of obj_type
+  | Rel_type of rel_type
+  | Inher_type of inher_rel_type
+
+type t
+(** Mutable registry.  All type and domain names share checks against
+    duplicate definition; object, relationship, and inheritance types share
+    one namespace. *)
+
+val create : unit -> t
+
+val define_domain : t -> string -> Domain.t -> (unit, Errors.t) result
+(** Named domains ([domain Point = ...]); expanded into structural form on
+    every use, so later type definitions may refer to them by name. *)
+
+val define_obj_type : t -> obj_type -> (unit, Errors.t) result
+(** Validates and registers an object type:
+    - fresh name; well-formed, expandable attribute domains;
+    - attribute / subclass / subrelationship names pairwise distinct;
+    - [inheritor-in] names an existing inheritance relationship type whose
+      declared inheritor is compatible;
+    - no own name shadows a permeable inherited name (shadowing would be an
+      implicit update of inherited data, which the paper forbids);
+    - inline subclass member types are registered recursively under
+      ["<owner>.<subclass>"]. *)
+
+val define_rel_type : t -> rel_type -> (unit, Errors.t) result
+val define_inher_rel_type : t -> inher_rel_type -> (unit, Errors.t) result
+(** The transmitter type must already exist and every [inheriting] name must
+    be an effective attribute or subclass of it.  The inheritor type may be
+    defined later (the paper's section 5 defines [AllOf_GirderIf] before
+    [Girder]). *)
+
+val find : t -> string -> entry option
+val find_obj_type : t -> string -> (obj_type, Errors.t) result
+val find_rel_type : t -> string -> (rel_type, Errors.t) result
+val find_inher_rel_type : t -> string -> (inher_rel_type, Errors.t) result
+val find_domain : t -> string -> Domain.t option
+
+val expand_domain : t -> Domain.t -> (Domain.t, Errors.t) result
+(** Resolve [Named] domains against the registry. *)
+
+val entries : t -> entry list
+(** All entries in definition order (for pretty-printing and the codec). *)
+
+val domains : t -> (string * Domain.t) list
+
+(** Where an effective feature of a type comes from. *)
+type source =
+  | Own
+  | Via of string  (** name of the inheritance relationship type *)
+
+val effective_attrs : t -> string -> ((attr_def * source) list, Errors.t) result
+(** Own attributes plus permeable transmitter attributes, transitively.
+    Works for object types and relationship types (relationships may carry
+    attributes too). *)
+
+val effective_subclasses :
+  t -> string -> ((subclass_def * source) list, Errors.t) result
+
+val attr_source : t -> string -> string -> source option
+(** [attr_source t ty a]: [Some Own] if [a] is a local attribute or subclass
+    of [ty], [Some (Via r)] if inherited through [r], [None] if absent. *)
+
+val find_effective_attr : t -> string -> string -> (attr_def * source) option
+(** Attribute (not subclass) lookup in the effective feature set. *)
+
+val find_effective_subclass :
+  t -> string -> string -> (subclass_def * source) option
+
+val transmitter_chain : t -> string -> string list
+(** Type names along the inheritor-in chain starting at (and excluding) the
+    given type; used for cycle diagnostics and documentation. *)
+
+val subclass_member_type : t -> subclass_def -> string
+(** Resolved member type name (inline types resolve to their registered
+    generated name). *)

@@ -1,0 +1,798 @@
+module Smap = Map.Make (String)
+
+type kind = Object_entity | Relationship_entity | Inheritance_link
+
+type binding = {
+  b_link : Surrogate.t;
+  b_via : string;
+  b_transmitter : Surrogate.t;
+}
+
+type entity = {
+  id : Surrogate.t;
+  type_name : string;
+  kind : kind;
+  mutable attrs : Value.t Smap.t;
+  mutable participants : Value.t Smap.t;
+  mutable subobjs : Surrogate.t list Smap.t;
+  mutable subrels : Surrogate.t list Smap.t;
+  mutable owner : Surrogate.t option;
+  mutable bound : binding option;
+  mutable inheritor_links : Surrogate.t list;
+  mutable classes_of : string list;
+}
+
+type class_info = {
+  cls_member_type : string;
+  mutable cls_members : Surrogate.t list;  (* reversed insertion order *)
+}
+
+type t = {
+  schema : Schema.t;
+  gen : Surrogate.Gen.t;
+  entities : entity Surrogate.Tbl.t;
+  classes : (string, class_info) Hashtbl.t;
+  mutable class_order : string list;
+  (* reverse index: entity -> relationship entities referencing it as a
+     participant, for referential integrity on delete *)
+  referrer_index : Surrogate.t list Surrogate.Tbl.t;
+  mutable read_hooks : (int * (Surrogate.t -> unit)) list;
+  mutable write_hooks : (int * (Surrogate.t -> unit)) list;
+  mutable next_hook : int;
+}
+
+type hook_id = int
+
+let ( let* ) = Result.bind
+
+let create schema =
+  {
+    schema;
+    gen = Surrogate.Gen.create ();
+    entities = Surrogate.Tbl.create 1024;
+    classes = Hashtbl.create 16;
+    class_order = [];
+    referrer_index = Surrogate.Tbl.create 256;
+    read_hooks = [];
+    write_hooks = [];
+    next_hook = 1;
+  }
+
+let schema t = t.schema
+
+let fresh_hook t =
+  let id = t.next_hook in
+  t.next_hook <- id + 1;
+  id
+
+let add_read_hook t f =
+  let id = fresh_hook t in
+  t.read_hooks <- (id, f) :: t.read_hooks;
+  id
+
+let add_write_hook t f =
+  let id = fresh_hook t in
+  t.write_hooks <- (id, f) :: t.write_hooks;
+  id
+
+let remove_hook t id =
+  t.read_hooks <- List.filter (fun (i, _) -> i <> id) t.read_hooks;
+  t.write_hooks <- List.filter (fun (i, _) -> i <> id) t.write_hooks
+
+let notify_read t s = List.iter (fun (_, f) -> f s) t.read_hooks
+let notify_write t s = List.iter (fun (_, f) -> f s) t.write_hooks
+
+(* ------------------------------------------------------------------ *)
+(* Entity access                                                       *)
+
+let get t s =
+  match Surrogate.Tbl.find_opt t.entities s with
+  | Some e -> Ok e
+  | None -> Error (Errors.Unknown_object (Surrogate.to_string s))
+
+let mem t s = Surrogate.Tbl.mem t.entities s
+let type_of t s = Result.map (fun e -> e.type_name) (get t s)
+
+let is_instance_of t s ty =
+  match get t s with
+  | Error _ -> false
+  | Ok e ->
+      String.equal e.type_name ty
+      || List.mem ty (Schema.transmitter_chain t.schema e.type_name)
+
+let iter t f = Surrogate.Tbl.iter (fun _ e -> f e) t.entities
+let fold t f init = Surrogate.Tbl.fold (fun _ e acc -> f acc e) t.entities init
+let entity_count t = Surrogate.Tbl.length t.entities
+
+(* ------------------------------------------------------------------ *)
+(* Classes                                                             *)
+
+let create_class t ~name ~member_type =
+  if Hashtbl.mem t.classes name then
+    Error (Errors.Duplicate_definition ("class " ^ name))
+  else
+    let* _ = Schema.find_obj_type t.schema member_type in
+    Hashtbl.replace t.classes name { cls_member_type = member_type; cls_members = [] };
+    t.class_order <- name :: t.class_order;
+    Ok ()
+
+let class_names t = List.rev t.class_order
+
+let find_class t name =
+  match Hashtbl.find_opt t.classes name with
+  | Some c -> Ok c
+  | None -> Error (Errors.Unknown_class name)
+
+let class_member_type t name =
+  Result.map (fun c -> c.cls_member_type) (find_class t name)
+
+let class_members t name =
+  Result.map (fun c -> List.rev c.cls_members) (find_class t name)
+
+let insert_into_class t ~cls s =
+  let* c = find_class t cls in
+  let* e = get t s in
+  if not (is_instance_of t s c.cls_member_type) then
+    Error
+      (Errors.Type_error
+         (Printf.sprintf "class %s holds objects of type %s, not %s" cls
+            c.cls_member_type e.type_name))
+  else if List.mem cls e.classes_of then Ok ()
+  else begin
+    c.cls_members <- s :: c.cls_members;
+    e.classes_of <- cls :: e.classes_of;
+    notify_write t s;
+    Ok ()
+  end
+
+let remove_from_class t ~cls s =
+  let* c = find_class t cls in
+  let* e = get t s in
+  c.cls_members <- List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members;
+  e.classes_of <- List.filter (fun n -> not (String.equal n cls)) e.classes_of;
+  notify_write t s;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Attribute validation helpers                                        *)
+
+(* Only locally-owned attributes may be written; a name that reaches the
+   type through an inheritance relationship is read-only on this side. *)
+let own_attr_def t ty name =
+  let* attrs = Schema.effective_attrs t.schema ty in
+  match
+    List.find_opt (fun (a, _) -> String.equal a.Schema.attr_name name) attrs
+  with
+  | Some (a, Schema.Own) -> Ok a
+  | Some (_, Schema.Via rel) ->
+      Error
+        (Errors.Inherited_readonly
+           (Printf.sprintf "%s (inherited through %s)" name rel))
+  | None -> Error (Errors.Unknown_attribute (ty ^ "." ^ name))
+
+let check_attr_value t ty (name, value) =
+  let* def = own_attr_def t ty name in
+  let* domain = Schema.expand_domain t.schema def.Schema.attr_domain in
+  Value.conforms domain value
+
+let validated_attrs t ty attrs =
+  let* () =
+    List.fold_left
+      (fun acc binding ->
+        let* () = acc in
+        check_attr_value t ty binding)
+      (Ok ()) attrs
+  in
+  let* () =
+    let names = List.map fst attrs in
+    if List.length (List.sort_uniq String.compare names) <> List.length names
+    then Error (Errors.Duplicate_definition "attribute given twice")
+    else Ok ()
+  in
+  Ok (List.fold_left (fun m (n, v) -> Smap.add n v m) Smap.empty attrs)
+
+(* Fresh entity with empty local subclass/subrel maps initialised from the
+   type definition, so membership queries distinguish "empty" from
+   "no such subclass". *)
+let blank_maps own_subclasses own_subrels =
+  let subobjs =
+    List.fold_left
+      (fun m (sc : Schema.subclass_def) -> Smap.add sc.sc_name [] m)
+      Smap.empty own_subclasses
+  in
+  let subrels =
+    List.fold_left
+      (fun m (sr : Schema.subrel_def) -> Smap.add sr.sr_name [] m)
+      Smap.empty own_subrels
+  in
+  (subobjs, subrels)
+
+let add_entity t e = Surrogate.Tbl.replace t.entities e.id e
+
+let make_object t ~ty attrs =
+  let* ot = Schema.find_obj_type t.schema ty in
+  let* attr_map = validated_attrs t ty attrs in
+  let subobjs, subrels = blank_maps ot.ot_subclasses ot.ot_subrels in
+  let e =
+    {
+      id = Surrogate.Gen.fresh t.gen;
+      type_name = ty;
+      kind = Object_entity;
+      attrs = attr_map;
+      participants = Smap.empty;
+      subobjs;
+      subrels;
+      owner = None;
+      bound = None;
+      inheritor_links = [];
+      classes_of = [];
+    }
+  in
+  add_entity t e;
+  Ok e
+
+let create_object t ?cls ~ty attrs =
+  let* e = make_object t ~ty attrs in
+  let* () =
+    match cls with
+    | None -> Ok ()
+    | Some cls -> insert_into_class t ~cls e.id
+  in
+  notify_write t e.id;
+  Ok e.id
+
+let own_subclass_def t parent_ty name =
+  let* subs = Schema.effective_subclasses t.schema parent_ty in
+  match
+    List.find_opt (fun (s, _) -> String.equal s.Schema.sc_name name) subs
+  with
+  | Some (s, Schema.Own) -> Ok s
+  | Some (_, Schema.Via rel) ->
+      Error
+        (Errors.Inherited_readonly
+           (Printf.sprintf "subclass %s (inherited through %s)" name rel))
+  | None -> Error (Errors.Unknown_class (parent_ty ^ "." ^ name))
+
+let create_subobject t ~parent ~subclass attrs =
+  let* pe = get t parent in
+  let* sc = own_subclass_def t pe.type_name subclass in
+  let member_ty = Schema.subclass_member_type t.schema sc in
+  let* e = make_object t ~ty:member_ty attrs in
+  e.owner <- Some parent;
+  pe.subobjs <-
+    Smap.update subclass
+      (function Some ms -> Some (ms @ [ e.id ]) | None -> Some [ e.id ])
+      pe.subobjs;
+  notify_write t parent;
+  Ok e.id
+
+(* ------------------------------------------------------------------ *)
+(* Relationships                                                       *)
+
+let check_participant t (p : Schema.participant) value =
+  let check_ref v =
+    match Value.as_ref v with
+    | None ->
+        Error
+          (Errors.Type_error
+             (Printf.sprintf "participant %s expects an object reference"
+                p.p_name))
+    | Some s -> (
+        let* _ = get t s in
+        match p.p_type with
+        | None -> Ok ()
+        | Some ty ->
+            if is_instance_of t s ty then Ok ()
+            else
+              Error
+                (Errors.Type_error
+                   (Printf.sprintf "participant %s expects an object of type %s"
+                      p.p_name ty)))
+  in
+  match (p.p_card, value) with
+  | Schema.One, v -> check_ref v
+  | Schema.Many, Value.Set vs ->
+      List.fold_left
+        (fun acc v ->
+          let* () = acc in
+          check_ref v)
+        (Ok ()) vs
+  | Schema.Many, _ ->
+      Error
+        (Errors.Type_error
+           (Printf.sprintf "participant %s expects a set of object references"
+              p.p_name))
+
+let index_referrer t rel_id value =
+  List.iter
+    (fun target ->
+      let existing =
+        Option.value ~default:[] (Surrogate.Tbl.find_opt t.referrer_index target)
+      in
+      Surrogate.Tbl.replace t.referrer_index target (rel_id :: existing))
+    (Value.refs value)
+
+let unindex_referrer t rel_id value =
+  List.iter
+    (fun target ->
+      match Surrogate.Tbl.find_opt t.referrer_index target with
+      | None -> ()
+      | Some ids ->
+          let remaining =
+            List.filter (fun i -> not (Surrogate.equal i rel_id)) ids
+          in
+          if remaining = [] then Surrogate.Tbl.remove t.referrer_index target
+          else Surrogate.Tbl.replace t.referrer_index target remaining)
+    (Value.refs value)
+
+let referrers t s =
+  Option.value ~default:[] (Surrogate.Tbl.find_opt t.referrer_index s)
+
+let make_relationship t ~ty ~participants ~attrs =
+  let* rt = Schema.find_rel_type t.schema ty in
+  (* every declared participant must be supplied, and nothing else *)
+  let declared = List.map (fun p -> p.Schema.p_name) rt.rt_relates in
+  let supplied = List.map fst participants in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        if List.mem n supplied then Ok ()
+        else
+          Error
+            (Errors.Schema_error
+               (Printf.sprintf "relationship %s: missing participant %s" ty n)))
+      (Ok ()) declared
+  in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        if List.mem n declared then Ok ()
+        else
+          Error
+            (Errors.Schema_error
+               (Printf.sprintf "relationship %s: unknown participant %s" ty n)))
+      (Ok ()) supplied
+  in
+  let* () =
+    List.fold_left
+      (fun acc (p : Schema.participant) ->
+        let* () = acc in
+        check_participant t p (List.assoc p.p_name participants))
+      (Ok ()) rt.rt_relates
+  in
+  let* attr_map = validated_attrs t ty attrs in
+  let subobjs, subrels = blank_maps rt.rt_subclasses [] in
+  let participants_map =
+    List.fold_left (fun m (n, v) -> Smap.add n v m) Smap.empty participants
+  in
+  let e =
+    {
+      id = Surrogate.Gen.fresh t.gen;
+      type_name = ty;
+      kind = Relationship_entity;
+      attrs = attr_map;
+      participants = participants_map;
+      subobjs;
+      subrels;
+      owner = None;
+      bound = None;
+      inheritor_links = [];
+      classes_of = [];
+    }
+  in
+  add_entity t e;
+  Smap.iter (fun _ v -> index_referrer t e.id v) participants_map;
+  Ok e
+
+let create_relationship t ~ty ~participants ?(attrs = []) () =
+  let* e = make_relationship t ~ty ~participants ~attrs in
+  notify_write t e.id;
+  Ok e.id
+
+let own_subrel_def t parent_ty name =
+  (* subrels are never permeable in this model: the paper's inheriting
+     clauses name attributes and subclasses only *)
+  let* entry =
+    match Schema.find t.schema parent_ty with
+    | Some e -> Ok e
+    | None -> Error (Errors.Unknown_type parent_ty)
+  in
+  let subrels =
+    match entry with
+    | Schema.Obj_type o -> o.ot_subrels
+    | Schema.Rel_type _ | Schema.Inher_type _ -> []
+  in
+  match
+    List.find_opt (fun (sr : Schema.subrel_def) -> String.equal sr.sr_name name) subrels
+  with
+  | Some sr -> Ok sr
+  | None -> Error (Errors.Unknown_class (parent_ty ^ "." ^ name))
+
+let create_subrel t ~parent ~subrel ~participants ?(attrs = []) () =
+  let* pe = get t parent in
+  let* sr = own_subrel_def t pe.type_name subrel in
+  let* e = make_relationship t ~ty:sr.sr_rel_type ~participants ~attrs in
+  e.owner <- Some parent;
+  pe.subrels <-
+    Smap.update subrel
+      (function Some ms -> Some (ms @ [ e.id ]) | None -> Some [ e.id ])
+      pe.subrels;
+  notify_write t parent;
+  Ok e.id
+
+(* ------------------------------------------------------------------ *)
+(* Attribute access                                                    *)
+
+let local_attr t s name =
+  let* e = get t s in
+  notify_read t s;
+  Ok (Option.value ~default:Value.Null (Smap.find_opt name e.attrs))
+
+let set_attr t s name value =
+  let* e = get t s in
+  let* () = check_attr_value t e.type_name (name, value) in
+  e.attrs <- Smap.add name value e.attrs;
+  notify_write t s;
+  Ok ()
+
+let subclass_members t s name =
+  let* e = get t s in
+  match Smap.find_opt name e.subobjs with
+  | Some ms ->
+      notify_read t s;
+      Ok ms
+  | None -> Error (Errors.Unknown_class (e.type_name ^ "." ^ name))
+
+let subrel_members t s name =
+  let* e = get t s in
+  match Smap.find_opt name e.subrels with
+  | Some ms ->
+      notify_read t s;
+      Ok ms
+  | None -> Error (Errors.Unknown_class (e.type_name ^ "." ^ name))
+
+let participant t s name =
+  let* e = get t s in
+  match Smap.find_opt name e.participants with
+  | Some v ->
+      notify_read t s;
+      Ok v
+  | None -> Error (Errors.Unknown_attribute ("participant " ^ name))
+
+let set_participant t s name value =
+  let* e = get t s in
+  if e.kind <> Relationship_entity then
+    Error
+      (Errors.Schema_error
+         (Surrogate.to_string s ^ " is not a relationship object"))
+  else
+    let* rt = Schema.find_rel_type t.schema e.type_name in
+    match
+      List.find_opt (fun (p : Schema.participant) -> String.equal p.p_name name) rt.rt_relates
+    with
+    | None -> Error (Errors.Unknown_attribute ("participant " ^ name))
+    | Some p ->
+        let* () = check_participant t p value in
+        (match Smap.find_opt name e.participants with
+        | Some old -> unindex_referrer t s old
+        | None -> ());
+        e.participants <- Smap.add name value e.participants;
+        index_referrer t s value;
+        notify_write t s;
+        Ok ()
+
+let owner_of t s = Result.map (fun e -> e.owner) (get t s)
+
+(* ------------------------------------------------------------------ *)
+(* Inheritance links (structural layer; semantics in Inheritance)      *)
+
+let add_inheritance_link t ~ty ~transmitter ~inheritor ~attrs =
+  let* it = Schema.find_inher_rel_type t.schema ty in
+  let* te = get t transmitter in
+  let* ie = get t inheritor in
+  let* attr_map =
+    (* link attributes validated against the inher-rel type's own attrs;
+       the implicit consistency-control attributes are always allowed *)
+    let declared = List.map (fun (a : Schema.attr_def) -> a.attr_name) it.it_attrs in
+    let* () =
+      List.fold_left
+        (fun acc (n, _) ->
+          let* () = acc in
+          if List.mem n declared || String.equal n "_stale" || String.equal n "_note"
+          then Ok ()
+          else Error (Errors.Unknown_attribute (ty ^ "." ^ n)))
+        (Ok ()) attrs
+    in
+    Ok (List.fold_left (fun m (n, v) -> Smap.add n v m) Smap.empty attrs)
+  in
+  (* section 4.1: the inheritance relationship may possess subobjects *)
+  let subobjs, _ = blank_maps it.it_subclasses [] in
+  let e =
+    {
+      id = Surrogate.Gen.fresh t.gen;
+      type_name = ty;
+      kind = Inheritance_link;
+      attrs = attr_map;
+      participants =
+        Smap.add "transmitter" (Value.Ref transmitter)
+          (Smap.singleton "inheritor" (Value.Ref inheritor));
+      subobjs;
+      subrels = Smap.empty;
+      owner = None;
+      bound = None;
+      inheritor_links = [];
+      classes_of = [];
+    }
+  in
+  add_entity t e;
+  ie.bound <- Some { b_link = e.id; b_via = ty; b_transmitter = transmitter };
+  te.inheritor_links <- e.id :: te.inheritor_links;
+  notify_write t inheritor;
+  Ok e.id
+
+(* ------------------------------------------------------------------ *)
+(* Delete with cascade                                                 *)
+
+let rec remove_inheritance_link t link =
+  let* le = get t link in
+  if le.kind <> Inheritance_link then
+    Error (Errors.Invalid_binding (Surrogate.to_string link ^ " is not an inheritance link"))
+  else begin
+    (match Smap.find_opt "inheritor" le.participants with
+    | Some (Value.Ref i) -> (
+        match get t i with
+        | Ok ie -> ie.bound <- None
+        | Error _ -> ())
+    | Some _ | None -> ());
+    (match Smap.find_opt "transmitter" le.participants with
+    | Some (Value.Ref tr) -> (
+        match get t tr with
+        | Ok te ->
+            te.inheritor_links <-
+              List.filter (fun l -> not (Surrogate.equal l link)) te.inheritor_links
+        | Error _ -> ())
+    | Some _ | None -> ());
+    (* the link's own subobjects die with it (section 4.1 links may carry
+       subobjects; section 3 subobjects die with their complex object) *)
+    Smap.iter
+      (fun _ ms -> List.iter (fun m -> ignore (delete t ~force:true m)) ms)
+      le.subobjs;
+    Surrogate.Tbl.remove t.entities link;
+    Ok ()
+  end
+
+and delete t ?(force = false) s =
+  let* e = get t s in
+  let* () =
+    if e.inheritor_links <> [] && not force then
+      Error
+        (Errors.Delete_restricted
+           (Printf.sprintf "%s has %d bound inheritor(s)" (Surrogate.to_string s)
+              (List.length e.inheritor_links)))
+    else Ok ()
+  in
+  let incoming =
+    (* relationships referencing this entity, excluding its own subrels
+       (those die with it anyway) and its inheritance links *)
+    List.filter
+      (fun r ->
+        match get t r with
+        | Ok re ->
+            re.kind = Relationship_entity
+            && not (re.owner = Some s)
+        | Error _ -> false)
+      (referrers t s)
+  in
+  let* () =
+    if incoming <> [] && not force then
+      Error
+        (Errors.Delete_restricted
+           (Printf.sprintf "%s participates in %d relationship(s)"
+              (Surrogate.to_string s) (List.length incoming)))
+    else Ok ()
+  in
+  (* From here on the delete cannot fail; perform the cascade. *)
+  List.iter
+    (fun link -> ignore (remove_inheritance_link t link))
+    e.inheritor_links;
+  (match e.bound with
+  | Some b -> ignore (remove_inheritance_link t b.b_link)
+  | None -> ());
+  List.iter (fun r -> ignore (delete t ~force:true r)) incoming;
+  Smap.iter (fun _ ms -> List.iter (fun m -> ignore (delete t ~force:true m)) ms) e.subobjs;
+  Smap.iter (fun _ ms -> List.iter (fun m -> ignore (delete t ~force:true m)) ms) e.subrels;
+  (* detach from classes *)
+  List.iter
+    (fun cls ->
+      match Hashtbl.find_opt t.classes cls with
+      | Some c ->
+          c.cls_members <-
+            List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members
+      | None -> ())
+    e.classes_of;
+  (* detach from owner *)
+  (match e.owner with
+  | Some o -> (
+      match get t o with
+      | Ok oe ->
+          let drop = List.filter (fun m -> not (Surrogate.equal m s)) in
+          oe.subobjs <- Smap.map drop oe.subobjs;
+          oe.subrels <- Smap.map drop oe.subrels
+      | Error _ -> ())
+  | None -> ());
+  (* drop referrer index contributions of this entity *)
+  Smap.iter (fun _ v -> unindex_referrer t s v) e.participants;
+  Surrogate.Tbl.remove t.entities s;
+  notify_write t s;
+  Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Persistence support                                                 *)
+
+let generator t = t.gen
+
+let restore_entity t e =
+  Surrogate.Gen.mark_used t.gen e.id;
+  add_entity t e;
+  Smap.iter (fun _ v -> index_referrer t e.id v) e.participants
+
+let restore_class t ~name ~member_type ~members =
+  Hashtbl.replace t.classes name
+    { cls_member_type = member_type; cls_members = List.rev members };
+  if not (List.mem name t.class_order) then
+    t.class_order <- name :: t.class_order
+
+(* ------------------------------------------------------------------ *)
+(* Structural invariants                                               *)
+
+let check_invariants t =
+  let problems = ref [] in
+  let report fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let exists s = Surrogate.Tbl.mem t.entities s in
+  let id_str = Surrogate.to_string in
+  iter t (fun e ->
+      (* subobjects: exist, are objects-or-relationship-holders, owned by e *)
+      Smap.iter
+        (fun cls members ->
+          List.iter
+            (fun m ->
+              match Surrogate.Tbl.find_opt t.entities m with
+              | None ->
+                  report "%s.%s contains dangling member %s" (id_str e.id) cls
+                    (id_str m)
+              | Some me ->
+                  if me.owner <> Some e.id then
+                    report "%s in %s.%s has owner %s" (id_str m) (id_str e.id)
+                      cls
+                      (match me.owner with
+                      | Some o -> id_str o
+                      | None -> "none"))
+            members)
+        e.subobjs;
+      Smap.iter
+        (fun cls members ->
+          List.iter
+            (fun m ->
+              match Surrogate.Tbl.find_opt t.entities m with
+              | None ->
+                  report "%s.%s contains dangling subrel %s" (id_str e.id) cls
+                    (id_str m)
+              | Some me ->
+                  if me.kind <> Relationship_entity then
+                    report "%s in %s.%s is not a relationship" (id_str m)
+                      (id_str e.id) cls;
+                  if me.owner <> Some e.id then
+                    report "subrel %s of %s has wrong owner" (id_str m)
+                      (id_str e.id))
+            members)
+        e.subrels;
+      (* owner back-pointer: the owner must list e in some local class *)
+      (match e.owner with
+      | None -> ()
+      | Some o -> (
+          match Surrogate.Tbl.find_opt t.entities o with
+          | None -> report "%s has dangling owner %s" (id_str e.id) (id_str o)
+          | Some oe ->
+              let listed =
+                Smap.exists (fun _ ms -> List.exists (Surrogate.equal e.id) ms) oe.subobjs
+                || Smap.exists (fun _ ms -> List.exists (Surrogate.equal e.id) ms) oe.subrels
+              in
+              if not listed then
+                report "%s has owner %s but is not among its members"
+                  (id_str e.id) (id_str o)));
+      (* binding: link exists, is a link, names both ends; transmitter
+         back-pointer present *)
+      (match e.bound with
+      | None -> ()
+      | Some b -> (
+          match Surrogate.Tbl.find_opt t.entities b.b_link with
+          | None -> report "%s bound via dangling link %s" (id_str e.id) (id_str b.b_link)
+          | Some le ->
+              if le.kind <> Inheritance_link then
+                report "binding link %s of %s is not an inheritance link"
+                  (id_str b.b_link) (id_str e.id);
+              (match Smap.find_opt "inheritor" le.participants with
+              | Some (Value.Ref i) when Surrogate.equal i e.id -> ()
+              | _ ->
+                  report "link %s does not name %s as inheritor" (id_str b.b_link)
+                    (id_str e.id));
+              (match Surrogate.Tbl.find_opt t.entities b.b_transmitter with
+              | None ->
+                  report "%s inherits from dangling transmitter %s" (id_str e.id)
+                    (id_str b.b_transmitter)
+              | Some te ->
+                  if not (List.exists (Surrogate.equal b.b_link) te.inheritor_links)
+                  then
+                    report "transmitter %s misses back-pointer to link %s"
+                      (id_str b.b_transmitter) (id_str b.b_link))));
+      (* inheritor_links point back at self as transmitter *)
+      List.iter
+        (fun link ->
+          match Surrogate.Tbl.find_opt t.entities link with
+          | None -> report "%s lists dangling link %s" (id_str e.id) (id_str link)
+          | Some le -> (
+              match Smap.find_opt "transmitter" le.participants with
+              | Some (Value.Ref tr) when Surrogate.equal tr e.id -> ()
+              | _ ->
+                  report "link %s does not name %s as transmitter" (id_str link)
+                    (id_str e.id)))
+        e.inheritor_links;
+      (* participants reference live entities and are indexed *)
+      Smap.iter
+        (fun pname v ->
+          List.iter
+            (fun target ->
+              if not (exists target) then
+                report "%s participant %s references dangling %s" (id_str e.id)
+                  pname (id_str target)
+              else if
+                e.kind = Relationship_entity
+                && not (List.exists (Surrogate.equal e.id) (referrers t target))
+              then
+                report "referrer index misses %s -> %s" (id_str target)
+                  (id_str e.id))
+            (Value.refs v))
+        e.participants;
+      (* class membership coherence *)
+      List.iter
+        (fun cls ->
+          match Hashtbl.find_opt t.classes cls with
+          | None -> report "%s claims membership in unknown class %s" (id_str e.id) cls
+          | Some c ->
+              if not (List.exists (Surrogate.equal e.id) c.cls_members) then
+                report "%s not listed in class %s" (id_str e.id) cls)
+        e.classes_of;
+      (* acyclicity of containment and inheritance from this node *)
+      let rec owner_walk seen s =
+        match Surrogate.Tbl.find_opt t.entities s with
+        | Some { owner = Some o; _ } ->
+            if List.exists (Surrogate.equal o) seen then
+              report "containment cycle through %s" (id_str o)
+            else owner_walk (o :: seen) o
+        | Some _ | None -> ()
+      in
+      owner_walk [ e.id ] e.id;
+      let rec trans_walk seen s =
+        match Surrogate.Tbl.find_opt t.entities s with
+        | Some { bound = Some b; _ } ->
+            if List.exists (Surrogate.equal b.b_transmitter) seen then
+              report "inheritance cycle through %s" (id_str b.b_transmitter)
+            else trans_walk (b.b_transmitter :: seen) b.b_transmitter
+        | Some _ | None -> ()
+      in
+      trans_walk [ e.id ] e.id);
+  (* classes: members exist and carry the membership mark *)
+  Hashtbl.iter
+    (fun cls c ->
+      List.iter
+        (fun m ->
+          match Surrogate.Tbl.find_opt t.entities m with
+          | None -> report "class %s lists dangling member %s" cls (id_str m)
+          | Some me ->
+              if not (List.mem cls me.classes_of) then
+                report "class %s member %s misses membership mark" cls (id_str m))
+        c.cls_members)
+    t.classes;
+  List.rev !problems

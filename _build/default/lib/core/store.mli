@@ -1,0 +1,198 @@
+(** The object store: instances of object types, relationship types, and
+    inheritance relationship types, plus named top-level classes.
+
+    Structural storage and typing live here.  The {e semantics} of value
+    inheritance (binding validation, permeability-filtered resolution,
+    update stamping) live in {!Inheritance}; most applications should go
+    through the {!Database} facade, which composes the two and adds
+    constraint checking.
+
+    Every entity — plain object, relationship object, inheritance link — has
+    a surrogate and may carry attributes, local subobject classes, and local
+    subrelationship classes (paper section 3: "A relationship is represented
+    by a relationship object", "Like any other relationship, the inheritance
+    relationship may possess attributes, subobjects and constraints"). *)
+
+module Smap : Map.S with type key = string
+
+type kind = Object_entity | Relationship_entity | Inheritance_link
+
+type binding = {
+  b_link : Surrogate.t;  (** the inheritance-relationship object *)
+  b_via : string;  (** its inheritance relationship type *)
+  b_transmitter : Surrogate.t;
+}
+
+type entity = {
+  id : Surrogate.t;
+  type_name : string;
+  kind : kind;
+  mutable attrs : Value.t Smap.t;  (** locally owned attribute values *)
+  mutable participants : Value.t Smap.t;
+      (** relationship participants: [Ref] or [Set] of [Ref]s *)
+  mutable subobjs : Surrogate.t list Smap.t;  (** subclass name -> members *)
+  mutable subrels : Surrogate.t list Smap.t;
+  mutable owner : Surrogate.t option;  (** enclosing complex object *)
+  mutable bound : binding option;  (** as inheritor *)
+  mutable inheritor_links : Surrogate.t list;  (** as transmitter *)
+  mutable classes_of : string list;  (** top-level classes containing it *)
+}
+
+type t
+
+val create : Schema.t -> t
+val schema : t -> Schema.t
+
+(** {1 Hooks}
+
+    Multiple subscribers observe reads and writes: the transaction layer
+    acquires locks, attribute indexes keep themselves fresh.  Hooks see
+    the surrogate whose data is touched; a hook raising an exception
+    aborts the triggering operation. *)
+
+type hook_id
+
+val add_read_hook : t -> (Surrogate.t -> unit) -> hook_id
+val add_write_hook : t -> (Surrogate.t -> unit) -> hook_id
+val remove_hook : t -> hook_id -> unit
+val notify_read : t -> Surrogate.t -> unit
+val notify_write : t -> Surrogate.t -> unit
+
+(** {1 Classes} *)
+
+val create_class : t -> name:string -> member_type:string -> (unit, Errors.t) result
+val class_names : t -> string list
+val class_member_type : t -> string -> (string, Errors.t) result
+val class_members : t -> string -> (Surrogate.t list, Errors.t) result
+val insert_into_class : t -> cls:string -> Surrogate.t -> (unit, Errors.t) result
+val remove_from_class : t -> cls:string -> Surrogate.t -> (unit, Errors.t) result
+
+(** {1 Entities} *)
+
+val get : t -> Surrogate.t -> (entity, Errors.t) result
+val mem : t -> Surrogate.t -> bool
+val type_of : t -> Surrogate.t -> (string, Errors.t) result
+
+val is_instance_of : t -> Surrogate.t -> string -> bool
+(** True if the entity's type is the given type or reaches it along its
+    inheritor-in transmitter chain (the "is-a" reading of value
+    inheritance). *)
+
+val iter : t -> (entity -> unit) -> unit
+val fold : t -> ('a -> entity -> 'a) -> 'a -> 'a
+val entity_count : t -> int
+
+val create_object :
+  t ->
+  ?cls:string ->
+  ty:string ->
+  (string * Value.t) list ->
+  (Surrogate.t, Errors.t) result
+(** Creates a top-level object.  Only locally-owned attributes may be
+    given; naming an inherited attribute is [Inherited_readonly].  Values
+    must conform to their domains. *)
+
+val create_subobject :
+  t ->
+  parent:Surrogate.t ->
+  subclass:string ->
+  (string * Value.t) list ->
+  (Surrogate.t, Errors.t) result
+(** Adds a member to one of the parent's {e own} subclasses.  Inherited
+    subclasses are views of the transmitter and cannot be extended from the
+    inheritor side. *)
+
+val create_relationship :
+  t ->
+  ty:string ->
+  participants:(string * Value.t) list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  (Surrogate.t, Errors.t) result
+(** Participants are validated against the relates clause: presence,
+    cardinality ([One] takes a [Ref], [Many] a [Set] of [Ref]s), and target
+    type (exact or via transmitter chain).  The where clause of a subrel is
+    the caller's duty ({!Database} checks it). *)
+
+val create_subrel :
+  t ->
+  parent:Surrogate.t ->
+  subrel:string ->
+  participants:(string * Value.t) list ->
+  ?attrs:(string * Value.t) list ->
+  unit ->
+  (Surrogate.t, Errors.t) result
+
+val local_attr : t -> Surrogate.t -> string -> (Value.t, Errors.t) result
+(** Locally-owned value; [Null] when uninitialised.  Does not resolve
+    inheritance — see {!Inheritance.attr}. *)
+
+val set_attr : t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+(** Rejects inherited attributes ([Inherited_readonly]) and non-conforming
+    values.  Fires the write hook.  Callers who need staleness stamping on
+    dependent inheritance links should use {!Database.set_attr}. *)
+
+val subclass_members : t -> Surrogate.t -> string -> (Surrogate.t list, Errors.t) result
+(** Members of a {e local} subclass.  Inheritance-aware resolution is
+    {!Inheritance.subclass_members}. *)
+
+val subrel_members : t -> Surrogate.t -> string -> (Surrogate.t list, Errors.t) result
+
+val participant : t -> Surrogate.t -> string -> (Value.t, Errors.t) result
+
+val set_participant : t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+(** Rewire one participant of a relationship object (validated against the
+    relates clause; the referrer index follows).  Fires the write hook. *)
+
+val owner_of : t -> Surrogate.t -> (Surrogate.t option, Errors.t) result
+
+val referrers : t -> Surrogate.t -> Surrogate.t list
+(** Relationship entities having the given entity among their participants. *)
+
+val delete : t -> ?force:bool -> Surrogate.t -> (unit, Errors.t) result
+(** Deletes the entity and, transitively, its subobjects and
+    subrelationships (section 3: "All subobjects depend on the complex
+    object, they are deleted with the complex object").
+
+    Restrictions, lifted by [~force:true]:
+    - a transmitter with bound inheritors ([Delete_restricted]); forcing
+      unbinds them (they keep their structure, lose the inherited values)
+      and deletes the link objects;
+    - an entity referenced as a participant of a relationship
+      ([Delete_restricted]); forcing deletes those relationships too. *)
+
+(** {1 Low-level: inheritance links}
+
+    Structural creation/removal of inheritance-relationship objects.  No
+    semantic validation happens here — use {!Inheritance.bind} /
+    {!Inheritance.unbind}, which check inheritor-in declarations, type
+    compatibility, and cycles before delegating. *)
+
+val add_inheritance_link :
+  t ->
+  ty:string ->
+  transmitter:Surrogate.t ->
+  inheritor:Surrogate.t ->
+  attrs:(string * Value.t) list ->
+  (Surrogate.t, Errors.t) result
+
+val remove_inheritance_link : t -> Surrogate.t -> (unit, Errors.t) result
+
+(** {1 Integrity} *)
+
+val check_invariants : t -> string list
+(** Structural health check used by property tests and the CLI: verifies
+    bidirectional binding links, owner back-pointers of subobjects and
+    subrelationships, class membership coherence, the referrer index,
+    dangling participant references, and acyclicity of both the
+    containment and the inheritance graphs.  Returns human-readable
+    violation descriptions; healthy stores return []. *)
+
+(** {1 Persistence support} *)
+
+val generator : t -> Surrogate.Gen.t
+
+val restore_entity : t -> entity -> unit
+(** Insert a decoded entity verbatim (codec use only). *)
+
+val restore_class : t -> name:string -> member_type:string -> members:Surrogate.t list -> unit

@@ -1,0 +1,33 @@
+type t = int
+
+let equal = Int.equal
+let compare = Int.compare
+let hash = Hashtbl.hash
+let to_string s = "@" ^ string_of_int s
+let pp ppf s = Format.pp_print_string ppf (to_string s)
+let to_int s = s
+let of_int i = i
+
+module Gen = struct
+  type t = { mutable next : int }
+
+  let create () = { next = 1 }
+
+  let fresh g =
+    let s = g.next in
+    g.next <- g.next + 1;
+    s
+
+  let mark_used g s = if s >= g.next then g.next <- s + 1
+  let current g = g.next
+end
+
+module Map = Map.Make (Int)
+module Set = Set.Make (Int)
+
+module Tbl = Hashtbl.Make (struct
+  type nonrec t = t
+
+  let equal = equal
+  let hash = hash
+end)

@@ -1,0 +1,39 @@
+(** System-wide object identity.
+
+    The paper (section 3): "Automatically, any object has an attribute called
+    surrogate which allows a system-wide identification of the object and
+    which is managed by the system."  Surrogates identify plain objects,
+    relationship objects, and inheritance-relationship objects uniformly. *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val to_int : t -> int
+(** Stable integer image, used by the persistence codec. *)
+
+val of_int : int -> t
+(** Inverse of [to_int]; only the store's generator and the persistence
+    layer should mint surrogates. *)
+
+(** Monotonic surrogate generator owned by a store. *)
+module Gen : sig
+  type surrogate := t
+  type t
+
+  val create : unit -> t
+  val fresh : t -> surrogate
+  val mark_used : t -> surrogate -> unit
+  (** Advance the generator past [surrogate]; used when loading a store
+      from disk so freshly minted surrogates never collide. *)
+
+  val current : t -> int
+end
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t
+module Tbl : Hashtbl.S with type key = t

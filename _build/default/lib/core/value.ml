@@ -1,0 +1,181 @@
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Enum_case of string
+  | Record of (string * t) list
+  | List of t list
+  | Set of t list
+  | Matrix of t array array
+  | Tuple of t list
+  | Ref of Surrogate.t
+  | Null
+
+let rank = function
+  | Null -> 0
+  | Bool _ -> 1
+  | Int _ -> 2
+  | Real _ -> 3
+  | Str _ -> 4
+  | Enum_case _ -> 5
+  | Record _ -> 6
+  | List _ -> 7
+  | Set _ -> 8
+  | Matrix _ -> 9
+  | Tuple _ -> 10
+  | Ref _ -> 11
+
+let rec compare a b =
+  match (a, b) with
+  | Null, Null -> 0
+  | Bool x, Bool y -> Bool.compare x y
+  | Int x, Int y -> Int.compare x y
+  | Real x, Real y -> Float.compare x y
+  | Str x, Str y | Enum_case x, Enum_case y -> String.compare x y
+  | Record xs, Record ys ->
+      List.compare (fun (n, v) (m, w) ->
+          let c = String.compare n m in
+          if c <> 0 then c else compare v w)
+        xs ys
+  | List xs, List ys | Set xs, Set ys | Tuple xs, Tuple ys ->
+      List.compare compare xs ys
+  | Matrix x, Matrix y ->
+      let row_list m = Array.to_list (Array.map Array.to_list m) in
+      List.compare (List.compare compare) (row_list x) (row_list y)
+  | Ref x, Ref y -> Surrogate.compare x y
+  | ( ( Null | Bool _ | Int _ | Real _ | Str _ | Enum_case _ | Record _
+      | List _ | Set _ | Matrix _ | Tuple _ | Ref _ ),
+      _ ) ->
+      Int.compare (rank a) (rank b)
+
+let equal a b = compare a b = 0
+let hash v = Hashtbl.hash v
+
+let rec pp ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Real f -> Format.pp_print_float ppf f
+  | Bool b -> Format.pp_print_bool ppf b
+  | Str s -> Format.fprintf ppf "%S" s
+  | Enum_case c -> Format.pp_print_string ppf c
+  | Record fields ->
+      let pp_field ppf (n, v) = Format.fprintf ppf "%s = %a" n pp v in
+      Format.fprintf ppf "(%a)" (pp_sep_list "; " pp_field) fields
+  | List vs -> Format.fprintf ppf "[%a]" (pp_sep_list "; " pp) vs
+  | Set vs -> Format.fprintf ppf "{%a}" (pp_sep_list "; " pp) vs
+  | Matrix rows ->
+      let pp_row ppf row =
+        Format.fprintf ppf "[%a]" (pp_sep_list " " pp) (Array.to_list row)
+      in
+      Format.fprintf ppf "[|%a|]" (pp_sep_list "; " pp_row) (Array.to_list rows)
+  | Tuple vs -> Format.fprintf ppf "(%a)" (pp_sep_list ", " pp) vs
+  | Ref s -> Surrogate.pp ppf s
+  | Null -> Format.pp_print_string ppf "null"
+
+and pp_sep_list : 'a. string -> (Format.formatter -> 'a -> unit)
+    -> Format.formatter -> 'a list -> unit =
+ fun sep pp_elt ppf xs ->
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.pp_print_string ppf sep)
+    pp_elt ppf xs
+
+let to_string v = Format.asprintf "%a" pp v
+let set vs = Set (List.sort_uniq compare vs)
+
+let record fields =
+  Record (List.sort (fun (n, _) (m, _) -> String.compare n m) fields)
+
+let point x y = record [ ("X", Int x); ("Y", Int y) ]
+
+let field name = function
+  | Record fields -> List.assoc_opt name fields
+  | _ -> None
+
+let set_members = function Set vs | List vs -> Some vs | _ -> None
+let as_int = function Int i -> Some i | _ -> None
+
+let as_float = function
+  | Real f -> Some f
+  | Int i -> Some (float_of_int i)
+  | _ -> None
+
+let as_bool = function Bool b -> Some b | _ -> None
+let as_ref = function Ref s -> Some s | _ -> None
+
+let refs v =
+  let rec go acc = function
+    | Ref s -> s :: acc
+    | Record fields -> List.fold_left (fun acc (_, v) -> go acc v) acc fields
+    | List vs | Set vs | Tuple vs -> List.fold_left go acc vs
+    | Matrix rows ->
+        Array.fold_left (fun acc row -> Array.fold_left go acc row) acc rows
+    | Int _ | Real _ | Bool _ | Str _ | Enum_case _ | Null -> acc
+  in
+  List.rev (go [] v)
+
+let conforms domain value =
+  let err expected got =
+    Error
+      (Errors.Type_error
+         (Printf.sprintf "expected %s, got %s" expected (to_string got)))
+  in
+  let rec go d v =
+    match (d, v) with
+    | _, Null -> Ok ()
+    | Domain.Integer, Int _ -> Ok ()
+    | Domain.Real, (Real _ | Int _) -> Ok ()
+    | Domain.Boolean, Bool _ -> Ok ()
+    | Domain.String, Str _ -> Ok ()
+    | Domain.Enum cases, Enum_case c ->
+        if List.mem c cases then Ok ()
+        else
+          Error
+            (Errors.Type_error
+               (Printf.sprintf "%s is not a case of %s" c (Domain.to_string d)))
+    | Domain.Record fields, Record given ->
+        let expected_names =
+          List.sort String.compare (List.map fst fields)
+        in
+        let given_names = List.map fst given in
+        if not (List.equal String.equal expected_names given_names) then
+          err (Domain.to_string d) v
+        else
+          List.fold_left
+            (fun acc (n, fv) ->
+              match acc with
+              | Error _ as e -> e
+              | Ok () -> go (List.assoc n fields) fv)
+            (Ok ()) given
+    | Domain.List_of e, List vs | Domain.Set_of e, Set vs ->
+        List.fold_left
+          (fun acc v -> match acc with Error _ as err -> err | Ok () -> go e v)
+          (Ok ()) vs
+    | Domain.Matrix_of e, Matrix rows ->
+        let width = if Array.length rows = 0 then 0 else Array.length rows.(0) in
+        if Array.exists (fun row -> Array.length row <> width) rows then
+          Error (Errors.Type_error "ragged matrix")
+        else
+          Array.fold_left
+            (fun acc row ->
+              Array.fold_left
+                (fun acc v ->
+                  match acc with Error _ as err -> err | Ok () -> go e v)
+                acc row)
+            (Ok ()) rows
+    | Domain.Tuple ds, Tuple vs ->
+        if List.length ds <> List.length vs then err (Domain.to_string d) v
+        else
+          List.fold_left2
+            (fun acc d v ->
+              match acc with Error _ as e -> e | Ok () -> go d v)
+            (Ok ()) ds vs
+    | Domain.Ref _, Ref _ -> Ok ()
+    | Domain.Named n, _ ->
+        Error (Errors.Schema_error ("unexpanded named domain: " ^ n))
+    | ( ( Domain.Integer | Domain.Real | Domain.Boolean | Domain.String
+        | Domain.Enum _ | Domain.Record _ | Domain.List_of _ | Domain.Set_of _
+        | Domain.Matrix_of _ | Domain.Tuple _ | Domain.Ref _ ),
+        _ ) ->
+        err (Domain.to_string d) v
+  in
+  go domain value

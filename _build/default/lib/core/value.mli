@@ -1,0 +1,61 @@
+(** Runtime attribute values and their conformance to domains.
+
+    Values are immutable; mutation happens by replacing an attribute's value
+    in the store.  Sets are kept in normal form (sorted, duplicate-free) so
+    that structural equality coincides with set equality. *)
+
+type t =
+  | Int of int
+  | Real of float
+  | Bool of bool
+  | Str of string
+  | Enum_case of string
+  | Record of (string * t) list  (** fields sorted by name *)
+  | List of t list
+  | Set of t list  (** normal form: sorted, no duplicates *)
+  | Matrix of t array array
+  | Tuple of t list
+  | Ref of Surrogate.t  (** reference to an object *)
+  | Null  (** absent value (unbound inheritor, uninitialised attribute) *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Total order; values of different constructors are ordered by
+    constructor rank, so heterogeneous sets still normalise. *)
+
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val set : t list -> t
+(** [set vs] builds a [Set] in normal form. *)
+
+val record : (string * t) list -> t
+(** [record fields] builds a [Record] with fields sorted by name. *)
+
+val point : int -> int -> t
+(** The paper's ubiquitous [Point] domain: [record [("X", Int x); ("Y", Int y)]]. *)
+
+val field : string -> t -> t option
+(** [field name v] projects a record field. *)
+
+val set_members : t -> t list option
+(** Members of a [Set] or [List]; [None] for other constructors. *)
+
+val as_int : t -> int option
+val as_float : t -> float option
+(** [as_float] accepts both [Int] and [Real]. *)
+
+val as_bool : t -> bool option
+val as_ref : t -> Surrogate.t option
+
+val refs : t -> Surrogate.t list
+(** All surrogates reachable inside the value (for where-used indexes and
+    the persistence codec). *)
+
+val conforms : Domain.t -> t -> (unit, Errors.t) result
+(** [conforms d v] checks that [v] inhabits [d].  [Null] conforms to every
+    domain (attributes may be uninitialised).  [Named] domains must have
+    been expanded beforehand (see {!Domain.expand}); encountering one is a
+    [Schema_error]. *)

@@ -1,0 +1,1 @@
+lib/ddl/ast.ml: Compo_core

@@ -1,0 +1,1 @@
+lib/ddl/ast.mli: Compo_core

@@ -1,0 +1,1 @@
+lib/ddl/elaborate.ml: Ast Compo_core Database Domain Errors Expr In_channel List Option Parser Result Schema Set String Value

@@ -1,0 +1,1 @@
+lib/ddl/lexer.ml: Buffer Compo_core Errors List Printf Result String Token

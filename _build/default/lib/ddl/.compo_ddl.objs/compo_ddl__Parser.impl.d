@@ -1,0 +1,1 @@
+lib/ddl/parser.ml: Array Ast Compo_core Errors Expr Lexer List Printf Result Token Value

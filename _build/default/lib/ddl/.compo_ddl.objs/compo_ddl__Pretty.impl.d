@@ -1,0 +1,1 @@
+lib/ddl/pretty.ml: Buffer Compo_core Domain Expr List Printf Schema String Value

@@ -1,0 +1,1 @@
+lib/ddl/token.mli: Format

@@ -1,0 +1,83 @@
+(** Abstract syntax of the schema definition language, prior to name
+    resolution.  Produced by {!Parser}, consumed by {!Elaborate}. *)
+
+type domain_expr =
+  | D_integer
+  | D_real
+  | D_boolean
+  | D_string
+  | D_enum of string list
+  | D_record of (string list * domain_expr) list
+      (** field groups: [(X, Y: integer)] keeps [X, Y] grouped *)
+  | D_set of domain_expr
+  | D_list of domain_expr
+  | D_matrix of domain_expr
+  | D_named of string
+  | D_object of string option  (** [object] / [object-of-type T] *)
+
+type expr = Compo_core.Expr.t
+(** Constraint expressions reuse the core AST; enum-literal resolution
+    (rewriting single-segment paths like [IN] into enum constants) happens
+    during elaboration. *)
+
+type attr_group = { ag_names : string list; ag_domain : domain_expr }
+type labeled_constraint = { lc_label : string option; lc_expr : expr }
+
+type subclass_decl =
+  | Sc_named of string * string  (** subclass name, member type name *)
+  | Sc_inline of string * inline_body
+
+and inline_body = {
+  ib_inheritor_in : string option;
+  ib_attrs : attr_group list;
+  ib_subclasses : subclass_decl list;
+  ib_constraints : labeled_constraint list;
+}
+
+type subrel_decl = {
+  sd_name : string;
+  sd_type : string;
+  sd_binder : string option;  (** [as w] *)
+  sd_where : expr option;
+}
+
+type obj_decl = {
+  od_name : string;
+  od_inheritor_in : string option;
+  od_attrs : attr_group list;
+  od_subclasses : subclass_decl list;
+  od_subrels : subrel_decl list;
+  od_constraints : labeled_constraint list;
+}
+
+type participant_group = {
+  pg_names : string list;
+  pg_many : bool;  (** [set-of object...] *)
+  pg_type : string option;
+}
+
+type rel_decl = {
+  rd_name : string;
+  rd_relates : participant_group list;
+  rd_attrs : attr_group list;
+  rd_subclasses : subclass_decl list;
+  rd_constraints : labeled_constraint list;
+}
+
+type inher_decl = {
+  id_name : string;
+  id_transmitter : string;
+  id_inheritor : string option;  (** [None] = [object] *)
+  id_inheriting : string list;
+  id_attrs : attr_group list;
+  id_subclasses : subclass_decl list;
+  id_constraints : labeled_constraint list;
+}
+
+type decl =
+  | D_domain of string * domain_expr
+  | D_obj of obj_decl
+  | D_rel of rel_decl
+  | D_inher of inher_decl
+
+type schema_text = decl list

@@ -1,0 +1,232 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+module Sset = Set.Make (String)
+
+type ctx = { db : Database.t; mutable enum_cases : Sset.t }
+
+let rec collect_enum_cases ctx (d : Ast.domain_expr) =
+  match d with
+  | Ast.D_enum cases ->
+      ctx.enum_cases <- Sset.union ctx.enum_cases (Sset.of_list cases)
+  | Ast.D_record fields ->
+      List.iter (fun (_, fd) -> collect_enum_cases ctx fd) fields
+  | Ast.D_set d | Ast.D_list d | Ast.D_matrix d -> collect_enum_cases ctx d
+  | Ast.D_integer | Ast.D_real | Ast.D_boolean | Ast.D_string | Ast.D_named _
+  | Ast.D_object _ ->
+      ()
+
+let rec domain_of_ast (d : Ast.domain_expr) : Domain.t =
+  match d with
+  | Ast.D_integer -> Domain.Integer
+  | Ast.D_real -> Domain.Real
+  | Ast.D_boolean -> Domain.Boolean
+  | Ast.D_string -> Domain.String
+  | Ast.D_enum cases -> Domain.Enum cases
+  | Ast.D_record groups ->
+      Domain.Record
+        (List.concat_map
+           (fun (names, fd) ->
+             let fd' = domain_of_ast fd in
+             List.map (fun n -> (n, fd')) names)
+           groups)
+  | Ast.D_set d -> Domain.Set_of (domain_of_ast d)
+  | Ast.D_list d -> Domain.List_of (domain_of_ast d)
+  | Ast.D_matrix d -> Domain.Matrix_of (domain_of_ast d)
+  | Ast.D_named n -> Domain.Named n
+  | Ast.D_object ty -> Domain.Ref ty
+
+let attrs_of_groups groups =
+  List.concat_map
+    (fun g ->
+      let d = domain_of_ast g.Ast.ag_domain in
+      List.map (fun n -> { Schema.attr_name = n; attr_domain = d }) g.Ast.ag_names)
+    groups
+
+(* Enum-literal resolution: rewrite single-segment paths that can only be
+   enumeration constants. *)
+let resolve_enum_literals ctx ~features expr =
+  let rec go vars expr =
+    match expr with
+    | Expr.Path [ x ]
+      when (not (Sset.mem x vars))
+           && (not (Sset.mem x features))
+           && Sset.mem x ctx.enum_cases ->
+        Expr.Const (Value.Enum_case x)
+    | Expr.Path _ | Expr.Const _ -> expr
+    | Expr.Count (p, filter) ->
+        let binder = List.nth p (List.length p - 1) in
+        Expr.Count (p, Option.map (go (Sset.add binder vars)) filter)
+    | Expr.Sum _ -> expr
+    | Expr.Unop (op, e) -> Expr.Unop (op, go vars e)
+    | Expr.Binop (op, a, b) -> Expr.Binop (op, go vars a, go vars b)
+    | Expr.Forall (bs, body) ->
+        let vars' = List.fold_left (fun acc (v, _) -> Sset.add v acc) vars bs in
+        Expr.Forall (bs, go vars' body)
+    | Expr.Exists (bs, body) ->
+        let vars' = List.fold_left (fun acc (v, _) -> Sset.add v acc) vars bs in
+        Expr.Exists (bs, go vars' body)
+  in
+  go Sset.empty expr
+
+let constraints_of ctx ~features labeled =
+  List.mapi
+    (fun i lc ->
+      let name =
+        match lc.Ast.lc_label with Some l -> l | None -> "c" ^ string_of_int (i + 1)
+      in
+      {
+        Schema.c_name = name;
+        c_expr = resolve_enum_literals ctx ~features lc.Ast.lc_expr;
+      })
+    labeled
+
+let rec subclass_of_ast ctx = function
+  | Ast.Sc_named (name, member) ->
+      { Schema.sc_name = name; sc_member = Schema.Named_type member }
+  | Ast.Sc_inline (name, body) ->
+      let features = inline_features body in
+      {
+        Schema.sc_name = name;
+        sc_member =
+          Schema.Inline
+            {
+              Schema.ot_name = "";
+              ot_inheritor_in = body.Ast.ib_inheritor_in;
+              ot_attrs = attrs_of_groups body.Ast.ib_attrs;
+              ot_subclasses = List.map (subclass_of_ast ctx) body.Ast.ib_subclasses;
+              ot_subrels = [];
+              ot_constraints = constraints_of ctx ~features body.Ast.ib_constraints;
+            };
+      }
+
+and inline_features body =
+  Sset.of_list
+    (List.concat_map (fun g -> g.Ast.ag_names) body.Ast.ib_attrs
+    @ List.map
+        (function Ast.Sc_named (n, _) | Ast.Sc_inline (n, _) -> n)
+        body.Ast.ib_subclasses)
+
+let subrel_of_ast ctx ~features sr =
+  {
+    Schema.sr_name = sr.Ast.sd_name;
+    sr_rel_type = sr.Ast.sd_type;
+    sr_binder = sr.Ast.sd_binder;
+    sr_where =
+      Option.map
+        (resolve_enum_literals ctx
+           ~features:
+             (Sset.add
+                (Option.value ~default:sr.Ast.sd_name sr.Ast.sd_binder)
+                features))
+        sr.Ast.sd_where;
+  }
+
+let feature_names ~attrs ~subclasses ~subrels ~participants =
+  Sset.of_list
+    (List.concat_map (fun (g : Ast.attr_group) -> g.ag_names) attrs
+    @ List.map
+        (function Ast.Sc_named (n, _) | Ast.Sc_inline (n, _) -> n)
+        subclasses
+    @ List.map (fun (sr : Ast.subrel_decl) -> sr.sd_name) subrels
+    @ List.concat_map (fun (pg : Ast.participant_group) -> pg.pg_names) participants)
+
+(* Register enum cases appearing anywhere in a declaration before
+   translating its constraints. *)
+let collect_decl_enums ctx = function
+  | Ast.D_domain (_, d) -> collect_enum_cases ctx d
+  | Ast.D_obj o -> List.iter (fun g -> collect_enum_cases ctx g.Ast.ag_domain) o.Ast.od_attrs
+  | Ast.D_rel r -> List.iter (fun g -> collect_enum_cases ctx g.Ast.ag_domain) r.Ast.rd_attrs
+  | Ast.D_inher i -> List.iter (fun g -> collect_enum_cases ctx g.Ast.ag_domain) i.Ast.id_attrs
+
+let install_decl ctx = function
+  | Ast.D_domain (name, d) ->
+      Database.define_domain ctx.db name (domain_of_ast d)
+  | Ast.D_obj o ->
+      let features =
+        feature_names ~attrs:o.Ast.od_attrs ~subclasses:o.Ast.od_subclasses
+          ~subrels:o.Ast.od_subrels ~participants:[]
+      in
+      Database.define_obj_type ctx.db
+        {
+          Schema.ot_name = o.Ast.od_name;
+          ot_inheritor_in = o.Ast.od_inheritor_in;
+          ot_attrs = attrs_of_groups o.Ast.od_attrs;
+          ot_subclasses = List.map (subclass_of_ast ctx) o.Ast.od_subclasses;
+          ot_subrels = List.map (subrel_of_ast ctx ~features) o.Ast.od_subrels;
+          ot_constraints = constraints_of ctx ~features o.Ast.od_constraints;
+        }
+  | Ast.D_rel r ->
+      let features =
+        feature_names ~attrs:r.Ast.rd_attrs ~subclasses:r.Ast.rd_subclasses
+          ~subrels:[] ~participants:r.Ast.rd_relates
+      in
+      Database.define_rel_type ctx.db
+        {
+          Schema.rt_name = r.Ast.rd_name;
+          rt_relates =
+            List.concat_map
+              (fun pg ->
+                List.map
+                  (fun n ->
+                    {
+                      Schema.p_name = n;
+                      p_card = (if pg.Ast.pg_many then Schema.Many else Schema.One);
+                      p_type = pg.Ast.pg_type;
+                    })
+                  pg.Ast.pg_names)
+              r.Ast.rd_relates;
+          rt_attrs = attrs_of_groups r.Ast.rd_attrs;
+          rt_subclasses = List.map (subclass_of_ast ctx) r.Ast.rd_subclasses;
+          rt_constraints = constraints_of ctx ~features r.Ast.rd_constraints;
+        }
+  | Ast.D_inher i ->
+      let features =
+        feature_names ~attrs:i.Ast.id_attrs ~subclasses:i.Ast.id_subclasses
+          ~subrels:[] ~participants:[]
+      in
+      Database.define_inher_rel_type ctx.db
+        {
+          Schema.it_name = i.Ast.id_name;
+          it_transmitter = i.Ast.id_transmitter;
+          it_inheritor = i.Ast.id_inheritor;
+          it_inheriting = i.Ast.id_inheriting;
+          it_attrs = attrs_of_groups i.Ast.id_attrs;
+          it_subclasses = List.map (subclass_of_ast ctx) i.Ast.id_subclasses;
+          it_constraints = constraints_of ctx ~features i.Ast.id_constraints;
+        }
+
+let install db decls =
+  let ctx = { db; enum_cases = Sset.empty } in
+  (* seed with the enum cases of previously-registered named domains, so a
+     schema can be loaded in several pieces *)
+  List.iter
+    (fun (_, d) ->
+      let rec collect = function
+        | Domain.Enum cases ->
+            ctx.enum_cases <- Sset.union ctx.enum_cases (Sset.of_list cases)
+        | Domain.Record fields -> List.iter (fun (_, fd) -> collect fd) fields
+        | Domain.List_of d | Domain.Set_of d | Domain.Matrix_of d -> collect d
+        | Domain.Tuple ds -> List.iter collect ds
+        | Domain.Integer | Domain.Real | Domain.Boolean | Domain.String
+        | Domain.Ref _ | Domain.Named _ ->
+            ()
+      in
+      collect d)
+    (Schema.domains (Database.schema db));
+  List.fold_left
+    (fun acc decl ->
+      let* () = acc in
+      collect_decl_enums ctx decl;
+      install_decl ctx decl)
+    (Ok ()) decls
+
+let load_string db src =
+  let* decls = Parser.parse src in
+  install db decls
+
+let load_file db path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | src -> load_string db src
+  | exception Sys_error msg -> Error (Errors.Io_error msg)

@@ -1,0 +1,17 @@
+(** Elaboration of parsed DDL into a {!Compo_core.Database}.
+
+    Beyond structural translation, elaboration resolves enum literals in
+    constraint expressions: a single-segment path such as [IN] in
+    [Pins.InOut = IN] that names no feature of the enclosing type, no bound
+    quantifier variable, and no top-level class, but does match a case of
+    some enumeration domain seen so far, is rewritten to the enum constant. *)
+
+val install :
+  Compo_core.Database.t -> Ast.schema_text -> (unit, Compo_core.Errors.t) result
+
+val load_string :
+  Compo_core.Database.t -> string -> (unit, Compo_core.Errors.t) result
+(** Parse and install. *)
+
+val load_file :
+  Compo_core.Database.t -> string -> (unit, Compo_core.Errors.t) result

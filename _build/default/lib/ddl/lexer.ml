@@ -1,0 +1,184 @@
+open Compo_core
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let error st message =
+  Error (Errors.Parse_error { line = st.line; col = st.col; message })
+
+let is_word_start c = ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') || c = '_'
+
+let is_word_char c =
+  is_word_start c || ('0' <= c && c <= '9') || c = '-' || c = '\''
+
+let is_digit c = '0' <= c && c <= '9'
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec skip depth =
+        match (peek st, peek2 st) with
+        | None, _ -> error st "unterminated comment"
+        | Some '*', Some '/' ->
+            advance st;
+            advance st;
+            if depth = 0 then Ok () else skip (depth - 1)
+        | Some '/', Some '*' ->
+            advance st;
+            advance st;
+            skip (depth + 1)
+        | Some _, _ ->
+            advance st;
+            skip depth
+      in
+      Result.bind (skip 0) (fun () -> skip_ws_and_comments st)
+  | Some '-' when peek2 st = Some '-' ->
+      let rec to_eol () =
+        match peek st with
+        | Some '\n' | None -> ()
+        | Some _ ->
+            advance st;
+            to_eol ()
+      in
+      to_eol ();
+      skip_ws_and_comments st
+  | Some _ | None -> Ok ()
+
+let lex_word st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_word_char c | None -> false) do
+    advance st
+  done;
+  (* a trailing hyphen belongs to the next token (e.g. "x -3") *)
+  let stop = ref st.pos in
+  while !stop > start && st.src.[!stop - 1] = '-' do
+    decr stop;
+    st.pos <- st.pos - 1;
+    st.col <- st.col - 1
+  done;
+  String.sub st.src start (!stop - start)
+
+let lex_number st =
+  let start = st.pos in
+  while (match peek st with Some c -> is_digit c | None -> false) do
+    advance st
+  done;
+  let is_real =
+    match (peek st, peek2 st) with
+    | Some '.', Some c when is_digit c -> true
+    | _ -> false
+  in
+  if is_real then begin
+    advance st;
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+    Token.Real (float_of_string (String.sub st.src start (st.pos - start)))
+  end
+  else Token.Int (int_of_string (String.sub st.src start (st.pos - start)))
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' ->
+        advance st;
+        Ok (Token.Str (Buffer.contents buf))
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' ->
+            Buffer.add_char buf '\n';
+            advance st;
+            go ()
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | None -> error st "unterminated escape")
+    | Some c ->
+        Buffer.add_char buf c;
+        advance st;
+        go ()
+  in
+  go ()
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let ( let* ) = Result.bind in
+  let rec go acc =
+    let* () = skip_ws_and_comments st in
+    let line = st.line and col = st.col in
+    let tok kind = { Token.kind; line; col } in
+    match peek st with
+    | None -> Ok (List.rev (tok Token.Eof :: acc))
+    | Some c when is_word_start c ->
+        let word = lex_word st in
+        let kind =
+          if List.mem word Token.keywords then Token.Kw word else Token.Ident word
+        in
+        go (tok kind :: acc)
+    | Some c when is_digit c -> go (tok (lex_number st) :: acc)
+    | Some '"' ->
+        let* s = lex_string st in
+        go (tok s :: acc)
+    | Some '<' when peek2 st = Some '>' ->
+        advance st;
+        advance st;
+        go (tok Token.Ne :: acc)
+    | Some '<' when peek2 st = Some '=' ->
+        advance st;
+        advance st;
+        go (tok Token.Le :: acc)
+    | Some '>' when peek2 st = Some '=' ->
+        advance st;
+        advance st;
+        go (tok Token.Ge :: acc)
+    | Some c ->
+        let simple kind =
+          advance st;
+          go (tok kind :: acc)
+        in
+        (match c with
+        | '(' -> simple Token.Lparen
+        | ')' -> simple Token.Rparen
+        | ':' -> simple Token.Colon
+        | ';' -> simple Token.Semi
+        | ',' -> simple Token.Comma
+        | '.' -> simple Token.Dot
+        | '=' -> simple Token.Eq
+        | '<' -> simple Token.Lt
+        | '>' -> simple Token.Gt
+        | '+' -> simple Token.Plus
+        | '-' -> simple Token.Minus
+        | '*' -> simple Token.Star
+        | '/' -> simple Token.Slash
+        | '#' -> simple Token.Hash
+        | c -> error st (Printf.sprintf "unexpected character %C" c))
+  in
+  go []

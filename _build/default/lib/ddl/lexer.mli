@@ -1,0 +1,6 @@
+(** Hand-written lexer for the schema definition language.
+
+    Supports [/* ... */] block comments (nesting) and [--] line comments.
+    Words may contain hyphens, so binary minus requires whitespace. *)
+
+val tokenize : string -> (Token.t list, Compo_core.Errors.t) result

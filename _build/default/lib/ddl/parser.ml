@@ -1,0 +1,813 @@
+open Compo_core
+
+type state = { toks : Token.t array; mutable cur : int }
+
+let ( let* ) = Result.bind
+let peek st = st.toks.(st.cur)
+let peek_kind st = (peek st).Token.kind
+
+let peek_kind2 st =
+  if st.cur + 1 < Array.length st.toks then Some st.toks.(st.cur + 1).Token.kind
+  else None
+
+let advance st = if st.cur < Array.length st.toks - 1 then st.cur <- st.cur + 1
+let save st = st.cur
+let restore st pos = st.cur <- pos
+
+let error st message =
+  let t = peek st in
+  Error (Errors.Parse_error { line = t.Token.line; col = t.Token.col; message })
+
+let expect st kind =
+  if peek_kind st = kind then begin
+    advance st;
+    Ok ()
+  end
+  else
+    error st
+      (Printf.sprintf "expected %s, found %s" (Token.kind_to_string kind)
+         (Token.kind_to_string (peek_kind st)))
+
+let expect_kw st kw = expect st (Token.Kw kw)
+
+let ident st =
+  match peek_kind st with
+  | Token.Ident name ->
+      advance st;
+      Ok name
+  | k -> error st (Printf.sprintf "expected an identifier, found %s" (Token.kind_to_string k))
+
+let eat_semi st = if peek_kind st = Token.Semi then advance st
+
+let ident_list st =
+  let* first = ident st in
+  let rec go acc =
+    if peek_kind st = Token.Comma then begin
+      advance st;
+      let* next = ident st in
+      go (next :: acc)
+    end
+    else Ok (List.rev acc)
+  in
+  go [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Expressions                                                         *)
+
+let path st =
+  let* first = ident st in
+  let rec go acc =
+    if peek_kind st = Token.Dot then begin
+      advance st;
+      let* next = ident st in
+      go (next :: acc)
+    end
+    else Ok (List.rev acc)
+  in
+  go [ first ]
+
+let rec expr st = or_expr st
+
+and or_expr st =
+  let* lhs = and_expr st in
+  let rec go lhs =
+    if peek_kind st = Token.Kw "or" then begin
+      advance st;
+      let* rhs = and_expr st in
+      go (Expr.Binop (Expr.Or, lhs, rhs))
+    end
+    else Ok lhs
+  in
+  go lhs
+
+and and_expr st =
+  let* lhs = not_expr st in
+  let rec go lhs =
+    if peek_kind st = Token.Kw "and" then begin
+      advance st;
+      let* rhs = not_expr st in
+      go (Expr.Binop (Expr.And, lhs, rhs))
+    end
+    else Ok lhs
+  in
+  go lhs
+
+and not_expr st =
+  if peek_kind st = Token.Kw "not" then begin
+    advance st;
+    let* e = not_expr st in
+    Ok (Expr.Unop (Expr.Not, e))
+  end
+  else comparison st
+
+and comparison st =
+  let* lhs = additive st in
+  let op =
+    match peek_kind st with
+    | Token.Eq -> Some Expr.Eq
+    | Token.Ne -> Some Expr.Ne
+    | Token.Lt -> Some Expr.Lt
+    | Token.Le -> Some Expr.Le
+    | Token.Gt -> Some Expr.Gt
+    | Token.Ge -> Some Expr.Ge
+    | Token.Kw "in" -> Some Expr.In
+    | _ -> None
+  in
+  match op with
+  | None -> Ok lhs
+  | Some op ->
+      advance st;
+      let* rhs = additive st in
+      Ok (Expr.Binop (op, lhs, rhs))
+
+and additive st =
+  let* lhs = multiplicative st in
+  let rec go lhs =
+    match peek_kind st with
+    | Token.Plus ->
+        advance st;
+        let* rhs = multiplicative st in
+        go (Expr.Binop (Expr.Add, lhs, rhs))
+    | Token.Minus ->
+        advance st;
+        let* rhs = multiplicative st in
+        go (Expr.Binop (Expr.Sub, lhs, rhs))
+    | _ -> Ok lhs
+  in
+  go lhs
+
+and multiplicative st =
+  let* lhs = unary st in
+  let rec go lhs =
+    match peek_kind st with
+    | Token.Star ->
+        advance st;
+        let* rhs = unary st in
+        go (Expr.Binop (Expr.Mul, lhs, rhs))
+    | Token.Slash ->
+        advance st;
+        let* rhs = unary st in
+        go (Expr.Binop (Expr.Div, lhs, rhs))
+    | _ -> Ok lhs
+  in
+  go lhs
+
+and unary st =
+  if peek_kind st = Token.Minus then begin
+    advance st;
+    let* e = unary st in
+    Ok (Expr.Unop (Expr.Neg, e))
+  end
+  else primary st
+
+and primary st =
+  match peek_kind st with
+  | Token.Int i ->
+      advance st;
+      Ok (Expr.Const (Value.Int i))
+  | Token.Real f ->
+      advance st;
+      Ok (Expr.Const (Value.Real f))
+  | Token.Str s ->
+      advance st;
+      Ok (Expr.Const (Value.Str s))
+  | Token.Kw "true" ->
+      advance st;
+      Ok (Expr.Const (Value.Bool true))
+  | Token.Kw "false" ->
+      advance st;
+      Ok (Expr.Const (Value.Bool false))
+  | Token.Lparen ->
+      advance st;
+      let* e = expr st in
+      let* () = expect st Token.Rparen in
+      Ok e
+  | Token.Kw "count" ->
+      advance st;
+      let* () = expect st Token.Lparen in
+      let* p = path st in
+      let* () = expect st Token.Rparen in
+      (* greedy inline filter; the paper's trailing form ("count (Pins) = 2
+         where ...") is attached at the constraint level instead *)
+      if peek_kind st = Token.Kw "where" then begin
+        advance st;
+        let* filter = expr st in
+        Ok (Expr.Count (p, Some filter))
+      end
+      else Ok (Expr.Count (p, None))
+  | Token.Hash ->
+      (* "#s in Bolt" counts the members of Bolt *)
+      advance st;
+      let* _binder = ident st in
+      let* () = expect_kw st "in" in
+      let* p = path st in
+      Ok (Expr.Count (p, None))
+  | Token.Kw "sum" ->
+      advance st;
+      let* () = expect st Token.Lparen in
+      let* p = path st in
+      let* () = expect st Token.Rparen in
+      Ok (Expr.Sum p)
+  | Token.Kw "for" ->
+      advance st;
+      let* binders = quantifier_binders st in
+      let* () = expect st Token.Colon in
+      let* body = expr st in
+      Ok (Expr.Forall (binders, body))
+  | Token.Kw "exists" ->
+      advance st;
+      let* binders = quantifier_binders st in
+      let* () = expect st Token.Colon in
+      let* body = expr st in
+      Ok (Expr.Exists (binders, body))
+  | Token.Ident _ ->
+      let* p = path st in
+      Ok (Expr.Path p)
+  | k -> error st (Printf.sprintf "expected an expression, found %s" (Token.kind_to_string k))
+
+and quantifier_binders st =
+  let binder st =
+    let* v = ident st in
+    let* () = expect_kw st "in" in
+    let* p = path st in
+    Ok (v, p)
+  in
+  if peek_kind st = Token.Lparen then begin
+    advance st;
+    let* first = binder st in
+    let rec go acc =
+      if peek_kind st = Token.Comma then begin
+        advance st;
+        let* next = binder st in
+        go (next :: acc)
+      end
+      else
+        let* () = expect st Token.Rparen in
+        Ok (List.rev acc)
+    in
+    go [ first ]
+  end
+  else
+    let* only = binder st in
+    Ok [ only ]
+
+(* A constraint is an expression optionally followed by the paper's
+   trailing "where": the filter attaches to the leftmost unfiltered count. *)
+let attach_trailing_where e filter =
+  let attached = ref false in
+  let rec go e =
+    match e with
+    | Expr.Count (p, None) when not !attached ->
+        attached := true;
+        Expr.Count (p, Some filter)
+    | Expr.Count _ | Expr.Const _ | Expr.Path _ | Expr.Sum _ -> e
+    | Expr.Unop (op, a) -> Expr.Unop (op, go a)
+    | Expr.Binop (op, a, b) ->
+        let a' = go a in
+        Expr.Binop (op, a', go b)
+    | Expr.Forall (bs, body) -> Expr.Forall (bs, go body)
+    | Expr.Exists (bs, body) -> Expr.Exists (bs, go body)
+  in
+  let result = go e in
+  if !attached then Some result else None
+
+let constraint_expr st =
+  let* e = expr st in
+  if peek_kind st = Token.Kw "where" then begin
+    advance st;
+    let* filter = expr st in
+    match attach_trailing_where e filter with
+    | Some e' -> Ok e'
+    | None -> error st "trailing where-clause without a count to attach to"
+  end
+  else Ok e
+
+(* ------------------------------------------------------------------ *)
+(* Domains                                                             *)
+
+let rec domain st =
+  match peek_kind st with
+  | Token.Kw "integer" ->
+      advance st;
+      Ok Ast.D_integer
+  | Token.Kw "real" ->
+      advance st;
+      Ok Ast.D_real
+  | Token.Kw "boolean" ->
+      advance st;
+      Ok Ast.D_boolean
+  | Token.Kw "string" ->
+      advance st;
+      Ok Ast.D_string
+  | Token.Kw "set-of" ->
+      advance st;
+      let* d = domain st in
+      Ok (Ast.D_set d)
+  | Token.Kw "list-of" ->
+      advance st;
+      let* d = domain st in
+      Ok (Ast.D_list d)
+  | Token.Kw "matrix-of" ->
+      advance st;
+      let* d = domain st in
+      Ok (Ast.D_matrix d)
+  | Token.Kw "object" ->
+      advance st;
+      Ok (Ast.D_object None)
+  | Token.Kw "object-of-type" ->
+      advance st;
+      let* name = ident st in
+      Ok (Ast.D_object (Some name))
+  | Token.Kw "record" ->
+      (* record: fields... end-domain [Name] -- or record (fields) *)
+      advance st;
+      if peek_kind st = Token.Colon then begin
+        advance st;
+        let* groups = field_groups st in
+        let* () = expect_kw st "end-domain" in
+        (match peek_kind st with Token.Ident _ -> advance st | _ -> ());
+        Ok (Ast.D_record (List.map group_to_fields groups))
+      end
+      else
+        let* () = expect st Token.Lparen in
+        let* groups = field_groups st in
+        let* () = expect st Token.Rparen in
+        Ok (Ast.D_record (List.map group_to_fields groups))
+  | Token.Lparen -> paren_domain st
+  | Token.Ident name ->
+      advance st;
+      Ok (Ast.D_named name)
+  | k -> error st (Printf.sprintf "expected a domain, found %s" (Token.kind_to_string k))
+
+and group_to_fields g = (g.Ast.ag_names, g.Ast.ag_domain)
+
+(* "(IN, OUT)" is an enumeration; "(X, Y: integer)" and
+   "(PinId: integer; InOut: IO;)" are records. *)
+and paren_domain st =
+  let* () = expect st Token.Lparen in
+  let* names = ident_list st in
+  match peek_kind st with
+  | Token.Rparen ->
+      advance st;
+      Ok (Ast.D_enum names)
+  | Token.Colon ->
+      advance st;
+      let* d = domain st in
+      let first = (names, d) in
+      let* rest =
+        if peek_kind st = Token.Semi then begin
+          advance st;
+          if peek_kind st = Token.Rparen then Ok []
+          else
+            let* groups = field_groups st in
+            Ok (List.map group_to_fields groups)
+        end
+        else Ok []
+      in
+      let* () = expect st Token.Rparen in
+      Ok (Ast.D_record (first :: rest))
+  | k ->
+      error st
+        (Printf.sprintf "expected , : or ) in domain, found %s" (Token.kind_to_string k))
+
+(* "Length, Width: integer; Function: (AND, OR);" -- stops (without
+   consuming) at the first token that cannot start another field group. *)
+and field_groups st =
+  let field_group st =
+    let pos = save st in
+    match ident_list st with
+    | Error _ as e ->
+        restore st pos;
+        e
+    | Ok names ->
+        if peek_kind st <> Token.Colon then begin
+          restore st pos;
+          error st "not a field group"
+        end
+        else begin
+          advance st;
+          match domain st with
+          | Error _ as e ->
+              restore st pos;
+              e
+          | Ok d ->
+              eat_semi st;
+              Ok { Ast.ag_names = names; ag_domain = d }
+        end
+  in
+  let* first = field_group st in
+  let rec go acc =
+    let pos = save st in
+    match field_group st with
+    | Ok g -> go (g :: acc)
+    | Error _ ->
+        restore st pos;
+        Ok (List.rev acc)
+  in
+  go [ first ]
+
+(* ------------------------------------------------------------------ *)
+(* Type bodies                                                         *)
+
+let labeled_constraints st =
+  let one st =
+    let label =
+      match (peek_kind st, peek_kind2 st) with
+      | Token.Ident l, Some Token.Colon ->
+          advance st;
+          advance st;
+          Some l
+      | _ -> None
+    in
+    let* e = constraint_expr st in
+    eat_semi st;
+    Ok { Ast.lc_label = label; lc_expr = e }
+  in
+  let rec go acc =
+    let pos = save st in
+    match one st with
+    | Ok c -> go (c :: acc)
+    | Error _ ->
+        restore st pos;
+        Ok (List.rev acc)
+  in
+  go []
+
+let rec subclass_decls st =
+  let one st =
+    let pos = save st in
+    let* name = ident st in
+    if peek_kind st <> Token.Colon then begin
+      restore st pos;
+      error st "not a subclass declaration"
+    end
+    else begin
+      advance st;
+      match peek_kind st with
+      | Token.Ident member ->
+          advance st;
+          eat_semi st;
+          Ok (Ast.Sc_named (name, member))
+      | Token.Kw ("inheritor-in" | "attributes") ->
+          let* body = inline_body st in
+          Ok (Ast.Sc_inline (name, body))
+      | k ->
+          restore st pos;
+          error st
+            (Printf.sprintf "expected a member type or inline body, found %s"
+               (Token.kind_to_string k))
+    end
+  in
+  let rec go acc =
+    let pos = save st in
+    match one st with
+    | Ok sc -> go (sc :: acc)
+    | Error _ ->
+        restore st pos;
+        Ok (List.rev acc)
+  in
+  go []
+
+and inline_body st =
+  let body =
+    ref
+      {
+        Ast.ib_inheritor_in = None;
+        ib_attrs = [];
+        ib_subclasses = [];
+        ib_constraints = [];
+      }
+  in
+  let rec go () =
+    match peek_kind st with
+    | Token.Kw "inheritor-in" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* rel = ident st in
+        eat_semi st;
+        body := { !body with Ast.ib_inheritor_in = Some rel };
+        go ()
+    | Token.Kw "attributes" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* groups = field_groups st in
+        body := { !body with Ast.ib_attrs = !body.Ast.ib_attrs @ groups };
+        go ()
+    (* Inline member types support inheritor-in and attributes only; a
+       following "constraints:" or "types-of-subclasses:" section belongs
+       to the owner (the paper's listings never nest those inline). *)
+    | _ -> Ok !body
+  in
+  go ()
+
+let subrel_decls st =
+  let one st =
+    let pos = save st in
+    let* name = ident st in
+    if peek_kind st <> Token.Colon then begin
+      restore st pos;
+      error st "not a subrel declaration"
+    end
+    else begin
+      advance st;
+      let* rel_type = ident st in
+      let* binder =
+        if peek_kind st = Token.Kw "as" then begin
+          advance st;
+          let* b = ident st in
+          Ok (Some b)
+        end
+        else Ok None
+      in
+      let* where_clause =
+        if peek_kind st = Token.Kw "where" then begin
+          advance st;
+          let* e = expr st in
+          Ok (Some e)
+        end
+        else Ok None
+      in
+      eat_semi st;
+      Ok { Ast.sd_name = name; sd_type = rel_type; sd_binder = binder; sd_where = where_clause }
+    end
+  in
+  let rec go acc =
+    let pos = save st in
+    match one st with
+    | Ok sr -> go (sr :: acc)
+    | Error _ ->
+        restore st pos;
+        Ok (List.rev acc)
+  in
+  go []
+
+let finish_type st =
+  let* () = expect_kw st "end" in
+  (match peek_kind st with Token.Ident _ -> advance st | _ -> ());
+  eat_semi st;
+  Ok ()
+
+let obj_decl st =
+  let* () = expect_kw st "obj-type" in
+  let* name = ident st in
+  let* () = expect st Token.Eq in
+  let decl =
+    ref
+      {
+        Ast.od_name = name;
+        od_inheritor_in = None;
+        od_attrs = [];
+        od_subclasses = [];
+        od_subrels = [];
+        od_constraints = [];
+      }
+  in
+  let rec sections () =
+    match peek_kind st with
+    | Token.Kw "inheritor-in" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* rel = ident st in
+        eat_semi st;
+        decl := { !decl with Ast.od_inheritor_in = Some rel };
+        sections ()
+    | Token.Kw "attributes" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* groups = field_groups st in
+        decl := { !decl with Ast.od_attrs = !decl.Ast.od_attrs @ groups };
+        sections ()
+    | Token.Kw "types-of-subclasses" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* subs = subclass_decls st in
+        decl := { !decl with Ast.od_subclasses = !decl.Ast.od_subclasses @ subs };
+        sections ()
+    | Token.Kw "types-of-subrels" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* subs = subrel_decls st in
+        decl := { !decl with Ast.od_subrels = !decl.Ast.od_subrels @ subs };
+        sections ()
+    | Token.Kw "constraints" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* cs = labeled_constraints st in
+        decl := { !decl with Ast.od_constraints = !decl.Ast.od_constraints @ cs };
+        sections ()
+    | Token.Kw "end" ->
+        let* () = finish_type st in
+        Ok (Ast.D_obj !decl)
+    | k ->
+        error st
+          (Printf.sprintf "unexpected %s in obj-type body" (Token.kind_to_string k))
+  in
+  sections ()
+
+let participant_groups st =
+  let one st =
+    let pos = save st in
+    let* names = ident_list st in
+    if peek_kind st <> Token.Colon then begin
+      restore st pos;
+      error st "not a participant group"
+    end
+    else begin
+      advance st;
+      let* many =
+        if peek_kind st = Token.Kw "set-of" then begin
+          advance st;
+          Ok true
+        end
+        else Ok false
+      in
+      let* ty =
+        match peek_kind st with
+        | Token.Kw "object" ->
+            advance st;
+            Ok None
+        | Token.Kw "object-of-type" ->
+            advance st;
+            let* t = ident st in
+            Ok (Some t)
+        | k ->
+            error st
+              (Printf.sprintf "expected object or object-of-type, found %s"
+                 (Token.kind_to_string k))
+      in
+      eat_semi st;
+      Ok { Ast.pg_names = names; pg_many = many; pg_type = ty }
+    end
+  in
+  let* first = one st in
+  let rec go acc =
+    let pos = save st in
+    match one st with
+    | Ok g -> go (g :: acc)
+    | Error _ ->
+        restore st pos;
+        Ok (List.rev acc)
+  in
+  go [ first ]
+
+let rel_decl st =
+  let* () = expect_kw st "rel-type" in
+  let* name = ident st in
+  let* () = expect st Token.Eq in
+  let* () = expect_kw st "relates" in
+  let* () = expect st Token.Colon in
+  let* relates = participant_groups st in
+  let decl =
+    ref
+      {
+        Ast.rd_name = name;
+        rd_relates = relates;
+        rd_attrs = [];
+        rd_subclasses = [];
+        rd_constraints = [];
+      }
+  in
+  let rec sections () =
+    match peek_kind st with
+    | Token.Kw "attributes" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* groups = field_groups st in
+        decl := { !decl with Ast.rd_attrs = !decl.Ast.rd_attrs @ groups };
+        sections ()
+    | Token.Kw "types-of-subclasses" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* subs = subclass_decls st in
+        decl := { !decl with Ast.rd_subclasses = !decl.Ast.rd_subclasses @ subs };
+        sections ()
+    | Token.Kw "constraints" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* cs = labeled_constraints st in
+        decl := { !decl with Ast.rd_constraints = !decl.Ast.rd_constraints @ cs };
+        sections ()
+    | Token.Kw "end" ->
+        let* () = finish_type st in
+        Ok (Ast.D_rel !decl)
+    | k ->
+        error st
+          (Printf.sprintf "unexpected %s in rel-type body" (Token.kind_to_string k))
+  in
+  sections ()
+
+let inher_decl st =
+  let* () = expect_kw st "inher-rel-type" in
+  let* name = ident st in
+  let* () = expect st Token.Eq in
+  let* () = expect_kw st "transmitter" in
+  let* () = expect st Token.Colon in
+  let* () = expect_kw st "object-of-type" in
+  let* transmitter = ident st in
+  eat_semi st;
+  let* () = expect_kw st "inheritor" in
+  let* () = expect st Token.Colon in
+  let* inheritor =
+    match peek_kind st with
+    | Token.Kw "object" ->
+        advance st;
+        Ok None
+    | Token.Kw "object-of-type" ->
+        advance st;
+        let* t = ident st in
+        Ok (Some t)
+    | k ->
+        error st
+          (Printf.sprintf "expected object or object-of-type, found %s"
+             (Token.kind_to_string k))
+  in
+  eat_semi st;
+  let* () = expect_kw st "inheriting" in
+  let* () = expect st Token.Colon in
+  let* inheriting = ident_list st in
+  eat_semi st;
+  let decl =
+    ref
+      {
+        Ast.id_name = name;
+        id_transmitter = transmitter;
+        id_inheritor = inheritor;
+        id_inheriting = inheriting;
+        id_attrs = [];
+        id_subclasses = [];
+        id_constraints = [];
+      }
+  in
+  let rec sections () =
+    match peek_kind st with
+    | Token.Kw "attributes" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* groups = field_groups st in
+        decl := { !decl with Ast.id_attrs = !decl.Ast.id_attrs @ groups };
+        sections ()
+    | Token.Kw "types-of-subclasses" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* subs = subclass_decls st in
+        decl := { !decl with Ast.id_subclasses = !decl.Ast.id_subclasses @ subs };
+        sections ()
+    | Token.Kw "constraints" ->
+        advance st;
+        let* () = expect st Token.Colon in
+        let* cs = labeled_constraints st in
+        decl := { !decl with Ast.id_constraints = !decl.Ast.id_constraints @ cs };
+        sections ()
+    | Token.Kw "end" ->
+        let* () = finish_type st in
+        Ok (Ast.D_inher !decl)
+    | k ->
+        error st
+          (Printf.sprintf "unexpected %s in inher-rel-type body"
+             (Token.kind_to_string k))
+  in
+  sections ()
+
+let domain_decl st =
+  let* () = expect_kw st "domain" in
+  let* name = ident st in
+  let* () = expect st Token.Eq in
+  let* d = domain st in
+  eat_semi st;
+  Ok (Ast.D_domain (name, d))
+
+let parse_tokens toks =
+  let st = { toks = Array.of_list toks; cur = 0 } in
+  let rec go acc =
+    match peek_kind st with
+    | Token.Eof -> Ok (List.rev acc)
+    | Token.Kw "domain" ->
+        let* d = domain_decl st in
+        go (d :: acc)
+    | Token.Kw "obj-type" ->
+        let* d = obj_decl st in
+        go (d :: acc)
+    | Token.Kw "rel-type" ->
+        let* d = rel_decl st in
+        go (d :: acc)
+    | Token.Kw "inher-rel-type" ->
+        let* d = inher_decl st in
+        go (d :: acc)
+    | k ->
+        error st
+          (Printf.sprintf "expected a declaration, found %s" (Token.kind_to_string k))
+  in
+  go []
+
+let parse src =
+  let* toks = Lexer.tokenize src in
+  parse_tokens toks
+
+let parse_expr src =
+  let* toks = Lexer.tokenize src in
+  let st = { toks = Array.of_list toks; cur = 0 } in
+  let* e = constraint_expr st in
+  match peek_kind st with
+  | Token.Eof | Token.Semi -> Ok e
+  | k ->
+      error st (Printf.sprintf "trailing input after expression: %s" (Token.kind_to_string k))

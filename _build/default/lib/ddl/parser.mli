@@ -1,0 +1,13 @@
+(** Recursive-descent parser for the schema definition language.
+
+    Accepts the paper's listings modulo the lexical adaptations documented
+    in DESIGN.md (identifiers may not contain "/", binary minus needs
+    whitespace) plus two small extensions: subrelationship declarations may
+    name their where-clause binder explicitly ([Wires: WireType as Wire
+    where ...]; the binder defaults to the subclass name), and constraints
+    may carry labels ([label: expr]). *)
+
+val parse : string -> (Ast.schema_text, Compo_core.Errors.t) result
+
+val parse_expr : string -> (Ast.expr, Compo_core.Errors.t) result
+(** Parse a single constraint expression (used by the CLI and tests). *)

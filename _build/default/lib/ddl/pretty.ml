@@ -1,0 +1,241 @@
+open Compo_core
+
+let rec domain_to_string (d : Domain.t) =
+  match d with
+  | Domain.Integer -> "integer"
+  | Domain.Real -> "real"
+  | Domain.Boolean -> "boolean"
+  | Domain.String -> "string"
+  | Domain.Enum cases -> "(" ^ String.concat ", " cases ^ ")"
+  | Domain.Record fields ->
+      let field (n, fd) = n ^ ": " ^ domain_to_string fd ^ ";" in
+      "record (" ^ String.concat " " (List.map field fields) ^ ")"
+  | Domain.List_of d -> "list-of " ^ domain_to_string d
+  | Domain.Set_of d -> "set-of " ^ domain_to_string d
+  | Domain.Matrix_of d -> "matrix-of " ^ domain_to_string d
+  | Domain.Tuple ds ->
+      (* tuples have no concrete syntax in the paper; print as a record *)
+      let field i fd = "f" ^ string_of_int i ^ ": " ^ domain_to_string fd ^ ";" in
+      "record (" ^ String.concat " " (List.mapi field ds) ^ ")"
+  | Domain.Ref None -> "object"
+  | Domain.Ref (Some ty) -> "object-of-type " ^ ty
+  | Domain.Named n -> n
+
+(* Precedence-aware expression printer; inline filtered counts are
+   parenthesised so that the parser's greedy inline-where reads them back. *)
+let expr_to_string e =
+  let buf = Buffer.create 64 in
+  let value_to_string = function
+    | Value.Int i -> string_of_int i
+    | Value.Real f -> string_of_float f
+    | Value.Bool true -> "true"
+    | Value.Bool false -> "false"
+    | Value.Str s -> Printf.sprintf "%S" s
+    | Value.Enum_case c -> c
+    | v -> Value.to_string v
+  in
+  let prec_of = function
+    | Expr.Or -> 1
+    | Expr.And -> 2
+    | Expr.Eq | Expr.Ne | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge | Expr.In -> 4
+    | Expr.Add | Expr.Sub -> 5
+    | Expr.Mul | Expr.Div -> 6
+  in
+  let op_name = function
+    | Expr.Or -> "or"
+    | Expr.And -> "and"
+    | Expr.Eq -> "="
+    | Expr.Ne -> "<>"
+    | Expr.Lt -> "<"
+    | Expr.Le -> "<="
+    | Expr.Gt -> ">"
+    | Expr.Ge -> ">="
+    | Expr.In -> "in"
+    | Expr.Add -> "+"
+    | Expr.Sub -> "-"
+    | Expr.Mul -> "*"
+    | Expr.Div -> "/"
+  in
+  let binders_to_string bs =
+    let binder (v, p) = v ^ " in " ^ String.concat "." p in
+    match bs with
+    | [ b ] -> binder b
+    | bs -> "(" ^ String.concat ", " (List.map binder bs) ^ ")"
+  in
+  let rec go ctx e =
+    match e with
+    | Expr.Const v -> Buffer.add_string buf (value_to_string v)
+    | Expr.Path p -> Buffer.add_string buf (String.concat "." p)
+    | Expr.Count (p, None) ->
+        Buffer.add_string buf ("count (" ^ String.concat "." p ^ ")")
+    | Expr.Count (p, Some filter) ->
+        Buffer.add_string buf ("(count (" ^ String.concat "." p ^ ") where ");
+        go 0 filter;
+        Buffer.add_char buf ')'
+    | Expr.Sum p -> Buffer.add_string buf ("sum (" ^ String.concat "." p ^ ")")
+    | Expr.Unop (Expr.Not, e) ->
+        (* "not" binds tighter than comparisons in the parser, so always
+           parenthesise the operand *)
+        Buffer.add_string buf "not (";
+        go 0 e;
+        Buffer.add_char buf ')'
+    | Expr.Unop (Expr.Neg, e) ->
+        Buffer.add_string buf "-";
+        paren 7 e
+    | Expr.Binop (op, a, b) ->
+        let p = prec_of op in
+        let wrap = p < ctx in
+        (* comparisons are non-associative in the grammar, so both operands
+           of a comparison must bind tighter than the comparison itself *)
+        let lhs_ctx = match op with
+          | Expr.Eq | Expr.Ne | Expr.Lt | Expr.Le | Expr.Gt | Expr.Ge | Expr.In ->
+              p + 1
+          | Expr.Or | Expr.And | Expr.Add | Expr.Sub | Expr.Mul | Expr.Div -> p
+        in
+        if wrap then Buffer.add_char buf '(';
+        paren lhs_ctx a;
+        Buffer.add_string buf (" " ^ op_name op ^ " ");
+        paren (p + 1) b;
+        if wrap then Buffer.add_char buf ')'
+    | Expr.Forall (bs, body) ->
+        let wrap = ctx > 0 in
+        if wrap then Buffer.add_char buf '(';
+        Buffer.add_string buf ("for " ^ binders_to_string bs ^ ": ");
+        go 0 body;
+        if wrap then Buffer.add_char buf ')'
+    | Expr.Exists (bs, body) ->
+        let wrap = ctx > 0 in
+        if wrap then Buffer.add_char buf '(';
+        Buffer.add_string buf ("exists " ^ binders_to_string bs ^ ": ");
+        go 0 body;
+        if wrap then Buffer.add_char buf ')'
+  and paren ctx e =
+    match e with
+    | Expr.Binop (op, _, _) when prec_of op < ctx ->
+        Buffer.add_char buf '(';
+        go 0 e;
+        Buffer.add_char buf ')'
+    | _ -> go ctx e
+  in
+  go 0 e;
+  Buffer.contents buf
+
+let add_attrs b indent attrs =
+  if attrs <> [] then begin
+    Buffer.add_string b (indent ^ "attributes:\n");
+    List.iter
+      (fun (a : Schema.attr_def) ->
+        Buffer.add_string b
+          (indent ^ "  " ^ a.attr_name ^ ": " ^ domain_to_string a.attr_domain ^ ";\n"))
+      attrs
+  end
+
+let add_constraints b indent (cs : Schema.named_constraint list) =
+  if cs <> [] then begin
+    Buffer.add_string b (indent ^ "constraints:\n");
+    List.iter
+      (fun (c : Schema.named_constraint) ->
+        Buffer.add_string b
+          (indent ^ "  " ^ c.c_name ^ ": " ^ expr_to_string c.c_expr ^ ";\n"))
+      cs
+  end
+
+let rec add_subclasses schema b indent (subs : Schema.subclass_def list) =
+  if subs <> [] then begin
+    Buffer.add_string b (indent ^ "types-of-subclasses:\n");
+    List.iter
+      (fun (sc : Schema.subclass_def) ->
+        let member = Schema.subclass_member_type schema sc in
+        if String.contains member '.' then begin
+          (* inline member type: print its body nested *)
+          Buffer.add_string b (indent ^ "  " ^ sc.sc_name ^ ":\n");
+          match Schema.find_obj_type schema member with
+          | Ok ot ->
+              (match ot.Schema.ot_inheritor_in with
+              | Some rel ->
+                  Buffer.add_string b (indent ^ "    inheritor-in: " ^ rel ^ ";\n")
+              | None -> ());
+              add_attrs b (indent ^ "    ") ot.Schema.ot_attrs;
+              add_subclasses schema b (indent ^ "    ") ot.Schema.ot_subclasses;
+              add_constraints b (indent ^ "    ") ot.Schema.ot_constraints
+          | Error _ -> ()
+        end
+        else
+          Buffer.add_string b (indent ^ "  " ^ sc.sc_name ^ ": " ^ member ^ ";\n"))
+      subs
+  end
+
+let add_subrels b indent (subs : Schema.subrel_def list) =
+  if subs <> [] then begin
+    Buffer.add_string b (indent ^ "types-of-subrels:\n");
+    List.iter
+      (fun (sr : Schema.subrel_def) ->
+        Buffer.add_string b (indent ^ "  " ^ sr.sr_name ^ ": " ^ sr.sr_rel_type);
+        (match sr.sr_binder with
+        | Some v -> Buffer.add_string b (" as " ^ v)
+        | None -> ());
+        (match sr.sr_where with
+        | Some e -> Buffer.add_string b ("\n" ^ indent ^ "    where " ^ expr_to_string e)
+        | None -> ());
+        Buffer.add_string b ";\n")
+      subs
+  end
+
+let obj_type_to_buf schema b (o : Schema.obj_type) =
+  Buffer.add_string b ("obj-type " ^ o.ot_name ^ " =\n");
+  (match o.ot_inheritor_in with
+  | Some rel -> Buffer.add_string b ("  inheritor-in: " ^ rel ^ ";\n")
+  | None -> ());
+  add_attrs b "  " o.ot_attrs;
+  add_subclasses schema b "  " o.ot_subclasses;
+  add_subrels b "  " o.ot_subrels;
+  add_constraints b "  " o.ot_constraints;
+  Buffer.add_string b ("end " ^ o.ot_name ^ ";\n\n")
+
+let rel_type_to_buf schema b (r : Schema.rel_type) =
+  Buffer.add_string b ("rel-type " ^ r.rt_name ^ " =\n");
+  Buffer.add_string b "  relates:\n";
+  List.iter
+    (fun (p : Schema.participant) ->
+      let card = match p.p_card with Schema.Many -> "set-of " | Schema.One -> "" in
+      let ty =
+        match p.p_type with
+        | Some t -> "object-of-type " ^ t
+        | None -> "object"
+      in
+      Buffer.add_string b ("    " ^ p.p_name ^ ": " ^ card ^ ty ^ ";\n"))
+    r.rt_relates;
+  add_attrs b "  " r.rt_attrs;
+  add_subclasses schema b "  " r.rt_subclasses;
+  add_constraints b "  " r.rt_constraints;
+  Buffer.add_string b ("end " ^ r.rt_name ^ ";\n\n")
+
+let inher_type_to_buf schema b (i : Schema.inher_rel_type) =
+  Buffer.add_string b ("inher-rel-type " ^ i.it_name ^ " =\n");
+  Buffer.add_string b ("  transmitter: object-of-type " ^ i.it_transmitter ^ ";\n");
+  (match i.it_inheritor with
+  | Some t -> Buffer.add_string b ("  inheritor: object-of-type " ^ t ^ ";\n")
+  | None -> Buffer.add_string b "  inheritor: object;\n");
+  Buffer.add_string b ("  inheriting: " ^ String.concat ", " i.it_inheriting ^ ";\n");
+  add_attrs b "  " i.it_attrs;
+  add_subclasses schema b "  " i.it_subclasses;
+  add_constraints b "  " i.it_constraints;
+  Buffer.add_string b ("end " ^ i.it_name ^ ";\n\n")
+
+let schema_to_string schema =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, d) ->
+      Buffer.add_string b ("domain " ^ name ^ " = " ^ domain_to_string d ^ ";\n"))
+    (Schema.domains schema);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun entry ->
+      match entry with
+      | Schema.Obj_type o when String.contains o.Schema.ot_name '.' ->
+          () (* inline type: printed within its owner *)
+      | Schema.Obj_type o -> obj_type_to_buf schema b o
+      | Schema.Rel_type r -> rel_type_to_buf schema b r
+      | Schema.Inher_type i -> inher_type_to_buf schema b i)
+    (Schema.entries schema);
+  Buffer.contents b

@@ -1,0 +1,10 @@
+(** Printing a registered schema back to the definition language.
+
+    [Parser.parse |> Elaborate.install] of the output reproduces the same
+    schema (round-trip property, tested in [test_ddl.ml]).  Inline subclass
+    member types (registered under ["owner.subclass"]) are printed inline
+    within their owner, as in the paper's listings. *)
+
+val domain_to_string : Compo_core.Domain.t -> string
+val expr_to_string : Compo_core.Expr.t -> string
+val schema_to_string : Compo_core.Schema.t -> string

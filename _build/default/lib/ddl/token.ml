@@ -1,0 +1,94 @@
+type kind =
+  | Ident of string
+  | Int of int
+  | Real of float
+  | Str of string
+  | Kw of string
+  | Lparen
+  | Rparen
+  | Colon
+  | Semi
+  | Comma
+  | Dot
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Hash
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+let keywords =
+  [
+    "domain";
+    "obj-type";
+    "rel-type";
+    "inher-rel-type";
+    "end";
+    "end-domain";
+    "attributes";
+    "constraints";
+    "types-of-subclasses";
+    "types-of-subrels";
+    "relates";
+    "transmitter";
+    "inheritor";
+    "inheritor-in";
+    "inheriting";
+    "object";
+    "object-of-type";
+    "set-of";
+    "list-of";
+    "matrix-of";
+    "record";
+    "integer";
+    "real";
+    "boolean";
+    "string";
+    "where";
+    "count";
+    "sum";
+    "for";
+    "exists";
+    "in";
+    "and";
+    "or";
+    "not";
+    "as";
+    "true";
+    "false";
+  ]
+
+let kind_to_string = function
+  | Ident s -> Printf.sprintf "identifier %s" s
+  | Int i -> string_of_int i
+  | Real f -> string_of_float f
+  | Str s -> Printf.sprintf "%S" s
+  | Kw k -> Printf.sprintf "keyword %s" k
+  | Lparen -> "("
+  | Rparen -> ")"
+  | Colon -> ":"
+  | Semi -> ";"
+  | Comma -> ","
+  | Dot -> "."
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | Plus -> "+"
+  | Minus -> "-"
+  | Star -> "*"
+  | Slash -> "/"
+  | Hash -> "#"
+  | Eof -> "end of input"
+
+let pp_kind ppf k = Format.pp_print_string ppf (kind_to_string k)

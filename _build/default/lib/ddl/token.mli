@@ -1,0 +1,40 @@
+(** Tokens of the schema definition language.
+
+    The notation follows the paper's listings: hyphenated keywords
+    ([obj-type], [inher-rel-type], [types-of-subclasses], ...), [/* ... */]
+    comments, and constraint expressions with [count]/[sum]/[for].
+
+    Lexical note: a word starting with a letter may contain hyphens
+    ([Flip-Flop] is one identifier); binary minus therefore needs
+    surrounding whitespace ([a - b]). *)
+
+type kind =
+  | Ident of string
+  | Int of int
+  | Real of float
+  | Str of string
+  | Kw of string  (** classified keyword, e.g. ["obj-type"] *)
+  | Lparen
+  | Rparen
+  | Colon
+  | Semi
+  | Comma
+  | Dot
+  | Eq
+  | Ne
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Plus
+  | Minus
+  | Star
+  | Slash
+  | Hash
+  | Eof
+
+type t = { kind : kind; line : int; col : int }
+
+val keywords : string list
+val pp_kind : Format.formatter -> kind -> unit
+val kind_to_string : kind -> string

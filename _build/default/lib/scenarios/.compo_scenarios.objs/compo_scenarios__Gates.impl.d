@@ -1,0 +1,1 @@
+lib/scenarios/gates.ml: Compo_core Database Domain Errors Expr List Printf Result Schema Surrogate Value

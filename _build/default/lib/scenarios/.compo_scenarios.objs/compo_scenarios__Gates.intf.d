@@ -1,0 +1,1 @@
+lib/scenarios/gates.mli: Compo_core Database Errors Surrogate Value

@@ -1,0 +1,1 @@
+lib/scenarios/optimize.ml: Compo_core Database Errors Hashtbl List Option Printf Result Store String Surrogate Value

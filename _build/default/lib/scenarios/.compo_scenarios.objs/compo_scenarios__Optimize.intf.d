@@ -1,0 +1,1 @@
+lib/scenarios/optimize.mli: Compo_core Database Errors Surrogate

@@ -1,0 +1,1 @@
+lib/scenarios/paper_ddl.ml:

@@ -1,0 +1,1 @@
+lib/scenarios/simulate.ml: Compo_core Database Errors List Option Printf Result Store Surrogate Value

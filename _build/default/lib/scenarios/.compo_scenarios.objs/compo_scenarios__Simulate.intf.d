@@ -1,0 +1,1 @@
+lib/scenarios/simulate.mli: Compo_core Database Errors Surrogate

@@ -1,0 +1,1 @@
+lib/scenarios/steel.ml: Compo_core Database Domain Expr List Result Schema Value

@@ -1,0 +1,1 @@
+lib/scenarios/steel.mli: Compo_core Database Errors Surrogate

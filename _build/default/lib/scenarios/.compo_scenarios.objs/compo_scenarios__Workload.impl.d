@@ -1,0 +1,1 @@
+lib/scenarios/workload.ml: Array Compo_core Database Domain Gates List Printf Random Result Schema Steel Value

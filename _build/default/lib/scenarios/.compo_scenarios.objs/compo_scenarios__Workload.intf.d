@@ -1,0 +1,1 @@
+lib/scenarios/workload.mli: Compo_core Database Errors Surrogate

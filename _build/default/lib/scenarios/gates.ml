@@ -1,0 +1,453 @@
+open Compo_core
+
+type io = In | Out
+
+let io_value = function
+  | In -> Value.Enum_case "IN"
+  | Out -> Value.Enum_case "OUT"
+
+let ( let* ) = Result.bind
+
+let attr name domain = { Schema.attr_name = name; attr_domain = domain }
+let constr name expr = { Schema.c_name = name; c_expr = expr }
+
+let pin_count_constraints =
+  (* count (Pins) = 2 where Pins.InOut = IN; count (Pins) = 1 where ... = OUT *)
+  let count_io io n =
+    Expr.(count ~where:(path [ "Pins"; "InOut" ] = enum io) [ "Pins" ] = int n)
+  in
+  [ constr "two_inputs" (count_io "IN" 2); constr "one_output" (count_io "OUT" 1) ]
+
+let wires_where =
+  (* (Wires.Pin1 in Pins or Wires.Pin1 in SubGates.Pins) and (same for Pin2) *)
+  let endpoint p =
+    Expr.(
+      in_ (path [ "Wires"; p ]) (path [ "Pins" ])
+      || in_ (path [ "Wires"; p ]) (path [ "SubGates"; "Pins" ]))
+  in
+  Expr.(endpoint "Pin1" && endpoint "Pin2")
+
+let define_io_and_point db =
+  let* () = Database.define_domain db "IO" (Domain.Enum [ "IN"; "OUT" ]) in
+  Database.define_domain db "Point"
+    (Domain.Record [ ("X", Domain.Integer); ("Y", Domain.Integer) ])
+
+let define_section3_types db =
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "PinType";
+        ot_inheritor_in = None;
+        ot_attrs =
+          [ attr "InOut" (Domain.Named "IO"); attr "PinLocation" (Domain.Named "Point") ];
+        ot_subclasses = [];
+        ot_subrels = [];
+        ot_constraints = [];
+      }
+  in
+  let* () =
+    Database.define_rel_type db
+      {
+        Schema.rt_name = "WireType";
+        rt_relates =
+          [
+            { Schema.p_name = "Pin1"; p_card = Schema.One; p_type = Some "PinType" };
+            { Schema.p_name = "Pin2"; p_card = Schema.One; p_type = Some "PinType" };
+          ];
+        rt_attrs = [ attr "Corners" (Domain.List_of (Domain.Named "Point")) ];
+        rt_subclasses = [];
+        rt_constraints = [];
+      }
+  in
+  let gate_functions = Domain.Enum [ "AND"; "OR"; "NOR"; "NAND" ] in
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "SimpleGate";
+        ot_inheritor_in = None;
+        ot_attrs =
+          [
+            attr "Length" Domain.Integer;
+            attr "Width" Domain.Integer;
+            attr "Function" gate_functions;
+            attr "Pins"
+              (Domain.Set_of
+                 (Domain.Record
+                    [ ("PinId", Domain.Integer); ("InOut", Domain.Named "IO") ]));
+          ];
+        ot_subclasses = [];
+        ot_subrels = [];
+        ot_constraints = pin_count_constraints;
+      }
+  in
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "ElementaryGate";
+        ot_inheritor_in = None;
+        ot_attrs =
+          [
+            attr "Length" Domain.Integer;
+            attr "Width" Domain.Integer;
+            attr "Function" gate_functions;
+            attr "GatePosition" (Domain.Named "Point");
+          ];
+        ot_subclasses =
+          [ { Schema.sc_name = "Pins"; sc_member = Schema.Named_type "PinType" } ];
+        ot_subrels = [];
+        ot_constraints = pin_count_constraints;
+      }
+  in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "Gate";
+      ot_inheritor_in = None;
+      ot_attrs =
+        [
+          attr "Length" Domain.Integer;
+          attr "Width" Domain.Integer;
+          attr "Function" (Domain.Matrix_of Domain.Boolean);
+        ];
+      ot_subclasses =
+        [
+          { Schema.sc_name = "Pins"; sc_member = Schema.Named_type "PinType" };
+          { Schema.sc_name = "SubGates"; sc_member = Schema.Named_type "ElementaryGate" };
+        ];
+      ot_subrels =
+        [
+          {
+            Schema.sr_name = "Wires";
+            sr_rel_type = "WireType";
+            sr_binder = None;
+            sr_where = Some wires_where;
+          };
+        ];
+      ot_constraints = [];
+    }
+
+let define_interface_hierarchy db =
+  (* section 4.2: GateInterface_I carries the pins; GateInterface inherits
+     them and adds the expansion (Length/Width). *)
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "GateInterface_I";
+        ot_inheritor_in = None;
+        ot_attrs = [];
+        ot_subclasses =
+          [ { Schema.sc_name = "Pins"; sc_member = Schema.Named_type "PinType" } ];
+        ot_subrels = [];
+        ot_constraints = [];
+      }
+  in
+  let* () =
+    Database.define_inher_rel_type db
+      {
+        Schema.it_name = "AllOf_GateInterface_I";
+        it_transmitter = "GateInterface_I";
+        it_inheritor = None;
+        it_inheriting = [ "Pins" ];
+        it_attrs = [];
+         it_subclasses = [];
+        it_constraints = [];
+      }
+  in
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "GateInterface";
+        ot_inheritor_in = Some "AllOf_GateInterface_I";
+        ot_attrs = [ attr "Length" Domain.Integer; attr "Width" Domain.Integer ];
+        ot_subclasses = [];
+        ot_subrels = [];
+        ot_constraints = [];
+      }
+  in
+  (* AllOf_GateInterface transmits Length, Width and the Pins that
+     GateInterface itself inherits from GateInterface_I. *)
+  Database.define_inher_rel_type db
+    {
+      Schema.it_name = "AllOf_GateInterface";
+      it_transmitter = "GateInterface";
+      it_inheritor = None;
+      it_inheriting = [ "Length"; "Width"; "Pins" ];
+      it_attrs = [];
+         it_subclasses = [];
+      it_constraints = [];
+    }
+
+let define_composite_implementation db =
+  (* section 4.3: GateImplementation is an inheritor of its interface AND
+     holds SubGates whose members inherit from component interfaces
+     (Figure 4's dual use of AllOf_GateInterface). *)
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "GateImplementation";
+      ot_inheritor_in = Some "AllOf_GateInterface";
+      ot_attrs =
+        [
+          attr "Function" (Domain.Matrix_of Domain.Boolean);
+          attr "TimeBehavior" Domain.Integer;
+        ];
+      ot_subclasses =
+        [
+          {
+            Schema.sc_name = "SubGates";
+            sc_member =
+              Schema.Inline
+                {
+                  Schema.ot_name = "";
+                  ot_inheritor_in = Some "AllOf_GateInterface";
+                  ot_attrs = [ attr "GateLocation" (Domain.Named "Point") ];
+                  ot_subclasses = [];
+                  ot_subrels = [];
+                  ot_constraints = [];
+                };
+          };
+        ];
+      ot_subrels =
+        [
+          {
+            Schema.sr_name = "Wires";
+            sr_rel_type = "WireType";
+            sr_binder = None;
+            sr_where = Some wires_where;
+          };
+        ];
+      ot_constraints = [];
+    }
+
+let define_some_of_gate db =
+  (* section 4.3: a composite needing TimeBehavior relates to the
+     implementation directly, with tailored permeability. *)
+  let* () =
+    Database.define_inher_rel_type db
+      {
+        Schema.it_name = "SomeOf_Gate";
+        it_transmitter = "GateImplementation";
+        it_inheritor = None;
+        it_inheriting = [ "Length"; "Width"; "TimeBehavior"; "Pins" ];
+        it_attrs = [];
+         it_subclasses = [];
+        it_constraints = [];
+      }
+  in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "TimingProbe";
+      ot_inheritor_in = Some "SomeOf_Gate";
+      ot_attrs = [ attr "ProbeNote" Domain.String ];
+      ot_subclasses = [];
+      ot_subrels = [];
+      ot_constraints = [];
+    }
+
+
+let define_schema db =
+  let* () = define_io_and_point db in
+  let* () = define_section3_types db in
+  let* () = define_interface_hierarchy db in
+  let* () = define_composite_implementation db in
+  let* () = define_some_of_gate db in
+  let* () = Database.create_class db ~name:"Interfaces" ~member_type:"GateInterface" in
+  let* () =
+    Database.create_class db ~name:"Implementations" ~member_type:"GateImplementation"
+  in
+  Database.create_class db ~name:"Gates" ~member_type:"Gate"
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+let simple_pins =
+  Value.set
+    [
+      Value.record [ ("PinId", Value.Int 1); ("InOut", io_value In) ];
+      Value.record [ ("PinId", Value.Int 2); ("InOut", io_value In) ];
+      Value.record [ ("PinId", Value.Int 3); ("InOut", io_value Out) ];
+    ]
+
+let new_simple_gate db ~func ~length ~width =
+  Database.new_object db ~ty:"SimpleGate"
+    ~attrs:
+      [
+        ("Length", Value.Int length);
+        ("Width", Value.Int width);
+        ("Function", Value.Enum_case func);
+        ("Pins", simple_pins);
+      ]
+    ()
+
+let add_pin db ~parent ~io ~x ~y =
+  Database.new_subobject db ~parent ~subclass:"Pins"
+    ~attrs:[ ("InOut", io_value io); ("PinLocation", Value.point x y) ]
+    ()
+
+let standard_pins db gate =
+  let* _ = add_pin db ~parent:gate ~io:In ~x:0 ~y:0 in
+  let* _ = add_pin db ~parent:gate ~io:In ~x:0 ~y:2 in
+  let* _ = add_pin db ~parent:gate ~io:Out ~x:4 ~y:1 in
+  Ok ()
+
+let new_elementary_gate db ?parent ~func ~x ~y () =
+  let attrs =
+    [
+      ("Length", Value.Int 4);
+      ("Width", Value.Int 2);
+      ("Function", Value.Enum_case func);
+      ("GatePosition", Value.point x y);
+    ]
+  in
+  let* gate =
+    match parent with
+    | None -> Database.new_object db ~ty:"ElementaryGate" ~attrs ()
+    | Some (parent, subclass) ->
+        Database.new_subobject db ~parent ~subclass ~attrs ()
+  in
+  let* () = standard_pins db gate in
+  Ok gate
+
+let gate_pins db gate = Database.subclass_members db gate "Pins"
+
+let pin db gate i =
+  let* pins = gate_pins db gate in
+  match List.nth_opt pins i with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Errors.Unknown_object
+           (Printf.sprintf "%s has no pin %d" (Surrogate.to_string gate) i))
+
+let wire db ~parent ~from_pin ~to_pin =
+  Database.new_subrel db ~parent ~subrel:"Wires"
+    ~participants:[ ("Pin1", Value.Ref from_pin); ("Pin2", Value.Ref to_pin) ]
+    ~attrs:[ ("Corners", Value.List []) ]
+    ()
+
+(* Truth table of an SR flip-flop built from two cross-coupled NOR gates;
+   rows are (S, R) -> (Q, Q').  The exact boolean content only needs to be
+   well-typed for the model. *)
+let flip_flop_function =
+  Value.Matrix
+    [|
+      [| Value.Bool false; Value.Bool false |];
+      [| Value.Bool false; Value.Bool true |];
+      [| Value.Bool true; Value.Bool false |];
+      [| Value.Bool true; Value.Bool true |];
+    |]
+
+let flip_flop db =
+  let* ff =
+    Database.new_object db ~cls:"Gates" ~ty:"Gate"
+      ~attrs:
+        [
+          ("Length", Value.Int 10);
+          ("Width", Value.Int 6);
+          ("Function", flip_flop_function);
+        ]
+      ()
+  in
+  (* external pins: S, R inputs; Q, Q' outputs *)
+  let* s_pin = add_pin db ~parent:ff ~io:In ~x:0 ~y:1 in
+  let* r_pin = add_pin db ~parent:ff ~io:In ~x:0 ~y:5 in
+  let* q_pin = add_pin db ~parent:ff ~io:Out ~x:10 ~y:1 in
+  let* q'_pin = add_pin db ~parent:ff ~io:Out ~x:10 ~y:5 in
+  let* nor1 =
+    new_elementary_gate db ~parent:(ff, "SubGates") ~func:"NOR" ~x:3 ~y:0 ()
+  in
+  let* nor2 =
+    new_elementary_gate db ~parent:(ff, "SubGates") ~func:"NOR" ~x:3 ~y:4 ()
+  in
+  let* nor1_in1 = pin db nor1 0 in
+  let* nor1_in2 = pin db nor1 1 in
+  let* nor1_out = pin db nor1 2 in
+  let* nor2_in1 = pin db nor2 0 in
+  let* nor2_in2 = pin db nor2 1 in
+  let* nor2_out = pin db nor2 2 in
+  (* R and S drive the first input of each NOR; outputs cross-couple back
+     to the second inputs; outputs also drive Q and Q'. *)
+  let* _ = wire db ~parent:ff ~from_pin:r_pin ~to_pin:nor1_in1 in
+  let* _ = wire db ~parent:ff ~from_pin:s_pin ~to_pin:nor2_in1 in
+  let* _ = wire db ~parent:ff ~from_pin:nor1_out ~to_pin:nor2_in2 in
+  let* _ = wire db ~parent:ff ~from_pin:nor2_out ~to_pin:nor1_in2 in
+  let* _ = wire db ~parent:ff ~from_pin:nor1_out ~to_pin:q_pin in
+  let* _ = wire db ~parent:ff ~from_pin:nor2_out ~to_pin:q'_pin in
+  Ok ff
+
+let new_pin_interface db ~pins =
+  let* pi = Database.new_object db ~ty:"GateInterface_I" () in
+  let* () =
+    List.fold_left
+      (fun acc (i, io) ->
+        let* () = acc in
+        let* _ = add_pin db ~parent:pi ~io ~x:0 ~y:i in
+        Ok ())
+      (Ok ())
+      (List.mapi (fun i io -> (i, io)) pins)
+  in
+  Ok pi
+
+let new_interface db ~pin_interface ~length ~width =
+  let* iface =
+    Database.new_object db ~cls:"Interfaces" ~ty:"GateInterface"
+      ~attrs:[ ("Length", Value.Int length); ("Width", Value.Int width) ]
+      ()
+  in
+  let* _ =
+    Database.bind db ~via:"AllOf_GateInterface_I" ~transmitter:pin_interface
+      ~inheritor:iface ()
+  in
+  Ok iface
+
+let new_implementation db ~interface ?(time_behavior = 1) () =
+  let* impl =
+    Database.new_object db ~cls:"Implementations" ~ty:"GateImplementation"
+      ~attrs:[ ("TimeBehavior", Value.Int time_behavior) ]
+      ()
+  in
+  let* _ =
+    Database.bind db ~via:"AllOf_GateInterface" ~transmitter:interface
+      ~inheritor:impl ()
+  in
+  Ok impl
+
+let use_component db ~composite ~component_interface ~x ~y =
+  let* sub =
+    Database.new_subobject db ~parent:composite ~subclass:"SubGates"
+      ~attrs:[ ("GateLocation", Value.point x y) ]
+      ()
+  in
+  let* _ =
+    Database.bind db ~via:"AllOf_GateInterface" ~transmitter:component_interface
+      ~inheritor:sub ()
+  in
+  Ok sub
+
+let new_timing_probe db ~implementation ~note =
+  let* probe =
+    Database.new_object db ~ty:"TimingProbe"
+      ~attrs:[ ("ProbeNote", Value.Str note) ]
+      ()
+  in
+  let* _ =
+    Database.bind db ~via:"SomeOf_Gate" ~transmitter:implementation
+      ~inheritor:probe ()
+  in
+  Ok probe
+
+let nor_interface db =
+  let* pi = new_pin_interface db ~pins:[ In; In; Out ] in
+  new_interface db ~pin_interface:pi ~length:4 ~width:2
+
+let nor_truth_table =
+  Value.Matrix
+    [|
+      [| Value.Bool false; Value.Bool false; Value.Bool true |];
+      [| Value.Bool false; Value.Bool true; Value.Bool false |];
+      [| Value.Bool true; Value.Bool false; Value.Bool false |];
+      [| Value.Bool true; Value.Bool true; Value.Bool false |];
+    |]
+
+let nor_implementation db ~interface =
+  let* impl = new_implementation db ~interface ~time_behavior:1 () in
+  let* () = Database.set_attr db impl "Function" nor_truth_table in
+  Ok impl

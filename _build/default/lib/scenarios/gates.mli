@@ -1,0 +1,92 @@
+(** The paper's running example: logic gates (sections 3 and 4).
+
+    [define_schema] installs every type the paper defines, adapted only
+    where the paper's listings are internally inconsistent (adaptations are
+    listed in DESIGN.md section 5 and tested in [test_ddl_paper.ml]):
+
+    - §3: [SimpleGate], [PinType], [WireType], [ElementaryGate], [Gate];
+    - §4.2: the interface hierarchy [GateInterface_I] →
+      [AllOf_GateInterface_I] → [GateInterface] → [AllOf_GateInterface] →
+      [GateImplementation] (composite form, with the [SubGates] subclass
+      whose members inherit from component interfaces and add
+      [GateLocation]);
+    - §4.3: [SomeOf_Gate] (permeability including [TimeBehavior]) and a
+      [TimingProbe] inheritor type exercising it.
+
+    The builder functions construct the paper's figures: [flip_flop]
+    builds Figure 1's complex object from two NOR gates. *)
+
+open Compo_core
+
+type io = In | Out
+
+val io_value : io -> Value.t
+
+val define_schema : Database.t -> (unit, Errors.t) result
+(** Also creates the classes [Interfaces], [Implementations], [Gates]. *)
+
+(** {1 Section 3 builders (self-contained complex objects)} *)
+
+val new_simple_gate :
+  Database.t -> func:string -> length:int -> width:int ->
+  (Surrogate.t, Errors.t) result
+(** A [SimpleGate] with the standard three pins (two [IN], one [OUT]) as
+    attribute values. *)
+
+val new_elementary_gate :
+  Database.t -> ?parent:Surrogate.t * string -> func:string -> x:int -> y:int ->
+  unit -> (Surrogate.t, Errors.t) result
+(** An [ElementaryGate] with three [PinType] subobjects; created as a
+    subobject of [parent]'s subclass when given, top-level otherwise. *)
+
+val gate_pins : Database.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** The (possibly inherited) [Pins] subclass members of any gate-like
+    object. *)
+
+val pin : Database.t -> Surrogate.t -> int -> (Surrogate.t, Errors.t) result
+(** [pin db gate i] is the i-th pin (0-based). *)
+
+val wire :
+  Database.t -> parent:Surrogate.t -> from_pin:Surrogate.t -> to_pin:Surrogate.t ->
+  (Surrogate.t, Errors.t) result
+(** Add a [Wires] subrelationship to a [Gate] or [GateImplementation]. *)
+
+val flip_flop : Database.t -> (Surrogate.t, Errors.t) result
+(** Figure 1: a [Gate] named complex object with external pins [S], [R],
+    [Q], [Q'], two NOR [ElementaryGate] subobjects, and cross-coupled
+    wires. *)
+
+(** {1 Section 4 builders (interfaces, implementations, composites)} *)
+
+val new_pin_interface : Database.t -> pins:io list -> (Surrogate.t, Errors.t) result
+(** A [GateInterface_I] with the given pins. *)
+
+val new_interface :
+  Database.t -> pin_interface:Surrogate.t -> length:int -> width:int ->
+  (Surrogate.t, Errors.t) result
+(** A [GateInterface] bound to its pin interface ([AllOf_GateInterface_I]). *)
+
+val new_implementation :
+  Database.t -> interface:Surrogate.t -> ?time_behavior:int -> unit ->
+  (Surrogate.t, Errors.t) result
+(** A [GateImplementation] bound to [interface] via [AllOf_GateInterface]. *)
+
+val use_component :
+  Database.t -> composite:Surrogate.t -> component_interface:Surrogate.t ->
+  x:int -> y:int -> (Surrogate.t, Errors.t) result
+(** Add a [SubGates] subobject to a [GateImplementation] and bind it to the
+    component's interface — Figure 3's component relationship.  Returns the
+    subobject. *)
+
+val new_timing_probe :
+  Database.t -> implementation:Surrogate.t -> note:string ->
+  (Surrogate.t, Errors.t) result
+(** A [TimingProbe] bound to an implementation via [SomeOf_Gate]
+    (section 4.3's tailored permeability, including [TimeBehavior]). *)
+
+val nor_interface : Database.t -> (Surrogate.t, Errors.t) result
+(** Interface of a basic NOR gate (2 in, 1 out, 4x2). *)
+
+val nor_implementation :
+  Database.t -> interface:Surrogate.t -> (Surrogate.t, Errors.t) result
+(** Leaf implementation of NOR (its truth table, no subgates). *)

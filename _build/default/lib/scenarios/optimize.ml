@@ -1,0 +1,197 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+type stats = {
+  removed_gates : int;
+  merged_gates : int;
+  removed_wires : int;
+  passes : int;
+}
+
+(* A wire endpoint is a driver if it is an external IN pin of the top
+   gate or the OUT pin of a subgate (mirrors Simulate's orientation). *)
+let is_driver db ~top pin =
+  let* io = Database.get_attr db pin "InOut" in
+  let* owner = Store.owner_of (Database.store db) pin in
+  let is_top = match owner with Some o -> Surrogate.equal o top | None -> false in
+  match io with
+  | Value.Enum_case "IN" -> Ok is_top
+  | Value.Enum_case "OUT" -> Ok (not is_top)
+  | v ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "pin %s has no valid InOut (%s)"
+              (Surrogate.to_string pin) (Value.to_string v)))
+
+let wire_pins db wire =
+  let* p1 = Database.participant db wire "Pin1" in
+  let* p2 = Database.participant db wire "Pin2" in
+  match (Value.as_ref p1, Value.as_ref p2) with
+  | Some a, Some b -> Ok (a, b)
+  | _ -> Error (Errors.Schema_error "wire with non-reference endpoints")
+
+(* driver pin of a wire, with the participant slot it occupies *)
+let wire_driver db ~top wire =
+  let* a, b = wire_pins db wire in
+  let* da = is_driver db ~top a in
+  let* db_ = is_driver db ~top b in
+  match (da, db_) with
+  | true, false -> Ok (a, "Pin1")
+  | false, true -> Ok (b, "Pin2")
+  | _ ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "wire %s is not properly oriented"
+              (Surrogate.to_string wire)))
+
+let out_pin db sub =
+  let* pins = Database.subclass_members db sub "Pins" in
+  let* outs =
+    List.fold_left
+      (fun acc p ->
+        let* acc = acc in
+        let* io = Database.get_attr db p "InOut" in
+        match io with Value.Enum_case "OUT" -> Ok (p :: acc) | _ -> Ok acc)
+      (Ok []) pins
+  in
+  match outs with
+  | [ out ] -> Ok out
+  | _ ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "subgate %s must have exactly one output"
+              (Surrogate.to_string sub)))
+
+let eliminate_dead db ~gate =
+  let* subs = Database.subclass_members db gate "SubGates" in
+  let* wires = Database.subrel_members db gate "Wires" in
+  let* drivers =
+    List.fold_left
+      (fun acc w ->
+        let* acc = acc in
+        let* d, _slot = wire_driver db ~top:gate w in
+        Ok (d :: acc))
+      (Ok []) wires
+  in
+  let* dead =
+    List.fold_left
+      (fun acc sub ->
+        let* acc = acc in
+        let* out = out_pin db sub in
+        if List.exists (Surrogate.equal out) drivers then Ok acc
+        else Ok (sub :: acc))
+      (Ok []) subs
+  in
+  let wires_before = List.length wires in
+  let* () =
+    List.fold_left
+      (fun acc sub ->
+        let* () = acc in
+        (* force: the subgate's pins participate in incoming wires, which
+           die with it *)
+        Database.delete db ~force:true sub)
+      (Ok ()) dead
+  in
+  let* wires_after = Database.subrel_members db gate "Wires" in
+  Ok (List.length dead, wires_before - List.length wires_after)
+
+(* Key of a subgate: its function plus the sorted drivers of its inputs.
+   Only fully-driven gates participate (a floating input means we cannot
+   prove equivalence). *)
+let subgate_key db ~gate sub =
+  let* func = Database.get_attr db sub "Function" in
+  let* pins = Database.subclass_members db sub "Pins" in
+  let* wires = Database.subrel_members db gate "Wires" in
+  let* sources =
+    List.fold_left
+      (fun acc pin ->
+        let* acc = acc in
+        let* io = Database.get_attr db pin "InOut" in
+        match io with
+        | Value.Enum_case "IN" ->
+            let* source =
+              List.fold_left
+                (fun acc w ->
+                  let* acc = acc in
+                  let* a, b = wire_pins db w in
+                  let* d, slot = wire_driver db ~top:gate w in
+                  let sink = if String.equal slot "Pin1" then b else a in
+                  if Surrogate.equal sink pin then Ok (Some d) else Ok acc)
+                (Ok None) wires
+            in
+            (match source with
+            | Some src -> Ok (Option.map (fun l -> src :: l) acc)
+            | None -> Ok None (* floating input *))
+        | _ -> Ok acc)
+      (Ok (Some [])) pins
+  in
+  match sources with
+  | None -> Ok None
+  | Some srcs ->
+      Ok
+        (Some
+           ( Value.to_string func,
+             List.map Surrogate.to_int (List.sort Surrogate.compare srcs) ))
+
+let merge_duplicates db ~gate =
+  let* subs = Database.subclass_members db gate "SubGates" in
+  let* keyed =
+    List.fold_left
+      (fun acc sub ->
+        let* acc = acc in
+        let* key = subgate_key db ~gate sub in
+        match key with Some k -> Ok ((k, sub) :: acc) | None -> Ok acc)
+      (Ok []) subs
+  in
+  let keyed = List.rev keyed in
+  (* group by key, keeping first occurrence as the survivor *)
+  let groups = Hashtbl.create 16 in
+  List.iter
+    (fun (k, sub) ->
+      let existing = Option.value ~default:[] (Hashtbl.find_opt groups k) in
+      Hashtbl.replace groups k (existing @ [ sub ]))
+    keyed;
+  let store = Database.store db in
+  Hashtbl.fold
+    (fun _ group acc ->
+      let* merged = acc in
+      match group with
+      | [] | [ _ ] -> Ok merged
+      | survivor :: duplicates ->
+          let* survivor_out = out_pin db survivor in
+          List.fold_left
+            (fun acc dup ->
+              let* merged = acc in
+              let* dup_out = out_pin db dup in
+              (* rewire every wire driven by the duplicate's output *)
+              let* wires = Database.subrel_members db gate "Wires" in
+              let* () =
+                List.fold_left
+                  (fun acc w ->
+                    let* () = acc in
+                    let* d, slot = wire_driver db ~top:gate w in
+                    if Surrogate.equal d dup_out then
+                      Store.set_participant store w slot (Value.Ref survivor_out)
+                    else Ok ())
+                  (Ok ()) wires
+              in
+              Ok (merged + 1))
+            (Ok merged) duplicates)
+    groups (Ok 0)
+
+let optimize db ~gate =
+  let rec go acc =
+    let* merged = merge_duplicates db ~gate in
+    let* removed, wires = eliminate_dead db ~gate in
+    let acc =
+      {
+        removed_gates = acc.removed_gates + removed;
+        merged_gates = acc.merged_gates + merged;
+        removed_wires = acc.removed_wires + wires;
+        passes = acc.passes + 1;
+      }
+    in
+    if merged = 0 && removed = 0 then Ok acc else go acc
+  in
+  go { removed_gates = 0; merged_gates = 0; removed_wires = 0; passes = 0 }

@@ -1,0 +1,34 @@
+(** Netlist optimization passes over [Gate] complex objects — a second
+    application exercising the model's structural operations (where-used
+    through the referrer index, cascade delete, relationship rewiring).
+
+    Passes:
+    - {e dead-gate elimination}: a subgate whose output pin drives no wire
+      contributes nothing to the external outputs and is removed (with its
+      pins and dangling input wires);
+    - {e duplicate merging}: two subgates with the same function whose
+      input pins are driven by the same sources compute the same value;
+      the later one's consumers are rewired to the earlier one, which then
+      makes the later one dead.
+
+    [optimize] runs both passes to a fixpoint and returns statistics.
+    The resulting netlist is behaviourally equivalent on every stabilizing
+    input (asserted by the test suite via {!Simulate.truth_table}). *)
+
+open Compo_core
+
+type stats = {
+  removed_gates : int;
+  merged_gates : int;
+  removed_wires : int;
+  passes : int;
+}
+
+val eliminate_dead : Database.t -> gate:Surrogate.t -> (int * int, Errors.t) result
+(** One dead-gate sweep; returns (gates removed, wires removed). *)
+
+val merge_duplicates : Database.t -> gate:Surrogate.t -> (int, Errors.t) result
+(** One duplicate-merge sweep; returns the number of subgates merged
+    (rewired away — a following dead sweep deletes them). *)
+
+val optimize : Database.t -> gate:Surrogate.t -> (stats, Errors.t) result

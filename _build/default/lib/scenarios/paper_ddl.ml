@@ -1,0 +1,236 @@
+(* Generated from schemas/*.ddl -- do not edit. *)
+let gates = {ddl|/* Schema of the paper's chip-design example (sections 3 and 4).
+   Adaptations from the published listings, per DESIGN.md:
+   - the domain I/O is spelled IO (identifiers cannot contain "/");
+   - subrelationship where-clauses name their binder explicitly
+     ("as Wire"), matching the paper's use of Wire.Pin1;
+   - the quantifier scoping of constraints is explicit;
+   - GateInterface is defined in its hierarchical form (section 4.2)
+     directly, since both variants cannot share one name. */
+
+domain IO = (IN, OUT);
+domain Point = (X, Y: integer);
+
+obj-type PinType =
+  attributes:
+    InOut: IO;
+    PinLocation: Point;
+end PinType;
+
+rel-type WireType =
+  relates:
+    Pin1, Pin2: object-of-type PinType;
+  attributes:
+    Corners: list-of Point;
+end WireType;
+
+obj-type SimpleGate =
+  attributes:
+    Length, Width: integer;
+    Function: (AND, OR, NOR, NAND);
+    Pins: set-of ( PinId: integer; InOut: IO; );
+  constraints:
+    count (Pins) = 2 where Pins.InOut = IN;
+    count (Pins) = 1 where Pins.InOut = OUT;
+end SimpleGate;
+
+obj-type ElementaryGate =
+  /* equals SimpleGate except for the definition of Pins */
+  attributes:
+    Length, Width: integer;
+    Function: (AND, OR, NOR, NAND);
+    GatePosition: Point;
+  types-of-subclasses:
+    Pins: PinType;
+  constraints:
+    count (Pins) = 2 where Pins.InOut = IN;
+    count (Pins) = 1 where Pins.InOut = OUT;
+end ElementaryGate;
+
+obj-type Gate =
+  /* gates constructed from AND, OR, NAND and NOR gates */
+  attributes:
+    Length, Width: integer;
+    Function: matrix-of boolean;
+  types-of-subclasses:
+    Pins: PinType;
+    SubGates: ElementaryGate;
+  types-of-subrels:
+    Wires: WireType as Wire
+      where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+        and (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+end Gate;
+
+/* ----- section 4.2: interface hierarchy ----- */
+
+obj-type GateInterface_I =
+  types-of-subclasses:
+    Pins: PinType;
+end GateInterface_I;
+
+inher-rel-type AllOf_GateInterface_I =
+  transmitter: object-of-type GateInterface_I;
+  inheritor: object;
+  inheriting: Pins;
+end AllOf_GateInterface_I;
+
+obj-type GateInterface =
+  inheritor-in: AllOf_GateInterface_I;
+  attributes:
+    Length, Width: integer;
+end GateInterface;
+
+inher-rel-type AllOf_GateInterface =
+  /* enables objects to inherit all data of GateInterface objects */
+  transmitter: object-of-type GateInterface;
+  inheritor: object;
+  inheriting: Length, Width, Pins;
+end AllOf_GateInterface;
+
+/* ----- section 4.3: composite implementations ----- */
+
+obj-type GateImplementation =
+  inheritor-in: AllOf_GateInterface;
+  attributes:
+    Function: matrix-of boolean;
+    TimeBehavior: integer;
+  types-of-subclasses:
+    SubGates:
+      inheritor-in: AllOf_GateInterface;
+      attributes:
+        GateLocation: Point;
+  types-of-subrels:
+    Wires: WireType as Wire
+      where (Wire.Pin1 in Pins or Wire.Pin1 in SubGates.Pins)
+        and (Wire.Pin2 in Pins or Wire.Pin2 in SubGates.Pins);
+end GateImplementation;
+
+inher-rel-type SomeOf_Gate =
+  transmitter: object-of-type GateImplementation;
+  inheritor: object;
+  inheriting: Length, Width, TimeBehavior, Pins;
+end SomeOf_Gate;
+
+obj-type TimingProbe =
+  inheritor-in: SomeOf_Gate;
+  attributes:
+    ProbeNote: string;
+end TimingProbe;
+|ddl}
+let steel = {ddl|/* Schema of the paper's steel-construction example (section 5).
+   Adaptations from the published listings, per DESIGN.md:
+   - AllOf_GirderIf / AllOf_PlateIf declare "inheritor: object" because the
+     paper binds both the Girder/Plate types and the anonymous component
+     subclasses of WeightCarrying_Structure to them;
+   - the ScrewingType constraints carry labels and explicit quantifier
+     scoping;
+   - Designer/Description use the string domain (the paper writes "char").
+   Requires Point from gates.ddl or an equivalent prior definition. */
+
+domain AreaDom = record:
+  Length, Width: integer;
+end-domain AreaDom;
+
+obj-type BoltType =
+  attributes:
+    Length, Diameter: integer;
+end BoltType;
+
+obj-type NutType =
+  attributes:
+    Length, Diameter: integer;
+end NutType;
+
+obj-type BoreType =
+  attributes:
+    Diameter, Length: integer;
+    Position: Point;
+end BoreType;
+
+obj-type GirderInterface =
+  attributes:
+    Length, Height, Width: integer;
+  types-of-subclasses:
+    Bores: BoreType;
+  constraints:
+    proportions: Length < 100 * Height * Width;
+end GirderInterface;
+
+obj-type PlateInterface =
+  attributes:
+    Thickness: integer;
+    Area: AreaDom;
+  types-of-subclasses:
+    Bores: BoreType;
+end PlateInterface;
+
+inher-rel-type AllOf_GirderIf =
+  transmitter: object-of-type GirderInterface;
+  inheritor: object;
+  inheriting: Length, Height, Width, Bores;
+end AllOf_GirderIf;
+
+inher-rel-type AllOf_PlateIf =
+  transmitter: object-of-type PlateInterface;
+  inheritor: object;
+  inheriting: Thickness, Area, Bores;
+end AllOf_PlateIf;
+
+obj-type Girder =
+  inheritor-in: AllOf_GirderIf;
+  attributes:
+    Material: (wood, metal);
+end Girder;
+
+obj-type Plate =
+  inheritor-in: AllOf_PlateIf;
+  attributes:
+    Material: (wood, metal);
+end Plate;
+
+inher-rel-type AllOf_BoltType =
+  transmitter: object-of-type BoltType;
+  inheritor: object;
+  inheriting: Length, Diameter;
+end AllOf_BoltType;
+
+inher-rel-type AllOf_NutType =
+  transmitter: object-of-type NutType;
+  inheritor: object;
+  inheriting: Length, Diameter;
+end AllOf_NutType;
+
+rel-type ScrewingType =
+  relates:
+    Bores: set-of object-of-type BoreType;
+  attributes:
+    Strength: integer;
+  types-of-subclasses:
+    Bolt:
+      inheritor-in: AllOf_BoltType;
+    Nut:
+      inheritor-in: AllOf_NutType;
+  constraints:
+    one_bolt: count (Bolt) = 1;
+    one_nut: count (Nut) = 1;
+    diameters_match: for (s in Bolt, n in Nut): s.Diameter = n.Diameter;
+    bolt_fits_bores: for (s in Bolt, b in Bores): s.Diameter <= b.Diameter;
+    bolt_length: for (s in Bolt, n in Nut):
+      s.Length = n.Length + sum (Bores.Length);
+end ScrewingType;
+
+obj-type WeightCarrying_Structure =
+  attributes:
+    Designer: string;
+    Description: string;
+  types-of-subclasses:
+    Girders:
+      inheritor-in: AllOf_GirderIf;
+    Plates:
+      inheritor-in: AllOf_PlateIf;
+  types-of-subrels:
+    Screwings: ScrewingType
+      where for x in Screwings.Bores:
+        x in Girders.Bores or x in Plates.Bores;
+end WeightCarrying_Structure;
+|ddl}

@@ -1,0 +1,235 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+type pin_role = External_in | External_out | Gate_in | Gate_out
+
+let pin_role db ~top pin =
+  let* io = Database.get_attr db pin "InOut" in
+  let* owner = Store.owner_of (Database.store db) pin in
+  let is_top = match owner with Some o -> Surrogate.equal o top | None -> false in
+  match (io, is_top) with
+  | Value.Enum_case "IN", true -> Ok External_in
+  | Value.Enum_case "OUT", true -> Ok External_out
+  | Value.Enum_case "IN", false -> Ok Gate_in
+  | Value.Enum_case "OUT", false -> Ok Gate_out
+  | v, _ ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "pin %s has no valid InOut (%s)"
+              (Surrogate.to_string pin) (Value.to_string v)))
+
+let gate_function = function
+  | "AND" -> Ok (fun a b -> a && b)
+  | "OR" -> Ok (fun a b -> a || b)
+  | "NOR" -> Ok (fun a b -> not (a || b))
+  | "NAND" -> Ok (fun a b -> not (a && b))
+  | other -> Error (Errors.Schema_error ("unknown gate function " ^ other))
+
+(* One subgate: its boolean function, its (two) input pins, its output. *)
+type subgate = {
+  sg_fn : bool -> bool -> bool;
+  sg_in : Surrogate.t list;
+  sg_out : Surrogate.t;
+}
+
+let load_subgate db sub =
+  let* func = Database.get_attr db sub "Function" in
+  let* fn =
+    match func with
+    | Value.Enum_case f -> gate_function f
+    | v ->
+        Error
+          (Errors.Schema_error
+             ("subgate function is not an enumeration case: " ^ Value.to_string v))
+  in
+  let* pins = Database.subclass_members db sub "Pins" in
+  let* ins, outs =
+    List.fold_left
+      (fun acc pin ->
+        let* ins, outs = acc in
+        let* io = Database.get_attr db pin "InOut" in
+        match io with
+        | Value.Enum_case "IN" -> Ok (pin :: ins, outs)
+        | Value.Enum_case "OUT" -> Ok (ins, pin :: outs)
+        | _ -> Ok (ins, outs))
+      (Ok ([], [])) pins
+  in
+  match outs with
+  | [ out ] -> Ok { sg_fn = fn; sg_in = List.rev ins; sg_out = out }
+  | _ ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "subgate %s must have exactly one output pin"
+              (Surrogate.to_string sub)))
+
+(* Oriented connections: driver pin -> sink pin. *)
+let orient db ~top wire =
+  let* p1 =
+    Result.map (fun v -> Option.get (Value.as_ref v)) (Database.participant db wire "Pin1")
+  in
+  let* p2 =
+    Result.map (fun v -> Option.get (Value.as_ref v)) (Database.participant db wire "Pin2")
+  in
+  let* r1 = pin_role db ~top p1 in
+  let* r2 = pin_role db ~top p2 in
+  let driver = function External_in | Gate_out -> true | External_out | Gate_in -> false in
+  match (driver r1, driver r2) with
+  | true, false -> Ok (p1, p2)
+  | false, true -> Ok (p2, p1)
+  | true, true ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "wire %s connects two drivers" (Surrogate.to_string wire)))
+  | false, false ->
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "wire %s connects two sinks" (Surrogate.to_string wire)))
+
+let simulate db ~gate ~inputs =
+  let* external_pins = Database.subclass_members db gate "Pins" in
+  let* ext_in, ext_out =
+    List.fold_left
+      (fun acc pin ->
+        let* ins, outs = acc in
+        let* role = pin_role db ~top:gate pin in
+        match role with
+        | External_in -> Ok (pin :: ins, outs)
+        | External_out -> Ok (ins, pin :: outs)
+        | Gate_in | Gate_out -> Ok (ins, outs))
+      (Ok ([], [])) external_pins
+  in
+  let ext_in = List.rev ext_in and ext_out = List.rev ext_out in
+  let* () =
+    List.fold_left
+      (fun acc pin ->
+        let* () = acc in
+        if List.mem_assoc pin inputs then Ok ()
+        else
+          Error
+            (Errors.Eval_error
+               (Printf.sprintf "no input value for external pin %s"
+                  (Surrogate.to_string pin))))
+      (Ok ()) ext_in
+  in
+  let* subs = Database.subclass_members db gate "SubGates" in
+  let* subgates =
+    List.fold_left
+      (fun acc sub ->
+        let* acc = acc in
+        let* sg = load_subgate db sub in
+        Ok (sg :: acc))
+      (Ok []) subs
+  in
+  let* wires = Database.subrel_members db gate "Wires" in
+  let* connections =
+    List.fold_left
+      (fun acc wire ->
+        let* acc = acc in
+        let* c = orient db ~top:gate wire in
+        Ok (c :: acc))
+      (Ok []) wires
+  in
+  (* fixpoint iteration over pin values *)
+  let values = Surrogate.Tbl.create 64 in
+  List.iter (fun (pin, v) -> Surrogate.Tbl.replace values pin v) inputs;
+  let value pin = Option.value ~default:false (Surrogate.Tbl.find_opt values pin) in
+  let changed = ref true in
+  let assign pin v =
+    if value pin <> v || not (Surrogate.Tbl.mem values pin) then begin
+      Surrogate.Tbl.replace values pin v;
+      changed := true
+    end
+  in
+  let max_iterations = 4 + (2 * (List.length connections + List.length subgates)) in
+  let rec run i =
+    if not !changed then Ok ()
+    else if i >= max_iterations then
+      Error
+        (Errors.Eval_error
+           "netlist did not stabilize (state-holding feedback under these inputs)")
+    else begin
+      changed := false;
+      List.iter (fun (driver, sink) -> assign sink (value driver)) connections;
+      List.iter
+        (fun sg ->
+          let out =
+            match sg.sg_in with
+            | [ a; b ] -> sg.sg_fn (value a) (value b)
+            | [ a ] -> sg.sg_fn (value a) (value a)
+            | ins ->
+                (* fold wider gates pairwise *)
+                List.fold_left
+                  (fun acc p -> sg.sg_fn acc (value p))
+                  (match ins with p :: _ -> value p | [] -> false)
+                  (match ins with _ :: rest -> rest | [] -> [])
+          in
+          assign sg.sg_out out)
+        subgates;
+      run (i + 1)
+    end
+  in
+  let* () = run 0 in
+  Ok (List.map (fun pin -> (pin, value pin)) ext_out)
+
+let truth_table db ~gate =
+  let* external_pins = Database.subclass_members db gate "Pins" in
+  let* ext_in =
+    List.fold_left
+      (fun acc pin ->
+        let* ins = acc in
+        let* role = pin_role db ~top:gate pin in
+        match role with
+        | External_in -> Ok (pin :: ins)
+        | External_out | Gate_in | Gate_out -> Ok ins)
+      (Ok []) external_pins
+  in
+  let ext_in = List.rev ext_in in
+  let n = List.length ext_in in
+  let rows = int_of_float (2. ** float_of_int n) in
+  let rec collect acc row =
+    if row >= rows then Ok (List.rev acc)
+    else
+      let bits = List.mapi (fun i pin -> (pin, row land (1 lsl i) <> 0)) ext_in in
+      match simulate db ~gate ~inputs:bits with
+      | Ok outs ->
+          collect ((List.map snd bits, List.map snd outs) :: acc) (row + 1)
+      | Error (Errors.Eval_error _) -> collect acc (row + 1)
+      | Error _ as e -> Result.map (fun _ -> []) e
+  in
+  collect [] 0
+
+let default_choose db iface =
+  let* impls = Database.implementations_of db iface in
+  match impls with [] -> Ok None | impl :: _ -> Ok (Some impl)
+
+let propagation_delay db ?choose impl =
+  let choose = Option.value ~default:(default_choose db) choose in
+  let rec delay_of seen impl =
+    if List.exists (Surrogate.equal impl) seen then
+      Error (Errors.Binding_cycle "component recursion in delay analysis")
+    else
+      let* own =
+        let* v = Database.get_attr db impl "TimeBehavior" in
+        match Value.as_int v with Some i -> Ok i | None -> Ok 0
+      in
+      let* uses = Database.subclass_members db impl "SubGates" in
+      let* worst =
+        List.fold_left
+          (fun acc use ->
+            let* acc = acc in
+            let* iface = Database.transmitter_of db use in
+            match iface with
+            | None -> Ok acc
+            | Some iface -> (
+                let* chosen = choose iface in
+                match chosen with
+                | None -> Ok acc
+                | Some sub_impl ->
+                    let* d = delay_of (impl :: seen) sub_impl in
+                    Ok (max acc d)))
+          (Ok 0) uses
+      in
+      Ok (own + worst)
+  in
+  delay_of [] impl

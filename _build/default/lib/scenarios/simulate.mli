@@ -1,0 +1,45 @@
+(** A gate-level logic simulator and timing analyzer over the paper's
+    netlists — the application the paper's introduction motivates ("time
+    information for time simulations", section 4.1).
+
+    {!simulate} evaluates a [Gate] complex object: elementary AND/OR/NOR/
+    NAND subgates connected by [Wires] subrelationships, with the gate's
+    own [Pins] as external connectors.  Values propagate from drivers
+    (external IN pins, subgate OUT pins) to sinks until the netlist
+    stabilizes; netlists with state-holding feedback (e.g. the Figure 1
+    flip-flop with S = R = 0) are reported as not converging, which is the
+    honest combinational answer.
+
+    {!propagation_delay} computes the critical-path delay of a
+    [GateImplementation] composite: its own [TimeBehavior] plus the worst
+    component delay, where each component interface is resolved to an
+    implementation by the [choose] policy — the version-selection story of
+    section 6 applied to analysis. *)
+
+open Compo_core
+
+val simulate :
+  Database.t ->
+  gate:Surrogate.t ->
+  inputs:(Surrogate.t * bool) list ->
+  ((Surrogate.t * bool) list, Errors.t) result
+(** [inputs] assigns the gate's external IN pins (all must be given);
+    the result assigns its external OUT pins.  Fails with [Eval_error] if
+    the netlist does not stabilize, and with [Schema_error] on malformed
+    netlists (a wire between two drivers or two sinks, an unknown gate
+    function). *)
+
+val truth_table :
+  Database.t -> gate:Surrogate.t ->
+  ((bool list * bool list) list, Errors.t) result
+(** Exhaustive simulation over all input combinations (inputs in pin
+    order); rows that do not stabilize are omitted. *)
+
+val propagation_delay :
+  Database.t ->
+  ?choose:(Surrogate.t -> (Surrogate.t option, Errors.t) result) ->
+  Surrogate.t ->
+  (int, Errors.t) result
+(** Critical-path delay of an implementation.  [choose] maps a component
+    {e interface} to the implementation to analyze (default: its most
+    recently bound implementation; interfaces without one contribute 0). *)

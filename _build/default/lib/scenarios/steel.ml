@@ -1,0 +1,358 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+let attr name domain = { Schema.attr_name = name; attr_domain = domain }
+let constr name expr = { Schema.c_name = name; c_expr = expr }
+
+let basic_part_type name =
+  {
+    Schema.ot_name = name;
+    ot_inheritor_in = None;
+    ot_attrs = [ attr "Length" Domain.Integer; attr "Diameter" Domain.Integer ];
+    ot_subclasses = [];
+    ot_subrels = [];
+    ot_constraints = [];
+  }
+
+let define_basic_parts db =
+  let* () = Database.define_obj_type db (basic_part_type "BoltType") in
+  let* () = Database.define_obj_type db (basic_part_type "NutType") in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "BoreType";
+      ot_inheritor_in = None;
+      ot_attrs =
+        [
+          attr "Diameter" Domain.Integer;
+          attr "Length" Domain.Integer;
+          attr "Position" (Domain.Named "Point");
+        ];
+      ot_subclasses = [];
+      ot_subrels = [];
+      ot_constraints = [];
+    }
+
+let define_interfaces db =
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = "GirderInterface";
+        ot_inheritor_in = None;
+        ot_attrs =
+          [
+            attr "Length" Domain.Integer;
+            attr "Height" Domain.Integer;
+            attr "Width" Domain.Integer;
+          ];
+        ot_subclasses =
+          [ { Schema.sc_name = "Bores"; sc_member = Schema.Named_type "BoreType" } ];
+        ot_subrels = [];
+        ot_constraints =
+          [
+            (* Length < 100 * Height * Width *)
+            constr "proportions"
+              Expr.(
+                path [ "Length" ]
+                < int 100 * path [ "Height" ] * path [ "Width" ]);
+          ];
+      }
+  in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "PlateInterface";
+      ot_inheritor_in = None;
+      ot_attrs =
+        [ attr "Thickness" Domain.Integer; attr "Area" (Domain.Named "AreaDom") ];
+      ot_subclasses =
+        [ { Schema.sc_name = "Bores"; sc_member = Schema.Named_type "BoreType" } ];
+      ot_subrels = [];
+      ot_constraints = [];
+    }
+
+let inher_all name ~transmitter ~inheritor ~inheriting =
+  {
+    Schema.it_name = name;
+    it_transmitter = transmitter;
+    it_inheritor = inheritor;
+    it_inheriting = inheriting;
+    it_attrs = [];
+         it_subclasses = [];
+    it_constraints = [];
+  }
+
+let define_inheritance db =
+  (* Adaptation: the paper declares [inheritor: object-of-type Girder] but
+     also binds the anonymous Girders subclass of WeightCarrying_Structure
+     to the same relationship; we use the open form. *)
+  let* () =
+    Database.define_inher_rel_type db
+      (inher_all "AllOf_GirderIf" ~transmitter:"GirderInterface" ~inheritor:None
+         ~inheriting:[ "Length"; "Height"; "Width"; "Bores" ])
+  in
+  let* () =
+    Database.define_inher_rel_type db
+      (inher_all "AllOf_PlateIf" ~transmitter:"PlateInterface" ~inheritor:None
+         ~inheriting:[ "Thickness"; "Area"; "Bores" ])
+  in
+  let* () =
+    Database.define_inher_rel_type db
+      (inher_all "AllOf_BoltType" ~transmitter:"BoltType" ~inheritor:None
+         ~inheriting:[ "Length"; "Diameter" ])
+  in
+  Database.define_inher_rel_type db
+    (inher_all "AllOf_NutType" ~transmitter:"NutType" ~inheritor:None
+       ~inheriting:[ "Length"; "Diameter" ])
+
+let material_domain = Domain.Enum [ "wood"; "metal" ]
+
+let define_parts db =
+  let part name rel =
+    {
+      Schema.ot_name = name;
+      ot_inheritor_in = Some rel;
+      ot_attrs = [ attr "Material" material_domain ];
+      ot_subclasses = [];
+      ot_subrels = [];
+      ot_constraints = [];
+    }
+  in
+  let* () = Database.define_obj_type db (part "Girder" "AllOf_GirderIf") in
+  Database.define_obj_type db (part "Plate" "AllOf_PlateIf")
+
+let inheritor_subclass name rel =
+  {
+    Schema.sc_name = name;
+    sc_member =
+      Schema.Inline
+        {
+          Schema.ot_name = "";
+          ot_inheritor_in = Some rel;
+          ot_attrs = [];
+          ot_subclasses = [];
+          ot_subrels = [];
+          ot_constraints = [];
+        };
+  }
+
+let define_screwing db =
+  (* Constraints of section 5, with explicit quantifier scoping. *)
+  let one cls = Expr.(count [ cls ] = int 1) in
+  let diameters_match =
+    Expr.(
+      forall
+        [ ("s", [ "Bolt" ]); ("n", [ "Nut" ]) ]
+        (path [ "s"; "Diameter" ] = path [ "n"; "Diameter" ]))
+  in
+  let bolt_fits_bores =
+    Expr.(
+      forall
+        [ ("s", [ "Bolt" ]); ("b", [ "Bores" ]) ]
+        (path [ "s"; "Diameter" ] <= path [ "b"; "Diameter" ]))
+  in
+  let bolt_length =
+    Expr.(
+      forall
+        [ ("s", [ "Bolt" ]); ("n", [ "Nut" ]) ]
+        (path [ "s"; "Length" ] = path [ "n"; "Length" ] + sum [ "Bores"; "Length" ]))
+  in
+  Database.define_rel_type db
+    {
+      Schema.rt_name = "ScrewingType";
+      rt_relates =
+        [ { Schema.p_name = "Bores"; p_card = Schema.Many; p_type = Some "BoreType" } ];
+      rt_attrs = [ attr "Strength" Domain.Integer ];
+      rt_subclasses =
+        [
+          inheritor_subclass "Bolt" "AllOf_BoltType";
+          inheritor_subclass "Nut" "AllOf_NutType";
+        ];
+      rt_constraints =
+        [
+          constr "one_bolt" (one "Bolt");
+          constr "one_nut" (one "Nut");
+          constr "diameters_match" diameters_match;
+          constr "bolt_fits_bores" bolt_fits_bores;
+          constr "bolt_length" bolt_length;
+        ];
+    }
+
+let define_structure db =
+  let screwings_where =
+    (* for x in Screwings.Bores: x in Girders.Bores or x in Plates.Bores *)
+    Expr.(
+      forall
+        [ ("x", [ "Screwings"; "Bores" ]) ]
+        (in_ (path [ "x" ]) (path [ "Girders"; "Bores" ])
+        || in_ (path [ "x" ]) (path [ "Plates"; "Bores" ])))
+  in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "WeightCarrying_Structure";
+      ot_inheritor_in = None;
+      ot_attrs = [ attr "Designer" Domain.String; attr "Description" Domain.String ];
+      ot_subclasses =
+        [
+          inheritor_subclass "Girders" "AllOf_GirderIf";
+          inheritor_subclass "Plates" "AllOf_PlateIf";
+        ];
+      ot_subrels =
+        [
+          {
+            Schema.sr_name = "Screwings";
+            sr_rel_type = "ScrewingType";
+            sr_binder = None;
+            sr_where = Some screwings_where;
+          };
+        ];
+      ot_constraints = [];
+    }
+
+let define_classes db =
+  let cls name ty = Database.create_class db ~name ~member_type:ty in
+  let* () = cls "Bolts" "BoltType" in
+  let* () = cls "Nuts" "NutType" in
+  let* () = cls "GirderInterfaces" "GirderInterface" in
+  let* () = cls "PlateInterfaces" "PlateInterface" in
+  let* () = cls "Girders" "Girder" in
+  let* () = cls "Plates" "Plate" in
+  cls "Structures" "WeightCarrying_Structure"
+
+let define_schema db =
+  let* () =
+    (* Point may already exist if the gates scenario was installed first. *)
+    match Schema.find_domain (Database.schema db) "Point" with
+    | Some _ -> Ok ()
+    | None ->
+        Database.define_domain db "Point"
+          (Domain.Record [ ("X", Domain.Integer); ("Y", Domain.Integer) ])
+  in
+  let* () =
+    Database.define_domain db "AreaDom"
+      (Domain.Record [ ("Length", Domain.Integer); ("Width", Domain.Integer) ])
+  in
+  let* () = define_basic_parts db in
+  let* () = define_interfaces db in
+  let* () = define_inheritance db in
+  let* () = define_parts db in
+  let* () = define_screwing db in
+  let* () = define_structure db in
+  define_classes db
+
+(* ------------------------------------------------------------------ *)
+(* Builders                                                            *)
+
+let new_part db ~cls ~ty ~length ~diameter =
+  Database.new_object db ~cls ~ty
+    ~attrs:[ ("Length", Value.Int length); ("Diameter", Value.Int diameter) ]
+    ()
+
+let new_bolt db ~length ~diameter =
+  new_part db ~cls:"Bolts" ~ty:"BoltType" ~length ~diameter
+
+let new_nut db ~length ~diameter =
+  new_part db ~cls:"Nuts" ~ty:"NutType" ~length ~diameter
+
+let add_bores db parent bores =
+  List.fold_left
+    (fun acc (diameter, length, (x, y)) ->
+      let* () = acc in
+      let* _ =
+        Database.new_subobject db ~parent ~subclass:"Bores"
+          ~attrs:
+            [
+              ("Diameter", Value.Int diameter);
+              ("Length", Value.Int length);
+              ("Position", Value.point x y);
+            ]
+          ()
+      in
+      Ok ())
+    (Ok ()) bores
+
+let new_girder_interface db ~length ~height ~width ~bores =
+  let* iface =
+    Database.new_object db ~cls:"GirderInterfaces" ~ty:"GirderInterface"
+      ~attrs:
+        [
+          ("Length", Value.Int length);
+          ("Height", Value.Int height);
+          ("Width", Value.Int width);
+        ]
+      ()
+  in
+  let* () = add_bores db iface bores in
+  Ok iface
+
+let new_plate_interface db ~thickness ~area:(alen, awid) ~bores =
+  let* iface =
+    Database.new_object db ~cls:"PlateInterfaces" ~ty:"PlateInterface"
+      ~attrs:
+        [
+          ("Thickness", Value.Int thickness);
+          ( "Area",
+            Value.record [ ("Length", Value.Int alen); ("Width", Value.Int awid) ] );
+        ]
+      ()
+  in
+  let* () = add_bores db iface bores in
+  Ok iface
+
+let new_bound_part db ~cls ~ty ~via ~interface ~material =
+  let* part =
+    Database.new_object db ~cls ~ty ~attrs:[ ("Material", Value.Enum_case material) ] ()
+  in
+  let* _ = Database.bind db ~via ~transmitter:interface ~inheritor:part () in
+  Ok part
+
+let new_girder db ~interface ~material =
+  new_bound_part db ~cls:"Girders" ~ty:"Girder" ~via:"AllOf_GirderIf" ~interface
+    ~material
+
+let new_plate db ~interface ~material =
+  new_bound_part db ~cls:"Plates" ~ty:"Plate" ~via:"AllOf_PlateIf" ~interface
+    ~material
+
+let bores_of db part = Database.subclass_members db part "Bores"
+
+let new_structure db ~designer ~description =
+  Database.new_object db ~cls:"Structures" ~ty:"WeightCarrying_Structure"
+    ~attrs:
+      [ ("Designer", Value.Str designer); ("Description", Value.Str description) ]
+    ()
+
+let add_component db ~structure ~subclass ~via ~interface =
+  let* sub = Database.new_subobject db ~parent:structure ~subclass () in
+  let* _ = Database.bind db ~via ~transmitter:interface ~inheritor:sub () in
+  Ok sub
+
+let add_girder db ~structure ~girder_interface =
+  add_component db ~structure ~subclass:"Girders" ~via:"AllOf_GirderIf"
+    ~interface:girder_interface
+
+let add_plate db ~structure ~plate_interface =
+  add_component db ~structure ~subclass:"Plates" ~via:"AllOf_PlateIf"
+    ~interface:plate_interface
+
+let screw db ~structure ~bores ~bolt ~nut ~strength =
+  let* screwing =
+    Database.new_subrel db ~parent:structure ~subrel:"Screwings"
+      ~participants:
+        [ ("Bores", Value.set (List.map (fun b -> Value.Ref b) bores)) ]
+      ~attrs:[ ("Strength", Value.Int strength) ]
+      ()
+  in
+  (* The bolt and nut live inside the relationship object, inheriting the
+     catalog part's data ("bolds and nuts are hidden in the relationship
+     ScrewingType", section 5). *)
+  let* bolt_sub =
+    Database.new_subobject db ~parent:screwing ~subclass:"Bolt" ()
+  in
+  let* _ =
+    Database.bind db ~via:"AllOf_BoltType" ~transmitter:bolt ~inheritor:bolt_sub ()
+  in
+  let* nut_sub = Database.new_subobject db ~parent:screwing ~subclass:"Nut" () in
+  let* _ =
+    Database.bind db ~via:"AllOf_NutType" ~transmitter:nut ~inheritor:nut_sub ()
+  in
+  Ok screwing

@@ -1,0 +1,76 @@
+(** The paper's second application example: steel construction (section 5,
+    Figure 5) — weight-carrying structures assembled from plates and
+    girders by means of bolts and nuts.
+
+    [define_schema] installs the paper's listing with one documented
+    adaptation: [AllOf_GirderIf] / [AllOf_PlateIf] declare [inheritor:
+    object] rather than a fixed inheritor type, because the paper binds
+    {e both} the [Girder] object type and the anonymous [Girders] subclass
+    of [WeightCarrying_Structure] to the same relationship (see DESIGN.md,
+    section 5).  The section 5 constraints on [ScrewingType] are written
+    with explicit quantifier scoping:
+
+    - exactly one bolt and one nut;
+    - bolt and nut diameters match;
+    - the bolt fits every bore;
+    - bolt length = nut length + sum of bore lengths. *)
+
+open Compo_core
+
+val define_schema : Database.t -> (unit, Errors.t) result
+(** Also creates the classes [Bolts], [Nuts], [GirderInterfaces],
+    [PlateInterfaces], [Girders], [Plates], [Structures]. *)
+
+(** {1 Catalog parts} *)
+
+val new_bolt : Database.t -> length:int -> diameter:int -> (Surrogate.t, Errors.t) result
+val new_nut : Database.t -> length:int -> diameter:int -> (Surrogate.t, Errors.t) result
+
+val new_girder_interface :
+  Database.t -> length:int -> height:int -> width:int ->
+  bores:(int * int * (int * int)) list ->
+  (Surrogate.t, Errors.t) result
+(** [bores] are [(diameter, length, (x, y))] triples. *)
+
+val new_plate_interface :
+  Database.t -> thickness:int -> area:int * int ->
+  bores:(int * int * (int * int)) list ->
+  (Surrogate.t, Errors.t) result
+
+val new_girder :
+  Database.t -> interface:Surrogate.t -> material:string ->
+  (Surrogate.t, Errors.t) result
+
+val new_plate :
+  Database.t -> interface:Surrogate.t -> material:string ->
+  (Surrogate.t, Errors.t) result
+
+val bores_of : Database.t -> Surrogate.t -> (Surrogate.t list, Errors.t) result
+(** Inheritance-aware [Bores] members of an interface, girder, plate, or
+    structure component. *)
+
+(** {1 Structures} *)
+
+val new_structure :
+  Database.t -> designer:string -> description:string ->
+  (Surrogate.t, Errors.t) result
+
+val add_girder :
+  Database.t -> structure:Surrogate.t -> girder_interface:Surrogate.t ->
+  (Surrogate.t, Errors.t) result
+(** Adds a [Girders] subobject bound to the girder's interface; returns the
+    component subobject. *)
+
+val add_plate :
+  Database.t -> structure:Surrogate.t -> plate_interface:Surrogate.t ->
+  (Surrogate.t, Errors.t) result
+
+val screw :
+  Database.t -> structure:Surrogate.t -> bores:Surrogate.t list ->
+  bolt:Surrogate.t -> nut:Surrogate.t -> strength:int ->
+  (Surrogate.t, Errors.t) result
+(** Adds a [Screwings] subrelationship connecting the given bores, with a
+    [Bolt]/[Nut] subobject pair bound to the catalog parts.  The where
+    clause (every bore belongs to the structure's girders or plates) is
+    checked on creation; the ScrewingType constraints are checked by
+    [Database.validate]. *)

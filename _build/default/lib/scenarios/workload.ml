@@ -1,0 +1,239 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+let fold_range ~n ~init f =
+  let rec go acc i = if i >= n then Ok acc else
+    let* acc = f acc i in
+    go acc (i + 1)
+  in
+  go init 0
+
+let interface_with_inheritors db ~n =
+  let* iface = Gates.nor_interface db in
+  let* impls =
+    fold_range ~n ~init:[] (fun acc i ->
+        let* impl =
+          Gates.new_implementation db ~interface:iface ~time_behavior:(i + 1) ()
+        in
+        Ok (impl :: acc))
+  in
+  Ok (iface, List.rev impls)
+
+let node_name k = "Node" ^ string_of_int k
+let rel_name k = "AllOf_" ^ node_name k
+
+let chain_schema db ~depth =
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = node_name 0;
+        ot_inheritor_in = None;
+        ot_attrs = [ { Schema.attr_name = "Payload"; attr_domain = Domain.Integer } ];
+        ot_subclasses = [];
+        ot_subrels = [];
+        ot_constraints = [];
+      }
+  in
+  fold_range ~n:depth ~init:() (fun () k ->
+      let* () =
+        Database.define_inher_rel_type db
+          {
+            Schema.it_name = rel_name k;
+            it_transmitter = node_name k;
+            it_inheritor = Some (node_name (k + 1));
+            it_inheriting = [ "Payload" ];
+            it_attrs = [];
+         it_subclasses = [];
+            it_constraints = [];
+          }
+      in
+      Database.define_obj_type db
+        {
+          Schema.ot_name = node_name (k + 1);
+          ot_inheritor_in = Some (rel_name k);
+          ot_attrs = [];
+          ot_subclasses = [];
+          ot_subrels = [];
+          ot_constraints = [];
+        })
+
+let chain_instance db ~depth ~payload =
+  let* root =
+    Database.new_object db ~ty:(node_name 0)
+      ~attrs:[ ("Payload", Value.Int payload) ]
+      ()
+  in
+  let* objects =
+    fold_range ~n:depth ~init:[ root ] (fun acc k ->
+        let prev = List.hd acc in
+        let* node = Database.new_object db ~ty:(node_name (k + 1)) () in
+        let* _ =
+          Database.bind db ~via:(rel_name k) ~transmitter:prev ~inheritor:node ()
+        in
+        Ok (node :: acc))
+  in
+  Ok (List.rev objects)
+
+let comp_name k = "Comp" ^ string_of_int k
+let comp_rel k = "AllOf_" ^ comp_name k
+
+let composite_schema db ~depth =
+  let* () =
+    Database.define_obj_type db
+      {
+        Schema.ot_name = comp_name 0;
+        ot_inheritor_in = None;
+        ot_attrs = [ { Schema.attr_name = "Payload"; attr_domain = Domain.Integer } ];
+        ot_subclasses = [];
+        ot_subrels = [];
+        ot_constraints = [];
+      }
+  in
+  fold_range ~n:depth ~init:() (fun () k ->
+      let* () =
+        Database.define_inher_rel_type db
+          {
+            Schema.it_name = comp_rel k;
+            it_transmitter = comp_name k;
+            it_inheritor = None;
+            it_inheriting = [ "Payload" ];
+            it_attrs = [];
+         it_subclasses = [];
+            it_constraints = [];
+          }
+      in
+      Database.define_obj_type db
+        {
+          Schema.ot_name = comp_name (k + 1);
+          ot_inheritor_in = None;
+          ot_attrs = [ { Schema.attr_name = "Payload"; attr_domain = Domain.Integer } ];
+          ot_subclasses =
+            [
+              {
+                Schema.sc_name = "Parts";
+                sc_member =
+                  Schema.Inline
+                    {
+                      Schema.ot_name = "";
+                      ot_inheritor_in = Some (comp_rel k);
+                      ot_attrs = [];
+                      ot_subclasses = [];
+                      ot_subrels = [];
+                      ot_constraints = [];
+                    };
+              };
+            ];
+          ot_subrels = [];
+          ot_constraints = [];
+        })
+
+let component_tree db ~depth ~fanout =
+  let* () =
+    match Schema.find (Database.schema db) (comp_name depth) with
+    | Some _ -> Ok ()
+    | None -> composite_schema db ~depth
+  in
+  let rec build level =
+    let* node =
+      Database.new_object db ~ty:(comp_name level)
+        ~attrs:[ ("Payload", Value.Int level) ]
+        ()
+    in
+    if level = 0 then Ok node
+    else
+      let* () =
+        fold_range ~n:fanout ~init:() (fun () _ ->
+            let* child = build (level - 1) in
+            let* part =
+              Database.new_subobject db ~parent:node ~subclass:"Parts" ()
+            in
+            let* _ =
+              Database.bind db ~via:(comp_rel (level - 1)) ~transmitter:child
+                ~inheritor:part ()
+            in
+            Ok ())
+      in
+      Ok node
+  in
+  build depth
+
+let random_netlist db ~seed ~gates =
+  let rng = Random.State.make [| seed |] in
+  let funcs = [| "AND"; "OR"; "NOR"; "NAND" |] in
+  let* g =
+    Database.new_object db ~cls:"Gates" ~ty:"Gate"
+      ~attrs:
+        [
+          ("Length", Value.Int (4 * gates));
+          ("Width", Value.Int 8);
+          ("Function", Value.Matrix [| [| Value.Bool true |] |]);
+        ]
+      ()
+  in
+  let* subgates =
+    fold_range ~n:gates ~init:[] (fun acc i ->
+        let func = funcs.(Random.State.int rng (Array.length funcs)) in
+        let* sub =
+          Gates.new_elementary_gate db ~parent:(g, "SubGates") ~func ~x:(4 * i)
+            ~y:0 ()
+        in
+        Ok (sub :: acc))
+  in
+  let subgates = Array.of_list (List.rev subgates) in
+  (* one wire per subgate: its output to a random input of a later gate
+     (or of itself when alone), keeping the netlist loosely connected *)
+  let* () =
+    fold_range ~n:(Array.length subgates) ~init:() (fun () i ->
+        let target =
+          if i + 1 < Array.length subgates then
+            i + 1 + Random.State.int rng (Array.length subgates - i - 1)
+          else i
+        in
+        let* from_pin = Gates.pin db subgates.(i) 2 in
+        let* to_pin =
+          Gates.pin db subgates.(target) (Random.State.int rng 2)
+        in
+        let* _ = Gates.wire db ~parent:g ~from_pin ~to_pin in
+        Ok ())
+  in
+  Ok g
+
+let screwed_structure db ~girders ~bores_per_joint =
+  let bore_length = 2 in
+  let bores =
+    List.init bores_per_joint (fun i -> (10, bore_length, (i * 5, 0)))
+  in
+  let* structure =
+    Steel.new_structure db ~designer:"generator"
+      ~description:
+        (Printf.sprintf "%d girders, %d bores per joint" girders bores_per_joint)
+  in
+  let* components =
+    fold_range ~n:girders ~init:[] (fun acc _ ->
+        let* iface =
+          Steel.new_girder_interface db ~length:200 ~height:10 ~width:10 ~bores
+        in
+        let* comp = Steel.add_girder db ~structure ~girder_interface:iface in
+        Ok (comp :: acc))
+  in
+  let components = Array.of_list (List.rev components) in
+  (* join consecutive girders: one screwing over the matching bores of both *)
+  let* () =
+    fold_range ~n:(max 0 (girders - 1)) ~init:() (fun () i ->
+        let* bores_a = Steel.bores_of db components.(i) in
+        let* bores_b = Steel.bores_of db components.(i + 1) in
+        let joint_bores = bores_a @ bores_b in
+        (* bolt long enough for all bores: nut length + sum of bore lengths *)
+        let nut_length = 1 in
+        let bolt_length =
+          nut_length + (bore_length * List.length joint_bores)
+        in
+        let* bolt = Steel.new_bolt db ~length:bolt_length ~diameter:10 in
+        let* nut = Steel.new_nut db ~length:nut_length ~diameter:10 in
+        let* _ =
+          Steel.screw db ~structure ~bores:joint_bores ~bolt ~nut ~strength:100
+        in
+        Ok ())
+  in
+  Ok structure

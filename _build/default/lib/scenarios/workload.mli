@@ -1,0 +1,51 @@
+(** Synthetic workload generators for benchmarks and stress tests.
+
+    The paper reports no measurements, so these generators produce
+    parameterised instances of the paper's modelling patterns (interfaces
+    with many implementations, deep inheritance chains, component trees,
+    random netlists, screwed structures) whose scaling behaviour the
+    benchmark harness measures.  All generators are deterministic given
+    [seed]. *)
+
+open Compo_core
+
+val interface_with_inheritors :
+  Database.t -> n:int -> (Surrogate.t * Surrogate.t list, Errors.t) result
+(** One [GateInterface] (with pin interface) and [n] implementations bound
+    to it.  Requires {!Gates.define_schema}. *)
+
+val chain_schema : Database.t -> depth:int -> (unit, Errors.t) result
+(** Types [Node0 .. Node<depth>] where [Node<k+1>] is inheritor-in
+    [AllOf_Node<k>]; a [Payload] attribute defined on [Node0] is permeable
+    through every level.  Self-contained (does not need the gate schema). *)
+
+val chain_instance :
+  Database.t -> depth:int -> payload:int -> (Surrogate.t list, Errors.t) result
+(** One object per level, each bound to the previous; returns the objects
+    from [Node0] to [Node<depth>].  Reading [Payload] on the last object
+    resolves through [depth] hops. *)
+
+val composite_schema : Database.t -> depth:int -> (unit, Errors.t) result
+(** Types [Comp0 .. Comp<depth>]: each [Comp<k+1>] holds a [Parts] subclass
+    whose members are inheritors-in [AllOf_Comp<k>] — the paper's component
+    pattern, stacked [depth] levels deep.  Self-contained. *)
+
+val component_tree :
+  Database.t -> depth:int -> fanout:int -> (Surrogate.t, Errors.t) result
+(** A component tree over {!composite_schema}: one object per inner node
+    with [fanout] component uses of distinct level-below objects; leaves
+    are [Comp0] objects carrying a [Payload].  Returns the top object; its
+    expansion has Θ(fanout^depth) nodes.  Requires
+    [composite_schema ~depth] (installed on demand if missing). *)
+
+val random_netlist :
+  Database.t -> seed:int -> gates:int -> (Surrogate.t, Errors.t) result
+(** A [Gate] complex object with [gates] random elementary subgates and a
+    random wire between gate pins per subgate.  Requires
+    {!Gates.define_schema}. *)
+
+val screwed_structure :
+  Database.t -> girders:int -> bores_per_joint:int -> (Surrogate.t, Errors.t) result
+(** A weight-carrying structure with [girders] girder components joined
+    pairwise by screwings over [bores_per_joint] bores, with consistent
+    bolt/nut dimensions.  Requires {!Steel.define_schema}. *)

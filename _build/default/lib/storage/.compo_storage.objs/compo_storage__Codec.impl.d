@@ -1,0 +1,1 @@
+lib/storage/codec.ml: Array Binary Compo_core Domain Errors Expr List Printf Result Schema Store String Surrogate Value

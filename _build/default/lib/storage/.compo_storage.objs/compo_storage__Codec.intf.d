@@ -1,0 +1,1 @@
+lib/storage/codec.mli: Compo_core Domain Errors Expr Schema Store Value

@@ -1,0 +1,1 @@
+lib/storage/journal.ml: Codec Compo_core Database Errors Filename List Logs Out_channel Result Schema Snapshot Sys Unix Wal

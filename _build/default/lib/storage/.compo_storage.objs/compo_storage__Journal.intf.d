@@ -1,0 +1,1 @@
+lib/storage/journal.mli: Compo_core Database Domain Errors Schema Surrogate Value

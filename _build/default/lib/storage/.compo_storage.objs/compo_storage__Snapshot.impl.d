@@ -1,0 +1,1 @@
+lib/storage/snapshot.ml: Codec Compo_core Database Errors In_channel Int32 Out_channel Result String Sys

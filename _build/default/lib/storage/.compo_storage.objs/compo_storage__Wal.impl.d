@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Codec Compo_core Database Domain Errors In_channel Int32 Int64 List Out_channel Printf Result Schema String Surrogate Value

@@ -1,0 +1,1 @@
+lib/storage/wal.mli: Compo_core Database Domain Errors Out_channel Surrogate Value

@@ -1,0 +1,149 @@
+open Compo_core
+
+let log_src = Logs.Src.create "compo.journal" ~doc:"compo durability"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+let ( let* ) = Result.bind
+
+type t = {
+  dir : string;
+  jdb : Database.t;
+  mutable chan : Out_channel.t;
+  clean : bool;
+  replayed : int;
+}
+
+let snapshot_path dir = Filename.concat dir "snapshot.bin"
+let wal_path dir = Filename.concat dir "wal.log"
+
+let open_dir dir =
+  let* () =
+    match Sys.is_directory dir with
+    | true -> Ok ()
+    | false -> Error (Errors.Io_error (dir ^ " exists and is not a directory"))
+    | exception Sys_error _ -> (
+        match Sys.mkdir dir 0o755 with
+        | () -> Ok ()
+        | exception Sys_error msg -> Error (Errors.Io_error msg))
+  in
+  let* db =
+    if Sys.file_exists (snapshot_path dir) then Snapshot.load (snapshot_path dir)
+    else Ok (Database.create ())
+  in
+  let records, clean = Wal.read_file (wal_path dir) in
+  let* replayed =
+    List.fold_left
+      (fun acc r ->
+        let* n = acc in
+        let* () = Wal.apply db r in
+        Ok (n + 1))
+      (Ok 0) records
+  in
+  if not clean then
+    Log.warn (fun m -> m "%s: torn WAL tail skipped during recovery" dir);
+  Log.info (fun m -> m "%s: recovered (%d WAL records replayed)" dir replayed);
+  let chan =
+    Out_channel.open_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644 (wal_path dir)
+  in
+  Ok { dir; jdb = db; chan; clean; replayed }
+
+let db t = t.jdb
+let recovered_clean t = t.clean
+let wal_records_replayed t = t.replayed
+let log t r = Wal.append t.chan r
+
+(* Log-before-apply: validate the operation dry against the database
+   first where cheap, then append the record, then apply.  For creating
+   operations the surrogate is only known after applying, so those are
+   applied first and logged with the produced surrogate; the apply and the
+   append sit in the same critical step, and recovery verifies the
+   surrogates on replay. *)
+
+let define_domain t name d =
+  let* () = Database.define_domain t.jdb name d in
+  log t (Wal.Define_domain { name; domain = d });
+  Ok ()
+
+let log_define t entry =
+  log t (Wal.Define (Codec.encode_entry (Database.schema t.jdb) entry))
+
+let define_obj_type t o =
+  let* () = Database.define_obj_type t.jdb o in
+  (* re-read the stored form: inline subclasses were resolved on define *)
+  let* stored = Schema.find_obj_type (Database.schema t.jdb) o.Schema.ot_name in
+  log_define t (Schema.Obj_type stored);
+  Ok ()
+
+let define_rel_type t r =
+  let* () = Database.define_rel_type t.jdb r in
+  let* stored = Schema.find_rel_type (Database.schema t.jdb) r.Schema.rt_name in
+  log_define t (Schema.Rel_type stored);
+  Ok ()
+
+let define_inher_rel_type t i =
+  let* () = Database.define_inher_rel_type t.jdb i in
+  log_define t (Schema.Inher_type i);
+  Ok ()
+
+let create_class t ~name ~member_type =
+  let* () = Database.create_class t.jdb ~name ~member_type in
+  log t (Wal.Create_class { name; member_type });
+  Ok ()
+
+let new_object t ?cls ~ty ?(attrs = []) () =
+  let* s = Database.new_object t.jdb ?cls ~ty ~attrs () in
+  log t (Wal.Create_object { cls; ty; attrs; expect = s });
+  Ok s
+
+let new_subobject t ~parent ~subclass ?(attrs = []) () =
+  let* s = Database.new_subobject t.jdb ~parent ~subclass ~attrs () in
+  log t (Wal.Create_subobject { parent; subclass; attrs; expect = s });
+  Ok s
+
+let new_relationship t ~ty ~participants ?(attrs = []) () =
+  let* s = Database.new_relationship t.jdb ~ty ~participants ~attrs () in
+  log t (Wal.Create_relationship { ty; participants; attrs; expect = s });
+  Ok s
+
+let new_subrel t ~parent ~subrel ~participants ?(attrs = []) () =
+  let* s = Database.new_subrel t.jdb ~parent ~subrel ~participants ~attrs () in
+  log t (Wal.Create_subrel { parent; subrel; participants; attrs; expect = s });
+  Ok s
+
+let set_attr t s name value =
+  let* () = Database.set_attr t.jdb s name value in
+  log t (Wal.Set_attr { target = s; name; value });
+  Ok ()
+
+let bind t ~via ~transmitter ~inheritor () =
+  let* link = Database.bind t.jdb ~via ~transmitter ~inheritor () in
+  log t (Wal.Bind { via; transmitter; inheritor; expect = link });
+  Ok link
+
+let unbind t inheritor =
+  let* () = Database.unbind t.jdb inheritor in
+  log t (Wal.Unbind { inheritor });
+  Ok ()
+
+let delete t ?(force = false) s =
+  let* () = Database.delete t.jdb ~force s in
+  log t (Wal.Delete { target = s; force });
+  Ok ()
+
+let checkpoint t =
+  Log.info (fun m -> m "%s: checkpoint" t.dir);
+  let* () = Snapshot.save (snapshot_path t.dir) t.jdb in
+  Out_channel.close t.chan;
+  let chan =
+    Out_channel.open_gen [ Open_wronly; Open_trunc; Open_creat; Open_binary ] 0o644 (wal_path t.dir)
+  in
+  t.chan <- chan;
+  Ok ()
+
+let wal_size_bytes t =
+  match (Unix.stat (wal_path t.dir)).Unix.st_size with
+  | size -> size
+  | exception Unix.Unix_error _ -> 0
+
+let close t = Out_channel.close t.chan

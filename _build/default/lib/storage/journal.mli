@@ -1,0 +1,66 @@
+(** Durable databases: snapshot + write-ahead log + recovery.
+
+    A journaled database lives in a directory holding [snapshot.bin] and
+    [wal.log].  {!open_dir} recovers by loading the snapshot (if any) and
+    replaying the log's clean prefix; every mutating operation offered
+    here is logged before it is applied.  {!checkpoint} collapses the log
+    into a fresh snapshot. *)
+
+open Compo_core
+
+type t
+
+val open_dir : string -> (t, Errors.t) result
+(** Creates the directory if needed.  Returns the recovered database
+    handle. *)
+
+val db : t -> Database.t
+val recovered_clean : t -> bool
+(** False when recovery skipped a torn WAL tail. *)
+
+val wal_records_replayed : t -> int
+
+(** {1 Logged schema definition} *)
+
+val define_domain : t -> string -> Domain.t -> (unit, Errors.t) result
+val define_obj_type : t -> Schema.obj_type -> (unit, Errors.t) result
+val define_rel_type : t -> Schema.rel_type -> (unit, Errors.t) result
+val define_inher_rel_type : t -> Schema.inher_rel_type -> (unit, Errors.t) result
+
+(** {1 Logged mutations} *)
+
+val create_class : t -> name:string -> member_type:string -> (unit, Errors.t) result
+
+val new_object :
+  t -> ?cls:string -> ty:string -> ?attrs:(string * Value.t) list -> unit ->
+  (Surrogate.t, Errors.t) result
+
+val new_subobject :
+  t -> parent:Surrogate.t -> subclass:string -> ?attrs:(string * Value.t) list ->
+  unit -> (Surrogate.t, Errors.t) result
+
+val new_relationship :
+  t -> ty:string -> participants:(string * Value.t) list ->
+  ?attrs:(string * Value.t) list -> unit -> (Surrogate.t, Errors.t) result
+
+val new_subrel :
+  t -> parent:Surrogate.t -> subrel:string ->
+  participants:(string * Value.t) list -> ?attrs:(string * Value.t) list ->
+  unit -> (Surrogate.t, Errors.t) result
+
+val set_attr : t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+
+val bind :
+  t -> via:string -> transmitter:Surrogate.t -> inheritor:Surrogate.t -> unit ->
+  (Surrogate.t, Errors.t) result
+
+val unbind : t -> Surrogate.t -> (unit, Errors.t) result
+val delete : t -> ?force:bool -> Surrogate.t -> (unit, Errors.t) result
+
+(** {1 Maintenance} *)
+
+val checkpoint : t -> (unit, Errors.t) result
+(** Write a fresh snapshot and truncate the WAL. *)
+
+val wal_size_bytes : t -> int
+val close : t -> unit

@@ -1,0 +1,48 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+let magic = "COMPO-SNAPSHOT-1"
+
+let save path db =
+  let schema_blob = Codec.encode_schema (Database.schema db) in
+  let store_blob = Codec.encode_store (Database.store db) in
+  let b = Codec.Enc.create () in
+  Codec.Enc.string b schema_blob;
+  Codec.Enc.string b store_blob;
+  let body = Codec.Enc.contents b in
+  let crc = Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF in
+  let frame = Codec.Enc.create () in
+  Codec.Enc.string frame magic;
+  Codec.Enc.int frame crc;
+  Codec.Enc.string frame body;
+  let tmp = path ^ ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun chan ->
+        Out_channel.output_string chan (Codec.Enc.contents frame));
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+  | contents ->
+      let d = Codec.Dec.of_string contents in
+      let* found_magic = Codec.Dec.string d in
+      let* () =
+        if String.equal found_magic magic then Ok ()
+        else Error (Errors.Io_error (path ^ " is not a compo snapshot"))
+      in
+      let* crc = Codec.Dec.int d in
+      let* body = Codec.Dec.string d in
+      let* () =
+        if Int32.to_int (Codec.crc32 body) land 0xFFFFFFFF = crc then Ok ()
+        else Error (Errors.Io_error (path ^ ": snapshot checksum mismatch"))
+      in
+      let inner = Codec.Dec.of_string body in
+      let* schema_blob = Codec.Dec.string inner in
+      let* store_blob = Codec.Dec.string inner in
+      let* schema = Codec.decode_schema schema_blob in
+      let* store = Codec.decode_store schema store_blob in
+      Ok (Database.of_parts schema store)

@@ -1,0 +1,10 @@
+(** Full-database snapshots: schema and store in one checksummed file. *)
+
+open Compo_core
+
+val save : string -> Database.t -> (unit, Errors.t) result
+(** Atomic: writes to a temporary file in the same directory, then
+    renames. *)
+
+val load : string -> (Database.t, Errors.t) result
+(** Verifies magic and checksum before decoding. *)

@@ -1,0 +1,255 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+type record =
+  | Define_domain of { name : string; domain : Domain.t }
+  | Define of string
+  | Create_class of { name : string; member_type : string }
+  | Create_object of {
+      cls : string option;
+      ty : string;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_subobject of {
+      parent : Surrogate.t;
+      subclass : string;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_relationship of {
+      ty : string;
+      participants : (string * Value.t) list;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_subrel of {
+      parent : Surrogate.t;
+      subrel : string;
+      participants : (string * Value.t) list;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Set_attr of { target : Surrogate.t; name : string; value : Value.t }
+  | Bind of {
+      via : string;
+      transmitter : Surrogate.t;
+      inheritor : Surrogate.t;
+      expect : Surrogate.t;
+    }
+  | Unbind of { inheritor : Surrogate.t }
+  | Delete of { target : Surrogate.t; force : bool }
+
+module Enc = Codec.Enc
+module Dec = Codec.Dec
+
+let enc_attrs b attrs =
+  Enc.list b
+    (fun (n, v) ->
+      Enc.string b n;
+      Codec.encode_value b v)
+    attrs
+
+let dec_attrs d =
+  Dec.list d (fun () ->
+      let* n = Dec.string d in
+      let* v = Codec.decode_value d in
+      Ok (n, v))
+
+let enc_sur b s = Enc.int b (Surrogate.to_int s)
+
+let dec_sur d =
+  let* i = Dec.int d in
+  Ok (Surrogate.of_int i)
+
+let encode_record r =
+  let b = Enc.create () in
+  (match r with
+  | Define_domain { name; domain } ->
+      Enc.byte b 0;
+      Enc.string b name;
+      Codec.encode_domain b domain
+  | Define entry ->
+      Enc.byte b 1;
+      Enc.string b entry
+  | Create_class { name; member_type } ->
+      Enc.byte b 2;
+      Enc.string b name;
+      Enc.string b member_type
+  | Create_object { cls; ty; attrs; expect } ->
+      Enc.byte b 3;
+      Enc.option b (Enc.string b) cls;
+      Enc.string b ty;
+      enc_attrs b attrs;
+      enc_sur b expect
+  | Create_subobject { parent; subclass; attrs; expect } ->
+      Enc.byte b 4;
+      enc_sur b parent;
+      Enc.string b subclass;
+      enc_attrs b attrs;
+      enc_sur b expect
+  | Create_relationship { ty; participants; attrs; expect } ->
+      Enc.byte b 5;
+      Enc.string b ty;
+      enc_attrs b participants;
+      enc_attrs b attrs;
+      enc_sur b expect
+  | Create_subrel { parent; subrel; participants; attrs; expect } ->
+      Enc.byte b 6;
+      enc_sur b parent;
+      Enc.string b subrel;
+      enc_attrs b participants;
+      enc_attrs b attrs;
+      enc_sur b expect
+  | Set_attr { target; name; value } ->
+      Enc.byte b 7;
+      enc_sur b target;
+      Enc.string b name;
+      Codec.encode_value b value
+  | Bind { via; transmitter; inheritor; expect } ->
+      Enc.byte b 8;
+      Enc.string b via;
+      enc_sur b transmitter;
+      enc_sur b inheritor;
+      enc_sur b expect
+  | Unbind { inheritor } ->
+      Enc.byte b 9;
+      enc_sur b inheritor
+  | Delete { target; force } ->
+      Enc.byte b 10;
+      enc_sur b target;
+      Enc.bool b force);
+  Enc.contents b
+
+let decode_record payload =
+  let d = Dec.of_string payload in
+  let* tag = Dec.byte d in
+  match tag with
+  | 0 ->
+      let* name = Dec.string d in
+      let* domain = Codec.decode_domain d in
+      Ok (Define_domain { name; domain })
+  | 1 ->
+      let* entry = Dec.string d in
+      Ok (Define entry)
+  | 2 ->
+      let* name = Dec.string d in
+      let* member_type = Dec.string d in
+      Ok (Create_class { name; member_type })
+  | 3 ->
+      let* cls = Dec.option d (fun () -> Dec.string d) in
+      let* ty = Dec.string d in
+      let* attrs = dec_attrs d in
+      let* expect = dec_sur d in
+      Ok (Create_object { cls; ty; attrs; expect })
+  | 4 ->
+      let* parent = dec_sur d in
+      let* subclass = Dec.string d in
+      let* attrs = dec_attrs d in
+      let* expect = dec_sur d in
+      Ok (Create_subobject { parent; subclass; attrs; expect })
+  | 5 ->
+      let* ty = Dec.string d in
+      let* participants = dec_attrs d in
+      let* attrs = dec_attrs d in
+      let* expect = dec_sur d in
+      Ok (Create_relationship { ty; participants; attrs; expect })
+  | 6 ->
+      let* parent = dec_sur d in
+      let* subrel = Dec.string d in
+      let* participants = dec_attrs d in
+      let* attrs = dec_attrs d in
+      let* expect = dec_sur d in
+      Ok (Create_subrel { parent; subrel; participants; attrs; expect })
+  | 7 ->
+      let* target = dec_sur d in
+      let* name = Dec.string d in
+      let* value = Codec.decode_value d in
+      Ok (Set_attr { target; name; value })
+  | 8 ->
+      let* via = Dec.string d in
+      let* transmitter = dec_sur d in
+      let* inheritor = dec_sur d in
+      let* expect = dec_sur d in
+      Ok (Bind { via; transmitter; inheritor; expect })
+  | 9 ->
+      let* inheritor = dec_sur d in
+      Ok (Unbind { inheritor })
+  | 10 ->
+      let* target = dec_sur d in
+      let* force = Dec.bool d in
+      Ok (Delete { target; force })
+  | t -> Error (Errors.Io_error (Printf.sprintf "bad WAL record tag %d" t))
+
+(* frame: [payload length: 8 bytes LE][crc32: 8 bytes LE][payload] *)
+let append chan r =
+  let payload = encode_record r in
+  let header = Enc.create () in
+  Enc.int header (String.length payload);
+  Enc.int header (Int32.to_int (Codec.crc32 payload) land 0xFFFFFFFF);
+  Out_channel.output_string chan (Enc.contents header);
+  Out_channel.output_string chan payload;
+  Out_channel.flush chan
+
+let read_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error _ -> ([], true)
+  | contents ->
+      let len = String.length contents in
+      let rec go acc pos =
+        if pos = len then (List.rev acc, true)
+        else if pos + 16 > len then (List.rev acc, false)
+        else
+          let payload_len = Int64.to_int (String.get_int64_le contents pos) in
+          let crc = Int64.to_int (String.get_int64_le contents (pos + 8)) in
+          if payload_len < 0 || pos + 16 + payload_len > len then
+            (List.rev acc, false)
+          else
+            let payload = String.sub contents (pos + 16) payload_len in
+            if Int32.to_int (Codec.crc32 payload) land 0xFFFFFFFF <> crc then
+              (List.rev acc, false)
+            else
+              match decode_record payload with
+              | Ok r -> go (r :: acc) (pos + 16 + payload_len)
+              | Error _ -> (List.rev acc, false)
+      in
+      go [] 0
+
+let check_expected what expect got =
+  if Surrogate.equal expect got then Ok ()
+  else
+    Error
+      (Errors.Io_error
+         (Printf.sprintf "WAL replay diverged: %s produced %s, expected %s" what
+            (Surrogate.to_string got) (Surrogate.to_string expect)))
+
+let apply db r =
+  match r with
+  | Define_domain { name; domain } -> Database.define_domain db name domain
+  | Define blob -> (
+      let d = Dec.of_string blob in
+      let* entry = Codec.decode_entry d in
+      match entry with
+      | Schema.Obj_type o -> Database.define_obj_type db o
+      | Schema.Rel_type rt -> Database.define_rel_type db rt
+      | Schema.Inher_type it -> Database.define_inher_rel_type db it)
+  | Create_class { name; member_type } -> Database.create_class db ~name ~member_type
+  | Create_object { cls; ty; attrs; expect } ->
+      let* s = Database.new_object db ?cls ~ty ~attrs () in
+      check_expected "create-object" expect s
+  | Create_subobject { parent; subclass; attrs; expect } ->
+      let* s = Database.new_subobject db ~parent ~subclass ~attrs () in
+      check_expected "create-subobject" expect s
+  | Create_relationship { ty; participants; attrs; expect } ->
+      let* s = Database.new_relationship db ~ty ~participants ~attrs () in
+      check_expected "create-relationship" expect s
+  | Create_subrel { parent; subrel; participants; attrs; expect } ->
+      let* s = Database.new_subrel db ~parent ~subrel ~participants ~attrs () in
+      check_expected "create-subrel" expect s
+  | Set_attr { target; name; value } -> Database.set_attr db target name value
+  | Bind { via; transmitter; inheritor; expect } ->
+      let* link = Database.bind db ~via ~transmitter ~inheritor () in
+      check_expected "bind" expect link
+  | Unbind { inheritor } -> Database.unbind db inheritor
+  | Delete { target; force } -> Database.delete db ~force target

@@ -1,0 +1,66 @@
+(** Write-ahead log of logical database operations.
+
+    Each record is framed as [length; crc32; payload]; {!read_file}
+    tolerates a torn tail (a crash mid-append) by stopping at the first
+    incomplete or corrupt frame and reporting how many clean records it
+    read.
+
+    Replay is deterministic: the surrogate generator is sequential, so
+    re-applying the records to the same starting snapshot reproduces the
+    same surrogates; every creating record carries the surrogate it
+    expects and {!apply} verifies it. *)
+
+open Compo_core
+
+type record =
+  | Define_domain of { name : string; domain : Domain.t }
+  | Define of string  (** codec-encoded schema entry *)
+  | Create_class of { name : string; member_type : string }
+  | Create_object of {
+      cls : string option;
+      ty : string;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_subobject of {
+      parent : Surrogate.t;
+      subclass : string;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_relationship of {
+      ty : string;
+      participants : (string * Value.t) list;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Create_subrel of {
+      parent : Surrogate.t;
+      subrel : string;
+      participants : (string * Value.t) list;
+      attrs : (string * Value.t) list;
+      expect : Surrogate.t;
+    }
+  | Set_attr of { target : Surrogate.t; name : string; value : Value.t }
+  | Bind of {
+      via : string;
+      transmitter : Surrogate.t;
+      inheritor : Surrogate.t;
+      expect : Surrogate.t;
+    }
+  | Unbind of { inheritor : Surrogate.t }
+  | Delete of { target : Surrogate.t; force : bool }
+
+val encode_record : record -> string
+val decode_record : string -> (record, Errors.t) result
+
+val append : Out_channel.t -> record -> unit
+(** Frame and write one record, then flush. *)
+
+val read_file : string -> record list * bool
+(** All clean records of a WAL file; the flag is [false] when a torn or
+    corrupt tail was skipped.  A missing file reads as ([], true). *)
+
+val apply : Database.t -> record -> (unit, Errors.t) result
+(** Re-execute one record against the database; creating records verify
+    the surrogate they produce. *)

@@ -1,0 +1,1 @@
+lib/txn/access_control.ml: Compo_core Hashtbl Lock Surrogate

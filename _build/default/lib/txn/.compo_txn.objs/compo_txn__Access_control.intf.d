@@ -1,0 +1,1 @@
+lib/txn/access_control.mli: Compo_core Lock Surrogate

@@ -1,0 +1,1 @@
+lib/txn/conflict.ml: Compo_core List Lock Lock_manager Store Surrogate Value

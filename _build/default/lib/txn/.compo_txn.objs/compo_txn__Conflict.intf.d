@@ -1,0 +1,1 @@
+lib/txn/conflict.mli: Compo_core Lock_manager Store Surrogate

@@ -1,0 +1,1 @@
+lib/txn/lock_inheritance.ml: Compo_core Inheritance List Schema Store Surrogate

@@ -1,0 +1,1 @@
+lib/txn/lock_inheritance.mli: Compo_core Store Surrogate

@@ -1,0 +1,1 @@
+lib/txn/lock_manager.ml: Compo_core Errors Hashtbl List Lock Option Printf String Surrogate

@@ -1,0 +1,1 @@
+lib/txn/transaction.ml: Access_control Compo_core Errors Inheritance List Lock Lock_inheritance Lock_manager Logs Option Printf Result Store String Surrogate

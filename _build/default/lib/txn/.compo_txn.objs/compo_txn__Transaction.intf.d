@@ -1,0 +1,1 @@
+lib/txn/transaction.mli: Access_control Compo_core Errors Lock Lock_manager Store Surrogate Value

@@ -1,0 +1,37 @@
+open Compo_core
+
+type right = No_access | Read_only | Read_write
+
+let right_to_string = function
+  | No_access -> "no-access"
+  | Read_only -> "read-only"
+  | Read_write -> "read-write"
+
+type t = {
+  default : right;
+  rules : (string, right) Hashtbl.t;  (* "user\000surrogate" -> right *)
+  protected : unit Surrogate.Tbl.t;
+}
+
+let key ~user s = user ^ "\000" ^ Surrogate.to_string s
+
+let create ?(default = Read_write) () =
+  { default; rules = Hashtbl.create 64; protected = Surrogate.Tbl.create 64 }
+
+let grant t ~user s right = Hashtbl.replace t.rules (key ~user s) right
+let protect t s = Surrogate.Tbl.replace t.protected s ()
+
+let rights t ~user s =
+  match Hashtbl.find_opt t.rules (key ~user s) with
+  | Some r -> r
+  | None -> if Surrogate.Tbl.mem t.protected s then Read_only else t.default
+
+let cap_mode t ~user s mode =
+  match rights t ~user s with
+  | Read_write -> Some mode
+  | No_access -> None
+  | Read_only -> (
+      match mode with
+      | Lock.S | Lock.IS -> Some mode
+      | Lock.X | Lock.SIX -> Some Lock.S
+      | Lock.IX -> Some Lock.IS)

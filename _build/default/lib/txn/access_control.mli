@@ -1,0 +1,36 @@
+(** Access control, and its coupling to the lock manager (paper section 6).
+
+    "These 'standard objects' usually are protected by access control
+    mechanisms preventing the normal user from updating them.  Thus, there
+    should be a tight connection between the access control manager and the
+    lock manager: if objects are to be locked implicitly by complex
+    operations the access control manager should be consulted to grant no
+    lock which allows more operations than the access control admits." *)
+
+open Compo_core
+
+type right = No_access | Read_only | Read_write
+
+val right_to_string : right -> string
+
+type t
+
+val create : ?default:right -> unit -> t
+(** [default] applies where no explicit rule matches; defaults to
+    [Read_write] (a permissive design database). *)
+
+val grant : t -> user:string -> Surrogate.t -> right -> unit
+(** Explicit per-user, per-object rule (strongest precedence). *)
+
+val protect : t -> Surrogate.t -> unit
+(** Mark an object as a protected standard object: [Read_only] for every
+    user without an explicit per-user rule on it (the paper's standard
+    cells, bolts and nuts). *)
+
+val rights : t -> user:string -> Surrogate.t -> right
+
+val cap_mode : t -> user:string -> Surrogate.t -> Lock.mode -> Lock.mode option
+(** The strongest lock not exceeding the user's rights:
+    [Read_write] grants the requested mode; [Read_only] caps X/SIX/IX
+    down to S/S/IS; [No_access] grants nothing.  This is the consultation
+    the paper requires before implicit locking. *)

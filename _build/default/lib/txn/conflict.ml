@@ -1,0 +1,66 @@
+open Compo_core
+
+let neighbors store s =
+  match Store.get store s with
+  | Error _ -> []
+  | Ok e ->
+      let from_referrers =
+        (* the relationship objects and their other participants *)
+        List.concat_map
+          (fun r ->
+            match Store.get store r with
+            | Error _ -> []
+            | Ok re ->
+                r
+                :: Store.Smap.fold
+                     (fun _ v acc -> Value.refs v @ acc)
+                     re.Store.participants [])
+          (Store.referrers store s)
+      in
+      let from_participants =
+        Store.Smap.fold (fun _ v acc -> Value.refs v @ acc) e.Store.participants []
+      in
+      let from_binding =
+        match e.Store.bound with Some b -> [ b.Store.b_transmitter ] | None -> []
+      in
+      let from_inheritors =
+        List.filter_map
+          (fun link ->
+            match Store.get store link with
+            | Ok le -> (
+                match Store.Smap.find_opt "inheritor" le.Store.participants with
+                | Some (Value.Ref i) -> Some i
+                | Some _ | None -> None)
+            | Error _ -> None)
+          e.Store.inheritor_links
+      in
+      let from_owner = match e.Store.owner with Some o -> [ o ] | None -> [] in
+      let from_children =
+        Store.Smap.fold (fun _ ms acc -> ms @ acc) e.Store.subobjs []
+        @ Store.Smap.fold (fun _ ms acc -> ms @ acc) e.Store.subrels []
+      in
+      List.sort_uniq Surrogate.compare
+        (List.filter
+           (fun n -> not (Surrogate.equal n s))
+           (from_referrers @ from_participants @ from_binding @ from_inheritors
+          @ from_owner @ from_children))
+
+let write_locked lm ~txn =
+  List.filter_map
+    (fun (s, mode) ->
+      match mode with
+      | Lock.X | Lock.SIX | Lock.IX -> Some s
+      | Lock.S | Lock.IS -> None)
+    (Lock_manager.locks_of lm ~txn)
+
+let potential_conflicts store lm ~txn1 ~txn2 =
+  let a_set = write_locked lm ~txn:txn1 in
+  let b_set = write_locked lm ~txn:txn2 in
+  List.concat_map
+    (fun a ->
+      let related = a :: neighbors store a in
+      List.filter_map
+        (fun b ->
+          if List.exists (Surrogate.equal b) related then Some (a, b) else None)
+        b_set)
+    a_set

@@ -1,0 +1,23 @@
+(** Conflict analysis over explicit relationships (paper section 6).
+
+    "The explicitly defined relationships between objects can be used to
+    identify potential conflicts (two update transactions are working on
+    objects which are related to each other)." *)
+
+open Compo_core
+
+val neighbors : Store.t -> Surrogate.t -> Surrogate.t list
+(** Objects related to the given one: co-participants of the relationships
+    it takes part in, its transmitter, its inheritors, its owner, and its
+    direct subobjects/subrelationships.  Sorted, without the object
+    itself. *)
+
+val potential_conflicts :
+  Store.t ->
+  Lock_manager.t ->
+  txn1:Lock_manager.txn_id ->
+  txn2:Lock_manager.txn_id ->
+  (Surrogate.t * Surrogate.t) list
+(** Pairs (a, b) with a write-locked by [txn1], b write-locked by [txn2],
+    and a = b or b a neighbor of a — the update/update situations worth
+    flagging to the designers before they diverge. *)

@@ -1,0 +1,36 @@
+type mode = IS | IX | S | SIX | X
+
+let to_string = function
+  | IS -> "IS"
+  | IX -> "IX"
+  | S -> "S"
+  | SIX -> "SIX"
+  | X -> "X"
+
+let compatible a b =
+  match (a, b) with
+  | IS, (IS | IX | S | SIX) | (IX | S | SIX), IS -> true
+  | IX, IX -> true
+  | S, S -> true
+  | IX, S | S, IX -> false
+  | SIX, (IX | S | SIX) | (IX | S), SIX -> false
+  | X, _ | _, X -> false
+
+(* The classical lattice: IS < IX, IS < S, IX < SIX, S < SIX, SIX < X. *)
+let stronger_or_equal a b =
+  match (a, b) with
+  | x, y when x = y -> true
+  | (IX | S | SIX | X), IS -> true
+  | (SIX | X), (IX | S) -> true
+  | X, SIX -> true
+  | _ -> false
+
+let supremum a b =
+  if stronger_or_equal a b then a
+  else if stronger_or_equal b a then b
+  else
+    match (a, b) with
+    | IX, S | S, IX -> SIX
+    | IS, IX | IX, IS -> IX
+    | IS, S | S, IS -> S
+    | _ -> X

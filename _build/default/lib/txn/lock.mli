@@ -1,0 +1,18 @@
+(** Lock modes and their compatibility (granular locking with intention
+    modes, as needed for section 6's composite-object locking). *)
+
+type mode =
+  | IS  (** intention shared: descending to read parts *)
+  | IX  (** intention exclusive: descending to update parts *)
+  | S  (** shared *)
+  | SIX  (** shared + intention exclusive *)
+  | X  (** exclusive *)
+
+val to_string : mode -> string
+val compatible : mode -> mode -> bool
+
+val supremum : mode -> mode -> mode
+(** Least mode at least as strong as both (used for lock upgrades). *)
+
+val stronger_or_equal : mode -> mode -> bool
+(** [stronger_or_equal a b]: a grants every access b grants. *)

@@ -1,0 +1,46 @@
+open Compo_core
+
+let attr_lock_set store s name =
+  let schema = Store.schema store in
+  let rec go acc s name =
+    let acc = s :: acc in
+    match Store.get store s with
+    | Error _ -> acc
+    | Ok e -> (
+        match Schema.find_effective_attr schema e.Store.type_name name with
+        | Some (_, Schema.Via _) -> (
+            match e.Store.bound with
+            | Some b -> go acc b.Store.b_transmitter name
+            | None -> acc)
+        | Some (_, Schema.Own) | None -> (
+            (* the name may denote a subclass rather than an attribute *)
+            match Schema.find_effective_subclass schema e.Store.type_name name with
+            | Some (_, Schema.Via _) -> (
+                match e.Store.bound with
+                | Some b -> go acc b.Store.b_transmitter name
+                | None -> acc)
+            | Some (_, Schema.Own) | None -> acc))
+  in
+  List.rev (go [] s name)
+
+let read_lock_set store s = s :: Inheritance.transmitter_closure store s
+
+let expansion_lock_set ?(max_depth = -1) store s =
+  let seen = ref Surrogate.Set.empty in
+  let order = ref [] in
+  let rec go depth s =
+    if not (Surrogate.Set.mem s !seen) then begin
+      seen := Surrogate.Set.add s !seen;
+      order := s :: !order;
+      match Store.get store s with
+      | Error _ -> ()
+      | Ok e ->
+          Store.Smap.iter (fun _ ms -> List.iter (go depth) ms) e.Store.subobjs;
+          Store.Smap.iter (fun _ ms -> List.iter (go depth) ms) e.Store.subrels;
+          (match e.Store.bound with
+          | Some b when depth <> 0 -> go (depth - 1) b.Store.b_transmitter
+          | Some _ | None -> ())
+    end
+  in
+  go max_depth s;
+  List.rev !order

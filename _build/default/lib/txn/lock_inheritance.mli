@@ -1,0 +1,29 @@
+(** Computing the lock footprint of inheritance-aware operations
+    (paper section 6).
+
+    "Accessing the data of a composite object which are inherited from a
+    component requires to prevent the component also from being updated.
+    Thus, the parts of the component which are visible in the composite
+    object have to be read-locked when the data is touched in the composite
+    object." — lock inheritance runs in the {e reverse} direction of data
+    inheritance: reads at the inheritor side lock the transmitter side. *)
+
+open Compo_core
+
+val attr_lock_set : Store.t -> Surrogate.t -> string -> Surrogate.t list
+(** Objects a read of the attribute touches: the object itself and, when
+    the attribute is inherited, every transmitter along the resolution
+    chain (stopping where permeability ends or the chain is unbound). *)
+
+val read_lock_set : Store.t -> Surrogate.t -> Surrogate.t list
+(** The object plus its full transmitter closure — the footprint of
+    reading all of an object's (inherited) data. *)
+
+val expansion_lock_set :
+  ?max_depth:int -> Store.t -> Surrogate.t -> Surrogate.t list
+(** Every object of the composite's expansion: the object, its subobjects
+    and subrelationships transitively, and the components reached through
+    bindings — the footprint of section 6's "complex operations [that]
+    lock not only single objects but whole parts of the component
+    hierarchy".  [max_depth] bounds the binding hops followed into
+    components (own structure is always included); default unbounded. *)

@@ -1,0 +1,132 @@
+open Compo_core
+
+type txn_id = int
+
+type t = {
+  (* object -> holders *)
+  table : (txn_id * Lock.mode) list ref Surrogate.Tbl.t;
+  (* txn -> objects it holds locks on *)
+  held : (txn_id, Surrogate.Set.t ref) Hashtbl.t;
+  (* waits-for edges *)
+  waiting : (txn_id, txn_id list) Hashtbl.t;
+}
+
+let create () =
+  {
+    table = Surrogate.Tbl.create 256;
+    held = Hashtbl.create 16;
+    waiting = Hashtbl.create 16;
+  }
+
+let holders t s =
+  match Surrogate.Tbl.find_opt t.table s with Some l -> !l | None -> []
+
+let holds t ~txn s = List.assoc_opt txn (holders t s)
+
+let locks_of t ~txn =
+  match Hashtbl.find_opt t.held txn with
+  | None -> []
+  | Some set ->
+      Surrogate.Set.fold
+        (fun s acc ->
+          match holds t ~txn s with Some m -> (s, m) :: acc | None -> acc)
+        !set []
+
+let lock_count t =
+  Surrogate.Tbl.fold (fun _ l acc -> acc + List.length !l) t.table 0
+
+let waits_for t ~txn = Option.value ~default:[] (Hashtbl.find_opt t.waiting txn)
+
+(* cycle detection in the waits-for graph, starting from [txn] *)
+let would_deadlock t ~txn =
+  let rec reachable visited from =
+    if List.mem from visited then visited
+    else
+      let visited = from :: visited in
+      List.fold_left reachable visited (waits_for t ~txn:from)
+  in
+  let downstream =
+    List.fold_left reachable [] (waits_for t ~txn)
+  in
+  List.mem txn downstream
+
+let record_entry t ~txn s mode =
+  let cell =
+    match Surrogate.Tbl.find_opt t.table s with
+    | Some l -> l
+    | None ->
+        let l = ref [] in
+        Surrogate.Tbl.replace t.table s l;
+        l
+  in
+  cell := (txn, mode) :: List.remove_assoc txn !cell;
+  let set =
+    match Hashtbl.find_opt t.held txn with
+    | Some set -> set
+    | None ->
+        let set = ref Surrogate.Set.empty in
+        Hashtbl.replace t.held txn set;
+        set
+  in
+  set := Surrogate.Set.add s !set
+
+let acquire t ~txn s mode =
+  let others = List.filter (fun (id, _) -> id <> txn) (holders t s) in
+  let requested =
+    match holds t ~txn s with
+    | Some held -> Lock.supremum held mode
+    | None -> mode
+  in
+  let conflicting =
+    List.filter (fun (_, m) -> not (Lock.compatible requested m)) others
+  in
+  match conflicting with
+  | [] ->
+      Hashtbl.remove t.waiting txn;
+      record_entry t ~txn s requested;
+      Ok `Granted
+  | blockers ->
+      let blocker_ids = List.map fst blockers in
+      Hashtbl.replace t.waiting txn blocker_ids;
+      if would_deadlock t ~txn then begin
+        Hashtbl.remove t.waiting txn;
+        Error
+          (Errors.Lock_error
+             (Printf.sprintf
+                "deadlock: transaction %d waiting for %s on %s closes a cycle"
+                txn (Lock.to_string mode) (Surrogate.to_string s)))
+      end
+      else Ok (`Blocked blocker_ids)
+
+let acquire_exn t ~txn s mode =
+  match acquire t ~txn s mode with
+  | Ok `Granted -> ()
+  | Ok (`Blocked blockers) ->
+      raise
+        (Errors.Compo_error
+           (Errors.Lock_error
+              (Printf.sprintf "transaction %d blocked on %s (held by %s)" txn
+                 (Surrogate.to_string s)
+                 (String.concat ", " (List.map string_of_int blockers)))))
+  | Error e -> raise (Errors.Compo_error e)
+
+let release_all t ~txn =
+  (match Hashtbl.find_opt t.held txn with
+  | None -> ()
+  | Some set ->
+      Surrogate.Set.iter
+        (fun s ->
+          match Surrogate.Tbl.find_opt t.table s with
+          | None -> ()
+          | Some cell ->
+              cell := List.remove_assoc txn !cell;
+              if !cell = [] then Surrogate.Tbl.remove t.table s)
+        !set);
+  Hashtbl.remove t.held txn;
+  Hashtbl.remove t.waiting txn;
+  (* drop waits-for edges pointing at the finished transaction *)
+  Hashtbl.iter
+    (fun waiter blockers ->
+      if List.mem txn blockers then
+        Hashtbl.replace t.waiting waiter (List.filter (fun b -> b <> txn) blockers))
+    (Hashtbl.copy t.waiting)

@@ -1,0 +1,83 @@
+(** Design transactions over the object store.
+
+    Combines two-phase locking ({!Lock_manager}), access control
+    ({!Access_control}), lock inheritance (through the store's read/write
+    hooks — reading inherited data S-locks each transmitter hop), and an
+    undo log for aborts.
+
+    The model is the single-process simulated concurrency of a design
+    workstation: several open transactions interleave their operations; a
+    conflicting operation fails with [Lock_error] (the caller may retry
+    after the holder commits) and a wait that would close a waits-for cycle
+    fails as a deadlock.
+
+    Deleting objects inside a transaction is intentionally unsupported
+    (CAD transactions archive rather than destroy; an undoable delete of a
+    composite would need store-level snapshots). *)
+
+open Compo_core
+
+type manager
+
+val create_manager : ?access:Access_control.t -> Store.t -> manager
+val store_of : manager -> Store.t
+val lock_manager : manager -> Lock_manager.t
+val access_control : manager -> Access_control.t
+
+type status = Active | Committed | Aborted
+type t
+
+val begin_txn : manager -> user:string -> t
+val id : t -> Lock_manager.txn_id
+val user : t -> string
+val status : t -> status
+
+val commit : manager -> t -> (unit, Errors.t) result
+(** Releases all locks. *)
+
+val abort : manager -> t -> (unit, Errors.t) result
+(** Undoes the transaction's writes (attribute updates, object and
+    relationship creations, binds/unbinds) in reverse order, then releases
+    all locks. *)
+
+(** {1 Transactional operations}
+
+    Each acquires the necessary locks (S for reads — including the
+    transmitters touched by inheritance resolution — X for writes, capped
+    and checked against access control) and records undo information. *)
+
+val get_attr : manager -> t -> Surrogate.t -> string -> (Value.t, Errors.t) result
+val subclass_members : manager -> t -> Surrogate.t -> string -> (Surrogate.t list, Errors.t) result
+val set_attr : manager -> t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+
+val new_object :
+  manager -> t -> ?cls:string -> ty:string -> ?attrs:(string * Value.t) list ->
+  unit -> (Surrogate.t, Errors.t) result
+
+val new_subobject :
+  manager -> t -> parent:Surrogate.t -> subclass:string ->
+  ?attrs:(string * Value.t) list -> unit -> (Surrogate.t, Errors.t) result
+
+val new_subrel :
+  manager -> t -> parent:Surrogate.t -> subrel:string ->
+  participants:(string * Value.t) list -> ?attrs:(string * Value.t) list ->
+  unit -> (Surrogate.t, Errors.t) result
+
+val bind :
+  manager -> t -> via:string -> transmitter:Surrogate.t -> inheritor:Surrogate.t ->
+  unit -> (Surrogate.t, Errors.t) result
+
+val unbind : manager -> t -> Surrogate.t -> (unit, Errors.t) result
+
+val lock_expansion :
+  manager -> t -> ?max_depth:int -> Surrogate.t -> mode:Lock.mode ->
+  ((Surrogate.t * Lock.mode) list, Errors.t) result
+(** Lock a component hierarchy (section 6's expansion): the root and every
+    reachable subobject, subrelationship, and component.  [max_depth]
+    bounds how many binding hops into components are followed (the paper:
+    "to see a composite object with {e some or all} of its components
+    materialized"); default unbounded.  The requested mode is {e capped per
+    object} by the access-control manager — asking for X over an expansion
+    containing protected standard parts yields S on those parts instead of
+    failing, exactly the behaviour the paper describes for customized
+    standard cells.  [No_access] objects fail the operation. *)

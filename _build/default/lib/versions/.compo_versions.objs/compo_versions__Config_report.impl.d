@@ -1,0 +1,1 @@
+lib/versions/config_report.ml: Compo_core Format Inheritance Int List Result Store String Surrogate Version_graph Versioned

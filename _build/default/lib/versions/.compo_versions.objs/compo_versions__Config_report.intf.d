@@ -1,0 +1,1 @@
+lib/versions/config_report.mli: Compo_core Errors Format Store Surrogate Version_graph Versioned

@@ -1,0 +1,1 @@
+lib/versions/generic_ref.ml: Compo_core Errors Eval Expr Hashtbl Inheritance List Printf Result Surrogate Version_graph

@@ -1,0 +1,1 @@
+lib/versions/generic_ref.mli: Compo_core Errors Expr Store Surrogate Version_graph

@@ -1,0 +1,1 @@
+lib/versions/version_graph.ml: Binary Compo_core Errors Int List Option Printf Result Surrogate

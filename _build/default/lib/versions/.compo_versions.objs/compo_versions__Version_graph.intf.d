@@ -1,0 +1,1 @@
+lib/versions/version_graph.mli: Binary Compo_core Errors Surrogate

@@ -1,0 +1,1 @@
+lib/versions/versioned.ml: Array Binary Compo_core Errors Hashtbl In_channel Inheritance Int32 List Option Out_channel Printf Result Store String Surrogate Sys Value Version_graph

@@ -1,0 +1,1 @@
+lib/versions/versioned.mli: Compo_core Errors Store Surrogate Value Version_graph

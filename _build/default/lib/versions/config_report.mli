@@ -1,0 +1,40 @@
+(** Configuration auditing: which versions does a composite use?
+
+    Section 6: "a powerful version mechanism supports the management of
+    changes (composite objects may use old versions of interfaces)" and
+    section 2 raises "configuration control which is concerned with the
+    problem of providing all components of an object".  This module walks
+    a composite's component uses and reports, per use, the version status
+    of the bound component: its graph and version, its state, whether it
+    is the graph's default, and which newer stable versions exist —
+    everything a release engineer needs to decide whether the
+    configuration is current. *)
+
+open Compo_core
+
+type entry = {
+  ce_use : Surrogate.t;  (** the component subobject inside the composite *)
+  ce_owner : Surrogate.t;  (** the complex object holding the use *)
+  ce_component : Surrogate.t;  (** the bound transmitter *)
+  ce_via : string;  (** inheritance relationship type of the binding *)
+  ce_stale : bool;  (** the binding is stamped for adaptation *)
+  ce_version : (string * int * Version_graph.state) option;
+      (** (graph, version, state) when the component is version-managed *)
+  ce_is_default : bool;
+      (** the component is its graph's current default version *)
+  ce_newer_stable : int list;
+      (** released/frozen strict descendants of the bound version *)
+}
+
+val configuration :
+  Versioned.t -> Store.t -> Surrogate.t -> (entry list, Errors.t) result
+(** All component uses in the composite's expansion (transitively through
+    subobjects, subrelationships, and components), in traversal order. *)
+
+val outdated : entry list -> entry list
+(** Uses for which a newer stable version of the component exists. *)
+
+val unmanaged : entry list -> entry list
+(** Uses whose component is not registered in any version graph. *)
+
+val pp_entry : Format.formatter -> entry -> unit

@@ -1,0 +1,107 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+module Env_table = struct
+  type t = (string, (string, int) Hashtbl.t) Hashtbl.t
+
+  let create () : t = Hashtbl.create 8
+  let define t ~env =
+    if not (Hashtbl.mem t env) then Hashtbl.replace t env (Hashtbl.create 8)
+
+  let pin t ~env ~graph ~version =
+    match Hashtbl.find_opt t env with
+    | None -> Error (Errors.Unknown_class ("environment " ^ env))
+    | Some bindings ->
+        Hashtbl.replace bindings graph version;
+        Ok ()
+
+  let lookup t ~env ~graph =
+    match Hashtbl.find_opt t env with
+    | None -> Error (Errors.Unknown_class ("environment " ^ env))
+    | Some bindings -> (
+        match Hashtbl.find_opt bindings graph with
+        | Some v -> Ok v
+        | None ->
+            Error
+              (Errors.Unknown_object
+                 (Printf.sprintf "environment %s pins no version of %s" env graph)))
+
+  let environments t = Hashtbl.fold (fun k _ acc -> k :: acc) t []
+end
+
+type policy = Bottom_up | Top_down of Expr.t | Environment of string
+type t = { gr_graph : Version_graph.t; gr_via : string; gr_policy : policy }
+
+let stable_versions g =
+  List.filter
+    (fun v ->
+      match Version_graph.state_of g v.Version_graph.ver_id with
+      | Ok (Version_graph.Released | Version_graph.Frozen) -> true
+      | Ok Version_graph.In_work | Error _ -> false)
+    (Version_graph.versions g)
+
+let resolve store ?envs gref =
+  let g = gref.gr_graph in
+  match gref.gr_policy with
+  | Bottom_up -> (
+      match Version_graph.default_version g with
+      | Some id ->
+          let* v = Version_graph.find g id in
+          Ok v.Version_graph.ver_object
+      | None ->
+          Error
+            (Errors.Unknown_object
+               (Version_graph.name g ^ " supplies no default version")))
+  | Environment env_name -> (
+      match envs with
+      | None -> Error (Errors.Unknown_class "no environment table supplied")
+      | Some envs ->
+          let* id =
+            Env_table.lookup envs ~env:env_name ~graph:(Version_graph.name g)
+          in
+          let* v = Version_graph.find g id in
+          Ok v.Version_graph.ver_object)
+  | Top_down pred -> (
+      (* latest stable version whose object satisfies the predicate *)
+      let candidates = List.rev (stable_versions g) in
+      let matching =
+        List.find_opt
+          (fun v ->
+            match
+              Eval.eval_bool
+                (Eval.env ~self:v.Version_graph.ver_object store)
+                pred
+            with
+            | Ok b -> b
+            | Error _ -> false)
+          candidates
+      in
+      match matching with
+      | Some v -> Ok v.Version_graph.ver_object
+      | None ->
+          Error
+            (Errors.Unknown_object
+               (Printf.sprintf "no stable version of %s satisfies %s"
+                  (Version_graph.name g) (Expr.to_string pred))))
+
+let attach store ?envs ~inheritor gref =
+  let* transmitter = resolve store ?envs gref in
+  Inheritance.bind store ~via:gref.gr_via ~transmitter ~inheritor ()
+
+let refresh store ?envs ~inheritor gref =
+  let* selected = resolve store ?envs gref in
+  let* current = Inheritance.transmitter_of store inheritor in
+  match current with
+  | Some t when Surrogate.equal t selected -> Ok `Unchanged
+  | Some _ ->
+      let* () = Inheritance.unbind store inheritor in
+      let* link =
+        Inheritance.bind store ~via:gref.gr_via ~transmitter:selected ~inheritor ()
+      in
+      Ok (`Rebound link)
+  | None ->
+      let* link =
+        Inheritance.bind store ~via:gref.gr_via ~transmitter:selected ~inheritor ()
+      in
+      Ok (`Rebound link)

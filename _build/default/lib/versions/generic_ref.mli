@@ -1,0 +1,57 @@
+(** Generic relationships: deferred selection of component versions
+    (paper section 6).
+
+    "Using generic relationships the selection of component versions is
+    deferred to assembly-time, but now we need mechanisms controlling the
+    selection process.  There are three principal possibilities:
+    1. a component is selected by queries associated with the composite
+       object (top-down selection);
+    2. design objects supply a specific version as the default version
+       (bottom-up selection);
+    3. the selection is guided by information not included in the object
+       definition (e.g. environments)."
+
+    A generic reference names a version graph, an inheritance relationship
+    type, and a policy; {!attach} resolves it and establishes the ordinary
+    (static) inheritance binding; {!refresh} re-resolves later and rebinds
+    if the selected version changed. *)
+
+open Compo_core
+
+(** Named environments: an environment pins, per version graph, the version
+    to use (possibility 3, after [DiLo85]). *)
+module Env_table : sig
+  type t
+
+  val create : unit -> t
+  val define : t -> env:string -> unit
+  val pin : t -> env:string -> graph:string -> version:int -> (unit, Errors.t) result
+  val lookup : t -> env:string -> graph:string -> (int, Errors.t) result
+  val environments : t -> string list
+end
+
+type policy =
+  | Bottom_up  (** the graph's default version *)
+  | Top_down of Expr.t
+      (** latest stable version whose object satisfies the predicate *)
+  | Environment of string  (** version pinned by the named environment *)
+
+type t = { gr_graph : Version_graph.t; gr_via : string; gr_policy : policy }
+
+val resolve :
+  Store.t -> ?envs:Env_table.t -> t -> (Surrogate.t, Errors.t) result
+(** The selected component object.  Top-down selection considers only
+    stable ([Released]/[Frozen]) versions and prefers the most recent
+    match; bottom-up requires a default to be set. *)
+
+val attach :
+  Store.t -> ?envs:Env_table.t -> inheritor:Surrogate.t -> t ->
+  (Surrogate.t, Errors.t) result
+(** Resolve and bind; returns the inheritance-relationship surrogate. *)
+
+val refresh :
+  Store.t -> ?envs:Env_table.t -> inheritor:Surrogate.t -> t ->
+  ([ `Unchanged | `Rebound of Surrogate.t ], Errors.t) result
+(** Re-resolve; if the policy now selects a different version, unbind and
+    rebind to it ("incorporating new versions of components into composite
+    objects"). *)

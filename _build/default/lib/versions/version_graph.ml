@@ -1,0 +1,214 @@
+open Compo_core
+
+type state = In_work | Released | Frozen
+
+let state_to_string = function
+  | In_work -> "in-work"
+  | Released -> "released"
+  | Frozen -> "frozen"
+
+let state_rank = function In_work -> 0 | Released -> 1 | Frozen -> 2
+
+type version = {
+  ver_id : int;
+  ver_object : Surrogate.t;
+  ver_predecessors : int list;
+  ver_note : string;
+}
+
+type t = {
+  vg_name : string;
+  mutable vg_next : int;
+  mutable vg_versions : (version * state ref) list;  (* reversed creation order *)
+  mutable vg_default : int option;
+}
+
+let create ~name = { vg_name = name; vg_next = 1; vg_versions = []; vg_default = None }
+let name g = g.vg_name
+let ( let* ) = Result.bind
+
+let find_entry g id =
+  match List.find_opt (fun (v, _) -> v.ver_id = id) g.vg_versions with
+  | Some entry -> Ok entry
+  | None ->
+      Error
+        (Errors.Unknown_object
+           (Printf.sprintf "version %d of %s" id g.vg_name))
+
+let find g id = Result.map fst (find_entry g id)
+let state_of g id = Result.map (fun (_, st) -> !st) (find_entry g id)
+
+let version_of_object g obj =
+  List.find_map
+    (fun (v, _) -> if Surrogate.equal v.ver_object obj then Some v.ver_id else None)
+    g.vg_versions
+
+let versions g = List.rev_map fst g.vg_versions
+
+let fresh g ~predecessors ~obj ~note =
+  let id = g.vg_next in
+  g.vg_next <- id + 1;
+  let v = { ver_id = id; ver_object = obj; ver_predecessors = predecessors; ver_note = note } in
+  g.vg_versions <- (v, ref In_work) :: g.vg_versions;
+  Ok id
+
+let add_root g ~obj ?(note = "initial version") () =
+  if g.vg_versions <> [] then
+    Error (Errors.Duplicate_definition (g.vg_name ^ " already has a root version"))
+  else fresh g ~predecessors:[] ~obj ~note
+
+let derive g ~from ~obj ?(note = "") () =
+  let* () =
+    if from = [] then
+      Error (Errors.Schema_error "derive requires at least one predecessor")
+    else Ok ()
+  in
+  let* () =
+    List.fold_left
+      (fun acc id ->
+        let* () = acc in
+        let* _ = find g id in
+        Ok ())
+      (Ok ()) from
+  in
+  let* () =
+    if Option.is_some (version_of_object g obj) then
+      Error
+        (Errors.Duplicate_definition
+           "object is already registered as a version in this graph")
+    else Ok ()
+  in
+  fresh g ~predecessors:(List.sort_uniq Int.compare from) ~obj ~note
+
+let promote g id target =
+  let* _, st = find_entry g id in
+  if state_rank target <= state_rank !st then
+    Error
+      (Errors.Schema_error
+         (Printf.sprintf "version states move forward only (%s -> %s)"
+            (state_to_string !st) (state_to_string target)))
+  else begin
+    st := target;
+    Ok ()
+  end
+
+let modifiable g id = match state_of g id with Ok In_work -> true | _ -> false
+let successors g id =
+  List.filter_map
+    (fun (v, _) -> if List.mem id v.ver_predecessors then Some v.ver_id else None)
+    (List.rev g.vg_versions)
+
+let predecessors g id =
+  match find g id with Ok v -> v.ver_predecessors | Error _ -> []
+
+let alternatives g id =
+  match find g id with
+  | Error _ -> []
+  | Ok v ->
+      List.filter_map
+        (fun (w, _) ->
+          if
+            w.ver_id <> id
+            && List.exists (fun p -> List.mem p v.ver_predecessors) w.ver_predecessors
+          then Some w.ver_id
+          else None)
+        (List.rev g.vg_versions)
+
+let leaves g =
+  List.filter_map
+    (fun (v, _) -> if successors g v.ver_id = [] then Some v.ver_id else None)
+    (List.rev g.vg_versions)
+
+let history g id =
+  let* _ = find g id in
+  (* depth-first post-order over predecessors; versions are created after
+     their predecessors, so sorting ancestors by id is topological *)
+  let rec ancestors acc id =
+    let preds = predecessors g id in
+    let acc = List.fold_left ancestors acc preds in
+    if List.mem id acc then acc else acc @ [ id ]
+  in
+  Ok (ancestors [] id)
+
+let remove g id =
+  let* _, st = find_entry g id in
+  let* () =
+    if !st = Frozen then
+      Error (Errors.Delete_restricted "frozen versions cannot be removed")
+    else Ok ()
+  in
+  let* () =
+    match successors g id with
+    | [] -> Ok ()
+    | _ -> Error (Errors.Delete_restricted "version has derived successors")
+  in
+  g.vg_versions <- List.filter (fun (v, _) -> v.ver_id <> id) g.vg_versions;
+  if g.vg_default = Some id then g.vg_default <- None;
+  Ok ()
+
+let set_default g id =
+  let* st = state_of g id in
+  match st with
+  | In_work ->
+      Error
+        (Errors.Schema_error
+           "an in-work version cannot be the default component version")
+  | Released | Frozen ->
+      g.vg_default <- Some id;
+      Ok ()
+
+let default_version g = g.vg_default
+let clear_default g = g.vg_default <- None
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
+let state_tag = function In_work -> 0 | Released -> 1 | Frozen -> 2
+
+let state_of_tag = function
+  | 0 -> Ok In_work
+  | 1 -> Ok Released
+  | 2 -> Ok Frozen
+  | t -> Error (Errors.Io_error (Printf.sprintf "bad version state tag %d" t))
+
+let encode b g =
+  Binary.Enc.string b g.vg_name;
+  Binary.Enc.int b g.vg_next;
+  Binary.Enc.option b (Binary.Enc.int b) g.vg_default;
+  Binary.Enc.list b
+    (fun (v, st) ->
+      Binary.Enc.int b v.ver_id;
+      Binary.Enc.int b (Surrogate.to_int v.ver_object);
+      Binary.Enc.list b (Binary.Enc.int b) v.ver_predecessors;
+      Binary.Enc.string b v.ver_note;
+      Binary.Enc.byte b (state_tag !st))
+    (List.rev g.vg_versions)
+
+let decode d =
+  let* name = Binary.Dec.string d in
+  let* next = Binary.Dec.int d in
+  let* default = Binary.Dec.option d (fun () -> Binary.Dec.int d) in
+  let* versions =
+    Binary.Dec.list d (fun () ->
+        let* id = Binary.Dec.int d in
+        let* obj = Binary.Dec.int d in
+        let* preds = Binary.Dec.list d (fun () -> Binary.Dec.int d) in
+        let* note = Binary.Dec.string d in
+        let* st_tag = Binary.Dec.byte d in
+        let* st = state_of_tag st_tag in
+        Ok
+          ( {
+              ver_id = id;
+              ver_object = Surrogate.of_int obj;
+              ver_predecessors = preds;
+              ver_note = note;
+            },
+            ref st ))
+  in
+  Ok
+    {
+      vg_name = name;
+      vg_next = next;
+      vg_versions = List.rev versions;
+      vg_default = default;
+    }

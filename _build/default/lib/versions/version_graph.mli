@@ -1,0 +1,80 @@
+(** Version graphs for design objects (paper section 6, elaborating the
+    version model of [KSWi86]/[Wilk87] that the paper builds on).
+
+    A graph records the versions of one design object: a derivation DAG
+    ("keeping track of the design history"), alternatives ("parallel
+    development of alternatives"), and a state per version ("classification
+    of versions, e.g. according to their degree of correctness").
+
+    States move forward only: [In_work] → [Released] → [Frozen].  Only
+    [In_work] versions may be modified; [Released] and [Frozen] versions
+    are stable enough to be used as components.  One version may be marked
+    as the {e default} — the paper's bottom-up selection hands it to
+    composites that use the design object through a generic relationship. *)
+
+open Compo_core
+
+type state = In_work | Released | Frozen
+
+val state_to_string : state -> string
+
+type version = {
+  ver_id : int;
+  ver_object : Surrogate.t;  (** the database object this version denotes *)
+  ver_predecessors : int list;  (** derived-from; [] for the root *)
+  ver_note : string;
+}
+
+type t
+
+val create : name:string -> t
+val name : t -> string
+
+val add_root : t -> obj:Surrogate.t -> ?note:string -> unit -> (int, Errors.t) result
+(** First version; fails if the graph already has versions. *)
+
+val derive :
+  t -> from:int list -> obj:Surrogate.t -> ?note:string -> unit -> (int, Errors.t) result
+(** New version derived from existing ones (several predecessors model a
+    merge).  Deriving twice from the same version creates alternatives. *)
+
+val find : t -> int -> (version, Errors.t) result
+val state_of : t -> int -> (state, Errors.t) result
+val version_of_object : t -> Surrogate.t -> int option
+val versions : t -> version list
+(** In creation order. *)
+
+val promote : t -> int -> state -> (unit, Errors.t) result
+(** Forward-only state transition; anything else is rejected. *)
+
+val modifiable : t -> int -> bool
+(** True only for [In_work] versions. *)
+
+val remove : t -> int -> (unit, Errors.t) result
+(** Only leaf versions that are not [Frozen] may be removed. *)
+
+val successors : t -> int -> int list
+val predecessors : t -> int -> int list
+
+val alternatives : t -> int -> int list
+(** Other versions sharing at least one predecessor with the given one
+    (siblings in the derivation graph). *)
+
+val leaves : t -> int list
+val history : t -> int -> (int list, Errors.t) result
+(** Ancestors of a version in topological order, ending with the version
+    itself — the design history the paper asks version management to keep. *)
+
+val set_default : t -> int -> (unit, Errors.t) result
+(** The default must be [Released] or [Frozen] — an unfinished version must
+    not silently become a component of other designs. *)
+
+val default_version : t -> int option
+val clear_default : t -> unit
+
+(** {1 Persistence} *)
+
+val encode : Binary.Enc.t -> t -> unit
+val decode : Binary.Dec.t -> (t, Errors.t) result
+(** Binary round-trip of the whole graph (versions, states, derivation
+    edges, default), used by {!Versioned.save_file}. *)

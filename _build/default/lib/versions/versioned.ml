@@ -1,0 +1,279 @@
+open Compo_core
+
+let ( let* ) = Result.bind
+
+type t = (string, Version_graph.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let new_graph t ~name =
+  if Hashtbl.mem t name then
+    Error (Errors.Duplicate_definition ("version graph " ^ name))
+  else begin
+    let g = Version_graph.create ~name in
+    Hashtbl.replace t name g;
+    Ok g
+  end
+
+let graph t name =
+  match Hashtbl.find_opt t name with
+  | Some g -> Ok g
+  | None -> Error (Errors.Unknown_class ("version graph " ^ name))
+
+let graphs t = List.sort String.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t [])
+
+let graph_of_object t obj =
+  Hashtbl.fold
+    (fun _ g acc ->
+      match acc with
+      | Some _ -> acc
+      | None -> (
+          match Version_graph.version_of_object g obj with
+          | Some id -> Some (g, id)
+          | None -> None))
+    t None
+
+(* ------------------------------------------------------------------ *)
+(* Deep copy                                                           *)
+
+let entity_attr_list (e : Store.entity) =
+  Store.Smap.fold (fun n v acc -> (n, v) :: acc) e.Store.attrs []
+
+(* Clone the containment tree, filling [mapping] with old -> new. *)
+let rec clone_tree store mapping src =
+  let* e = Store.get store src in
+  let* copy = Store.create_object store ~ty:e.Store.type_name (entity_attr_list e) in
+  Surrogate.Tbl.replace mapping src copy;
+  let* () =
+    Store.Smap.fold
+      (fun subclass members acc ->
+        let* () = acc in
+        List.fold_left
+          (fun acc m ->
+            let* () = acc in
+            clone_subobject store mapping ~parent:copy ~subclass m)
+          (Ok ()) members)
+      e.Store.subobjs (Ok ())
+  in
+  Ok copy
+
+and clone_subobject store mapping ~parent ~subclass src =
+  let* e = Store.get store src in
+  let* copy =
+    Store.create_subobject store ~parent ~subclass (entity_attr_list e)
+  in
+  Surrogate.Tbl.replace mapping src copy;
+  Store.Smap.fold
+    (fun subclass members acc ->
+      let* () = acc in
+      List.fold_left
+        (fun acc m ->
+          let* () = acc in
+          clone_subobject store mapping ~parent:copy ~subclass m)
+        (Ok ()) members)
+    e.Store.subobjs (Ok ())
+
+let map_value mapping v =
+  let rec go v =
+    match v with
+    | Value.Ref s -> (
+        match Surrogate.Tbl.find_opt mapping s with
+        | Some s' -> Value.Ref s'
+        | None -> v)
+    | Value.Record fields -> Value.Record (List.map (fun (n, v) -> (n, go v)) fields)
+    | Value.List vs -> Value.List (List.map go vs)
+    | Value.Set vs -> Value.set (List.map go vs)
+    | Value.Tuple vs -> Value.Tuple (List.map go vs)
+    | Value.Matrix rows -> Value.Matrix (Array.map (Array.map go) rows)
+    | Value.Int _ | Value.Real _ | Value.Bool _ | Value.Str _
+    | Value.Enum_case _ | Value.Null ->
+        v
+  in
+  go v
+
+(* Second pass: bindings and subrelationships, with internal references
+   re-mapped into the clone. *)
+let rec clone_links store mapping src =
+  let* e = Store.get store src in
+  let copy = Surrogate.Tbl.find mapping src in
+  let* () =
+    match e.Store.bound with
+    | None -> Ok ()
+    | Some b ->
+        let transmitter =
+          Option.value ~default:b.Store.b_transmitter
+            (Surrogate.Tbl.find_opt mapping b.Store.b_transmitter)
+        in
+        let* _ =
+          Inheritance.bind store ~via:b.Store.b_via ~transmitter ~inheritor:copy ()
+        in
+        Ok ()
+  in
+  let* () =
+    Store.Smap.fold
+      (fun subrel members acc ->
+        let* () = acc in
+        List.fold_left
+          (fun acc r ->
+            let* () = acc in
+            let* re = Store.get store r in
+            let participants =
+              Store.Smap.fold
+                (fun n v acc -> (n, map_value mapping v) :: acc)
+                re.Store.participants []
+            in
+            let* copy_rel =
+              Store.create_subrel store ~parent:copy ~subrel ~participants
+                ~attrs:(entity_attr_list re) ()
+            in
+            Surrogate.Tbl.replace mapping r copy_rel;
+            (* relationship objects may hold inheritor subobjects of their
+               own (section 5's Bolt/Nut); clone those too *)
+            Store.Smap.fold
+              (fun subclass members acc ->
+                let* () = acc in
+                List.fold_left
+                  (fun acc m ->
+                    let* () = acc in
+                    let* () =
+                      clone_subobject store mapping ~parent:copy_rel ~subclass m
+                    in
+                    clone_links store mapping m)
+                  (Ok ()) members)
+              re.Store.subobjs (Ok ()))
+          (Ok ()) members)
+      e.Store.subrels (Ok ())
+  in
+  Store.Smap.fold
+    (fun _ members acc ->
+      let* () = acc in
+      List.fold_left
+        (fun acc m ->
+          let* () = acc in
+          clone_links store mapping m)
+        (Ok ()) members)
+    e.Store.subobjs (Ok ())
+
+let clone_object_mapped ?(classes = true) store src =
+  let mapping = Surrogate.Tbl.create 64 in
+  let* copy = clone_tree store mapping src in
+  let* () = clone_links store mapping src in
+  let* e = Store.get store src in
+  let* () =
+    if not classes then Ok ()
+    else
+      List.fold_left
+        (fun acc cls ->
+          let* () = acc in
+          Store.insert_into_class store ~cls copy)
+        (Ok ()) e.Store.classes_of
+  in
+  let pairs = Surrogate.Tbl.fold (fun o c acc -> (o, c) :: acc) mapping [] in
+  Ok (copy, List.sort (fun (a, _) (b, _) -> Surrogate.compare a b) pairs)
+
+let clone_object ?classes store src =
+  Result.map fst (clone_object_mapped ?classes store src)
+
+(* ------------------------------------------------------------------ *)
+(* Versions over store objects                                         *)
+
+let register_root t ~graph:gname ~obj =
+  let* g = graph t gname in
+  Version_graph.add_root g ~obj ()
+
+let derive_version t store ~graph:gname ~from =
+  let* g = graph t gname in
+  let* v = Version_graph.find g from in
+  let* copy = clone_object store v.Version_graph.ver_object in
+  let* id =
+    Version_graph.derive g ~from:[ from ] ~obj:copy
+      ~note:(Printf.sprintf "derived from version %d" from)
+      ()
+  in
+  Ok (id, copy)
+
+let set_attr t store s name value =
+  match graph_of_object t s with
+  | Some (g, id) when not (Version_graph.modifiable g id) ->
+      let state =
+        match Version_graph.state_of g id with
+        | Ok st -> Version_graph.state_to_string st
+        | Error _ -> "unknown"
+      in
+      Error
+        (Errors.Schema_error
+           (Printf.sprintf "version %d of %s is %s and immutable" id
+              (Version_graph.name g) state))
+  | Some _ | None -> Inheritance.set_attr store s name value
+
+let promote t ~graph:gname ~version state =
+  let* g = graph t gname in
+  Version_graph.promote g version state
+
+let set_default t ~graph:gname ~version =
+  let* g = graph t gname in
+  Version_graph.set_default g version
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+
+let magic = "COMPO-VERSIONS-1"
+
+let encode t =
+  let b = Binary.Enc.create () in
+  let graphs =
+    List.sort
+      (fun a b -> String.compare (Version_graph.name a) (Version_graph.name b))
+      (Hashtbl.fold (fun _ g acc -> g :: acc) t [])
+  in
+  Binary.Enc.list b (Version_graph.encode b) graphs;
+  let body = Binary.Enc.contents b in
+  let frame = Binary.Enc.create () in
+  Binary.Enc.string frame magic;
+  Binary.Enc.int frame (Int32.to_int (Binary.crc32 body) land 0xFFFFFFFF);
+  Binary.Enc.string frame body;
+  Binary.Enc.contents frame
+
+let decode blob =
+  let d = Binary.Dec.of_string blob in
+  let* found = Binary.Dec.string d in
+  let* () =
+    if String.equal found magic then Ok ()
+    else Error (Errors.Io_error "not a compo version registry")
+  in
+  let* crc = Binary.Dec.int d in
+  let* body = Binary.Dec.string d in
+  let* () =
+    if Int32.to_int (Binary.crc32 body) land 0xFFFFFFFF = crc then Ok ()
+    else Error (Errors.Io_error "version registry checksum mismatch")
+  in
+  let inner = Binary.Dec.of_string body in
+  let* graphs = Binary.Dec.list inner (fun () -> Version_graph.decode inner) in
+  let t = create () in
+  let* () =
+    List.fold_left
+      (fun acc g ->
+        let* () = acc in
+        if Hashtbl.mem t (Version_graph.name g) then
+          Error (Errors.Io_error ("duplicate graph " ^ Version_graph.name g))
+        else begin
+          Hashtbl.replace t (Version_graph.name g) g;
+          Ok ()
+        end)
+      (Ok ()) graphs
+  in
+  Ok t
+
+let save_file t path =
+  let tmp = path ^ ".tmp" in
+  match
+    Out_channel.with_open_bin tmp (fun c -> Out_channel.output_string c (encode t));
+    Sys.rename tmp path
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error (Errors.Io_error msg)
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> decode contents
+  | exception Sys_error msg -> Error (Errors.Io_error msg)

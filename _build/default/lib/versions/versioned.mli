@@ -1,0 +1,72 @@
+(** Integration of version graphs with the object store.
+
+    "The implementations of an interface can be seen as the versions of a
+    design object which is represented by the interface" (section 6).  This
+    module maintains a registry of version graphs over store objects and
+    implements version derivation by deep copy: deriving a new version of a
+    design object clones its attributes, subobject tree, subrelationships,
+    and inheritance bindings, then registers the clone as an [In_work]
+    version.
+
+    "Versioned versions": a graph can be created over interface objects
+    whose own implementations are tracked in further graphs, giving the
+    abstraction hierarchies of section 4.2 a version dimension. *)
+
+open Compo_core
+
+type t
+(** Registry of version graphs, keyed by graph name. *)
+
+val create : unit -> t
+val new_graph : t -> name:string -> (Version_graph.t, Errors.t) result
+val graph : t -> string -> (Version_graph.t, Errors.t) result
+val graphs : t -> string list
+
+val graph_of_object : t -> Surrogate.t -> (Version_graph.t * int) option
+(** The graph and version id an object is registered under, if any. *)
+
+val clone_object :
+  ?classes:bool -> Store.t -> Surrogate.t -> (Surrogate.t, Errors.t) result
+(** Deep copy: local attributes, subobject tree, subrelationships (with
+    participants re-mapped into the clone), and inheritance bindings (the
+    clone inherits from the same transmitters).  Top-level class
+    memberships are copied when [classes] (default true); private
+    workspace copies pass [~classes:false] to stay out of public
+    extents. *)
+
+val clone_object_mapped :
+  ?classes:bool -> Store.t -> Surrogate.t ->
+  (Surrogate.t * (Surrogate.t * Surrogate.t) list, Errors.t) result
+(** Like {!clone_object} but also returns the original→copy surrogate
+    mapping over the whole cloned tree (used by {!Compo_workspace} to diff
+    at check-in time). *)
+
+val register_root :
+  t -> graph:string -> obj:Surrogate.t -> (int, Errors.t) result
+
+val derive_version :
+  t -> Store.t -> graph:string -> from:int -> (int * Surrogate.t, Errors.t) result
+(** Clone the object of version [from] and register the clone as a new
+    [In_work] version derived from it.  Returns (version id, clone). *)
+
+val set_attr :
+  t -> Store.t -> Surrogate.t -> string -> Value.t -> (unit, Errors.t) result
+(** Guarded write: rejected when the object is registered as a version that
+    is no longer [In_work] (released and frozen versions are immutable). *)
+
+val promote : t -> graph:string -> version:int -> Version_graph.state -> (unit, Errors.t) result
+val set_default : t -> graph:string -> version:int -> (unit, Errors.t) result
+
+(** {1 Persistence}
+
+    Version graphs reference store objects by surrogate, so a registry
+    saved next to a database snapshot stays consistent with it (the
+    journal's surrogates are stable across recovery). *)
+
+val encode : t -> string
+val decode : string -> (t, Errors.t) result
+
+val save_file : t -> string -> (unit, Errors.t) result
+(** Checksummed, written atomically via a temporary file. *)
+
+val load_file : string -> (t, Errors.t) result

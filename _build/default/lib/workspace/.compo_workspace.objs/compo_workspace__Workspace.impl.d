@@ -1,0 +1,1 @@
+lib/workspace/workspace.ml: Compo_core Compo_txn Compo_versions Errors List Option Printf Result Store String Surrogate Value

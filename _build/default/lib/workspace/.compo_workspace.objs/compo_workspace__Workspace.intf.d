@@ -1,0 +1,1 @@
+lib/workspace/workspace.mli: Compo_core Compo_txn Errors Surrogate Value

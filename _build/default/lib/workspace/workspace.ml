@@ -1,0 +1,193 @@
+open Compo_core
+module Txn = Compo_txn.Transaction
+module Lock = Compo_txn.Lock
+
+let ( let* ) = Result.bind
+
+type manager = { ws_txn_mgr : Txn.manager }
+
+let create_manager mgr = { ws_txn_mgr = mgr }
+
+type state = Open | Checked_in | Discarded
+
+type t = {
+  ws_user : string;
+  ws_public : Surrogate.t;
+  ws_private : Surrogate.t;
+  ws_mapping : (Surrogate.t * Surrogate.t) list;  (* public -> private *)
+  ws_locks : (Surrogate.t * Lock.mode) list;
+  ws_long_txn : Txn.t;
+  mutable ws_state : state;
+}
+
+let state t = t.ws_state
+let user t = t.ws_user
+let public_root t = t.ws_public
+let private_root t = t.ws_private
+let private_of t s = List.assoc_opt s t.ws_mapping
+let locked t = t.ws_locks
+
+let checkout mg ~user root =
+  let store = Txn.store_of mg.ws_txn_mgr in
+  let txn = Txn.begin_txn mg.ws_txn_mgr ~user in
+  (* lock the public expansion for the duration of the design task; the
+     access-control manager caps protected parts down to S *)
+  let* locks = Txn.lock_expansion mg.ws_txn_mgr txn root ~mode:Lock.X in
+  let* priv, mapping =
+    Compo_versions.Versioned.clone_object_mapped ~classes:false store root
+  in
+  Ok
+    {
+      ws_user = user;
+      ws_public = root;
+      ws_private = priv;
+      ws_mapping = mapping;
+      ws_locks = locks;
+      ws_long_txn = txn;
+      ws_state = Open;
+    }
+
+let check_open t =
+  match t.ws_state with
+  | Open -> Ok ()
+  | Checked_in | Discarded ->
+      Error (Errors.Lock_error "workspace is no longer open")
+
+(* All entities transitively owned by [root] (the root included),
+   following both subobject and subrelationship classes. *)
+let owned_tree store root =
+  let acc = ref Surrogate.Set.empty in
+  let rec go s =
+    if not (Surrogate.Set.mem s !acc) then begin
+      acc := Surrogate.Set.add s !acc;
+      match Store.get store s with
+      | Error _ -> ()
+      | Ok e ->
+          Store.Smap.iter (fun _ ms -> List.iter go ms) e.Store.subobjs;
+          Store.Smap.iter (fun _ ms -> List.iter go ms) e.Store.subrels
+    end
+  in
+  go root;
+  !acc
+
+type change = {
+  ch_object : Surrogate.t;
+  ch_attr : string;
+  ch_before : Value.t;
+  ch_after : Value.t;
+}
+
+(* The private copy must still be exactly the mapped tree: growing or
+   shrinking it cannot be written back attribute-wise. *)
+let check_structure mg t =
+  let store = Txn.store_of mg.ws_txn_mgr in
+  let current = owned_tree store t.ws_private in
+  let expected =
+    List.fold_left
+      (fun acc (_, priv) -> Surrogate.Set.add priv acc)
+      Surrogate.Set.empty t.ws_mapping
+  in
+  if Surrogate.Set.equal current expected then Ok ()
+  else if Surrogate.Set.subset expected current then
+    Error
+      (Errors.Schema_error
+         (Printf.sprintf
+            "workspace grew %d new object(s); structural changes must be \
+             made on the public database"
+            (Surrogate.Set.cardinal (Surrogate.Set.diff current expected))))
+  else
+    Error
+      (Errors.Schema_error
+         "workspace lost objects; structural changes must be made on the \
+          public database")
+
+let diff mg t =
+  let* () = check_open t in
+  let store = Txn.store_of mg.ws_txn_mgr in
+  let* () = check_structure mg t in
+  let* changes =
+    List.fold_left
+      (fun acc (pub, priv) ->
+        let* acc = acc in
+        let* pe = Store.get store pub in
+        let* ve = Store.get store priv in
+        let keys m = List.map fst (Store.Smap.bindings m) in
+        let names =
+          List.sort_uniq String.compare
+            (keys pe.Store.attrs @ keys ve.Store.attrs)
+        in
+        Ok
+          (List.fold_left
+             (fun acc name ->
+               let before =
+                 Option.value ~default:Value.Null
+                   (Store.Smap.find_opt name pe.Store.attrs)
+               in
+               let after =
+                 Option.value ~default:Value.Null
+                   (Store.Smap.find_opt name ve.Store.attrs)
+               in
+               if Value.equal before after then acc
+               else
+                 { ch_object = pub; ch_attr = name; ch_before = before; ch_after = after }
+                 :: acc)
+             acc names))
+      (Ok []) t.ws_mapping
+  in
+  Ok (List.rev changes)
+
+let drop_private mg t =
+  let store = Txn.store_of mg.ws_txn_mgr in
+  Store.delete store ~force:true t.ws_private
+
+let checkin mg t =
+  let* () = check_open t in
+  let* changes = diff mg t in
+  (* every changed public object must be X-locked by the long transaction
+     (a protected part was only taken in S: its edits cannot land) *)
+  let* () =
+    List.fold_left
+      (fun acc ch ->
+        let* () = acc in
+        match List.assoc_opt ch.ch_object t.ws_locks with
+        | Some m when Lock.stronger_or_equal m Lock.X -> Ok ()
+        | Some _ ->
+            Error
+              (Errors.Access_denied
+                 (Printf.sprintf
+                    "%s was checked out read-only (protected part); its \
+                     change to %s cannot be checked in"
+                    (Surrogate.to_string ch.ch_object) ch.ch_attr))
+        | None ->
+            Error
+              (Errors.Lock_error
+                 (Surrogate.to_string ch.ch_object ^ " is not covered by the checkout")))
+      (Ok ()) changes
+  in
+  (* write back under the long transaction; abort on any failure so the
+     public side never holds a partial check-in *)
+  let apply () =
+    List.fold_left
+      (fun acc ch ->
+        let* () = acc in
+        Txn.set_attr mg.ws_txn_mgr t.ws_long_txn ch.ch_object ch.ch_attr ch.ch_after)
+      (Ok ()) changes
+  in
+  match apply () with
+  | Error e ->
+      let (_ : (unit, Errors.t) result) = Txn.abort mg.ws_txn_mgr t.ws_long_txn in
+      t.ws_state <- Discarded;
+      let (_ : (unit, Errors.t) result) = drop_private mg t in
+      Error e
+  | Ok () ->
+      let* () = drop_private mg t in
+      let* () = Txn.commit mg.ws_txn_mgr t.ws_long_txn in
+      t.ws_state <- Checked_in;
+      Ok changes
+
+let discard mg t =
+  let* () = check_open t in
+  let* () = drop_private mg t in
+  let* () = Txn.abort mg.ws_txn_mgr t.ws_long_txn in
+  t.ws_state <- Discarded;
+  Ok ()

@@ -1,0 +1,70 @@
+(** Long design transactions: checkout / check-in over composite objects.
+
+    The paper's section 6 points at engineering transaction models
+    ([KLMP84], [KSUW85]): a designer takes a whole component hierarchy
+    into a private workspace, works on it for hours, and integrates the
+    result back atomically.  This module implements that cycle on top of
+    {!Compo_txn} and {!Compo_versions}:
+
+    - {!checkout} locks the expansion of the chosen composite (X, capped
+      per object by the access-control manager: protected standard parts
+      are taken in read mode) under a long transaction, and deep-copies
+      the tree into a private working copy outside every public class;
+    - the designer edits the {e private} copy freely, without locks;
+    - {!checkin} diffs the working copy against the public originals,
+      writes the changed attributes back under the held locks (updates to
+      read-only parts are rejected), stamps dependent inheritance links,
+      and releases everything atomically.  Failures detected before the
+      write-back (structural changes, protected parts) leave the workspace
+      open; a failure during the write-back itself aborts the long
+      transaction — undoing any partial write — and discards the
+      workspace, since its locks are gone;
+    - {!discard} abandons the workspace.
+
+    Structural edits (adding or removing subobjects in the workspace) are
+    detected and rejected at check-in with a clear error: composite
+    surgery must be performed on the public database, where relationship
+    where-clauses and constraint checks see the full context. *)
+
+open Compo_core
+
+type manager
+
+val create_manager : Compo_txn.Transaction.manager -> manager
+
+type state = Open | Checked_in | Discarded
+
+type t
+
+val checkout : manager -> user:string -> Surrogate.t -> (t, Errors.t) result
+val state : t -> state
+val user : t -> string
+val public_root : t -> Surrogate.t
+
+val private_root : t -> Surrogate.t
+(** Edit this tree with the ordinary {!Database}/{!Store} operations. *)
+
+val private_of : t -> Surrogate.t -> Surrogate.t option
+(** Workspace counterpart of a public object in the checked-out tree. *)
+
+val locked : t -> (Surrogate.t * Compo_txn.Lock.mode) list
+(** What the checkout holds on the public side. *)
+
+type change = {
+  ch_object : Surrogate.t;  (** public object *)
+  ch_attr : string;
+  ch_before : Value.t;
+  ch_after : Value.t;
+}
+
+val diff : manager -> t -> (change list, Errors.t) result
+(** Pending attribute changes (private vs. public), without applying. *)
+
+val checkin : manager -> t -> (change list, Errors.t) result
+(** Apply the diff to the public objects and close the workspace.  The
+    private copy is deleted.  Fails (leaving the workspace open and the
+    public side untouched) if the workspace grew or lost structure, or if
+    a changed object was only read-locked (protected part). *)
+
+val discard : manager -> t -> (unit, Errors.t) result
+(** Delete the private copy and release the locks without writing back. *)

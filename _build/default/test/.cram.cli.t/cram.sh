@@ -1,0 +1,32 @@
+  $ cat > tiny.ddl <<DDL
+  > obj-type Part =
+  >   attributes:
+  >     Weight: integer;
+  >   constraints:
+  >     positive: Weight >= 0;
+  > end Part;
+  > DDL
+  $ compo check tiny.ddl
+  $ compo format tiny.ddl
+  $ compo init db -s tiny.ddl
+  $ compo info db
+  $ compo demo steel sdb
+  $ compo validate sdb
+  $ compo query sdb Structures
+  $ compo query sdb Bolts --where 'Length > 3'
+  $ compo show sdb @1
+  $ compo dump-schema sdb | head -8
+  $ compo checkpoint sdb
+  $ compo check missing.ddl 2>&1 | head -1
+  $ compo query sdb Nowhere 2>&1
+  $ compo demo gates gdb
+  $ compo simulate gdb @1 10
+  $ compo simulate gdb @1 00
+  $ compo version new-graph gdb nor
+  $ compo version root gdb nor @24
+  $ compo version derive gdb nor 1
+  $ compo version promote gdb nor 1 released
+  $ compo version default gdb nor 1
+  $ compo version list gdb
+  $ compo version audit gdb @25
+  $ compo optimize gdb @1

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Compo_core Compo_scenarios Constraints Database Errors Format String Surrogate Value

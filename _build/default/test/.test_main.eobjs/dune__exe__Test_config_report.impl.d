@@ -1,0 +1,1 @@
+test/test_config_report.ml: Alcotest Compo_core Compo_scenarios Compo_versions Config_report Database Format Helpers List String Surrogate Value Version_graph Versioned

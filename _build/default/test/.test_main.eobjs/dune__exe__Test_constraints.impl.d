@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Compo_core Compo_scenarios Constraints Database Errors Helpers List Value

@@ -1,0 +1,1 @@
+test/test_ddl.ml: Alcotest Compo_core Compo_ddl Database Errors Expr Fun Helpers List QCheck QCheck_alcotest String Value

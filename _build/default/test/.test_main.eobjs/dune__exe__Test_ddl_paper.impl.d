@@ -1,0 +1,1 @@
+test/test_ddl_paper.ml: Alcotest Compo_core Compo_ddl Compo_scenarios Constraints Database Errors Helpers List Schema Value

@@ -1,0 +1,1 @@
+test/test_eval.ml: Compo_core Compo_scenarios Database Errors Eval Expr Helpers List Value

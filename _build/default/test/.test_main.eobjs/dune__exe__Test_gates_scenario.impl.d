@@ -1,0 +1,1 @@
+test/test_gates_scenario.ml: Alcotest Compo_core Compo_scenarios Database Eval Expr Helpers List Option Surrogate Value

@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Compo_core Compo_storage Database Domain Errors Expr Filename Helpers Index List QCheck QCheck_alcotest Query Schema Store Surrogate Sys Value

@@ -1,0 +1,1 @@
+test/test_inheritance.ml: Alcotest Bool Compo_core Compo_scenarios Database Domain Errors Helpers Inheritance List QCheck QCheck_alcotest Result Schema Store Surrogate Value

@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Compo_core Compo_scenarios Compo_storage Compo_versions Database Helpers List Printf QCheck QCheck_alcotest Store String Surrogate Value

@@ -1,0 +1,1 @@
+test/test_lifecycle.ml: Alcotest Compo_core Compo_scenarios Compo_storage Compo_txn Compo_versions Compo_workspace Database Filename Helpers Inheritance List Option Store Sys Triggers Value

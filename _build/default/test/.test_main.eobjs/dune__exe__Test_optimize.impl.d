@@ -1,0 +1,1 @@
+test/test_optimize.ml: Alcotest Compo_core Compo_scenarios Database Helpers List Store Value

@@ -1,0 +1,1 @@
+test/test_ordered_index.ml: Alcotest Compo_core Database Domain Expr Fun Helpers List Option Ordered_index QCheck QCheck_alcotest Query Schema Surrogate Value

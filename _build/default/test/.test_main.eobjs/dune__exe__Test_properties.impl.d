@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Bool Compo_core Compo_ddl Compo_storage Database Domain Errors Eval Expr Helpers List Printf QCheck QCheck_alcotest Result Schema String Value

@@ -1,0 +1,1 @@
+test/test_query_composite.ml: Alcotest Compo_core Compo_scenarios Composite Database Domain Expr Helpers List Option Query Schema Value

@@ -1,0 +1,1 @@
+test/test_schema.ml: Alcotest Compo_core Database Domain Helpers List Schema

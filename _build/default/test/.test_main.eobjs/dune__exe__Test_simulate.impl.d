@@ -1,0 +1,1 @@
+test/test_simulate.ml: Alcotest Compo_core Compo_scenarios Database Errors Helpers List Option Printf Store Value

@@ -1,0 +1,1 @@
+test/test_steel_scenario.ml: Alcotest Compo_core Compo_scenarios Composite Database Helpers List Surrogate Value

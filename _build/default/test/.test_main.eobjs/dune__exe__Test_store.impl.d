@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Compo_core Compo_scenarios Database Errors Helpers List Store Surrogate Value

@@ -1,0 +1,1 @@
+test/test_stress.ml: Alcotest Compo_core Compo_scenarios Compo_storage Composite Database Filename Fun Helpers List Store Sys Value

@@ -1,0 +1,1 @@
+test/test_triggers.ml: Alcotest Compo_core Compo_scenarios Database Domain Errors Expr Helpers Inheritance List Option Schema Store Triggers Value

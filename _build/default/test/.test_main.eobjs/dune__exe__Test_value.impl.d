@@ -1,0 +1,1 @@
+test/test_value.ml: Alcotest Compo_core Domain Helpers List Option QCheck QCheck_alcotest Surrogate Value

@@ -1,0 +1,1 @@
+test/test_workspace.ml: Access_control Alcotest Compo_core Compo_scenarios Compo_txn Compo_workspace Database Errors Helpers List Lock Option Store Surrogate Transaction Value Workspace

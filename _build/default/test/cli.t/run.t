@@ -1,0 +1,115 @@
+The compo CLI, end to end.  A tiny schema file:
+
+  $ cat > tiny.ddl <<DDL
+  > obj-type Part =
+  >   attributes:
+  >     Weight: integer;
+  >   constraints:
+  >     positive: Weight >= 0;
+  > end Part;
+  > DDL
+
+Check and normal-form formatting:
+
+  $ compo check tiny.ddl
+  tiny.ddl: ok (1 new types)
+  $ compo format tiny.ddl
+  
+  obj-type Part =
+    attributes:
+      Weight: integer;
+    constraints:
+      positive: Weight >= 0;
+  end Part;
+  
+
+Initialize a database directory with the schema:
+
+  $ compo init db -s tiny.ddl
+  initialized db (1 types)
+  $ compo info db
+  types:        1
+  domains:      0
+  objects:      0
+  relationships:0
+  inh. links:   0
+  classes:      
+  wal:          0 bytes, 0 records replayed
+
+The steel demo scenario:
+
+  $ compo demo steel sdb
+  built weight-carrying structure @1
+  saved to sdb
+  $ compo validate sdb
+  all constraints hold
+  $ compo query sdb Structures
+  @1 WeightCarrying_Structure Designer="generator" Description="3 girders, 2 bores per joint"
+  1 object(s)
+  $ compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+  $ compo show sdb @1
+  @1 : WeightCarrying_Structure (object)
+    Designer = "generator"
+    Description = "3 girders, 2 bores per joint"
+    Girders: {@5, @10, @15}
+    Plates: {}
+    Screwings (subrels): {@19, @26}
+  $ compo dump-schema sdb | head -8
+  domain Point = record (X: integer; Y: integer;);
+  domain AreaDom = record (Length: integer; Width: integer;);
+  
+  obj-type BoltType =
+    attributes:
+      Length: integer;
+      Diameter: integer;
+  end BoltType;
+  $ compo checkpoint sdb
+  checkpoint written
+
+Errors are reported properly:
+
+  $ compo check missing.ddl 2>&1 | head -1
+  compo: FILE.ddl… arguments: no 'missing.ddl' file or directory
+  $ compo query sdb Nowhere 2>&1
+  compo: unknown class: Nowhere
+  [1]
+
+Simulating the flip-flop of the gates demo (S=1,R=0 sets it; S=R=0 is the
+state-holding input the combinational evaluator refuses):
+
+  $ compo demo gates gdb
+  built the flip-flop @1 and a NOR interface @24
+  saved to gdb
+  $ compo simulate gdb @1 10
+  @4 = true
+  @5 = false
+  $ compo simulate gdb @1 00
+  compo: evaluation error: netlist did not stabilize (state-holding feedback under these inputs)
+  [1]
+
+Version management lives in a versions.bin sidecar:
+
+  $ compo version new-graph gdb nor
+  graph nor created
+  $ compo version root gdb nor @24
+  v1 registered as root of nor
+  $ compo version derive gdb nor 1
+  v2 derived from v1 (object @28)
+  $ compo version promote gdb nor 1 released
+  v1 promoted to released
+  $ compo version default gdb nor 1
+  v1 is now the default of nor
+  $ compo version list gdb
+  nor (default v1)
+    v1 @24 released (initial version)
+    v2 @28 in-work <- v1 (derived from version 1)
+  $ compo version audit gdb @25
+  0 use(s), 0 outdated, 0 unmanaged
+
+Netlist optimization (the demo flip-flop is fully live, so nothing moves):
+
+  $ compo optimize gdb @1
+  removed 0 dead gate(s), merged 0 duplicate(s), dropped 0 wire(s) in 1 pass(es)

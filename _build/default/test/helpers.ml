@@ -1,0 +1,59 @@
+(* Shared test utilities. *)
+
+open Compo_core
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+
+let expect_error ?(msg = "expected an error") pred = function
+  | Ok _ -> Alcotest.fail msg
+  | Error e ->
+      if not (pred e) then
+        Alcotest.failf "unexpected error kind: %s" (Errors.to_string e)
+
+let any_error (_ : Errors.t) = true
+
+let value : Value.t Alcotest.testable =
+  Alcotest.testable Value.pp Value.equal
+
+let surrogate : Surrogate.t Alcotest.testable =
+  Alcotest.testable Surrogate.pp Surrogate.equal
+
+let check_value = Alcotest.check value
+let check_int = Alcotest.check Alcotest.int
+let check_bool = Alcotest.check Alcotest.bool
+let check_string = Alcotest.check Alcotest.string
+
+let check_no_violations what vs =
+  match vs with
+  | [] -> ()
+  | v :: _ ->
+      Alcotest.failf "%s: unexpected violation: %s" what
+        (Format.asprintf "%a" Constraints.pp_violation v)
+
+let case name f = Alcotest.test_case name `Quick f
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* A database with the gate scenario installed. *)
+let gates_db () =
+  let db = Database.create () in
+  ok (Compo_scenarios.Gates.define_schema db);
+  db
+
+(* A database with the steel scenario installed. *)
+let steel_db () =
+  let db = Database.create () in
+  ok (Compo_scenarios.Steel.define_schema db);
+  db
+
+(* A database with both installed (they share the Point domain). *)
+let full_db () =
+  let db = Database.create () in
+  ok (Compo_scenarios.Gates.define_schema db);
+  ok (Compo_scenarios.Steel.define_schema db);
+  db

@@ -1,0 +1,109 @@
+open Compo_core
+open Compo_versions
+open Helpers
+module G = Compo_scenarios.Gates
+module VG = Version_graph
+
+(* A composite using two components: one version-managed NOR interface
+   (with a newer released version available) and one unmanaged ad-hoc
+   interface. *)
+let setup () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let reg = Versioned.create () in
+  let g = ok (Versioned.new_graph reg ~name:"nor-if") in
+  (* v1: the old interface; v2: a released redesign *)
+  let v1_obj = ok (G.nor_interface db) in
+  let v1 = ok (VG.add_root g ~obj:v1_obj ()) in
+  ok (VG.promote g v1 VG.Released);
+  let v2, v2_obj = ok (Versioned.derive_version reg store ~graph:"nor-if" ~from:v1) in
+  ok (VG.promote g v2 VG.Released);
+  ok (VG.set_default g v2);
+  let adhoc = ok (G.nor_interface db) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ()) in
+  let use_old = ok (G.use_component db ~composite:top ~component_interface:v1_obj ~x:0 ~y:0) in
+  let use_adhoc = ok (G.use_component db ~composite:top ~component_interface:adhoc ~x:1 ~y:0) in
+  (db, store, reg, g, top, v1_obj, v2_obj, v1, v2, use_old, use_adhoc)
+
+let test_configuration_entries () =
+  let db, store, reg, _, top, v1_obj, _, v1, v2, use_old, use_adhoc = setup () in
+  let entries = ok (Config_report.configuration reg store top) in
+  (* uses: top->top_iface (implementation binding), use_old->v1, use_adhoc->adhoc,
+     plus interface->pin-interface bindings along the way *)
+  check_bool "several uses found" true (List.length entries >= 3);
+  let entry_for use =
+    List.find (fun e -> Surrogate.equal e.Config_report.ce_use use) entries
+  in
+  let old_entry = entry_for use_old in
+  (match old_entry.Config_report.ce_version with
+  | Some ("nor-if", v, VG.Released) -> check_int "bound to v1" v1 v
+  | _ -> Alcotest.fail "expected a released nor-if version");
+  check_bool "not the default anymore" false old_entry.Config_report.ce_is_default;
+  Alcotest.(check (list int)) "newer stable version listed" [ v2 ]
+    old_entry.Config_report.ce_newer_stable;
+  let adhoc_entry = entry_for use_adhoc in
+  check_bool "ad-hoc component unmanaged" true
+    (adhoc_entry.Config_report.ce_version = None);
+  check_bool "component surrogate recorded" true
+    (Surrogate.equal old_entry.Config_report.ce_component v1_obj);
+  ignore db
+
+let test_outdated_and_unmanaged_filters () =
+  let _, store, reg, _, top, _, _, _, _, use_old, use_adhoc = setup () in
+  let entries = ok (Config_report.configuration reg store top) in
+  let outdated = Config_report.outdated entries in
+  check_int "exactly one outdated use" 1 (List.length outdated);
+  check_bool "the old use is the outdated one" true
+    (Surrogate.equal (List.hd outdated).Config_report.ce_use use_old);
+  let unmanaged = Config_report.unmanaged entries in
+  check_bool "ad-hoc use among unmanaged" true
+    (List.exists
+       (fun e -> Surrogate.equal e.Config_report.ce_use use_adhoc)
+       unmanaged)
+
+let test_stale_flag_propagates () =
+  let db, store, reg, _, top, v1_obj, _, _, _, use_old, _ = setup () in
+  ok (Database.set_attr db v1_obj "Width" (Value.Int 9));
+  let entries = ok (Config_report.configuration reg store top) in
+  let old_entry =
+    List.find (fun e -> Surrogate.equal e.Config_report.ce_use use_old) entries
+  in
+  check_bool "stale binding reported" true old_entry.Config_report.ce_stale
+
+let test_in_work_not_suggested () =
+  (* a newer but in-work version must not appear as newer_stable *)
+  let _, store, reg, g, top, _, _, _, v2, use_old, _ = setup () in
+  let v3, _ = ok (Versioned.derive_version reg store ~graph:"nor-if" ~from:v2) in
+  let entries = ok (Config_report.configuration reg store top) in
+  let old_entry =
+    List.find (fun e -> Surrogate.equal e.Config_report.ce_use use_old) entries
+  in
+  check_bool "in-work v3 not suggested" false
+    (List.mem v3 old_entry.Config_report.ce_newer_stable);
+  ok (VG.promote g v3 VG.Released);
+  let entries = ok (Config_report.configuration reg store top) in
+  let old_entry =
+    List.find (fun e -> Surrogate.equal e.Config_report.ce_use use_old) entries
+  in
+  check_bool "released v3 suggested" true
+    (List.mem v3 old_entry.Config_report.ce_newer_stable)
+
+let test_pp_entry_renders () =
+  let _, store, reg, _, top, _, _, _, _, _, _ = setup () in
+  let entries = ok (Config_report.configuration reg store top) in
+  List.iter
+    (fun e ->
+      let s = Format.asprintf "%a" Config_report.pp_entry e in
+      check_bool "non-empty rendering" true (String.length s > 0))
+    entries
+
+let suite =
+  ( "config-report",
+    [
+      case "configuration entries" test_configuration_entries;
+      case "outdated / unmanaged filters" test_outdated_and_unmanaged_filters;
+      case "staleness surfaces in the report" test_stale_flag_propagates;
+      case "in-work versions are not suggested" test_in_work_not_suggested;
+      case "entries render" test_pp_entry_renders;
+    ] )

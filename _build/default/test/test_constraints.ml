@@ -1,0 +1,178 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module S = Compo_scenarios.Steel
+
+let test_simple_gate_pin_counts () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  check_no_violations "well-formed gate" (ok (Database.validate db g));
+  (* break the constraint: three inputs *)
+  ok
+    (Database.set_attr db g "Pins"
+       (Value.set
+          [
+            Value.record [ ("PinId", Value.Int 1); ("InOut", G.io_value G.In) ];
+            Value.record [ ("PinId", Value.Int 2); ("InOut", G.io_value G.In) ];
+            Value.record [ ("PinId", Value.Int 3); ("InOut", G.io_value G.In) ];
+            Value.record [ ("PinId", Value.Int 4); ("InOut", G.io_value G.Out) ];
+          ]));
+  match ok (Database.validate db g) with
+  | [] -> Alcotest.fail "expected a violation"
+  | v :: _ -> check_string "violated constraint" "two_inputs" v.Constraints.v_constraint
+
+let test_girder_proportions () =
+  let db = steel_db () in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[])
+  in
+  check_no_violations "valid girder" (ok (Database.validate db iface));
+  ok (Database.set_attr db iface "Length" (Value.Int 20000));
+  check_int "proportions violated" 1 (List.length (ok (Database.validate db iface)))
+
+let test_eager_checks_roll_back () =
+  let db = steel_db () in
+  Database.set_eager_checks db true;
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[])
+  in
+  expect_error
+    (function Errors.Constraint_violation _ -> true | _ -> false)
+    (Database.set_attr db iface "Length" (Value.Int 20000));
+  (* the offending write was rolled back *)
+  check_value "rolled back" (Value.Int 100) (ok (Database.get_attr db iface "Length"))
+
+let test_subrel_where_enforced () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let other = ok (G.new_elementary_gate db ~func:"AND" ~x:0 ~y:0 ()) in
+  let foreign_pin = ok (G.pin db other 0) in
+  let own_pin = List.hd (ok (Database.subclass_members db ff "Pins")) in
+  (* wiring to a pin outside the gate violates the Wires where clause *)
+  expect_error
+    (function Errors.Constraint_violation _ -> true | _ -> false)
+    (G.wire db ~parent:ff ~from_pin:own_pin ~to_pin:foreign_pin);
+  (* the rejected wire was removed again *)
+  check_int "still six wires" 6 (List.length (ok (Database.subrel_members db ff "Wires")))
+
+let test_screwing_constraints_pass () =
+  let db = steel_db () in
+  let s = ok (Compo_scenarios.Workload.screwed_structure db ~girders:3 ~bores_per_joint:2) in
+  check_no_violations "generated structure is consistent"
+    (Database.validate_all db);
+  ignore s
+
+let test_screwing_diameter_mismatch () =
+  let db = steel_db () in
+  let structure = ok (S.new_structure db ~designer:"w" ~description:"test") in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10
+          ~bores:[ (10, 2, (0, 0)) ])
+  in
+  let comp = ok (S.add_girder db ~structure ~girder_interface:iface) in
+  let bores = ok (S.bores_of db comp) in
+  let bolt = ok (S.new_bolt db ~length:3 ~diameter:10) in
+  let nut = ok (S.new_nut db ~length:1 ~diameter:12) in
+  (* diameters differ *)
+  let screwing = ok (S.screw db ~structure ~bores ~bolt ~nut ~strength:10) in
+  let violations = ok (Database.validate db screwing) in
+  check_bool "diameters_match violated" true
+    (List.exists
+       (fun v -> v.Constraints.v_constraint = "diameters_match")
+       violations)
+
+let test_screwing_bolt_too_short () =
+  let db = steel_db () in
+  let structure = ok (S.new_structure db ~designer:"w" ~description:"test") in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10
+          ~bores:[ (10, 4, (0, 0)); (10, 4, (3, 0)) ])
+  in
+  let comp = ok (S.add_girder db ~structure ~girder_interface:iface) in
+  let bores = ok (S.bores_of db comp) in
+  (* needs 1 + 8 = 9; give 5 *)
+  let bolt = ok (S.new_bolt db ~length:5 ~diameter:10) in
+  let nut = ok (S.new_nut db ~length:1 ~diameter:10) in
+  let screwing = ok (S.screw db ~structure ~bores ~bolt ~nut ~strength:10) in
+  check_bool "bolt_length violated" true
+    (List.exists
+       (fun v -> v.Constraints.v_constraint = "bolt_length")
+       (ok (Database.validate db screwing)))
+
+let test_screwing_missing_nut () =
+  let db = steel_db () in
+  let structure = ok (S.new_structure db ~designer:"w" ~description:"test") in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10
+          ~bores:[ (10, 2, (0, 0)) ])
+  in
+  let comp = ok (S.add_girder db ~structure ~girder_interface:iface) in
+  let bores = ok (S.bores_of db comp) in
+  (* hand-build a screwing with a bolt but no nut *)
+  let screwing =
+    ok
+      (Database.new_subrel db ~parent:structure ~subrel:"Screwings"
+         ~participants:[ ("Bores", Value.set (List.map (fun b -> Value.Ref b) bores)) ]
+         ~attrs:[ ("Strength", Value.Int 1) ]
+         ())
+  in
+  let bolt = ok (S.new_bolt db ~length:3 ~diameter:10) in
+  let bolt_sub = ok (Database.new_subobject db ~parent:screwing ~subclass:"Bolt" ()) in
+  let _ = ok (Database.bind db ~via:"AllOf_BoltType" ~transmitter:bolt ~inheritor:bolt_sub ()) in
+  check_bool "one_nut violated" true
+    (List.exists
+       (fun v -> v.Constraints.v_constraint = "one_nut")
+       (ok (Database.validate db screwing)))
+
+let test_screwing_where_rejects_foreign_bores () =
+  let db = steel_db () in
+  let structure = ok (S.new_structure db ~designer:"w" ~description:"test") in
+  (* a bore on an interface NOT used by this structure *)
+  let foreign_iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10
+          ~bores:[ (10, 2, (0, 0)) ])
+  in
+  let foreign_bores = ok (S.bores_of db foreign_iface) in
+  let bolt = ok (S.new_bolt db ~length:3 ~diameter:10) in
+  let nut = ok (S.new_nut db ~length:1 ~diameter:10) in
+  expect_error
+    (function Errors.Constraint_violation _ -> true | _ -> false)
+    (S.screw db ~structure ~bores:foreign_bores ~bolt ~nut ~strength:10)
+
+let test_check_all_scales_over_store () =
+  let db = steel_db () in
+  let _ = ok (Compo_scenarios.Workload.screwed_structure db ~girders:4 ~bores_per_joint:1) in
+  check_no_violations "store-wide check" (Database.validate_all db)
+
+
+
+let test_rolled_back_write_does_not_stamp () =
+  let db = steel_db () in
+  Database.set_eager_checks db true;
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[])
+  in
+  let girder = ok (S.new_girder db ~interface:iface ~material:"wood") in
+  ignore girder;
+  let link = List.hd (ok (Database.links_of db iface)) in
+  expect_error any_error (Database.set_attr db iface "Length" (Value.Int 20000));
+  check_bool "rejected write leaves the link fresh" false
+    (ok (Database.is_stale db link));
+  ok (Database.set_attr db iface "Length" (Value.Int 120));
+  check_bool "accepted write stamps" true (ok (Database.is_stale db link))
+
+let suite =
+  ( "constraints",
+    [
+      case "SimpleGate pin-count constraints (paper section 3)" test_simple_gate_pin_counts;
+      case "girder proportions (Length < 100*H*W)" test_girder_proportions;
+      case "eager checks roll back offending writes" test_eager_checks_roll_back;
+      case "Wires where-clause enforced on creation" test_subrel_where_enforced;
+      case "generated screwed structure is consistent (C8)" test_screwing_constraints_pass;
+      case "screwing: diameter mismatch detected (C8)" test_screwing_diameter_mismatch;
+      case "screwing: bolt too short detected (C8)" test_screwing_bolt_too_short;
+      case "screwing: exactly one nut (C8)" test_screwing_missing_nut;
+      case "screwing where-clause rejects foreign bores" test_screwing_where_rejects_foreign_bores;
+      case "store-wide validation" test_check_all_scales_over_store;
+      case "rolled-back writes do not stamp inheritors" test_rolled_back_write_does_not_stamp;
+    ] )

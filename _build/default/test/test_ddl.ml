@@ -1,0 +1,320 @@
+open Compo_core
+open Helpers
+module P = Compo_ddl.Parser
+module E = Compo_ddl.Elaborate
+module Pretty = Compo_ddl.Pretty
+
+let test_lexer_basics () =
+  let toks = ok (Compo_ddl.Lexer.tokenize "obj-type Flip-Flop = end; -- c\n 12 3.5 <= <> \"s\"") in
+  let kinds = List.map (fun t -> t.Compo_ddl.Token.kind) toks in
+  Alcotest.(check int) "token count" 11 (List.length kinds);
+  (match kinds with
+  | Compo_ddl.Token.Kw "obj-type"
+    :: Compo_ddl.Token.Ident "Flip-Flop"
+    :: Compo_ddl.Token.Eq
+    :: Compo_ddl.Token.Kw "end"
+    :: Compo_ddl.Token.Semi
+    :: Compo_ddl.Token.Int 12
+    :: Compo_ddl.Token.Real 3.5
+    :: Compo_ddl.Token.Le
+    :: Compo_ddl.Token.Ne
+    :: Compo_ddl.Token.Str "s"
+    :: Compo_ddl.Token.Eof :: [] ->
+      ()
+  | _ -> Alcotest.fail "unexpected token stream")
+
+let test_lexer_comments_and_errors () =
+  let toks = ok (Compo_ddl.Lexer.tokenize "/* outer /* nested */ still */ x") in
+  Alcotest.(check int) "comment skipped" 2 (List.length toks);
+  expect_error
+    (function Errors.Parse_error _ -> true | _ -> false)
+    (Compo_ddl.Lexer.tokenize "/* unterminated");
+  expect_error
+    (function Errors.Parse_error _ -> true | _ -> false)
+    (Compo_ddl.Lexer.tokenize "a ? b")
+
+let test_parse_expr_forms () =
+  let roundtrip src = Expr.to_string (ok (P.parse_expr src)) in
+  (* trailing where attaches to the count *)
+  check_string "trailing where"
+    "(count (Pins) where (Pins.InOut = IN) = 2)"
+    (roundtrip "count (Pins) = 2 where Pins.InOut = IN");
+  check_string "hash form" "(count (Bolt) = 1)" (roundtrip "#s in Bolt = 1");
+  check_string "precedence"
+    "(Length < ((100 * Height) * Width))"
+    (roundtrip "Length < 100 * Height * Width");
+  check_string "for with two binders"
+    "for (s in Bolt, n in Nut): (s.Diameter = n.Diameter)"
+    (roundtrip "for (s in Bolt, n in Nut): s.Diameter = n.Diameter");
+  check_string "and/or precedence" "(a or (b and c))" (roundtrip "a or b and c");
+  check_string "sum" "(x = (y + sum (Bores.Length)))"
+    (roundtrip "x = y + sum (Bores.Length)")
+
+let test_parse_errors_have_positions () =
+  (match E.load_string (Database.create ()) "obj-type = end;" with
+  | Error (Errors.Parse_error { line = 1; col; _ }) ->
+      check_bool "column recorded" true (col > 1)
+  | Error e -> Alcotest.failf "wrong error: %s" (Errors.to_string e)
+  | Ok () -> Alcotest.fail "expected parse error");
+  expect_error
+    (function Errors.Parse_error _ -> true | _ -> false)
+    (P.parse_expr "1 +")
+
+let test_elaborate_small_schema () =
+  let db = Database.create () in
+  ok
+    (E.load_string db
+       {|
+         domain Kind = (A, B);
+         obj-type Thing =
+           attributes:
+             Name: string;
+             Kind: Kind;
+             Score: integer;
+           constraints:
+             positive: Score >= 0;
+             kinded: Kind = A or Kind = B;
+         end Thing;
+       |});
+  let thing =
+    ok
+      (Database.new_object db ~ty:"Thing"
+         ~attrs:
+           [
+             ("Name", Value.Str "t");
+             ("Kind", Value.Enum_case "A");
+             ("Score", Value.Int 3);
+           ]
+         ())
+  in
+  check_no_violations "constraints hold" (ok (Database.validate db thing));
+  (* enum literal A was resolved to a constant, not a path *)
+  ok (Database.set_attr db thing "Score" (Value.Int (-1)));
+  check_int "violation detected" 1 (List.length (ok (Database.validate db thing)))
+
+let test_duplicate_load_rejected () =
+  let db = Database.create () in
+  ok (E.load_string db "obj-type T = attributes: X: integer; end T;");
+  expect_error any_error
+    (E.load_string db "obj-type T = attributes: X: integer; end T;")
+
+let test_roundtrip_gates () =
+  (* programmatic schema -> DDL -> fresh database -> DDL again: fixpoint *)
+  let db = gates_db () in
+  let printed = Pretty.schema_to_string (Database.schema db) in
+  let db2 = Database.create () in
+  ok (E.load_string db2 printed);
+  let printed2 = Pretty.schema_to_string (Database.schema db2) in
+  check_string "pretty-parse-pretty fixpoint" printed printed2
+
+let test_roundtrip_steel () =
+  let db = steel_db () in
+  let printed = Pretty.schema_to_string (Database.schema db) in
+  let db2 = Database.create () in
+  ok (E.load_string db2 printed);
+  check_string "pretty-parse-pretty fixpoint" printed
+    (Pretty.schema_to_string (Database.schema db2))
+
+(* Property: pretty -> parse of random constraint expressions over a fixed
+   vocabulary is the identity (modulo the printer's normal form). *)
+let prop_expr_roundtrip =
+  let leaf =
+    QCheck.Gen.oneof
+      [
+        QCheck.Gen.map (fun i -> Expr.Const (Value.Int i)) QCheck.Gen.small_nat;
+        QCheck.Gen.oneofl
+          [ Expr.Path [ "Length" ]; Expr.Path [ "Pins"; "InOut" ]; Expr.Sum [ "Bores"; "Length" ] ];
+      ]
+  in
+  let rec gen_expr depth =
+    if depth = 0 then leaf
+    else
+      QCheck.Gen.frequency
+        [
+          (2, leaf);
+          ( 3,
+            QCheck.Gen.map3
+              (fun op a b -> Expr.Binop (op, a, b))
+              (QCheck.Gen.oneofl
+                 [ Expr.Add; Expr.Sub; Expr.Mul; Expr.Eq; Expr.Lt; Expr.Ge ])
+              (gen_expr (depth - 1))
+              (gen_expr (depth - 1)) );
+          ( 1,
+            QCheck.Gen.map
+              (fun a -> Expr.Forall ([ ("x", [ "Bores" ]) ], a))
+              (gen_expr (depth - 1)) );
+        ]
+  in
+  let arbitrary =
+    QCheck.make (gen_expr 4) ~print:(fun e -> Pretty.expr_to_string e)
+  in
+  QCheck.Test.make ~name:"expression print/parse round-trip" ~count:200 arbitrary
+    (fun e ->
+      match P.parse_expr (Pretty.expr_to_string e) with
+      | Ok e' ->
+          (* compare via the printer's normal form *)
+          String.equal (Pretty.expr_to_string e) (Pretty.expr_to_string e')
+      | Error _ -> false)
+
+
+
+let expect_parse_error src =
+  expect_error
+    (function Errors.Parse_error _ -> true | _ -> false)
+    (P.parse src)
+
+let test_malformed_declarations () =
+  (* missing '=' *)
+  expect_parse_error "obj-type T attributes: X: integer; end T;";
+  (* missing end *)
+  expect_parse_error "obj-type T = attributes: X: integer;";
+  (* rel-type without relates *)
+  expect_parse_error "rel-type R = attributes: X: integer; end R;";
+  (* inher-rel-type missing inheriting *)
+  expect_parse_error
+    "inher-rel-type R = transmitter: object-of-type T; inheritor: object; end R;";
+  (* unknown section keyword *)
+  expect_parse_error "obj-type T = bogus-section: X; end T;";
+  (* garbage domain *)
+  expect_parse_error "obj-type T = attributes: X: 42; end T;"
+
+let test_elaboration_errors_surface () =
+  let db = Database.create () in
+  (* unknown member type in a subclass *)
+  expect_error any_error
+    (E.load_string db "obj-type T = types-of-subclasses: Xs: Nowhere; end T;");
+  (* unknown rel type in a subrel *)
+  expect_error any_error
+    (E.load_string db "obj-type U = types-of-subrels: Rs: NoRel; end U;");
+  (* inheriting names a missing transmitter feature *)
+  ok (E.load_string db "obj-type V = attributes: A: integer; end V;");
+  expect_error any_error
+    (E.load_string db
+       "inher-rel-type RV = transmitter: object-of-type V; inheritor: object; inheriting: B; end RV;")
+
+let test_comment_only_and_empty_inputs () =
+  let db = Database.create () in
+  ok (E.load_string db "/* nothing to see */");
+  ok (E.load_string db "");
+  ok (E.load_string db "-- just a remark\n")
+
+let test_enum_literal_scoping () =
+  (* a quantifier variable shadows an enum case of the same name: the
+     variable wins, the constant is not substituted *)
+  let db = Database.create () in
+  ok
+    (E.load_string db
+       {|
+         domain Color = (RED, GREEN);
+         obj-type Dot = attributes: C: Color; end Dot;
+         obj-type Board =
+           attributes:
+             X: integer;
+           types-of-subclasses:
+             Dots: Dot;
+           constraints:
+             all_red: for RED in Dots: RED.C = RED.C;
+             has_red: count (Dots) >= 1 where Dots.C = RED;
+         end Board;
+       |});
+  let board = ok (Database.new_object db ~ty:"Board" ~attrs:[ ("X", Value.Int 1) ] ()) in
+  let _ =
+    ok
+      (Database.new_subobject db ~parent:board ~subclass:"Dots"
+         ~attrs:[ ("C", Value.Enum_case "RED") ]
+         ())
+  in
+  check_no_violations "shadowing resolved in favour of the binder"
+    (ok (Database.validate db board))
+
+
+
+(* Robustness: the parser must return Parse_error on garbage, never raise. *)
+let prop_parser_never_raises =
+  let token_soup =
+    QCheck.Gen.(
+      map (String.concat " ")
+        (list_size (int_bound 30)
+           (oneofl
+              [
+                "obj-type"; "rel-type"; "end"; "attributes:"; "integer";
+                "T"; "X"; "="; ";"; ":"; "("; ")"; ","; "."; "count"; "for";
+                "in"; "where"; "42"; "3.5"; "\"s\""; "<="; "+"; "-"; "set-of";
+                "inheritor-in"; "relates:"; "object"; "object-of-type";
+              ])))
+  in
+  QCheck.Test.make ~name:"parser total on token soup" ~count:500
+    (QCheck.make token_soup ~print:Fun.id) (fun src ->
+      match P.parse src with
+      | Ok _ | Error (Errors.Parse_error _) -> true
+      | Error _ -> false
+      | exception _ -> false)
+
+let prop_lexer_never_raises =
+  QCheck.Test.make ~name:"lexer total on random bytes" ~count:500
+    QCheck.(string_gen (QCheck.Gen.char_range ' ' '~'))
+    (fun src ->
+      match Compo_ddl.Lexer.tokenize src with
+      | Ok _ | Error (Errors.Parse_error _) -> true
+      | Error _ -> false
+      | exception _ -> false)
+
+
+
+let test_inher_subclasses_roundtrip () =
+  (* section 4.1: links may possess subobjects; the DDL carries them *)
+  let db = Database.create () in
+  ok
+    (E.load_string db
+       {|
+         obj-type Iface = attributes: L: integer; end Iface;
+         inher-rel-type R =
+           transmitter: object-of-type Iface;
+           inheritor: object;
+           inheriting: L;
+           attributes:
+             ReviewedBy: string;
+           types-of-subclasses:
+             Notes:
+               attributes:
+                 Text: string;
+         end R;
+         obj-type Impl = inheritor-in: R; end Impl;
+       |});
+  let printed = Pretty.schema_to_string (Database.schema db) in
+  let db2 = Database.create () in
+  ok (E.load_string db2 printed);
+  check_string "inher subclasses round-trip" printed
+    (Pretty.schema_to_string (Database.schema db2));
+  (* and they work end to end from the loaded schema *)
+  let iface = ok (Database.new_object db2 ~ty:"Iface" ~attrs:[ ("L", Value.Int 1) ] ()) in
+  let impl = ok (Database.new_object db2 ~ty:"Impl" ()) in
+  let link = ok (Database.bind db2 ~via:"R" ~transmitter:iface ~inheritor:impl ()) in
+  let _ =
+    ok
+      (Database.new_subobject db2 ~parent:link ~subclass:"Notes"
+         ~attrs:[ ("Text", Value.Str "n") ]
+         ())
+  in
+  check_int "note attached" 1 (List.length (ok (Database.subclass_members db2 link "Notes")))
+
+let suite =
+  ( "ddl",
+    [
+      case "lexer basics" test_lexer_basics;
+      case "comments and lexical errors" test_lexer_comments_and_errors;
+      case "expression forms (paper syntax)" test_parse_expr_forms;
+      case "parse errors carry positions" test_parse_errors_have_positions;
+      case "elaboration of a small schema" test_elaborate_small_schema;
+      case "duplicate load rejected" test_duplicate_load_rejected;
+      case "round-trip: gates schema" test_roundtrip_gates;
+      case "round-trip: steel schema" test_roundtrip_steel;
+      QCheck_alcotest.to_alcotest prop_expr_roundtrip;
+      case "malformed declarations rejected" test_malformed_declarations;
+      case "elaboration errors surface" test_elaboration_errors_surface;
+      case "comment-only and empty inputs" test_comment_only_and_empty_inputs;
+      case "enum literals vs binder scoping" test_enum_literal_scoping;
+      QCheck_alcotest.to_alcotest prop_parser_never_raises;
+      QCheck_alcotest.to_alcotest prop_lexer_never_raises;
+      case "inher-rel subclasses round-trip" test_inher_subclasses_roundtrip;
+    ] )

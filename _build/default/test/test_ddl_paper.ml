@@ -1,0 +1,236 @@
+(* L1/L2/L3: the paper's listings, loaded from schemas/*.ddl through the
+   full lexer/parser/elaborator pipeline, then exercised end-to-end to show
+   the loaded schema behaves exactly like the programmatic one. *)
+
+open Compo_core
+open Helpers
+module E = Compo_ddl.Elaborate
+module Ddl = Compo_scenarios.Paper_ddl
+
+let paper_db () =
+  let db = Database.create () in
+  ok (E.load_string db Ddl.gates);
+  ok (E.load_string db Ddl.steel);
+  db
+
+let test_gates_listing_loads () =
+  let db = Database.create () in
+  ok (E.load_string db Ddl.gates);
+  let s = Database.schema db in
+  List.iter
+    (fun name ->
+      match Schema.find s name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "type %s missing after load" name)
+    [
+      "PinType";
+      "WireType";
+      "SimpleGate";
+      "ElementaryGate";
+      "Gate";
+      "GateInterface_I";
+      "AllOf_GateInterface_I";
+      "GateInterface";
+      "AllOf_GateInterface";
+      "GateImplementation";
+      "GateImplementation.SubGates";
+      "SomeOf_Gate";
+      "TimingProbe";
+    ]
+
+let test_steel_listing_loads () =
+  let db = paper_db () in
+  let s = Database.schema db in
+  List.iter
+    (fun name ->
+      match Schema.find s name with
+      | Some _ -> ()
+      | None -> Alcotest.failf "type %s missing after load" name)
+    [
+      "BoltType";
+      "NutType";
+      "BoreType";
+      "GirderInterface";
+      "PlateInterface";
+      "AllOf_GirderIf";
+      "Girder";
+      "Plate";
+      "ScrewingType";
+      "ScrewingType.Bolt";
+      "ScrewingType.Nut";
+      "WeightCarrying_Structure";
+      "WeightCarrying_Structure.Girders";
+    ]
+
+let test_loaded_schema_inherits () =
+  let db = Database.create () in
+  ok (E.load_string db Ddl.gates);
+  (* interface -> implementation inheritance through the loaded types *)
+  let pin_if = ok (Database.new_object db ~ty:"GateInterface_I" ()) in
+  let _ =
+    ok
+      (Database.new_subobject db ~parent:pin_if ~subclass:"Pins"
+         ~attrs:[ ("InOut", Value.Enum_case "IN"); ("PinLocation", Value.point 0 0) ]
+         ())
+  in
+  let iface =
+    ok
+      (Database.new_object db ~ty:"GateInterface"
+         ~attrs:[ ("Length", Value.Int 4); ("Width", Value.Int 2) ]
+         ())
+  in
+  let _ =
+    ok
+      (Database.bind db ~via:"AllOf_GateInterface_I" ~transmitter:pin_if
+         ~inheritor:iface ())
+  in
+  let impl = ok (Database.new_object db ~ty:"GateImplementation" ()) in
+  let _ =
+    ok
+      (Database.bind db ~via:"AllOf_GateInterface" ~transmitter:iface
+         ~inheritor:impl ())
+  in
+  check_value "Length through loaded schema" (Value.Int 4)
+    (ok (Database.get_attr db impl "Length"));
+  check_int "Pins through two loaded hops" 1
+    (List.length (ok (Database.subclass_members db impl "Pins")));
+  expect_error
+    (function Errors.Inherited_readonly _ -> true | _ -> false)
+    (Database.set_attr db impl "Width" (Value.Int 9))
+
+let test_loaded_constraints_work () =
+  let db = Database.create () in
+  ok (E.load_string db Ddl.gates);
+  let g =
+    ok
+      (Database.new_object db ~ty:"SimpleGate"
+         ~attrs:
+           [
+             ("Length", Value.Int 4);
+             ("Width", Value.Int 2);
+             ("Function", Value.Enum_case "AND");
+             ( "Pins",
+               Value.set
+                 [
+                   Value.record [ ("PinId", Value.Int 1); ("InOut", Value.Enum_case "IN") ];
+                   Value.record [ ("PinId", Value.Int 2); ("InOut", Value.Enum_case "IN") ];
+                   Value.record [ ("PinId", Value.Int 3); ("InOut", Value.Enum_case "OUT") ];
+                 ] );
+           ]
+         ())
+  in
+  check_no_violations "paper pin-count constraints hold" (ok (Database.validate db g));
+  ok
+    (Database.set_attr db g "Pins"
+       (Value.set
+          [ Value.record [ ("PinId", Value.Int 1); ("InOut", Value.Enum_case "IN") ] ]));
+  check_bool "violations detected through loaded constraints" true
+    (ok (Database.validate db g) <> [])
+
+let test_loaded_screwing_constraints () =
+  let db = paper_db () in
+  (* a structure through the loaded steel schema *)
+  let iface =
+    ok
+      (Database.new_object db ~ty:"GirderInterface"
+         ~attrs:
+           [ ("Length", Value.Int 100); ("Height", Value.Int 10); ("Width", Value.Int 10) ]
+         ())
+  in
+  let bore =
+    ok
+      (Database.new_subobject db ~parent:iface ~subclass:"Bores"
+         ~attrs:
+           [
+             ("Diameter", Value.Int 10);
+             ("Length", Value.Int 4);
+             ("Position", Value.point 0 0);
+           ]
+         ())
+  in
+  let structure =
+    ok
+      (Database.new_object db ~ty:"WeightCarrying_Structure"
+         ~attrs:[ ("Designer", Value.Str "W"); ("Description", Value.Str "demo") ]
+         ())
+  in
+  let comp = ok (Database.new_subobject db ~parent:structure ~subclass:"Girders" ()) in
+  let _ =
+    ok (Database.bind db ~via:"AllOf_GirderIf" ~transmitter:iface ~inheritor:comp ())
+  in
+  let screwing =
+    ok
+      (Database.new_subrel db ~parent:structure ~subrel:"Screwings"
+         ~participants:[ ("Bores", Value.set [ Value.Ref bore ]) ]
+         ~attrs:[ ("Strength", Value.Int 10) ]
+         ())
+  in
+  let bolt =
+    ok
+      (Database.new_object db ~ty:"BoltType"
+         ~attrs:[ ("Length", Value.Int 5); ("Diameter", Value.Int 10) ]
+         ())
+  in
+  let nut =
+    ok
+      (Database.new_object db ~ty:"NutType"
+         ~attrs:[ ("Length", Value.Int 1); ("Diameter", Value.Int 10) ]
+         ())
+  in
+  let bolt_sub = ok (Database.new_subobject db ~parent:screwing ~subclass:"Bolt" ()) in
+  let _ = ok (Database.bind db ~via:"AllOf_BoltType" ~transmitter:bolt ~inheritor:bolt_sub ()) in
+  let nut_sub = ok (Database.new_subobject db ~parent:screwing ~subclass:"Nut" ()) in
+  let _ = ok (Database.bind db ~via:"AllOf_NutType" ~transmitter:nut ~inheritor:nut_sub ()) in
+  check_no_violations "paper screwing constraints hold (5 = 1 + 4)"
+    (ok (Database.validate db screwing));
+  (* shrink the bolt: bolt_length must fire *)
+  ok (Database.set_attr db bolt "Length" (Value.Int 2));
+  check_bool "bolt_length fires through the loaded schema" true
+    (List.exists
+       (fun v -> v.Constraints.v_constraint = "bolt_length")
+       (ok (Database.validate db screwing)))
+
+let test_loaded_wires_where () =
+  let db = Database.create () in
+  ok (E.load_string db Ddl.gates);
+  let gate =
+    ok
+      (Database.new_object db ~ty:"Gate"
+         ~attrs:[ ("Length", Value.Int 10); ("Width", Value.Int 5) ]
+         ())
+  in
+  let pin =
+    ok
+      (Database.new_subobject db ~parent:gate ~subclass:"Pins"
+         ~attrs:[ ("InOut", Value.Enum_case "IN"); ("PinLocation", Value.point 0 0) ]
+         ())
+  in
+  (* a pin of a different gate: rejected by the loaded where-clause *)
+  let other =
+    ok
+      (Database.new_object db ~ty:"Gate"
+         ~attrs:[ ("Length", Value.Int 10); ("Width", Value.Int 5) ]
+         ())
+  in
+  let foreign =
+    ok
+      (Database.new_subobject db ~parent:other ~subclass:"Pins"
+         ~attrs:[ ("InOut", Value.Enum_case "OUT"); ("PinLocation", Value.point 1 1) ]
+         ())
+  in
+  expect_error
+    (function Errors.Constraint_violation _ -> true | _ -> false)
+    (Database.new_subrel db ~parent:gate ~subrel:"Wires"
+       ~participants:[ ("Pin1", Value.Ref pin); ("Pin2", Value.Ref foreign) ]
+       ())
+
+let suite =
+  ( "ddl-paper",
+    [
+      case "L1/L2: gates listings load" test_gates_listing_loads;
+      case "L3: steel listings load" test_steel_listing_loads;
+      case "loaded schema: inheritance works" test_loaded_schema_inherits;
+      case "loaded schema: pin-count constraints" test_loaded_constraints_work;
+      case "loaded schema: screwing constraints (C8)" test_loaded_screwing_constraints;
+      case "loaded schema: Wires where-clause" test_loaded_wires_where;
+    ] )

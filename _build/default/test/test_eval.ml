@@ -1,0 +1,201 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+
+let eval_on db self expr =
+  Eval.eval (Eval.env ~self (Database.store db)) expr
+
+let eval_bool_on db self expr =
+  Eval.eval_bool (Eval.env ~self (Database.store db)) expr
+
+let test_arithmetic () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  check_value "L + W" (Value.Int 6)
+    (ok (eval_on db g Expr.(path [ "Length" ] + path [ "Width" ])));
+  check_value "precedence-free tree" (Value.Int 800)
+    (ok (eval_on db g Expr.(int 100 * path [ "Length" ] * path [ "Width" ])));
+  check_value "division" (Value.Int 2)
+    (ok (eval_on db g Expr.(path [ "Length" ] / path [ "Width" ])));
+  expect_error any_error (eval_on db g Expr.(path [ "Length" ] / int 0))
+
+let test_comparisons_and_logic () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  check_bool "lt" true (ok (eval_bool_on db g Expr.(path [ "Width" ] < path [ "Length" ])));
+  check_bool "and/or" true
+    (ok
+       (eval_bool_on db g
+          Expr.((path [ "Width" ] = int 2 && path [ "Length" ] = int 4) || int 1 = int 2)));
+  check_bool "not" false (ok (eval_bool_on db g Expr.(not_ (path [ "Width" ] = int 2))));
+  check_bool "int/real comparison coerces" true
+    (ok (eval_bool_on db g Expr.(Const (Value.Real 2.0) = path [ "Width" ])))
+
+let test_path_into_record_attr () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let sub = List.hd (ok (Database.subclass_members db ff "SubGates")) in
+  (* GatePosition.X through a record-valued attribute *)
+  check_value "record field path" (Value.Int 3)
+    (ok (eval_on db sub (Expr.path [ "GatePosition"; "X" ])))
+
+let test_count_with_filter () =
+  let db = gates_db () in
+  (* over an attribute-valued set of records (SimpleGate.Pins) *)
+  let sg = ok (G.new_simple_gate db ~func:"NOR" ~length:4 ~width:2) in
+  check_value "count where IN over value collection" (Value.Int 2)
+    (ok
+       (eval_on db sg
+          Expr.(count ~where:(path [ "Pins"; "InOut" ] = enum "IN") [ "Pins" ])));
+  (* over a subclass of entities (ElementaryGate.Pins) *)
+  let eg = ok (G.new_elementary_gate db ~func:"NOR" ~x:0 ~y:0 ()) in
+  check_value "count where OUT over subobjects" (Value.Int 1)
+    (ok
+       (eval_on db eg
+          Expr.(count ~where:(path [ "Pins"; "InOut" ] = enum "OUT") [ "Pins" ])));
+  check_value "unfiltered count" (Value.Int 3) (ok (eval_on db eg Expr.(count [ "Pins" ])))
+
+let test_sum_over_path () =
+  let db = steel_db () in
+  let iface =
+    ok
+      (Compo_scenarios.Steel.new_girder_interface db ~length:100 ~height:10
+         ~width:10
+         ~bores:[ (10, 2, (0, 0)); (10, 3, (5, 0)); (12, 5, (9, 0)) ])
+  in
+  check_value "sum of bore lengths" (Value.Int 10)
+    (ok (eval_on db iface Expr.(sum [ "Bores"; "Length" ])))
+
+let test_membership_in_class_path () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let own_pin = List.hd (ok (Database.subclass_members db ff "Pins")) in
+  let sub = List.hd (ok (Database.subclass_members db ff "SubGates")) in
+  let sub_pin = ok (G.pin db sub 0) in
+  let env = Eval.env ~self:ff (Database.store db) in
+  let member pin path_segs =
+    ok
+      (Eval.eval_bool
+         (Eval.with_var env "p" (Eval.E pin))
+         Expr.(in_ (path [ "p" ]) (path path_segs)))
+  in
+  check_bool "own pin in Pins" true (member own_pin [ "Pins" ]);
+  check_bool "own pin not in SubGates.Pins" false (member own_pin [ "SubGates"; "Pins" ]);
+  check_bool "subgate pin in SubGates.Pins" true (member sub_pin [ "SubGates"; "Pins" ]);
+  check_bool "subgate pin not in Pins" false (member sub_pin [ "Pins" ])
+
+let test_forall_exists () =
+  let db = gates_db () in
+  let eg = ok (G.new_elementary_gate db ~func:"NOR" ~x:0 ~y:0 ()) in
+  check_bool "forall pins have a location" true
+    (ok
+       (eval_bool_on db eg
+          Expr.(forall [ ("p", [ "Pins" ]) ] (not_ (path [ "p"; "PinLocation" ] = Const Value.Null)))));
+  check_bool "exists an OUT pin" true
+    (ok
+       (eval_bool_on db eg
+          Expr.(exists [ ("p", [ "Pins" ]) ] (path [ "p"; "InOut" ] = enum "OUT"))));
+  check_bool "forall over empty range is true" true
+    (ok
+       (let impl = ok (Database.new_object db ~ty:"GateImplementation" ()) in
+        eval_bool_on db impl
+          Expr.(forall [ ("s", [ "SubGates" ]) ] (int 1 = int 2))));
+  check_bool "exists over empty range is false" false
+    (ok
+       (let impl = ok (Database.new_object db ~ty:"GateImplementation" ()) in
+        eval_bool_on db impl
+          Expr.(exists [ ("s", [ "SubGates" ]) ] (int 1 = int 1))))
+
+let test_paths_through_inheritance () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  (* count pins of the implementation: resolved through the binding *)
+  check_value "count inherited Pins" (Value.Int 3)
+    (ok (eval_on db impl Expr.(count [ "Pins" ])));
+  check_value "inherited Length in arithmetic" (Value.Int 8)
+    (ok (eval_on db impl Expr.(path [ "Length" ] + path [ "Length" ])))
+
+let test_class_head_resolution () =
+  let db = gates_db () in
+  let _ = ok (G.nor_interface db) in
+  let _ = ok (G.nor_interface db) in
+  (* no self: head resolves against top-level class names *)
+  let env = Eval.env (Database.store db) in
+  check_value "count over a class" (Value.Int 2)
+    (ok (Eval.eval env Expr.(count [ "Interfaces" ])))
+
+let test_scalar_context_errors () =
+  let db = gates_db () in
+  let eg = ok (G.new_elementary_gate db ~func:"NOR" ~x:0 ~y:0 ()) in
+  expect_error ~msg:"multi-valued path in scalar context" any_error
+    (eval_on db eg Expr.(path [ "Pins"; "InOut" ] = enum "IN"));
+  expect_error ~msg:"unknown head" any_error (eval_on db eg (Expr.path [ "Zorp" ]))
+
+let test_empty_path_is_null () =
+  let db = gates_db () in
+  let impl = ok (Database.new_object db ~ty:"GateImplementation" ()) in
+  (* unbound: Pins resolves to no members; scalar context yields Null *)
+  check_value "empty path scalar" Value.Null
+    (ok (eval_on db impl (Expr.path [ "SubGates"; "GateLocation" ])))
+
+
+
+let test_arithmetic_edge_cases () =
+  let db = gates_db () in
+  let g = ok (Database.new_object db ~ty:"SimpleGate" ()) in
+  (* Length is uninitialised: Null in arithmetic is an error, not 0 *)
+  expect_error
+    (function Errors.Eval_error _ -> true | _ -> false)
+    (eval_on db g Expr.(path [ "Length" ] + int 1));
+  (* ... but Null compares (rank order) without failing *)
+  check_bool "Null < 1" true (ok (eval_bool_on db g Expr.(path [ "Length" ] < int 1)));
+  (* equality with Null *)
+  check_bool "Null = Null" true
+    (ok (eval_bool_on db g Expr.(path [ "Length" ] = Const Value.Null)))
+
+let test_in_with_inline_collections () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  (* rhs is an attribute holding a set of records: member test by value *)
+  let member =
+    Expr.(
+      in_
+        (Const (Value.record [ ("PinId", Value.Int 1); ("InOut", Value.Enum_case "IN") ]))
+        (path [ "Pins" ]))
+  in
+  check_bool "record in set-valued attribute" true (ok (eval_bool_on db g member));
+  let not_member =
+    Expr.(
+      in_
+        (Const (Value.record [ ("PinId", Value.Int 9); ("InOut", Value.Enum_case "IN") ]))
+        (path [ "Pins" ]))
+  in
+  check_bool "absent record" false (ok (eval_bool_on db g not_member))
+
+let test_matrix_attribute_scalar () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  (* a matrix attribute can be read and compared for equality as a value *)
+  let m = ok (Database.get_attr db ff "Function") in
+  check_bool "matrix equality through eval" true
+    (ok (eval_bool_on db ff Expr.(path [ "Function" ] = Const m)))
+
+let suite =
+  ( "eval",
+    [
+      case "arithmetic" test_arithmetic;
+      case "comparisons and logic" test_comparisons_and_logic;
+      case "record field paths" test_path_into_record_attr;
+      case "count with filter (paper syntax)" test_count_with_filter;
+      case "sum over a path" test_sum_over_path;
+      case "membership in class paths (Wires where-clause)" test_membership_in_class_path;
+      case "forall / exists" test_forall_exists;
+      case "paths resolve through inheritance" test_paths_through_inheritance;
+      case "class names as path heads" test_class_head_resolution;
+      case "scalar context errors" test_scalar_context_errors;
+      case "empty path yields Null" test_empty_path_is_null;
+      case "arithmetic edge cases" test_arithmetic_edge_cases;
+      case "membership with inline collections" test_in_with_inline_collections;
+      case "matrix attributes as values" test_matrix_attribute_scalar;
+    ] )

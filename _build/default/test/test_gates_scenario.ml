@@ -1,0 +1,175 @@
+(* End-to-end reproduction of the paper's chip-design figures:
+   F1 (Figure 1: complex object "Flip-Flop"),
+   F2 (Figure 2: GateInterface -> GateImplementation),
+   F3 (Figure 3: component + interface relationships together),
+   F4 (Figure 4: GateInterface in both roles),
+   and claim C6 (component subobjects add local data). *)
+
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+
+(* F1: the flip-flop of Figure 1 — structure and wiring. *)
+let test_flip_flop_structure () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  check_int "4 external pins" 4 (List.length (ok (Database.subclass_members db ff "Pins")));
+  let subgates = ok (Database.subclass_members db ff "SubGates") in
+  check_int "2 subgates" 2 (List.length subgates);
+  List.iter
+    (fun g ->
+      check_value "both subgates are NOR" (Value.Enum_case "NOR")
+        (ok (Database.get_attr db g "Function")))
+    subgates;
+  (* Figure 1 shows wires relating pins of the gate itself to pins of
+     subgates AND pins of subgates to each other; verify both kinds *)
+  let wires = ok (Database.subrel_members db ff "Wires") in
+  let own_pins = ok (Database.subclass_members db ff "Pins") in
+  let owner_kind pin =
+    if List.exists (Surrogate.equal pin) own_pins then `External else `Internal
+  in
+  let kinds =
+    List.map
+      (fun w ->
+        let p1 = Option.get (Value.as_ref (ok (Database.participant db w "Pin1"))) in
+        let p2 = Option.get (Value.as_ref (ok (Database.participant db w "Pin2"))) in
+        (owner_kind p1, owner_kind p2))
+      wires
+  in
+  check_bool "cross-level wires exist" true
+    (List.exists (fun k -> k = (`External, `Internal)) kinds);
+  check_bool "internal wires exist" true
+    (List.exists (fun k -> k = (`Internal, `Internal)) kinds);
+  check_no_violations "flip-flop is consistent" (ok (Database.validate db ff))
+
+(* F2: implementations inherit Length/Width/Pins from their interface. *)
+let test_interface_implementation () =
+  let db = gates_db () in
+  let pi = ok (G.new_pin_interface db ~pins:[ G.In; G.In; G.Out ]) in
+  let iface = ok (G.new_interface db ~pin_interface:pi ~length:7 ~width:3) in
+  let impl_a = ok (G.new_implementation db ~interface:iface ()) in
+  let impl_b = ok (G.new_implementation db ~interface:iface ()) in
+  (* "All implementations of a specific gate are restricted to having the
+     same interface": identical inherited data, shared pin objects *)
+  List.iter
+    (fun impl ->
+      check_value "Length" (Value.Int 7) (ok (Database.get_attr db impl "Length"));
+      check_value "Width" (Value.Int 3) (ok (Database.get_attr db impl "Width")))
+    [ impl_a; impl_b ];
+  let pins_a = ok (Database.subclass_members db impl_a "Pins") in
+  let pins_b = ok (Database.subclass_members db impl_b "Pins") in
+  Alcotest.(check (list surrogate)) "same pin objects" pins_a pins_b;
+  (* implementations differ in their own data *)
+  ok (Database.set_attr db impl_a "TimeBehavior" (Value.Int 10));
+  ok (Database.set_attr db impl_b "TimeBehavior" (Value.Int 20));
+  check_bool "implementations independent" true
+    (not
+       (Value.equal
+          (ok (Database.get_attr db impl_a "TimeBehavior"))
+          (ok (Database.get_attr db impl_b "TimeBehavior"))))
+
+(* F3 + C6: a composite uses a component through its interface; the
+   component subobject adds placement data to the inherited data. *)
+let test_composite_component () =
+  let db = gates_db () in
+  let nor_iface = ok (G.nor_interface db) in
+  let _nor_impl = ok (G.nor_implementation db ~interface:nor_iface) in
+  let ff_iface = ok (G.nor_interface db) in
+  let ff = ok (G.new_implementation db ~interface:ff_iface ()) in
+  let sub1 = ok (G.use_component db ~composite:ff ~component_interface:nor_iface ~x:3 ~y:0) in
+  let sub2 = ok (G.use_component db ~composite:ff ~component_interface:nor_iface ~x:3 ~y:4) in
+  (* C6: local placement data coexists with inherited component data *)
+  check_value "own GateLocation" (Value.point 3 0) (ok (Database.get_attr db sub1 "GateLocation"));
+  check_value "inherited Length" (Value.Int 4) (ok (Database.get_attr db sub1 "Length"));
+  check_int "inherited pins visible in the composite" 3
+    (List.length (ok (Database.subclass_members db sub1 "Pins")));
+  (* both uses share the component's pin objects (it is the same interface) *)
+  Alcotest.(check (list surrogate))
+    "shared component pins"
+    (ok (Database.subclass_members db sub1 "Pins"))
+    (ok (Database.subclass_members db sub2 "Pins"));
+  (* wire a component pin to an external pin of the composite: the Wires
+     where-clause accepts subgate pins reached through inheritance *)
+  let ext = List.hd (ok (Database.subclass_members db ff "Pins")) in
+  let comp_pin = List.hd (ok (Database.subclass_members db sub1 "Pins")) in
+  let _ = ok (G.wire db ~parent:ff ~from_pin:ext ~to_pin:comp_pin) in
+  check_no_violations "composite consistent" (ok (Database.validate db ff))
+
+(* F4: the same GateInterface object serves as interface of one
+   implementation and as component inside another. *)
+let test_dual_role () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let own_impl = ok (G.new_implementation db ~interface:iface ()) in
+  let other_iface = ok (G.nor_interface db) in
+  let composite = ok (G.new_implementation db ~interface:other_iface ()) in
+  let comp_use = ok (G.use_component db ~composite ~component_interface:iface ~x:0 ~y:0) in
+  (* one transmitter, two inheritors playing different roles *)
+  let inheritors = ok (Database.inheritors_of db iface) in
+  check_int "two inheritors" 2 (List.length inheritors);
+  check_bool "roles distinguished" true
+    (let impls = ok (Database.implementations_of db iface) in
+     let users = ok (Database.where_used db iface) in
+     impls = [ own_impl ] && users = [ composite ]);
+  (* updates to the shared interface reach both roles *)
+  ok (Database.set_attr db iface "Length" (Value.Int 11));
+  check_value "implementation sees it" (Value.Int 11)
+    (ok (Database.get_attr db own_impl "Length"));
+  check_value "component use sees it" (Value.Int 11)
+    (ok (Database.get_attr db comp_use "Length"))
+
+(* Section 4.3: permeability tailored per relationship (SomeOf_Gate
+   passes TimeBehavior, AllOf_GateInterface does not carry it). *)
+let test_tailored_permeability () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ~time_behavior:9 ()) in
+  let probe = ok (G.new_timing_probe db ~implementation:impl ~note:"sim") in
+  check_value "probe sees TimeBehavior" (Value.Int 9)
+    (ok (Database.get_attr db probe "TimeBehavior"));
+  check_value "probe sees pins through two relationships" (Value.Int 3)
+    (ok
+       (Eval.eval
+          (Eval.env ~self:probe (Database.store db))
+          Expr.(count [ "Pins" ])));
+  (* the probe's own note is local *)
+  check_value "own data" (Value.Str "sim") (ok (Database.get_attr db probe "ProbeNote"))
+
+(* Abstraction hierarchies (section 4.2): interfaces sharing a pin
+   interface differ in expansion; pins flow from the shared level. *)
+let test_interface_hierarchy () =
+  let db = gates_db () in
+  let pins = ok (G.new_pin_interface db ~pins:[ G.In; G.In; G.Out ]) in
+  let small = ok (G.new_interface db ~pin_interface:pins ~length:4 ~width:2) in
+  let large = ok (G.new_interface db ~pin_interface:pins ~length:8 ~width:4) in
+  Alcotest.(check (list surrogate))
+    "same pins at both interface versions"
+    (ok (Database.subclass_members db small "Pins"))
+    (ok (Database.subclass_members db large "Pins"));
+  check_bool "different expansions" true
+    (not
+       (Value.equal
+          (ok (Database.get_attr db small "Length"))
+          (ok (Database.get_attr db large "Length"))));
+  (* adding a pin at the abstract level appears everywhere below *)
+  let impl = ok (G.new_implementation db ~interface:small ()) in
+  let before = List.length (ok (Database.subclass_members db impl "Pins")) in
+  let _ =
+    ok
+      (Database.new_subobject db ~parent:pins ~subclass:"Pins"
+         ~attrs:[ ("InOut", G.io_value G.In); ("PinLocation", Value.point 0 9) ]
+         ())
+  in
+  check_int "new pin visible two levels down" (before + 1)
+    (List.length (ok (Database.subclass_members db impl "Pins")))
+
+let suite =
+  ( "gates-scenario",
+    [
+      case "F1: flip-flop complex object" test_flip_flop_structure;
+      case "F2: interface/implementation" test_interface_implementation;
+      case "F3+C6: composite with placed components" test_composite_component;
+      case "F4: one interface, two roles" test_dual_role;
+      case "section 4.3: tailored permeability" test_tailored_permeability;
+      case "section 4.2: abstraction hierarchy" test_interface_hierarchy;
+    ] )

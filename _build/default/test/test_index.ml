@@ -1,0 +1,210 @@
+open Compo_core
+open Helpers
+
+(* A simple catalog schema for index tests. *)
+let catalog_db () =
+  let db = Database.create () in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Part";
+         ot_inheritor_in = None;
+         ot_attrs =
+           [
+             { Schema.attr_name = "Kind"; attr_domain = Domain.String };
+             { Schema.attr_name = "Weight"; attr_domain = Domain.Integer };
+           ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok (Database.create_class db ~name:"Parts" ~member_type:"Part");
+  db
+
+let new_part db kind weight =
+  ok
+    (Database.new_object db ~cls:"Parts" ~ty:"Part"
+       ~attrs:[ ("Kind", Value.Str kind); ("Weight", Value.Int weight) ]
+       ())
+
+let test_basic_lookup () =
+  let db = catalog_db () in
+  let bolt1 = new_part db "bolt" 5 in
+  let _nut = new_part db "nut" 2 in
+  let bolt2 = new_part db "bolt" 7 in
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  let found =
+    ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str "bolt") ())
+  in
+  Alcotest.(check (list surrogate)) "both bolts" [ bolt1; bolt2 ] found;
+  check_int "no screws" 0
+    (List.length
+       (ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str "screw") ())))
+
+let test_index_actually_used () =
+  let db = catalog_db () in
+  let _ = new_part db "bolt" 5 in
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  let store = Database.store db in
+  let ix = ok (Index.create store ~cls:"Parts" ~attr:"Weight") in
+  check_int "fresh index unused" 0 (Index.hits ix);
+  let _ = Index.lookup ix (Value.Int 5) in
+  check_int "lookup counted" 1 (Index.hits ix);
+  (* reversed operand order also hits the Database-registered index *)
+  let a =
+    ok (Database.select db ~cls:"Parts" ~where:Expr.(str "bolt" = path [ "Kind" ]) ())
+  in
+  check_int "reversed equality answered" 1 (List.length a);
+  (* non-equality predicates fall back to the scan *)
+  let b =
+    ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Weight" ] > int 1) ())
+  in
+  check_int "scan fallback" 1 (List.length b);
+  Index.drop ix
+
+let test_index_tracks_updates () =
+  let db = catalog_db () in
+  let p = new_part db "bolt" 5 in
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  let by_kind k =
+    ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str k) ())
+  in
+  check_int "indexed as bolt" 1 (List.length (by_kind "bolt"));
+  ok (Database.set_attr db p "Kind" (Value.Str "nut"));
+  check_int "old key vacated" 0 (List.length (by_kind "bolt"));
+  check_int "new key found" 1 (List.length (by_kind "nut"))
+
+let test_index_tracks_deletion_and_membership () =
+  let db = catalog_db () in
+  let store = Database.store db in
+  let p = new_part db "bolt" 5 in
+  let q = new_part db "bolt" 6 in
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  let bolts () =
+    List.length
+      (ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str "bolt") ()))
+  in
+  check_int "two bolts" 2 (bolts ());
+  ok (Database.delete db p);
+  check_int "deletion tracked" 1 (bolts ());
+  ok (Store.remove_from_class store ~cls:"Parts" q);
+  check_int "class removal tracked" 0 (bolts ());
+  ok (Store.insert_into_class store ~cls:"Parts" q);
+  check_int "re-insertion tracked" 1 (bolts ())
+
+let test_index_rejects_inherited_attr () =
+  let db = gates_db () in
+  expect_error
+    (function Errors.Schema_error _ -> true | _ -> false)
+    (Database.create_index db ~cls:"Implementations" ~attr:"Length");
+  (* own attributes of the same class are fine *)
+  ok (Database.create_index db ~cls:"Implementations" ~attr:"TimeBehavior")
+
+let test_index_registration () =
+  let db = catalog_db () in
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  expect_error any_error (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  expect_error any_error (Database.create_index db ~cls:"Nowhere" ~attr:"Kind");
+  expect_error any_error (Database.create_index db ~cls:"Parts" ~attr:"Missing");
+  Alcotest.(check (list (pair string string)))
+    "registered" [ ("Parts", "Kind") ] (Database.indexes db);
+  ok (Database.drop_index db ~cls:"Parts" ~attr:"Kind");
+  Alcotest.(check (list (pair string string))) "dropped" [] (Database.indexes db)
+
+(* Property: under random create/update/delete sequences, the index agrees
+   with the scan for every key. *)
+let prop_index_agrees_with_scan =
+  QCheck.Test.make ~name:"index agrees with scan under random mutations" ~count:60
+    QCheck.(small_list (triple (int_bound 3) (int_bound 4) (int_bound 99)))
+    (fun ops ->
+      let db = catalog_db () in
+      ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+      let kinds = [| "bolt"; "nut"; "washer"; "screw"; "rivet" |] in
+      let parts = ref [] in
+      List.iter
+        (fun (op, k, w) ->
+          let kind = kinds.(k mod Array.length kinds) in
+          match op with
+          | 0 -> parts := new_part db kind w :: !parts
+          | 1 -> (
+              match !parts with
+              | p :: _ -> ignore (Database.set_attr db p "Kind" (Value.Str kind))
+              | [] -> ())
+          | 2 -> (
+              match !parts with
+              | p :: rest ->
+                  parts := rest;
+                  ignore (Database.delete db ~force:true p)
+              | [] -> ())
+          | _ -> (
+              match !parts with
+              | p :: _ -> ignore (Database.set_attr db p "Weight" (Value.Int w))
+              | [] -> ()))
+        ops;
+      Array.for_all
+        (fun kind ->
+          let where = Expr.(path [ "Kind" ] = str kind) in
+          let indexed =
+            List.sort Surrogate.compare (ok (Database.select db ~cls:"Parts" ~where ()))
+          in
+          let scanned =
+            List.sort Surrogate.compare
+              (ok (Query.select (Database.store db) ~cls:"Parts" ~where ()))
+          in
+          indexed = scanned)
+        kinds)
+
+
+
+(* Indexes are runtime structures: after journal recovery they are rebuilt
+   over the recovered extent and keep serving. *)
+let test_index_over_recovered_database () =
+  let dir = Filename.temp_file "compo-index" "" in
+  Sys.remove dir;
+  let j = ok (Compo_storage.Journal.open_dir dir) in
+  let db = Compo_storage.Journal.db j in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Part";
+         ot_inheritor_in = None;
+         ot_attrs = [ { Schema.attr_name = "Kind"; attr_domain = Domain.String } ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok (Database.create_class db ~name:"Parts" ~member_type:"Part");
+  ok (Compo_storage.Journal.checkpoint j);
+  let p1 =
+    ok (Compo_storage.Journal.new_object j ~cls:"Parts" ~ty:"Part"
+          ~attrs:[ ("Kind", Value.Str "bolt") ] ())
+  in
+  Compo_storage.Journal.close j;
+  let j2 = ok (Compo_storage.Journal.open_dir dir) in
+  let db2 = Compo_storage.Journal.db j2 in
+  ok (Database.create_index db2 ~cls:"Parts" ~attr:"Kind");
+  Alcotest.(check (list surrogate)) "index serves recovered data" [ p1 ]
+    (ok (Database.select db2 ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str "bolt") ()));
+  (* and keeps tracking post-recovery mutations *)
+  let p2 =
+    ok (Compo_storage.Journal.new_object j2 ~cls:"Parts" ~ty:"Part"
+          ~attrs:[ ("Kind", Value.Str "bolt") ] ())
+  in
+  check_int "new object indexed" 2
+    (List.length
+       (ok (Database.select db2 ~cls:"Parts" ~where:Expr.(path [ "Kind" ] = str "bolt") ())));
+  ignore p2;
+  Compo_storage.Journal.close j2
+
+let suite =
+  ( "index",
+    [
+      case "basic lookup" test_basic_lookup;
+      case "index actually used / scan fallback" test_index_actually_used;
+      case "index tracks attribute updates" test_index_tracks_updates;
+      case "index tracks deletion and class membership" test_index_tracks_deletion_and_membership;
+      case "inherited attributes cannot be indexed" test_index_rejects_inherited_attr;
+      case "registration and dropping" test_index_registration;
+      QCheck_alcotest.to_alcotest prop_index_agrees_with_scan;
+      case "index over a recovered database" test_index_over_recovered_database;
+    ] )

@@ -1,0 +1,140 @@
+(* Structural-invariant hardening: random operation sequences must leave
+   the store healthy (Store.check_invariants = []), whatever interleaving
+   of creates, binds, unbinds, updates, deletes, and clones occurs. *)
+
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+
+type op = int * int * int (* opcode, two operand seeds *)
+
+let apply_op db ifaces impls (code, a, b) =
+  let pick xs seed =
+    match !xs with [] -> None | l -> Some (List.nth l (seed mod List.length l))
+  in
+  let store = Database.store db in
+  match code mod 8 with
+  | 0 ->
+      (* new interface *)
+      (match G.nor_interface db with
+      | Ok i -> ifaces := i :: !ifaces
+      | Error _ -> ())
+  | 1 -> (
+      (* new implementation bound to some interface *)
+      match pick ifaces a with
+      | Some iface -> (
+          match G.new_implementation db ~interface:iface ~time_behavior:(b mod 9) () with
+          | Ok impl -> impls := impl :: !impls
+          | Error _ -> ())
+      | None -> ())
+  | 2 -> (
+      (* component use *)
+      match (pick impls a, pick ifaces b) with
+      | Some composite, Some component_interface ->
+          ignore (G.use_component db ~composite ~component_interface ~x:a ~y:b)
+      | _ -> ())
+  | 3 -> (
+      (* update an interface attribute (stamps links stale) *)
+      match pick ifaces a with
+      | Some iface -> ignore (Database.set_attr db iface "Length" (Value.Int (b mod 50)))
+      | None -> ())
+  | 4 -> (
+      (* unbind an implementation *)
+      match pick impls a with
+      | Some impl -> ignore (Database.unbind db impl)
+      | None -> ())
+  | 5 -> (
+      (* rebind an unbound implementation *)
+      match (pick impls a, pick ifaces b) with
+      | Some impl, Some iface ->
+          ignore
+            (Database.bind db ~via:"AllOf_GateInterface" ~transmitter:iface
+               ~inheritor:impl ())
+      | _ -> ())
+  | 6 -> (
+      (* force-delete something *)
+      if b mod 2 = 0 then (
+        match pick impls a with
+        | Some impl ->
+            impls := List.filter (fun i -> not (Surrogate.equal i impl)) !impls;
+            ignore (Database.delete db ~force:true impl)
+        | None -> ())
+      else
+        match pick ifaces a with
+        | Some iface ->
+            ifaces := List.filter (fun i -> not (Surrogate.equal i iface)) !ifaces;
+            ignore (Database.delete db ~force:true iface)
+        | None -> ())
+  | 7 -> (
+      (* deep copy *)
+      match pick impls a with
+      | Some impl -> (
+          match Compo_versions.Versioned.clone_object store impl with
+          | Ok c -> impls := c :: !impls
+          | Error _ -> ())
+      | None -> ())
+  | _ -> ()
+
+let run_ops ops =
+  let db = gates_db () in
+  let ifaces = ref [] and impls = ref [] in
+  List.iter (apply_op db ifaces impls) ops;
+  Store.check_invariants (Database.store db)
+
+let op_gen =
+  QCheck.Gen.(triple (int_bound 7) (int_bound 999) (int_bound 999))
+
+let prop_random_ops_keep_invariants =
+  QCheck.Test.make ~name:"random op sequences keep store invariants" ~count:60
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 5 40) op_gen)
+       ~print:(fun ops ->
+         String.concat ";"
+           (List.map (fun (c, a, b) -> Printf.sprintf "(%d,%d,%d)" c a b) ops)))
+    (fun ops ->
+      match run_ops ops with
+      | [] -> true
+      | problems ->
+          QCheck.Test.fail_reportf "invariants violated:\n%s"
+            (String.concat "\n" problems))
+
+let test_healthy_after_scenarios () =
+  let check what db =
+    match Store.check_invariants (Database.store db) with
+    | [] -> ()
+    | ps -> Alcotest.failf "%s: %s" what (String.concat "; " ps)
+  in
+  let db = full_db () in
+  let _ = ok (G.flip_flop db) in
+  let _ = ok (Compo_scenarios.Workload.screwed_structure db ~girders:4 ~bores_per_joint:2) in
+  let _ = ok (Compo_scenarios.Workload.random_netlist db ~seed:42 ~gates:20) in
+  check "combined scenarios" db
+
+let test_healthy_after_cascade_delete () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let sub = List.hd (ok (Database.subclass_members db ff "SubGates")) in
+  let pin = ok (G.pin db sub 0) in
+  ok (Database.delete db ~force:true pin);
+  ok (Database.delete db ff);
+  Alcotest.(check (list string))
+    "healthy after cascades" []
+    (Store.check_invariants (Database.store db))
+
+let test_healthy_after_codec_roundtrip () =
+  let db = gates_db () in
+  let _ = ok (G.flip_flop db) in
+  let iface = ok (G.nor_interface db) in
+  let _ = ok (G.nor_implementation db ~interface:iface) in
+  let blob = Compo_storage.Codec.encode_store (Database.store db) in
+  let store2 = ok (Compo_storage.Codec.decode_store (Database.schema db) blob) in
+  Alcotest.(check (list string)) "healthy after decode" [] (Store.check_invariants store2)
+
+let suite =
+  ( "invariants",
+    [
+      QCheck_alcotest.to_alcotest prop_random_ops_keep_invariants;
+      case "healthy after combined scenarios" test_healthy_after_scenarios;
+      case "healthy after cascade deletes" test_healthy_after_cascade_delete;
+      case "healthy after codec round-trip" test_healthy_after_codec_roundtrip;
+    ] )

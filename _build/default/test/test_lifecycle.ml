@@ -1,0 +1,132 @@
+(* Capstone integration test: one design's life across every subsystem.
+
+   A catalog part is versioned, used by a composite, edited through a
+   checked-out workspace, redesigned into a new default version, audited,
+   adapted by a trigger rule, persisted through the journal, and recovered
+   — with store invariants and constraints checked at the end. *)
+
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module VG = Compo_versions.Version_graph
+module T = Compo_txn.Transaction
+
+let tmp_dir () =
+  let d = Filename.temp_file "compo-lifecycle" "" in
+  Sys.remove d;
+  d
+
+let test_full_lifecycle () =
+  let dir = tmp_dir () in
+
+  (* --- day 0: project setup ------------------------------------- *)
+  let j = ok (Compo_storage.Journal.open_dir dir) in
+  let db = Compo_storage.Journal.db j in
+  ok (G.define_schema db);
+  ok (Compo_storage.Journal.checkpoint j);
+  let store = Database.store db in
+
+  (* a versioned catalog part: the NOR cell *)
+  let reg = Compo_versions.Versioned.create () in
+  let g = ok (Compo_versions.Versioned.new_graph reg ~name:"nor-cell") in
+  let cell_v1 = ok (G.nor_interface db) in
+  let v1 = ok (Compo_versions.Versioned.register_root reg ~graph:"nor-cell" ~obj:cell_v1) in
+  ok (VG.promote g v1 VG.Released);
+  ok (VG.set_default g v1);
+
+  (* a product composite using the cell twice *)
+  let product_if = ok (G.nor_interface db) in
+  let product = ok (G.new_implementation db ~interface:product_if ~time_behavior:2 ()) in
+  let use1 = ok (G.use_component db ~composite:product ~component_interface:cell_v1 ~x:0 ~y:0) in
+  let use2 = ok (G.use_component db ~composite:product ~component_interface:cell_v1 ~x:4 ~y:0) in
+  ok (Compo_storage.Journal.checkpoint j);
+
+  (* --- day 1: a designer works on the product -------------------- *)
+  let mg = T.create_manager store in
+  let ws = Compo_workspace.Workspace.create_manager mg in
+  let w = ok (Compo_workspace.Workspace.checkout ws ~user:"alice" product) in
+  let priv = Compo_workspace.Workspace.private_root w in
+  let priv_use1 = Option.get (Compo_workspace.Workspace.private_of w use1) in
+  ok (Database.set_attr db priv "TimeBehavior" (Value.Int 3));
+  ok (Database.set_attr db priv_use1 "GateLocation" (Value.point 1 1));
+  let applied = ok (Compo_workspace.Workspace.checkin ws w) in
+  check_int "two changes checked in" 2 (List.length applied);
+  check_value "placement landed" (Value.point 1 1)
+    (ok (Database.get_attr db use1 "GateLocation"));
+
+  (* --- day 2: catalog redesign with adaptation rules ------------- *)
+  (* a rule keeps the product's own delay estimate in sync when the cell
+     changes (the paper's semi-automatic correction) *)
+  let eng = Triggers.create db in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "review-placements";
+         r_pattern = Triggers.On_stale { via = Some "AllOf_GateInterface"; attr = None };
+         r_condition = None;
+         r_action = Triggers.log_note ~note:"cell redesigned: re-check placement";
+       });
+  let v2, cell_v2 =
+    ok (Compo_versions.Versioned.derive_version reg store ~graph:"nor-cell" ~from:v1)
+  in
+  ok (Compo_versions.Versioned.set_attr reg store cell_v2 "Width" (Value.Int 3));
+  ok (VG.promote g v2 VG.Released);
+  ok (Compo_versions.Versioned.set_default reg ~graph:"nor-cell" ~version:v2);
+  (* v1 is still in use; an edit to it (ECO) flows to the product and the
+     rule rewrites the adaptation note *)
+  ok (Triggers.set_attr eng cell_v1 "Length" (Value.Int 5));
+  let link1 = Option.get (ok (Inheritance.binding_of store use1)) in
+  check_string "rule annotated the link" "cell redesigned: re-check placement"
+    (ok (Database.stale_note db link1.Store.b_link));
+  check_value "product sees the ECO through inheritance" (Value.Int 5)
+    (ok (Database.get_attr db use2 "Length"));
+
+  (* --- day 3: configuration audit -------------------------------- *)
+  let entries = ok (Compo_versions.Config_report.configuration reg store product) in
+  let outdated = Compo_versions.Config_report.outdated entries in
+  check_int "both uses are outdated (v2 released)" 2 (List.length outdated);
+  List.iter
+    (fun e ->
+      match e.Compo_versions.Config_report.ce_version with
+      | Some ("nor-cell", v, VG.Released) -> check_int "bound to v1" v1 v
+      | _ -> ())
+    outdated;
+
+  (* upgrade one use to the new default version *)
+  ok (Database.unbind db use1);
+  let _ =
+    ok (Database.bind db ~via:"AllOf_GateInterface" ~transmitter:cell_v2 ~inheritor:use1 ())
+  in
+  let entries = ok (Compo_versions.Config_report.configuration reg store product) in
+  check_int "one outdated use left" 1
+    (List.length (Compo_versions.Config_report.outdated entries));
+  check_value "upgraded use reads v2 data" (Value.Int 3)
+    (ok (Database.get_attr db use1 "Width"));
+
+  (* --- day 4: persist everything and recover --------------------- *)
+  ok (Compo_versions.Versioned.save_file reg (Filename.concat dir "versions.bin"));
+  ok (Compo_storage.Journal.checkpoint j);
+  Compo_storage.Journal.close j;
+
+  let j2 = ok (Compo_storage.Journal.open_dir dir) in
+  let db2 = Compo_storage.Journal.db j2 in
+  let store2 = Database.store db2 in
+  let reg2 = ok (Compo_versions.Versioned.load_file (Filename.concat dir "versions.bin")) in
+  check_value "recovered: placement" (Value.point 1 1)
+    (ok (Database.get_attr db2 use1 "GateLocation"));
+  check_value "recovered: v2 binding" (Value.Int 3)
+    (ok (Database.get_attr db2 use1 "Width"));
+  check_value "recovered: ECO on v1" (Value.Int 5)
+    (ok (Database.get_attr db2 use2 "Length"));
+  let entries = ok (Compo_versions.Config_report.configuration reg2 store2 product) in
+  check_int "recovered audit agrees" 1
+    (List.length (Compo_versions.Config_report.outdated entries));
+  (* timing analysis over the recovered product *)
+  let delay = ok (Compo_scenarios.Simulate.propagation_delay db2 product) in
+  check_bool "critical path computable after recovery" true (delay >= 2);
+  check_no_violations "recovered store validates" (Database.validate_all db2);
+  Alcotest.(check (list string)) "recovered store invariants" []
+    (Store.check_invariants store2);
+  Compo_storage.Journal.close j2
+
+let suite = ("lifecycle", [ case "full design lifecycle" test_full_lifecycle ])

@@ -1,0 +1,143 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module Opt = Compo_scenarios.Optimize
+module Sim = Compo_scenarios.Simulate
+
+(* A netlist builder: external inputs A, B; output Z; subgates wired by a
+   little description language. *)
+let build_netlist db specs =
+  let gate =
+    ok
+      (Database.new_object db ~ty:"Gate"
+         ~attrs:
+           [
+             ("Length", Value.Int 20);
+             ("Width", Value.Int 10);
+             ("Function", Value.Matrix [| [| Value.Bool true |] |]);
+           ]
+         ())
+  in
+  let ext io x =
+    ok
+      (Database.new_subobject db ~parent:gate ~subclass:"Pins"
+         ~attrs:[ ("InOut", G.io_value io); ("PinLocation", Value.point x 0) ]
+         ())
+  in
+  let a = ext G.In 0 in
+  let b = ext G.In 1 in
+  let z = ext G.Out 9 in
+  let subs =
+    List.mapi
+      (fun i func ->
+        ok (G.new_elementary_gate db ~parent:(gate, "SubGates") ~func ~x:(2 + i) ~y:0 ()))
+      specs
+  in
+  let wire from_pin to_pin = ignore (ok (G.wire db ~parent:gate ~from_pin ~to_pin)) in
+  (gate, a, b, z, subs, wire)
+
+let sub_pins db sub =
+  (ok (G.pin db sub 0), ok (G.pin db sub 1), ok (G.pin db sub 2))
+
+let test_dead_gate_elimination () =
+  let db = gates_db () in
+  (* two AND gates fed from A,B; only the first drives Z *)
+  let gate, a, b, z, subs, wire = build_netlist db [ "AND"; "AND" ] in
+  let g1, g2 = (List.nth subs 0, List.nth subs 1) in
+  let i1, i2, o = sub_pins db g1 in
+  wire a i1;
+  wire b i2;
+  wire o z;
+  let j1, j2, _ = sub_pins db g2 in
+  wire a j1;
+  wire b j2;
+  (* g2's output drives nothing: dead *)
+  let removed, wires_removed = ok (Opt.eliminate_dead db ~gate) in
+  check_int "one dead gate" 1 removed;
+  check_int "its two input wires removed" 2 wires_removed;
+  check_int "one subgate left" 1
+    (List.length (ok (Database.subclass_members db gate "SubGates")));
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db))
+
+let test_duplicate_merge_and_equivalence () =
+  let db = gates_db () in
+  (* two identical ANDs on (A,B); an OR combines them: OR(x,x) == x, so the
+     optimized netlist must compute the same function *)
+  let gate, a, b, z, subs, wire = build_netlist db [ "AND"; "AND"; "OR" ] in
+  let g1 = List.nth subs 0 and g2 = List.nth subs 1 and g3 = List.nth subs 2 in
+  let i1, i2, o1 = sub_pins db g1 in
+  let j1, j2, o2 = sub_pins db g2 in
+  let k1, k2, o3 = sub_pins db g3 in
+  wire a i1;
+  wire b i2;
+  wire a j1;
+  wire b j2;
+  wire o1 k1;
+  wire o2 k2;
+  wire o3 z;
+  let before = ok (Sim.truth_table db ~gate) in
+  let stats = ok (Opt.optimize db ~gate) in
+  check_int "one pair merged" 1 stats.Opt.merged_gates;
+  check_int "the duplicate died" 1 stats.Opt.removed_gates;
+  check_int "two gates remain" 2
+    (List.length (ok (Database.subclass_members db gate "SubGates")));
+  let after = ok (Sim.truth_table db ~gate) in
+  check_bool "behaviour preserved" true (before = after);
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db))
+
+let test_optimize_fixpoint_on_clean_netlist () =
+  let db = gates_db () in
+  let gate, a, b, z, subs, wire = build_netlist db [ "NAND" ] in
+  let i1, i2, o = sub_pins db (List.hd subs) in
+  wire a i1;
+  wire b i2;
+  wire o z;
+  let stats = ok (Opt.optimize db ~gate) in
+  check_int "nothing removed" 0 stats.Opt.removed_gates;
+  check_int "nothing merged" 0 stats.Opt.merged_gates;
+  check_int "single pass suffices" 1 stats.Opt.passes
+
+let test_cascading_death () =
+  let db = gates_db () in
+  (* g1 feeds g2; neither drives Z (Z is driven by g3): removing g2 makes
+     g1 dead in the next pass *)
+  let gate, a, b, z, subs, wire = build_netlist db [ "AND"; "OR"; "NOR" ] in
+  let g1 = List.nth subs 0 and g2 = List.nth subs 1 and g3 = List.nth subs 2 in
+  let i1, i2, o1 = sub_pins db g1 in
+  let j1, j2, _o2 = sub_pins db g2 in
+  let k1, k2, o3 = sub_pins db g3 in
+  wire a i1;
+  wire b i2;
+  wire o1 j1;
+  wire a j2;
+  wire a k1;
+  wire b k2;
+  wire o3 z;
+  let stats = ok (Opt.optimize db ~gate) in
+  check_int "both dead gates removed" 2 stats.Opt.removed_gates;
+  check_bool "took more than one pass" true (stats.Opt.passes > 1);
+  check_int "only the live gate remains" 1
+    (List.length (ok (Database.subclass_members db gate "SubGates")))
+
+(* The flip-flop is fully live: optimization must not touch it, and its
+   set/reset behaviour must survive. *)
+let test_flip_flop_untouched () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let stats = ok (Opt.optimize db ~gate:ff) in
+  check_int "nothing removed" 0 stats.Opt.removed_gates;
+  check_int "nothing merged" 0 stats.Opt.merged_gates;
+  check_int "both NORs still there" 2
+    (List.length (ok (Database.subclass_members db ff "SubGates")))
+
+let suite =
+  ( "optimize",
+    [
+      case "dead-gate elimination" test_dead_gate_elimination;
+      case "duplicate merge preserves behaviour" test_duplicate_merge_and_equivalence;
+      case "fixpoint on a clean netlist" test_optimize_fixpoint_on_clean_netlist;
+      case "cascading dead-gate removal" test_cascading_death;
+      case "flip-flop untouched" test_flip_flop_untouched;
+    ] )

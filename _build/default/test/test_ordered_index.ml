@@ -1,0 +1,200 @@
+open Compo_core
+open Helpers
+
+let catalog_db () =
+  let db = Database.create () in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Part";
+         ot_inheritor_in = None;
+         ot_attrs =
+           [
+             { Schema.attr_name = "Kind"; attr_domain = Domain.String };
+             { Schema.attr_name = "Weight"; attr_domain = Domain.Integer };
+           ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok (Database.create_class db ~name:"Parts" ~member_type:"Part");
+  db
+
+let new_part db kind weight =
+  ok
+    (Database.new_object db ~cls:"Parts" ~ty:"Part"
+       ~attrs:[ ("Kind", Value.Str kind); ("Weight", Value.Int weight) ]
+       ())
+
+let test_range_queries () =
+  let db = catalog_db () in
+  let parts = List.map (fun w -> new_part db "p" w) [ 5; 1; 9; 3; 7 ] in
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let q where = ok (Database.select db ~cls:"Parts" ~where ()) in
+  let weights rs =
+    List.map
+      (fun s -> Option.get (Value.as_int (ok (Database.get_attr db s "Weight"))))
+      rs
+  in
+  Alcotest.(check (list int)) "le: ascending" [ 1; 3; 5 ]
+    (weights (q Expr.(path [ "Weight" ] <= int 5)));
+  Alcotest.(check (list int)) "lt" [ 1; 3 ] (weights (q Expr.(path [ "Weight" ] < int 5)));
+  Alcotest.(check (list int)) "ge" [ 5; 7; 9 ]
+    (weights (q Expr.(path [ "Weight" ] >= int 5)));
+  Alcotest.(check (list int)) "gt" [ 7; 9 ] (weights (q Expr.(path [ "Weight" ] > int 5)));
+  Alcotest.(check (list int)) "eq through ordered index" [ 5 ]
+    (weights (q Expr.(path [ "Weight" ] = int 5)));
+  (* reversed operand order flips the comparison *)
+  Alcotest.(check (list int)) "reversed: 5 <= Weight" [ 5; 7; 9 ]
+    (weights (q Expr.(int 5 <= path [ "Weight" ])));
+  ignore parts
+
+let test_optimizer_used_and_agrees () =
+  let db = catalog_db () in
+  List.iteri (fun i _ -> ignore (new_part db "p" (i * 3 mod 17))) (List.init 40 Fun.id);
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let store = Database.store db in
+  let where = Expr.(path [ "Weight" ] < int 9) in
+  let indexed = ok (Database.select db ~cls:"Parts" ~where ()) in
+  let scanned = ok (Query.select store ~cls:"Parts" ~where ()) in
+  Alcotest.(check (list surrogate))
+    "index agrees with scan (as sets)"
+    (List.sort Surrogate.compare scanned)
+    (List.sort Surrogate.compare indexed)
+
+let test_maintenance () =
+  let db = catalog_db () in
+  let p = new_part db "p" 5 in
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let count where = List.length (ok (Database.select db ~cls:"Parts" ~where ())) in
+  check_int "initially in range" 1 (count Expr.(path [ "Weight" ] <= int 5));
+  ok (Database.set_attr db p "Weight" (Value.Int 50));
+  check_int "moved out of range" 0 (count Expr.(path [ "Weight" ] <= int 5));
+  check_int "into the new range" 1 (count Expr.(path [ "Weight" ] > int 10));
+  ok (Database.delete db p);
+  check_int "gone after delete" 0 (count Expr.(path [ "Weight" ] > int 10))
+
+let test_null_sorts_lowest () =
+  let db = catalog_db () in
+  let no_weight =
+    ok (Database.new_object db ~cls:"Parts" ~ty:"Part" ~attrs:[ ("Kind", Value.Str "x") ] ())
+  in
+  let _ = new_part db "p" 5 in
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let where = Expr.(path [ "Weight" ] < int 3) in
+  (* the scan's rank-based comparison also puts Null below every integer,
+     so index and scan agree on including the uninitialised part *)
+  let indexed = List.sort Surrogate.compare (ok (Database.select db ~cls:"Parts" ~where ())) in
+  let scanned =
+    List.sort Surrogate.compare (ok (Query.select (Database.store db) ~cls:"Parts" ~where ()))
+  in
+  Alcotest.(check (list surrogate)) "agree on Null" scanned indexed;
+  check_bool "null part included" true (List.exists (Surrogate.equal no_weight) indexed)
+
+let test_type_mismatch_falls_back_to_scan () =
+  let db = catalog_db () in
+  let _ = new_part db "p" 5 in
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let store = Database.store db in
+  let ox = ok (Ordered_index.create store ~cls:"Parts" ~attr:"Kind") in
+  (* a Real constant against an Integer attribute must not use the index
+     (Value.compare does not coerce); the scan still answers *)
+  let where = Expr.(path [ "Weight" ] < Const (Value.Real 5.5)) in
+  check_int "scan fallback coerces" 1
+    (List.length (ok (Database.select db ~cls:"Parts" ~where ())));
+  Ordered_index.drop ox
+
+let test_string_ranges () =
+  let db = catalog_db () in
+  List.iter (fun k -> ignore (new_part db k 1)) [ "bolt"; "nut"; "washer"; "axle" ];
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Kind");
+  let found =
+    ok (Database.select db ~cls:"Parts" ~where:Expr.(path [ "Kind" ] < str "nut") ())
+  in
+  let kinds =
+    List.map (fun s -> Value.to_string (ok (Database.get_attr db s "Kind"))) found
+  in
+  Alcotest.(check (list string)) "lexicographic" [ "\"axle\""; "\"bolt\"" ] kinds
+
+let test_registration () =
+  let db = catalog_db () in
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  expect_error any_error (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  Alcotest.(check (list (pair string string)))
+    "registered" [ ("Parts", "Weight") ] (Database.ordered_indexes db);
+  ok (Database.drop_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  Alcotest.(check (list (pair string string))) "dropped" [] (Database.ordered_indexes db)
+
+(* Property: index range answers = scan answers, under random data and a
+   random threshold, for every comparison operator. *)
+let prop_ranges_agree_with_scan =
+  QCheck.Test.make ~name:"ordered ranges agree with scan" ~count:80
+    QCheck.(pair (small_list (int_bound 30)) (int_bound 30))
+    (fun (weights, threshold) ->
+      let db = catalog_db () in
+      List.iter (fun w -> ignore (new_part db "p" w)) weights;
+      ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+      List.for_all
+        (fun make ->
+          let where = make Expr.(path [ "Weight" ]) Expr.(int threshold) in
+          let indexed =
+            List.sort Surrogate.compare (ok (Database.select db ~cls:"Parts" ~where ()))
+          in
+          let scanned =
+            List.sort Surrogate.compare
+              (ok (Query.select (Database.store db) ~cls:"Parts" ~where ()))
+          in
+          indexed = scanned)
+        [ Expr.( < ); Expr.( <= ); Expr.( > ); Expr.( >= ); Expr.( = ) ])
+
+
+
+let test_conjunction_planning () =
+  let db = catalog_db () in
+  List.iter
+    (fun (k, w) -> ignore (new_part db k w))
+    [ ("bolt", 5); ("bolt", 20); ("nut", 5); ("nut", 20); ("bolt", 7) ];
+  ok (Database.create_index db ~cls:"Parts" ~attr:"Kind");
+  (* indexed equality + residual range filter *)
+  let where = Expr.(path [ "Kind" ] = str "bolt" && path [ "Weight" ] < int 10) in
+  let found = ok (Database.select db ~cls:"Parts" ~where ()) in
+  check_int "two light bolts" 2 (List.length found);
+  (* residual on the left of the conjunction works too *)
+  let where2 = Expr.(path [ "Weight" ] < int 10 && path [ "Kind" ] = str "bolt") in
+  check_int "commuted conjunction" 2
+    (List.length (ok (Database.select db ~cls:"Parts" ~where:where2 ())));
+  (* nested conjunction: (range AND eq) AND extra *)
+  ok (Database.create_ordered_index db ~cls:"Parts" ~attr:"Weight");
+  let where3 =
+    Expr.(
+      (path [ "Weight" ] >= int 5 && path [ "Kind" ] = str "nut")
+      && path [ "Weight" ] < int 10)
+  in
+  check_int "nested conjunction" 1
+    (List.length (ok (Database.select db ~cls:"Parts" ~where:where3 ())));
+  (* agreement with the scan on the same predicates *)
+  List.iter
+    (fun where ->
+      let indexed =
+        List.sort Surrogate.compare (ok (Database.select db ~cls:"Parts" ~where ()))
+      in
+      let scanned =
+        List.sort Surrogate.compare
+          (ok (Query.select (Database.store db) ~cls:"Parts" ~where ()))
+      in
+      Alcotest.(check (list surrogate)) "conjunction agrees with scan" scanned indexed)
+    [ where; where2; where3 ]
+
+let suite =
+  ( "ordered-index",
+    [
+      case "range queries, ascending results" test_range_queries;
+      case "optimizer agrees with the scan" test_optimizer_used_and_agrees;
+      case "maintenance under updates and deletes" test_maintenance;
+      case "Null sorts lowest, consistently with the scan" test_null_sorts_lowest;
+      case "type mismatch falls back to the scan" test_type_mismatch_falls_back_to_scan;
+      case "string ranges" test_string_ranges;
+      case "registration and dropping" test_registration;
+      QCheck_alcotest.to_alcotest prop_ranges_agree_with_scan;
+      case "conjunctive planning (index + residual filter)" test_conjunction_planning;
+    ] )

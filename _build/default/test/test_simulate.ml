@@ -1,0 +1,169 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module Sim = Compo_scenarios.Simulate
+
+(* A single-subgate netlist: one elementary gate of the given function,
+   wired to two external inputs and one external output. *)
+let single_gate_netlist db func =
+  let gate =
+    ok
+      (Database.new_object db ~ty:"Gate"
+         ~attrs:
+           [
+             ("Length", Value.Int 8);
+             ("Width", Value.Int 4);
+             ("Function", Value.Matrix [| [| Value.Bool true |] |]);
+           ]
+         ())
+  in
+  let pin io x y =
+    ok
+      (Database.new_subobject db ~parent:gate ~subclass:"Pins"
+         ~attrs:[ ("InOut", G.io_value io); ("PinLocation", Value.point x y) ]
+         ())
+  in
+  let a = pin G.In 0 0 in
+  let b = pin G.In 0 2 in
+  let z = pin G.Out 8 1 in
+  let sub = ok (G.new_elementary_gate db ~parent:(gate, "SubGates") ~func ~x:3 ~y:0 ()) in
+  let sub_a = ok (G.pin db sub 0) in
+  let sub_b = ok (G.pin db sub 1) in
+  let sub_z = ok (G.pin db sub 2) in
+  let _ = ok (G.wire db ~parent:gate ~from_pin:a ~to_pin:sub_a) in
+  let _ = ok (G.wire db ~parent:gate ~from_pin:b ~to_pin:sub_b) in
+  let _ = ok (G.wire db ~parent:gate ~from_pin:sub_z ~to_pin:z) in
+  (gate, a, b, z)
+
+let run db gate inputs =
+  match ok (Sim.simulate db ~gate ~inputs) with
+  | [ (_, v) ] -> v
+  | outs -> Alcotest.failf "expected one output, got %d" (List.length outs)
+
+let test_basic_functions () =
+  let db = gates_db () in
+  List.iter
+    (fun (func, expected) ->
+      let gate, a, b, _ = single_gate_netlist db func in
+      List.iter
+        (fun ((va, vb), want) ->
+          check_bool
+            (Printf.sprintf "%s(%b,%b)" func va vb)
+            want
+            (run db gate [ (a, va); (b, vb) ]))
+        expected)
+    [
+      ("AND", [ ((false, false), false); ((true, false), false); ((true, true), true) ]);
+      ("OR", [ ((false, false), false); ((true, false), true); ((true, true), true) ]);
+      ("NOR", [ ((false, false), true); ((true, false), false); ((true, true), false) ]);
+      ("NAND", [ ((false, false), true); ((true, true), false) ]);
+    ]
+
+let test_truth_table () =
+  let db = gates_db () in
+  let gate, _, _, _ = single_gate_netlist db "AND" in
+  let table = ok (Sim.truth_table db ~gate) in
+  check_int "four rows" 4 (List.length table);
+  check_int "one true row" 1
+    (List.length (List.filter (fun (_, outs) -> outs = [ true ]) table))
+
+(* The Figure 1 flip-flop behaves like an SR latch. *)
+let test_flip_flop_set_reset () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let pins = ok (Database.subclass_members db ff "Pins") in
+  let s, r, q, q' =
+    match pins with
+    | [ s; r; q; q' ] -> (s, r, q, q')
+    | _ -> Alcotest.fail "expected 4 external pins"
+  in
+  let run_ff sv rv =
+    let outs = ok (Sim.simulate db ~gate:ff ~inputs:[ (s, sv); (r, rv) ]) in
+    (List.assoc q outs, List.assoc q' outs)
+  in
+  (* set: S=1, R=0 -> Q=1 *)
+  let qv, q'v = run_ff true false in
+  check_bool "set: Q" true qv;
+  check_bool "set: Q'" false q'v;
+  (* reset: S=0, R=1 -> Q=0 *)
+  let qv, q'v = run_ff false true in
+  check_bool "reset: Q" false qv;
+  check_bool "reset: Q'" true q'v;
+  (* hold (S=R=0) is state-dependent: the combinational fixpoint honestly
+     refuses to pick a state *)
+  expect_error
+    (function Errors.Eval_error _ -> true | _ -> false)
+    (Sim.simulate db ~gate:ff ~inputs:[ (s, false); (r, false) ])
+
+let test_missing_input_rejected () =
+  let db = gates_db () in
+  let gate, a, _, _ = single_gate_netlist db "AND" in
+  expect_error
+    (function Errors.Eval_error _ -> true | _ -> false)
+    (Sim.simulate db ~gate ~inputs:[ (a, true) ])
+
+let test_malformed_netlist_rejected () =
+  let db = gates_db () in
+  let gate, a, b, _ = single_gate_netlist db "AND" in
+  (* wiring two external inputs together connects two drivers *)
+  let _ = ok (G.wire db ~parent:gate ~from_pin:a ~to_pin:b) in
+  expect_error
+    (function Errors.Schema_error _ -> true | _ -> false)
+    (Sim.simulate db ~gate ~inputs:[ (a, true); (b, false) ])
+
+let test_propagation_delay () =
+  let db = gates_db () in
+  (* leaf: delay 2; mid uses leaf: 3 + 2 = 5; top uses mid twice and leaf
+     once: 1 + max(5, 2) = 6 *)
+  let leaf_iface = ok (G.nor_interface db) in
+  let _leaf_impl = ok (G.new_implementation db ~interface:leaf_iface ~time_behavior:2 ()) in
+  let mid_iface = ok (G.nor_interface db) in
+  let mid = ok (G.new_implementation db ~interface:mid_iface ~time_behavior:3 ()) in
+  let _ = ok (G.use_component db ~composite:mid ~component_interface:leaf_iface ~x:0 ~y:0) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ~time_behavior:1 ()) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:mid_iface ~x:0 ~y:0) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:mid_iface ~x:1 ~y:0) in
+  let _ = ok (G.use_component db ~composite:top ~component_interface:leaf_iface ~x:2 ~y:0) in
+  check_int "critical path" 6 (ok (Sim.propagation_delay db top));
+  (* a custom chooser models version selection: pick the slowest available
+     implementation of every component (worst-case timing) *)
+  let slow_leaf = ok (G.new_implementation db ~interface:leaf_iface ~time_behavior:9 ()) in
+  check_bool "slow leaf exists" true (Store.mem (Database.store db) slow_leaf);
+  let choose iface =
+    let impls = ok (Database.implementations_of db iface) in
+    let slowest =
+      List.fold_left
+        (fun acc impl ->
+          let d =
+            match ok (Database.get_attr db impl "TimeBehavior") with
+            | Value.Int i -> i
+            | _ -> 0
+          in
+          match acc with
+          | Some (_, best) when best >= d -> acc
+          | _ -> Some (impl, d))
+        None impls
+    in
+    Ok (Option.map fst slowest)
+  in
+  (* worst case: top 1 + mid (3 + slow leaf 9) = 13 *)
+  check_int "chooser changes the answer" 13 (ok (Sim.propagation_delay db ~choose top))
+
+let test_delay_of_leaf () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ~time_behavior:7 ()) in
+  check_int "leaf delay is its own TimeBehavior" 7 (ok (Sim.propagation_delay db impl))
+
+let suite =
+  ( "simulate",
+    [
+      case "elementary gate functions" test_basic_functions;
+      case "truth table" test_truth_table;
+      case "flip-flop set/reset (Figure 1 behaves!)" test_flip_flop_set_reset;
+      case "missing input rejected" test_missing_input_rejected;
+      case "malformed netlist rejected" test_malformed_netlist_rejected;
+      case "propagation delay over components" test_propagation_delay;
+      case "leaf delay" test_delay_of_leaf;
+    ] )

@@ -1,0 +1,132 @@
+(* F5: the steel-construction example of section 5 / Figure 5. *)
+
+open Compo_core
+open Helpers
+module S = Compo_scenarios.Steel
+
+(* Build the paper's scenario: a structure of one girder and one plate,
+   screwed together through matching bores. *)
+let build_structure db =
+  let girder_iface =
+    ok
+      (S.new_girder_interface db ~length:200 ~height:10 ~width:10
+         ~bores:[ (10, 4, (10, 0)); (10, 4, (190, 0)) ])
+  in
+  let plate_iface =
+    ok
+      (S.new_plate_interface db ~thickness:4 ~area:(50, 50)
+         ~bores:[ (10, 4, (10, 0)); (10, 4, (40, 0)) ])
+  in
+  let structure = ok (S.new_structure db ~designer:"Pegels" ~description:"frame") in
+  let g = ok (S.add_girder db ~structure ~girder_interface:girder_iface) in
+  let p = ok (S.add_plate db ~structure ~plate_interface:plate_iface) in
+  (structure, girder_iface, plate_iface, g, p)
+
+let test_structure_inherits_component_data () =
+  let db = steel_db () in
+  let _, _, _, g, p = build_structure db in
+  check_value "girder length through component" (Value.Int 200)
+    (ok (Database.get_attr db g "Length"));
+  check_value "plate thickness through component" (Value.Int 4)
+    (ok (Database.get_attr db p "Thickness"));
+  check_int "girder bores visible" 2 (List.length (ok (S.bores_of db g)));
+  check_int "plate bores visible" 2 (List.length (ok (S.bores_of db p)))
+
+let test_screwing_hides_bolt_and_nut () =
+  let db = steel_db () in
+  let structure, _, _, g, p = build_structure db in
+  let g_bore = List.hd (ok (S.bores_of db g)) in
+  let p_bore = List.hd (ok (S.bores_of db p)) in
+  let bolt = ok (S.new_bolt db ~length:9 ~diameter:10) in
+  let nut = ok (S.new_nut db ~length:1 ~diameter:10) in
+  let screwing =
+    ok (S.screw db ~structure ~bores:[ g_bore; p_bore ] ~bolt ~nut ~strength:55)
+  in
+  (* "bolds and nuts are hidden in the relationship ScrewingType" *)
+  let bolt_subs = ok (Database.subclass_members db screwing "Bolt") in
+  check_int "one bolt subobject" 1 (List.length bolt_subs);
+  check_value "bolt data inherited from catalog part" (Value.Int 9)
+    (ok (Database.get_attr db (List.hd bolt_subs) "Length"));
+  check_value "relationship attribute" (Value.Int 55)
+    (ok (Database.get_attr db screwing "Strength"));
+  check_no_violations "screwing satisfies section 5 constraints"
+    (ok (Database.validate db screwing));
+  (* catalog update propagates into every screwing that uses the part *)
+  ok (Database.set_attr db bolt "Length" (Value.Int 9));
+  check_bool "link stamped stale for adaptation" true
+    (let links = ok (Database.links_of db bolt) in
+     List.exists (fun l -> ok (Database.is_stale db l)) links)
+
+let test_girder_used_in_two_structures () =
+  (* reusability of designed parts (section 2): one girder interface used
+     as a component by two different structures *)
+  let db = steel_db () in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[ (10, 2, (0, 0)) ])
+  in
+  let s1 = ok (S.new_structure db ~designer:"a" ~description:"one") in
+  let s2 = ok (S.new_structure db ~designer:"b" ~description:"two") in
+  let _ = ok (S.add_girder db ~structure:s1 ~girder_interface:iface) in
+  let _ = ok (S.add_girder db ~structure:s2 ~girder_interface:iface) in
+  Alcotest.(check (list surrogate))
+    "where-used lists both structures" [ s1; s2 ]
+    (List.sort Surrogate.compare (ok (Database.where_used db iface)));
+  (* a change to the shared girder is visible in both structures *)
+  ok (Database.set_attr db iface "Length" (Value.Int 120));
+  List.iter
+    (fun s ->
+      let comp = List.hd (ok (Database.subclass_members db s "Girders")) in
+      check_value "updated everywhere" (Value.Int 120)
+        (ok (Database.get_attr db comp "Length")))
+    [ s1; s2 ]
+
+let test_material_is_local_to_girder () =
+  let db = steel_db () in
+  let iface =
+    ok (S.new_girder_interface db ~length:100 ~height:10 ~width:10 ~bores:[])
+  in
+  let wood = ok (S.new_girder db ~interface:iface ~material:"wood") in
+  let metal = ok (S.new_girder db ~interface:iface ~material:"metal") in
+  check_value "wood" (Value.Enum_case "wood") (ok (Database.get_attr db wood "Material"));
+  check_value "metal" (Value.Enum_case "metal") (ok (Database.get_attr db metal "Material"));
+  (* both implementations share the interface data *)
+  check_value "shared length" (ok (Database.get_attr db wood "Length"))
+    (ok (Database.get_attr db metal "Length"))
+
+let test_structure_expansion_and_bom () =
+  let db = steel_db () in
+  let structure =
+    ok (Compo_scenarios.Workload.screwed_structure db ~girders:3 ~bores_per_joint:2)
+  in
+  let bom = ok (Database.bill_of_materials db structure) in
+  (* three girder interfaces and, per joint, one bolt and one nut *)
+  let total_uses = List.fold_left (fun acc (_, n) -> acc + n) 0 bom in
+  check_int "3 girders + 2 joints * (bolt+nut)" 7 total_uses;
+  let node = ok (Database.expand db structure) in
+  check_bool "expansion materializes components" true (Composite.node_count node > 10)
+
+let test_validate_all_clean () =
+  let db = steel_db () in
+  let structure, _, _, g, p = build_structure db in
+  let g_bores = ok (S.bores_of db g) in
+  let p_bores = ok (S.bores_of db p) in
+  let bolt = ok (S.new_bolt db ~length:9 ~diameter:10) in
+  let nut = ok (S.new_nut db ~length:1 ~diameter:10) in
+  let _ =
+    ok
+      (S.screw db ~structure
+         ~bores:[ List.hd g_bores; List.hd p_bores ]
+         ~bolt ~nut ~strength:10)
+  in
+  check_no_violations "whole database validates" (Database.validate_all db)
+
+let suite =
+  ( "steel-scenario",
+    [
+      case "F5: components transmit data into the structure" test_structure_inherits_component_data;
+      case "F5: screwings hide bolt and nut (section 5)" test_screwing_hides_bolt_and_nut;
+      case "section 2: part reuse across structures" test_girder_used_in_two_structures;
+      case "material is local, interface shared" test_material_is_local_to_girder;
+      case "expansion and bill of materials" test_structure_expansion_and_bom;
+      case "whole-database validation" test_validate_all_clean;
+    ] )

@@ -1,0 +1,183 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+
+let test_create_and_get () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  check_value "Length" (Value.Int 4) (ok (Database.get_attr db g "Length"));
+  check_value "Function" (Value.Enum_case "AND")
+    (ok (Database.get_attr db g "Function"));
+  check_string "type" "SimpleGate" (ok (Database.type_of db g))
+
+let test_unset_attr_is_null () =
+  let db = gates_db () in
+  let g = ok (Database.new_object db ~ty:"SimpleGate" ()) in
+  check_value "uninitialised attr" Value.Null (ok (Database.get_attr db g "Length"))
+
+let test_attr_domain_enforced () =
+  let db = gates_db () in
+  let g = ok (G.new_simple_gate db ~func:"AND" ~length:4 ~width:2) in
+  expect_error ~msg:"string into integer attr" any_error
+    (Database.set_attr db g "Length" (Value.Str "long"));
+  expect_error ~msg:"unknown attr" any_error
+    (Database.set_attr db g "Bogus" (Value.Int 1));
+  expect_error ~msg:"bad enum case" any_error
+    (Database.set_attr db g "Function" (Value.Enum_case "XOR"))
+
+let test_class_membership () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let g = ok (G.flip_flop db) in
+  check_bool "member of Gates" true
+    (List.exists (Surrogate.equal g) (ok (Store.class_members store "Gates")));
+  (* class member type is enforced *)
+  let pin_iface = ok (G.new_pin_interface db ~pins:[ G.In ]) in
+  expect_error ~msg:"wrong member type" any_error
+    (Store.insert_into_class store ~cls:"Gates" pin_iface);
+  ok (Store.remove_from_class store ~cls:"Gates" g);
+  check_bool "removed" false
+    (List.exists (Surrogate.equal g) (ok (Store.class_members store "Gates")))
+
+let test_subobjects () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let pins = ok (Database.subclass_members db ff "Pins") in
+  check_int "flip-flop has 4 external pins" 4 (List.length pins);
+  let subgates = ok (Database.subclass_members db ff "SubGates") in
+  check_int "two NOR subgates" 2 (List.length subgates);
+  let wires = ok (Database.subrel_members db ff "Wires") in
+  check_int "six wires" 6 (List.length wires);
+  (* subobjects know their owner *)
+  List.iter
+    (fun p ->
+      match ok (Store.owner_of (Database.store db) p) with
+      | Some o -> Alcotest.check surrogate "pin owner" ff o
+      | None -> Alcotest.fail "pin has no owner")
+    pins
+
+let test_unknown_subclass_rejected () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  expect_error any_error (Database.subclass_members db ff "Nonsense");
+  expect_error any_error
+    (Database.new_subobject db ~parent:ff ~subclass:"Nonsense" ())
+
+let test_cascade_delete () =
+  (* C9: subobjects are deleted with the complex object *)
+  let db = gates_db () in
+  let store = Database.store db in
+  let ff = ok (G.flip_flop db) in
+  let pins = ok (Database.subclass_members db ff "Pins") in
+  let subgates = ok (Database.subclass_members db ff "SubGates") in
+  let wires = ok (Database.subrel_members db ff "Wires") in
+  ok (Database.delete db ff);
+  check_bool "gate gone" false (Store.mem store ff);
+  List.iter
+    (fun s -> check_bool "dependent gone" false (Store.mem store s))
+    (pins @ subgates @ wires);
+  check_int "class emptied" 0 (List.length (ok (Store.class_members store "Gates")))
+
+let test_delete_restricted_by_relationship () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let ff = ok (G.flip_flop db) in
+  let sub = List.hd (ok (Database.subclass_members db ff "SubGates")) in
+  let sub_pin = ok (G.pin db sub 0) in
+  (* deleting a pin used by a wire of the complex object is restricted *)
+  expect_error
+    ~msg:"participant delete restricted"
+    (function Errors.Delete_restricted _ -> true | _ -> false)
+    (Database.delete db sub_pin);
+  (* force delete removes the wires that referenced it *)
+  let wires_before = List.length (ok (Database.subrel_members db ff "Wires")) in
+  ok (Database.delete db ~force:true sub_pin);
+  let wires_after = List.length (ok (Database.subrel_members db ff "Wires")) in
+  check_bool "some wires removed" true (wires_after < wires_before);
+  check_bool "store consistent" true (Store.mem store ff)
+
+let test_relationship_participants () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let wire = List.hd (ok (Database.subrel_members db ff "Wires")) in
+  (match ok (Database.participant db wire "Pin1") with
+  | Value.Ref _ -> ()
+  | v -> Alcotest.failf "Pin1 should be a reference, got %s" (Value.to_string v));
+  expect_error any_error (Database.participant db wire "Pin9")
+
+let test_participant_type_enforced () =
+  let db = gates_db () in
+  let ff = ok (G.flip_flop db) in
+  let pin = List.hd (ok (Database.subclass_members db ff "Pins")) in
+  (* Pin2 given a gate instead of a pin *)
+  expect_error any_error
+    (Database.new_subrel db ~parent:ff ~subrel:"Wires"
+       ~participants:[ ("Pin1", Value.Ref pin); ("Pin2", Value.Ref ff) ]
+       ());
+  expect_error ~msg:"missing participant" any_error
+    (Database.new_subrel db ~parent:ff ~subrel:"Wires"
+       ~participants:[ ("Pin1", Value.Ref pin) ]
+       ())
+
+let test_is_instance_of_follows_chain () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  check_bool "impl is GateImplementation" true
+    (Store.is_instance_of store impl "GateImplementation");
+  check_bool "impl is-a GateInterface (via chain)" true
+    (Store.is_instance_of store impl "GateInterface");
+  check_bool "impl is not a PinType" false (Store.is_instance_of store impl "PinType")
+
+let test_write_hook_fires () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let hits = ref [] in
+  let hook = Store.add_write_hook store (fun s -> hits := s :: !hits) in
+  let g = ok (G.new_simple_gate db ~func:"OR" ~length:4 ~width:2) in
+  ok (Database.set_attr db g "Length" (Value.Int 5));
+  Store.remove_hook store hook;
+  check_bool "write hook saw the object" true (List.exists (Surrogate.equal g) !hits)
+
+
+
+(* Section 3: "several classes may have objects of the same type" -- and
+   one object may appear in several classes. *)
+let test_object_in_several_classes () =
+  let db = gates_db () in
+  let store = Database.store db in
+  ok (Store.create_class store ~name:"Favourites" ~member_type:"GateInterface");
+  let iface = ok (G.nor_interface db) in
+  ok (Store.insert_into_class store ~cls:"Favourites" iface);
+  check_bool "in Interfaces" true
+    (List.exists (Surrogate.equal iface) (ok (Store.class_members store "Interfaces")));
+  check_bool "in Favourites" true
+    (List.exists (Surrogate.equal iface) (ok (Store.class_members store "Favourites")));
+  (* idempotent insertion *)
+  ok (Store.insert_into_class store ~cls:"Favourites" iface);
+  check_int "no duplicate membership" 1
+    (List.length (ok (Store.class_members store "Favourites")));
+  (* deletion leaves both classes clean *)
+  ok (Database.delete db ~force:true iface);
+  check_int "removed from Favourites" 0
+    (List.length (ok (Store.class_members store "Favourites")));
+  Alcotest.(check (list string)) "healthy" [] (Store.check_invariants store)
+
+let suite =
+  ( "store",
+    [
+      case "create and read attributes" test_create_and_get;
+      case "uninitialised attribute reads Null" test_unset_attr_is_null;
+      case "attribute domains enforced" test_attr_domain_enforced;
+      case "class membership and typing" test_class_membership;
+      case "subobjects and subrels of a complex object" test_subobjects;
+      case "unknown subclass rejected" test_unknown_subclass_rejected;
+      case "cascade delete (C9)" test_cascade_delete;
+      case "delete restricted by incoming relationships" test_delete_restricted_by_relationship;
+      case "relationship participants" test_relationship_participants;
+      case "participant typing enforced" test_participant_type_enforced;
+      case "is-instance-of follows transmitter chain" test_is_instance_of_follows_chain;
+      case "write hook fires" test_write_hook_fires;
+      case "objects in several classes (section 3)" test_object_in_several_classes;
+    ] )

@@ -1,0 +1,158 @@
+(* Larger-scale soak tests: build sizeable designs, run every global
+   operation over them, and verify invariants, constraints, and the
+   persistence round-trip all hold together. *)
+
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module W = Compo_scenarios.Workload
+
+let test_large_netlist () =
+  let db = gates_db () in
+  let g = ok (W.random_netlist db ~seed:7 ~gates:200) in
+  check_int "200 subgates" 200 (List.length (ok (Database.subclass_members db g "SubGates")));
+  check_int "200 wires" 200 (List.length (ok (Database.subrel_members db g "Wires")));
+  check_no_violations "netlist valid" (ok (Database.validate db g));
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db));
+  (* the netlist survives the snapshot round-trip intact *)
+  let blob = Compo_storage.Codec.encode_store (Database.store db) in
+  let store2 = ok (Compo_storage.Codec.decode_store (Database.schema db) blob) in
+  check_int "entities preserved"
+    (Store.entity_count (Database.store db))
+    (Store.entity_count store2);
+  Alcotest.(check (list string)) "decoded store healthy" []
+    (Store.check_invariants store2)
+
+let test_large_structure_with_everything () =
+  let db = steel_db () in
+  let s = ok (W.screwed_structure db ~girders:60 ~bores_per_joint:2) in
+  check_no_violations "all screwings valid" (Database.validate_all db);
+  let bom = ok (Database.bill_of_materials db s) in
+  (* 60 girders + 59 joints x (bolt + nut) *)
+  check_int "component uses" (60 + (59 * 2))
+    (List.fold_left (fun acc (_, n) -> acc + n) 0 bom);
+  let node = ok (Database.expand db s) in
+  check_bool "expansion covers the structure" true (Composite.node_count node > 300);
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db))
+
+let test_many_inheritors_consistency () =
+  let db = gates_db () in
+  let iface, impls = ok (W.interface_with_inheritors db ~n:500) in
+  ok (Database.set_attr db iface "Length" (Value.Int 123));
+  (* every inheritor sees the update, every link is stamped *)
+  List.iter
+    (fun impl ->
+      check_value "fresh" (Value.Int 123) (ok (Database.get_attr db impl "Length")))
+    impls;
+  let stale =
+    List.filter (fun l -> ok (Database.is_stale db l)) (ok (Database.links_of db iface))
+  in
+  check_int "all links stamped" 500 (List.length stale)
+
+let test_deep_composite_through_journal () =
+  (* a component tree persisted operation-by-operation, recovered, and
+     checked: the journal scales to thousands of records *)
+  let dir = Filename.temp_file "compo-soak" "" in
+  Sys.remove dir;
+  let j = ok (Compo_storage.Journal.open_dir dir) in
+  let db = Compo_storage.Journal.db j in
+  ok (W.composite_schema db ~depth:3);
+  ok (Compo_storage.Journal.checkpoint j);
+  (* build by hand through journaled operations *)
+  let rec build level =
+    let node =
+      ok
+        (Compo_storage.Journal.new_object j ~ty:("Comp" ^ string_of_int level)
+           ~attrs:[ ("Payload", Value.Int level) ]
+           ())
+    in
+    if level = 0 then node
+    else begin
+      for _ = 1 to 3 do
+        let child = build (level - 1) in
+        let part =
+          ok (Compo_storage.Journal.new_subobject j ~parent:node ~subclass:"Parts" ())
+        in
+        let _ =
+          ok
+            (Compo_storage.Journal.bind j
+               ~via:("AllOf_Comp" ^ string_of_int (level - 1))
+               ~transmitter:child ~inheritor:part ())
+        in
+        ()
+      done;
+      node
+    end
+  in
+  let top = build 3 in
+  Compo_storage.Journal.close j;
+  let j2 = ok (Compo_storage.Journal.open_dir dir) in
+  check_bool "clean recovery" true (Compo_storage.Journal.recovered_clean j2);
+  let db2 = Compo_storage.Journal.db j2 in
+  let node = ok (Database.expand db2 top) in
+  check_int "recovered expansion" 79 (Composite.node_count node);
+  Alcotest.(check (list string)) "recovered store healthy" []
+    (Store.check_invariants (Database.store db2));
+  Compo_storage.Journal.close j2
+
+let test_simulate_large_netlist_sample () =
+  (* truth-table a mid-sized single-output netlist built from a chain of
+     AND gates: output = conjunction of all inputs *)
+  let db = gates_db () in
+  let gate =
+    ok
+      (Database.new_object db ~ty:"Gate"
+         ~attrs:
+           [
+             ("Length", Value.Int 64);
+             ("Width", Value.Int 8);
+             ("Function", Value.Matrix [| [| Value.Bool true |] |]);
+           ]
+         ())
+  in
+  let ext io x =
+    ok
+      (Database.new_subobject db ~parent:gate ~subclass:"Pins"
+         ~attrs:[ ("InOut", G.io_value io); ("PinLocation", Value.point x 0) ]
+         ())
+  in
+  let n = 6 in
+  let inputs = List.init n (fun i -> ext G.In i) in
+  let out = ext G.Out 99 in
+  (* chain: and1(in0,in1); and_k(and_{k-1}, in_{k+1}) *)
+  let ands =
+    List.init (n - 1) (fun i ->
+        ok (G.new_elementary_gate db ~parent:(gate, "SubGates") ~func:"AND" ~x:(10 + i) ~y:0 ()))
+  in
+  let wire a b = ignore (ok (G.wire db ~parent:gate ~from_pin:a ~to_pin:b)) in
+  List.iteri
+    (fun i g ->
+      let in1 = ok (G.pin db g 0) and in2 = ok (G.pin db g 1) in
+      if i = 0 then begin
+        wire (List.nth inputs 0) in1;
+        wire (List.nth inputs 1) in2
+      end
+      else begin
+        wire (ok (G.pin db (List.nth ands (i - 1)) 2)) in1;
+        wire (List.nth inputs (i + 1)) in2
+      end)
+    ands;
+  wire (ok (G.pin db (List.nth ands (n - 2)) 2)) out;
+  let table = ok (Compo_scenarios.Simulate.truth_table db ~gate) in
+  check_int "64 rows" 64 (List.length table);
+  List.iter
+    (fun (ins, outs) ->
+      check_bool "conjunction" (List.for_all Fun.id ins) (List.hd outs))
+    table
+
+let suite =
+  ( "stress",
+    [
+      case "200-gate random netlist" test_large_netlist;
+      case "60-girder structure end to end" test_large_structure_with_everything;
+      case "500 inheritors stay consistent" test_many_inheritors_consistency;
+      case "deep composite through the journal" test_deep_composite_through_journal;
+      case "6-input AND cascade truth table" test_simulate_large_netlist_sample;
+    ] )

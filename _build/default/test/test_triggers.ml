@@ -1,0 +1,249 @@
+open Compo_core
+open Helpers
+module G = Compo_scenarios.Gates
+module W = Compo_scenarios.Workload
+
+(* A schema where an inheritor keeps a derived local attribute: Derived =
+   2 * Payload, with Payload inherited.  The paper's "semi-automatical
+   correction": a trigger recomputes Derived when the transmitter changes. *)
+let derived_db () =
+  let db = Database.create () in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Source";
+         ot_inheritor_in = None;
+         ot_attrs = [ { Schema.attr_name = "Payload"; attr_domain = Domain.Integer } ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok
+    (Database.define_inher_rel_type db
+       {
+         Schema.it_name = "AllOf_Source";
+         it_transmitter = "Source";
+         it_inheritor = None;
+         it_inheriting = [ "Payload" ];
+         it_attrs = [];
+         it_subclasses = [];
+         it_constraints = [];
+       });
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "Derived";
+         ot_inheritor_in = Some "AllOf_Source";
+         ot_attrs = [ { Schema.attr_name = "Double"; attr_domain = Domain.Integer } ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  db
+
+let setup_derived () =
+  let db = derived_db () in
+  let eng = Triggers.create db in
+  let src = ok (Database.new_object db ~ty:"Source" ~attrs:[ ("Payload", Value.Int 3) ] ()) in
+  let d = ok (Database.new_object db ~ty:"Derived" ()) in
+  let _ = ok (Triggers.bind eng ~via:"AllOf_Source" ~transmitter:src ~inheritor:d ()) in
+  (db, eng, src, d)
+
+let test_recompute_on_stale () =
+  let db, eng, src, d = setup_derived () in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "keep-double-fresh";
+         r_pattern = Triggers.On_stale { via = Some "AllOf_Source"; attr = Some "Payload" };
+         r_condition = None;
+         r_action = Triggers.recompute ~attr:"Double" Expr.(int 2 * path [ "Payload" ]);
+       });
+  ok (Triggers.set_attr eng src "Payload" (Value.Int 10));
+  check_value "derived attribute recomputed" (Value.Int 20)
+    (ok (Database.get_attr db d "Double"));
+  check_int "rule fired once" 1 (List.length (Triggers.fired eng));
+  (* a non-permeable update does not fire the stale rule *)
+  Triggers.clear_fired eng;
+  ok (Triggers.set_attr eng d "Double" (Value.Int 99));
+  check_bool "no stale firing for local writes" true
+    (List.for_all (fun (name, _) -> name <> "keep-double-fresh") (Triggers.fired eng))
+
+let test_acknowledge_after_repair () =
+  let db, eng, src, _ = setup_derived () in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "repair";
+         r_pattern = Triggers.On_stale { via = None; attr = None };
+         r_condition = None;
+         r_action = Triggers.recompute ~attr:"Double" Expr.(int 2 * path [ "Payload" ]);
+       });
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "ack";
+         r_pattern = Triggers.On_stale { via = None; attr = None };
+         r_condition = None;
+         r_action = Triggers.acknowledge_link;
+       });
+  ok (Triggers.set_attr eng src "Payload" (Value.Int 7));
+  let link = List.hd (ok (Database.links_of db src)) in
+  check_bool "adaptation acknowledged automatically" false (ok (Database.is_stale db link))
+
+let test_condition_filters () =
+  let db, eng, src, d = setup_derived () in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "only-large";
+         r_pattern = Triggers.On_stale { via = None; attr = None };
+         r_condition = Some Expr.(path [ "Payload" ] > int 100);
+         r_action = Triggers.recompute ~attr:"Double" Expr.(int 2 * path [ "Payload" ]);
+       });
+  ok (Triggers.set_attr eng src "Payload" (Value.Int 5));
+  check_value "small update filtered out" Value.Null (ok (Database.get_attr db d "Double"));
+  ok (Triggers.set_attr eng src "Payload" (Value.Int 500));
+  check_value "large update fires" (Value.Int 1000) (ok (Database.get_attr db d "Double"))
+
+let test_update_pattern_and_type_filter () =
+  let db, eng, src, _ = setup_derived () in
+  let hits = ref [] in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "watch-sources";
+         r_pattern = Triggers.On_update { ty = Some "Source"; attr = Some "Payload" };
+         r_condition = None;
+         r_action = (fun _ e -> hits := e :: !hits; Ok ());
+       });
+  ok (Triggers.set_attr eng src "Payload" (Value.Int 1));
+  (* a Derived-typed update must not match the Source pattern *)
+  let d2 = ok (Database.new_object db ~ty:"Derived" ()) in
+  ok (Triggers.set_attr eng d2 "Double" (Value.Int 2));
+  check_int "only the Source update matched" 1 (List.length !hits)
+
+let test_bind_unbind_events () =
+  let db, eng, src, _ = setup_derived () in
+  let events = ref [] in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "binding-audit";
+         r_pattern = Triggers.On_bind { via = Some "AllOf_Source" };
+         r_condition = None;
+         r_action = (fun _ e -> events := e :: !events; Ok ());
+       });
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "unbinding-audit";
+         r_pattern = Triggers.On_unbind;
+         r_condition = None;
+         r_action = (fun _ e -> events := e :: !events; Ok ());
+       });
+  let d2 = ok (Database.new_object db ~ty:"Derived" ()) in
+  let _ = ok (Triggers.bind eng ~via:"AllOf_Source" ~transmitter:src ~inheritor:d2 ()) in
+  ok (Triggers.unbind eng d2);
+  check_int "bind + unbind observed" 2 (List.length !events)
+
+let test_cascade_depth_limit () =
+  let db = derived_db () in
+  let eng = Triggers.create ~max_depth:8 db in
+  let src = ok (Database.new_object db ~ty:"Source" ~attrs:[ ("Payload", Value.Int 0) ] ()) in
+  (* a rule that re-triggers itself through the engine: must be cut off *)
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "runaway";
+         r_pattern = Triggers.On_update { ty = Some "Source"; attr = Some "Payload" };
+         r_condition = None;
+         r_action =
+           (fun _ e ->
+             let target = Triggers.event_target e in
+             let next =
+               match Database.get_attr db target "Payload" with
+               | Ok (Value.Int i) -> i + 1
+               | _ -> 0
+             in
+             Triggers.set_attr eng target "Payload" (Value.Int next));
+       });
+  expect_error
+    (function Errors.Eval_error _ -> true | _ -> false)
+    (Triggers.set_attr eng src "Payload" (Value.Int 1))
+
+let test_transitive_stale_events () =
+  (* a 3-level chain: one update at the root fires one stale event per
+     stamped link *)
+  let db = Database.create () in
+  ok (W.chain_schema db ~depth:3);
+  let nodes = ok (W.chain_instance db ~depth:3 ~payload:1) in
+  let eng = Triggers.create db in
+  let stale = ref 0 in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "count-stale";
+         r_pattern = Triggers.On_stale { via = None; attr = Some "Payload" };
+         r_condition = None;
+         r_action = (fun _ _ -> incr stale; Ok ());
+       });
+  ok (Triggers.set_attr eng (List.hd nodes) "Payload" (Value.Int 9));
+  check_int "three links stamped, three events" 3 !stale
+
+let test_rule_management () =
+  let db = derived_db () in
+  let eng = Triggers.create db in
+  let rule name =
+    {
+      Triggers.r_name = name;
+      r_pattern = Triggers.On_unbind;
+      r_condition = None;
+      r_action = (fun _ _ -> Ok ());
+    }
+  in
+  ok (Triggers.add_rule eng (rule "a"));
+  ok (Triggers.add_rule eng (rule "b"));
+  expect_error any_error (Triggers.add_rule eng (rule "a"));
+  Alcotest.(check (list string)) "rules listed" [ "a"; "b" ] (Triggers.rules eng);
+  ok (Triggers.remove_rule eng "a");
+  expect_error any_error (Triggers.remove_rule eng "a");
+  Alcotest.(check (list string)) "rule removed" [ "b" ] (Triggers.rules eng)
+
+let test_gates_adaptation_scenario () =
+  (* the paper's scenario: a composite's placed component goes stale when
+     the catalog part changes; a rule rewrites the note so the designer
+     knows which procedure to run *)
+  let db = gates_db () in
+  let eng = Triggers.create db in
+  let iface = ok (G.nor_interface db) in
+  let top_iface = ok (G.nor_interface db) in
+  let top = ok (G.new_implementation db ~interface:top_iface ()) in
+  let use = ok (G.use_component db ~composite:top ~component_interface:iface ~x:0 ~y:0) in
+  ok
+    (Triggers.add_rule eng
+       {
+         Triggers.r_name = "placement-review";
+         r_pattern = Triggers.On_stale { via = Some "AllOf_GateInterface"; attr = Some "Width" };
+         r_condition = None;
+         r_action = Triggers.log_note ~note:"re-run placement check";
+       });
+  ok (Triggers.set_attr eng iface "Width" (Value.Int 9));
+  let link = Option.get (ok (Inheritance.binding_of (Database.store db) use)) in
+  check_string "note rewritten by the rule" "re-run placement check"
+    (ok (Database.stale_note db link.Store.b_link));
+  check_bool "still flagged for the designer" true (ok (Database.is_stale db link.Store.b_link))
+
+let suite =
+  ( "triggers",
+    [
+      case "recompute derived attr on staleness" test_recompute_on_stale;
+      case "automatic acknowledge after repair" test_acknowledge_after_repair;
+      case "conditions filter events" test_condition_filters;
+      case "update pattern with type filter" test_update_pattern_and_type_filter;
+      case "bind/unbind events" test_bind_unbind_events;
+      case "runaway cascades are cut off" test_cascade_depth_limit;
+      case "transitive staleness fires per link" test_transitive_stale_events;
+      case "rule management" test_rule_management;
+      case "gates adaptation scenario (paper section 2)" test_gates_adaptation_scenario;
+    ] )

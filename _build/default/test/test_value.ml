@@ -1,0 +1,133 @@
+open Compo_core
+open Helpers
+
+let test_set_normal_form () =
+  let a = Value.set [ Value.Int 3; Value.Int 1; Value.Int 3; Value.Int 2 ] in
+  let b = Value.set [ Value.Int 2; Value.Int 1; Value.Int 3 ] in
+  check_value "sets normalise" a b
+
+let test_record_field_order () =
+  let a = Value.record [ ("Y", Value.Int 2); ("X", Value.Int 1) ] in
+  let b = Value.record [ ("X", Value.Int 1); ("Y", Value.Int 2) ] in
+  check_value "record fields sort" a b;
+  check_value "field projection" (Value.Int 2) (Option.get (Value.field "Y" a))
+
+let test_point_shape () =
+  check_value "point"
+    (Value.Record [ ("X", Value.Int 4); ("Y", Value.Int 7) ])
+    (Value.point 4 7)
+
+let test_conforms_simple () =
+  ok (Value.conforms Domain.Integer (Value.Int 3));
+  ok (Value.conforms Domain.Real (Value.Int 3));
+  ok (Value.conforms Domain.Real (Value.Real 3.5));
+  ok (Value.conforms Domain.String (Value.Str "x"));
+  ok (Value.conforms Domain.Boolean (Value.Bool true));
+  expect_error any_error (Value.conforms Domain.Integer (Value.Str "x"));
+  expect_error any_error (Value.conforms Domain.Boolean (Value.Int 0))
+
+let test_conforms_null_everywhere () =
+  List.iter
+    (fun d -> ok (Value.conforms d Value.Null))
+    [
+      Domain.Integer;
+      Domain.Enum [ "A" ];
+      Domain.Record [ ("f", Domain.Integer) ];
+      Domain.Set_of Domain.String;
+    ]
+
+let test_conforms_enum () =
+  let io = Domain.Enum [ "IN"; "OUT" ] in
+  ok (Value.conforms io (Value.Enum_case "IN"));
+  expect_error any_error (Value.conforms io (Value.Enum_case "SIDEWAYS"))
+
+let test_conforms_record () =
+  let point = Domain.Record [ ("X", Domain.Integer); ("Y", Domain.Integer) ] in
+  ok (Value.conforms point (Value.point 1 2));
+  expect_error ~msg:"missing field" any_error
+    (Value.conforms point (Value.record [ ("X", Value.Int 1) ]));
+  expect_error ~msg:"extra field" any_error
+    (Value.conforms point
+       (Value.record
+          [ ("X", Value.Int 1); ("Y", Value.Int 2); ("Z", Value.Int 3) ]))
+
+let test_conforms_collections () =
+  let ints = Domain.Set_of Domain.Integer in
+  ok (Value.conforms ints (Value.set [ Value.Int 1; Value.Int 2 ]));
+  expect_error any_error
+    (Value.conforms ints (Value.set [ Value.Int 1; Value.Str "x" ]));
+  let m = Domain.Matrix_of Domain.Boolean in
+  ok
+    (Value.conforms m
+       (Value.Matrix [| [| Value.Bool true |]; [| Value.Bool false |] |]));
+  expect_error ~msg:"ragged matrix" any_error
+    (Value.conforms m
+       (Value.Matrix [| [| Value.Bool true |]; [||] |]))
+
+let test_domain_expand () =
+  let lookup = function
+    | "Point" -> Some (Domain.Record [ ("X", Domain.Integer); ("Y", Domain.Integer) ])
+    | "Loop" -> Some (Domain.List_of (Domain.Named "Loop"))
+    | _ -> None
+  in
+  let expanded = ok (Domain.expand ~lookup (Domain.List_of (Domain.Named "Point"))) in
+  check_bool "expanded"
+    (Domain.equal expanded
+       (Domain.List_of
+          (Domain.Record [ ("X", Domain.Integer); ("Y", Domain.Integer) ])))
+    true;
+  expect_error ~msg:"recursive domain" any_error
+    (Domain.expand ~lookup (Domain.Named "Loop"));
+  expect_error ~msg:"unknown domain" any_error
+    (Domain.expand ~lookup (Domain.Named "Missing"))
+
+let test_domain_well_formed () =
+  expect_error any_error (Domain.well_formed (Domain.Enum []));
+  expect_error any_error (Domain.well_formed (Domain.Enum [ "A"; "A" ]));
+  expect_error any_error
+    (Domain.well_formed (Domain.Record [ ("f", Domain.Integer); ("f", Domain.Integer) ]));
+  ok (Domain.well_formed (Domain.Record [ ("f", Domain.Integer) ]))
+
+let test_refs () =
+  let s1 = Surrogate.of_int 10 and s2 = Surrogate.of_int 20 in
+  let v =
+    Value.record
+      [ ("a", Value.Ref s1); ("b", Value.set [ Value.Ref s2; Value.Int 1 ]) ]
+  in
+  Alcotest.(check (list surrogate)) "refs" [ s1; s2 ] (Value.refs v)
+
+(* Property: set normal form is idempotent and order-insensitive. *)
+let prop_set_normal_form =
+  let gen = QCheck.list (QCheck.map (fun i -> Value.Int i) QCheck.small_int) in
+  QCheck.Test.make ~name:"Value.set is order-insensitive" ~count:200 gen
+    (fun vs ->
+      let shuffled = List.rev vs in
+      Value.equal (Value.set vs) (Value.set shuffled))
+
+(* Property: compare is a total order consistent with equal. *)
+let prop_compare_total =
+  let gen =
+    QCheck.pair
+      (QCheck.map (fun i -> Value.Int i) QCheck.small_int)
+      (QCheck.map (fun s -> Value.Str s) QCheck.printable_string)
+  in
+  QCheck.Test.make ~name:"compare antisymmetry across ranks" ~count:200 gen
+    (fun (a, b) -> Value.compare a b = -Value.compare b a)
+
+let suite =
+  ( "value",
+    [
+      case "set normal form" test_set_normal_form;
+      case "record field order" test_record_field_order;
+      case "point shape" test_point_shape;
+      case "conforms: simple domains" test_conforms_simple;
+      case "conforms: null conforms everywhere" test_conforms_null_everywhere;
+      case "conforms: enum cases" test_conforms_enum;
+      case "conforms: records" test_conforms_record;
+      case "conforms: collections and matrices" test_conforms_collections;
+      case "domain expansion" test_domain_expand;
+      case "domain well-formedness" test_domain_well_formed;
+      case "reachable refs" test_refs;
+      QCheck_alcotest.to_alcotest prop_set_normal_form;
+      QCheck_alcotest.to_alcotest prop_compare_total;
+    ] )

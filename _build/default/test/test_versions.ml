@@ -1,0 +1,265 @@
+open Compo_core
+open Compo_versions
+open Helpers
+module G = Compo_scenarios.Gates
+module VG = Version_graph
+
+let simple_graph () =
+  (* v1 -> v2 -> v4, v1 -> v3 (alternative) *)
+  let g = VG.create ~name:"nor" in
+  let v1 = ok (VG.add_root g ~obj:(Surrogate.of_int 101) ()) in
+  let v2 = ok (VG.derive g ~from:[ v1 ] ~obj:(Surrogate.of_int 102) ()) in
+  let v3 = ok (VG.derive g ~from:[ v1 ] ~obj:(Surrogate.of_int 103) ()) in
+  let v4 = ok (VG.derive g ~from:[ v2 ] ~obj:(Surrogate.of_int 104) ()) in
+  (g, v1, v2, v3, v4)
+
+let test_graph_structure () =
+  let g, v1, v2, v3, v4 = simple_graph () in
+  Alcotest.(check (list int)) "successors of v1" [ v2; v3 ] (VG.successors g v1);
+  Alcotest.(check (list int)) "alternatives of v2" [ v3 ] (VG.alternatives g v2);
+  Alcotest.(check (list int)) "leaves" [ v3; v4 ] (VG.leaves g);
+  Alcotest.(check (list int)) "history of v4" [ v1; v2; v4 ] (ok (VG.history g v4));
+  Alcotest.(check (list int)) "predecessors" [ v2 ] (VG.predecessors g v4);
+  check_int "four versions" 4 (List.length (VG.versions g))
+
+let test_graph_merge_history () =
+  let g = VG.create ~name:"m" in
+  let v1 = ok (VG.add_root g ~obj:(Surrogate.of_int 1) ()) in
+  let v2 = ok (VG.derive g ~from:[ v1 ] ~obj:(Surrogate.of_int 2) ()) in
+  let v3 = ok (VG.derive g ~from:[ v1 ] ~obj:(Surrogate.of_int 3) ()) in
+  let v4 = ok (VG.derive g ~from:[ v2; v3 ] ~obj:(Surrogate.of_int 4) ()) in
+  Alcotest.(check (list int)) "merge history" [ v1; v2; v3; v4 ] (ok (VG.history g v4))
+
+let test_graph_validation () =
+  let g, v1, _, _, _ = simple_graph () in
+  expect_error ~msg:"second root" any_error (VG.add_root g ~obj:(Surrogate.of_int 999) ());
+  expect_error ~msg:"empty predecessors" any_error
+    (VG.derive g ~from:[] ~obj:(Surrogate.of_int 999) ());
+  expect_error ~msg:"unknown predecessor" any_error
+    (VG.derive g ~from:[ 77 ] ~obj:(Surrogate.of_int 999) ());
+  expect_error ~msg:"object registered twice" any_error
+    (VG.derive g ~from:[ v1 ] ~obj:(Surrogate.of_int 101) ())
+
+let test_states_forward_only () =
+  let g, v1, _, _, _ = simple_graph () in
+  check_bool "in-work is modifiable" true (VG.modifiable g v1);
+  ok (VG.promote g v1 VG.Released);
+  check_bool "released is immutable" false (VG.modifiable g v1);
+  expect_error ~msg:"no demotion" any_error (VG.promote g v1 VG.In_work);
+  ok (VG.promote g v1 VG.Frozen);
+  expect_error ~msg:"frozen is final" any_error (VG.promote g v1 VG.Released)
+
+let test_remove_rules () =
+  let g, v1, _v2, v3, _v4 = simple_graph () in
+  expect_error ~msg:"non-leaf" any_error (VG.remove g v1);
+  ok (VG.promote g v3 VG.Released);
+  ok (VG.promote g v3 VG.Frozen);
+  expect_error ~msg:"frozen leaf" any_error (VG.remove g v3);
+  let g2, _, _, v3', _ = simple_graph () in
+  ok (VG.remove g2 v3');
+  check_int "removed" 3 (List.length (VG.versions g2))
+
+let test_default_requires_stability () =
+  let g, v1, _, _, _ = simple_graph () in
+  expect_error ~msg:"in-work default" any_error (VG.set_default g v1);
+  ok (VG.promote g v1 VG.Released);
+  ok (VG.set_default g v1);
+  Alcotest.(check (option int)) "default set" (Some v1) (VG.default_version g)
+
+(* deep copy of a flip-flop: same shape, independent data *)
+let test_clone_object () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let ff = ok (G.flip_flop db) in
+  let copy = ok (Versioned.clone_object store ff) in
+  check_bool "distinct objects" false (Surrogate.equal ff copy);
+  check_int "pins copied" 4 (List.length (ok (Database.subclass_members db copy "Pins")));
+  check_int "subgates copied" 2
+    (List.length (ok (Database.subclass_members db copy "SubGates")));
+  check_int "wires copied" 6 (List.length (ok (Database.subrel_members db copy "Wires")));
+  (* wires of the copy reference copied pins, not originals *)
+  let original_pins =
+    Surrogate.Set.of_list
+      (ok (Database.subclass_members db ff "Pins")
+      @ List.concat_map
+          (fun g -> ok (Database.subclass_members db g "Pins"))
+          (ok (Database.subclass_members db ff "SubGates")))
+  in
+  List.iter
+    (fun w ->
+      let p1 = Option.get (Value.as_ref (ok (Database.participant db w "Pin1"))) in
+      check_bool "participant remapped" false (Surrogate.Set.mem p1 original_pins))
+    (ok (Database.subrel_members db copy "Wires"));
+  (* mutating the copy leaves the original untouched *)
+  ok (Database.set_attr db copy "Length" (Value.Int 77));
+  check_value "original unchanged" (Value.Int 10) (ok (Database.get_attr db ff "Length"));
+  (* the copy is a well-formed Gate: where-clauses still hold *)
+  check_no_violations "copy consistent" (ok (Database.validate db copy));
+  check_bool "copy joined the class" true
+    (List.exists (Surrogate.equal copy) (ok (Database.select db ~cls:"Gates" ())))
+
+let test_clone_preserves_bindings () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.nor_implementation db ~interface:iface) in
+  let copy = ok (Versioned.clone_object store impl) in
+  check_value "clone inherits from the same interface" (Value.Int 4)
+    (ok (Database.get_attr db copy "Length"));
+  check_int "interface now has two implementations" 2
+    (List.length (ok (Database.implementations_of db iface)))
+
+let test_derive_version_and_guard () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let reg = Versioned.create () in
+  let _g = ok (Versioned.new_graph reg ~name:"nor-impl") in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.nor_implementation db ~interface:iface) in
+  let v1 = ok (Versioned.register_root reg ~graph:"nor-impl" ~obj:impl) in
+  (* in-work versions are writable through the guard *)
+  ok (Versioned.set_attr reg store impl "TimeBehavior" (Value.Int 2));
+  ok (Versioned.promote reg ~graph:"nor-impl" ~version:v1 VG.Released);
+  expect_error ~msg:"released version immutable" any_error
+    (Versioned.set_attr reg store impl "TimeBehavior" (Value.Int 3));
+  (* deriving gives a fresh in-work object *)
+  let v2, clone = ok (Versioned.derive_version reg store ~graph:"nor-impl" ~from:v1) in
+  ok (Versioned.set_attr reg store clone "TimeBehavior" (Value.Int 9));
+  check_value "clone updated" (Value.Int 9) (ok (Database.get_attr db clone "TimeBehavior"));
+  check_value "original untouched" (Value.Int 2) (ok (Database.get_attr db impl "TimeBehavior"));
+  check_bool "v2 in-work" true
+    (let g = ok (Versioned.graph reg "nor-impl") in
+     VG.modifiable g v2)
+
+(* C12: the three selection policies of section 6 *)
+let test_generic_reference_policies () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let reg = Versioned.create () in
+  let g = ok (Versioned.new_graph reg ~name:"nor") in
+  let iface = ok (G.nor_interface db) in
+  (* three implementation versions with increasing TimeBehavior *)
+  let impl1 = ok (G.new_implementation db ~interface:iface ~time_behavior:5 ()) in
+  let v1 = ok (VG.add_root g ~obj:impl1 ()) in
+  let v2, impl2 = ok (Versioned.derive_version reg store ~graph:"nor" ~from:v1) in
+  ok (Inheritance.set_attr store impl2 "TimeBehavior" (Value.Int 3));
+  let v3, impl3 = ok (Versioned.derive_version reg store ~graph:"nor" ~from:v2) in
+  ok (Inheritance.set_attr store impl3 "TimeBehavior" (Value.Int 1));
+  ok (VG.promote g v1 VG.Released);
+  ok (VG.promote g v2 VG.Released);
+  (* v3 stays in-work: not selectable *)
+  ok (VG.set_default g v1);
+  (* probes are inheritors-in SomeOf_Gate *)
+  let probe policy =
+    let p =
+      ok (Database.new_object db ~ty:"TimingProbe" ~attrs:[ ("ProbeNote", Value.Str "p") ] ())
+    in
+    let gref = { Generic_ref.gr_graph = g; gr_via = "SomeOf_Gate"; gr_policy = policy } in
+    (p, gref)
+  in
+  (* bottom-up: the default version *)
+  let p1, gref1 = probe Generic_ref.Bottom_up in
+  let _ = ok (Generic_ref.attach store ~inheritor:p1 gref1) in
+  check_value "bottom-up selects default" (Value.Int 5)
+    (ok (Database.get_attr db p1 "TimeBehavior"));
+  (* top-down: fastest stable version *)
+  let p2, gref2 =
+    probe (Generic_ref.Top_down Expr.(path [ "TimeBehavior" ] <= int 3))
+  in
+  let _ = ok (Generic_ref.attach store ~inheritor:p2 gref2) in
+  check_value "top-down query selects v2 (v3 is in-work)" (Value.Int 3)
+    (ok (Database.get_attr db p2 "TimeBehavior"));
+  (* environment: pinned version *)
+  let envs = Generic_ref.Env_table.create () in
+  Generic_ref.Env_table.define envs ~env:"release-2024";
+  ok (Generic_ref.Env_table.pin envs ~env:"release-2024" ~graph:"nor" ~version:v2);
+  let p3, gref3 = probe (Generic_ref.Environment "release-2024") in
+  let _ = ok (Generic_ref.attach store ~envs ~inheritor:p3 gref3) in
+  check_value "environment pins v2" (Value.Int 3)
+    (ok (Database.get_attr db p3 "TimeBehavior"));
+  (* refresh: releasing v3 changes the top-down selection *)
+  ok (VG.promote g v3 VG.Released);
+  (match ok (Generic_ref.refresh store ~inheritor:p2 gref2) with
+  | `Rebound _ -> ()
+  | `Unchanged -> Alcotest.fail "expected rebinding to v3");
+  check_value "rebound to the newly released version" (Value.Int 1)
+    (ok (Database.get_attr db p2 "TimeBehavior"));
+  (match ok (Generic_ref.refresh store ~inheritor:p2 gref2) with
+  | `Unchanged -> ()
+  | `Rebound _ -> Alcotest.fail "second refresh must be stable")
+
+let test_generic_reference_errors () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let g = VG.create ~name:"empty" in
+  let p = ok (Database.new_object db ~ty:"TimingProbe" ()) in
+  let gref = { Generic_ref.gr_graph = g; gr_via = "SomeOf_Gate"; gr_policy = Generic_ref.Bottom_up } in
+  expect_error ~msg:"no default version" any_error
+    (Generic_ref.attach store ~inheritor:p gref);
+  let gref2 = { gref with Generic_ref.gr_policy = Generic_ref.Environment "nowhere" } in
+  expect_error ~msg:"missing environment table" any_error
+    (Generic_ref.attach store ~inheritor:p gref2)
+
+
+
+let test_registry_persistence () =
+  let db = gates_db () in
+  let store = Database.store db in
+  let reg = Versioned.create () in
+  let g = ok (Versioned.new_graph reg ~name:"nor") in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ~time_behavior:5 ()) in
+  let v1 = ok (Versioned.register_root reg ~graph:"nor" ~obj:impl) in
+  let v2, _ = ok (Versioned.derive_version reg store ~graph:"nor" ~from:v1) in
+  ok (VG.promote g v1 VG.Released);
+  ok (VG.set_default g v1);
+  let _ = ok (Versioned.new_graph reg ~name:"empty-graph") in
+  let path = Filename.temp_file "compo-versions" ".bin" in
+  ok (Versioned.save_file reg path);
+  let reg2 = ok (Versioned.load_file path) in
+  Alcotest.(check (list string)) "graphs preserved" [ "empty-graph"; "nor" ]
+    (Versioned.graphs reg2);
+  let g2 = ok (Versioned.graph reg2 "nor") in
+  check_int "versions preserved" 2 (List.length (VG.versions g2));
+  Alcotest.(check (option int)) "default preserved" (Some v1) (VG.default_version g2);
+  check_bool "state preserved" false (VG.modifiable g2 v1);
+  check_bool "in-work preserved" true (VG.modifiable g2 v2);
+  Alcotest.(check (list int)) "derivation preserved" [ v2 ] (VG.successors g2 v1);
+  (* the reloaded registry still finds objects in the (live) store *)
+  (match Versioned.graph_of_object reg2 impl with
+  | Some (g, id) ->
+      check_string "graph found by object" "nor" (VG.name g);
+      check_int "version found by object" v1 id
+  | None -> Alcotest.fail "object lost");
+  (* fresh ids do not collide after reload *)
+  let iface2 = ok (G.nor_interface db) in
+  let impl3 = ok (G.new_implementation db ~interface:iface2 ()) in
+  let v3 = ok (VG.derive g2 ~from:[ v2 ] ~obj:impl3 ()) in
+  check_bool "id counter restored" true (v3 > v2);
+  (* corruption detection *)
+  let contents = In_channel.with_open_bin path In_channel.input_all in
+  let broken = Bytes.of_string contents in
+  let pos = Bytes.length broken / 2 in
+  Bytes.set broken pos (if Bytes.get broken pos = 'x' then 'y' else 'x');
+  Out_channel.with_open_bin path (fun c -> Out_channel.output_bytes c broken);
+  expect_error
+    (function Errors.Io_error _ -> true | _ -> false)
+    (Versioned.load_file path);
+  Sys.remove path
+
+let suite =
+  ( "versions",
+    [
+      case "derivation graph structure" test_graph_structure;
+      case "merge versions in history" test_graph_merge_history;
+      case "graph validation" test_graph_validation;
+      case "states move forward only" test_states_forward_only;
+      case "remove rules" test_remove_rules;
+      case "default version must be stable" test_default_requires_stability;
+      case "deep copy of complex objects" test_clone_object;
+      case "deep copy preserves bindings" test_clone_preserves_bindings;
+      case "derive version with immutability guard" test_derive_version_and_guard;
+      case "generic references: three policies (C12)" test_generic_reference_policies;
+      case "generic references: error cases" test_generic_reference_errors;
+      case "registry persistence round-trip" test_registry_persistence;
+    ] )

@@ -1,0 +1,187 @@
+open Compo_core
+open Compo_txn
+open Compo_workspace
+open Helpers
+module G = Compo_scenarios.Gates
+module T = Transaction
+
+let setup () =
+  let db = gates_db () in
+  let ac = Access_control.create () in
+  let mg = T.create_manager ~access:ac (Database.store db) in
+  let ws = Workspace.create_manager mg in
+  (db, ac, mg, ws)
+
+let checked_out_latch db ws =
+  let iface = ok (G.nor_interface db) in
+  let top_iface = ok (G.nor_interface db) in
+  let latch = ok (G.new_implementation db ~interface:top_iface ()) in
+  let use = ok (G.use_component db ~composite:latch ~component_interface:iface ~x:0 ~y:0) in
+  let w = ok (Workspace.checkout ws ~user:"alice" latch) in
+  (iface, latch, use, w)
+
+let test_checkout_copies_and_locks () =
+  let db, _, mg, ws = setup () in
+  let _iface, latch, use, w = checked_out_latch db ws in
+  check_bool "workspace open" true (Workspace.state w = Workspace.Open);
+  (* the private copy mirrors the public tree *)
+  let priv = Workspace.private_root w in
+  check_bool "separate root" false (Surrogate.equal priv latch);
+  check_int "component use copied" 1
+    (List.length (ok (Database.subclass_members db priv "SubGates")));
+  (* mapping works *)
+  (match Workspace.private_of w use with
+  | Some p -> check_bool "mapped use differs" false (Surrogate.equal p use)
+  | None -> Alcotest.fail "use not in mapping");
+  (* the private copy is not in any public class *)
+  check_bool "copy outside public classes" false
+    (List.exists (Surrogate.equal priv) (ok (Database.select db ~cls:"Implementations" ())));
+  (* public side is locked: another transaction cannot write the latch *)
+  let t2 = T.begin_txn mg ~user:"bob" in
+  expect_error
+    (function Errors.Lock_error _ -> true | _ -> false)
+    (T.set_attr mg t2 latch "TimeBehavior" (Value.Int 5));
+  ok (T.commit mg t2);
+  let _ = ok (Workspace.discard ws w) in
+  ()
+
+let test_edit_and_checkin () =
+  let db, _, _, ws = setup () in
+  let _iface, latch, use, w = checked_out_latch db ws in
+  let priv = Workspace.private_root w in
+  let priv_use = Option.get (Workspace.private_of w use) in
+  (* edit the private copy freely *)
+  ok (Database.set_attr db priv "TimeBehavior" (Value.Int 42));
+  ok (Database.set_attr db priv_use "GateLocation" (Value.point 9 9));
+  (* diff reports both pending changes against the public originals *)
+  let pending = ok (Workspace.diff ws w) in
+  check_int "two pending changes" 2 (List.length pending);
+  let applied = ok (Workspace.checkin ws w) in
+  check_int "two changes applied" 2 (List.length applied);
+  check_bool "workspace closed" true (Workspace.state w = Workspace.Checked_in);
+  check_value "public latch updated" (Value.Int 42)
+    (ok (Database.get_attr db latch "TimeBehavior"));
+  check_value "public use updated" (Value.point 9 9)
+    (ok (Database.get_attr db use "GateLocation"));
+  (* private copy is gone, locks released, store healthy *)
+  check_bool "private copy deleted" false (Store.mem (Database.store db) priv);
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db))
+
+let test_checkin_releases_locks () =
+  let db, _, mg, ws = setup () in
+  let _iface, latch, _use, w = checked_out_latch db ws in
+  let priv = Workspace.private_root w in
+  ok (Database.set_attr db priv "TimeBehavior" (Value.Int 1));
+  let _ = ok (Workspace.checkin ws w) in
+  (* now others can write *)
+  let t2 = T.begin_txn mg ~user:"bob" in
+  ok (T.set_attr mg t2 latch "TimeBehavior" (Value.Int 2));
+  ok (T.commit mg t2)
+
+let test_structural_change_rejected () =
+  let db, _, _, ws = setup () in
+  let iface, _latch, _use, w = checked_out_latch db ws in
+  let priv = Workspace.private_root w in
+  (* adding a component in the workspace is rejected at check-in *)
+  let _ = ok (G.use_component db ~composite:priv ~component_interface:iface ~x:5 ~y:5) in
+  expect_error
+    (function Errors.Schema_error _ -> true | _ -> false)
+    (Workspace.checkin ws w);
+  check_bool "workspace stays open" true (Workspace.state w = Workspace.Open);
+  let _ = ok (Workspace.discard ws w) in
+  ()
+
+let test_protected_part_stays_readonly () =
+  let db, ac, _, ws = setup () in
+  let iface = ok (G.nor_interface db) in
+  Access_control.protect ac iface;
+  let top_iface = ok (G.nor_interface db) in
+  let latch = ok (G.new_implementation db ~interface:top_iface ()) in
+  let use = ok (G.use_component db ~composite:latch ~component_interface:iface ~x:0 ~y:0) in
+  (* protect the placed use as well: a frozen placement *)
+  Access_control.protect ac use;
+  let w = ok (Workspace.checkout ws ~user:"carol" latch) in
+  (* both protected objects were taken in S, the rest in X *)
+  check_bool "protected interface read-locked" true
+    (List.assoc_opt iface (Workspace.locked w) = Some Lock.S);
+  check_bool "protected use read-locked" true
+    (List.assoc_opt use (Workspace.locked w) = Some Lock.S);
+  (* the catalog part is shared by reference: it has no private copy, and
+     its data is only reachable read-only through inheritance *)
+  check_bool "catalog part not copied" true (Workspace.private_of w iface = None);
+  let priv_use = Option.get (Workspace.private_of w use) in
+  check_value "workspace still reads catalog data" (Value.Int 4)
+    (ok (Database.get_attr db priv_use "Length"));
+  expect_error
+    (function Errors.Inherited_readonly _ -> true | _ -> false)
+    (Database.set_attr db priv_use "Length" (Value.Int 99));
+  (* local edits to the protected use are possible privately but refused
+     at check-in *)
+  ok (Database.set_attr db priv_use "GateLocation" (Value.point 8 8));
+  expect_error
+    (function Errors.Access_denied _ -> true | _ -> false)
+    (Workspace.checkin ws w);
+  check_bool "workspace stays open after the refusal" true
+    (Workspace.state w = Workspace.Open);
+  let _ = ok (Workspace.discard ws w) in
+  check_value "public placement untouched" (Value.point 0 0)
+    (ok (Database.get_attr db use "GateLocation"))
+
+let test_discard_leaves_public_untouched () =
+  let db, _, mg, ws = setup () in
+  let _iface, latch, _use, w = checked_out_latch db ws in
+  let priv = Workspace.private_root w in
+  ok (Database.set_attr db priv "TimeBehavior" (Value.Int 77));
+  let _ = ok (Workspace.discard ws w) in
+  check_value "public unchanged" (Value.Int 1) (ok (Database.get_attr db latch "TimeBehavior"));
+  check_bool "copy gone" false (Store.mem (Database.store db) priv);
+  (* locks released *)
+  let t2 = T.begin_txn mg ~user:"bob" in
+  ok (T.set_attr mg t2 latch "TimeBehavior" (Value.Int 1));
+  ok (T.commit mg t2);
+  (* a closed workspace rejects further operations *)
+  expect_error any_error (Workspace.checkin ws w);
+  Alcotest.(check (list string)) "store healthy" []
+    (Store.check_invariants (Database.store db))
+
+let test_concurrent_checkouts_conflict () =
+  let db, _, _, ws = setup () in
+  let _iface, latch, _use, w1 = checked_out_latch db ws in
+  (* a second checkout of the same composite blocks on the locks *)
+  expect_error
+    (function Errors.Lock_error _ -> true | _ -> false)
+    (Workspace.checkout ws ~user:"bob" latch);
+  let _ = ok (Workspace.discard ws w1) in
+  (* after the first is discarded, the second succeeds *)
+  let w2 = ok (Workspace.checkout ws ~user:"bob" latch) in
+  let _ = ok (Workspace.discard ws w2) in
+  ()
+
+let test_checkin_visible_to_inheritors () =
+  (* the integration story: checking in a catalog change stamps the
+     dependent links of public inheritors *)
+  let db, _, _, ws = setup () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  let w = ok (Workspace.checkout ws ~user:"alice" iface) in
+  let priv = Workspace.private_root w in
+  ok (Database.set_attr db priv "Length" (Value.Int 11));
+  let _ = ok (Workspace.checkin ws w) in
+  check_value "inheritor sees the checked-in value" (Value.Int 11)
+    (ok (Database.get_attr db impl "Length"));
+  let link = List.hd (ok (Database.links_of db iface)) in
+  check_bool "dependent link stamped by check-in" true (ok (Database.is_stale db link))
+
+let suite =
+  ( "workspace",
+    [
+      case "checkout copies the tree and locks the public side" test_checkout_copies_and_locks;
+      case "edit privately, check in atomically" test_edit_and_checkin;
+      case "check-in releases the locks" test_checkin_releases_locks;
+      case "structural workspace changes rejected" test_structural_change_rejected;
+      case "protected parts stay read-only through checkout" test_protected_part_stays_readonly;
+      case "discard leaves the public side untouched" test_discard_leaves_public_untouched;
+      case "concurrent checkouts conflict" test_concurrent_checkouts_conflict;
+      case "check-in stamps dependent inheritors" test_checkin_visible_to_inheritors;
+    ] )
