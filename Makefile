@@ -1,0 +1,29 @@
+.PHONY: all build test check fmt bench clean
+
+all: build
+
+build:
+	dune build
+
+test: build
+	dune runtest
+
+# Smoke target: tier-1 build + tests, then the instrumented stats
+# workload over the paper's gates schema.
+check: test
+	dune exec bin/compo_cli.exe -- stats schemas/gates.ddl
+
+# ocamlformat is optional in the build environment; format when it is
+# available, otherwise say so and succeed.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune fmt; \
+	else \
+	  echo "fmt: ocamlformat not installed, skipping"; \
+	fi
+
+bench: build
+	dune exec bench/main.exe
+
+clean:
+	dune clean

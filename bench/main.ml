@@ -17,6 +17,27 @@ let header id claim =
   say "";
   say "--- %s: %s" id claim
 
+(* COMPO_BENCH_METRICS=1 collects kernel metrics per experiment and prints
+   a snapshot after each one.  Off by default, so the tables measure the
+   disabled (no-op sink) instrumentation path. *)
+let bench_metrics =
+  match Sys.getenv_opt "COMPO_BENCH_METRICS" with
+  | Some ("1" | "true" | "yes") -> true
+  | Some _ | None -> false
+
+let with_snapshot f =
+  if not bench_metrics then f ()
+  else begin
+    Compo_obs.Metrics.reset ();
+    Compo_obs.Metrics.enable ();
+    f ();
+    Compo_obs.Metrics.disable ();
+    say "";
+    say "metrics snapshot:";
+    print_string (Compo_obs.Metrics.dump ());
+    Compo_obs.Metrics.reset ()
+  end
+
 (* Median seconds per call over [repeat] samples of [batch] calls each. *)
 let time_per ?(repeat = 21) ?(batch = 1) f =
   f ();
@@ -605,20 +626,8 @@ let bechamel_group () =
 
 let () =
   say "compo benchmark harness (experiments E1-E14; see DESIGN.md section 4)";
-  e1 ();
-  e2 ();
-  e3 ();
-  e4 ();
-  e5 ();
-  e6 ();
-  e7 ();
-  e8 ();
-  e9 ();
-  e10 ();
-  e11 ();
-  e12 ();
-  e13 ();
-  e14 ();
+  List.iter with_snapshot
+    [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ];
   bechamel_group ();
   say "";
   say "bench done."

@@ -8,7 +8,12 @@
    compo validate <dir>            check all integrity constraints
    compo show <dir> <id>           display one object
    compo checkpoint <dir>          collapse the WAL into a snapshot
-   compo demo <gates|steel> <dir>  build a paper scenario into a database *)
+   compo demo <gates|steel> <dir>  build a paper scenario into a database
+   compo stats [file.ddl...]       run an instrumented workload, dump metrics
+
+   Every data command also accepts --metrics, which turns the kernel's
+   metrics registry on for the duration of the command and dumps it to
+   stderr afterwards. *)
 
 open Compo_core
 
@@ -290,21 +295,125 @@ let cmd_demo scenario dir =
   Printf.printf "saved to %s\n" dir
 
 (* ------------------------------------------------------------------ *)
+(* Observability: the stats command and the --metrics flag              *)
+
+let with_metrics metrics f =
+  if not metrics then f ()
+  else begin
+    Compo_obs.Metrics.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Compo_obs.Metrics.disable ();
+        prerr_string (Compo_obs.Metrics.dump ()))
+      f
+  end
+
+let rec remove_tree path =
+  match Sys.is_directory path with
+  | true ->
+      Array.iter
+        (fun f -> remove_tree (Filename.concat path f))
+        (Sys.readdir path);
+      Sys.rmdir path
+  | false -> Sys.remove path
+  | exception Sys_error _ -> ()
+
+let cmd_stats files line_protocol slow_ms =
+  let module Obs = Compo_obs.Metrics in
+  let module Trace = Compo_obs.Trace in
+  Obs.enable ();
+  Trace.set_slow_threshold (slow_ms /. 1000.);
+  (* schema files on the command line are elaborated first, so their
+     definitions feed the same registry as the workload below *)
+  let db = Database.create () in
+  List.iter
+    (fun path -> or_die (Compo_ddl.Elaborate.load_string db (read_file path)))
+    files;
+  (* A fixed workload in a throwaway journal touches every instrumented
+     layer: the gates scenario build (store, inheritance.bind), journaled
+     updates (wal.append), inherited reads (inheritance.resolve), a
+     predicate query (query.select, eval.node), simulated designer
+     contention (lock.wait), and a checkpoint (snapshot.write). *)
+  let dir = Filename.temp_file "compo-stats" ".db" in
+  Sys.remove dir;
+  let j = or_die (Compo_storage.Journal.open_dir dir) in
+  let jdb = Compo_storage.Journal.db j in
+  or_die (Compo_scenarios.Gates.define_schema jdb);
+  let ff = or_die (Compo_scenarios.Gates.flip_flop jdb) in
+  let iface = or_die (Compo_scenarios.Gates.nor_interface jdb) in
+  let impl =
+    or_die (Compo_scenarios.Gates.nor_implementation jdb ~interface:iface)
+  in
+  or_die (Compo_storage.Journal.set_attr j ff "Length" (Value.Int 12));
+  or_die (Compo_storage.Journal.set_attr j iface "Width" (Value.Int 3));
+  (* the implementation inherits Length/Width from its interface, so these
+     reads resolve across transmitter hops *)
+  List.iter
+    (fun name ->
+      let (_ : Value.t) = or_die (Database.get_attr jdb impl name) in
+      ())
+    [ "Length"; "Width"; "Function" ];
+  let where = or_die (Compo_ddl.Parser.parse_expr "Length >= 0") in
+  let (_ : Surrogate.t list) = or_die (Database.select jdb ~cls:"Gates" ~where ()) in
+  let (_ : Constraints.violation list) = Database.validate_all jdb in
+  (* two designers colliding on the flip-flop: X held, S blocked *)
+  let mg = Compo_txn.Transaction.create_manager (Database.store jdb) in
+  let t1 = Compo_txn.Transaction.begin_txn mg ~user:"designer-a" in
+  let t2 = Compo_txn.Transaction.begin_txn mg ~user:"designer-b" in
+  let lm = Compo_txn.Transaction.lock_manager mg in
+  ignore
+    (Compo_txn.Lock_manager.acquire lm
+       ~txn:(Compo_txn.Transaction.id t1)
+       ff Compo_txn.Lock.X);
+  ignore
+    (Compo_txn.Lock_manager.acquire lm
+       ~txn:(Compo_txn.Transaction.id t2)
+       ff Compo_txn.Lock.S);
+  or_die (Compo_txn.Transaction.commit mg t1);
+  or_die (Compo_txn.Transaction.abort mg t2);
+  or_die (Compo_storage.Journal.checkpoint j);
+  Compo_storage.Journal.close j;
+  remove_tree dir;
+  Obs.disable ();
+  if line_protocol then print_string (Obs.to_line_protocol ())
+  else begin
+    print_string (Obs.dump ());
+    Printf.printf "\nspans recorded: %d\n" (Trace.recorded ());
+    match Trace.slow_ops () with
+    | [] -> ()
+    | slow ->
+        Printf.printf "slow ops (>= %gms):\n" slow_ms;
+        Format.printf "%a@." Compo_obs.Trace.pp_spans slow
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
 
 open Cmdliner
 
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:
+          "Collect kernel metrics while the command runs and dump the \
+           registry to stderr afterwards.")
+
 let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
+
+(* [--metrics] must wrap the command body, so each term builds a thunk the
+   wrapper runs with the registry enabled *)
+let instrumented f = Term.(const with_metrics $ metrics_arg $ f)
 
 let check_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.ddl") in
   Cmd.v (Cmd.info "check" ~doc:"Parse and elaborate schema files")
-    Term.(const cmd_check $ files)
+    (instrumented Term.(const (fun files () -> cmd_check files) $ files))
 
 let format_cmd =
   let file = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.ddl") in
   Cmd.v (Cmd.info "format" ~doc:"Pretty-print a schema file in normal form")
-    Term.(const cmd_format $ file)
+    (instrumented Term.(const (fun file () -> cmd_format file) $ file))
 
 let init_cmd =
   let schemas =
@@ -312,24 +421,25 @@ let init_cmd =
            ~doc:"Schema file(s) to load into the new database.")
   in
   Cmd.v (Cmd.info "init" ~doc:"Create a journaled database directory")
-    Term.(const cmd_init $ dir_arg $ schemas)
+    (instrumented
+       Term.(const (fun dir schemas () -> cmd_init dir schemas) $ dir_arg $ schemas))
 
 let info_cmd =
   Cmd.v (Cmd.info "info" ~doc:"Show database statistics")
-    Term.(const cmd_info $ dir_arg)
+    (instrumented Term.(const (fun dir () -> cmd_info dir) $ dir_arg))
 
 let dump_schema_cmd =
   Cmd.v (Cmd.info "dump-schema" ~doc:"Print the database schema as DDL")
-    Term.(const cmd_dump_schema $ dir_arg)
+    (instrumented Term.(const (fun dir () -> cmd_dump_schema dir) $ dir_arg))
 
 let validate_cmd =
   Cmd.v (Cmd.info "validate" ~doc:"Check all integrity constraints")
-    Term.(const cmd_validate $ dir_arg)
+    (instrumented Term.(const (fun dir () -> cmd_validate dir) $ dir_arg))
 
 let show_cmd =
   let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "show" ~doc:"Display one object with its inherited data")
-    Term.(const cmd_show $ dir_arg $ id)
+    (instrumented Term.(const (fun dir id () -> cmd_show dir id) $ dir_arg $ id))
 
 let query_cmd =
   let cls = Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS") in
@@ -339,7 +449,10 @@ let query_cmd =
                  e.g. 'Length <= 5'.")
   in
   Cmd.v (Cmd.info "query" ~doc:"Select class members by predicate")
-    Term.(const cmd_query $ dir_arg $ cls $ where)
+    (instrumented
+       Term.(
+         const (fun dir cls where () -> cmd_query dir cls where)
+         $ dir_arg $ cls $ where))
 
 let simulate_cmd =
   let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"GATE-ID") in
@@ -348,16 +461,19 @@ let simulate_cmd =
            ~doc:"Input values for the gate's IN pins in order, e.g. 10.")
   in
   Cmd.v (Cmd.info "simulate" ~doc:"Evaluate a gate netlist")
-    Term.(const cmd_simulate $ dir_arg $ id $ bits)
+    (instrumented
+       Term.(
+         const (fun dir id bits () -> cmd_simulate dir id bits)
+         $ dir_arg $ id $ bits))
 
 let optimize_cmd =
   let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"GATE-ID") in
   Cmd.v (Cmd.info "optimize" ~doc:"Dead-gate elimination and duplicate merging on a netlist")
-    Term.(const cmd_optimize $ dir_arg $ id)
+    (instrumented Term.(const (fun dir id () -> cmd_optimize dir id) $ dir_arg $ id))
 
 let checkpoint_cmd =
   Cmd.v (Cmd.info "checkpoint" ~doc:"Collapse the WAL into a snapshot")
-    Term.(const cmd_checkpoint $ dir_arg)
+    (instrumented Term.(const (fun dir () -> cmd_checkpoint dir) $ dir_arg))
 
 let demo_cmd =
   let scenario =
@@ -366,7 +482,26 @@ let demo_cmd =
   in
   let dir = Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR") in
   Cmd.v (Cmd.info "demo" ~doc:"Build one of the paper's scenarios into a database")
-    Term.(const cmd_demo $ scenario $ dir)
+    (instrumented
+       Term.(
+         const (fun scenario dir () -> cmd_demo scenario dir) $ scenario $ dir))
+
+let stats_cmd =
+  let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE.ddl") in
+  let line_protocol =
+    Arg.(value & flag
+           & info [ "line-protocol" ]
+               ~doc:"Machine-readable influx-style output, one metric per line.")
+  in
+  let slow =
+    Arg.(value & opt float 5.0
+           & info [ "slow" ] ~docv:"MS"
+               ~doc:"Slow-op threshold in milliseconds.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Run an instrumented workload and dump the metrics registry")
+    Term.(const cmd_stats $ files $ line_protocol $ slow)
 
 (* ------------------------------------------------------------------ *)
 (* Version management: a versions.bin sidecar next to the journal       *)
@@ -534,5 +669,6 @@ let () =
             optimize_cmd;
             checkpoint_cmd;
             demo_cmd;
+            stats_cmd;
             version_group;
           ]))

@@ -15,6 +15,10 @@ let with_var e name item = { e with vars = Smap.add name item e.vars }
 let self_of e = e.self
 let ( let* ) = Result.bind
 
+(* one count per expression node evaluated: the work metric behind
+   query predicates and constraint checks *)
+let m_eval_node = Compo_obs.Metrics.counter "eval.node"
+
 let item_value _store = function E s -> Value.Ref s | V v -> v
 
 (* Stepping a value by a segment name: record projection, mapping over
@@ -178,6 +182,7 @@ let compare_values a b =
   | _ -> Value.compare a b
 
 let rec eval env expr =
+  Compo_obs.Metrics.incr m_eval_node;
   match expr with
   | Expr.Const v -> Ok v
   | Expr.Path p ->

@@ -14,6 +14,12 @@ let ( let* ) = Result.bind
 let cls t = t.ix_cls
 let attr t = t.ix_attr
 
+module Obs = Compo_obs.Metrics
+
+let m_lookup = Obs.counter "index.lookup"
+let m_hit = Obs.counter "index.hit"
+let m_miss = Obs.counter "index.miss"
+
 let remove_entry t s =
   match Surrogate.Tbl.find_opt t.current s with
   | None -> ()
@@ -79,7 +85,14 @@ let create store ~cls ~attr =
 
 let lookup t v =
   t.ix_hits <- t.ix_hits + 1;
-  List.rev (Option.value ~default:[] (Hashtbl.find_opt t.buckets v))
+  Obs.incr m_lookup;
+  match Hashtbl.find_opt t.buckets v with
+  | Some members ->
+      Obs.incr m_hit;
+      List.rev members
+  | None ->
+      Obs.incr m_miss;
+      []
 
 let size t = Surrogate.Tbl.length t.current
 let hits t = t.ix_hits

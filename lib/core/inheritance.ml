@@ -6,6 +6,18 @@ type binding = Store.binding = {
 
 let ( let* ) = Result.bind
 
+(* observability: inherited-feature resolution is the paper's central
+   runtime mechanism, so it carries the richest instrumentation — a
+   latency span per resolution plus depth and fan-out histograms *)
+module Obs = Compo_obs.Metrics
+module Trace = Compo_obs.Trace
+
+let h_depth = Obs.histogram ~buckets:Obs.size_buckets "inheritance.resolve.depth"
+let h_fanout = Obs.histogram ~buckets:Obs.size_buckets "inheritance.resolve.fanout"
+(* bind latency lives in the "inheritance.bind" span histogram *)
+let m_unbind = Obs.counter "inheritance.unbind"
+let m_stale = Obs.counter "inheritance.stale.stamped"
+
 let binding_of store s = Result.map (fun e -> e.Store.bound) (Store.get store s)
 
 let transmitter_of store s =
@@ -50,6 +62,7 @@ let inheritor_closure store s =
 (* Binding                                                             *)
 
 let bind store ~via ~transmitter ~inheritor ?(attrs = []) () =
+  Trace.with_span "inheritance.bind" ~attrs:[ ("via", via) ] @@ fun () ->
   let schema = Store.schema store in
   let* irel = Schema.find_inher_rel_type schema via in
   let* ie = Store.get store inheritor in
@@ -98,6 +111,7 @@ let bind store ~via ~transmitter ~inheritor ?(attrs = []) () =
   Store.add_inheritance_link store ~ty:via ~transmitter ~inheritor ~attrs
 
 let unbind store inheritor =
+  Obs.incr m_unbind;
   let* b = binding_of store inheritor in
   match b with
   | None ->
@@ -111,36 +125,54 @@ let unbind store inheritor =
 
 (* A permeable feature resolves on the transmitter, hop by hop; each hop
    fires the read hook so the lock manager can S-lock the transmitter
-   ("lock inheritance in the reverse direction of data inheritance"). *)
-let rec attr store s name =
+   ("lock inheritance in the reverse direction of data inheritance").
+   The hop count feeds the depth histogram: the paper's cost model for
+   view inheritance is exactly "reads pay per transmitter hop". *)
+let rec attr_at store s name depth =
   let* e = Store.get store s in
   match Schema.find_effective_attr (Store.schema store) e.Store.type_name name with
   | None -> Error (Errors.Unknown_attribute (e.Store.type_name ^ "." ^ name))
-  | Some (_, Schema.Own) -> Store.local_attr store s name
+  | Some (_, Schema.Own) ->
+      Obs.observe h_depth (float_of_int depth);
+      Store.local_attr store s name
   | Some (_, Schema.Via _) -> (
       match e.Store.bound with
       | None ->
+          Obs.observe h_depth (float_of_int depth);
           Store.notify_read store s;
           Ok Value.Null
       | Some b ->
           Store.notify_read store s;
-          attr store b.b_transmitter name)
+          attr_at store b.b_transmitter name (depth + 1))
 
-let rec subclass_members store s name =
+let attr store s name =
+  Trace.with_span "inheritance.resolve" ~attrs:[ ("attr", name) ] (fun () ->
+      attr_at store s name 0)
+
+let rec subclass_members_at store s name depth =
   let* e = Store.get store s in
   match
     Schema.find_effective_subclass (Store.schema store) e.Store.type_name name
   with
   | None -> Error (Errors.Unknown_class (e.Store.type_name ^ "." ^ name))
-  | Some (_, Schema.Own) -> Store.subclass_members store s name
+  | Some (_, Schema.Own) ->
+      Obs.observe h_depth (float_of_int depth);
+      let* ms = Store.subclass_members store s name in
+      Obs.observe h_fanout (float_of_int (List.length ms));
+      Ok ms
   | Some (_, Schema.Via _) -> (
       match e.Store.bound with
       | None ->
+          Obs.observe h_depth (float_of_int depth);
           Store.notify_read store s;
           Ok []
       | Some b ->
           Store.notify_read store s;
-          subclass_members store b.b_transmitter name)
+          subclass_members_at store b.b_transmitter name (depth + 1))
+
+let subclass_members store s name =
+  Trace.with_span "inheritance.members" ~attrs:[ ("subclass", name) ] (fun () ->
+      subclass_members_at store s name 0)
 
 (* ------------------------------------------------------------------ *)
 (* Staleness stamping (consistency control, sections 2 / 4.1)          *)
@@ -183,7 +215,9 @@ let stamp_stale store s ~attr ~note =
                   end)
             (stamped, visited) e.Store.inheritor_links
   in
-  List.rev (fst (go [] Surrogate.Set.empty s))
+  let stamped = List.rev (fst (go [] Surrogate.Set.empty s)) in
+  Obs.add m_stale (List.length stamped);
+  stamped
 
 let set_attr store s name value =
   let* () = Store.set_attr store s name value in

@@ -16,6 +16,13 @@ let ( let* ) = Result.bind
 let cls t = t.ox_cls
 let attr t = t.ox_attr
 
+module Obs = Compo_obs.Metrics
+
+let m_lookup = Obs.counter "ordered_index.lookup"
+let m_range = Obs.counter "ordered_index.range"
+let m_hit = Obs.counter "ordered_index.hit"
+let m_miss = Obs.counter "ordered_index.miss"
+
 let remove_entry t s =
   match Surrogate.Tbl.find_opt t.current s with
   | None -> ()
@@ -82,6 +89,7 @@ let create store ~cls ~attr =
 
 let range t ~lo ~hi =
   t.ox_hits <- t.ox_hits + 1;
+  Obs.incr m_range;
   (* clip the tree to the bounds (logarithmic), then fold ascending *)
   let clipped =
     let after_lo =
@@ -110,7 +118,14 @@ let range t ~lo ~hi =
 
 let lookup t v =
   t.ox_hits <- t.ox_hits + 1;
-  List.rev (Option.value ~default:[] (Vmap.find_opt v t.tree))
+  Obs.incr m_lookup;
+  match Vmap.find_opt v t.tree with
+  | Some members ->
+      Obs.incr m_hit;
+      List.rev members
+  | None ->
+      Obs.incr m_miss;
+      []
 
 let size t = Surrogate.Tbl.length t.current
 let hits t = t.ox_hits

@@ -1,5 +1,11 @@
 let ( let* ) = Result.bind
 
+module Obs = Compo_obs.Metrics
+module Trace = Compo_obs.Trace
+
+(* select counts live in the "query.select" span histogram *)
+let h_extent = Obs.histogram ~buckets:Obs.size_buckets "query.select.extent"
+
 let matching store ~self expr =
   match Eval.eval_bool (Eval.env ~self store) expr with
   | Ok b -> b
@@ -11,11 +17,15 @@ let filter_candidates store where candidates =
   | Some pred -> List.filter (fun s -> matching store ~self:s pred) candidates
 
 let select store ~cls ?where () =
+  Trace.with_span "query.select" ~attrs:[ ("cls", cls) ] @@ fun () ->
   let* members = Store.class_members store cls in
+  Obs.observe h_extent (float_of_int (List.length members));
   Ok (filter_candidates store where members)
 
 let select_subobjects store ~parent ~subclass ?where () =
+  Trace.with_span "query.select" ~attrs:[ ("subclass", subclass) ] @@ fun () ->
   let* members = Inheritance.subclass_members store parent subclass in
+  Obs.observe h_extent (float_of_int (List.length members));
   Ok (filter_candidates store where members)
 
 let project store objects name =

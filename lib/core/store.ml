@@ -45,6 +45,16 @@ type hook_id = int
 
 let ( let* ) = Result.bind
 
+(* observability: entity traffic through the storage layer *)
+module Obs = Compo_obs.Metrics
+
+let m_lookup = Obs.counter "store.lookup"
+let m_lookup_miss = Obs.counter "store.lookup.miss"
+let m_create = Obs.counter "store.entity.create"
+let m_delete = Obs.counter "store.entity.delete"
+let m_attr_read = Obs.counter "store.attr.read"
+let m_attr_write = Obs.counter "store.attr.write"
+
 let create schema =
   {
     schema;
@@ -86,9 +96,12 @@ let notify_write t s = List.iter (fun (_, f) -> f s) t.write_hooks
 (* Entity access                                                       *)
 
 let get t s =
+  Obs.incr m_lookup;
   match Surrogate.Tbl.find_opt t.entities s with
   | Some e -> Ok e
-  | None -> Error (Errors.Unknown_object (Surrogate.to_string s))
+  | None ->
+      Obs.incr m_lookup_miss;
+      Error (Errors.Unknown_object (Surrogate.to_string s))
 
 let mem t s = Surrogate.Tbl.mem t.entities s
 let type_of t s = Result.map (fun e -> e.type_name) (get t s)
@@ -207,7 +220,9 @@ let blank_maps own_subclasses own_subrels =
   in
   (subobjs, subrels)
 
-let add_entity t e = Surrogate.Tbl.replace t.entities e.id e
+let add_entity t e =
+  Obs.incr m_create;
+  Surrogate.Tbl.replace t.entities e.id e
 
 let make_object t ~ty attrs =
   let* ot = Schema.find_obj_type t.schema ty in
@@ -427,12 +442,14 @@ let create_subrel t ~parent ~subrel ~participants ?(attrs = []) () =
 
 let local_attr t s name =
   let* e = get t s in
+  Obs.incr m_attr_read;
   notify_read t s;
   Ok (Option.value ~default:Value.Null (Smap.find_opt name e.attrs))
 
 let set_attr t s name value =
   let* e = get t s in
   let* () = check_attr_value t e.type_name (name, value) in
+  Obs.incr m_attr_write;
   e.attrs <- Smap.add name value e.attrs;
   notify_write t s;
   Ok ()
@@ -559,6 +576,7 @@ let rec remove_inheritance_link t link =
     Smap.iter
       (fun _ ms -> List.iter (fun m -> ignore (delete t ~force:true m)) ms)
       le.subobjs;
+    Obs.incr m_delete;
     Surrogate.Tbl.remove t.entities link;
     Ok ()
   end
@@ -624,6 +642,7 @@ and delete t ?(force = false) s =
   | None -> ());
   (* drop referrer index contributions of this entity *)
   Smap.iter (fun _ v -> unindex_referrer t s v) e.participants;
+  Obs.incr m_delete;
   Surrogate.Tbl.remove t.entities s;
   notify_write t s;
   Ok ()

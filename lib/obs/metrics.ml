@@ -1,0 +1,252 @@
+(* The registry maps names to mutable cells.  Instrumentation sites hold
+   on to the cells themselves, so increments never touch the table and
+   [reset] must zero cells in place rather than dropping them. *)
+
+type counter = { mutable c_value : int }
+type gauge = { mutable g_value : float }
+
+type histogram = {
+  bounds : float array;          (* strictly increasing upper bounds *)
+  counts : int array;            (* one per bound, plus overflow at the end *)
+  mutable hg_count : int;
+  mutable hg_sum : float;
+  mutable hg_min : float;
+  mutable hg_max : float;
+}
+
+type cell = C of counter | G of gauge | H of histogram
+
+type registry = (string, cell) Hashtbl.t
+
+let create_registry () : registry = Hashtbl.create 64
+let default_registry : registry = create_registry ()
+
+let on = ref false
+let enabled () = !on
+let enable () = on := true
+let disable () = on := false
+
+let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
+
+let register registry name make match_cell =
+  match Hashtbl.find_opt registry name with
+  | Some cell -> (
+      match match_cell cell with
+      | Some v -> v
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Compo_obs.Metrics: %s is already a %s" name
+               (kind_name cell)))
+  | None ->
+      let v, cell = make () in
+      Hashtbl.replace registry name cell;
+      v
+
+let counter ?(registry = default_registry) name =
+  register registry name
+    (fun () ->
+      let c = { c_value = 0 } in
+      (c, C c))
+    (function C c -> Some c | _ -> None)
+
+let incr c = if !on then c.c_value <- c.c_value + 1
+let add c n = if !on then c.c_value <- c.c_value + n
+let count c = c.c_value
+
+let gauge ?(registry = default_registry) name =
+  register registry name
+    (fun () ->
+      let g = { g_value = 0. } in
+      (g, G g))
+    (function G g -> Some g | _ -> None)
+
+let set_gauge g v = if !on then g.g_value <- v
+let add_gauge g v = if !on then g.g_value <- g.g_value +. v
+let gauge_value g = g.g_value
+
+(* 1-2.5-5 log scale; latency in seconds, sizes dimensionless *)
+let log_scale lo steps =
+  Array.init steps (fun i ->
+      let mag = 10. ** float_of_int (i / 3) in
+      let m = match i mod 3 with 0 -> 1. | 1 -> 2.5 | _ -> 5. in
+      lo *. m *. mag)
+
+let latency_buckets = log_scale 1e-6 21 (* 1us .. 10s *)
+let size_buckets = log_scale 1. 16 (* 1 .. 100k *)
+
+let validate_buckets bounds =
+  if Array.length bounds = 0 then
+    invalid_arg "Compo_obs.Metrics: empty histogram buckets";
+  Array.iteri
+    (fun i b ->
+      if i > 0 && b <= bounds.(i - 1) then
+        invalid_arg "Compo_obs.Metrics: histogram buckets must be increasing")
+    bounds
+
+let histogram ?(registry = default_registry) ?(buckets = latency_buckets) name =
+  register registry name
+    (fun () ->
+      validate_buckets buckets;
+      let h =
+        {
+          bounds = buckets;
+          counts = Array.make (Array.length buckets + 1) 0;
+          hg_count = 0;
+          hg_sum = 0.;
+          hg_min = nan;
+          hg_max = nan;
+        }
+      in
+      (h, H h))
+    (function H h -> Some h | _ -> None)
+
+let bucket_index bounds v =
+  (* binary search for the first bound >= v; the overflow slot is
+     [Array.length bounds] *)
+  let n = Array.length bounds in
+  let rec go lo hi = (* invariant: answer in [lo, hi] *)
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  if !on then begin
+    let i = bucket_index h.bounds v in
+    h.counts.(i) <- h.counts.(i) + 1;
+    h.hg_count <- h.hg_count + 1;
+    h.hg_sum <- h.hg_sum +. v;
+    if h.hg_count = 1 then begin
+      h.hg_min <- v;
+      h.hg_max <- v
+    end
+    else begin
+      if v < h.hg_min then h.hg_min <- v;
+      if v > h.hg_max then h.hg_max <- v
+    end
+  end
+
+let observations h = h.hg_count
+let sum h = h.hg_sum
+
+type hist_snapshot = {
+  h_buckets : (float * int) array;
+  h_overflow : int;
+  h_count : int;
+  h_sum : float;
+  h_min : float;
+  h_max : float;
+}
+
+let quantile snap q =
+  if snap.h_count = 0 then nan
+  else
+    let target =
+      int_of_float (ceil (q *. float_of_int snap.h_count)) |> max 1
+    in
+    let rec go i seen =
+      if i >= Array.length snap.h_buckets then snap.h_max
+      else
+        let bound, c = snap.h_buckets.(i) in
+        if seen + c >= target then bound else go (i + 1) (seen + c)
+    in
+    go 0 0
+
+type metric =
+  | Counter of int
+  | Gauge of float
+  | Histogram of hist_snapshot
+
+let snapshot_cell = function
+  | C c -> Counter c.c_value
+  | G g -> Gauge g.g_value
+  | H h ->
+      Histogram
+        {
+          h_buckets = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds;
+          h_overflow = h.counts.(Array.length h.bounds);
+          h_count = h.hg_count;
+          h_sum = h.hg_sum;
+          h_min = h.hg_min;
+          h_max = h.hg_max;
+        }
+
+let snapshot ?(registry = default_registry) () =
+  Hashtbl.fold (fun name cell acc -> (name, snapshot_cell cell) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let find ?(registry = default_registry) name =
+  Option.map snapshot_cell (Hashtbl.find_opt registry name)
+
+let counter_value ?registry name =
+  match find ?registry name with Some (Counter n) -> n | _ -> 0
+
+let reset ?(registry = default_registry) () =
+  Hashtbl.iter
+    (fun _ cell ->
+      match cell with
+      | C c -> c.c_value <- 0
+      | G g -> g.g_value <- 0.
+      | H h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.hg_count <- 0;
+          h.hg_sum <- 0.;
+          h.hg_min <- nan;
+          h.hg_max <- nan)
+    registry
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let si v =
+  (* engineering rendering for seconds-or-counts: pick a readable unit *)
+  if Float.is_nan v then "-"
+  else if v = 0. then "0"
+  else if Float.abs v >= 1. then Printf.sprintf "%.3g" v
+  else if Float.abs v >= 1e-3 then Printf.sprintf "%.3gm" (v *. 1e3)
+  else if Float.abs v >= 1e-6 then Printf.sprintf "%.3gu" (v *. 1e6)
+  else Printf.sprintf "%.3gn" (v *. 1e9)
+
+let pp_dump fmt metrics =
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter n -> Format.fprintf fmt "%-34s counter %10d@." name n
+      | Gauge v -> Format.fprintf fmt "%-34s gauge   %10s@." name (si v)
+      | Histogram snap ->
+          let mean =
+            if snap.h_count = 0 then nan
+            else snap.h_sum /. float_of_int snap.h_count
+          in
+          Format.fprintf fmt
+            "%-34s histo   %10d  mean=%-8s p50=%-8s p99=%-8s max=%-8s@." name
+            snap.h_count (si mean)
+            (si (quantile snap 0.5))
+            (si (quantile snap 0.99))
+            (si snap.h_max))
+    metrics
+
+let dump ?registry () =
+  Format.asprintf "%a" pp_dump (snapshot ?registry ())
+
+let to_line_protocol ?registry () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter n -> Printf.bprintf b "compo,metric=%s count=%di\n" name n
+      | Gauge v -> Printf.bprintf b "compo,metric=%s value=%.9g\n" name v
+      | Histogram snap ->
+          Printf.bprintf b "compo,metric=%s count=%di,sum=%.9g,min=%.9g,max=%.9g"
+            name snap.h_count snap.h_sum snap.h_min snap.h_max;
+          Array.iter
+            (fun (bound, c) ->
+              if c > 0 then Printf.bprintf b ",le_%.9g=%di" bound c)
+            snap.h_buckets;
+          if snap.h_overflow > 0 then
+            Printf.bprintf b ",le_inf=%di" snap.h_overflow;
+          Buffer.add_char b '\n')
+    (snapshot ?registry ());
+  Buffer.contents b

@@ -1,0 +1,105 @@
+type span = {
+  sp_name : string;
+  sp_attrs : (string * string) list;
+  sp_depth : int;
+  sp_start : float;
+  sp_duration : float;
+}
+
+(* ring buffer: [ring.(i)] is valid for the last [min total capacity]
+   writes, [pos] is the next write slot *)
+let ring = ref (Array.make 512 None)
+let pos = ref 0
+let total = ref 0
+
+let depth = ref 0
+let current_depth () = !depth
+
+let threshold = ref infinity
+let slow_threshold () = !threshold
+let set_slow_threshold t = threshold := t
+
+let slow_capacity = 256
+let slow = ref [] (* newest first, clipped to slow_capacity *)
+let slow_count = ref 0
+
+let clear () =
+  Array.fill !ring 0 (Array.length !ring) None;
+  pos := 0;
+  total := 0;
+  slow := [];
+  slow_count := 0
+
+let set_capacity n =
+  if n <= 0 then invalid_arg "Compo_obs.Trace.set_capacity";
+  ring := Array.make n None;
+  pos := 0;
+  total := 0
+
+let record sp =
+  let buf = !ring in
+  buf.(!pos) <- Some sp;
+  pos := (!pos + 1) mod Array.length buf;
+  incr total;
+  if sp.sp_duration >= !threshold then begin
+    slow := sp :: !slow;
+    incr slow_count;
+    if !slow_count > slow_capacity then begin
+      (* clip the oldest half rather than one-at-a-time *)
+      slow := List.filteri (fun i _ -> i < slow_capacity) !slow;
+      slow_count := slow_capacity
+    end
+  end
+
+let with_span ?(attrs = []) name f =
+  if not (Metrics.enabled ()) then f ()
+  else begin
+    let d = !depth in
+    depth := d + 1;
+    let t0 = Unix.gettimeofday () in
+    let finish () =
+      let dt = Unix.gettimeofday () -. t0 in
+      depth := d;
+      record
+        { sp_name = name; sp_attrs = attrs; sp_depth = d; sp_start = t0;
+          sp_duration = dt };
+      Metrics.observe (Metrics.histogram name) dt
+    in
+    match f () with
+    | v ->
+        finish ();
+        v
+    | exception e ->
+        finish ();
+        raise e
+  end
+
+let recent () =
+  let buf = !ring in
+  let n = Array.length buf in
+  let rec go acc i remaining =
+    (* walks newest to oldest, prepending: [acc] ends up oldest-first *)
+    if remaining = 0 then acc
+    else
+      let i = (i - 1 + n) mod n in
+      match buf.(i) with
+      | None -> acc
+      | Some sp -> go (sp :: acc) i (remaining - 1)
+  in
+  List.rev (go [] !pos (min !total n))
+
+let recorded () = !total
+let slow_ops () = !slow
+
+let pp_span fmt sp =
+  Format.fprintf fmt "%*s%s %.1fus%s" (2 * sp.sp_depth) "" sp.sp_name
+    (sp.sp_duration *. 1e6)
+    (match sp.sp_attrs with
+    | [] -> ""
+    | attrs ->
+        " {"
+        ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+        ^ "}")
+
+let pp_spans fmt spans =
+  List.iter (fun sp -> Format.fprintf fmt "%a@." pp_span sp) spans

@@ -6,6 +6,8 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 let ( let* ) = Result.bind
 
+let m_checkpoint = Compo_obs.Metrics.counter "journal.checkpoint"
+
 type t = {
   dir : string;
   jdb : Database.t;
@@ -18,6 +20,7 @@ let snapshot_path dir = Filename.concat dir "snapshot.bin"
 let wal_path dir = Filename.concat dir "wal.log"
 
 let open_dir dir =
+  Compo_obs.Trace.with_span "journal.recover" @@ fun () ->
   let* () =
     match Sys.is_directory dir with
     | true -> Ok ()
@@ -132,6 +135,7 @@ let delete t ?(force = false) s =
   Ok ()
 
 let checkpoint t =
+  Compo_obs.Metrics.incr m_checkpoint;
   Log.info (fun m -> m "%s: checkpoint" t.dir);
   let* () = Snapshot.save (snapshot_path t.dir) t.jdb in
   Out_channel.close t.chan;

@@ -3,7 +3,12 @@ open Compo_core
 let ( let* ) = Result.bind
 let magic = "COMPO-SNAPSHOT-1"
 
+module Obs = Compo_obs.Metrics
+
+let m_write_bytes = Obs.counter "snapshot.write.bytes"
+
 let save path db =
+  Compo_obs.Trace.with_span "snapshot.write" @@ fun () ->
   let schema_blob = Codec.encode_schema (Database.schema db) in
   let store_blob = Codec.encode_store (Database.store db) in
   let b = Codec.Enc.create () in
@@ -15,6 +20,7 @@ let save path db =
   Codec.Enc.string frame magic;
   Codec.Enc.int frame crc;
   Codec.Enc.string frame body;
+  Obs.add m_write_bytes (String.length body);
   let tmp = path ^ ".tmp" in
   match
     Out_channel.with_open_bin tmp (fun chan ->
@@ -25,6 +31,7 @@ let save path db =
   | exception Sys_error msg -> Error (Errors.Io_error msg)
 
 let load path =
+  Compo_obs.Trace.with_span "snapshot.load" @@ fun () ->
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error (Errors.Io_error msg)
   | contents ->

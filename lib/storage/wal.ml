@@ -2,6 +2,12 @@ open Compo_core
 
 let ( let* ) = Result.bind
 
+module Obs = Compo_obs.Metrics
+
+let m_append = Obs.counter "wal.append"
+let m_append_bytes = Obs.counter "wal.append.bytes"
+let m_replay = Obs.counter "wal.replay"
+
 type record =
   | Define_domain of { name : string; domain : Domain.t }
   | Define of string
@@ -184,13 +190,18 @@ let decode_record payload =
 
 (* frame: [payload length: 8 bytes LE][crc32: 8 bytes LE][payload] *)
 let append chan r =
+  (* the span histogram lives under .latency; "wal.append" itself stays a
+     plain counter so record counts line up with journal entries *)
+  Compo_obs.Trace.with_span "wal.append.latency" @@ fun () ->
   let payload = encode_record r in
   let header = Enc.create () in
   Enc.int header (String.length payload);
   Enc.int header (Int32.to_int (Codec.crc32 payload) land 0xFFFFFFFF);
   Out_channel.output_string chan (Enc.contents header);
   Out_channel.output_string chan payload;
-  Out_channel.flush chan
+  Out_channel.flush chan;
+  Obs.incr m_append;
+  Obs.add m_append_bytes (16 + String.length payload)
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
@@ -225,6 +236,7 @@ let check_expected what expect got =
             (Surrogate.to_string got) (Surrogate.to_string expect)))
 
 let apply db r =
+  Obs.incr m_replay;
   match r with
   | Define_domain { name; domain } -> Database.define_domain db name domain
   | Define blob -> (

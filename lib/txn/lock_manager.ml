@@ -1,5 +1,13 @@
 open Compo_core
 
+module Obs = Compo_obs.Metrics
+
+let m_acquire = Obs.counter "lock.acquire"
+let m_wait = Obs.counter "lock.wait"
+let m_conflict = Obs.counter "lock.conflict"
+let m_deadlock = Obs.counter "lock.deadlock"
+let m_release = Obs.counter "lock.release"
+
 type txn_id = int
 
 type t = {
@@ -71,6 +79,7 @@ let record_entry t ~txn s mode =
   set := Surrogate.Set.add s !set
 
 let acquire t ~txn s mode =
+  Obs.incr m_acquire;
   let others = List.filter (fun (id, _) -> id <> txn) (holders t s) in
   let requested =
     match holds t ~txn s with
@@ -86,9 +95,11 @@ let acquire t ~txn s mode =
       record_entry t ~txn s requested;
       Ok `Granted
   | blockers ->
+      Obs.incr m_conflict;
       let blocker_ids = List.map fst blockers in
       Hashtbl.replace t.waiting txn blocker_ids;
       if would_deadlock t ~txn then begin
+        Obs.incr m_deadlock;
         Hashtbl.remove t.waiting txn;
         Error
           (Errors.Lock_error
@@ -96,7 +107,10 @@ let acquire t ~txn s mode =
                 "deadlock: transaction %d waiting for %s on %s closes a cycle"
                 txn (Lock.to_string mode) (Surrogate.to_string s)))
       end
-      else Ok (`Blocked blocker_ids)
+      else begin
+        Obs.incr m_wait;
+        Ok (`Blocked blocker_ids)
+      end
 
 let acquire_exn t ~txn s mode =
   match acquire t ~txn s mode with
@@ -111,6 +125,7 @@ let acquire_exn t ~txn s mode =
   | Error e -> raise (Errors.Compo_error e)
 
 let release_all t ~txn =
+  Obs.incr m_release;
   (match Hashtbl.find_opt t.held txn with
   | None -> ()
   | Some set ->

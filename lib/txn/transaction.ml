@@ -3,6 +3,11 @@ open Compo_core
 let log_src = Logs.Src.create "compo.txn" ~doc:"compo transactions"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
+module Obs = Compo_obs.Metrics
+
+let m_begin = Obs.counter "txn.begin"
+let m_commit = Obs.counter "txn.commit"
+let m_abort = Obs.counter "txn.abort"
 
 type manager = {
   mg_store : Store.t;
@@ -39,6 +44,7 @@ type t = {
 let begin_txn mg ~user =
   let id = mg.mg_next in
   mg.mg_next <- id + 1;
+  Obs.incr m_begin;
   Log.info (fun m -> m "begin transaction %d (user %s)" id user);
   { txn_id = id; txn_user = user; txn_status = Active; txn_undo = []; txn_stamps = [] }
 
@@ -54,7 +60,9 @@ let check_active txn =
       Error (Errors.Lock_error (Printf.sprintf "transaction %d is not active" txn.txn_id))
 
 let commit mg txn =
+  Compo_obs.Trace.with_span "txn.commit.latency" @@ fun () ->
   let* () = check_active txn in
+  Obs.incr m_commit;
   Log.info (fun m -> m "commit transaction %d" txn.txn_id);
   (* the updates are now permanent: stamp dependent inheritance links *)
   List.iter
@@ -72,6 +80,7 @@ let commit mg txn =
 
 let abort mg txn =
   let* () = check_active txn in
+  Obs.incr m_abort;
   Log.info (fun m ->
       m "abort transaction %d (%d undo entries)" txn.txn_id
         (List.length txn.txn_undo));

@@ -163,6 +163,24 @@ let test_interface_hierarchy () =
   check_int "new pin visible two levels down" (before + 1)
     (List.length (ok (Database.subclass_members db impl "Pins")))
 
+(* The kernel's instrumentation observes the scenario: inherited reads
+   land in the inheritance.resolve latency histogram. *)
+let test_metrics_observed () =
+  let module Obs = Compo_obs.Metrics in
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:Obs.disable @@ fun () ->
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  check_value "inherited read" (Value.Int 4)
+    (ok (Database.get_attr db impl "Length"));
+  (match Obs.find "inheritance.resolve" with
+  | Some (Obs.Histogram h) ->
+      check_bool "resolutions recorded" true (h.Obs.h_count > 0)
+  | Some _ | None -> Alcotest.fail "inheritance.resolve histogram missing");
+  check_bool "store lookups counted" true (Obs.counter_value "store.lookup" > 0)
+
 let suite =
   ( "gates-scenario",
     [
@@ -172,4 +190,5 @@ let suite =
       case "F4: one interface, two roles" test_dual_role;
       case "section 4.3: tailored permeability" test_tailored_permeability;
       case "section 4.2: abstraction hierarchy" test_interface_hierarchy;
+      case "instrumentation observes the scenario" test_metrics_observed;
     ] )

@@ -1,0 +1,176 @@
+(* The observability subsystem: metric semantics, span nesting, the
+   slow-op log, and snapshot/reset isolation. *)
+
+open Helpers
+module Obs = Compo_obs.Metrics
+module Trace = Compo_obs.Trace
+
+(* The registry and the trace sink are process-global, so every test
+   starts from a clean, enabled state and disables on the way out. *)
+let with_obs f () =
+  Obs.reset ();
+  Obs.enable ();
+  Trace.clear ();
+  Trace.set_slow_threshold infinity;
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+let test_counter () =
+  let c = Obs.counter "t.counter" in
+  check_int "fresh counter" 0 (Obs.count c);
+  Obs.incr c;
+  Obs.incr c;
+  Obs.add c 3;
+  check_int "incremented" 5 (Obs.count c);
+  (* find-or-create returns the same cell *)
+  Obs.incr (Obs.counter "t.counter");
+  check_int "shared handle" 6 (Obs.count c);
+  check_int "counter_value" 6 (Obs.counter_value "t.counter");
+  check_int "absent counter_value" 0 (Obs.counter_value "t.absent")
+
+let test_disabled_is_noop () =
+  let c = Obs.counter "t.disabled" in
+  let g = Obs.gauge "t.disabled.gauge" in
+  let h = Obs.histogram "t.disabled.histo" in
+  Obs.disable ();
+  Obs.incr c;
+  Obs.add c 10;
+  Obs.set_gauge g 4.2;
+  Obs.observe h 0.5;
+  Trace.with_span "t.disabled.span" (fun () -> ());
+  Obs.enable ();
+  check_int "counter untouched" 0 (Obs.count c);
+  check_bool "gauge untouched" true (Obs.gauge_value g = 0.);
+  check_int "histogram untouched" 0 (Obs.observations h);
+  check_int "no span recorded" 0 (Trace.recorded ())
+
+let test_kind_clash () =
+  let (_ : Obs.counter) = Obs.counter "t.clash" in
+  match Obs.histogram "t.clash" with
+  | (_ : Obs.histogram) -> Alcotest.fail "expected Invalid_argument"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge () =
+  let g = Obs.gauge "t.gauge" in
+  Obs.set_gauge g 2.5;
+  Obs.add_gauge g 1.5;
+  check_bool "gauge value" true (Obs.gauge_value g = 4.0)
+
+let test_histogram () =
+  let h = Obs.histogram ~buckets:[| 1.0; 10.0; 100.0 |] "t.histo" in
+  List.iter (Obs.observe h) [ 0.5; 0.7; 5.0; 50.0; 1000.0 ];
+  check_int "observations" 5 (Obs.observations h);
+  check_bool "sum" true (abs_float (Obs.sum h -. 1056.2) < 1e-9);
+  match Obs.find "t.histo" with
+  | Some (Obs.Histogram s) ->
+      check_int "bucket <=1" 2 (snd s.Obs.h_buckets.(0));
+      check_int "bucket <=10" 1 (snd s.Obs.h_buckets.(1));
+      check_int "bucket <=100" 1 (snd s.Obs.h_buckets.(2));
+      check_int "overflow" 1 s.Obs.h_overflow;
+      check_int "count" 5 s.Obs.h_count;
+      check_bool "min" true (s.Obs.h_min = 0.5);
+      check_bool "max" true (s.Obs.h_max = 1000.0);
+      (* the median observation (5.0) falls in the <=10 bucket *)
+      check_bool "p50 bound" true (Obs.quantile s 0.5 = 10.0)
+  | Some _ | None -> Alcotest.fail "histogram not in snapshot"
+
+let test_span_nesting () =
+  let v =
+    Trace.with_span "t.outer" ~attrs:[ ("k", "v") ] (fun () ->
+        check_int "inside depth" 1 (Trace.current_depth ());
+        Trace.with_span "t.inner" (fun () -> Trace.current_depth ()))
+  in
+  check_int "nested depth" 2 v;
+  check_int "depth restored" 0 (Trace.current_depth ());
+  check_int "two spans" 2 (Trace.recorded ());
+  (match Trace.recent () with
+  | [ outer; inner ] ->
+      (* newest first: the outer span finishes last *)
+      check_string "outer last" "t.outer" outer.Trace.sp_name;
+      check_string "inner first" "t.inner" inner.Trace.sp_name;
+      check_int "outer at depth 0" 0 outer.Trace.sp_depth;
+      check_int "inner at depth 1" 1 inner.Trace.sp_depth;
+      check_string "attrs kept" "v" (List.assoc "k" outer.Trace.sp_attrs)
+  | other -> Alcotest.failf "expected 2 spans, got %d" (List.length other));
+  (* each span feeds the histogram registered under its name *)
+  check_int "outer histogram" 1 (Obs.observations (Obs.histogram "t.outer"))
+
+let test_span_exception () =
+  (match Trace.with_span "t.raises" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ -> ());
+  check_int "span recorded anyway" 1 (Trace.recorded ());
+  check_int "depth restored" 0 (Trace.current_depth ())
+
+let test_slow_ops () =
+  Trace.set_slow_threshold 10.0;
+  Trace.with_span "t.fast" (fun () -> ());
+  check_int "under threshold" 0 (List.length (Trace.slow_ops ()));
+  Trace.set_slow_threshold 0.0;
+  Trace.with_span "t.slow" (fun () -> ());
+  (match Trace.slow_ops () with
+  | [ s ] -> check_string "slow op logged" "t.slow" s.Trace.sp_name
+  | other -> Alcotest.failf "expected 1 slow op, got %d" (List.length other));
+  Trace.clear ();
+  check_int "clear drops the log" 0 (List.length (Trace.slow_ops ()))
+
+let test_ring_capacity () =
+  Trace.set_capacity 4;
+  for i = 1 to 10 do
+    Trace.with_span (Printf.sprintf "t.ring.%d" i) (fun () -> ())
+  done;
+  let names = List.map (fun s -> s.Trace.sp_name) (Trace.recent ()) in
+  Alcotest.(check (list string))
+    "ring keeps the newest"
+    [ "t.ring.10"; "t.ring.9"; "t.ring.8"; "t.ring.7" ]
+    names;
+  check_int "recorded counts all" 10 (Trace.recorded ());
+  Trace.set_capacity 512
+
+let test_snapshot_reset () =
+  let c = Obs.counter "t.reset" in
+  Obs.incr c;
+  let snap = Obs.snapshot () in
+  check_bool "snapshot sees the counter" true
+    (List.mem_assoc "t.reset" snap);
+  Obs.reset ();
+  (* the old snapshot is an immutable copy; the handle is zeroed in
+     place and stays usable *)
+  check_bool "snapshot unchanged" true
+    (List.assoc "t.reset" snap = Obs.Counter 1);
+  check_int "reset zeroes" 0 (Obs.count c);
+  Obs.incr c;
+  check_int "handle survives reset" 1 (Obs.count c)
+
+let test_private_registry () =
+  let r = Obs.create_registry () in
+  let c = Obs.counter ~registry:r "t.private" in
+  Obs.incr c;
+  check_int "private registry counts" 1 (Obs.counter_value ~registry:r "t.private");
+  check_int "default registry untouched" 0 (Obs.counter_value "t.private")
+
+let test_dump_formats () =
+  Obs.incr (Obs.counter "t.dump.counter");
+  Obs.observe (Obs.histogram "t.dump.histo") 0.002;
+  let dump = Obs.dump () in
+  check_bool "dump lists the counter" true (contains dump "t.dump.counter");
+  check_bool "dump lists the histogram" true (contains dump "t.dump.histo");
+  let lp = Obs.to_line_protocol () in
+  check_bool "line protocol lists the counter" true
+    (contains lp "metric=t.dump.counter")
+
+let suite =
+  ( "obs",
+    [
+      case "counter semantics" (with_obs test_counter);
+      case "disabled registry is a no-op sink" (with_obs test_disabled_is_noop);
+      case "metric kind clash is rejected" (with_obs test_kind_clash);
+      case "gauge semantics" (with_obs test_gauge);
+      case "histogram buckets and quantiles" (with_obs test_histogram);
+      case "span nesting and attribution" (with_obs test_span_nesting);
+      case "span survives exceptions" (with_obs test_span_exception);
+      case "slow-op threshold" (with_obs test_slow_ops);
+      case "ring buffer clips to capacity" (with_obs test_ring_capacity);
+      case "snapshot is immutable, reset is in place" (with_obs test_snapshot_reset);
+      case "private registries are isolated" (with_obs test_private_registry);
+      case "dump and line protocol" (with_obs test_dump_formats);
+    ] )

@@ -156,8 +156,13 @@ let test_wal_record_roundtrip () =
     records
 
 let test_journal_recovery () =
+  let module Obs = Compo_obs.Metrics in
   let dir = tmp_dir "compo-journal" in
-  (* session 1: define schema, create objects *)
+  (* session 1: define schema, create objects.  Metrics stay on for the
+     session so the wal.append counter can be cross-checked against the
+     number of records the recovery below replays. *)
+  Obs.reset ();
+  Obs.enable ();
   let j = ok (Journal.open_dir dir) in
   ok
     (Journal.define_obj_type j
@@ -173,6 +178,9 @@ let test_journal_recovery () =
   let p1 = ok (Journal.new_object j ~cls:"Parts" ~ty:"Part" ~attrs:[ ("Weight", Value.Int 5) ] ()) in
   ok (Journal.set_attr j p1 "Weight" (Value.Int 6));
   Journal.close j;
+  Obs.disable ();
+  check_int "wal.append counts every logged record" 4
+    (Obs.counter_value "wal.append");
   (* session 2: recover, verify, continue *)
   let j2 = ok (Journal.open_dir dir) in
   check_bool "clean recovery" true (Journal.recovered_clean j2);
