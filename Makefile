@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt bench clean
+.PHONY: all build test check fmt fmt-check bench bench-smoke ci clean
 
 all: build
 
@@ -22,8 +22,29 @@ fmt:
 	  echo "fmt: ocamlformat not installed, skipping"; \
 	fi
 
+# Check mode: fail on formatting drift instead of rewriting, with the
+# same graceful skip when ocamlformat is absent.
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  dune build @fmt; \
+	else \
+	  echo "fmt-check: ocamlformat not installed, skipping"; \
+	fi
+
 bench: build
 	dune exec bench/main.exe
 
+# CI-sized benchmark: E1 plus the resolve-cache sweep E15 on small
+# grids.  Fails if the cached read path is slower than the uncached one
+# or if E15 does not produce its JSON report.
+bench-smoke: build
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15
+	test -s BENCH_resolve_cache.json
+
+# Mirrors .github/workflows/ci.yml so the pipeline is reproducible
+# locally with one command.
+ci: build test fmt-check bench-smoke
+
 clean:
 	dune clean
+	rm -f BENCH_resolve_cache.json

@@ -2,8 +2,19 @@
    qualitatively (DESIGN.md section 4 maps each to the paper's sections;
    EXPERIMENTS.md records the measured series).
 
-   Output: for every experiment E1..E12 a parameter-sweep table, then a
-   Bechamel micro-benchmark group over the headline operations. *)
+   Usage: bench [E1 E15 ...] [--smoke] [--no-resolve-cache]
+                [--check-speedup MIN] [--no-bechamel]
+
+   With no experiment names, all of E1..E15 plus the Bechamel group run.
+   --smoke shrinks the parameter sweeps to CI-sized grids.
+   --no-resolve-cache disables the inheritance-resolution cache globally
+   (E15 still compares both arms by toggling the per-store switch).
+   --check-speedup MIN exits non-zero if E15's worst cached/uncached
+   speedup falls below MIN — the CI gate.
+
+   Output: for every experiment a parameter-sweep table, then a Bechamel
+   micro-benchmark group over the headline operations; E15 additionally
+   writes its series to BENCH_resolve_cache.json. *)
 
 open Compo_core
 module G = Compo_scenarios.Gates
@@ -12,6 +23,9 @@ module Steel = Compo_scenarios.Steel
 
 let ok = Errors.or_fail
 let say fmt = Format.printf (fmt ^^ "@.")
+
+(* --smoke: CI-sized parameter grids *)
+let smoke = ref false
 
 let header id claim =
   say "";
@@ -35,6 +49,9 @@ let with_snapshot f =
     say "";
     say "metrics snapshot:";
     print_string (Compo_obs.Metrics.dump ());
+    say "resolve cache: %d hit(s), %d miss(es), %d invalidation(s)"
+      (Resolve_cache.hits ()) (Resolve_cache.misses ())
+      (Resolve_cache.invalidations ());
     Compo_obs.Metrics.reset ()
   end
 
@@ -85,7 +102,7 @@ let e1 () =
       in
       let tv = time_per view and tc = time_per copy in
       say "%8d %14.2f %14.2f %8.1f" n (us tv) (us tc) (tc /. tv))
-    [ 10; 100; 1000 ]
+    (if !smoke then [ 10; 100 ] else [ 10; 100; 1000 ])
 
 (* ------------------------------------------------------------------ *)
 (* E2: inherited-attribute read vs. chain depth (section 4.1)          *)
@@ -520,6 +537,111 @@ let e14 () =
     [ 0; 8; 64 ]
 
 (* ------------------------------------------------------------------ *)
+(* E15: inheritance-resolution cache (generation-stamped memo table)   *)
+
+(* (depth, fanout, cached us/sweep, uncached us/sweep, speedup, hits,
+   misses) per grid point; kept for the JSON report and --check-speedup *)
+let e15_results :
+    (int * int * float * float * float * int * int) list ref =
+  ref []
+
+let write_e15_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E15\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"repeated inherited reads, resolve cache on vs \
+     off, over chain depth x leaf fanout\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e15_results in
+  List.iteri
+    (fun i (depth, fanout, cached, uncached, speedup, hits, misses) ->
+      Printf.bprintf buf
+        "    { \"depth\": %d, \"fanout\": %d, \"cached_us_per_sweep\": %.3f, \
+         \"uncached_us_per_sweep\": %.3f, \"speedup\": %.2f, \"hits\": %d, \
+         \"misses\": %d }%s\n"
+        depth fanout cached uncached speedup hits misses
+        (if i = n - 1 then "" else ","))
+    !e15_results;
+  Buffer.add_string buf "  ],\n";
+  let speedups = List.map (fun (_, _, _, _, sp, _, _) -> sp) !e15_results in
+  let worst = List.fold_left min infinity speedups in
+  let best = List.fold_left max neg_infinity speedups in
+  Printf.bprintf buf "  \"min_speedup\": %.2f,\n" worst;
+  Printf.bprintf buf "  \"max_speedup\": %.2f\n" best;
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_resolve_cache.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_resolve_cache.json (%d rows)" n
+
+let e15 () =
+  header "E15"
+    "inheritance-resolution cache: repeated inherited reads, cache on vs \
+     off, by chain depth x leaf fanout";
+  e15_results := [];
+  say "%8s %8s %16s %16s %10s" "depth" "fanout" "cached (us)" "uncached (us)"
+    "speedup";
+  let grid =
+    if !smoke then [ (2, 1); (8, 2) ]
+    else [ (2, 1); (4, 2); (8, 2); (8, 8); (16, 4) ]
+  in
+  List.iter
+    (fun (depth, fanout) ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth);
+      let nodes = ok (W.chain_instance db ~depth ~payload:7) in
+      let parent = List.nth nodes (depth - 1) in
+      let first_leaf = List.nth nodes depth in
+      (* [fanout - 1] extra leaves of the chain's leaf type, bound to the
+         shared parent (type names mirror Workload.chain_schema) *)
+      let leaf_ty = "Node" ^ string_of_int depth in
+      let leaf_rel = "AllOf_Node" ^ string_of_int (depth - 1) in
+      let extras =
+        List.init (fanout - 1) (fun _ ->
+            let leaf = ok (Database.new_object db ~ty:leaf_ty ()) in
+            let _ =
+              ok
+                (Database.bind db ~via:leaf_rel ~transmitter:parent
+                   ~inheritor:leaf ())
+            in
+            leaf)
+      in
+      let leaves = first_leaf :: extras in
+      let store = Database.store db in
+      let sweep () =
+        List.iter
+          (fun leaf -> ignore (ok (Database.get_attr db leaf "Payload")))
+          leaves
+      in
+      (* time_per's warm-up call also fills the cache, so the cached arm
+         measures the steady state the memo table exists for *)
+      Store.set_resolve_cache_enabled store true;
+      let cached = time_per ~batch:10 sweep in
+      Store.set_resolve_cache_enabled store false;
+      let uncached = time_per ~batch:10 sweep in
+      let speedup = uncached /. cached in
+      (* counted pass: disable cleared the table, so sweep one fills and
+         sweep two hits — the hit/miss deltas land in the JSON report *)
+      Store.set_resolve_cache_enabled store true;
+      let h0 = Resolve_cache.hits () and m0 = Resolve_cache.misses () in
+      Compo_obs.Metrics.enable ();
+      sweep ();
+      sweep ();
+      if not bench_metrics then Compo_obs.Metrics.disable ();
+      let hits = Resolve_cache.hits () - h0
+      and misses = Resolve_cache.misses () - m0 in
+      e15_results :=
+        (depth, fanout, us cached, us uncached, speedup, hits, misses)
+        :: !e15_results;
+      say "%8d %8d %16.3f %16.3f %9.1fx" depth fanout (us cached) (us uncached)
+        speedup)
+    grid;
+  e15_results := List.rev !e15_results;
+  write_e15_json ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
 
 let bechamel_group () =
@@ -624,10 +746,83 @@ let bechamel_group () =
     (List.sort (fun (a, _) (b, _) -> String.compare a b) rows);
   Compo_storage.Journal.close j
 
+(* ------------------------------------------------------------------ *)
+(* Driver: experiment selection + flags                                *)
+
+let experiments =
+  [
+    ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
+    ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
+  ]
+
+let usage () =
+  say "usage: bench [E1 .. E15 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "             [--check-speedup MIN] [--no-bechamel]";
+  exit 2
+
 let () =
-  say "compo benchmark harness (experiments E1-E14; see DESIGN.md section 4)";
-  List.iter with_snapshot
-    [ e1; e2; e3; e4; e5; e6; e7; e8; e9; e10; e11; e12; e13; e14 ];
-  bechamel_group ();
+  let check = ref None in
+  let no_bechamel = ref false in
+  let selected = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--smoke" :: rest ->
+        smoke := true;
+        parse rest
+    | "--no-resolve-cache" :: rest ->
+        Resolve_cache.set_default_enabled false;
+        parse rest
+    | "--no-bechamel" :: rest ->
+        no_bechamel := true;
+        parse rest
+    | "--check-speedup" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f ->
+            check := Some f;
+            parse rest
+        | None -> usage ())
+    | "--check-speedup" :: [] -> usage ()
+    | name :: rest ->
+        let name = String.uppercase_ascii name in
+        if String.equal name "BECHAMEL" then selected := "bechamel" :: !selected
+        else if List.mem_assoc name experiments then
+          selected := name :: !selected
+        else usage ();
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let to_run, run_bechamel =
+    match List.rev !selected with
+    | [] -> (List.map fst experiments, not !no_bechamel)
+    | sel ->
+        ( List.filter (fun n -> not (String.equal n "bechamel")) sel,
+          List.mem "bechamel" sel && not !no_bechamel )
+  in
+  say "compo benchmark harness (experiments %s; see DESIGN.md section 4)"
+    (String.concat " " to_run);
+  List.iter (fun n -> with_snapshot (List.assoc n experiments)) to_run;
+  if run_bechamel then bechamel_group ();
+  (match !check with
+  | None -> ()
+  | Some min_required -> (
+      match !e15_results with
+      | [] ->
+          say "check-speedup: E15 did not run, nothing to gate on";
+          exit 2
+      | rows ->
+          let worst =
+            List.fold_left
+              (fun acc (_, _, _, _, sp, _, _) -> min acc sp)
+              infinity rows
+          in
+          if worst < min_required then begin
+            say "check-speedup: FAIL - worst E15 speedup %.2fx < required %.2fx"
+              worst min_required;
+            exit 1
+          end
+          else
+            say "check-speedup: OK - worst E15 speedup %.2fx >= %.2fx" worst
+              min_required));
   say "";
   say "bench done."

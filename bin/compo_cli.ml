@@ -297,7 +297,8 @@ let cmd_demo scenario dir =
 (* ------------------------------------------------------------------ *)
 (* Observability: the stats command and the --metrics flag              *)
 
-let with_metrics metrics f =
+let with_metrics ~no_resolve_cache metrics f =
+  if no_resolve_cache then Resolve_cache.set_default_enabled false;
   if not metrics then f ()
   else begin
     Compo_obs.Metrics.enable ();
@@ -318,9 +319,10 @@ let rec remove_tree path =
   | false -> Sys.remove path
   | exception Sys_error _ -> ()
 
-let cmd_stats files line_protocol slow_ms =
+let cmd_stats files line_protocol slow_ms no_resolve_cache =
   let module Obs = Compo_obs.Metrics in
   let module Trace = Compo_obs.Trace in
+  if no_resolve_cache then Resolve_cache.set_default_enabled false;
   Obs.enable ();
   Trace.set_slow_threshold (slow_ms /. 1000.);
   (* schema files on the command line are elaborated first, so their
@@ -347,12 +349,15 @@ let cmd_stats files line_protocol slow_ms =
   or_die (Compo_storage.Journal.set_attr j ff "Length" (Value.Int 12));
   or_die (Compo_storage.Journal.set_attr j iface "Width" (Value.Int 3));
   (* the implementation inherits Length/Width from its interface, so these
-     reads resolve across transmitter hops *)
-  List.iter
-    (fun name ->
-      let (_ : Value.t) = or_die (Database.get_attr jdb impl name) in
-      ())
-    [ "Length"; "Width"; "Function" ];
+     reads resolve across transmitter hops; the repetition exercises the
+     resolve cache (first pass fills, later passes hit) *)
+  for _ = 1 to 3 do
+    List.iter
+      (fun name ->
+        let (_ : Value.t) = or_die (Database.get_attr jdb impl name) in
+        ())
+      [ "Length"; "Width"; "Function" ]
+  done;
   let where = or_die (Compo_ddl.Parser.parse_expr "Length >= 0") in
   let (_ : Surrogate.t list) = or_die (Database.select jdb ~cls:"Gates" ~where ()) in
   let (_ : Constraints.violation list) = Database.validate_all jdb in
@@ -378,7 +383,16 @@ let cmd_stats files line_protocol slow_ms =
   if line_protocol then print_string (Obs.to_line_protocol ())
   else begin
     print_string (Obs.dump ());
-    Printf.printf "\nspans recorded: %d\n" (Trace.recorded ());
+    let hits = Resolve_cache.hits () and misses = Resolve_cache.misses () in
+    let looked_up = hits + misses in
+    Printf.printf "\nresolve cache: %d hit(s), %d miss(es), %d invalidation(s)"
+      hits misses
+      (Resolve_cache.invalidations ());
+    if looked_up > 0 then
+      Printf.printf ", %.1f%% hit rate"
+        (100. *. float_of_int hits /. float_of_int looked_up);
+    print_newline ();
+    Printf.printf "spans recorded: %d\n" (Trace.recorded ());
     match Trace.slow_ops () with
     | [] -> ()
     | slow ->
@@ -399,11 +413,25 @@ let metrics_arg =
           "Collect kernel metrics while the command runs and dump the \
            registry to stderr afterwards.")
 
+let no_resolve_cache_arg =
+  Arg.(
+    value & flag
+    & info [ "no-resolve-cache" ]
+        ~doc:
+          "Disable the generation-stamped inheritance-resolution cache: \
+           every inherited read walks the full transmitter chain.  \
+           Equivalent to COMPO_NO_RESOLVE_CACHE=1.")
+
 let dir_arg = Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR")
 
 (* [--metrics] must wrap the command body, so each term builds a thunk the
-   wrapper runs with the registry enabled *)
-let instrumented f = Term.(const with_metrics $ metrics_arg $ f)
+   wrapper runs with the registry enabled; [--no-resolve-cache] must be
+   applied before any store is created *)
+let instrumented f =
+  Term.(
+    const (fun no_resolve_cache metrics f ->
+        with_metrics ~no_resolve_cache metrics f)
+    $ no_resolve_cache_arg $ metrics_arg $ f)
 
 let check_cmd =
   let files = Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE.ddl") in
@@ -501,7 +529,7 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented workload and dump the metrics registry")
-    Term.(const cmd_stats $ files $ line_protocol $ slow)
+    Term.(const cmd_stats $ files $ line_protocol $ slow $ no_resolve_cache_arg)
 
 (* ------------------------------------------------------------------ *)
 (* Version management: a versions.bin sidecar next to the journal       *)

@@ -26,9 +26,18 @@ let store t = t.db_store
 let set_eager_checks t b = t.eager_checks <- b
 
 let define_domain t = Schema.define_domain t.db_schema
-let define_obj_type t = Schema.define_obj_type t.db_schema
 let define_rel_type t = Schema.define_rel_type t.db_schema
-let define_inher_rel_type t = Schema.define_inher_rel_type t.db_schema
+
+(* Schema evolution can change which attributes are permeable through
+   which relationship, so memoised resolutions must not outlive it. *)
+let bumping_cache t r =
+  if Result.is_ok r then Store.invalidate_resolve_cache t.db_store;
+  r
+
+let define_obj_type t ot = bumping_cache t (Schema.define_obj_type t.db_schema ot)
+
+let define_inher_rel_type t it =
+  bumping_cache t (Schema.define_inher_rel_type t.db_schema it)
 let create_class t ~name ~member_type = Store.create_class t.db_store ~name ~member_type
 
 let first_violation = function

@@ -147,7 +147,20 @@ let rec attr_at store s name depth =
 
 let attr store s name =
   Trace.with_span "inheritance.resolve" ~attrs:[ ("attr", name) ] (fun () ->
-      attr_at store s name 0)
+      if not (Store.resolve_cache_active store) then attr_at store s name 0
+      else
+        let cache = Store.resolve_cache store in
+        match Resolve_cache.find cache s name with
+        | Some v -> Ok v
+        | None ->
+            (* capture the generation before the walk: a concurrent
+               invalidation (scoped or global) then kills this fill *)
+            let gen = Resolve_cache.generation cache in
+            let result = attr_at store s name 0 in
+            (match result with
+            | Ok v -> Resolve_cache.fill cache ~gen s name v
+            | Error _ -> ());
+            result)
 
 let rec subclass_members_at store s name depth =
   let* e = Store.get store s in

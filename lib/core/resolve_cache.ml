@@ -1,0 +1,116 @@
+module Obs = Compo_obs.Metrics
+
+let m_hit = Obs.counter "inheritance.cache.hit"
+let m_miss = Obs.counter "inheritance.cache.miss"
+let m_invalidate = Obs.counter "inheritance.cache.invalidate"
+let g_size = Obs.gauge "inheritance.cache.size"
+
+let hits () = Obs.count m_hit
+let misses () = Obs.count m_miss
+let invalidations () = Obs.count m_invalidate
+
+let truthy = function "1" | "true" | "yes" -> true | _ -> false
+
+let default =
+  ref
+    (match Sys.getenv_opt "COMPO_NO_RESOLVE_CACHE" with
+    | Some v -> not (truthy v)
+    | None -> true)
+
+let default_enabled () = !default
+let set_default_enabled b = default := b
+
+module Key = struct
+  type t = Surrogate.t * string
+
+  let equal (s1, a1) (s2, a2) = Surrogate.equal s1 s2 && String.equal a1 a2
+  let hash (s, a) = (Surrogate.hash s * 31) + Hashtbl.hash a
+end
+
+module Ktbl = Hashtbl.Make (Key)
+
+type entry = { e_value : Value.t; e_gen : int }
+
+type t = {
+  mutable rc_enabled : bool;
+  rc_capacity : int;
+  mutable rc_gen : int;  (* bumped by every invalidation *)
+  mutable rc_floor : int;  (* entries filled before this are dead *)
+  rc_floors : int Surrogate.Tbl.t;  (* per-surrogate floors (scoped bumps) *)
+  rc_entries : entry Ktbl.t;
+}
+
+let create ?(capacity = 65536) ?enabled () =
+  {
+    rc_enabled = Option.value ~default:!default enabled;
+    rc_capacity = max 1 capacity;
+    rc_gen = 0;
+    rc_floor = 0;
+    rc_floors = Surrogate.Tbl.create 64;
+    rc_entries = Ktbl.create 256;
+  }
+
+let enabled t = t.rc_enabled
+let size t = Ktbl.length t.rc_entries
+let capacity t = t.rc_capacity
+let generation t = t.rc_gen
+
+let sync_gauge t = Obs.set_gauge g_size (float_of_int (Ktbl.length t.rc_entries))
+
+let clear t =
+  Ktbl.reset t.rc_entries;
+  Surrogate.Tbl.reset t.rc_floors;
+  t.rc_floor <- t.rc_gen;
+  sync_gauge t
+
+let set_enabled t b =
+  if t.rc_enabled && not b then clear t;
+  t.rc_enabled <- b
+
+let floor_of t s =
+  match Surrogate.Tbl.find_opt t.rc_floors s with
+  | Some f -> max f t.rc_floor
+  | None -> t.rc_floor
+
+let find t s name =
+  if not t.rc_enabled then None
+  else
+    match Ktbl.find_opt t.rc_entries (s, name) with
+    | Some e when e.e_gen >= floor_of t s ->
+        Obs.incr m_hit;
+        Some e.e_value
+    | Some _ ->
+        (* dead entry: sweep it lazily so capacity tracks live data *)
+        Ktbl.remove t.rc_entries (s, name);
+        sync_gauge t;
+        Obs.incr m_miss;
+        None
+    | None ->
+        Obs.incr m_miss;
+        None
+
+let fill t ~gen s name v =
+  if t.rc_enabled && gen >= floor_of t s then begin
+    if Ktbl.length t.rc_entries >= t.rc_capacity then clear t;
+    (* re-check after a capacity clear moved the floor *)
+    if gen >= floor_of t s then begin
+      Ktbl.replace t.rc_entries (s, name) { e_value = v; e_gen = gen };
+      sync_gauge t
+    end
+  end
+
+(* Invalidation is a no-op while disabled: nothing fills a disabled cache,
+   and re-enabling starts from a cleared table (see {!set_enabled}). *)
+let invalidate_scoped t ss =
+  if t.rc_enabled then begin
+    t.rc_gen <- t.rc_gen + 1;
+    List.iter (fun s -> Surrogate.Tbl.replace t.rc_floors s t.rc_gen) ss;
+    Obs.incr m_invalidate
+  end
+
+let invalidate_global t =
+  if t.rc_enabled then begin
+    t.rc_gen <- t.rc_gen + 1;
+    clear t;
+    Obs.incr m_invalidate
+  end

@@ -1,0 +1,82 @@
+(** Generation-stamped memo table for inherited-attribute resolution.
+
+    The paper's view strategy resolves every inherited read through the
+    binding chain, so a read pays one {!Store.get} plus one effective-attr
+    lookup per transmitter hop (the O(depth) cost E2 measures).  This cache
+    short-circuits repeated reads: a per-store table maps
+    [(surrogate, attribute)] to the resolved value, and generation counters
+    decide validity instead of eager per-entry eviction.
+
+    Invalidation scheme (the generations):
+    - every mutation of data a resolution may have read bumps a
+      monotonically increasing generation counter;
+    - a {e scoped} bump (transmitter attribute write) raises the floor of
+      the writer and its inheritor closure only — unrelated chains keep
+      their entries;
+    - a {e global} bump (bind, unbind, delete, participant rewiring,
+      schema evolution, transaction abort) clears the table outright;
+    - a fill records the generation captured {e before} the chain walk
+      started, so a fill that raced an invalidation is dead on arrival
+      ("stale fills die").
+
+    The cache must never be consulted while read hooks are installed: the
+    transaction layer turns per-hop read notifications into the paper's
+    reverse lock inheritance, and a memoised read performs no hops.
+    {!Store.resolve_cache_active} enforces this; it is why transactional
+    reads always walk.
+
+    Observability: [inheritance.cache.{hit,miss,invalidate}] counters and
+    an [inheritance.cache.size] gauge in the default metrics registry. *)
+
+type t
+
+val create : ?capacity:int -> ?enabled:bool -> unit -> t
+(** [capacity] bounds the number of live entries (default 65536); filling
+    a full table clears it first (epoch eviction).  [enabled] defaults to
+    {!default_enabled}. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Disabling clears the table, so a later re-enable cannot serve values
+    cached under the old generation regime. *)
+
+val default_enabled : unit -> bool
+(** Initial setting for new caches: [true] unless the
+    [COMPO_NO_RESOLVE_CACHE] environment variable is set to a truthy value
+    or {!set_default_enabled} was called with [false].  The CLI and bench
+    harness [--no-resolve-cache] escape hatches go through this. *)
+
+val set_default_enabled : bool -> unit
+
+val generation : t -> int
+(** Current generation.  Capture it {e before} a chain walk and pass it to
+    {!fill}, so the fill dies if anything invalidated meanwhile. *)
+
+val find : t -> Surrogate.t -> string -> Value.t option
+(** Valid cached resolution of [(surrogate, attribute)], or [None].
+    Counts a hit or a miss; lazily drops entries below their floor. *)
+
+val fill : t -> gen:int -> Surrogate.t -> string -> Value.t -> unit
+(** Memoise a resolution computed at generation [gen].  A no-op when the
+    cache is disabled or [gen] is below any applicable floor. *)
+
+val invalidate_scoped : t -> Surrogate.t list -> unit
+(** Raise the floor of exactly the given surrogates (a writer plus its
+    inheritor closure): their entries die, everything else survives. *)
+
+val invalidate_global : t -> unit
+(** Structural change: drop every entry and bump the generation so
+    in-flight fills die too. *)
+
+val size : t -> int
+(** Live entries (including scoped-invalidated ones not yet swept). *)
+
+val capacity : t -> int
+
+val hits : unit -> int
+(** Process-wide hit count from the metrics registry (0 while metrics are
+    disabled); convenience for [compo stats] and the bench harness. *)
+
+val misses : unit -> int
+val invalidations : unit -> int

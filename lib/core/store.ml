@@ -36,6 +36,7 @@ type t = {
   (* reverse index: entity -> relationship entities referencing it as a
      participant, for referential integrity on delete *)
   referrer_index : Surrogate.t list Surrogate.Tbl.t;
+  cache : Resolve_cache.t;  (* memoised inherited-attribute resolutions *)
   mutable read_hooks : (int * (Surrogate.t -> unit)) list;
   mutable write_hooks : (int * (Surrogate.t -> unit)) list;
   mutable next_hook : int;
@@ -63,12 +64,55 @@ let create schema =
     classes = Hashtbl.create 16;
     class_order = [];
     referrer_index = Surrogate.Tbl.create 256;
+    cache = Resolve_cache.create ();
     read_hooks = [];
     write_hooks = [];
     next_hook = 1;
   }
 
 let schema t = t.schema
+
+(* ------------------------------------------------------------------ *)
+(* Resolve cache: generation plumbing                                  *)
+
+let resolve_cache t = t.cache
+let set_resolve_cache_enabled t b = Resolve_cache.set_enabled t.cache b
+
+(* The cache stands in for the chain walk, so it may only serve reads
+   when no read hooks are installed: hooks carry the per-hop
+   notifications the transaction layer turns into lock inheritance. *)
+let resolve_cache_active t =
+  Resolve_cache.enabled t.cache
+  && (match t.read_hooks with [] -> true | _ :: _ -> false)
+
+let invalidate_resolve_cache t = Resolve_cache.invalidate_global t.cache
+
+(* A transmitter attribute write invalidates only the writer and its
+   inheritor closure; unrelated chains keep their cached resolutions.
+   The walk runs over the store's own structural fields (the semantic
+   closure lives in Inheritance, which sits above this module).  Skipped
+   while the table is empty: with the cache active no user code runs
+   between generation capture and fill, so there is nothing to protect. *)
+let invalidate_resolved_for_write t s =
+  if Resolve_cache.enabled t.cache && Resolve_cache.size t.cache > 0 then begin
+    let rec close acc s =
+      match Surrogate.Tbl.find_opt t.entities s with
+      | None -> acc
+      | Some e ->
+          List.fold_left
+            (fun acc link ->
+              match Surrogate.Tbl.find_opt t.entities link with
+              | None -> acc
+              | Some le -> (
+                  match Smap.find_opt "inheritor" le.participants with
+                  | Some (Value.Ref i) when not (Surrogate.Set.mem i acc) ->
+                      close (Surrogate.Set.add i acc) i
+                  | Some _ | None -> acc))
+            acc e.inheritor_links
+    in
+    let closure = close Surrogate.Set.empty s in
+    Resolve_cache.invalidate_scoped t.cache (s :: Surrogate.Set.elements closure)
+  end
 
 let fresh_hook t =
   let id = t.next_hook in
@@ -451,6 +495,7 @@ let set_attr t s name value =
   let* () = check_attr_value t e.type_name (name, value) in
   Obs.incr m_attr_write;
   e.attrs <- Smap.add name value e.attrs;
+  invalidate_resolved_for_write t s;
   notify_write t s;
   Ok ()
 
@@ -497,6 +542,9 @@ let set_participant t s name value =
         | None -> ());
         e.participants <- Smap.add name value e.participants;
         index_referrer t s value;
+        (* rewiring may change who an inheritance link names, so no scope
+           is safe to keep *)
+        invalidate_resolve_cache t;
         notify_write t s;
         Ok ()
 
@@ -546,6 +594,9 @@ let add_inheritance_link t ~ty ~transmitter ~inheritor ~attrs =
   add_entity t e;
   ie.bound <- Some { b_link = e.id; b_via = ty; b_transmitter = transmitter };
   te.inheritor_links <- e.id :: te.inheritor_links;
+  (* binding changes what every transitive inheritor of [inheritor]
+     resolves to; a global bump is the only sound scope *)
+  invalidate_resolve_cache t;
   notify_write t inheritor;
   Ok e.id
 
@@ -578,6 +629,9 @@ let rec remove_inheritance_link t link =
       le.subobjs;
     Obs.incr m_delete;
     Surrogate.Tbl.remove t.entities link;
+    (* unbind: previously resolved inherited values must become
+       unobservable immediately — reads yield [Null] from the next call *)
+    invalidate_resolve_cache t;
     Ok ()
   end
 
@@ -644,6 +698,7 @@ and delete t ?(force = false) s =
   Smap.iter (fun _ v -> unindex_referrer t s v) e.participants;
   Obs.incr m_delete;
   Surrogate.Tbl.remove t.entities s;
+  invalidate_resolve_cache t;
   notify_write t s;
   Ok ()
 
@@ -655,7 +710,8 @@ let generator t = t.gen
 let restore_entity t e =
   Surrogate.Gen.mark_used t.gen e.id;
   add_entity t e;
-  Smap.iter (fun _ v -> index_referrer t e.id v) e.participants
+  Smap.iter (fun _ v -> index_referrer t e.id v) e.participants;
+  invalidate_resolve_cache t
 
 let restore_class t ~name ~member_type ~members =
   Hashtbl.replace t.classes name

@@ -43,6 +43,32 @@ type t
 val create : Schema.t -> t
 val schema : t -> Schema.t
 
+(** {1 Resolve cache}
+
+    Every store owns a {!Resolve_cache.t} memoising inherited-attribute
+    resolutions.  The store is the single writer of entity state, so all
+    its write paths carry the generation plumbing: attribute writes bump
+    the writer's inheritor closure (scoped), while bind / unbind / delete /
+    participant rewiring / entity restore bump globally.  {!Inheritance}
+    performs the lookup → walk → fill. *)
+
+val resolve_cache : t -> Resolve_cache.t
+
+val resolve_cache_active : t -> bool
+(** True when the cache is enabled {e and} no read hooks are installed.
+    With hooks present a memoised read would skip the per-hop
+    notifications that implement lock inheritance, so the cache stands
+    down for the duration (transactional reads always walk). *)
+
+val set_resolve_cache_enabled : t -> bool -> unit
+(** The per-store escape hatch ([--no-resolve-cache] sets the process
+    default instead, see {!Resolve_cache.set_default_enabled}). *)
+
+val invalidate_resolve_cache : t -> unit
+(** Global generation bump: drop every memoised resolution.  Exposed for
+    layers whose mutations bypass the store's write paths (transaction
+    abort, schema evolution). *)
+
 (** {1 Hooks}
 
     Multiple subscribers observe reads and writes: the transaction layer
