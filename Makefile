@@ -1,4 +1,4 @@
-.PHONY: all build test check fmt fmt-check bench bench-smoke ci clean
+.PHONY: all build test check obs-check fmt fmt-check bench bench-smoke ci clean
 
 all: build
 
@@ -12,6 +12,14 @@ test: build
 # workload over the paper's gates schema.
 check: test
 	dune exec bin/compo_cli.exe -- stats schemas/gates.ddl
+
+# Observability check: run the instrumented gates workload with metrics
+# on, export the registry as OpenMetrics, and validate the exposition
+# against the text-format grammar with the checker in test/.
+obs-check: build
+	dune exec bin/compo_cli.exe -- stats schemas/gates.ddl --format=openmetrics > obs-check.om
+	dune exec test/check_openmetrics.exe -- obs-check.om
+	rm -f obs-check.om
 
 # ocamlformat is optional in the build environment; format when it is
 # available, otherwise say so and succeed.
@@ -34,17 +42,20 @@ fmt-check:
 bench: build
 	dune exec bench/main.exe
 
-# CI-sized benchmark: E1 plus the resolve-cache sweep E15 on small
-# grids.  Fails if the cached read path is slower than the uncached one
-# or if E15 does not produce its JSON report.
+# CI-sized benchmark: E1 plus the resolve-cache sweep E15 and the
+# provenance-overhead sweep E16 on small grids.  Fails if the cached
+# read path is slower than the uncached one or if either experiment
+# does not produce its JSON report.
 bench-smoke: build
-	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15 E16
 	test -s BENCH_resolve_cache.json
+	test -s BENCH_provenance.json
 
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
-ci: build test fmt-check bench-smoke
+ci: build test fmt-check obs-check bench-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_resolve_cache.json
+	rm -f BENCH_resolve_cache.json BENCH_provenance.json
+	rm -f BENCH_*.metrics.json obs-check.om

@@ -5,7 +5,7 @@
    Usage: bench [E1 E15 ...] [--smoke] [--no-resolve-cache]
                 [--check-speedup MIN] [--no-bechamel]
 
-   With no experiment names, all of E1..E15 plus the Bechamel group run.
+   With no experiment names, all of E1..E16 plus the Bechamel group run.
    --smoke shrinks the parameter sweeps to CI-sized grids.
    --no-resolve-cache disables the inheritance-resolution cache globally
    (E15 still compares both arms by toggling the per-store switch).
@@ -13,8 +13,10 @@
    speedup falls below MIN — the CI gate.
 
    Output: for every experiment a parameter-sweep table, then a Bechamel
-   micro-benchmark group over the headline operations; E15 additionally
-   writes its series to BENCH_resolve_cache.json. *)
+   micro-benchmark group over the headline operations; E15 and E16
+   additionally write their series to BENCH_resolve_cache.json and
+   BENCH_provenance.json (each with a *.metrics.json registry
+   snapshot companion). *)
 
 open Compo_core
 module G = Compo_scenarios.Gates
@@ -39,7 +41,7 @@ let bench_metrics =
   | Some ("1" | "true" | "yes") -> true
   | Some _ | None -> false
 
-let with_snapshot f =
+let with_snapshot name f =
   if not bench_metrics then f ()
   else begin
     Compo_obs.Metrics.reset ();
@@ -49,9 +51,16 @@ let with_snapshot f =
     say "";
     say "metrics snapshot:";
     print_string (Compo_obs.Metrics.dump ());
-    say "resolve cache: %d hit(s), %d miss(es), %d invalidation(s)"
+    say "resolve cache: %d hit(s), %d miss(es), %d invalidation(s) (%d scoped, %d global)"
       (Resolve_cache.hits ()) (Resolve_cache.misses ())
-      (Resolve_cache.invalidations ());
+      (Resolve_cache.invalidations ())
+      (Resolve_cache.invalidations_scoped ())
+      (Resolve_cache.invalidations_global ());
+    (* the machine-readable twin of the dump above, one file per
+       experiment, so a benchmark run carries its metric snapshot *)
+    let path = Printf.sprintf "BENCH_%s.metrics.json" name in
+    Compo_obs.Metrics.snapshot_to_file path;
+    say "wrote %s" path;
     Compo_obs.Metrics.reset ()
   end
 
@@ -574,7 +583,11 @@ let write_e15_json () =
   let oc = open_out "BENCH_resolve_cache.json" in
   output_string oc (Buffer.contents buf);
   close_out oc;
-  say "wrote BENCH_resolve_cache.json (%d rows)" n
+  say "wrote BENCH_resolve_cache.json (%d rows)" n;
+  (* the counted passes ran with metrics on, so the registry carries the
+     hit/miss traffic behind the table above; ship it with the report *)
+  Compo_obs.Metrics.snapshot_to_file "BENCH_resolve_cache.metrics.json";
+  say "wrote BENCH_resolve_cache.metrics.json"
 
 let e15 () =
   header "E15"
@@ -640,6 +653,66 @@ let e15 () =
     grid;
   e15_results := List.rev !e15_results;
   write_e15_json ()
+
+(* ------------------------------------------------------------------ *)
+(* E16: provenance recording overhead (PR 3 observability layer)       *)
+
+(* (depth, off us/read, on us/read, ratio) per grid point *)
+let e16_results : (int * float * float * float) list ref = ref []
+
+let write_e16_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E16\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"inherited read with the provenance collector on \
+     vs off, by chain depth (resolve cache disabled so both arms walk)\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e16_results in
+  List.iteri
+    (fun i (depth, off, on, ratio) ->
+      Printf.bprintf buf
+        "    { \"depth\": %d, \"off_us_per_read\": %.3f, \
+         \"on_us_per_read\": %.3f, \"on_over_off\": %.2f }%s\n"
+        depth off on ratio
+        (if i = n - 1 then "" else ","))
+    !e16_results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_provenance.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_provenance.json (%d rows)" n;
+  Compo_obs.Metrics.snapshot_to_file "BENCH_provenance.metrics.json";
+  say "wrote BENCH_provenance.metrics.json"
+
+let e16 () =
+  header "E16"
+    "provenance recording: inherited read with the collector on vs off, by \
+     chain depth";
+  e16_results := [];
+  say "%8s %14s %14s %10s" "depth" "off (us)" "on (us)" "on/off";
+  let depths = if !smoke then [ 2; 8 ] else [ 0; 2; 8; 16 ] in
+  List.iter
+    (fun depth ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth);
+      let nodes = ok (W.chain_instance db ~depth ~payload:7) in
+      let leaf = List.nth nodes depth in
+      (* cache off so both arms walk the chain: the delta is pure
+         recording cost, not a hit-rate artifact *)
+      Store.set_resolve_cache_enabled (Database.store db) false;
+      let read () = ignore (ok (Database.get_attr db leaf "Payload")) in
+      let off = time_per ~batch:100 read in
+      Compo_obs.Provenance.enable ();
+      let on = time_per ~batch:100 read in
+      Compo_obs.Provenance.disable ();
+      let ratio = on /. off in
+      e16_results := (depth, us off, us on, ratio) :: !e16_results;
+      say "%8d %14.3f %14.3f %9.2fx" depth (us off) (us on) ratio)
+    depths;
+  e16_results := List.rev !e16_results;
+  write_e16_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
@@ -753,11 +826,11 @@ let experiments =
   [
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
-    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15);
+    ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
   ]
 
 let usage () =
-  say "usage: bench [E1 .. E15 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "usage: bench [E1 .. E16 | bechamel ...] [--smoke] [--no-resolve-cache]";
   say "             [--check-speedup MIN] [--no-bechamel]";
   exit 2
 
@@ -801,7 +874,7 @@ let () =
   in
   say "compo benchmark harness (experiments %s; see DESIGN.md section 4)"
     (String.concat " " to_run);
-  List.iter (fun n -> with_snapshot (List.assoc n experiments)) to_run;
+  List.iter (fun n -> with_snapshot n (List.assoc n experiments)) to_run;
   if run_bechamel then bechamel_group ();
   (match !check with
   | None -> ()

@@ -10,6 +10,9 @@
    compo checkpoint <dir>          collapse the WAL into a snapshot
    compo demo <gates|steel> <dir>  build a paper scenario into a database
    compo stats [file.ddl...]       run an instrumented workload, dump metrics
+                                   (--format=table|json|openmetrics|line-protocol)
+   compo explain read <dir> <id> <attr>   provenance of one inherited read
+   compo explain query <dir> <class>      query plan with cardinalities
 
    Every data command also accepts --metrics, which turns the kernel's
    metrics registry on for the duration of the command and dumps it to
@@ -319,7 +322,33 @@ let rec remove_tree path =
   | false -> Sys.remove path
   | exception Sys_error _ -> ()
 
-let cmd_stats files line_protocol slow_ms no_resolve_cache =
+(* Provenance of one inheritance-aware read: value, cache outcome,
+   source, and the full transmitter chain as an indented tree. *)
+let cmd_explain_read dir raw_id attr =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let s = parse_id raw_id in
+      let _v, r = or_die (Database.explain_attr db s attr) in
+      Format.printf "%a@." Compo_obs.Provenance.pp_read r)
+
+(* Query plan: access choice, predicate split, estimated vs. actual
+   cardinality.  Metrics are forced on for the duration so the eval-node
+   count is populated (and deterministic for a given database). *)
+let cmd_explain_query dir cls where_src timings =
+  with_journal dir (fun j ->
+      let db = Compo_storage.Journal.db j in
+      let where =
+        Option.map (fun src -> or_die (Compo_ddl.Parser.parse_expr src)) where_src
+      in
+      let was_on = Compo_obs.Metrics.enabled () in
+      Compo_obs.Metrics.enable ();
+      let result = Database.explain_select db ~cls ?where () in
+      if not was_on then Compo_obs.Metrics.disable ();
+      let rows, ex = or_die result in
+      Format.printf "%a@." (Query.pp_explain ~timings) ex;
+      Printf.printf "%d object(s)\n" (List.length rows))
+
+let cmd_stats files format line_protocol slow_ms no_resolve_cache =
   let module Obs = Compo_obs.Metrics in
   let module Trace = Compo_obs.Trace in
   if no_resolve_cache then Resolve_cache.set_default_enabled false;
@@ -380,25 +409,28 @@ let cmd_stats files line_protocol slow_ms no_resolve_cache =
   Compo_storage.Journal.close j;
   remove_tree dir;
   Obs.disable ();
-  if line_protocol then print_string (Obs.to_line_protocol ())
-  else begin
-    print_string (Obs.dump ());
-    let hits = Resolve_cache.hits () and misses = Resolve_cache.misses () in
-    let looked_up = hits + misses in
-    Printf.printf "\nresolve cache: %d hit(s), %d miss(es), %d invalidation(s)"
-      hits misses
-      (Resolve_cache.invalidations ());
-    if looked_up > 0 then
-      Printf.printf ", %.1f%% hit rate"
-        (100. *. float_of_int hits /. float_of_int looked_up);
-    print_newline ();
-    Printf.printf "spans recorded: %d\n" (Trace.recorded ());
-    match Trace.slow_ops () with
-    | [] -> ()
-    | slow ->
-        Printf.printf "slow ops (>= %gms):\n" slow_ms;
-        Format.printf "%a@." Compo_obs.Trace.pp_spans slow
-  end
+  let format = if line_protocol then `Line_protocol else format in
+  match format with
+  | `Line_protocol -> print_string (Obs.to_line_protocol ())
+  | `Openmetrics -> print_string (Obs.to_openmetrics ())
+  | `Json -> print_string (Obs.to_json ())
+  | `Table ->
+      print_string (Obs.dump ());
+      let hits = Resolve_cache.hits () and misses = Resolve_cache.misses () in
+      Printf.printf
+        "\nresolve cache: %d hit(s), %d miss(es), %d invalidation(s) (%d \
+         scoped, %d global), hit rate %s\n"
+        hits misses
+        (Resolve_cache.invalidations ())
+        (Resolve_cache.invalidations_scoped ())
+        (Resolve_cache.invalidations_global ())
+        (Obs.ratio_string ~num:hits ~den:(hits + misses) ());
+      Printf.printf "spans recorded: %d\n" (Trace.recorded ());
+      (match Trace.slow_ops () with
+      | [] -> ()
+      | slow ->
+          Printf.printf "slow ops (>= %gms):\n" slow_ms;
+          Format.printf "%a@." Compo_obs.Trace.pp_spans slow)
 
 (* ------------------------------------------------------------------ *)
 (* Cmdliner wiring                                                     *)
@@ -516,10 +548,27 @@ let demo_cmd =
 
 let stats_cmd =
   let files = Arg.(value & pos_all file [] & info [] ~docv:"FILE.ddl") in
+  let format =
+    let formats =
+      [
+        ("table", `Table);
+        ("json", `Json);
+        ("openmetrics", `Openmetrics);
+        ("line-protocol", `Line_protocol);
+      ]
+    in
+    Arg.(value & opt (enum formats) `Table
+           & info [ "format" ] ~docv:"FORMAT"
+               ~doc:
+                 "Output format: $(b,table) (human-readable dump plus \
+                  derived ratios), $(b,json) (stable registry snapshot), \
+                  $(b,openmetrics) (text exposition format), or \
+                  $(b,line-protocol) (influx style).")
+  in
   let line_protocol =
     Arg.(value & flag
            & info [ "line-protocol" ]
-               ~doc:"Machine-readable influx-style output, one metric per line.")
+               ~doc:"Deprecated alias for --format=line-protocol.")
   in
   let slow =
     Arg.(value & opt float 5.0
@@ -529,7 +578,55 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented workload and dump the metrics registry")
-    Term.(const cmd_stats $ files $ line_protocol $ slow $ no_resolve_cache_arg)
+    Term.(
+      const cmd_stats $ files $ format $ line_protocol $ slow
+      $ no_resolve_cache_arg)
+
+let explain_group =
+  let timings =
+    Arg.(value & flag
+           & info [ "timings" ]
+               ~doc:
+                 "Append per-stage wall times to the plan (off by default \
+                  so the output is deterministic).")
+  in
+  let attr_arg =
+    Arg.(required & pos 2 (some string) None & info [] ~docv:"ATTR")
+  in
+  let id_arg = Arg.(required & pos 1 (some string) None & info [] ~docv:"ID") in
+  let cls_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"CLASS")
+  in
+  let where =
+    Arg.(value & opt (some string) None & info [ "w"; "where" ] ~docv:"EXPR"
+           ~doc:"Selection predicate, e.g. 'Length <= 5'.")
+  in
+  Cmd.group
+    (Cmd.info "explain"
+       ~doc:
+         "Explain why a read returned what it did, or how a query will run")
+    [
+      Cmd.v
+        (Cmd.info "read"
+           ~doc:
+             "Provenance of one inheritance-aware attribute read: the \
+              transmitter chain walked, the relationship object and \
+              permeability decision at each hop, the cache outcome, and \
+              the final source object")
+        Term.(
+          const (fun dir id attr -> cmd_explain_read dir id attr)
+          $ dir_arg $ id_arg $ attr_arg);
+      Cmd.v
+        (Cmd.info "query"
+           ~doc:
+             "Query plan: index vs. scan access choice, indexed conjunct \
+              vs. residual filter, estimated vs. actual cardinality, and \
+              evaluator work")
+        Term.(
+          const (fun dir cls where timings ->
+              cmd_explain_query dir cls where timings)
+          $ dir_arg $ cls_arg $ where $ timings);
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Version management: a versions.bin sidecar next to the journal       *)
@@ -679,6 +776,8 @@ let version_group =
 
 let () =
   setup_logs ();
+  (* COMPO_SLOW_MS / COMPO_TRACE_CAPACITY *)
+  Compo_obs.Trace.configure_from_env ();
   let doc = "complex and composite objects for CAD/CAM databases" in
   let info = Cmd.info "compo" ~version:"1.0.0" ~doc in
   exit
@@ -698,5 +797,6 @@ let () =
             checkpoint_cmd;
             demo_cmd;
             stats_cmd;
+            explain_group;
             version_group;
           ]))

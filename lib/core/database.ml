@@ -287,6 +287,94 @@ let select t ~cls ?where () =
 let select_subobjects t ~parent ~subclass ?where () =
   Query.select_subobjects t.db_store ~parent ~subclass ?where ()
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+let describe_plan = function
+  | `Hash (ix, v) ->
+      Query.Hash_eq { attr = Index.attr ix; value = Value.to_string v }
+  | `Eq (ox, v) ->
+      Query.Ordered_eq
+        { attr = Ordered_index.attr ox; value = Value.to_string v }
+  | `Range (ox, lo, hi) ->
+      let open Ordered_index in
+      let lo_s =
+        match lo with
+        | Unbounded -> "(-inf"
+        | Inclusive v -> "[" ^ Value.to_string v
+        | Exclusive v -> "(" ^ Value.to_string v
+      in
+      let hi_s =
+        match hi with
+        | Unbounded -> "+inf)"
+        | Inclusive v -> Value.to_string v ^ "]"
+        | Exclusive v -> Value.to_string v ^ ")"
+      in
+      Query.Ordered_range
+        { attr = Ordered_index.attr ox; interval = lo_s ^ ", " ^ hi_s }
+
+(* Mirrors [select] exactly (same planner, same filters), adding stage
+   timing and the eval.node delta.  Kept separate so the plain read path
+   never pays the clock calls. *)
+let explain_select t ~cls ?where () =
+  let where_str = Option.map Expr.to_string where in
+  let nodes0 = Eval.node_count () in
+  match Option.bind where (conjunction_plan t ~cls) with
+  | Some (plan, residual) ->
+      let t0 = Unix.gettimeofday () in
+      let* candidates = run_plan t ~cls plan in
+      let t1 = Unix.gettimeofday () in
+      let rows =
+        match residual with
+        | None -> candidates
+        | Some pred ->
+            List.filter
+              (fun s -> Query.matching t.db_store ~self:s pred)
+              candidates
+      in
+      let t2 = Unix.gettimeofday () in
+      Ok
+        ( rows,
+          {
+            Query.ex_cls = cls;
+            ex_access = describe_plan plan;
+            ex_where = where_str;
+            ex_residual = Option.map Expr.to_string residual;
+            ex_candidates = List.length candidates;
+            ex_rows = List.length rows;
+            ex_eval_nodes = Eval.node_count () - nodes0;
+            ex_access_seconds = t1 -. t0;
+            ex_filter_seconds = t2 -. t1;
+          } )
+  | None ->
+      let t0 = Unix.gettimeofday () in
+      let* members = Store.class_members t.db_store cls in
+      let t1 = Unix.gettimeofday () in
+      let rows =
+        match where with
+        | None -> members
+        | Some pred ->
+            List.filter
+              (fun s -> Query.matching t.db_store ~self:s pred)
+              members
+      in
+      let t2 = Unix.gettimeofday () in
+      Ok
+        ( rows,
+          {
+            Query.ex_cls = cls;
+            ex_access = Query.Seq_scan { extent = cls };
+            ex_where = where_str;
+            ex_residual = where_str;
+            ex_candidates = List.length members;
+            ex_rows = List.length rows;
+            ex_eval_nodes = Eval.node_count () - nodes0;
+            ex_access_seconds = t1 -. t0;
+            ex_filter_seconds = t2 -. t1;
+          } )
+
+let explain_attr t s name = Inheritance.explain t.db_store s name
+
 let expand t ?max_depth s = Composite.expand t.db_store ?max_depth s
 let bill_of_materials t s = Composite.bill_of_materials t.db_store s
 let where_used t s = Composite.where_used t.db_store s

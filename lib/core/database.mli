@@ -123,6 +123,23 @@ val select_subobjects :
   t -> parent:Surrogate.t -> subclass:string -> ?where:Expr.t -> unit ->
   (Surrogate.t list, Errors.t) result
 
+val explain_select :
+  t -> cls:string -> ?where:Expr.t -> unit ->
+  (Surrogate.t list * Query.explain, Errors.t) result
+(** Run [select] through the same planner and report the plan: access
+    choice (hash / ordered index vs. scan), indexed conjunct vs. residual
+    predicate, estimated (access-stage) vs. actual cardinality, evaluator
+    node count (when metrics are on), and per-stage wall times.  Surfaced
+    by [compo explain query]. *)
+
+val explain_attr :
+  t -> Surrogate.t -> string ->
+  (Value.t * Compo_obs.Provenance.read, Errors.t) result
+(** Provenance of one inheritance-aware read: the value plus the
+    transmitter chain, per-hop permeability decisions, and the cache
+    outcome (see {!Inheritance.explain}).  Surfaced by
+    [compo explain read]. *)
+
 val expand : t -> ?max_depth:int -> Surrogate.t -> (Composite.node, Errors.t) result
 val bill_of_materials : t -> Surrogate.t -> ((Surrogate.t * int) list, Errors.t) result
 val where_used : t -> Surrogate.t -> (Surrogate.t list, Errors.t) result

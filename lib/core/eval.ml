@@ -19,6 +19,8 @@ let ( let* ) = Result.bind
    query predicates and constraint checks *)
 let m_eval_node = Compo_obs.Metrics.counter "eval.node"
 
+let node_count () = Compo_obs.Metrics.count m_eval_node
+
 let item_value _store = function E s -> Value.Ref s | V v -> v
 
 (* Stepping a value by a segment name: record projection, mapping over

@@ -34,3 +34,8 @@ val eval_items : env -> Expr.path -> (item list, Errors.t) result
 
 val item_value : Store.t -> item -> Value.t
 (** Entities become [Ref]s; values pass through. *)
+
+val node_count : unit -> int
+(** Process-wide [eval.node] counter reading (0 while metrics are
+    disabled).  EXPLAIN takes a delta around the filter stage to report
+    evaluator work per query. *)

@@ -11,6 +11,7 @@ let ( let* ) = Result.bind
    latency span per resolution plus depth and fan-out histograms *)
 module Obs = Compo_obs.Metrics
 module Trace = Compo_obs.Trace
+module Prov = Compo_obs.Provenance
 
 let h_depth = Obs.histogram ~buckets:Obs.size_buckets "inheritance.resolve.depth"
 let h_fanout = Obs.histogram ~buckets:Obs.size_buckets "inheritance.resolve.fanout"
@@ -123,6 +124,47 @@ let unbind store inheritor =
 (* ------------------------------------------------------------------ *)
 (* Resolution                                                          *)
 
+(* Provenance hop recording.  Each helper is behind the caller's
+   [Prov.enabled ()] check, so the disabled hot path pays exactly one
+   load-and-branch per hop and allocates nothing. *)
+let record_local s e =
+  Prov.add_hop
+    {
+      Prov.hop_object = Surrogate.to_string s;
+      hop_type = e.Store.type_name;
+      hop_kind = Prov.Local;
+    }
+
+let record_unbound s e =
+  Prov.add_hop
+    {
+      Prov.hop_object = Surrogate.to_string s;
+      hop_type = e.Store.type_name;
+      hop_kind = Prov.Unbound;
+    }
+
+let record_follow store s e b name =
+  (* the permeability decision at this hop: does the binding's
+     relationship type let [name] through its inheriting clause? *)
+  let permeable =
+    match Schema.find_inher_rel_type (Store.schema store) b.b_via with
+    | Ok irel -> List.mem name irel.Schema.it_inheriting
+    | Error _ -> false
+  in
+  Prov.add_hop
+    {
+      Prov.hop_object = Surrogate.to_string s;
+      hop_type = e.Store.type_name;
+      hop_kind =
+        Prov.Follow
+          {
+            via = b.b_via;
+            link = Surrogate.to_string b.b_link;
+            transmitter = Surrogate.to_string b.b_transmitter;
+            permeable;
+          };
+    }
+
 (* A permeable feature resolves on the transmitter, hop by hop; each hop
    fires the read hook so the lock manager can S-lock the transmitter
    ("lock inheritance in the reverse direction of data inheritance").
@@ -134,20 +176,61 @@ let rec attr_at store s name depth =
   | None -> Error (Errors.Unknown_attribute (e.Store.type_name ^ "." ^ name))
   | Some (_, Schema.Own) ->
       Obs.observe h_depth (float_of_int depth);
+      if Prov.enabled () then record_local s e;
       Store.local_attr store s name
   | Some (_, Schema.Via _) -> (
       match e.Store.bound with
       | None ->
           Obs.observe h_depth (float_of_int depth);
+          if Prov.enabled () then record_unbound s e;
           Store.notify_read store s;
           Ok Value.Null
       | Some b ->
+          if Prov.enabled () then record_follow store s e b name;
           Store.notify_read store s;
           attr_at store b.b_transmitter name (depth + 1))
 
+let cache_outcome_of_status = function
+  | `Disabled -> Prov.Off
+  | `Hooked -> Prov.Bypass
+  | `Active -> Prov.Miss
+
+(* The traced variant is split out so the common path (provenance off)
+   stays exactly the PR 2 read path: one extra load-and-branch, no
+   closure allocation. *)
+let attr_traced store s name =
+  Prov.begin_read ~origin:(Surrogate.to_string s) ~attr:name;
+  let finish cache result =
+    (match result with
+    | Ok v -> Prov.finish_read ~cache ~value:(Value.to_string v)
+    | Error _ -> Prov.abort_read ());
+    result
+  in
+  match Store.resolve_cache_status store with
+  | (`Disabled | `Hooked) as status ->
+      finish (cache_outcome_of_status status) (attr_at store s name 0)
+  | `Active -> (
+      let cache = Store.resolve_cache store in
+      match Resolve_cache.find cache s name with
+      | Some v ->
+          (* a cache hit skips the walk; replay it so the chain is still
+             explainable (the replayed hops are exactly what the cached
+             value was resolved from — any mutation since would have
+             invalidated the entry) *)
+          ignore (attr_at store s name 0 : (Value.t, Errors.t) result);
+          finish Prov.Hit (Ok v)
+      | None ->
+          let gen = Resolve_cache.generation cache in
+          let result = attr_at store s name 0 in
+          (match result with
+          | Ok v -> Resolve_cache.fill cache ~gen s name v
+          | Error _ -> ());
+          finish Prov.Miss result)
+
 let attr store s name =
   Trace.with_span "inheritance.resolve" ~attrs:[ ("attr", name) ] (fun () ->
-      if not (Store.resolve_cache_active store) then attr_at store s name 0
+      if Prov.enabled () then attr_traced store s name
+      else if not (Store.resolve_cache_active store) then attr_at store s name 0
       else
         let cache = Store.resolve_cache store in
         match Resolve_cache.find cache s name with
@@ -161,6 +244,27 @@ let attr store s name =
             | Ok v -> Resolve_cache.fill cache ~gen s name v
             | Error _ -> ());
             result)
+
+let explain store s name =
+  let was_on = Prov.enabled () in
+  if not was_on then Prov.enable ();
+  let result = attr store s name in
+  let read = Prov.last () in
+  if not was_on then Prov.disable ();
+  match (result, read) with
+  | Error e, _ -> Error e
+  | Ok v, Some r when String.equal r.Prov.r_attr name -> Ok (v, r)
+  | Ok v, _ ->
+      (* defensive: a hook cleared the collector mid-read *)
+      Ok
+        ( v,
+          {
+            Prov.r_object = Surrogate.to_string s;
+            r_attr = name;
+            r_hops = [];
+            r_cache = Prov.Off;
+            r_value = Value.to_string v;
+          } )
 
 let rec subclass_members_at store s name depth =
   let* e = Store.get store s in

@@ -62,7 +62,20 @@ val attr : Store.t -> Surrogate.t -> string -> (Value.t, Errors.t) result
     locally; permeable attributes resolve through the binding chain,
     notifying the read hook at every hop (the transaction layer turns those
     notifications into the paper's reverse "lock inheritance").  Unbound
-    inheritors read permeable attributes as [Null]. *)
+    inheritors read permeable attributes as [Null].
+
+    When {!Compo_obs.Provenance.enabled} the resolution additionally
+    records a per-read provenance trace: the ordered transmitter chain,
+    the relationship object and permeability decision at each hop, and
+    the cache outcome (hit / miss / bypass under read hooks / off).  On a
+    cache hit the chain is replayed for the trace while the cached value
+    is returned. *)
+
+val explain :
+  Store.t -> Surrogate.t -> string -> (Value.t * Compo_obs.Provenance.read, Errors.t) result
+(** One-shot provenance: resolve the attribute with tracing forced on and
+    return the value together with its resolution record.  Leaves the
+    global provenance switch as it found it. *)
 
 val subclass_members :
   Store.t -> Surrogate.t -> string -> (Surrogate.t list, Errors.t) result

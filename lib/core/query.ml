@@ -55,6 +55,52 @@ let order_by store ?(descending = false) ~attr objects =
   in
   Ok (List.map fst (List.stable_sort cmp keyed))
 
+(* ------------------------------------------------------------------ *)
+(* EXPLAIN                                                             *)
+
+type access =
+  | Seq_scan of { extent : string }
+  | Hash_eq of { attr : string; value : string }
+  | Ordered_eq of { attr : string; value : string }
+  | Ordered_range of { attr : string; interval : string }
+
+type explain = {
+  ex_cls : string;
+  ex_access : access;
+  ex_where : string option;
+  ex_residual : string option;
+  ex_candidates : int;
+  ex_rows : int;
+  ex_eval_nodes : int;
+  ex_access_seconds : float;
+  ex_filter_seconds : float;
+}
+
+let access_to_string = function
+  | Seq_scan { extent } -> Printf.sprintf "seq scan over class %s" extent
+  | Hash_eq { attr; value } ->
+      Printf.sprintf "hash index on %s = %s" attr value
+  | Ordered_eq { attr; value } ->
+      Printf.sprintf "ordered index on %s = %s" attr value
+  | Ordered_range { attr; interval } ->
+      Printf.sprintf "ordered index range on %s in %s" attr interval
+
+let pp_explain ?(timings = false) ppf ex =
+  (* timings are optional so the rendering stays byte-stable for tests *)
+  let time ppf t = if timings then Format.fprintf ppf "  (%.3f ms)" (1000. *. t) in
+  Format.fprintf ppf "@[<v>select %s@," ex.ex_cls;
+  Format.fprintf ppf "  where: %s@,"
+    (Option.value ~default:"(none)" ex.ex_where);
+  Format.fprintf ppf "  access: %s -> %d candidate(s)%a@,"
+    (access_to_string ex.ex_access)
+    ex.ex_candidates time ex.ex_access_seconds;
+  (match ex.ex_residual with
+  | Some r ->
+      Format.fprintf ppf "  filter: %s -> %d row(s), %d eval node(s)%a" r
+        ex.ex_rows ex.ex_eval_nodes time ex.ex_filter_seconds
+  | None -> Format.fprintf ppf "  filter: (none) -> %d row(s)" ex.ex_rows);
+  Format.fprintf ppf "@]"
+
 type aggregate = Count_values | Count_distinct | Sum | Min | Max
 
 (* numbers compare by magnitude across Int/Real, everything else by the

@@ -39,6 +39,45 @@ val order_by :
 (** Sort objects by an (inheritance-aware) attribute, [Value.compare]
     order, stable. *)
 
+(** {1 EXPLAIN}
+
+    The plan report of one selection: how candidates were produced
+    (index choice vs. extent scan), the predicate split into its indexed
+    conjunct and the residual filter, estimated (access-stage) vs.
+    actual cardinality, evaluator work, and per-stage wall times.
+    {!Database.explain_select} fills it; [compo explain query] renders
+    it. *)
+
+(** How the access stage produced candidates.  Values and bounds are
+    pre-rendered so the report carries no live index handles. *)
+type access =
+  | Seq_scan of { extent : string }  (** full scan of the class extent *)
+  | Hash_eq of { attr : string; value : string }
+  | Ordered_eq of { attr : string; value : string }
+  | Ordered_range of { attr : string; interval : string }
+      (** [interval] in mathematical notation, e.g. ["[4, +inf)"] *)
+
+type explain = {
+  ex_cls : string;
+  ex_access : access;
+  ex_where : string option;  (** the full predicate as given *)
+  ex_residual : string option;
+      (** what remains after the indexed conjunct is peeled off; for a
+          scan this is the whole predicate *)
+  ex_candidates : int;  (** access-stage (estimated) cardinality *)
+  ex_rows : int;  (** rows surviving the filter (actual cardinality) *)
+  ex_eval_nodes : int;
+      (** evaluator nodes spent filtering (0 while metrics are off) *)
+  ex_access_seconds : float;
+  ex_filter_seconds : float;
+}
+
+val access_to_string : access -> string
+
+val pp_explain : ?timings:bool -> Format.formatter -> explain -> unit
+(** Indented plan tree.  [timings] (default false) appends per-stage wall
+    times; off, the output is deterministic for a given store. *)
+
 (** Aggregate over an (inheritance-aware) attribute of a set of objects.
     [Count_distinct] counts distinct values ([Null] included). *)
 type aggregate = Count_values | Count_distinct | Sum | Min | Max

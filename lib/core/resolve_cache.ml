@@ -1,13 +1,20 @@
 module Obs = Compo_obs.Metrics
+module Trace = Compo_obs.Trace
 
 let m_hit = Obs.counter "inheritance.cache.hit"
 let m_miss = Obs.counter "inheritance.cache.miss"
-let m_invalidate = Obs.counter "inheritance.cache.invalidate"
+
+(* churn attribution: scoped bumps (attribute writes) are the cheap,
+   common case; global bumps (structural change) clear the whole table *)
+let m_invalidate_scoped = Obs.counter "inheritance.cache.invalidate.scoped"
+let m_invalidate_global = Obs.counter "inheritance.cache.invalidate.global"
 let g_size = Obs.gauge "inheritance.cache.size"
 
 let hits () = Obs.count m_hit
 let misses () = Obs.count m_miss
-let invalidations () = Obs.count m_invalidate
+let invalidations_scoped () = Obs.count m_invalidate_scoped
+let invalidations_global () = Obs.count m_invalidate_global
+let invalidations () = invalidations_scoped () + invalidations_global ()
 
 let truthy = function "1" | "true" | "yes" -> true | _ -> false
 
@@ -102,15 +109,19 @@ let fill t ~gen s name v =
 (* Invalidation is a no-op while disabled: nothing fills a disabled cache,
    and re-enabling starts from a cleared table (see {!set_enabled}). *)
 let invalidate_scoped t ss =
-  if t.rc_enabled then begin
+  if t.rc_enabled then
+    Trace.with_span "inheritance.cache.invalidation"
+      ~attrs:[ ("scope", "scoped") ]
+    @@ fun () ->
     t.rc_gen <- t.rc_gen + 1;
     List.iter (fun s -> Surrogate.Tbl.replace t.rc_floors s t.rc_gen) ss;
-    Obs.incr m_invalidate
-  end
+    Obs.incr m_invalidate_scoped
 
 let invalidate_global t =
-  if t.rc_enabled then begin
+  if t.rc_enabled then
+    Trace.with_span "inheritance.cache.invalidation"
+      ~attrs:[ ("scope", "global") ]
+    @@ fun () ->
     t.rc_gen <- t.rc_gen + 1;
     clear t;
-    Obs.incr m_invalidate
-  end
+    Obs.incr m_invalidate_global

@@ -25,8 +25,12 @@
     {!Store.resolve_cache_active} enforces this; it is why transactional
     reads always walk.
 
-    Observability: [inheritance.cache.{hit,miss,invalidate}] counters and
-    an [inheritance.cache.size] gauge in the default metrics registry. *)
+    Observability: [inheritance.cache.{hit,miss}] and
+    [inheritance.cache.invalidate.{scoped,global}] counters plus an
+    [inheritance.cache.size] gauge in the default metrics registry; each
+    invalidation also runs under an [inheritance.cache.invalidation] span
+    carrying its scope as an attribute, so churn is attributable from the
+    trace ring alone. *)
 
 type t
 
@@ -79,4 +83,12 @@ val hits : unit -> int
     disabled); convenience for [compo stats] and the bench harness. *)
 
 val misses : unit -> int
+
+val invalidations_scoped : unit -> int
+(** Floor raises limited to a writer and its inheritor closure. *)
+
+val invalidations_global : unit -> int
+(** Whole-table clears from structural change. *)
+
 val invalidations : unit -> int
+(** Sum of the scoped and global counts. *)

@@ -81,9 +81,14 @@ let set_resolve_cache_enabled t b = Resolve_cache.set_enabled t.cache b
 (* The cache stands in for the chain walk, so it may only serve reads
    when no read hooks are installed: hooks carry the per-hop
    notifications the transaction layer turns into lock inheritance. *)
+let resolve_cache_status t =
+  if not (Resolve_cache.enabled t.cache) then `Disabled
+  else match t.read_hooks with [] -> `Active | _ :: _ -> `Hooked
+
 let resolve_cache_active t =
-  Resolve_cache.enabled t.cache
-  && (match t.read_hooks with [] -> true | _ :: _ -> false)
+  match resolve_cache_status t with
+  | `Active -> true
+  | `Disabled | `Hooked -> false
 
 let invalidate_resolve_cache t = Resolve_cache.invalidate_global t.cache
 

@@ -60,6 +60,12 @@ val resolve_cache_active : t -> bool
     notifications that implement lock inheritance, so the cache stands
     down for the duration (transactional reads always walk). *)
 
+val resolve_cache_status : t -> [ `Active | `Disabled | `Hooked ]
+(** Why (or why not) the cache will serve the next read: [`Active] as
+    above, [`Disabled] when switched off for this store or process,
+    [`Hooked] when read hooks force the walk.  Provenance records this as
+    the read's cache outcome ([`Hooked] renders as "bypass"). *)
+
 val set_resolve_cache_enabled : t -> bool -> unit
 (** The per-store escape hatch ([--no-resolve-cache] sets the process
     default instead, see {!Resolve_cache.set_default_enabled}). *)

@@ -231,6 +231,130 @@ let pp_dump fmt metrics =
 let dump ?registry () =
   Format.asprintf "%a" pp_dump (snapshot ?registry ())
 
+let ratio_string ?(scale = 100.) ~num ~den () =
+  (* derived ratios must survive zero-read runs: no nan, no div-by-zero *)
+  if den = 0 then "n/a"
+  else Printf.sprintf "%.1f%%" (scale *. float_of_int num /. float_of_int den)
+
+(* ------------------------------------------------------------------ *)
+(* OpenMetrics text exposition                                         *)
+
+(* Metric names in the exposition format match
+   [a-zA-Z_:][a-zA-Z0-9_:]*; our dotted registry names sanitize to
+   underscores under a "compo_" prefix. *)
+let om_name name =
+  let b = Buffer.create (String.length name + 8) in
+  Buffer.add_string b "compo_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> Buffer.add_char b c
+      | _ -> Buffer.add_char b '_')
+    name;
+  Buffer.contents b
+
+let om_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let to_openmetrics ?registry () =
+  let b = Buffer.create 4096 in
+  List.iter
+    (fun (name, m) ->
+      let n = om_name name in
+      match m with
+      | Counter c ->
+          Printf.bprintf b "# TYPE %s counter\n" n;
+          Printf.bprintf b "%s_total %d\n" n c
+      | Gauge v ->
+          Printf.bprintf b "# TYPE %s gauge\n" n;
+          Printf.bprintf b "%s %s\n" n (om_float v)
+      | Histogram snap ->
+          Printf.bprintf b "# TYPE %s histogram\n" n;
+          (* exposition buckets are cumulative; +Inf closes the series at
+             the total count (overflow included) *)
+          let seen = ref 0 in
+          Array.iter
+            (fun (bound, c) ->
+              seen := !seen + c;
+              Printf.bprintf b "%s_bucket{le=\"%s\"} %d\n" n (om_float bound)
+                !seen)
+            snap.h_buckets;
+          Printf.bprintf b "%s_bucket{le=\"+Inf\"} %d\n" n snap.h_count;
+          Printf.bprintf b "%s_sum %s\n" n (om_float snap.h_sum);
+          Printf.bprintf b "%s_count %d\n" n snap.h_count)
+    (snapshot ?registry ());
+  Buffer.add_string b "# EOF\n";
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* JSON snapshot                                                       *)
+
+let json_float v =
+  (* JSON has no nan/inf literals: empty-histogram min/max become null *)
+  if Float.is_nan v || Float.abs v = Float.infinity then "null"
+  else if Float.is_integer v && Float.abs v < 1e15 then
+    Printf.sprintf "%.1f" v
+  else Printf.sprintf "%.9g" v
+
+let json_string s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 ->
+          Printf.bprintf b "\\u%04x" (Char.code c)
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let to_json ?registry () =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n  \"metrics\": [";
+  List.iteri
+    (fun i (name, m) ->
+      if i > 0 then Buffer.add_char b ',';
+      Printf.bprintf b "\n    { \"name\": %s, " (json_string name);
+      match m with
+      | Counter c -> Printf.bprintf b "\"kind\": \"counter\", \"value\": %d }" c
+      | Gauge v ->
+          Printf.bprintf b "\"kind\": \"gauge\", \"value\": %s }" (json_float v)
+      | Histogram snap ->
+          Printf.bprintf b
+            "\"kind\": \"histogram\", \"count\": %d, \"sum\": %s, \"min\": \
+             %s, \"max\": %s, \"overflow\": %d, \"buckets\": ["
+            snap.h_count (json_float snap.h_sum) (json_float snap.h_min)
+            (json_float snap.h_max) snap.h_overflow;
+          let first = ref true in
+          Array.iter
+            (fun (bound, c) ->
+              if c > 0 then begin
+                if not !first then Buffer.add_string b ", ";
+                first := false;
+                Printf.bprintf b "{ \"le\": %s, \"count\": %d }"
+                  (json_float bound) c
+              end)
+            snap.h_buckets;
+          Buffer.add_string b "] }")
+    (snapshot ?registry ());
+  Buffer.add_string b "\n  ]\n}\n";
+  Buffer.contents b
+
+let snapshot_to_file ?registry path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_json ?registry ()))
+
 let to_line_protocol ?registry () =
   let b = Buffer.create 1024 in
   List.iter

@@ -112,3 +112,31 @@ val dump : ?registry:registry -> unit -> string
 val to_line_protocol : ?registry:registry -> unit -> string
 (** One line per metric in an influx-style line protocol:
     [compo,metric=NAME kind=...,count=...,sum=...]. *)
+
+val ratio_string : ?scale:float -> num:int -> den:int -> unit -> string
+(** Derived ratio as a percentage string ("82.4%"), or ["n/a"] when the
+    denominator is zero — zero-read runs must not print [nan] or divide
+    by zero.  [scale] defaults to 100 (percent). *)
+
+(** {1 Exporters}
+
+    Registry names are dotted ([inheritance.cache.hit]); exported names
+    sanitize to the exposition grammar under a [compo_] prefix
+    ([compo_inheritance_cache_hit]). *)
+
+val to_openmetrics : ?registry:registry -> unit -> string
+(** OpenMetrics text exposition of a fresh snapshot: counters as
+    [_total] samples, gauges verbatim, histograms with {e cumulative}
+    [_bucket{le="..."}] series closed by [+Inf] plus [_sum]/[_count];
+    terminated by [# EOF].  [make obs-check] validates this output
+    against the format grammar. *)
+
+val to_json : ?registry:registry -> unit -> string
+(** Stable JSON snapshot: [{"metrics": [...]}] sorted by name, one object
+    per metric with [kind] and its values; histograms carry non-empty
+    buckets as [{"le", "count"}] pairs plus [count]/[sum]/[min]/[max]
+    ([null] when empty — never [nan]). *)
+
+val snapshot_to_file : ?registry:registry -> string -> unit
+(** Write {!to_json} to a file.  The bench harness drops one next to each
+    [BENCH_*.json] so runs carry their metric snapshot. *)

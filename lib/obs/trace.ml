@@ -19,6 +19,25 @@ let threshold = ref infinity
 let slow_threshold () = !threshold
 let set_slow_threshold t = threshold := t
 
+(* Environment configuration is injectable so tests can exercise the
+   parsing without mutating the process environment. *)
+let configure_from_env ?(getenv = Sys.getenv_opt) () =
+  (match getenv "COMPO_SLOW_MS" with
+  | Some v -> (
+      match float_of_string_opt v with
+      | Some ms when ms >= 0. -> threshold := ms /. 1000.
+      | Some _ | None -> ())
+  | None -> ());
+  match getenv "COMPO_TRACE_CAPACITY" with
+  | Some v -> (
+      match int_of_string_opt v with
+      | Some n when n > 0 ->
+          ring := Array.make n None;
+          pos := 0;
+          total := 0
+      | Some _ | None -> ())
+  | None -> ()
+
 let slow_capacity = 256
 let slow = ref [] (* newest first, clipped to slow_capacity *)
 let slow_count = ref 0

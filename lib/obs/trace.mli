@@ -47,6 +47,14 @@ val set_slow_threshold : float -> unit
 val slow_ops : unit -> span list
 (** Slow spans, most recent first. *)
 
+val configure_from_env : ?getenv:(string -> string option) -> unit -> unit
+(** Read tracing configuration from the environment: [COMPO_SLOW_MS]
+    (slow-op threshold in milliseconds) and [COMPO_TRACE_CAPACITY] (ring
+    buffer size; resizing drops buffered spans).  Unset, unparsable or
+    out-of-range variables leave the current setting untouched.  The CLI
+    calls this at startup; [getenv] (default [Sys.getenv_opt]) is
+    injectable for tests. *)
+
 val clear : unit -> unit
 (** Drop the ring buffer, the slow-op log and the recorded count.  Does
     not touch the metrics registry. *)

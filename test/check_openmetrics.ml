@@ -1,0 +1,195 @@
+(* Validator for the OpenMetrics text exposition produced by
+   [compo stats --format=openmetrics].
+
+   Checks the grammar subset the exporter promises: every sample line
+   belongs to (and immediately follows) a `# TYPE` declaration, metric
+   names match [a-zA-Z_:][a-zA-Z0-9_:]*, counter samples carry the
+   `_total` suffix, histogram buckets are cumulative and close with an
+   `le="+Inf"` bucket equal to the `_count` sample, and the exposition
+   terminates with `# EOF`.
+
+   Usage: check_openmetrics [FILE]   (reads stdin when FILE is absent)
+   Exit 0 on a valid exposition, 1 with a diagnostic otherwise. *)
+
+let errors = ref 0
+
+let fail fmt =
+  Printf.ksprintf
+    (fun m ->
+      prerr_endline ("check_openmetrics: " ^ m);
+      incr errors)
+    fmt
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let valid_name s =
+  String.length s > 0 && is_name_start s.[0] && String.for_all is_name_char s
+
+type family = {
+  fam_name : string;
+  fam_type : string; (* "counter" | "gauge" | "histogram" *)
+  mutable fam_samples : int;
+  (* histogram bookkeeping *)
+  mutable fam_buckets : (string * float) list; (* (le, count), in order *)
+  mutable fam_count : float option;
+  mutable fam_sum : bool;
+}
+
+(* [name{labels} value] or [name value]; labels are opaque except for
+   the one the exporter emits, le="...". *)
+let split_sample line =
+  match String.index_opt line '{' with
+  | Some i -> (
+      match String.index_from_opt line i '}' with
+      | Some j ->
+          let name = String.sub line 0 i in
+          let labels = String.sub line (i + 1) (j - i - 1) in
+          let rest = String.sub line (j + 1) (String.length line - j - 1) in
+          (name, Some labels, String.trim rest)
+      | None ->
+          fail "unterminated label set: %s" line;
+          (String.sub line 0 i, None, ""))
+  | None -> (
+      match String.index_opt line ' ' with
+      | Some i ->
+          ( String.sub line 0 i,
+            None,
+            String.trim (String.sub line i (String.length line - i)) )
+      | None ->
+          fail "sample line has no value: %s" line;
+          (line, None, ""))
+
+let le_of labels =
+  let prefix = "le=\"" in
+  if String.length labels > String.length prefix
+     && String.sub labels 0 (String.length prefix) = prefix
+     && labels.[String.length labels - 1] = '"'
+  then
+    Some
+      (String.sub labels (String.length prefix)
+         (String.length labels - String.length prefix - 1))
+  else None
+
+let finish_family = function
+  | None -> ()
+  | Some f ->
+      if f.fam_samples = 0 then
+        fail "family %s declared but has no samples" f.fam_name;
+      if f.fam_type = "histogram" then begin
+        let buckets = List.rev f.fam_buckets in
+        (match buckets with
+        | [] -> fail "histogram %s has no buckets" f.fam_name
+        | _ ->
+            let rec cumulative prev = function
+              | [] -> ()
+              | (le, c) :: rest ->
+                  if c < prev then
+                    fail "histogram %s bucket le=\"%s\" not cumulative"
+                      f.fam_name le;
+                  cumulative c rest
+            in
+            cumulative 0. buckets;
+            let last_le, last_c = List.nth buckets (List.length buckets - 1) in
+            if last_le <> "+Inf" then
+              fail "histogram %s does not close with le=\"+Inf\"" f.fam_name
+            else
+              match f.fam_count with
+              | Some n when n <> last_c ->
+                  fail "histogram %s: +Inf bucket %g <> _count %g" f.fam_name
+                    last_c n
+              | _ -> ());
+        if f.fam_count = None then
+          fail "histogram %s is missing its _count sample" f.fam_name;
+        if not f.fam_sum then
+          fail "histogram %s is missing its _sum sample" f.fam_name
+      end
+
+let check_sample fam line =
+  let name, labels, value = split_sample line in
+  if not (valid_name name) then fail "invalid metric name: %s" name;
+  (match float_of_string_opt value with
+  | Some _ -> ()
+  | None -> fail "sample value does not parse as a number: %s" line);
+  match fam with
+  | None -> fail "sample before any # TYPE declaration: %s" line
+  | Some f -> (
+      f.fam_samples <- f.fam_samples + 1;
+      let suffixed s = name = f.fam_name ^ s in
+      match f.fam_type with
+      | "counter" ->
+          if not (suffixed "_total") then
+            fail "counter sample %s should be %s_total" name f.fam_name
+      | "gauge" ->
+          if name <> f.fam_name then
+            fail "gauge sample %s does not match family %s" name f.fam_name
+      | "histogram" -> (
+          let v = Option.value ~default:nan (float_of_string_opt value) in
+          if suffixed "_bucket" then
+            match Option.bind labels le_of with
+            | Some le -> f.fam_buckets <- (le, v) :: f.fam_buckets
+            | None -> fail "bucket sample without an le label: %s" line
+          else if suffixed "_sum" then f.fam_sum <- true
+          else if suffixed "_count" then f.fam_count <- Some v
+          else
+            fail "histogram sample %s is none of %s_{bucket,sum,count}" name
+              f.fam_name)
+      | t -> fail "family %s has unknown type %s" f.fam_name t)
+
+let () =
+  let ic =
+    if Array.length Sys.argv > 1 then open_in Sys.argv.(1) else stdin
+  in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> ());
+  let lines = List.rev !lines in
+  if lines = [] then fail "empty exposition";
+  let seen_types = Hashtbl.create 16 in
+  let current = ref None in
+  let saw_eof = ref false in
+  List.iter
+    (fun line ->
+      if !saw_eof then fail "content after # EOF: %s" line
+      else if line = "# EOF" then begin
+        finish_family !current;
+        current := None;
+        saw_eof := true
+      end
+      else if String.length line >= 7 && String.sub line 0 7 = "# TYPE " then begin
+        finish_family !current;
+        match String.split_on_char ' ' line with
+        | [ "#"; "TYPE"; name; ty ] ->
+            if not (valid_name name) then
+              fail "invalid family name in TYPE line: %s" name;
+            if not (List.mem ty [ "counter"; "gauge"; "histogram" ]) then
+              fail "family %s has unsupported type %s" name ty;
+            if Hashtbl.mem seen_types name then
+              fail "family %s declared twice" name;
+            Hashtbl.replace seen_types name ();
+            current :=
+              Some
+                {
+                  fam_name = name;
+                  fam_type = ty;
+                  fam_samples = 0;
+                  fam_buckets = [];
+                  fam_count = None;
+                  fam_sum = false;
+                }
+        | _ -> fail "malformed TYPE line: %s" line
+      end
+      else if String.length line > 0 && line.[0] = '#' then
+        fail "unexpected comment line: %s" line
+      else if String.trim line <> "" then check_sample !current line)
+    lines;
+  if not !saw_eof then fail "exposition does not terminate with # EOF";
+  if !errors > 0 then exit 1;
+  Printf.printf "check_openmetrics: OK (%d famil%s)\n"
+    (Hashtbl.length seen_types)
+    (if Hashtbl.length seen_types = 1 then "y" else "ies")

@@ -113,3 +113,41 @@ Netlist optimization (the demo flip-flop is fully live, so nothing moves):
 
   $ compo optimize gdb @1
   removed 0 dead gate(s), merged 0 duplicate(s), dropped 0 wire(s) in 1 pass(es)
+
+Provenance of an inherited read: the gate implementation @26 owns no
+Length of its own — the chain follows its binding through the permeable
+AllOf_GateInterface relationship (link @27) to the NOR interface @24,
+which owns the attribute.  A fresh process starts with a cold cache, so
+the read is a miss:
+
+  $ compo explain read gdb @26 Length
+  read @26.Length = 4
+  cache: miss
+  source: @24
+  chain:
+  @26 : GateImplementation
+    via AllOf_GateInterface (link @27)  permeability: inherits
+    -> transmitter @24
+    @24 : GateInterface  [source: attribute is owned here]
+
+Query EXPLAIN renders the plan tree (deterministic without --timings):
+
+  $ compo explain query sdb Bolts -w 'Length > 3'
+  select Bolts
+    where: (Length > 3)
+    access: seq scan over class Bolts -> 2 candidate(s)
+    filter: (Length > 3) -> 2 row(s), 6 eval node(s)
+  2 object(s)
+
+Metric exporters: the OpenMetrics exposition validates against the
+text-format grammar and terminates with # EOF; the JSON document opens
+with the metrics array:
+
+  $ compo stats tiny.ddl --format=openmetrics > stats.om
+  $ tail -1 stats.om
+  # EOF
+  $ ../check_openmetrics.exe stats.om
+  check_openmetrics: OK (46 families)
+  $ compo stats tiny.ddl --format=json | head -2
+  {
+    "metrics": [

@@ -148,6 +148,110 @@ let test_private_registry () =
   check_int "private registry counts" 1 (Obs.counter_value ~registry:r "t.private");
   check_int "default registry untouched" 0 (Obs.counter_value "t.private")
 
+let test_ratio_string () =
+  check_string "zero denominator prints n/a" "n/a"
+    (Obs.ratio_string ~num:0 ~den:0 ());
+  check_string "zero denominator with hits" "n/a"
+    (Obs.ratio_string ~num:3 ~den:0 ());
+  check_string "plain percentage" "50.0%" (Obs.ratio_string ~num:1 ~den:2 ());
+  check_string "full" "100.0%" (Obs.ratio_string ~num:7 ~den:7 ());
+  check_string "unscaled" "0.5%" (Obs.ratio_string ~scale:1. ~num:1 ~den:2 ())
+
+let test_configure_from_env () =
+  let getenv env k = List.assoc_opt k env in
+  Trace.set_slow_threshold infinity;
+  Trace.configure_from_env ~getenv:(getenv [ ("COMPO_SLOW_MS", "250") ]) ();
+  check_bool "COMPO_SLOW_MS sets the threshold in seconds" true
+    (abs_float (Trace.slow_threshold () -. 0.25) < 1e-9);
+  Trace.with_span "t.env.slow" (fun () -> Unix.sleepf 0.3);
+  (match Trace.slow_ops () with
+  | [ s ] -> check_string "env threshold feeds the slow log" "t.env.slow" s.Trace.sp_name
+  | other -> Alcotest.failf "expected 1 slow op, got %d" (List.length other));
+  (* unparsable / out-of-range values leave the setting untouched *)
+  Trace.configure_from_env ~getenv:(getenv [ ("COMPO_SLOW_MS", "soon") ]) ();
+  check_bool "garbage is ignored" true
+    (abs_float (Trace.slow_threshold () -. 0.25) < 1e-9);
+  Trace.configure_from_env ~getenv:(getenv [ ("COMPO_SLOW_MS", "-5") ]) ();
+  check_bool "negative is ignored" true
+    (abs_float (Trace.slow_threshold () -. 0.25) < 1e-9);
+  Trace.set_slow_threshold infinity;
+  (* capacity: resizes (and wraps at) the new ring size *)
+  Trace.configure_from_env ~getenv:(getenv [ ("COMPO_TRACE_CAPACITY", "3") ]) ();
+  for i = 1 to 8 do
+    Trace.with_span (Printf.sprintf "t.env.ring.%d" i) (fun () -> ())
+  done;
+  Alcotest.(check (list string))
+    "ring wraps at the env-configured capacity"
+    [ "t.env.ring.8"; "t.env.ring.7"; "t.env.ring.6" ]
+    (List.map (fun s -> s.Trace.sp_name) (Trace.recent ()));
+  Trace.configure_from_env ~getenv:(getenv [ ("COMPO_TRACE_CAPACITY", "0") ]) ();
+  Trace.with_span "t.env.after" (fun () -> ());
+  check_int "capacity 0 is ignored (ring still size 3)" 3
+    (List.length (Trace.recent ()));
+  Trace.set_capacity 512
+
+let exposition () =
+  Obs.incr (Obs.counter "t.export.counter");
+  Obs.set_gauge (Obs.gauge "t.export.gauge") 1.5;
+  let h = Obs.histogram ~buckets:[| 0.001; 0.01 |] "t.export.histo" in
+  List.iter (Obs.observe h) [ 0.0005; 0.005; 5.0 ]
+
+let test_openmetrics () =
+  exposition ();
+  let om = Obs.to_openmetrics () in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "exposition contains %S" needle) true
+        (contains om needle))
+    [
+      "# TYPE compo_t_export_counter counter";
+      "compo_t_export_counter_total 1";
+      "# TYPE compo_t_export_gauge gauge";
+      "compo_t_export_gauge 1.5";
+      "# TYPE compo_t_export_histo histogram";
+      "compo_t_export_histo_bucket{le=\"0.001\"} 1";
+      (* cumulative: the 0.01 bucket includes the 0.001 one *)
+      "compo_t_export_histo_bucket{le=\"0.01\"} 2";
+      "compo_t_export_histo_bucket{le=\"+Inf\"} 3";
+      "compo_t_export_histo_count 3";
+    ];
+  check_bool "terminates with # EOF" true
+    (let n = String.length om in
+     n >= 6 && String.sub om (n - 6) 6 = "# EOF\n")
+
+let test_json_export () =
+  exposition ();
+  (* min/max of an empty histogram are nan/inf: JSON must stay literal-free *)
+  let (_ : Obs.histogram) = Obs.histogram "t.export.empty" in
+  let js = Obs.to_json () in
+  List.iter
+    (fun needle ->
+      check_bool (Printf.sprintf "json contains %S" needle) true
+        (contains js needle))
+    [
+      "\"t.export.counter\"";
+      "\"kind\": \"counter\"";
+      "\"value\": 1";
+      "\"t.export.histo\"";
+      "\"count\": 3";
+      "\"le\":";
+      "null";
+    ];
+  check_bool "no bare nan leaks into the document" false (contains js "nan");
+  check_bool "no bare inf leaks into the document" false (contains js "inf")
+
+let test_snapshot_to_file () =
+  exposition ();
+  let path = Filename.temp_file "compo_obs" ".json" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  Obs.snapshot_to_file path;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let body = really_input_string ic len in
+  close_in ic;
+  check_bool "snapshot file holds the json document" true
+    (contains body "\"metrics\"" && contains body "t.export.counter")
+
 let test_dump_formats () =
   Obs.incr (Obs.counter "t.dump.counter");
   Obs.observe (Obs.histogram "t.dump.histo") 0.002;
@@ -173,4 +277,10 @@ let suite =
       case "snapshot is immutable, reset is in place" (with_obs test_snapshot_reset);
       case "private registries are isolated" (with_obs test_private_registry);
       case "dump and line protocol" (with_obs test_dump_formats);
+      case "derived ratios survive a zero denominator" (with_obs test_ratio_string);
+      case "env-var configuration of threshold and capacity"
+        (with_obs test_configure_from_env);
+      case "openmetrics exposition" (with_obs test_openmetrics);
+      case "json export is literal-safe" (with_obs test_json_export);
+      case "snapshot_to_file round-trips" (with_obs test_snapshot_to_file);
     ] )
