@@ -1,4 +1,4 @@
-.PHONY: all build test check obs-check fmt fmt-check bench bench-smoke ci clean
+.PHONY: all build test check obs-check torture-check fmt fmt-check bench bench-smoke ci clean
 
 all: build
 
@@ -21,6 +21,14 @@ obs-check: build
 	dune exec test/check_openmetrics.exe -- obs-check.om
 	rm -f obs-check.om
 
+# Crash-recovery torture: enumerate every registered failpoint crash
+# site against a scripted workload, simulate the crash, reopen the
+# journal, and verify the recovered state against an in-memory oracle
+# (see docs/DURABILITY.md).  Writes a per-scenario log to
+# torture-check.log.
+torture-check: build
+	dune exec test/torture.exe -- --log torture-check.log
+
 # ocamlformat is optional in the build environment; format when it is
 # available, otherwise say so and succeed.
 fmt:
@@ -42,20 +50,21 @@ fmt-check:
 bench: build
 	dune exec bench/main.exe
 
-# CI-sized benchmark: E1 plus the resolve-cache sweep E15 and the
-# provenance-overhead sweep E16 on small grids.  Fails if the cached
-# read path is slower than the uncached one or if either experiment
-# does not produce its JSON report.
+# CI-sized benchmark: E1 plus the resolve-cache sweep E15, the
+# provenance-overhead sweep E16, and the recovery-time sweep E17 on
+# small grids.  Fails if the cached read path is slower than the
+# uncached one or if any experiment does not produce its JSON report.
 bench-smoke: build
-	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15 E16
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15 E16 E17
 	test -s BENCH_resolve_cache.json
 	test -s BENCH_provenance.json
+	test -s BENCH_recovery.json
 
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
-ci: build test fmt-check obs-check bench-smoke
+ci: build test fmt-check obs-check torture-check bench-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_resolve_cache.json BENCH_provenance.json
-	rm -f BENCH_*.metrics.json obs-check.om
+	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
+	rm -f BENCH_*.metrics.json obs-check.om torture-check.log

@@ -5,7 +5,7 @@
    Usage: bench [E1 E15 ...] [--smoke] [--no-resolve-cache]
                 [--check-speedup MIN] [--no-bechamel]
 
-   With no experiment names, all of E1..E16 plus the Bechamel group run.
+   With no experiment names, all of E1..E17 plus the Bechamel group run.
    --smoke shrinks the parameter sweeps to CI-sized grids.
    --no-resolve-cache disables the inheritance-resolution cache globally
    (E15 still compares both arms by toggling the per-store switch).
@@ -13,10 +13,10 @@
    speedup falls below MIN — the CI gate.
 
    Output: for every experiment a parameter-sweep table, then a Bechamel
-   micro-benchmark group over the headline operations; E15 and E16
-   additionally write their series to BENCH_resolve_cache.json and
-   BENCH_provenance.json (each with a *.metrics.json registry
-   snapshot companion). *)
+   micro-benchmark group over the headline operations; E15, E16, and E17
+   additionally write their series to BENCH_resolve_cache.json,
+   BENCH_provenance.json, and BENCH_recovery.json (each with a
+   *.metrics.json registry snapshot companion). *)
 
 open Compo_core
 module G = Compo_scenarios.Gates
@@ -715,6 +715,73 @@ let e16 () =
   write_e16_json ()
 
 (* ------------------------------------------------------------------ *)
+(* E17: recovery time vs WAL length (PR 4 crash-recovery subsystem)    *)
+
+(* (wal records, wal bytes, recovery ms, records/s) per grid point *)
+let e17_results : (int * int * float * float) list ref = ref []
+
+let write_e17_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E17\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"cold recovery (open_dir: snapshot load + full WAL \
+     replay) vs log length, no intervening checkpoint\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e17_results in
+  List.iteri
+    (fun i (records, bytes, ms, rate) ->
+      Printf.bprintf buf
+        "    { \"wal_records\": %d, \"wal_bytes\": %d, \
+         \"recovery_ms\": %.3f, \"records_per_s\": %.0f }%s\n"
+        records bytes ms rate
+        (if i = n - 1 then "" else ","))
+    !e17_results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out "BENCH_recovery.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_recovery.json (%d rows)" n;
+  Compo_obs.Metrics.snapshot_to_file "BENCH_recovery.metrics.json";
+  say "wrote BENCH_recovery.metrics.json"
+
+let e17 () =
+  header "E17"
+    "crash recovery: reopen latency vs uncheckpointed WAL length";
+  e17_results := [];
+  say "%10s %12s %16s %14s" "wal ops" "wal bytes" "recovery (ms)" "records/s";
+  let sizes = if !smoke then [ 250; 1000 ] else [ 500; 1000; 2000; 4000; 8000 ] in
+  List.iter
+    (fun n ->
+      let dir = temp_journal_dir () in
+      let j = ok (Compo_storage.Journal.open_dir dir) in
+      ok (Compo_storage.Journal.define_obj_type j part_type);
+      let p =
+        ok (Compo_storage.Journal.new_object j ~ty:"Part" ~attrs:[ ("Weight", Value.Int 0) ] ())
+      in
+      for k = 1 to n do
+        ok (Compo_storage.Journal.set_attr j p "Weight" (Value.Int k))
+      done;
+      let bytes = Compo_storage.Journal.wal_size_bytes j in
+      Compo_storage.Journal.close j;
+      let replayed = ref 0 in
+      let recover () =
+        let j = ok (Compo_storage.Journal.open_dir dir) in
+        assert (Compo_storage.Journal.recovered_clean j);
+        replayed := Compo_storage.Journal.wal_records_replayed j;
+        Compo_storage.Journal.close j
+      in
+      let t = time_per ~repeat:7 recover in
+      let ms = 1e3 *. t in
+      let rate = float_of_int !replayed /. t in
+      e17_results := (!replayed, bytes, ms, rate) :: !e17_results;
+      say "%10d %12d %16.2f %14.0f" !replayed bytes ms rate)
+    sizes;
+  e17_results := List.rev !e17_results;
+  write_e17_json ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
 
 let bechamel_group () =
@@ -827,10 +894,11 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
+    ("E17", e17);
   ]
 
 let usage () =
-  say "usage: bench [E1 .. E16 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "usage: bench [E1 .. E17 | bechamel ...] [--smoke] [--no-resolve-cache]";
   say "             [--check-speedup MIN] [--no-bechamel]";
   exit 2
 

@@ -6,6 +6,7 @@
    compo info <dir>                database statistics
    compo dump-schema <dir>         print a database's schema as DDL
    compo validate <dir>            check all integrity constraints
+   compo fsck <dir>                recover and audit a database directory
    compo show <dir> <id>           display one object
    compo checkpoint <dir>          collapse the WAL into a snapshot
    compo demo <gates|steel> <dir>  build a paper scenario into a database
@@ -100,6 +101,11 @@ let cmd_info dir =
       Printf.printf "wal:          %d bytes, %d records replayed\n"
         (Compo_storage.Journal.wal_size_bytes j)
         (Compo_storage.Journal.wal_records_replayed j))
+
+let cmd_fsck dir =
+  let report = or_die (Compo_storage.Fsck.check_dir dir) in
+  Format.printf "%a@?" Compo_storage.Fsck.pp_report report;
+  if report.Compo_storage.Fsck.fr_violations <> [] then exit 1
 
 let cmd_dump_schema dir =
   with_journal dir (fun j ->
@@ -496,6 +502,15 @@ let validate_cmd =
   Cmd.v (Cmd.info "validate" ~doc:"Check all integrity constraints")
     (instrumented Term.(const (fun dir () -> cmd_validate dir) $ dir_arg))
 
+let fsck_cmd =
+  Cmd.v
+    (Cmd.info "fsck"
+       ~doc:
+         "Recover a database directory and audit the result: store \
+          invariants, surrogate continuity, schema resolution, and index \
+          consistency.  Exits non-zero on violations.")
+    (instrumented Term.(const (fun dir () -> cmd_fsck dir) $ dir_arg))
+
 let show_cmd =
   let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"ID") in
   Cmd.v (Cmd.info "show" ~doc:"Display one object with its inherited data")
@@ -778,8 +793,25 @@ let () =
   setup_logs ();
   (* COMPO_SLOW_MS / COMPO_TRACE_CAPACITY *)
   Compo_obs.Trace.configure_from_env ();
+  (* COMPO_FAILPOINTS: crash/fault injection for recovery testing *)
+  Compo_faults.Failpoint.configure_from_env ();
   let doc = "complex and composite objects for CAD/CAM databases" in
-  let info = Cmd.info "compo" ~version:"1.0.0" ~doc in
+  let envs =
+    [
+      Cmd.Env.info "COMPO_FAILPOINTS"
+        ~doc:
+          "Arm fault-injection sites for crash-recovery testing, as a \
+           comma-separated list of site=action[@N] specs (actions: error, \
+           crash, torn, bitflip, short:N; @N fires on the Nth hit).  Site \
+           names are listed in docs/DURABILITY.md.  Example: \
+           COMPO_FAILPOINTS='wal.append.frame=torn' compo demo gates d";
+      Cmd.Env.info "COMPO_SLOW_MS"
+        ~doc:"Log operations slower than this many milliseconds.";
+      Cmd.Env.info "COMPO_NO_RESOLVE_CACHE"
+        ~doc:"Disable the inheritance-resolution cache.";
+    ]
+  in
+  let info = Cmd.info "compo" ~version:"1.0.0" ~doc ~envs in
   exit
     (Cmd.eval
        (Cmd.group info
@@ -790,6 +822,7 @@ let () =
             info_cmd;
             dump_schema_cmd;
             validate_cmd;
+            fsck_cmd;
             query_cmd;
             show_cmd;
             simulate_cmd;

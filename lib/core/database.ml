@@ -179,6 +179,10 @@ let drop_ordered_index t ~cls ~attr =
 let ordered_indexes t =
   List.map (fun ox -> (Ordered_index.cls ox, Ordered_index.attr ox)) t.db_ordered
 
+let verify_indexes t =
+  List.concat_map Index.verify t.db_indexes
+  @ List.concat_map Ordered_index.verify t.db_ordered
+
 (* The optimizer uses an ordered index only when Value.compare coincides
    with the scan's coercing comparison: integer attributes with integer
    constants, string attributes with string constants. *)

@@ -110,6 +110,10 @@ val indexes : t -> (string * string) list
 
 val ordered_indexes : t -> (string * string) list
 
+val verify_indexes : t -> string list
+(** Cross-check every registered index against the store (see
+    {!Index.verify}); [[]] when all are consistent.  Used by fsck. *)
+
 val select :
   t -> cls:string -> ?where:Expr.t -> unit -> (Surrogate.t list, Errors.t) result
 (** Members of [cls] satisfying [where].  The planner serves an indexed

@@ -97,6 +97,46 @@ let lookup t v =
 let size t = Surrogate.Tbl.length t.current
 let hits t = t.ix_hits
 
+let verify t =
+  let problems = ref [] in
+  let say fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let label = Printf.sprintf "index %s.%s" t.ix_cls t.ix_attr in
+  Surrogate.Tbl.iter
+    (fun s v ->
+      (match Store.get t.ix_store s with
+      | Error _ ->
+          say "%s: %s is indexed but deleted" label (Surrogate.to_string s)
+      | Ok e ->
+          if not (List.mem t.ix_cls e.Store.classes_of) then
+            say "%s: %s is indexed but no longer a class member" label
+              (Surrogate.to_string s)
+          else
+            let actual =
+              Option.value ~default:Value.Null
+                (Store.Smap.find_opt t.ix_attr e.Store.attrs)
+            in
+            if Value.compare actual v <> 0 then
+              say "%s: %s is indexed under a stale value" label
+                (Surrogate.to_string s));
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt t.buckets v) in
+      match List.length (List.filter (Surrogate.equal s) bucket) with
+      | 1 -> ()
+      | 0 -> say "%s: %s is missing from its bucket" label (Surrogate.to_string s)
+      | n ->
+          say "%s: %s appears %d times in its bucket" label
+            (Surrogate.to_string s) n)
+    t.current;
+  (match Store.class_members t.ix_store t.ix_cls with
+  | Error _ -> say "%s: class vanished from the store" label
+  | Ok members ->
+      List.iter
+        (fun s ->
+          if not (Surrogate.Tbl.mem t.current s) then
+            say "%s: class member %s is not indexed" label
+              (Surrogate.to_string s))
+        members);
+  List.rev !problems
+
 let drop t =
   match t.hook with
   | Some id ->

@@ -30,6 +30,12 @@ val hits : t -> int
 (** How many lookups the index has served (used to assert the query
     optimizer actually used it). *)
 
+val verify : t -> string list
+(** Cross-check the index against the store: every indexed member must be
+    live, in the class, bucketed exactly once under its current attribute
+    value, and every class member must be indexed.  Returns one message
+    per violation; [[]] means consistent.  Used by fsck. *)
+
 val drop : t -> unit
 (** Unsubscribe from the store; the index stops updating and should be
     discarded. *)

@@ -23,4 +23,9 @@ val range : t -> lo:bound -> hi:bound -> Surrogate.t list
 val lookup : t -> Value.t -> Surrogate.t list
 val size : t -> int
 val hits : t -> int
+
+val verify : t -> string list
+(** Same contract as {!Index.verify}: one message per index/store
+    inconsistency, [[]] when consistent. *)
+
 val drop : t -> unit

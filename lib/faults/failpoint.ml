@@ -1,0 +1,185 @@
+open Compo_core
+module Obs = Compo_obs.Metrics
+
+let m_fired = Obs.counter "faults.fired"
+let m_armed = Obs.gauge "faults.armed"
+
+type action =
+  | Error_result
+  | Crash
+  | Short_write of int
+  | Torn_frame
+  | Bit_flip
+
+exception Crashed of string
+
+let action_to_string = function
+  | Error_result -> "error"
+  | Crash -> "crash"
+  | Short_write n -> Printf.sprintf "short:%d" n
+  | Torn_frame -> "torn"
+  | Bit_flip -> "bitflip"
+
+let action_of_string s =
+  match String.lowercase_ascii s with
+  | "error" -> Ok Error_result
+  | "crash" -> Ok Crash
+  | "torn" -> Ok Torn_frame
+  | "bitflip" -> Ok Bit_flip
+  | other ->
+      let short = "short:" in
+      let sl = String.length short in
+      if String.length other > sl && String.sub other 0 sl = short then
+        match int_of_string_opt (String.sub other sl (String.length other - sl)) with
+        | Some n when n >= 0 -> Ok (Short_write n)
+        | Some _ | None -> Error (Printf.sprintf "bad short-write count in %S" s)
+      else
+        Error
+          (Printf.sprintf
+             "unknown failpoint action %S (error|crash|torn|bitflip|short:N)" s)
+
+type armed_state = { mutable countdown : int; act : action }
+type site = { s_name : string; mutable s_armed : armed_state option }
+
+let registry : (string, site) Hashtbl.t = Hashtbl.create 32
+let armed_count = ref 0
+
+let register name =
+  match Hashtbl.find_opt registry name with
+  | Some site -> site
+  | None ->
+      let site = { s_name = name; s_armed = None } in
+      Hashtbl.add registry name site;
+      site
+
+let name site = site.s_name
+
+let all_sites () =
+  List.sort String.compare (Hashtbl.fold (fun n _ acc -> n :: acc) registry [])
+
+let set_armed site st =
+  (match (site.s_armed, st) with
+  | None, Some _ -> incr armed_count
+  | Some _, None -> decr armed_count
+  | _ -> ());
+  site.s_armed <- st;
+  Obs.set_gauge m_armed (float_of_int !armed_count)
+
+let arm ?(after = 1) name act =
+  let site = register name in
+  set_armed site (Some { countdown = max 1 after; act })
+
+let disarm name =
+  match Hashtbl.find_opt registry name with
+  | None -> ()
+  | Some site -> set_armed site None
+
+let disarm_all () =
+  Hashtbl.iter (fun _ site -> set_armed site None) registry
+
+let armed () =
+  Hashtbl.fold
+    (fun n site acc ->
+      match site.s_armed with None -> acc | Some st -> (n, st.act) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let parse_spec spec =
+  let parse_one part =
+    match String.index_opt part '=' with
+    | None -> Error (Printf.sprintf "missing '=' in failpoint %S" part)
+    | Some i ->
+        let site = String.sub part 0 i in
+        let rhs = String.sub part (i + 1) (String.length part - i - 1) in
+        let action_str, after =
+          match String.index_opt rhs '@' with
+          | None -> (rhs, Ok 1)
+          | Some j ->
+              let n = String.sub rhs (j + 1) (String.length rhs - j - 1) in
+              ( String.sub rhs 0 j,
+                match int_of_string_opt n with
+                | Some k when k >= 1 -> Ok k
+                | Some _ | None ->
+                    Error (Printf.sprintf "bad hit count in %S" part) )
+        in
+        if site = "" then Error (Printf.sprintf "empty site name in %S" part)
+        else
+          Result.bind after (fun after ->
+              Result.map
+                (fun act -> (site, after, act))
+                (action_of_string action_str))
+  in
+  String.split_on_char ',' spec
+  |> List.filter (fun p -> String.trim p <> "")
+  |> List.fold_left
+       (fun acc part ->
+         Result.bind acc (fun parsed ->
+             Result.map
+               (fun one -> one :: parsed)
+               (parse_one (String.trim part))))
+       (Ok [])
+  |> Result.map List.rev
+
+let configure_from_env () =
+  match Sys.getenv_opt "COMPO_FAILPOINTS" with
+  | None | Some "" -> ()
+  | Some spec -> (
+      match parse_spec spec with
+      | Ok points -> List.iter (fun (site, after, act) -> arm ~after site act) points
+      | Error msg -> Printf.eprintf "COMPO_FAILPOINTS: %s (ignored)\n%!" msg)
+
+(* Count a hit against the armed state; [Some act] when the site fires.
+   Firing disarms (one-shot), so recovery after the simulated crash runs
+   with the trap already sprung. *)
+let trigger site =
+  match site.s_armed with
+  | None -> None
+  | Some st ->
+      if st.countdown > 1 then begin
+        st.countdown <- st.countdown - 1;
+        None
+      end
+      else begin
+        set_armed site None;
+        Obs.incr m_fired;
+        Some st.act
+      end
+
+let hit site =
+  if site.s_armed != None then
+    match trigger site with
+    | None -> ()
+    | Some _ -> raise (Crashed site.s_name)
+
+let guard site =
+  if site.s_armed == None then Ok ()
+  else
+    match trigger site with
+    | None -> Ok ()
+    | Some Error_result ->
+        Error (Errors.Io_error ("failpoint " ^ site.s_name))
+    | Some _ -> raise (Crashed site.s_name)
+
+let output site chan s =
+  if site.s_armed == None then Out_channel.output_string chan s
+  else
+    match trigger site with
+    | None -> Out_channel.output_string chan s
+    | Some act ->
+        let len = String.length s in
+        (match act with
+        | Crash | Error_result -> ()
+        | Short_write n ->
+            Out_channel.output_string chan (String.sub s 0 (min n len))
+        | Torn_frame -> Out_channel.output_string chan (String.sub s 0 (len / 2))
+        | Bit_flip ->
+            let b = Bytes.of_string s in
+            if len > 0 then begin
+              let pos = len / 2 in
+              Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x10))
+            end;
+            Out_channel.output_bytes chan b);
+        (* flush the corrupt prefix so the on-disk state at the simulated
+           crash is deterministic, not buffer-boundary dependent *)
+        Out_channel.flush chan;
+        raise (Crashed site.s_name)

@@ -1,0 +1,100 @@
+(** Failpoints: named fault-injection sites for crash-recovery testing.
+
+    The storage layer registers a site at every append / flush / rename /
+    checkpoint / replay boundary ([wal.append.frame],
+    [snapshot.save.before_rename], ...).  A disarmed site costs one load
+    and branch — the same discipline as the metrics and provenance sinks —
+    so production code pays nothing for being torturable.
+
+    Arming a site attaches an {!action}.  Actions are {e one-shot}: once a
+    site fires it disarms itself, so a simulated crash cannot re-trigger
+    during the recovery that follows it.  [?after:n] delays the shot to the
+    n-th hit (1-based), which lets the torture driver crash on, say, the
+    seventh WAL append rather than the first.
+
+    Sites come in three shapes, by what the surrounding code can express:
+    - {!hit} sites sit in [unit] contexts; any armed action is a hard stop
+      ({!Crashed} is raised).
+    - {!guard} sites sit in [result] contexts; {!Error_result} surfaces as
+      an [Errors.Io_error], everything else is a hard stop.
+    - {!output} sites wrap a buffer write; {!Short_write}, {!Torn_frame}
+      and {!Bit_flip} corrupt the write deterministically (the corrupt
+      prefix is flushed so the on-disk state is reproducible), then raise
+      {!Crashed}.
+
+    [COMPO_FAILPOINTS] arms sites from the environment (see
+    {!configure_from_env}); the torture driver uses the API directly. *)
+
+open Compo_core
+
+type action =
+  | Error_result  (** the site's operation returns an [Io_error] *)
+  | Crash  (** raise {!Crashed} before the site's effect *)
+  | Short_write of int
+      (** write only the first [n] bytes of the buffer, flush, crash *)
+  | Torn_frame  (** write the first half of the buffer, flush, crash *)
+  | Bit_flip
+      (** flip one bit in the middle of the buffer, write it all, flush,
+          crash — a lying disk rather than a torn one *)
+
+exception Crashed of string
+(** Simulated process death; carries the site name.  Test drivers catch it
+    where a real deployment would reboot. *)
+
+val action_to_string : action -> string
+
+val action_of_string : string -> (action, string) result
+(** Inverse of {!action_to_string}: [error], [crash], [torn], [bitflip],
+    [short:N]. *)
+
+(** {1 Sites} *)
+
+type site
+
+val register : string -> site
+(** Find-or-create the site [name].  Instrumentation points call this once
+    at module initialisation and keep the handle. *)
+
+val name : site -> string
+
+val all_sites : unit -> string list
+(** Every registered site name, sorted.  The torture driver enumerates
+    this to prove its crash matrix covers the storage layer. *)
+
+(** {1 Arming} *)
+
+val arm : ?after:int -> string -> action -> unit
+(** Arm site [name] (registering it if needed) to fire [action] on its
+    [after]-th hit (default 1).  Re-arming replaces the previous state. *)
+
+val disarm : string -> unit
+val disarm_all : unit -> unit
+
+val armed : unit -> (string * action) list
+(** Currently armed sites (sorted by name) — empty once every armed site
+    has fired. *)
+
+val parse_spec : string -> ((string * int * action) list, string) result
+(** Parse a [COMPO_FAILPOINTS] spec: comma-separated [site=action] pairs,
+    each optionally suffixed [@N] for the hit count, e.g.
+    ["wal.append.frame=torn@3,snapshot.save.before_rename=crash"]. *)
+
+val configure_from_env : unit -> unit
+(** Arm everything named in [COMPO_FAILPOINTS]; malformed specs are
+    reported on stderr and ignored (a typo must not crash the CLI). *)
+
+(** {1 Firing (instrumentation side)} *)
+
+val hit : site -> unit
+(** Count a hit; when the armed countdown reaches zero, disarm and raise
+    {!Crashed} (every action is a hard stop in a [unit] context). *)
+
+val guard : site -> (unit, Errors.t) result
+(** Like {!hit}, but {!Error_result} returns [Error (Io_error _)] instead
+    of raising. *)
+
+val output : site -> Out_channel.t -> string -> unit
+(** Write [s] through the site.  Disarmed: a plain [output_string].  The
+    write-corrupting actions write their deterministic prefix or
+    corruption, flush the channel, and raise {!Crashed}; [Crash] raises
+    before writing anything; [Error_result] is treated as [Crash]. *)

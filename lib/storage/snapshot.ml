@@ -1,17 +1,26 @@
 open Compo_core
 
 let ( let* ) = Result.bind
-let magic = "COMPO-SNAPSHOT-1"
+let magic = "COMPO-SNAPSHOT-2"
 
 module Obs = Compo_obs.Metrics
+module Failpoint = Compo_faults.Failpoint
 
 let m_write_bytes = Obs.counter "snapshot.write.bytes"
 
-let save path db =
+(* Crash points across the write-then-rename commit protocol: a torn
+   temporary file must be invisible to recovery, a crash on either side of
+   the rename must leave exactly one intact snapshot generation. *)
+let fp_tmp_write = Failpoint.register "snapshot.save.tmp_write"
+let fp_before_rename = Failpoint.register "snapshot.save.before_rename"
+let fp_after_rename = Failpoint.register "snapshot.save.after_rename"
+
+let save ?(epoch = 0) path db =
   Compo_obs.Trace.with_span "snapshot.write" @@ fun () ->
   let schema_blob = Codec.encode_schema (Database.schema db) in
   let store_blob = Codec.encode_store (Database.store db) in
   let b = Codec.Enc.create () in
+  Codec.Enc.int b epoch;
   Codec.Enc.string b schema_blob;
   Codec.Enc.string b store_blob;
   let body = Codec.Enc.contents b in
@@ -24,13 +33,15 @@ let save path db =
   let tmp = path ^ ".tmp" in
   match
     Out_channel.with_open_bin tmp (fun chan ->
-        Out_channel.output_string chan (Codec.Enc.contents frame));
-    Sys.rename tmp path
+        Failpoint.output fp_tmp_write chan (Codec.Enc.contents frame));
+    Failpoint.hit fp_before_rename;
+    Sys.rename tmp path;
+    Failpoint.hit fp_after_rename
   with
   | () -> Ok ()
   | exception Sys_error msg -> Error (Errors.Io_error msg)
 
-let load path =
+let load_with_epoch path =
   Compo_obs.Trace.with_span "snapshot.load" @@ fun () ->
   match In_channel.with_open_bin path In_channel.input_all with
   | exception Sys_error msg -> Error (Errors.Io_error msg)
@@ -48,8 +59,11 @@ let load path =
         else Error (Errors.Io_error (path ^ ": snapshot checksum mismatch"))
       in
       let inner = Codec.Dec.of_string body in
+      let* epoch = Codec.Dec.int inner in
       let* schema_blob = Codec.Dec.string inner in
       let* store_blob = Codec.Dec.string inner in
       let* schema = Codec.decode_schema schema_blob in
       let* store = Codec.decode_store schema store_blob in
-      Ok (Database.of_parts schema store)
+      Ok (Database.of_parts schema store, epoch)
+
+let load path = Result.map fst (load_with_epoch path)

@@ -1,10 +1,22 @@
-(** Full-database snapshots: schema and store in one checksummed file. *)
+(** Full-database snapshots: schema and store in one checksummed file.
+
+    A snapshot carries the WAL {e epoch} it was cut at; recovery only
+    replays a log whose header matches (see {!Journal}), so a crash
+    between the snapshot rename and the log truncation cannot re-apply
+    already-checkpointed records.
+
+    Failpoint sites ([snapshot.save.tmp_write],
+    [snapshot.save.before_rename], [snapshot.save.after_rename]) cover the
+    commit protocol; see {!Compo_faults.Failpoint}. *)
 
 open Compo_core
 
-val save : string -> Database.t -> (unit, Errors.t) result
+val save : ?epoch:int -> string -> Database.t -> (unit, Errors.t) result
 (** Atomic: writes to a temporary file in the same directory, then
-    renames. *)
+    renames.  [epoch] defaults to 0. *)
 
 val load : string -> (Database.t, Errors.t) result
 (** Verifies magic and checksum before decoding. *)
+
+val load_with_epoch : string -> (Database.t * int, Errors.t) result
+(** {!load} plus the WAL epoch the snapshot was cut at. *)

@@ -3,10 +3,20 @@ open Compo_core
 let ( let* ) = Result.bind
 
 module Obs = Compo_obs.Metrics
+module Failpoint = Compo_faults.Failpoint
 
 let m_append = Obs.counter "wal.append"
 let m_append_bytes = Obs.counter "wal.append.bytes"
 let m_replay = Obs.counter "wal.replay"
+
+(* Crash points at every append boundary.  [before_frame] loses the record
+   entirely, [frame] can tear or corrupt it on disk, [after_frame] crashes
+   with the record durable; [header.write] tears the epoch header a
+   truncation writes. *)
+let fp_before_frame = Failpoint.register "wal.append.before_frame"
+let fp_frame = Failpoint.register "wal.append.frame"
+let fp_after_frame = Failpoint.register "wal.append.after_frame"
+let fp_header = Failpoint.register "wal.header.write"
 
 type record =
   | Define_domain of { name : string; domain : Domain.t }
@@ -188,6 +198,21 @@ let decode_record payload =
       Ok (Delete { target; force })
   | t -> Error (Errors.Io_error (Printf.sprintf "bad WAL record tag %d" t))
 
+(* file: [magic: 8 bytes][epoch: 8 bytes LE] then frames.  The epoch pairs
+   the log with the snapshot generation it continues (Journal.checkpoint
+   bumps it); recovery discards a log whose epoch does not match the
+   snapshot's, which closes the crash window between the snapshot rename
+   and the truncation. *)
+let magic = "COMPOWAL"
+let header_len = 16
+
+let write_header chan ~epoch =
+  let b = Bytes.create header_len in
+  Bytes.blit_string magic 0 b 0 8;
+  Bytes.set_int64_le b 8 (Int64.of_int epoch);
+  Failpoint.output fp_header chan (Bytes.to_string b);
+  Out_channel.flush chan
+
 (* frame: [payload length: 8 bytes LE][crc32: 8 bytes LE][payload] *)
 let append chan r =
   (* the span histogram lives under .latency; "wal.append" itself stays a
@@ -197,35 +222,65 @@ let append chan r =
   let header = Enc.create () in
   Enc.int header (String.length payload);
   Enc.int header (Int32.to_int (Codec.crc32 payload) land 0xFFFFFFFF);
-  Out_channel.output_string chan (Enc.contents header);
-  Out_channel.output_string chan payload;
+  Failpoint.hit fp_before_frame;
+  (* header and payload go out as one buffer so a torn-write failpoint can
+     land the crash at any byte of the frame *)
+  Failpoint.output fp_frame chan (Enc.contents header ^ payload);
   Out_channel.flush chan;
+  Failpoint.hit fp_after_frame;
   Obs.incr m_append;
-  Obs.add m_append_bytes (16 + String.length payload)
+  Obs.add m_append_bytes (header_len + String.length payload)
+
+type replay = {
+  rp_epoch : int option;
+  rp_records : record list;
+  rp_clean : bool;
+  rp_clean_bytes : int;
+}
 
 let read_file path =
   match In_channel.with_open_bin path In_channel.input_all with
-  | exception Sys_error _ -> ([], true)
+  | exception Sys_error _ ->
+      { rp_epoch = None; rp_records = []; rp_clean = true; rp_clean_bytes = 0 }
+  | "" ->
+      { rp_epoch = None; rp_records = []; rp_clean = true; rp_clean_bytes = 0 }
+  | contents when
+      String.length contents < header_len
+      || not (String.equal (String.sub contents 0 8) magic) ->
+      (* torn or corrupt epoch header: nothing in this file is trustworthy *)
+      { rp_epoch = None; rp_records = []; rp_clean = false; rp_clean_bytes = 0 }
   | contents ->
+      let epoch = Int64.to_int (String.get_int64_le contents 8) in
       let len = String.length contents in
+      let finish acc clean pos =
+        {
+          rp_epoch = Some epoch;
+          rp_records = List.rev acc;
+          rp_clean = clean;
+          rp_clean_bytes = pos;
+        }
+      in
       let rec go acc pos =
-        if pos = len then (List.rev acc, true)
-        else if pos + 16 > len then (List.rev acc, false)
+        if pos = len then finish acc true pos
+        else if pos + 16 > len then finish acc false pos
         else
           let payload_len = Int64.to_int (String.get_int64_le contents pos) in
           let crc = Int64.to_int (String.get_int64_le contents (pos + 8)) in
-          if payload_len < 0 || pos + 16 + payload_len > len then
-            (List.rev acc, false)
+          (* the length bound is phrased as a subtraction: a corrupt header
+             can claim a near-max_int payload, and [pos + 16 + payload_len]
+             would overflow past the check into String.sub *)
+          if payload_len < 0 || payload_len > len - pos - 16 then
+            finish acc false pos
           else
             let payload = String.sub contents (pos + 16) payload_len in
             if Int32.to_int (Codec.crc32 payload) land 0xFFFFFFFF <> crc then
-              (List.rev acc, false)
+              finish acc false pos
             else
               match decode_record payload with
               | Ok r -> go (r :: acc) (pos + 16 + payload_len)
-              | Error _ -> (List.rev acc, false)
+              | Error _ -> finish acc false pos
       in
-      go [] 0
+      go [] header_len
 
 let check_expected what expect got =
   if Surrogate.equal expect got then Ok ()

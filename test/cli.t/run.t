@@ -69,6 +69,13 @@ The steel demo scenario:
   $ compo checkpoint sdb
   checkpoint written
 
+fsck recovers the directory read-only and checks surrogate continuity,
+schema resolution and index consistency:
+
+  $ compo fsck sdb
+  sdb: 30 entities, epoch 2, 0 WAL records replayed
+  ok: no violations
+
 Errors are reported properly:
 
   $ compo check missing.ddl 2>&1 | head -1
@@ -147,7 +154,7 @@ with the metrics array:
   $ tail -1 stats.om
   # EOF
   $ ../check_openmetrics.exe stats.om
-  check_openmetrics: OK (46 families)
+  check_openmetrics: OK (53 families)
   $ compo stats tiny.ddl --format=json | head -2
   {
     "metrics": [

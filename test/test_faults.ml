@@ -1,0 +1,164 @@
+(* The failpoint layer itself: spec parsing, arming semantics, and the
+   corrupt-output shapes the torture harness relies on. *)
+
+open Helpers
+module Failpoint = Compo_faults.Failpoint
+
+let reset () = Failpoint.disarm_all ()
+
+(* parse_spec errors are plain strings, not Errors.t *)
+let ok_spec = function
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "unexpected parse error: %s" msg
+
+let test_parse_spec () =
+  reset ();
+  let parsed =
+    ok_spec
+      (Failpoint.parse_spec
+         "wal.append.frame=torn,snapshot.save.tmp_write=short:3@2, x=crash")
+  in
+  check_int "three specs" 3 (List.length parsed);
+  (match parsed with
+  | [ (s1, 1, Failpoint.Torn_frame);
+      (s2, 2, Failpoint.Short_write 3);
+      ("x", 1, Failpoint.Crash) ] ->
+      check_string "first site" "wal.append.frame" s1;
+      check_string "second site" "snapshot.save.tmp_write" s2
+  | _ -> Alcotest.fail "unexpected parse");
+  List.iter
+    (fun bad ->
+      match Failpoint.parse_spec bad with
+      | Ok _ -> Alcotest.failf "accepted malformed spec %S" bad
+      | Error _ -> ())
+    [ "nosign"; "x=warp"; "x=short:-1"; "x=crash@0"; "=crash" ]
+
+let test_one_shot_and_after () =
+  reset ();
+  let site = Failpoint.register "test.one_shot" in
+  (* unarmed: free *)
+  Failpoint.hit site;
+  Failpoint.arm ~after:3 "test.one_shot" Failpoint.Crash;
+  Failpoint.hit site;
+  Failpoint.hit site;
+  (match Failpoint.hit site with
+  | () -> Alcotest.fail "third hit should crash"
+  | exception Failpoint.Crashed name ->
+      check_string "crash names the site" "test.one_shot" name);
+  (* one-shot: sprung traps stay sprung *)
+  Failpoint.hit site;
+  check_int "disarmed after firing" 0 (List.length (Failpoint.armed ()))
+
+let test_guard_error_result () =
+  reset ();
+  let site = Failpoint.register "test.guard" in
+  check_bool "unarmed guard passes" true (Result.is_ok (Failpoint.guard site));
+  Failpoint.arm "test.guard" Failpoint.Error_result;
+  (match Failpoint.guard site with
+  | Error (Compo_core.Errors.Io_error msg) ->
+      check_bool "error names the site" true (contains msg "test.guard")
+  | Ok () -> Alcotest.fail "armed guard passed"
+  | Error e ->
+      Alcotest.failf "wrong error kind: %s" (Compo_core.Errors.to_string e));
+  check_bool "guard disarms after firing" true
+    (Result.is_ok (Failpoint.guard site))
+
+let with_output site s =
+  let path = Filename.temp_file "compo-fp" ".bin" in
+  let result =
+    Out_channel.with_open_bin path (fun chan ->
+        match Failpoint.output site chan s with
+        | () -> `Wrote
+        | exception Failpoint.Crashed _ -> `Crashed)
+  in
+  let written = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  (result, written)
+
+let test_output_shapes () =
+  reset ();
+  let site = Failpoint.register "test.output" in
+  let payload = "0123456789abcdef" in
+  let r, w = with_output site payload in
+  check_bool "unarmed output writes through" true (r = `Wrote);
+  check_string "unarmed output intact" payload w;
+  Failpoint.arm "test.output" Failpoint.Torn_frame;
+  let r, w = with_output site payload in
+  check_bool "torn output crashes" true (r = `Crashed);
+  check_string "torn output is the first half" (String.sub payload 0 8) w;
+  Failpoint.arm "test.output" (Failpoint.Short_write 3);
+  let r, w = with_output site payload in
+  check_bool "short output crashes" true (r = `Crashed);
+  check_string "short output is the prefix" "012" w;
+  Failpoint.arm "test.output" Failpoint.Bit_flip;
+  let r, w = with_output site payload in
+  check_bool "bit-flip output crashes" true (r = `Crashed);
+  check_int "bit-flip output keeps the length" (String.length payload)
+    (String.length w);
+  check_bool "bit-flip output differs" false (String.equal payload w);
+  Failpoint.arm "test.output" Failpoint.Crash;
+  let r, w = with_output site payload in
+  check_bool "crash output crashes" true (r = `Crashed);
+  check_string "crash output writes nothing" "" w
+
+let test_env_configuration () =
+  reset ();
+  (* configure_from_env reads COMPO_FAILPOINTS; exercise the parser-backed
+     arm path directly since the test runner owns the real environment *)
+  List.iter
+    (fun (site, after, act) -> Failpoint.arm ~after site act)
+    (ok_spec (Failpoint.parse_spec "test.env.a=error,test.env.b=bitflip@4"));
+  let armed = Failpoint.armed () in
+  check_int "both armed" 2 (List.length armed);
+  check_bool "actions preserved" true
+    (List.mem ("test.env.a", Failpoint.Error_result) armed
+    && List.mem ("test.env.b", Failpoint.Bit_flip) armed);
+  Failpoint.disarm "test.env.a";
+  check_int "disarm removes one" 1 (List.length (Failpoint.armed ()));
+  reset ();
+  check_int "disarm_all clears" 0 (List.length (Failpoint.armed ()))
+
+let test_storage_sites_registered () =
+  (* the torture matrix promises at least 12 distinct crash points across
+     wal/snapshot/journal; the registry is populated at module-load time *)
+  let sites = Failpoint.all_sites () in
+  let in_storage s =
+    List.exists
+      (fun p -> String.length s >= String.length p && String.sub s 0 (String.length p) = p)
+      [ "wal."; "snapshot."; "journal." ]
+  in
+  let storage_sites = List.filter in_storage sites in
+  check_bool
+    (Printf.sprintf "at least 12 storage crash points (got %d)"
+       (List.length storage_sites))
+    true
+    (List.length storage_sites >= 12);
+  List.iter
+    (fun s ->
+      check_bool (s ^ " registered") true (List.mem s sites))
+    [
+      "wal.append.before_frame";
+      "wal.append.frame";
+      "wal.append.after_frame";
+      "wal.header.write";
+      "snapshot.save.tmp_write";
+      "snapshot.save.before_rename";
+      "snapshot.save.after_rename";
+      "journal.checkpoint.begin";
+      "journal.checkpoint.before_truncate";
+      "journal.checkpoint.after_truncate";
+      "journal.open.before_replay";
+      "journal.open.mid_replay";
+      "journal.open.after_replay";
+    ]
+
+let suite =
+  ( "faults",
+    [
+      case "COMPO_FAILPOINTS spec parsing" test_parse_spec;
+      case "one-shot arming with hit countdown" test_one_shot_and_after;
+      case "guard returns Error_result" test_guard_error_result;
+      case "output corruption shapes" test_output_shapes;
+      case "arm/disarm bookkeeping" test_env_configuration;
+      case "storage registers the crash-point matrix" test_storage_sites_registered;
+    ] )

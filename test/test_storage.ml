@@ -249,6 +249,173 @@ let test_torn_tail_tolerated () =
     (ok (Database.get_attr (Journal.db j2) p "Weight"));
   Journal.close j2
 
+(* A journal with the Part schema and one object, closed; returns (dir, p). *)
+let part_journal prefix =
+  let dir = tmp_dir prefix in
+  let j = ok (Journal.open_dir dir) in
+  ok
+    (Journal.define_obj_type j
+       {
+         Schema.ot_name = "Part";
+         ot_inheritor_in = None;
+         ot_attrs = [ { Schema.attr_name = "Weight"; attr_domain = Domain.Integer } ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  let p = ok (Journal.new_object j ~ty:"Part" ~attrs:[ ("Weight", Value.Int 5) ] ()) in
+  Journal.close j;
+  (dir, p)
+
+let test_corrupt_first_frame_total () =
+  (* a corrupt FIRST frame must read as zero records, never an exception:
+     flip one bit in the first frame's length field *)
+  let dir, _p = part_journal "compo-flip" in
+  let wal = Filename.concat dir "wal.log" in
+  let contents = Bytes.of_string (In_channel.with_open_bin wal In_channel.input_all) in
+  (* byte 16 is the first byte of the first frame's length (LE) *)
+  Bytes.set contents 16 (Char.chr (Char.code (Bytes.get contents 16) lxor 0x40));
+  Out_channel.with_open_bin wal (fun c -> Out_channel.output_bytes c contents);
+  let replay = Wal.read_file wal in
+  check_bool "epoch still readable" true (replay.Wal.rp_epoch <> None);
+  check_int "no records salvaged" 0 (List.length replay.Wal.rp_records);
+  check_bool "reported unclean" false replay.Wal.rp_clean;
+  (* recovery tolerates it too: empty database, unclean flag *)
+  let j = ok (Journal.open_dir dir) in
+  check_bool "unclean recovery" false (Journal.recovered_clean j);
+  check_int "nothing replayed" 0 (Journal.wal_records_replayed j);
+  Journal.close j
+
+let test_overflowing_frame_length_total () =
+  (* regression: a crafted length of max_int made [pos + 16 + len] wrap
+     negative, slipping past the bound check into String.sub *)
+  let dir, _p = part_journal "compo-overflow" in
+  let wal = Filename.concat dir "wal.log" in
+  let contents = Bytes.of_string (In_channel.with_open_bin wal In_channel.input_all) in
+  Bytes.set_int64_le contents 16 (Int64.of_int max_int);
+  Out_channel.with_open_bin wal (fun c -> Out_channel.output_bytes c contents);
+  let replay = Wal.read_file wal in
+  check_bool "reported unclean, not an exception" false replay.Wal.rp_clean;
+  check_int "no records salvaged" 0 (List.length replay.Wal.rp_records)
+
+let test_corrupt_wal_header_total () =
+  let dir, _p = part_journal "compo-header" in
+  let wal = Filename.concat dir "wal.log" in
+  let contents = Bytes.of_string (In_channel.with_open_bin wal In_channel.input_all) in
+  Bytes.set contents 3 'x' (* break the magic *);
+  Out_channel.with_open_bin wal (fun c -> Out_channel.output_bytes c contents);
+  let replay = Wal.read_file wal in
+  check_bool "no epoch" true (replay.Wal.rp_epoch = None);
+  check_bool "unclean" false replay.Wal.rp_clean;
+  (* recovery restarts the log from the snapshot's epoch *)
+  let j = ok (Journal.open_dir dir) in
+  check_bool "unclean recovery" false (Journal.recovered_clean j);
+  check_int "empty database" 0 (Store.entity_count (Database.store (Journal.db j)));
+  Journal.close j;
+  let j2 = ok (Journal.open_dir dir) in
+  check_bool "log restarted cleanly" true (Journal.recovered_clean j2);
+  Journal.close j2
+
+let test_append_after_torn_tail () =
+  (* regression caught by the torture harness: appending to an unclean log
+     without cutting the corrupt tail strands the new records behind it *)
+  let dir, p = part_journal "compo-tornappend" in
+  (* one more record, so the tear below loses it rather than p's create *)
+  let j0 = ok (Journal.open_dir dir) in
+  ok (Journal.set_attr j0 p "Weight" (Value.Int 6));
+  Journal.close j0;
+  let wal = Filename.concat dir "wal.log" in
+  let contents = In_channel.with_open_bin wal In_channel.input_all in
+  Out_channel.with_open_bin wal (fun c ->
+      Out_channel.output_string c
+        (String.sub contents 0 (String.length contents - 3)));
+  let j = ok (Journal.open_dir dir) in
+  check_bool "torn tail reported" false (Journal.recovered_clean j);
+  ok (Journal.set_attr j p "Weight" (Value.Int 8));
+  Journal.close j;
+  let j2 = ok (Journal.open_dir dir) in
+  check_bool "clean after truncating the tail" true (Journal.recovered_clean j2);
+  check_value "post-recovery append survives"
+    (Value.Int 8)
+    (ok (Database.get_attr (Journal.db j2) p "Weight"));
+  Journal.close j2
+
+let test_checkpoint_crash_windows () =
+  let module Failpoint = Compo_faults.Failpoint in
+  (* crash before the snapshot rename: old snapshot + full log win *)
+  let dir, p = part_journal "compo-ckptcrash" in
+  let j = ok (Journal.open_dir dir) in
+  ok (Journal.set_attr j p "Weight" (Value.Int 7));
+  Failpoint.arm "snapshot.save.before_rename" Failpoint.Crash;
+  (match Journal.checkpoint j with
+  | exception Failpoint.Crashed _ -> ()
+  | Ok () -> Alcotest.fail "checkpoint should have crashed"
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e));
+  Journal.crash j;
+  let j2 = ok (Journal.open_dir dir) in
+  check_bool "old pairing recovers clean" true (Journal.recovered_clean j2);
+  check_bool "no stale discard" false (Journal.recovered_from_stale_wal j2);
+  check_value "state intact" (Value.Int 7)
+    (ok (Database.get_attr (Journal.db j2) p "Weight"));
+  (* crash after the rename but before the truncation: the new snapshot
+     wins and the old-epoch log is discarded as stale, not re-applied *)
+  ok (Journal.set_attr j2 p "Weight" (Value.Int 9));
+  Failpoint.arm "journal.checkpoint.before_truncate" Failpoint.Crash;
+  (match Journal.checkpoint j2 with
+  | exception Failpoint.Crashed _ -> ()
+  | _ -> Alcotest.fail "checkpoint should have crashed");
+  Journal.crash j2;
+  let j3 = ok (Journal.open_dir dir) in
+  check_bool "stale log discarded" true (Journal.recovered_from_stale_wal j3);
+  check_bool "discard counts as clean" true (Journal.recovered_clean j3);
+  check_value "checkpointed state intact" (Value.Int 9)
+    (ok (Database.get_attr (Journal.db j3) p "Weight"));
+  (* epoch 1: the first, crashed checkpoint never committed a snapshot *)
+  check_int "epoch advanced" 1 (Journal.wal_epoch j3);
+  Journal.close j3
+
+let test_double_open_rejected () =
+  let dir, _p = part_journal "compo-doubleopen" in
+  let j = ok (Journal.open_dir dir) in
+  expect_error ~msg:"second open_dir must fail"
+    (function Errors.Io_error _ -> true | _ -> false)
+    (Journal.open_dir dir);
+  Journal.close j;
+  (* the lock dies with the handle *)
+  let j2 = ok (Journal.open_dir dir) in
+  Journal.close j2
+
+let test_fsck_clean_and_diff () =
+  let dir, p = part_journal "compo-fsck" in
+  let report = ok (Fsck.check_dir dir) in
+  check_int "no violations" 0 (List.length report.Fsck.fr_violations);
+  check_int "entities counted" 1 report.Fsck.fr_entities;
+  (* diff: a matching rebuild is empty, a divergent one is not *)
+  let oracle () =
+    let db = Database.create () in
+    ok
+      (Database.define_obj_type db
+         {
+           Schema.ot_name = "Part";
+           ot_inheritor_in = None;
+           ot_attrs = [ { Schema.attr_name = "Weight"; attr_domain = Domain.Integer } ];
+           ot_subclasses = [];
+           ot_subrels = [];
+           ot_constraints = [];
+         });
+    let p' = ok (Database.new_object db ~ty:"Part" ~attrs:[ ("Weight", Value.Int 5) ] ()) in
+    check_bool "deterministic surrogate" true (Surrogate.equal p p');
+    db
+  in
+  let j = ok (Journal.open_dir dir) in
+  check_int "recovered matches oracle" 0
+    (List.length (Fsck.diff ~oracle:(oracle ()) (Journal.db j)));
+  let divergent = oracle () in
+  ok (Database.set_attr divergent p "Weight" (Value.Int 6));
+  check_bool "divergence detected" true
+    (Fsck.diff ~oracle:divergent (Journal.db j) <> []);
+  Journal.close j
+
 let test_journal_full_scenario () =
   (* the whole steel scenario through the journal: build, reopen, verify *)
   let dir = tmp_dir "compo-steel" in
@@ -294,5 +461,12 @@ let suite =
       case "journal recovery across sessions" test_journal_recovery;
       case "checkpoint truncates the wal" test_journal_checkpoint;
       case "torn wal tail tolerated" test_torn_tail_tolerated;
+      case "corrupt first frame reads as zero records" test_corrupt_first_frame_total;
+      case "overflowing frame length reads as unclean" test_overflowing_frame_length_total;
+      case "corrupt wal header reads as unclean" test_corrupt_wal_header_total;
+      case "append after torn tail survives reopen" test_append_after_torn_tail;
+      case "checkpoint crash windows recover" test_checkpoint_crash_windows;
+      case "double open_dir rejected" test_double_open_rejected;
+      case "fsck report and oracle diff" test_fsck_clean_and_diff;
       case "full scenario through the journal" test_journal_full_scenario;
     ] )
