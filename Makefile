@@ -1,4 +1,4 @@
-.PHONY: all build test check obs-check torture-check fmt fmt-check bench bench-smoke ci clean
+.PHONY: all build test check obs-check torture-check stress-check fmt fmt-check bench bench-smoke ci clean
 
 all: build
 
@@ -29,6 +29,15 @@ obs-check: build
 torture-check: build
 	dune exec test/torture.exe -- --log torture-check.log
 
+# Parallel-select stress: 4 reader domains of parallel selects racing
+# interleaved committed/aborted write batches on the main domain, with a
+# torn-read oracle (any inconsistent snapshot surfaces as a row where
+# A <> B) and exact resolve-cache accounting (lookups = hits + misses).
+# The differential oracle itself (select ~jobs:1 == ~jobs:4 over 200+
+# random schemas) runs inside `make test` as the par-diff suite.
+stress-check: build
+	dune exec test/test_par_stress.exe
+
 # ocamlformat is optional in the build environment; format when it is
 # available, otherwise say so and succeed.
 fmt:
@@ -51,20 +60,24 @@ bench: build
 	dune exec bench/main.exe
 
 # CI-sized benchmark: E1 plus the resolve-cache sweep E15, the
-# provenance-overhead sweep E16, and the recovery-time sweep E17 on
-# small grids.  Fails if the cached read path is slower than the
-# uncached one or if any experiment does not produce its JSON report.
+# provenance-overhead sweep E16, the recovery-time sweep E17, and the
+# parallel-scaling sweep E18 on small grids.  Fails if the cached read
+# path is slower than the uncached one, if 4-job selects scale below
+# 1.8x on a >= 4-core machine (the gate skips, loudly, on smaller
+# runners), or if any experiment does not produce its JSON report.
 bench-smoke: build
-	dune exec bench/main.exe -- --smoke --check-speedup 1.0 E1 E15 E16 E17
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 --check-scaling 1.8 E1 E15 E16 E17 E18
 	test -s BENCH_resolve_cache.json
 	test -s BENCH_provenance.json
 	test -s BENCH_recovery.json
+	test -s BENCH_resolve_parallel.json
 
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
-ci: build test fmt-check obs-check torture-check bench-smoke
+ci: build test fmt-check obs-check torture-check stress-check bench-smoke
 
 clean:
 	dune clean
 	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
+	rm -f BENCH_resolve_parallel.json
 	rm -f BENCH_*.metrics.json obs-check.om torture-check.log

@@ -3,20 +3,24 @@
    EXPERIMENTS.md records the measured series).
 
    Usage: bench [E1 E15 ...] [--smoke] [--no-resolve-cache]
-                [--check-speedup MIN] [--no-bechamel]
+                [--check-speedup MIN] [--check-scaling MIN] [--no-bechamel]
 
-   With no experiment names, all of E1..E17 plus the Bechamel group run.
+   With no experiment names, all of E1..E18 plus the Bechamel group run.
    --smoke shrinks the parameter sweeps to CI-sized grids.
    --no-resolve-cache disables the inheritance-resolution cache globally
    (E15 still compares both arms by toggling the per-store switch).
    --check-speedup MIN exits non-zero if E15's worst cached/uncached
    speedup falls below MIN — the CI gate.
+   --check-scaling MIN exits non-zero if E18's worst 4-job speedup falls
+   below MIN; on machines with fewer than 4 cores the gate skips with a
+   message (scaling cannot be judged there).
 
    Output: for every experiment a parameter-sweep table, then a Bechamel
-   micro-benchmark group over the headline operations; E15, E16, and E17
-   additionally write their series to BENCH_resolve_cache.json,
-   BENCH_provenance.json, and BENCH_recovery.json (each with a
-   *.metrics.json registry snapshot companion). *)
+   micro-benchmark group over the headline operations; E15, E16, E17,
+   and E18 additionally write their series to BENCH_resolve_cache.json,
+   BENCH_provenance.json, BENCH_recovery.json, and
+   BENCH_resolve_parallel.json (each with a *.metrics.json registry
+   snapshot companion). *)
 
 open Compo_core
 module G = Compo_scenarios.Gates
@@ -782,6 +786,104 @@ let e17 () =
   write_e17_json ()
 
 (* ------------------------------------------------------------------ *)
+(* E18: parallel query engine, scan+resolve scaling over worker count  *)
+
+(* (depth, population, jobs, us/select, speedup vs jobs=1) per row *)
+let e18_results : (int * int * int * float * float) list ref = ref []
+
+let write_e18_json () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E18\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"parallel select with an inherited-attribute \
+     predicate, resolve cache off (every candidate walks its chain), by \
+     worker-domain count\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Printf.bprintf buf "  \"cores\": %d,\n" (Compo_par.Pool.available_cores ());
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e18_results in
+  List.iteri
+    (fun i (depth, pop, jobs, us, sp) ->
+      Printf.bprintf buf
+        "    { \"depth\": %d, \"population\": %d, \"jobs\": %d, \
+         \"us_per_select\": %.3f, \"speedup\": %.2f }%s\n"
+        depth pop jobs us sp
+        (if i = n - 1 then "" else ","))
+    !e18_results;
+  Buffer.add_string buf "  ],\n";
+  let at4 =
+    List.filter_map
+      (fun (_, _, jobs, _, sp) -> if jobs = 4 then Some sp else None)
+      !e18_results
+  in
+  Printf.bprintf buf "  \"min_speedup_at_4_jobs\": %.2f\n"
+    (List.fold_left min infinity at4);
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_resolve_parallel.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_resolve_parallel.json (%d rows)" n;
+  Compo_obs.Metrics.snapshot_to_file "BENCH_resolve_parallel.metrics.json";
+  say "wrote BENCH_resolve_parallel.metrics.json"
+
+let e18 () =
+  header "E18"
+    "parallel query engine: select with an inherited-attribute predicate, \
+     scaling over jobs (resolve cache off)";
+  e18_results := [];
+  say "(%d core(s) available)" (Compo_par.Pool.available_cores ());
+  say "%8s %10s %6s %16s %10s" "depth" "objects" "jobs" "us/select" "speedup";
+  let ty k = "Node" ^ string_of_int k in
+  let rel k = "AllOf_Node" ^ string_of_int k in
+  let grid = if !smoke then [ (4, 250) ] else [ (4, 2000); (8, 1200) ] in
+  List.iter
+    (fun (depth, pop) ->
+      let db = Database.create () in
+      ok (W.chain_schema db ~depth);
+      ok (Database.create_class db ~name:"Pop" ~member_type:(ty 0));
+      (* [roots] independent chains; every node of every chain joins the
+         extent, so a candidate at level k resolves Payload across k
+         transmitter hops *)
+      let roots = max 1 (pop / (depth + 1)) in
+      for i = 0 to roots - 1 do
+        let root =
+          ok
+            (Database.new_object db ~cls:"Pop" ~ty:(ty 0)
+               ~attrs:[ ("Payload", Value.Int (i mod 50)) ]
+               ())
+        in
+        let parent = ref root in
+        for k = 1 to depth do
+          let s = ok (Database.new_object db ~cls:"Pop" ~ty:(ty k) ()) in
+          let (_ : Surrogate.t) =
+            ok
+              (Database.bind db ~via:(rel (k - 1)) ~transmitter:!parent
+                 ~inheritor:s ())
+          in
+          parent := s
+        done
+      done;
+      let population = roots * (depth + 1) in
+      (* cache off: the per-candidate work is the real chain walk, which
+         is what the worker domains parallelise *)
+      Store.set_resolve_cache_enabled (Database.store db) false;
+      let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
+      let t1 = ref nan in
+      List.iter
+        (fun jobs ->
+          let sel () = ignore (ok (Database.select db ~cls:"Pop" ~jobs ~where ())) in
+          let t = time_per ~batch:(if !smoke then 3 else 5) sel in
+          if jobs = 1 then t1 := t;
+          let sp = !t1 /. t in
+          e18_results := (depth, population, jobs, us t, sp) :: !e18_results;
+          say "%8d %10d %6d %16.3f %9.2fx" depth population jobs (us t) sp)
+        [ 1; 2; 4; 8 ])
+    grid;
+  e18_results := List.rev !e18_results;
+  write_e18_json ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
 
 let bechamel_group () =
@@ -894,16 +996,17 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17);
+    ("E17", e17); ("E18", e18);
   ]
 
 let usage () =
-  say "usage: bench [E1 .. E17 | bechamel ...] [--smoke] [--no-resolve-cache]";
-  say "             [--check-speedup MIN] [--no-bechamel]";
+  say "usage: bench [E1 .. E18 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "             [--check-speedup MIN] [--check-scaling MIN] [--no-bechamel]";
   exit 2
 
 let () =
   let check = ref None in
+  let check_scaling = ref None in
   let no_bechamel = ref false in
   let selected = ref [] in
   let rec parse = function
@@ -924,6 +1027,13 @@ let () =
             parse rest
         | None -> usage ())
     | "--check-speedup" :: [] -> usage ()
+    | "--check-scaling" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f ->
+            check_scaling := Some f;
+            parse rest
+        | None -> usage ())
+    | "--check-scaling" :: [] -> usage ()
     | name :: rest ->
         let name = String.uppercase_ascii name in
         if String.equal name "BECHAMEL" then selected := "bechamel" :: !selected
@@ -965,5 +1075,39 @@ let () =
           else
             say "check-speedup: OK - worst E15 speedup %.2fx >= %.2fx" worst
               min_required));
+  (match !check_scaling with
+  | None -> ()
+  | Some min_required -> (
+      (* the documented escape hatch: a scaling gate is meaningless when
+         the machine cannot schedule 4 worker domains in parallel (CI
+         runners are often 2-core), so the gate stands down — loudly —
+         instead of failing on hardware grounds *)
+      let cores = Compo_par.Pool.available_cores () in
+      if cores < 4 then
+        say
+          "check-scaling: SKIP - only %d core(s) available, cannot judge \
+           4-job scaling (gate requires >= 4)"
+          cores
+      else
+        match
+          List.filter_map
+            (fun (_, _, jobs, _, sp) -> if jobs = 4 then Some sp else None)
+            !e18_results
+        with
+        | [] ->
+            say "check-scaling: E18 did not run, nothing to gate on";
+            exit 2
+        | at4 ->
+            let worst = List.fold_left min infinity at4 in
+            if worst < min_required then begin
+              say
+                "check-scaling: FAIL - worst E18 speedup at 4 jobs %.2fx < \
+                 required %.2fx"
+                worst min_required;
+              exit 1
+            end
+            else
+              say "check-scaling: OK - worst E18 speedup at 4 jobs %.2fx >= %.2fx"
+                worst min_required));
   say "";
   say "bench done."

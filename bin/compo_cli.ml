@@ -192,13 +192,13 @@ let cmd_show dir raw_id =
             (String.concat ", " (List.map Surrogate.to_string ms)))
         e.Store.subrels)
 
-let cmd_query dir cls where_src =
+let cmd_query dir cls where_src jobs =
   with_journal dir (fun j ->
       let db = Compo_storage.Journal.db j in
       let where =
         Option.map (fun src -> or_die (Compo_ddl.Parser.parse_expr src)) where_src
       in
-      let found = or_die (Database.select db ~cls ?where ()) in
+      let found = or_die (Database.select db ~cls ?jobs ?where ()) in
       List.iter
         (fun s ->
           let ty = or_die (Database.type_of db s) in
@@ -354,7 +354,7 @@ let cmd_explain_query dir cls where_src timings =
       Format.printf "%a@." (Query.pp_explain ~timings) ex;
       Printf.printf "%d object(s)\n" (List.length rows))
 
-let cmd_stats files format line_protocol slow_ms no_resolve_cache =
+let cmd_stats files format line_protocol slow_ms no_resolve_cache jobs =
   let module Obs = Compo_obs.Metrics in
   let module Trace = Compo_obs.Trace in
   if no_resolve_cache then Resolve_cache.set_default_enabled false;
@@ -395,6 +395,17 @@ let cmd_stats files format line_protocol slow_ms no_resolve_cache =
   done;
   let where = or_die (Compo_ddl.Parser.parse_expr "Length >= 0") in
   let (_ : Surrogate.t list) = or_die (Database.select jdb ~cls:"Gates" ~where ()) in
+  (* a wider population drives the parallel read path: 64 implementations
+     bound to one interface, selected on an attribute they all inherit,
+     with the requested parallelism (--jobs, else COMPO_JOBS, else
+     sequential — so the par.* families show exactly the configured
+     fan-out) *)
+  let (_ : Surrogate.t * Surrogate.t list) =
+    or_die (Compo_scenarios.Workload.interface_with_inheritors jdb ~n:64)
+  in
+  let (_ : Surrogate.t list) =
+    or_die (Database.select jdb ~cls:"Implementations" ?jobs ~where ())
+  in
   let (_ : Constraints.violation list) = Database.validate_all jdb in
   (* two designers colliding on the flip-flop: X held, S blocked *)
   let mg = Compo_txn.Transaction.create_manager (Database.store jdb) in
@@ -450,6 +461,17 @@ let metrics_arg =
         ~doc:
           "Collect kernel metrics while the command runs and dump the \
            registry to stderr afterwards.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate selects on $(docv) worker domains.  The result is \
+           identical to the sequential plan (same rows, same order); only \
+           the wall time changes.  Takes precedence over the COMPO_JOBS \
+           environment variable; default 1.")
 
 let no_resolve_cache_arg =
   Arg.(
@@ -526,8 +548,8 @@ let query_cmd =
   Cmd.v (Cmd.info "query" ~doc:"Select class members by predicate")
     (instrumented
        Term.(
-         const (fun dir cls where () -> cmd_query dir cls where)
-         $ dir_arg $ cls $ where))
+         const (fun dir cls where jobs () -> cmd_query dir cls where jobs)
+         $ dir_arg $ cls $ where $ jobs_arg))
 
 let simulate_cmd =
   let id = Arg.(required & pos 1 (some string) None & info [] ~docv:"GATE-ID") in
@@ -595,7 +617,7 @@ let stats_cmd =
        ~doc:"Run an instrumented workload and dump the metrics registry")
     Term.(
       const cmd_stats $ files $ format $ line_protocol $ slow
-      $ no_resolve_cache_arg)
+      $ no_resolve_cache_arg $ jobs_arg)
 
 let explain_group =
   let timings =
@@ -809,6 +831,10 @@ let () =
         ~doc:"Log operations slower than this many milliseconds.";
       Cmd.Env.info "COMPO_NO_RESOLVE_CACHE"
         ~doc:"Disable the inheritance-resolution cache.";
+      Cmd.Env.info "COMPO_JOBS"
+        ~doc:
+          "Default worker-domain count for parallel selects (see --jobs, \
+           which takes precedence).  Results are identical at any value.";
     ]
   in
   let info = Cmd.info "compo" ~version:"1.0.0" ~doc ~envs in

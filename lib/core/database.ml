@@ -8,6 +8,12 @@ type t = {
 
 let ( let* ) = Result.bind
 
+module Obs = Compo_obs.Metrics
+module Trace = Compo_obs.Trace
+
+(* same registry cell as Query's (find-or-create by name) *)
+let h_extent = Obs.histogram ~buckets:Obs.size_buckets "query.select.extent"
+
 let of_parts ?(eager_checks = false) schema store =
   {
     db_schema = schema;
@@ -275,21 +281,39 @@ let rec conjunction_plan t ~cls expr =
               | None -> None))
       | _ -> None)
 
-let select t ~cls ?where () =
-  match Option.bind where (conjunction_plan t ~cls) with
-  | Some (plan, residual) ->
-      let* candidates = run_plan t ~cls plan in
-      (match residual with
-      | None -> Ok candidates
-      | Some pred ->
-          Ok
-            (List.filter
-               (fun s -> Query.matching t.db_store ~self:s pred)
-               candidates))
-  | None -> Query.select t.db_store ~cls ?where ()
+let select t ~cls ?jobs ?where () =
+  let jobs = Compo_par.Pool.effective_jobs jobs in
+  let planned jobs =
+    (* planning reads the schema and index registry, so with [jobs > 1]
+       the caller has latched before calling us *)
+    match Option.bind where (conjunction_plan t ~cls) with
+    | Some (plan, residual) ->
+        let* candidates = run_plan t ~cls plan in
+        Ok (Some (Query.filter_candidates ~jobs t.db_store residual candidates))
+    | None -> Ok None
+  in
+  if jobs <= 1 then
+    let* rows = planned 1 in
+    match rows with
+    | Some rows -> Ok rows
+    | None -> Query.select t.db_store ~cls ~jobs:1 ?where ()
+  else
+    (* one latch section covers planning, the access stage and the
+       fan-out, so every worker evaluates the frozen snapshot the plan
+       was built against *)
+    Store.with_read_latch t.db_store @@ fun () ->
+    let jobs = Query.latched_jobs t.db_store jobs in
+    let* rows = planned jobs in
+    match rows with
+    | Some rows -> Ok rows
+    | None ->
+        Trace.with_span "query.select" ~attrs:[ ("cls", cls) ] @@ fun () ->
+        let* members = Store.class_members t.db_store cls in
+        Obs.observe h_extent (float_of_int (List.length members));
+        Ok (Query.filter_candidates ~jobs t.db_store where members)
 
-let select_subobjects t ~parent ~subclass ?where () =
-  Query.select_subobjects t.db_store ~parent ~subclass ?where ()
+let select_subobjects t ~parent ~subclass ?jobs ?where () =
+  Query.select_subobjects t.db_store ~parent ~subclass ?jobs ?where ()
 
 (* ------------------------------------------------------------------ *)
 (* EXPLAIN                                                             *)

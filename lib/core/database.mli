@@ -115,17 +115,31 @@ val verify_indexes : t -> string list
     {!Index.verify}); [[]] when all are consistent.  Used by fsck. *)
 
 val select :
-  t -> cls:string -> ?where:Expr.t -> unit -> (Surrogate.t list, Errors.t) result
+  t ->
+  cls:string ->
+  ?jobs:int ->
+  ?where:Expr.t ->
+  unit ->
+  (Surrogate.t list, Errors.t) result
 (** Members of [cls] satisfying [where].  The planner serves an indexed
     comparison between an attribute and a constant ([Attr = const],
     [Attr <= const], ..., either operand order) from the registered hash
     or ordered index; inside a conjunction, one indexable conjunct feeds
     the index and the rest filters the candidates.  Anything else scans
-    the extent. *)
+    the extent.
+
+    [jobs] (default: [COMPO_JOBS], else 1) runs the residual filter on a
+    pool of worker domains; planning, the access stage and the whole
+    fan-out happen under one read-latch section, so every worker
+    evaluates the same frozen snapshot and the rows come back in the
+    exact order the sequential plan produces.  [select ~jobs:n] is
+    observationally identical to [select ~jobs:1] for every [n] — the
+    differential suite ([test_par_diff]) proves it over randomized
+    schemas, populations and predicates. *)
 
 val select_subobjects :
-  t -> parent:Surrogate.t -> subclass:string -> ?where:Expr.t -> unit ->
-  (Surrogate.t list, Errors.t) result
+  t -> parent:Surrogate.t -> subclass:string -> ?jobs:int -> ?where:Expr.t ->
+  unit -> (Surrogate.t list, Errors.t) result
 
 val explain_select :
   t -> cls:string -> ?where:Expr.t -> unit ->

@@ -2,31 +2,62 @@ let ( let* ) = Result.bind
 
 module Obs = Compo_obs.Metrics
 module Trace = Compo_obs.Trace
+module Pool = Compo_par.Pool
 
 (* select counts live in the "query.select" span histogram *)
 let h_extent = Obs.histogram ~buckets:Obs.size_buckets "query.select.extent"
+
+(* parallel selects that found read hooks installed and ran sequentially *)
+let m_fallback = Obs.counter "par.select.fallback"
 
 let matching store ~self expr =
   match Eval.eval_bool (Eval.env ~self store) expr with
   | Ok b -> b
   | Error _ -> false
 
-let filter_candidates store where candidates =
+let filter_candidates ?(jobs = 1) store where candidates =
   match where with
   | None -> candidates
-  | Some pred -> List.filter (fun s -> matching store ~self:s pred) candidates
+  | Some pred ->
+      let keep s = matching store ~self:s pred in
+      if jobs <= 1 then List.filter keep candidates
+      else Pool.filter_list ~jobs keep candidates
 
-let select store ~cls ?where () =
+(* Must be called holding the read latch: hooks are only installed under
+   the write latch, so the answer cannot change while we hold it.  A
+   hook is arbitrary closure state (lock inheritance) and must fire on
+   the installing domain — with hooks present the select runs its
+   sequential plan under the same latch. *)
+let latched_jobs store jobs =
+  if jobs > 1 && Store.read_hooks_installed store then begin
+    Obs.incr m_fallback;
+    1
+  end
+  else jobs
+
+let select store ~cls ?jobs ?where () =
   Trace.with_span "query.select" ~attrs:[ ("cls", cls) ] @@ fun () ->
-  let* members = Store.class_members store cls in
-  Obs.observe h_extent (float_of_int (List.length members));
-  Ok (filter_candidates store where members)
+  let jobs = Pool.effective_jobs jobs in
+  let run jobs =
+    let* members = Store.class_members store cls in
+    Obs.observe h_extent (float_of_int (List.length members));
+    Ok (filter_candidates ~jobs store where members)
+  in
+  if jobs <= 1 then run 1
+  else
+    Store.with_read_latch store @@ fun () -> run (latched_jobs store jobs)
 
-let select_subobjects store ~parent ~subclass ?where () =
+let select_subobjects store ~parent ~subclass ?jobs ?where () =
   Trace.with_span "query.select" ~attrs:[ ("subclass", subclass) ] @@ fun () ->
-  let* members = Inheritance.subclass_members store parent subclass in
-  Obs.observe h_extent (float_of_int (List.length members));
-  Ok (filter_candidates store where members)
+  let jobs = Pool.effective_jobs jobs in
+  let run jobs =
+    let* members = Inheritance.subclass_members store parent subclass in
+    Obs.observe h_extent (float_of_int (List.length members));
+    Ok (filter_candidates ~jobs store where members)
+  in
+  if jobs <= 1 then run 1
+  else
+    Store.with_read_latch store @@ fun () -> run (latched_jobs store jobs)
 
 let project store objects name =
   let rec go acc = function

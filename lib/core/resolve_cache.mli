@@ -25,7 +25,15 @@
     {!Store.resolve_cache_active} enforces this; it is why transactional
     reads always walk.
 
-    Observability: [inheritance.cache.{hit,miss}] and
+    Domain safety: the generation and global floor are atomics, and the
+    entry table is sharded per domain (each domain fills, hits and
+    sweeps only its own shard), so parallel query workers resolve
+    concurrently without locks and a worker's fill can never publish a
+    stale value another domain's invalidation already killed.  Scoped
+    floors and {!clear} are write-side operations: the store serialises
+    them against parallel readers with its write latch.
+
+    Observability: [inheritance.cache.{lookup,hit,miss}] and
     [inheritance.cache.invalidate.{scoped,global}] counters plus an
     [inheritance.cache.size] gauge in the default metrics registry; each
     invalidation also runs under an [inheritance.cache.invalidation] span
@@ -35,9 +43,9 @@
 type t
 
 val create : ?capacity:int -> ?enabled:bool -> unit -> t
-(** [capacity] bounds the number of live entries (default 65536); filling
-    a full table clears it first (epoch eviction).  [enabled] defaults to
-    {!default_enabled}. *)
+(** [capacity] bounds the number of live entries per domain shard
+    (default 65536); filling a full shard clears that shard first
+    (epoch eviction).  [enabled] defaults to {!default_enabled}. *)
 
 val enabled : t -> bool
 
@@ -74,9 +82,16 @@ val invalidate_global : t -> unit
     in-flight fills die too. *)
 
 val size : t -> int
-(** Live entries (including scoped-invalidated ones not yet swept). *)
+(** Entries across every domain shard (including scoped-invalidated
+    ones not yet swept). *)
 
 val capacity : t -> int
+
+val lookups : unit -> int
+(** Process-wide lookup count ([find] calls on an enabled cache); every
+    lookup is counted exactly once as a hit or a miss, so
+    [lookups () = hits () + misses ()] even under parallel load — the
+    stress suite asserts this. *)
 
 val hits : unit -> int
 (** Process-wide hit count from the metrics registry (0 while metrics are

@@ -1,0 +1,83 @@
+(* A read/write latch with writer reentrancy and writer preference.
+
+   Parallel selects hold the latch in read mode for the whole fan-out
+   (access stage + chunked residual evaluation), so every worker sees
+   one point-in-time store state; every store mutator holds it in
+   write mode.  The writer side is reentrant per domain, because store
+   mutators nest (delete cascades through remove_inheritance_link and
+   itself, transactions wrap mutators in hook installation).  Writer
+   preference keeps a steady stream of parallel readers from starving
+   the writer; the price is that read sections must not nest — nothing
+   in the kernel nests them (workers never touch the latch at all).
+
+   Reads of [writer] outside the mutex are only ever compared against
+   the caller's own domain id: [Some self] can only have been written
+   by the caller itself, so the reentrancy fast path is race-free. *)
+
+(* compo_core has its own [Domain] module (the paper's attribute
+   domains), so the stdlib one needs its full path here *)
+module Sys_domain = Stdlib.Domain
+
+type t = {
+  m : Mutex.t;
+  c : Condition.t;
+  mutable readers : int;
+  mutable writer : Sys_domain.id option;
+  mutable write_depth : int;
+  mutable waiting_writers : int;
+}
+
+let create () =
+  {
+    m = Mutex.create ();
+    c = Condition.create ();
+    readers = 0;
+    writer = None;
+    write_depth = 0;
+    waiting_writers = 0;
+  }
+
+let held_by_self t = t.writer = Some (Sys_domain.self ())
+
+let with_write t f =
+  if held_by_self t then begin
+    t.write_depth <- t.write_depth + 1;
+    Fun.protect ~finally:(fun () -> t.write_depth <- t.write_depth - 1) f
+  end
+  else begin
+    Mutex.lock t.m;
+    t.waiting_writers <- t.waiting_writers + 1;
+    while t.writer <> None || t.readers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.waiting_writers <- t.waiting_writers - 1;
+    t.writer <- Some (Sys_domain.self ());
+    t.write_depth <- 1;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.write_depth <- 0;
+        t.writer <- None;
+        Condition.broadcast t.c;
+        Mutex.unlock t.m)
+      f
+  end
+
+let with_read t f =
+  if held_by_self t then f () (* a writer may read inside its section *)
+  else begin
+    Mutex.lock t.m;
+    while t.writer <> None || t.waiting_writers > 0 do
+      Condition.wait t.c t.m
+    done;
+    t.readers <- t.readers + 1;
+    Mutex.unlock t.m;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.lock t.m;
+        t.readers <- t.readers - 1;
+        if t.readers = 0 then Condition.broadcast t.c;
+        Mutex.unlock t.m)
+      f
+  end

@@ -37,6 +37,7 @@ type t = {
      participant, for referential integrity on delete *)
   referrer_index : Surrogate.t list Surrogate.Tbl.t;
   cache : Resolve_cache.t;  (* memoised inherited-attribute resolutions *)
+  latch : Rwlatch.t;  (* writers exclusive vs parallel-select readers *)
   mutable read_hooks : (int * (Surrogate.t -> unit)) list;
   mutable write_hooks : (int * (Surrogate.t -> unit)) list;
   mutable next_hook : int;
@@ -65,6 +66,7 @@ let create schema =
     class_order = [];
     referrer_index = Surrogate.Tbl.create 256;
     cache = Resolve_cache.create ();
+    latch = Rwlatch.create ();
     read_hooks = [];
     write_hooks = [];
     next_hook = 1;
@@ -73,10 +75,20 @@ let create schema =
 let schema t = t.schema
 
 (* ------------------------------------------------------------------ *)
+(* Latching: every mutator below runs [exclusively]; a parallel select
+   holds [with_read_latch] across its whole fan-out, so its workers see
+   one frozen store state.  Purely sequential use never contends: the
+   write side is reentrant and uncontended lock/unlock is cheap. *)
+
+let exclusively t f = Rwlatch.with_write t.latch f
+let with_read_latch t f = Rwlatch.with_read t.latch f
+
+(* ------------------------------------------------------------------ *)
 (* Resolve cache: generation plumbing                                  *)
 
 let resolve_cache t = t.cache
-let set_resolve_cache_enabled t b = Resolve_cache.set_enabled t.cache b
+let set_resolve_cache_enabled t b =
+  exclusively t @@ fun () -> Resolve_cache.set_enabled t.cache b
 
 (* The cache stands in for the chain walk, so it may only serve reads
    when no read hooks are installed: hooks carry the per-hop
@@ -90,7 +102,8 @@ let resolve_cache_active t =
   | `Active -> true
   | `Disabled | `Hooked -> false
 
-let invalidate_resolve_cache t = Resolve_cache.invalidate_global t.cache
+let invalidate_resolve_cache t =
+  exclusively t @@ fun () -> Resolve_cache.invalidate_global t.cache
 
 (* A transmitter attribute write invalidates only the writer and its
    inheritor closure; unrelated chains keep their cached resolutions.
@@ -99,6 +112,7 @@ let invalidate_resolve_cache t = Resolve_cache.invalidate_global t.cache
    while the table is empty: with the cache active no user code runs
    between generation capture and fill, so there is nothing to protect. *)
 let invalidate_resolved_for_write t s =
+  exclusively t @@ fun () ->
   if Resolve_cache.enabled t.cache && Resolve_cache.size t.cache > 0 then begin
     let rec close acc s =
       match Surrogate.Tbl.find_opt t.entities s with
@@ -125,19 +139,23 @@ let fresh_hook t =
   id
 
 let add_read_hook t f =
+  exclusively t @@ fun () ->
   let id = fresh_hook t in
   t.read_hooks <- (id, f) :: t.read_hooks;
   id
 
 let add_write_hook t f =
+  exclusively t @@ fun () ->
   let id = fresh_hook t in
   t.write_hooks <- (id, f) :: t.write_hooks;
   id
 
 let remove_hook t id =
+  exclusively t @@ fun () ->
   t.read_hooks <- List.filter (fun (i, _) -> i <> id) t.read_hooks;
   t.write_hooks <- List.filter (fun (i, _) -> i <> id) t.write_hooks
 
+let read_hooks_installed t = t.read_hooks <> []
 let notify_read t s = List.iter (fun (_, f) -> f s) t.read_hooks
 let notify_write t s = List.iter (fun (_, f) -> f s) t.write_hooks
 
@@ -170,6 +188,7 @@ let entity_count t = Surrogate.Tbl.length t.entities
 (* Classes                                                             *)
 
 let create_class t ~name ~member_type =
+  exclusively t @@ fun () ->
   if Hashtbl.mem t.classes name then
     Error (Errors.Duplicate_definition ("class " ^ name))
   else
@@ -192,6 +211,7 @@ let class_members t name =
   Result.map (fun c -> List.rev c.cls_members) (find_class t name)
 
 let insert_into_class t ~cls s =
+  exclusively t @@ fun () ->
   let* c = find_class t cls in
   let* e = get t s in
   if not (is_instance_of t s c.cls_member_type) then
@@ -208,6 +228,7 @@ let insert_into_class t ~cls s =
   end
 
 let remove_from_class t ~cls s =
+  exclusively t @@ fun () ->
   let* c = find_class t cls in
   let* e = get t s in
   c.cls_members <- List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members;
@@ -296,6 +317,7 @@ let make_object t ~ty attrs =
   Ok e
 
 let create_object t ?cls ~ty attrs =
+  exclusively t @@ fun () ->
   let* e = make_object t ~ty attrs in
   let* () =
     match cls with
@@ -318,6 +340,7 @@ let own_subclass_def t parent_ty name =
   | None -> Error (Errors.Unknown_class (parent_ty ^ "." ^ name))
 
 let create_subobject t ~parent ~subclass attrs =
+  exclusively t @@ fun () ->
   let* pe = get t parent in
   let* sc = own_subclass_def t pe.type_name subclass in
   let member_ty = Schema.subclass_member_type t.schema sc in
@@ -451,6 +474,7 @@ let make_relationship t ~ty ~participants ~attrs =
   Ok e
 
 let create_relationship t ~ty ~participants ?(attrs = []) () =
+  exclusively t @@ fun () ->
   let* e = make_relationship t ~ty ~participants ~attrs in
   notify_write t e.id;
   Ok e.id
@@ -475,6 +499,7 @@ let own_subrel_def t parent_ty name =
   | None -> Error (Errors.Unknown_class (parent_ty ^ "." ^ name))
 
 let create_subrel t ~parent ~subrel ~participants ?(attrs = []) () =
+  exclusively t @@ fun () ->
   let* pe = get t parent in
   let* sr = own_subrel_def t pe.type_name subrel in
   let* e = make_relationship t ~ty:sr.sr_rel_type ~participants ~attrs in
@@ -496,6 +521,7 @@ let local_attr t s name =
   Ok (Option.value ~default:Value.Null (Smap.find_opt name e.attrs))
 
 let set_attr t s name value =
+  exclusively t @@ fun () ->
   let* e = get t s in
   let* () = check_attr_value t e.type_name (name, value) in
   Obs.incr m_attr_write;
@@ -529,6 +555,7 @@ let participant t s name =
   | None -> Error (Errors.Unknown_attribute ("participant " ^ name))
 
 let set_participant t s name value =
+  exclusively t @@ fun () ->
   let* e = get t s in
   if e.kind <> Relationship_entity then
     Error
@@ -559,6 +586,7 @@ let owner_of t s = Result.map (fun e -> e.owner) (get t s)
 (* Inheritance links (structural layer; semantics in Inheritance)      *)
 
 let add_inheritance_link t ~ty ~transmitter ~inheritor ~attrs =
+  exclusively t @@ fun () ->
   let* it = Schema.find_inher_rel_type t.schema ty in
   let* te = get t transmitter in
   let* ie = get t inheritor in
@@ -609,6 +637,7 @@ let add_inheritance_link t ~ty ~transmitter ~inheritor ~attrs =
 (* Delete with cascade                                                 *)
 
 let rec remove_inheritance_link t link =
+  exclusively t @@ fun () ->
   let* le = get t link in
   if le.kind <> Inheritance_link then
     Error (Errors.Invalid_binding (Surrogate.to_string link ^ " is not an inheritance link"))
@@ -641,6 +670,7 @@ let rec remove_inheritance_link t link =
   end
 
 and delete t ?(force = false) s =
+  exclusively t @@ fun () ->
   let* e = get t s in
   let* () =
     if e.inheritor_links <> [] && not force then
@@ -713,12 +743,14 @@ and delete t ?(force = false) s =
 let generator t = t.gen
 
 let restore_entity t e =
+  exclusively t @@ fun () ->
   Surrogate.Gen.mark_used t.gen e.id;
   add_entity t e;
   Smap.iter (fun _ v -> index_referrer t e.id v) e.participants;
   invalidate_resolve_cache t
 
 let restore_class t ~name ~member_type ~members =
+  exclusively t @@ fun () ->
   Hashtbl.replace t.classes name
     { cls_member_type = member_type; cls_members = List.rev members };
   if not (List.mem name t.class_order) then

@@ -43,6 +43,28 @@ type t
 val create : Schema.t -> t
 val schema : t -> Schema.t
 
+(** {1 Latching}
+
+    Every mutator of this module runs under the store's write latch; a
+    parallel select ({!Query.select} / {!Database.select} with
+    [jobs > 1]) holds the read side across its whole fan-out, so worker
+    domains evaluate against a frozen point-in-time state.  Sequential
+    code never notices: the write side is reentrant per domain and
+    uncontended acquisition is cheap. *)
+
+val exclusively : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the write latch: excluded against every mutator and
+    every parallel select on other domains.  Reentrant — mutators called
+    inside [f] re-enter.  Use it to make a multi-operation batch (e.g. a
+    transaction body plus its commit) atomic with respect to parallel
+    readers. *)
+
+val with_read_latch : t -> (unit -> 'a) -> 'a
+(** Run [f] holding the read latch: shared with other readers, excluded
+    against mutators.  Do not nest (writers are preferred and a nested
+    acquisition behind a waiting writer would deadlock); inside
+    {!exclusively} of the same domain it degrades to [f ()]. *)
+
 (** {1 Resolve cache}
 
     Every store owns a {!Resolve_cache.t} memoising inherited-attribute
@@ -87,6 +109,14 @@ type hook_id
 val add_read_hook : t -> (Surrogate.t -> unit) -> hook_id
 val add_write_hook : t -> (Surrogate.t -> unit) -> hook_id
 val remove_hook : t -> hook_id -> unit
+
+val read_hooks_installed : t -> bool
+(** Whether any read hook is currently installed.  Parallel selects
+    check this after acquiring the read latch and fall back to a
+    sequential filter when hooks are present: a hook is arbitrary
+    closure state (the transaction layer's lock inheritance) and must
+    not be invoked from worker domains. *)
+
 val notify_read : t -> Surrogate.t -> unit
 val notify_write : t -> Surrogate.t -> unit
 

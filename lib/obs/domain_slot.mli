@@ -1,0 +1,13 @@
+(** Per-domain dense slot indices for sharded data structures.
+
+    [get ()] returns a small integer unique to the calling domain,
+    assigned on first use from a process-wide counter.  Fixed-size
+    shard arrays of [max_slots] entries can be indexed with it without
+    synchronisation, because no two live domains share a slot.  Slots
+    are not recycled when a domain terminates; a process that spawns
+    more than [max_slots] domains must treat [in_range slot = false]
+    as "use a synchronised fallback". *)
+
+val max_slots : int
+val get : unit -> int
+val in_range : int -> bool

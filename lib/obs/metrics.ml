@@ -1,68 +1,102 @@
 (* The registry maps names to mutable cells.  Instrumentation sites hold
    on to the cells themselves, so increments never touch the table and
-   [reset] must zero cells in place rather than dropping them. *)
+   [reset] must zero cells in place rather than dropping them.
 
-type counter = { mutable c_value : int }
-type gauge = { mutable g_value : float }
+   Domain safety: counters and gauges are atomics; a histogram is a
+   fixed array of per-domain shards (indexed by {!Domain_slot}) merged
+   at snapshot time, plus one mutex-guarded overflow shard for the
+   unlikely process that outlives the slot space.  The registry table
+   itself is guarded by a per-registry mutex, because spans register
+   histograms lazily from worker domains.  Snapshots taken while other
+   domains are mid-increment may miss in-flight updates, but never
+   tear: each shard is written by exactly one domain. *)
+
+type counter = { c_value : int Atomic.t }
+type gauge = { g_value : float Atomic.t }
+
+type hshard = {
+  hs_counts : int array;         (* one per bound, plus overflow at the end *)
+  mutable hs_count : int;
+  mutable hs_sum : float;
+  mutable hs_min : float;
+  mutable hs_max : float;
+}
 
 type histogram = {
   bounds : float array;          (* strictly increasing upper bounds *)
-  counts : int array;            (* one per bound, plus overflow at the end *)
-  mutable hg_count : int;
-  mutable hg_sum : float;
-  mutable hg_min : float;
-  mutable hg_max : float;
+  shards : hshard option Atomic.t array; (* indexed by Domain_slot.get *)
+  hg_overflow : hshard;          (* for domains past the slot space *)
+  hg_overflow_m : Mutex.t;
 }
 
 type cell = C of counter | G of gauge | H of histogram
 
-type registry = (string, cell) Hashtbl.t
+type registry = {
+  tbl : (string, cell) Hashtbl.t;
+  reg_m : Mutex.t;
+}
 
-let create_registry () : registry = Hashtbl.create 64
+let create_registry () : registry =
+  { tbl = Hashtbl.create 64; reg_m = Mutex.create () }
+
 let default_registry : registry = create_registry ()
 
-let on = ref false
-let enabled () = !on
-let enable () = on := true
-let disable () = on := false
+let on = Atomic.make false
+let enabled () = Atomic.get on
+let enable () = Atomic.set on true
+let disable () = Atomic.set on false
 
 let kind_name = function C _ -> "counter" | G _ -> "gauge" | H _ -> "histogram"
 
+let with_lock m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
 let register registry name make match_cell =
-  match Hashtbl.find_opt registry name with
-  | Some cell -> (
-      match match_cell cell with
-      | Some v -> v
+  with_lock registry.reg_m (fun () ->
+      match Hashtbl.find_opt registry.tbl name with
+      | Some cell -> (
+          match match_cell cell with
+          | Some v -> v
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Compo_obs.Metrics: %s is already a %s" name
+                   (kind_name cell)))
       | None ->
-          invalid_arg
-            (Printf.sprintf "Compo_obs.Metrics: %s is already a %s" name
-               (kind_name cell)))
-  | None ->
-      let v, cell = make () in
-      Hashtbl.replace registry name cell;
-      v
+          let v, cell = make () in
+          Hashtbl.replace registry.tbl name cell;
+          v)
 
 let counter ?(registry = default_registry) name =
   register registry name
     (fun () ->
-      let c = { c_value = 0 } in
+      let c = { c_value = Atomic.make 0 } in
       (c, C c))
     (function C c -> Some c | _ -> None)
 
-let incr c = if !on then c.c_value <- c.c_value + 1
-let add c n = if !on then c.c_value <- c.c_value + n
-let count c = c.c_value
+let incr c = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_value 1)
+let add c n = if Atomic.get on then ignore (Atomic.fetch_and_add c.c_value n)
+let count c = Atomic.get c.c_value
 
 let gauge ?(registry = default_registry) name =
   register registry name
     (fun () ->
-      let g = { g_value = 0. } in
+      let g = { g_value = Atomic.make 0. } in
       (g, G g))
     (function G g -> Some g | _ -> None)
 
-let set_gauge g v = if !on then g.g_value <- v
-let add_gauge g v = if !on then g.g_value <- g.g_value +. v
-let gauge_value g = g.g_value
+let set_gauge g v = if Atomic.get on then Atomic.set g.g_value v
+
+let add_gauge g v =
+  if Atomic.get on then begin
+    let rec go () =
+      let old = Atomic.get g.g_value in
+      if not (Atomic.compare_and_set g.g_value old (old +. v)) then go ()
+    in
+    go ()
+  end
+
+let gauge_value g = Atomic.get g.g_value
 
 (* 1-2.5-5 log scale; latency in seconds, sizes dimensionless *)
 let log_scale lo steps =
@@ -83,6 +117,15 @@ let validate_buckets bounds =
         invalid_arg "Compo_obs.Metrics: histogram buckets must be increasing")
     bounds
 
+let fresh_shard nbounds =
+  {
+    hs_counts = Array.make (nbounds + 1) 0;
+    hs_count = 0;
+    hs_sum = 0.;
+    hs_min = nan;
+    hs_max = nan;
+  }
+
 let histogram ?(registry = default_registry) ?(buckets = latency_buckets) name =
   register registry name
     (fun () ->
@@ -90,11 +133,9 @@ let histogram ?(registry = default_registry) ?(buckets = latency_buckets) name =
       let h =
         {
           bounds = buckets;
-          counts = Array.make (Array.length buckets + 1) 0;
-          hg_count = 0;
-          hg_sum = 0.;
-          hg_min = nan;
-          hg_max = nan;
+          shards = Array.init Domain_slot.max_slots (fun _ -> Atomic.make None);
+          hg_overflow = fresh_shard (Array.length buckets);
+          hg_overflow_m = Mutex.create ();
         }
       in
       (h, H h))
@@ -112,24 +153,52 @@ let bucket_index bounds v =
   in
   go 0 n
 
-let observe h v =
-  if !on then begin
-    let i = bucket_index h.bounds v in
-    h.counts.(i) <- h.counts.(i) + 1;
-    h.hg_count <- h.hg_count + 1;
-    h.hg_sum <- h.hg_sum +. v;
-    if h.hg_count = 1 then begin
-      h.hg_min <- v;
-      h.hg_max <- v
-    end
-    else begin
-      if v < h.hg_min then h.hg_min <- v;
-      if v > h.hg_max then h.hg_max <- v
-    end
+let observe_shard bounds s v =
+  let i = bucket_index bounds v in
+  s.hs_counts.(i) <- s.hs_counts.(i) + 1;
+  s.hs_count <- s.hs_count + 1;
+  s.hs_sum <- s.hs_sum +. v;
+  if s.hs_count = 1 then begin
+    s.hs_min <- v;
+    s.hs_max <- v
+  end
+  else begin
+    if v < s.hs_min then s.hs_min <- v;
+    if v > s.hs_max then s.hs_max <- v
   end
 
-let observations h = h.hg_count
-let sum h = h.hg_sum
+let own_shard h =
+  let slot = Domain_slot.get () in
+  if not (Domain_slot.in_range slot) then None
+  else
+    match Atomic.get h.shards.(slot) with
+    | Some _ as s -> s
+    | None ->
+        let s = fresh_shard (Array.length h.bounds) in
+        (* the slot belongs to this domain alone, so publish can't race
+           another writer; Atomic makes it visible to snapshotters *)
+        Atomic.set h.shards.(slot) (Some s);
+        Some s
+
+let observe h v =
+  if Atomic.get on then
+    match own_shard h with
+    | Some s -> observe_shard h.bounds s v
+    | None ->
+        with_lock h.hg_overflow_m (fun () ->
+            observe_shard h.bounds h.hg_overflow v)
+
+let fold_shards h f acc =
+  let acc =
+    Array.fold_left
+      (fun acc slot ->
+        match Atomic.get slot with Some s -> f acc s | None -> acc)
+      acc h.shards
+  in
+  f acc h.hg_overflow
+
+let observations h = fold_shards h (fun acc s -> acc + s.hs_count) 0
+let sum h = fold_shards h (fun acc s -> acc +. s.hs_sum) 0.
 
 type hist_snapshot = {
   h_buckets : (float * int) array;
@@ -159,43 +228,70 @@ type metric =
   | Gauge of float
   | Histogram of hist_snapshot
 
+let snapshot_hist h =
+  let n = Array.length h.bounds in
+  let counts = Array.make (n + 1) 0 in
+  let merged = fresh_shard n in
+  fold_shards h
+    (fun () s ->
+      Array.iteri (fun i c -> counts.(i) <- counts.(i) + c) s.hs_counts;
+      if s.hs_count > 0 then begin
+        merged.hs_sum <- merged.hs_sum +. s.hs_sum;
+        if merged.hs_count = 0 then begin
+          merged.hs_min <- s.hs_min;
+          merged.hs_max <- s.hs_max
+        end
+        else begin
+          if s.hs_min < merged.hs_min then merged.hs_min <- s.hs_min;
+          if s.hs_max > merged.hs_max then merged.hs_max <- s.hs_max
+        end;
+        merged.hs_count <- merged.hs_count + s.hs_count
+      end)
+    ();
+  {
+    h_buckets = Array.mapi (fun i b -> (b, counts.(i))) h.bounds;
+    h_overflow = counts.(n);
+    h_count = merged.hs_count;
+    h_sum = merged.hs_sum;
+    h_min = merged.hs_min;
+    h_max = merged.hs_max;
+  }
+
 let snapshot_cell = function
-  | C c -> Counter c.c_value
-  | G g -> Gauge g.g_value
-  | H h ->
-      Histogram
-        {
-          h_buckets = Array.mapi (fun i b -> (b, h.counts.(i))) h.bounds;
-          h_overflow = h.counts.(Array.length h.bounds);
-          h_count = h.hg_count;
-          h_sum = h.hg_sum;
-          h_min = h.hg_min;
-          h_max = h.hg_max;
-        }
+  | C c -> Counter (Atomic.get c.c_value)
+  | G g -> Gauge (Atomic.get g.g_value)
+  | H h -> Histogram (snapshot_hist h)
 
 let snapshot ?(registry = default_registry) () =
-  Hashtbl.fold (fun name cell acc -> (name, snapshot_cell cell) :: acc) registry []
+  with_lock registry.reg_m (fun () ->
+      Hashtbl.fold
+        (fun name cell acc -> (name, snapshot_cell cell) :: acc)
+        registry.tbl [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let find ?(registry = default_registry) name =
-  Option.map snapshot_cell (Hashtbl.find_opt registry name)
+  with_lock registry.reg_m (fun () ->
+      Option.map snapshot_cell (Hashtbl.find_opt registry.tbl name))
 
 let counter_value ?registry name =
   match find ?registry name with Some (Counter n) -> n | _ -> 0
 
+let reset_shard s =
+  Array.fill s.hs_counts 0 (Array.length s.hs_counts) 0;
+  s.hs_count <- 0;
+  s.hs_sum <- 0.;
+  s.hs_min <- nan;
+  s.hs_max <- nan
+
 let reset ?(registry = default_registry) () =
-  Hashtbl.iter
-    (fun _ cell ->
-      match cell with
-      | C c -> c.c_value <- 0
-      | G g -> g.g_value <- 0.
-      | H h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.hg_count <- 0;
-          h.hg_sum <- 0.;
-          h.hg_min <- nan;
-          h.hg_max <- nan)
-    registry
+  with_lock registry.reg_m (fun () ->
+      Hashtbl.iter
+        (fun _ cell ->
+          match cell with
+          | C c -> Atomic.set c.c_value 0
+          | G g -> Atomic.set g.g_value 0.
+          | H h -> fold_shards h (fun () s -> reset_shard s) ())
+        registry.tbl)
 
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)

@@ -8,7 +8,13 @@
 
     Collection is off by default.  {!enable} turns the global switch on;
     {!reset} zeroes every registered metric in place, so handles created
-    before a reset stay valid (tests rely on this for isolation). *)
+    before a reset stay valid (tests rely on this for isolation).
+
+    The registry is domain-safe: counters and gauges are atomics (no
+    lost increments under concurrent updates), histograms are sharded
+    per domain and merged at snapshot time, and registration is
+    serialised.  A snapshot taken while another domain is mid-update
+    may miss in-flight increments but never tears a cell. *)
 
 type registry
 

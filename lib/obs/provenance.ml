@@ -35,7 +35,12 @@ let source_of r =
 (* Collector                                                           *)
 
 let on = ref false
-let enabled () = !on
+
+(* The collector is a single global slot, which is only sound with one
+   writer.  Worker domains therefore never record: off the main domain
+   the layer reports itself disabled and resolution takes the plain
+   (allocation-free) path. *)
+let enabled () = !on && Domain.is_main_domain ()
 let enable () = on := true
 
 (* One read in flight at a time: resolution is synchronous and the
@@ -64,14 +69,14 @@ let disable () =
   clear ()
 
 let begin_read ~origin ~attr =
-  if !on then begin
+  if enabled () then begin
     flight.f_object <- origin;
     flight.f_attr <- attr;
     flight.f_rev_hops <- [];
     flight.f_open <- true
   end
 
-let add_hop h = if !on && flight.f_open then flight.f_rev_hops <- h :: flight.f_rev_hops
+let add_hop h = if enabled () && flight.f_open then flight.f_rev_hops <- h :: flight.f_rev_hops
 
 let abort_read () =
   if flight.f_open then begin
@@ -80,7 +85,7 @@ let abort_read () =
   end
 
 let finish_read ~cache ~value =
-  if !on && flight.f_open then begin
+  if enabled () && flight.f_open then begin
     let r =
       {
         r_object = flight.f_object;

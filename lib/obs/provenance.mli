@@ -64,6 +64,11 @@ val source_of : read -> string option
 (** {1 Global switch} *)
 
 val enabled : unit -> bool
+(** [true] only when recording is switched on {e and} the caller is the
+    main domain: the collector is a single global slot, so worker
+    domains never record — parallel query workers resolve through the
+    plain path instead. *)
+
 val enable : unit -> unit
 val disable : unit -> unit
 

@@ -7,13 +7,22 @@ type span = {
 }
 
 (* ring buffer: [ring.(i)] is valid for the last [min total capacity]
-   writes, [pos] is the next write slot *)
+   writes, [pos] is the next write slot.  All ring and slow-log state
+   is guarded by [m]: spans are recorded from worker domains, and an
+   unguarded push races on [pos] (lost records, duplicated slots).
+   Nesting depth is per-domain — a span on one domain is not "inside"
+   a span running concurrently on another. *)
+let m = Mutex.create ()
 let ring = ref (Array.make 512 None)
 let pos = ref 0
 let total = ref 0
 
-let depth = ref 0
-let current_depth () = !depth
+let with_lock f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+let current_depth () = !(Domain.DLS.get depth_key)
 
 let threshold = ref infinity
 let slow_threshold () = !threshold
@@ -32,9 +41,10 @@ let configure_from_env ?(getenv = Sys.getenv_opt) () =
   | Some v -> (
       match int_of_string_opt v with
       | Some n when n > 0 ->
-          ring := Array.make n None;
-          pos := 0;
-          total := 0
+          with_lock (fun () ->
+              ring := Array.make n None;
+              pos := 0;
+              total := 0)
       | Some _ | None -> ())
   | None -> ()
 
@@ -43,36 +53,40 @@ let slow = ref [] (* newest first, clipped to slow_capacity *)
 let slow_count = ref 0
 
 let clear () =
-  Array.fill !ring 0 (Array.length !ring) None;
-  pos := 0;
-  total := 0;
-  slow := [];
-  slow_count := 0
+  with_lock (fun () ->
+      Array.fill !ring 0 (Array.length !ring) None;
+      pos := 0;
+      total := 0;
+      slow := [];
+      slow_count := 0)
 
 let set_capacity n =
   if n <= 0 then invalid_arg "Compo_obs.Trace.set_capacity";
-  ring := Array.make n None;
-  pos := 0;
-  total := 0
+  with_lock (fun () ->
+      ring := Array.make n None;
+      pos := 0;
+      total := 0)
 
 let record sp =
-  let buf = !ring in
-  buf.(!pos) <- Some sp;
-  pos := (!pos + 1) mod Array.length buf;
-  incr total;
-  if sp.sp_duration >= !threshold then begin
-    slow := sp :: !slow;
-    incr slow_count;
-    if !slow_count > slow_capacity then begin
-      (* clip the oldest half rather than one-at-a-time *)
-      slow := List.filteri (fun i _ -> i < slow_capacity) !slow;
-      slow_count := slow_capacity
-    end
-  end
+  with_lock (fun () ->
+      let buf = !ring in
+      buf.(!pos) <- Some sp;
+      pos := (!pos + 1) mod Array.length buf;
+      incr total;
+      if sp.sp_duration >= !threshold then begin
+        slow := sp :: !slow;
+        incr slow_count;
+        if !slow_count > slow_capacity then begin
+          (* clip the oldest half rather than one-at-a-time *)
+          slow := List.filteri (fun i _ -> i < slow_capacity) !slow;
+          slow_count := slow_capacity
+        end
+      end)
 
 let with_span ?(attrs = []) name f =
   if not (Metrics.enabled ()) then f ()
   else begin
+    let depth = Domain.DLS.get depth_key in
     let d = !depth in
     depth := d + 1;
     let t0 = Unix.gettimeofday () in
@@ -94,21 +108,22 @@ let with_span ?(attrs = []) name f =
   end
 
 let recent () =
-  let buf = !ring in
-  let n = Array.length buf in
-  let rec go acc i remaining =
-    (* walks newest to oldest, prepending: [acc] ends up oldest-first *)
-    if remaining = 0 then acc
-    else
-      let i = (i - 1 + n) mod n in
-      match buf.(i) with
-      | None -> acc
-      | Some sp -> go (sp :: acc) i (remaining - 1)
-  in
-  List.rev (go [] !pos (min !total n))
+  with_lock (fun () ->
+      let buf = !ring in
+      let n = Array.length buf in
+      let rec go acc i remaining =
+        (* walks newest to oldest, prepending: [acc] ends up oldest-first *)
+        if remaining = 0 then acc
+        else
+          let i = (i - 1 + n) mod n in
+          match buf.(i) with
+          | None -> acc
+          | Some sp -> go (sp :: acc) i (remaining - 1)
+      in
+      List.rev (go [] !pos (min !total n)))
 
-let recorded () = !total
-let slow_ops () = !slow
+let recorded () = with_lock (fun () -> !total)
+let slow_ops () = with_lock (fun () -> !slow)
 
 let pp_span fmt sp =
   Format.fprintf fmt "%*s%s %.1fus%s" (2 * sp.sp_depth) "" sp.sp_name

@@ -162,8 +162,12 @@ let acquire_hier mg txn s mode =
 
 (* Run [f] with hooks that lock every entity the operation touches.  Reads
    of inherited data notify per transmitter hop, which is exactly the
-   paper's lock inheritance. *)
+   paper's lock inheritance.  The whole window — install, operate,
+   remove — runs under the store's write latch: hooks are process-wide
+   store state, and a parallel select latching in mid-window would see
+   them (and would have to fall back to a sequential plan for nothing). *)
 let with_lock_hooks mg txn f =
+  Store.exclusively mg.mg_store @@ fun () ->
   let rh =
     Store.add_read_hook mg.mg_store (fun s ->
         match acquire_hier mg txn s Lock.S with

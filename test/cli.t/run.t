@@ -154,7 +154,46 @@ with the metrics array:
   $ tail -1 stats.om
   # EOF
   $ ../check_openmetrics.exe stats.om
-  check_openmetrics: OK (53 families)
+  check_openmetrics: OK (61 families)
   $ compo stats tiny.ddl --format=json | head -2
   {
     "metrics": [
+
+Parallel selects: --jobs must never change what a query returns — same
+rows, same order as the sequential plan (the differential oracle in
+test/test_par_diff.ml proves this over hundreds of random schemas; here
+we pin the CLI wiring):
+
+  $ compo query sdb Bolts --jobs 4 --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+  $ COMPO_JOBS=4 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+
+The par.* metric families account the fan-out.  Without --jobs or
+COMPO_JOBS the stats workload runs sequentially and the pool counters
+stay zero:
+
+  $ compo stats tiny.ddl --format=openmetrics | grep -E '^compo_par_(tasks|chunks)_total '
+  compo_par_chunks_total 0
+  compo_par_tasks_total 0
+
+COMPO_JOBS switches the workload's select onto the pool (one batch,
+chunked across the domains):
+
+  $ COMPO_JOBS=2 compo stats tiny.ddl --format=openmetrics | grep -E '^compo_par_(tasks|chunks)_total '
+  compo_par_chunks_total 5
+  compo_par_tasks_total 1
+
+and an explicit --jobs takes precedence over the environment, in both
+directions:
+
+  $ COMPO_JOBS=2 compo stats tiny.ddl --jobs 1 --format=openmetrics | grep -E '^compo_par_(tasks|chunks)_total '
+  compo_par_chunks_total 0
+  compo_par_tasks_total 0
+  $ compo stats tiny.ddl --jobs 2 --format=openmetrics | grep -E '^compo_par_(tasks|chunks)_total '
+  compo_par_chunks_total 5
+  compo_par_tasks_total 1

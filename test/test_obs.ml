@@ -262,6 +262,54 @@ let test_dump_formats () =
   check_bool "line protocol lists the counter" true
     (contains lp "metric=t.dump.counter")
 
+(* ------------------------------------------------------------------ *)
+(* Multi-domain safety.  These fail (lost updates, torn ring pushes)
+   against the pre-atomics implementation when run under 4 domains:
+   counters were plain [int ref]s, histogram buckets plain arrays
+   mutated from every domain, and the trace ring advanced its cursor
+   non-atomically. *)
+
+let test_parallel_counter () =
+  let c = Obs.counter "t.par.counter" in
+  let doms = 4 and per = 50_000 in
+  let hs =
+    List.init doms (fun _ ->
+        Stdlib.Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Obs.incr c
+            done))
+  in
+  List.iter Stdlib.Domain.join hs;
+  check_int "no lost increments" (doms * per) (Obs.count c)
+
+let test_parallel_histogram () =
+  let h = Obs.histogram ~buckets:[| 1.; 2.; 4. |] "t.par.histo" in
+  let doms = 4 and per = 20_000 in
+  let hs =
+    List.init doms (fun d ->
+        Stdlib.Domain.spawn (fun () ->
+            for i = 1 to per do
+              Obs.observe h (float_of_int ((i + d) mod 5))
+            done))
+  in
+  List.iter Stdlib.Domain.join hs;
+  check_int "no lost observations" (doms * per) (Obs.observations h)
+
+let test_parallel_spans () =
+  Trace.set_capacity 256;
+  let doms = 4 and per = 1_000 in
+  let hs =
+    List.init doms (fun _ ->
+        Stdlib.Domain.spawn (fun () ->
+            for _ = 1 to per do
+              Trace.with_span "t.par.span" (fun () -> ())
+            done))
+  in
+  List.iter Stdlib.Domain.join hs;
+  check_int "every span recorded" (doms * per) (Trace.recorded ());
+  check_int "ring clipped to capacity" 256 (List.length (Trace.recent ()));
+  Trace.set_capacity 512
+
 let suite =
   ( "obs",
     [
@@ -283,4 +331,10 @@ let suite =
       case "openmetrics exposition" (with_obs test_openmetrics);
       case "json export is literal-safe" (with_obs test_json_export);
       case "snapshot_to_file round-trips" (with_obs test_snapshot_to_file);
+      case "counter keeps every increment under 4 domains"
+        (with_obs test_parallel_counter);
+      case "histogram keeps every observation under 4 domains"
+        (with_obs test_parallel_histogram);
+      case "trace ring survives 4 domains of spans"
+        (with_obs test_parallel_spans);
     ] )
