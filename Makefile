@@ -1,4 +1,4 @@
-.PHONY: all build test check obs-check torture-check stress-check fmt fmt-check bench bench-smoke ci clean
+.PHONY: all build test check obs-check torture-check stress-check fmt fmt-check bench bench-smoke serve soak-check ci clean
 
 all: build
 
@@ -72,12 +72,37 @@ bench-smoke: build
 	test -s BENCH_recovery.json
 	test -s BENCH_resolve_parallel.json
 
+# Interactive server over the demo gates scenario; talk to it with the
+# client library or `compo stats --connect /tmp/compo.sock`.
+serve: build
+	./_build/default/bin/compo_server.exe --socket /tmp/compo.sock --demo gates --populate 256
+
+# Network soak (E19): boot a server on the gates scenario, drive >= 120
+# concurrent client connections for ~10 s with the load generator
+# (--check fails on any protocol error), then SIGTERM the server and
+# require a clean drain.  The server binary is run straight from _build
+# so the signal reaches it (dune exec does not forward SIGTERM).
+SOAK_SOCK := /tmp/compo-soak.sock
+soak-check: build
+	rm -f $(SOAK_SOCK)
+	./_build/default/bin/compo_server.exe --socket $(SOAK_SOCK) --demo gates --populate 512 & \
+	  srv=$$!; \
+	  for i in $$(seq 1 50); do [ -S $(SOAK_SOCK) ] && break; sleep 0.1; done; \
+	  [ -S $(SOAK_SOCK) ] || { echo "soak-check: server never bound $(SOAK_SOCK)"; kill $$srv 2>/dev/null; exit 1; }; \
+	  ./_build/default/bench/loadgen.exe --socket $(SOAK_SOCK) --connections 120 --duration 10 --check --json BENCH_server.json; \
+	  gen=$$?; \
+	  kill -TERM $$srv; \
+	  wait $$srv; drained=$$?; \
+	  [ $$gen -eq 0 ] || { echo "soak-check: load generator failed"; exit 1; }; \
+	  [ $$drained -eq 0 ] || { echo "soak-check: server did not drain cleanly (exit $$drained)"; exit 1; }
+	test -s BENCH_server.json
+
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
-ci: build test fmt-check obs-check torture-check stress-check bench-smoke
+ci: build test fmt-check obs-check torture-check stress-check bench-smoke soak-check
 
 clean:
 	dune clean
 	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
-	rm -f BENCH_resolve_parallel.json
+	rm -f BENCH_resolve_parallel.json BENCH_server.json
 	rm -f BENCH_*.metrics.json obs-check.om torture-check.log

@@ -791,7 +791,10 @@ let e17 () =
 (* (depth, population, jobs, us/select, speedup vs jobs=1) per row *)
 let e18_results : (int * int * int * float * float) list ref = ref []
 
-let write_e18_json () =
+(* [skipped] marks a --check-scaling gate that stood down on a small
+   runner: the report then records {"skipped": true, "cores": N} as
+   first-class data instead of burying the fact in the log *)
+let write_e18_json ?(skipped = false) () =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n";
   Buffer.add_string buf "  \"experiment\": \"E18\",\n";
@@ -800,6 +803,7 @@ let write_e18_json () =
      predicate, resolve cache off (every candidate walks its chain), by \
      worker-domain count\",\n";
   Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Printf.bprintf buf "  \"skipped\": %b,\n" skipped;
   Printf.bprintf buf "  \"cores\": %d,\n" (Compo_par.Pool.available_cores ());
   Buffer.add_string buf "  \"rows\": [\n";
   let n = List.length !e18_results in
@@ -817,8 +821,11 @@ let write_e18_json () =
       (fun (_, _, jobs, _, sp) -> if jobs = 4 then Some sp else None)
       !e18_results
   in
-  Printf.bprintf buf "  \"min_speedup_at_4_jobs\": %.2f\n"
-    (List.fold_left min infinity at4);
+  (match at4 with
+  | [] -> Buffer.add_string buf "  \"min_speedup_at_4_jobs\": null\n"
+  | _ ->
+      Printf.bprintf buf "  \"min_speedup_at_4_jobs\": %.2f\n"
+        (List.fold_left min infinity at4));
   Buffer.add_string buf "}\n";
   let oc = open_out "BENCH_resolve_parallel.json" in
   output_string oc (Buffer.contents buf);
@@ -1083,11 +1090,15 @@ let () =
          runners are often 2-core), so the gate stands down — loudly —
          instead of failing on hardware grounds *)
       let cores = Compo_par.Pool.available_cores () in
-      if cores < 4 then
+      if cores < 4 then begin
         say
           "check-scaling: SKIP - only %d core(s) available, cannot judge \
            4-job scaling (gate requires >= 4)"
-          cores
+          cores;
+        (* the SKIP is data, not just a log line: rewrite the report so
+           the bench trajectory stays honest on small runners *)
+        write_e18_json ~skipped:true ()
+      end
       else
         match
           List.filter_map

@@ -27,6 +27,27 @@ let or_die = function
       prerr_endline ("compo: " ^ Errors.to_string e);
       exit 1
 
+(* strict --jobs / COMPO_JOBS validation: zero, negative or non-numeric
+   job counts die with one line here instead of silently running
+   sequentially downstream (Pool.default_jobs is lenient by design) *)
+let validate_jobs jobs =
+  (match Sys.getenv_opt "COMPO_JOBS" with
+  | None -> ()
+  | Some raw -> (
+      match Compo_par.Pool.parse_jobs raw with
+      | Ok _ -> ()
+      | Error msg ->
+          prerr_endline ("compo: COMPO_JOBS " ^ msg);
+          exit 1));
+  match jobs with
+  | None -> None
+  | Some n -> (
+      match Compo_par.Pool.parse_jobs (string_of_int n) with
+      | Ok n -> Some n
+      | Error msg ->
+          prerr_endline ("compo: --jobs " ^ msg);
+          exit 1)
+
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> contents
@@ -193,6 +214,7 @@ let cmd_show dir raw_id =
         e.Store.subrels)
 
 let cmd_query dir cls where_src jobs =
+  let jobs = validate_jobs jobs in
   with_journal dir (fun j ->
       let db = Compo_storage.Journal.db j in
       let where =
@@ -354,9 +376,37 @@ let cmd_explain_query dir cls where_src timings =
       Format.printf "%a@." (Query.pp_explain ~timings) ex;
       Printf.printf "%d object(s)\n" (List.length rows))
 
-let cmd_stats files format line_protocol slow_ms no_resolve_cache jobs =
+(* --connect: fetch a live server's registry instead of running the
+   local workload, so `compo stats` works unchanged against compo-server *)
+let cmd_stats_connect sock format =
+  let module Client = Compo_net.Client in
+  let module P = Compo_net.Protocol in
+  let fmt =
+    match format with
+    | `Table -> P.Fmt_table
+    | `Json -> P.Fmt_json
+    | `Openmetrics -> P.Fmt_openmetrics
+    | `Line_protocol -> P.Fmt_line
+  in
+  match Client.connect ~user:"compo-stats" sock with
+  | Error e -> or_die (Error (Errors.Io_error (Client.error_to_string e)))
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.stats c fmt with
+          | Ok text -> print_string text
+          | Error e ->
+              or_die (Error (Errors.Io_error (Client.error_to_string e))))
+
+let cmd_stats files format line_protocol slow_ms no_resolve_cache jobs connect =
   let module Obs = Compo_obs.Metrics in
   let module Trace = Compo_obs.Trace in
+  let jobs = validate_jobs jobs in
+  let format = if line_protocol then `Line_protocol else format in
+  match connect with
+  | Some sock -> cmd_stats_connect sock format
+  | None ->
   if no_resolve_cache then Resolve_cache.set_default_enabled false;
   Obs.enable ();
   Trace.set_slow_threshold (slow_ms /. 1000.);
@@ -426,7 +476,6 @@ let cmd_stats files format line_protocol slow_ms no_resolve_cache jobs =
   Compo_storage.Journal.close j;
   remove_tree dir;
   Obs.disable ();
-  let format = if line_protocol then `Line_protocol else format in
   match format with
   | `Line_protocol -> print_string (Obs.to_line_protocol ())
   | `Openmetrics -> print_string (Obs.to_openmetrics ())
@@ -612,12 +661,20 @@ let stats_cmd =
            & info [ "slow" ] ~docv:"MS"
                ~doc:"Slow-op threshold in milliseconds.")
   in
+  let connect =
+    Arg.(value & opt (some string) None
+           & info [ "connect" ] ~docv:"SOCKET"
+               ~doc:
+                 "Fetch the metrics registry of a live compo-server over \
+                  its Unix socket (rendered server-side in the requested \
+                  --format) instead of running the local workload.")
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Run an instrumented workload and dump the metrics registry")
     Term.(
       const cmd_stats $ files $ format $ line_protocol $ slow
-      $ no_resolve_cache_arg $ jobs_arg)
+      $ no_resolve_cache_arg $ jobs_arg $ connect)
 
 let explain_group =
   let timings =

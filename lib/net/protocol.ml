@@ -1,0 +1,279 @@
+open Compo_core
+module Codec = Compo_storage.Codec
+
+let magic = "COMPONET"
+let version = 1
+let default_max_frame = 16 * 1024 * 1024
+
+type stats_format = Fmt_table | Fmt_json | Fmt_openmetrics | Fmt_line
+
+type request =
+  | Open_session of { magic : string; version : int; user : string }
+  | Ping
+  | Begin
+  | Commit
+  | Abort
+  | Get_attr of { obj : Surrogate.t; attr : string }
+  | Set_attr of { obj : Surrogate.t; attr : string; value : Value.t }
+  | Select of { cls : string; where : Expr.t option; jobs : int option }
+  | Explain of { cls : string; where : Expr.t option }
+  | Stats of stats_format
+  | Close_session
+
+type response =
+  | Ok_unit
+  | Ok_session of { session : int; server_version : int }
+  | Ok_value of Value.t
+  | Ok_rows of Surrogate.t list
+  | Ok_text of string
+  | App_error of string
+  | Protocol_error of string
+
+let request_op_name = function
+  | Open_session _ -> "open_session"
+  | Ping -> "ping"
+  | Begin -> "begin"
+  | Commit -> "commit"
+  | Abort -> "abort"
+  | Get_attr _ -> "get_attr"
+  | Set_attr _ -> "set_attr"
+  | Select _ -> "select"
+  | Explain _ -> "explain"
+  | Stats _ -> "stats"
+  | Close_session -> "close_session"
+
+(* ------------------------------------------------------------------ *)
+(* Body codecs                                                         *)
+
+let stats_format_byte = function
+  | Fmt_table -> 0
+  | Fmt_json -> 1
+  | Fmt_openmetrics -> 2
+  | Fmt_line -> 3
+
+let stats_format_of_byte = function
+  | 0 -> Ok Fmt_table
+  | 1 -> Ok Fmt_json
+  | 2 -> Ok Fmt_openmetrics
+  | 3 -> Ok Fmt_line
+  | b -> Error (Printf.sprintf "unknown stats format %d" b)
+
+let surrogate e s = Codec.Enc.int e (Surrogate.to_int s)
+
+let encode_request ~id req =
+  let e = Codec.Enc.create () in
+  Codec.Enc.int e id;
+  (match req with
+  | Open_session { magic; version; user } ->
+      Codec.Enc.byte e 1;
+      Codec.Enc.string e magic;
+      Codec.Enc.int e version;
+      Codec.Enc.string e user
+  | Ping -> Codec.Enc.byte e 2
+  | Begin -> Codec.Enc.byte e 3
+  | Commit -> Codec.Enc.byte e 4
+  | Abort -> Codec.Enc.byte e 5
+  | Get_attr { obj; attr } ->
+      Codec.Enc.byte e 6;
+      surrogate e obj;
+      Codec.Enc.string e attr
+  | Set_attr { obj; attr; value } ->
+      Codec.Enc.byte e 7;
+      surrogate e obj;
+      Codec.Enc.string e attr;
+      Codec.encode_value e value
+  | Select { cls; where; jobs } ->
+      Codec.Enc.byte e 8;
+      Codec.Enc.string e cls;
+      Codec.Enc.option e (Codec.encode_expr e) where;
+      Codec.Enc.option e (Codec.Enc.int e) jobs
+  | Explain { cls; where } ->
+      Codec.Enc.byte e 9;
+      Codec.Enc.string e cls;
+      Codec.Enc.option e (Codec.encode_expr e) where
+  | Stats fmt ->
+      Codec.Enc.byte e 10;
+      Codec.Enc.byte e (stats_format_byte fmt)
+  | Close_session -> Codec.Enc.byte e 11);
+  Codec.Enc.contents e
+
+let encode_response ~id resp =
+  let e = Codec.Enc.create () in
+  Codec.Enc.int e id;
+  (match resp with
+  | Ok_unit -> Codec.Enc.byte e 0
+  | Ok_session { session; server_version } ->
+      Codec.Enc.byte e 1;
+      Codec.Enc.int e session;
+      Codec.Enc.int e server_version
+  | Ok_value v ->
+      Codec.Enc.byte e 2;
+      Codec.encode_value e v
+  | Ok_rows rows ->
+      Codec.Enc.byte e 3;
+      Codec.Enc.list e (surrogate e) rows
+  | Ok_text s ->
+      Codec.Enc.byte e 4;
+      Codec.Enc.string e s
+  | App_error msg ->
+      Codec.Enc.byte e 5;
+      Codec.Enc.string e msg
+  | Protocol_error msg ->
+      Codec.Enc.byte e 6;
+      Codec.Enc.string e msg);
+  Codec.Enc.contents e
+
+(* Decoders run over untrusted bytes: every [Codec.Dec] failure maps to
+   a one-line protocol error, and a decoded body must consume the whole
+   frame (trailing bytes mean framing drift). *)
+
+let ( let* ) r f =
+  match r with Ok v -> f v | Error e -> Error (Errors.to_string e)
+
+let finish d v =
+  if Codec.Dec.at_end d then Ok v else Error "trailing bytes after body"
+
+let decode_request body =
+  let d = Codec.Dec.of_string body in
+  let* id = Codec.Dec.int d in
+  let* op = Codec.Dec.byte d in
+  let req =
+    match op with
+    | 1 ->
+        let* magic = Codec.Dec.string d in
+        let* version = Codec.Dec.int d in
+        let* user = Codec.Dec.string d in
+        Ok (Open_session { magic; version; user })
+    | 2 -> Ok Ping
+    | 3 -> Ok Begin
+    | 4 -> Ok Commit
+    | 5 -> Ok Abort
+    | 6 ->
+        let* obj = Codec.Dec.int d in
+        let* attr = Codec.Dec.string d in
+        Ok (Get_attr { obj = Surrogate.of_int obj; attr })
+    | 7 ->
+        let* obj = Codec.Dec.int d in
+        let* attr = Codec.Dec.string d in
+        let* value = Codec.decode_value d in
+        Ok (Set_attr { obj = Surrogate.of_int obj; attr; value })
+    | 8 ->
+        let* cls = Codec.Dec.string d in
+        let* where = Codec.Dec.option d (fun () -> Codec.decode_expr d) in
+        let* jobs = Codec.Dec.option d (fun () -> Codec.Dec.int d) in
+        Ok (Select { cls; where; jobs })
+    | 9 ->
+        let* cls = Codec.Dec.string d in
+        let* where = Codec.Dec.option d (fun () -> Codec.decode_expr d) in
+        Ok (Explain { cls; where })
+    | 10 ->
+        let* b = Codec.Dec.byte d in
+        Result.map (fun fmt -> Stats fmt) (stats_format_of_byte b)
+    | 11 -> Ok Close_session
+    | op -> Error (Printf.sprintf "unknown opcode %d" op)
+  in
+  match req with
+  | Ok req -> finish d (id, req)
+  | Error msg -> Error msg
+
+let decode_response body =
+  let d = Codec.Dec.of_string body in
+  let* id = Codec.Dec.int d in
+  let* tag = Codec.Dec.byte d in
+  let resp =
+    match tag with
+    | 0 -> Ok Ok_unit
+    | 1 ->
+        let* session = Codec.Dec.int d in
+        let* server_version = Codec.Dec.int d in
+        Ok (Ok_session { session; server_version })
+    | 2 ->
+        let* v = Codec.decode_value d in
+        Ok (Ok_value v)
+    | 3 ->
+        let* rows = Codec.Dec.list d (fun () -> Codec.Dec.int d) in
+        Ok (Ok_rows (List.map Surrogate.of_int rows))
+    | 4 ->
+        let* s = Codec.Dec.string d in
+        Ok (Ok_text s)
+    | 5 ->
+        let* msg = Codec.Dec.string d in
+        Ok (App_error msg)
+    | 6 ->
+        let* msg = Codec.Dec.string d in
+        Ok (Protocol_error msg)
+    | tag -> Error (Printf.sprintf "unknown response tag %d" tag)
+  in
+  match resp with
+  | Ok resp -> finish d (id, resp)
+  | Error msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Frame transport                                                     *)
+
+type read_error = [ `Eof | `Timeout | `Frame of string ]
+
+let write_fully fd buf =
+  let len = Bytes.length buf in
+  let off = ref 0 in
+  while !off < len do
+    let n = Unix.write fd buf !off (len - !off) in
+    if n = 0 then raise (Unix.Unix_error (Unix.EPIPE, "write", ""));
+    off := !off + n
+  done
+
+let write_frame fd body =
+  let len = String.length body in
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_uint8 buf 0 (len land 0xff);
+  Bytes.set_uint8 buf 1 ((len lsr 8) land 0xff);
+  Bytes.set_uint8 buf 2 ((len lsr 16) land 0xff);
+  Bytes.set_uint8 buf 3 ((len lsr 24) land 0xff);
+  Bytes.blit_string body 0 buf 4 len;
+  write_fully fd buf
+
+(* [read_into] fills [buf.(off..off+len)] with retry-until-deadline
+   semantics.  [started] says whether this frame already produced bytes:
+   a receive timeout before the first byte is an idle tick the caller
+   handles; after it, the peer is mid-frame and gets until the deadline. *)
+let read_into ~deadline ~started fd buf off len =
+  let off = ref off and remaining = ref len and res = ref None in
+  while !res = None && !remaining > 0 do
+    match Unix.read fd buf !off !remaining with
+    | 0 ->
+        res :=
+          Some
+            (if !off = 0 && not started then Error `Eof
+             else Error (`Frame "truncated frame: peer closed mid-frame"))
+    | n ->
+        off := !off + n;
+        remaining := !remaining - n
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        if !off = 0 && not started then res := Some (Error `Timeout)
+        else if Unix.gettimeofday () > deadline then
+          res := Some (Error (`Frame "read timeout mid-frame"))
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+        res := Some (Error `Eof)
+  done;
+  match !res with Some r -> r | None -> Ok ()
+
+let read_frame ?(max_frame = default_max_frame) ?(frame_deadline = 10.) fd =
+  let deadline = Unix.gettimeofday () +. frame_deadline in
+  let prefix = Bytes.create 4 in
+  match read_into ~deadline ~started:false fd prefix 0 4 with
+  | Error e -> Error e
+  | Ok () ->
+      let len =
+        Bytes.get_uint8 prefix 0
+        lor (Bytes.get_uint8 prefix 1 lsl 8)
+        lor (Bytes.get_uint8 prefix 2 lsl 16)
+        lor (Bytes.get_uint8 prefix 3 lsl 24)
+      in
+      if len > max_frame then
+        Error (`Frame (Printf.sprintf "frame of %d bytes exceeds limit %d" len max_frame))
+      else
+        let body = Bytes.create len in
+        match read_into ~deadline ~started:true fd body 0 len with
+        | Error e -> Error e
+        | Ok () -> Ok (Bytes.unsafe_to_string body)

@@ -17,6 +17,20 @@ let g_workers = Metrics.gauge "par.workers"
 
 let max_jobs = 64
 
+(* strict validation for front ends: zero, negative and non-numeric job
+   counts are user errors there, not silent fallbacks to 1 *)
+let parse_jobs raw =
+  let raw = String.trim raw in
+  match int_of_string_opt raw with
+  | Some n when n >= 1 -> Ok (min n max_jobs)
+  | Some _ | None ->
+      Error (Printf.sprintf "must be a positive integer (got '%s')" raw)
+
+let env_jobs () =
+  match Sys.getenv_opt "COMPO_JOBS" with
+  | None -> Ok None
+  | Some raw -> Result.map Option.some (parse_jobs raw)
+
 let default_jobs () =
   match Sys.getenv_opt "COMPO_JOBS" with
   | Some v -> (

@@ -22,9 +22,20 @@
 val max_jobs : int
 (** Hard cap on [jobs] (and therefore on pool workers): 64. *)
 
+val parse_jobs : string -> (int, string) result
+(** Strict parse of a user-supplied job count: an integer >= 1 (clamped
+    to {!max_jobs}), anything else a one-line error ("must be a positive
+    integer (got '...')").  Front ends (CLI flags, server options)
+    should use this and report; the lenient {!default_jobs} below stays
+    the library-level behaviour. *)
+
+val env_jobs : unit -> (int option, string) result
+(** {!parse_jobs} applied to [COMPO_JOBS]; [Ok None] when unset. *)
+
 val default_jobs : unit -> int
 (** [COMPO_JOBS] when set to an integer >= 1 (clamped to {!max_jobs}),
-    else 1.  Unset, unparsable or out-of-range values mean 1. *)
+    else 1.  Unset, unparsable or out-of-range values mean 1 (library
+    behaviour; front ends reject instead via {!parse_jobs}). *)
 
 val effective_jobs : int option -> int
 (** Resolve an optional explicit [jobs] against the environment

@@ -197,3 +197,21 @@ directions:
   $ compo stats tiny.ddl --jobs 2 --format=openmetrics | grep -E '^compo_par_(tasks|chunks)_total '
   compo_par_chunks_total 5
   compo_par_tasks_total 1
+
+Malformed job counts die with one line instead of silently running
+sequentially — zero, negative and non-numeric are all rejected, for
+--jobs and COMPO_JOBS alike (an explicit flag cannot outrun a broken
+environment: the environment is checked first):
+
+  $ compo query sdb Bolts --jobs 0 --where 'Length > 3'
+  compo: --jobs must be a positive integer (got '0')
+  [1]
+  $ compo query sdb Bolts --jobs=-2 --where 'Length > 3'
+  compo: --jobs must be a positive integer (got '-2')
+  [1]
+  $ COMPO_JOBS=0 compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_JOBS must be a positive integer (got '0')
+  [1]
+  $ COMPO_JOBS=banana compo stats tiny.ddl --format=table
+  compo: COMPO_JOBS must be a positive integer (got 'banana')
+  [1]

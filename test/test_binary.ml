@@ -1,0 +1,150 @@
+(* Property tests for the generic binary primitives (lib/core/binary):
+   token sequences survive encode-then-decode bit-exactly, every strict
+   prefix of an encoding is rejected (the wire protocol depends on
+   truncation never slipping through as a value), and crc32 matches the
+   IEEE check vector. *)
+
+open Compo_core
+
+(* a token per primitive, so a random token list exercises arbitrary
+   interleavings of the codec's entry points *)
+type tok =
+  | B of int
+  | I of int
+  | Bo of bool
+  | F of float
+  | S of string
+  | L of int list
+  | O of string option
+
+let tok_to_string = function
+  | B b -> Printf.sprintf "B %d" b
+  | I i -> Printf.sprintf "I %d" i
+  | Bo b -> Printf.sprintf "Bo %b" b
+  | F f -> Printf.sprintf "F %h" f
+  | S s -> Printf.sprintf "S %S" s
+  | L xs -> "L [" ^ String.concat ";" (List.map string_of_int xs) ^ "]"
+  | O None -> "O None"
+  | O (Some s) -> Printf.sprintf "O (Some %S)" s
+
+(* floats compare by bit pattern: the codec must round-trip the exact
+   representation, and this also keeps a generated nan comparable *)
+let tok_equal a b =
+  match (a, b) with
+  | F x, F y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y)
+  | _ -> a = b
+
+let gen_tok =
+  let open QCheck.Gen in
+  oneof
+    [
+      map (fun b -> B b) (int_bound 255);
+      map (fun i -> I i) int;
+      map (fun b -> Bo b) bool;
+      map (fun f -> F f) float;
+      map (fun s -> S s) (string_size (int_bound 40));
+      map (fun xs -> L xs) (list_size (int_bound 8) int);
+      map (fun o -> O o) (option (string_size (int_bound 10)));
+    ]
+
+let arb_toks =
+  QCheck.make
+    ~print:(fun toks -> String.concat "; " (List.map tok_to_string toks))
+    QCheck.Gen.(list_size (int_range 1 20) gen_tok)
+
+let encode_toks toks =
+  let e = Binary.Enc.create () in
+  List.iter
+    (function
+      | B b -> Binary.Enc.byte e b
+      | I i -> Binary.Enc.int e i
+      | Bo b -> Binary.Enc.bool e b
+      | F f -> Binary.Enc.float e f
+      | S s -> Binary.Enc.string e s
+      | L xs -> Binary.Enc.list e (Binary.Enc.int e) xs
+      | O o -> Binary.Enc.option e (Binary.Enc.string e) o)
+    toks;
+  Binary.Enc.contents e
+
+let ( let* ) = Result.bind
+
+(* decode [blob] following the shape of [toks] *)
+let decode_toks toks blob =
+  let d = Binary.Dec.of_string blob in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc, d)
+    | shape :: rest ->
+        let* tok =
+          match shape with
+          | B _ -> Result.map (fun v -> B v) (Binary.Dec.byte d)
+          | I _ -> Result.map (fun v -> I v) (Binary.Dec.int d)
+          | Bo _ -> Result.map (fun v -> Bo v) (Binary.Dec.bool d)
+          | F _ -> Result.map (fun v -> F v) (Binary.Dec.float d)
+          | S _ -> Result.map (fun v -> S v) (Binary.Dec.string d)
+          | L _ ->
+              Result.map
+                (fun v -> L v)
+                (Binary.Dec.list d (fun () -> Binary.Dec.int d))
+          | O _ ->
+              Result.map
+                (fun v -> O v)
+                (Binary.Dec.option d (fun () -> Binary.Dec.string d))
+        in
+        go (tok :: acc) rest
+  in
+  go [] toks
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode-decode round-trips token lists" ~count:500
+    arb_toks (fun toks ->
+      match decode_toks toks (encode_toks toks) with
+      | Error _ -> false
+      | Ok (decoded, d) ->
+          Binary.Dec.at_end d
+          && List.length decoded = List.length toks
+          && List.for_all2 tok_equal decoded toks)
+
+let prop_truncation_rejected =
+  QCheck.Test.make
+    ~name:"every strict prefix of an encoding fails to decode" ~count:200
+    arb_toks (fun toks ->
+      let blob = encode_toks toks in
+      let ok = ref true in
+      for cut = 0 to String.length blob - 1 do
+        match decode_toks toks (String.sub blob 0 cut) with
+        | Error _ -> ()
+        | Ok (_, d) ->
+            (* decoding a prefix may only "succeed" if it consumed
+               everything it was given and the remainder was dropped
+               tokens — but the shape demands all tokens, so a full
+               success on a strict prefix is a codec hole *)
+            ignore d;
+            ok := false
+      done;
+      !ok)
+
+let test_empty_input () =
+  let d = Binary.Dec.of_string "" in
+  Alcotest.(check bool) "fresh empty cursor is at end" true (Binary.Dec.at_end d);
+  (match Binary.Dec.byte d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "byte from empty input must fail");
+  match Binary.Dec.int d with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "int from empty input must fail"
+
+let test_crc32_vector () =
+  (* the IEEE CRC-32 check value: crc32("123456789") *)
+  Alcotest.(check int32)
+    "crc32 check vector" 0xCBF43926l
+    (Binary.crc32 "123456789");
+  Alcotest.(check int32) "crc32 of empty string" 0l (Binary.crc32 "")
+
+let suite =
+  ( "binary",
+    [
+      QCheck_alcotest.to_alcotest prop_roundtrip;
+      QCheck_alcotest.to_alcotest prop_truncation_rejected;
+      Alcotest.test_case "empty input" `Quick test_empty_input;
+      Alcotest.test_case "crc32 vectors" `Quick test_crc32_vector;
+    ] )

@@ -1,0 +1,264 @@
+(* End-to-end tests for the network subsystem: a real server on a real
+   Unix socket, driven through the client library (and, for the
+   malformed-input cases, through raw frames).  The shutdown tests pin
+   down the drain contract: a transaction open across [Server.stop] may
+   still commit inside the drain window, and one that outlives the
+   deadline is force-aborted with its writes rolled back. *)
+
+open Compo_core
+module Server = Compo_net.Server
+module Client = Compo_net.Client
+module P = Compo_net.Protocol
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "unexpected error: %s" (Errors.to_string e)
+
+let cok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "client error: %s" (Client.error_to_string e)
+
+let fresh_socket () =
+  let path = Filename.temp_file "compo-net-test" ".sock" in
+  Sys.remove path;
+  path
+
+(* boot a gates-scenario server on a throwaway socket, run [f], always
+   stop the server (Server.stop is idempotent, so tests that stop it
+   themselves are fine) *)
+let with_server ?(drain = 5.) ?(idle = 300.) f =
+  let path = fresh_socket () in
+  let db = Database.create () in
+  ok (Compo_scenarios.Gates.define_schema db);
+  let _iface, impls = ok (Compo_scenarios.Workload.interface_with_inheritors db ~n:8) in
+  let cfg =
+    {
+      (Server.default_config ~socket_path:path) with
+      accept_domains = 1;
+      idle_timeout = idle;
+      drain_deadline = drain;
+    }
+  in
+  let srv = Server.start cfg db in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop srv;
+      if Sys.file_exists path then Sys.remove path)
+    (fun () -> f srv path db (Array.of_list impls))
+
+let test_handshake_ping () =
+  with_server (fun _srv path _db _impls ->
+      let c = cok (Client.connect ~user:"alice" path) in
+      Alcotest.(check bool) "session id assigned" true (Client.session_id c >= 1);
+      cok (Client.ping c);
+      Client.close c;
+      Client.close c (* idempotent *))
+
+let test_reads_match_database () =
+  with_server (fun _srv path db impls ->
+      let c = cok (Client.connect path) in
+      Array.iter
+        (fun impl ->
+          let remote = cok (Client.get_attr c impl "Length") in
+          let local = ok (Database.get_attr db impl "Length") in
+          Alcotest.(check bool)
+            "remote read equals in-process read" true
+            (Value.equal remote local))
+        impls;
+      let where = Expr.(path [ "Length" ] >= int 0) in
+      let remote = cok (Client.select c ~cls:"Implementations" ~where ()) in
+      let local = ok (Database.select db ~cls:"Implementations" ~where ()) in
+      Alcotest.(check (list int))
+        "remote select equals in-process select"
+        (List.map Surrogate.to_int local)
+        (List.map Surrogate.to_int remote);
+      let plan = cok (Client.explain c ~cls:"Implementations" ~where ()) in
+      Alcotest.(check bool) "explain is non-empty" true (String.length plan > 0);
+      Client.close c)
+
+let test_autocommit_write () =
+  with_server (fun _srv path db impls ->
+      let c = cok (Client.connect path) in
+      cok (Client.set_attr c impls.(0) "TimeBehavior" (Value.Int 4242));
+      let v = ok (Database.get_attr db impls.(0) "TimeBehavior") in
+      Alcotest.(check bool)
+        "write outside a transaction is autocommitted" true
+        (Value.equal v (Value.Int 4242));
+      Client.close c)
+
+let test_txn_commit_and_abort () =
+  with_server (fun _srv path db impls ->
+      let c = cok (Client.connect path) in
+      cok (Client.begin_txn c);
+      cok (Client.set_attr c impls.(1) "TimeBehavior" (Value.Int 21));
+      cok (Client.commit c);
+      Alcotest.(check bool)
+        "committed value visible" true
+        (Value.equal (ok (Database.get_attr db impls.(1) "TimeBehavior")) (Value.Int 21));
+      cok (Client.begin_txn c);
+      cok (Client.set_attr c impls.(1) "TimeBehavior" (Value.Int 33));
+      cok (Client.abort c);
+      Alcotest.(check bool)
+        "aborted write rolled back" true
+        (Value.equal (ok (Database.get_attr db impls.(1) "TimeBehavior")) (Value.Int 21));
+      (* protocol-state errors are application errors, not disconnects *)
+      (match Client.commit c with
+      | Error (Client.Remote _) -> ()
+      | Ok () -> Alcotest.fail "commit without begin must fail"
+      | Error e -> Alcotest.failf "expected Remote, got %s" (Client.error_to_string e));
+      cok (Client.ping c);
+      Client.close c)
+
+let test_lock_conflict_between_sessions () =
+  with_server (fun _srv path _db impls ->
+      let a = cok (Client.connect ~user:"a" path) in
+      let b = cok (Client.connect ~user:"b" path) in
+      cok (Client.begin_txn a);
+      cok (Client.set_attr a impls.(2) "TimeBehavior" (Value.Int 1));
+      cok (Client.begin_txn b);
+      (match Client.set_attr b impls.(2) "TimeBehavior" (Value.Int 2) with
+      | Error (Client.Remote msg) ->
+          Alcotest.(check bool)
+            "conflict surfaces as a non-empty server error" true
+            (String.length msg > 0)
+      | Ok () -> Alcotest.fail "conflicting write must be refused"
+      | Error e -> Alcotest.failf "expected Remote, got %s" (Client.error_to_string e));
+      cok (Client.commit a);
+      (* a's locks are gone: b can retry and win now *)
+      cok (Client.set_attr b impls.(2) "TimeBehavior" (Value.Int 2));
+      cok (Client.commit b);
+      Client.close a;
+      Client.close b)
+
+let test_pipelining () =
+  with_server (fun _srv path _db impls ->
+      let c = cok (Client.connect path) in
+      let ids =
+        List.init 8 (fun i ->
+            cok
+              (Client.send c
+                 (P.Get_attr { obj = impls.(i mod 8); attr = "Length" })))
+      in
+      List.iter
+        (fun sent ->
+          let id, resp = cok (Client.recv c) in
+          Alcotest.(check int) "responses arrive in request order" sent id;
+          match resp with
+          | P.Ok_value _ -> ()
+          | _ -> Alcotest.fail "expected Ok_value")
+        ids;
+      Client.close c)
+
+(* raw-socket helpers for the malformed-input tests *)
+let raw_connect path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX path);
+  fd
+
+let expect_protocol_error fd what =
+  (match P.read_frame fd with
+  | Ok body -> (
+      match P.decode_response body with
+      | Ok (_, P.Protocol_error _) -> ()
+      | Ok _ -> Alcotest.failf "%s: expected Protocol_error" what
+      | Error e -> Alcotest.failf "%s: undecodable response: %s" what e)
+  | Error _ -> Alcotest.failf "%s: expected an error response before close" what);
+  (* the server hangs up after answering a protocol error *)
+  match P.read_frame fd with
+  | Error `Eof -> Unix.close fd
+  | Ok _ -> Alcotest.failf "%s: connection must be closed" what
+  | Error _ -> Unix.close fd
+
+let test_version_mismatch_rejected () =
+  with_server (fun _srv path _db _impls ->
+      let fd = raw_connect path in
+      let bad =
+        P.encode_request ~id:1
+          (P.Open_session { magic = P.magic; version = P.version + 1; user = "x" })
+      in
+      P.write_frame fd bad;
+      expect_protocol_error fd "version mismatch")
+
+let test_garbage_frame_rejected () =
+  with_server (fun _srv path _db _impls ->
+      let fd = raw_connect path in
+      P.write_frame fd "\x00\x01\x02garbage";
+      expect_protocol_error fd "garbage frame")
+
+let test_oversized_frame_rejected () =
+  with_server (fun _srv path _db _impls ->
+      let fd = raw_connect path in
+      (* a length prefix far past max_frame; no body ever follows *)
+      let prefix = Bytes.of_string "\xff\xff\xff\x7f" in
+      ignore (Unix.write fd prefix 0 4);
+      expect_protocol_error fd "oversized frame")
+
+let test_idle_timeout_disconnects () =
+  with_server ~idle:0.4 (fun _srv path _db _impls ->
+      let c = cok (Client.connect path) in
+      cok (Client.ping c);
+      Thread.delay 1.2;
+      (match Client.ping c with
+      | Error _ -> ()
+      | Ok () -> Alcotest.fail "idle session must have been disconnected");
+      Client.close c)
+
+(* acceptance: a transaction held open across shutdown gets the drain
+   window and its commit lands *)
+let test_shutdown_drains_open_transaction () =
+  with_server ~drain:5. (fun srv path db impls ->
+      let c = cok (Client.connect path) in
+      cok (Client.begin_txn c);
+      cok (Client.set_attr c impls.(3) "TimeBehavior" (Value.Int 777));
+      let stopper = Thread.create (fun () -> Server.stop srv) () in
+      Thread.delay 0.3;
+      (* server is draining: new connections are refused, but this
+         session's transaction is still live and may commit *)
+      cok (Client.commit c);
+      Thread.join stopper;
+      Alcotest.(check bool)
+        "commit during drain is durable" true
+        (Value.equal (ok (Database.get_attr db impls.(3) "TimeBehavior")) (Value.Int 777));
+      Alcotest.(check int) "nothing was force-aborted" 0 (Server.forced_aborts srv);
+      Alcotest.(check bool) "drain took measurable time" true (Server.drain_seconds srv > 0.);
+      Client.close c)
+
+(* acceptance: past the deadline the straggler is aborted and rolled back *)
+let test_shutdown_aborts_straggler () =
+  with_server ~drain:0.4 (fun srv path db impls ->
+      let before = ok (Database.get_attr db impls.(4) "TimeBehavior") in
+      let c = cok (Client.connect path) in
+      cok (Client.begin_txn c);
+      cok (Client.set_attr c impls.(4) "TimeBehavior" (Value.Int 31337));
+      let stopper = Thread.create (fun () -> Server.stop srv) () in
+      Thread.join stopper;
+      Alcotest.(check int) "straggler was force-aborted" 1 (Server.forced_aborts srv);
+      Alcotest.(check bool)
+        "straggler's write rolled back" true
+        (Value.equal (ok (Database.get_attr db impls.(4) "TimeBehavior")) before);
+      Alcotest.(check int) "no sessions left" 0 (Server.active_connections srv);
+      Client.close c)
+
+let suite =
+  ( "net",
+    [
+      Alcotest.test_case "handshake and ping" `Quick test_handshake_ping;
+      Alcotest.test_case "reads match database" `Quick test_reads_match_database;
+      Alcotest.test_case "autocommit write" `Quick test_autocommit_write;
+      Alcotest.test_case "txn commit and abort" `Quick test_txn_commit_and_abort;
+      Alcotest.test_case "lock conflict between sessions" `Quick
+        test_lock_conflict_between_sessions;
+      Alcotest.test_case "pipelining" `Quick test_pipelining;
+      Alcotest.test_case "version mismatch rejected" `Quick
+        test_version_mismatch_rejected;
+      Alcotest.test_case "garbage frame rejected" `Quick
+        test_garbage_frame_rejected;
+      Alcotest.test_case "oversized frame rejected" `Quick
+        test_oversized_frame_rejected;
+      Alcotest.test_case "idle timeout disconnects" `Quick
+        test_idle_timeout_disconnects;
+      Alcotest.test_case "shutdown drains open transaction" `Quick
+        test_shutdown_drains_open_transaction;
+      Alcotest.test_case "shutdown aborts straggler" `Quick
+        test_shutdown_aborts_straggler;
+    ] )
