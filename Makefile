@@ -1,4 +1,4 @@
-.PHONY: all build test check obs-check torture-check stress-check fmt fmt-check bench bench-smoke serve soak-check ci clean
+.PHONY: all build test check obs-check torture-check stress-check fmt fmt-check bench bench-smoke matrix matrix-baseline matrix-check serve soak-check ci clean
 
 all: build
 
@@ -72,6 +72,28 @@ bench-smoke: build
 	test -s BENCH_recovery.json
 	test -s BENCH_resolve_parallel.json
 
+# Ablation matrix (E20): enumerate configuration cells (resolve cache
+# on/off, index planning on/off, provenance on/off, jobs 1/2/4,
+# failpoints armed) and run the curated E2/E9/E10/E15 suite in a fresh
+# bench subprocess per cell.  Cells the runner cannot honestly measure
+# (jobs > cores) are recorded as SKIPPED rows with the reason — never
+# dropped.  `matrix` writes a fresh BENCH_matrix.fresh.json; `matrix-
+# baseline` refreshes the committed BENCH_matrix.json.
+matrix: build
+	dune exec bench/matrix_main.exe -- --smoke --out BENCH_matrix.fresh.json
+
+matrix-baseline: build
+	dune exec bench/matrix_main.exe -- --smoke --out BENCH_matrix.json
+
+# CI gate: fresh matrix vs the committed baseline via `compo benchdiff`.
+# Outcome flips (ok -> failed, baseline cell missing) gate sharply;
+# wall-time gates are deliberately loose (5x over a 1 s floor) because
+# the baseline and the runner are different machines — the machine-
+# independent signals (eval.node, e15.min_speedup) carry the behavioural
+# diff.  New SKIPs render loudly but do not fail small runners.
+matrix-check: matrix
+	dune exec bin/compo_cli.exe -- benchdiff BENCH_matrix.json BENCH_matrix.fresh.json --time-ratio 5 --time-floor 1
+
 # Interactive server over the demo gates scenario; talk to it with the
 # client library or `compo stats --connect /tmp/compo.sock`.
 serve: build
@@ -99,10 +121,11 @@ soak-check: build
 
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
-ci: build test fmt-check obs-check torture-check stress-check bench-smoke soak-check
+ci: build test fmt-check obs-check torture-check stress-check bench-smoke matrix-check soak-check
 
 clean:
 	dune clean
 	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
 	rm -f BENCH_resolve_parallel.json BENCH_server.json
 	rm -f BENCH_*.metrics.json obs-check.om torture-check.log
+	rm -f BENCH_matrix.fresh.json

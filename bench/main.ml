@@ -1012,6 +1012,15 @@ let usage () =
   exit 2
 
 let () =
+  (* honour the process-level switches the ablation matrix renders its
+     cells into: COMPO_SLOW_MS/COMPO_TRACE_CAPACITY, COMPO_PROVENANCE,
+     COMPO_FAILPOINTS (COMPO_NO_RESOLVE_CACHE, COMPO_NO_INDEX and
+     COMPO_JOBS are read at module init / per select).  Without these
+     calls an armed-failpoint or provenance-on cell would silently
+     measure the same configuration as the baseline. *)
+  Compo_obs.Trace.configure_from_env ();
+  Compo_obs.Provenance.configure_from_env ();
+  Compo_faults.Failpoint.configure_from_env ();
   let check = ref None in
   let check_scaling = ref None in
   let no_bechamel = ref false in

@@ -1,0 +1,62 @@
+(** Configuration cells of the ablation matrix.
+
+    A cell is one point in the configuration space the kernel already
+    exposes through environment switches: resolve cache on/off, index
+    access paths on/off, worker-domain count, provenance recording
+    on/off, failpoint machinery armed/unarmed.  The matrix runner
+    executes the same curated bench suite once per cell in a fresh
+    subprocess, so each axis's contribution is measured, not asserted
+    (docs/PERFORMANCE.md, "Ablation matrix").
+
+    Axis order is fixed (cache, index, jobs, prov, fp) and cell ids are
+    derived from it, so ids are stable across runs and machines —
+    [compo benchdiff] joins committed and fresh matrices on them. *)
+
+type axis = {
+  ax_name : string;  (** short id component, e.g. ["cache"] *)
+  ax_values : string list;  (** e.g. [["on"; "off"]] *)
+}
+
+type t
+(** One configuration cell: a value for every axis it mentions. *)
+
+val make : (string * string) list -> t
+(** Cell from [(axis, value)] pairs; pairs are re-sorted into canonical
+    axis order (unknown axes last, alphabetically). *)
+
+val axes : t -> (string * string) list
+(** Canonically ordered [(axis, value)] pairs. *)
+
+val id : t -> string
+(** Stable identifier, e.g. ["cache=on index=on jobs=4 prov=off fp=off"]. *)
+
+val value : t -> string -> string option
+(** The cell's value on one axis. *)
+
+val env : t -> (string * string) list
+(** Environment rendering: the [COMPO_*] variables that realise the
+    cell.  Only non-default values emit a variable, except [COMPO_JOBS]
+    which is always explicit so a cell never inherits the caller's. *)
+
+val required_cores : t -> int
+(** Cores the cell needs to be an honest measurement: its job count.
+    The runner skips (with a recorded reason) cells that need more
+    cores than the machine has — a 4-domain pool on one core measures
+    scheduler contention, not scaling. *)
+
+val product : axis list -> t list
+(** Cartesian product over the axes, in axis-major order. *)
+
+val dedup : t list -> t list
+(** Drop cells with duplicate ids, keeping first occurrences. *)
+
+val default_cells : unit -> t list
+(** The curated enumeration (13 cells): the full
+    cache x index x prov product at [jobs=1], a jobs in {2,4} sweep
+    crossed with the cache axis, and a failpoints-armed flip of the
+    baseline. *)
+
+val failpoint_spec : string
+(** The [COMPO_FAILPOINTS] spec the armed axis uses: a WAL-append site
+    armed with an effectively-infinite countdown, so every append pays
+    the armed-site check but the fault never fires. *)

@@ -1,0 +1,235 @@
+type thresholds = {
+  time_ratio : float;
+  time_floor_s : float;
+  metric_ratio : float;
+}
+
+let default_thresholds =
+  { time_ratio = 3.0; time_floor_s = 0.5; metric_ratio = 0.10 }
+
+type verdict =
+  | Same
+  | Regression of string
+  | Time_regression
+  | Improvement
+  | New_skip of string
+  | Unskipped
+  | Missing_cell
+  | New_cell
+
+type entry = {
+  e_id : string;
+  e_verdict : verdict;
+  e_base : Report.row option;
+  e_fresh : Report.row option;
+  e_metric_notes : string list;
+}
+
+type result = {
+  entries : entry list;
+  regressions : int;
+  new_skips : int;
+  improvements : int;
+  fresh_skips : (string * string) list;
+}
+
+(* relative changes in the harvested key metrics; informational, the
+   sharp ones (eval.node, e15.min_speedup) are machine-independent *)
+let metric_notes thresholds base fresh =
+  List.filter_map
+    (fun (name, bv) ->
+      match List.assoc_opt name fresh.Report.r_metrics with
+      | None -> None
+      | Some fv ->
+          let denom = Float.max (Float.abs bv) 1e-9 in
+          let delta = (fv -. bv) /. denom in
+          if Float.abs delta > thresholds.metric_ratio then
+            Some
+              (Printf.sprintf "%s %s%.0f%% (%s -> %s)" name
+                 (if delta > 0.0 then "+" else "")
+                 (100.0 *. delta)
+                 (Compo_obs.Json_min.number_to_string bv)
+                 (Compo_obs.Json_min.number_to_string fv))
+          else None)
+    base.Report.r_metrics
+
+let judge thresholds (base : Report.row) (fresh : Report.row) =
+  match (base.r_outcome, fresh.r_outcome) with
+  | Report.Ok_run, Report.Ok_run ->
+      let b = base.r_wall_s and f = fresh.r_wall_s in
+      if
+        (not (Float.is_nan b)) && (not (Float.is_nan f))
+        && f > b *. thresholds.time_ratio
+        && f > thresholds.time_floor_s
+      then Time_regression
+      else if
+        (not (Float.is_nan b)) && (not (Float.is_nan f))
+        && b > f *. thresholds.time_ratio
+        && b > thresholds.time_floor_s
+      then Improvement
+      else Same
+  | Report.Ok_run, Report.Failed reason -> Regression ("ok -> failed (" ^ reason ^ ")")
+  | Report.Ok_run, Report.Skipped reason -> New_skip reason
+  | (Report.Failed _ | Report.Skipped _), Report.Ok_run -> Unskipped
+  | Report.Failed _, (Report.Failed _ | Report.Skipped _)
+  | Report.Skipped _, (Report.Failed _ | Report.Skipped _) ->
+      Same
+
+let compare_matrices ?(thresholds = default_thresholds) ~baseline ~fresh () =
+  let from_baseline =
+    List.map
+      (fun (base : Report.row) ->
+        match Report.find_row fresh base.r_id with
+        | None ->
+            {
+              e_id = base.r_id;
+              e_verdict = Missing_cell;
+              e_base = Some base;
+              e_fresh = None;
+              e_metric_notes = [];
+            }
+        | Some f ->
+            {
+              e_id = base.r_id;
+              e_verdict = judge thresholds base f;
+              e_base = Some base;
+              e_fresh = Some f;
+              e_metric_notes =
+                (match (base.r_outcome, f.r_outcome) with
+                | Report.Ok_run, Report.Ok_run -> metric_notes thresholds base f
+                | _ -> []);
+            })
+      baseline.Report.m_rows
+  in
+  let fresh_only =
+    List.filter_map
+      (fun (f : Report.row) ->
+        match Report.find_row baseline f.r_id with
+        | Some _ -> None
+        | None ->
+            Some
+              {
+                e_id = f.r_id;
+                e_verdict = New_cell;
+                e_base = None;
+                e_fresh = Some f;
+                e_metric_notes = [];
+              })
+      fresh.Report.m_rows
+  in
+  let entries = from_baseline @ fresh_only in
+  let count p = List.length (List.filter p entries) in
+  {
+    entries;
+    regressions =
+      count (fun e ->
+          match e.e_verdict with
+          | Regression _ | Time_regression | Missing_cell -> true
+          | _ -> false);
+    new_skips = count (fun e -> match e.e_verdict with New_skip _ -> true | _ -> false);
+    improvements =
+      count (fun e ->
+          match e.e_verdict with Improvement | Unskipped -> true | _ -> false);
+    fresh_skips =
+      List.filter_map
+        (fun (f : Report.row) ->
+          match f.r_outcome with
+          | Report.Skipped reason -> Some (f.r_id, reason)
+          | _ -> None)
+        fresh.Report.m_rows;
+  }
+
+let exit_code ?(fail_on_new_skip = false) result =
+  if result.regressions > 0 then 1
+  else if fail_on_new_skip && result.new_skips > 0 then 1
+  else 0
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+
+let verdict_label = function
+  | Same -> "ok"
+  | Regression _ -> "REGRESSION"
+  | Time_regression -> "TIME-REGRESSION"
+  | Improvement -> "improvement"
+  | New_skip _ -> "NEW-SKIP"
+  | Unskipped -> "unskipped"
+  | Missing_cell -> "MISSING-CELL"
+  | New_cell -> "new-cell"
+
+let side_cell = function
+  | None -> "-"
+  | Some (r : Report.row) -> (
+      match r.r_outcome with
+      | Report.Ok_run ->
+          if Float.is_nan r.r_wall_s then "ok" else Printf.sprintf "%.2fs" r.r_wall_s
+      | Report.Failed _ -> "failed"
+      | Report.Skipped _ -> "skip")
+
+let entry_note e =
+  let verdict_note =
+    match e.e_verdict with
+    | Regression reason -> [ reason ]
+    | New_skip reason -> [ reason ]
+    | _ -> []
+  in
+  String.concat "; " (verdict_note @ e.e_metric_notes)
+
+let render_table result =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "%-16s %-52s %9s %9s  %s\n" "verdict" "cell" "baseline"
+    "fresh" "notes";
+  List.iter
+    (fun e ->
+      Printf.bprintf b "%-16s %-52s %9s %9s  %s\n"
+        (verdict_label e.e_verdict)
+        e.e_id (side_cell e.e_base) (side_cell e.e_fresh) (entry_note e))
+    result.entries;
+  Printf.bprintf b
+    "\n%d cell(s): %d regression(s), %d new skip(s), %d improvement(s)\n"
+    (List.length result.entries)
+    result.regressions result.new_skips result.improvements;
+  (match result.fresh_skips with
+  | [] -> ()
+  | skips ->
+      Printf.bprintf b "\nskipped cells (%d) — not measured, not silent:\n"
+        (List.length skips);
+      List.iter
+        (fun (id, reason) -> Printf.bprintf b "  %-52s %s\n" id reason)
+        skips);
+  Buffer.contents b
+
+let render_markdown ~baseline_name ~fresh_name result =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b "### Bench matrix: `%s` vs `%s`\n\n" baseline_name fresh_name;
+  Printf.bprintf b
+    "%d cell(s) — **%d regression(s)**, %d new skip(s), %d improvement(s)\n\n"
+    (List.length result.entries)
+    result.regressions result.new_skips result.improvements;
+  Buffer.add_string b "| verdict | cell | baseline | fresh | notes |\n";
+  Buffer.add_string b "|---|---|---|---|---|\n";
+  List.iter
+    (fun e ->
+      let flag =
+        match e.e_verdict with
+        | Regression _ | Time_regression | Missing_cell -> "🔴 "
+        | New_skip _ -> "⚠️ "
+        | Improvement | Unskipped -> "🟢 "
+        | Same | New_cell -> ""
+      in
+      Printf.bprintf b "| %s%s | `%s` | %s | %s | %s |\n" flag
+        (verdict_label e.e_verdict)
+        e.e_id (side_cell e.e_base) (side_cell e.e_fresh) (entry_note e))
+    result.entries;
+  (match result.fresh_skips with
+  | [] -> ()
+  | skips ->
+      Printf.bprintf b
+        "\n#### ⚠️ %d cell(s) SKIPPED on this runner\n\n\
+         Skips are recorded data, not green checkmarks — these \
+         configurations were **not measured**:\n\n"
+        (List.length skips);
+      List.iter
+        (fun (id, reason) -> Printf.bprintf b "- `%s` — %s\n" id reason)
+        skips);
+  Buffer.contents b

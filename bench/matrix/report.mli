@@ -1,0 +1,36 @@
+(** The [BENCH_matrix.json] report: one row per configuration cell.
+
+    Outcomes are first-class data: a skipped cell carries its reason in
+    the report (and is rendered loudly by [compo benchdiff] and the CI
+    step summary) instead of disappearing into a log line.  The
+    committed copy at the repo root is the baseline [compo benchdiff]
+    gates fresh runs against. *)
+
+type outcome =
+  | Ok_run
+  | Failed of string  (** exit status + last diagnostic line *)
+  | Skipped of string  (** reason, e.g. ["cell needs 4 cores, have 1"] *)
+
+type row = {
+  r_id : string;  (** {!Cell.id} of the configuration *)
+  r_axes : (string * string) list;
+  r_outcome : outcome;
+  r_wall_s : float;  (** subprocess wall time; [nan] when skipped *)
+  r_metrics : (string * float) list;
+      (** key metrics harvested from the cell's obs snapshots and
+          per-experiment reports (sorted by name) *)
+}
+
+type t = {
+  m_smoke : bool;
+  m_cores : int;  (** cores of the machine that produced the matrix *)
+  m_suite : string list;  (** experiments each cell ran *)
+  m_rows : row list;
+}
+
+val outcome_to_string : outcome -> string
+(** ["ok"], ["failed"] or ["skipped"] (reasons travel separately). *)
+
+val find_row : t -> string -> row option
+val write_file : string -> t -> unit
+val read_file : string -> (t, string) result

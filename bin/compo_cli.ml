@@ -376,6 +376,51 @@ let cmd_explain_query dir cls where_src timings =
       Format.printf "%a@." (Query.pp_explain ~timings) ex;
       Printf.printf "%d object(s)\n" (List.length rows))
 
+(* benchdiff: gate a fresh ablation matrix against the committed
+   baseline.  Regressions (ok -> failed, missing cells, wall time past
+   the per-cell relative threshold) exit 1; skips render loudly in both
+   the table and the markdown summary but only gate with
+   --fail-on-new-skip, because a smaller runner legitimately skips
+   multicore cells the baseline machine ran. *)
+let cmd_benchdiff baseline fresh time_ratio time_floor fail_on_new_skip summary
+    =
+  let module M = Compo_benchmatrix in
+  let load path =
+    match M.Report.read_file path with
+    | Ok m -> m
+    | Error msg ->
+        prerr_endline ("compo: benchdiff: " ^ msg);
+        exit 2
+  in
+  let base = load baseline and fr = load fresh in
+  let thresholds =
+    {
+      M.Diff.default_thresholds with
+      time_ratio;
+      time_floor_s = time_floor;
+    }
+  in
+  let result = M.Diff.compare_matrices ~thresholds ~baseline:base ~fresh:fr () in
+  print_string (M.Diff.render_table result);
+  (* the markdown twin goes to --summary FILE, or is appended to
+     $GITHUB_STEP_SUMMARY when CI provides one *)
+  (match
+     match summary with
+     | Some _ as s -> s
+     | None -> Sys.getenv_opt "GITHUB_STEP_SUMMARY"
+   with
+  | None -> ()
+  | Some path ->
+      let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+      Fun.protect
+        ~finally:(fun () -> close_out oc)
+        (fun () ->
+          output_string oc
+            (M.Diff.render_markdown
+               ~baseline_name:(Filename.basename baseline)
+               ~fresh_name:(Filename.basename fresh) result)));
+  exit (M.Diff.exit_code ~fail_on_new_skip result)
+
 (* --connect: fetch a live server's registry instead of running the
    local workload, so `compo stats` works unchanged against compo-server *)
 let cmd_stats_connect sock format =
@@ -676,6 +721,54 @@ let stats_cmd =
       const cmd_stats $ files $ format $ line_protocol $ slow
       $ no_resolve_cache_arg $ jobs_arg $ connect)
 
+let benchdiff_cmd =
+  let baseline =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE"
+           ~doc:"Committed BENCH_matrix.json to gate against.")
+  in
+  let fresh =
+    Arg.(required & pos 1 (some file) None & info [] ~docv:"FRESH"
+           ~doc:"Freshly produced matrix (bench/matrix_main.exe output).")
+  in
+  let time_ratio =
+    Arg.(value & opt float Compo_benchmatrix.Diff.default_thresholds.time_ratio
+           & info [ "time-ratio" ] ~docv:"R"
+               ~doc:
+                 "Per-cell wall-time ratio that flags a regression (or, \
+                  inverted, an improvement).  Deliberately coarse: the \
+                  baseline and the runner are usually different machines.")
+  in
+  let time_floor =
+    Arg.(value
+           & opt float Compo_benchmatrix.Diff.default_thresholds.time_floor_s
+           & info [ "time-floor" ] ~docv:"SECONDS"
+               ~doc:"Ignore wall-time changes on cells faster than this.")
+  in
+  let fail_on_new_skip =
+    Arg.(value & flag
+           & info [ "fail-on-new-skip" ]
+               ~doc:
+                 "Also exit non-zero when a cell that ran in the baseline \
+                  is skipped now (default: new skips render loudly but do \
+                  not gate, so small runners can still pass).")
+  in
+  let summary =
+    Arg.(value & opt (some string) None
+           & info [ "summary" ] ~docv:"FILE"
+               ~doc:
+                 "Append the markdown rendering to this file (default: \
+                  \\$GITHUB_STEP_SUMMARY when set).")
+  in
+  Cmd.v
+    (Cmd.info "benchdiff"
+       ~doc:
+         "Diff a fresh ablation matrix against the committed baseline: \
+          per-cell verdicts (regression / improvement / new-skip / \
+          missing-cell), loud skip reporting, non-zero exit on regression")
+    Term.(
+      const cmd_benchdiff $ baseline $ fresh $ time_ratio $ time_floor
+      $ fail_on_new_skip $ summary)
+
 let explain_group =
   let timings =
     Arg.(value & flag
@@ -913,6 +1006,7 @@ let () =
             checkpoint_cmd;
             demo_cmd;
             stats_cmd;
+            benchdiff_cmd;
             explain_group;
             version_group;
           ]))

@@ -204,8 +204,24 @@ let orderable_pair t ~cls ~attr v =
           | _ -> false)
       | None -> false)
 
+(* Ablation switch: with planning off every select runs the sequential
+   scan + filter path even when a matching index exists.  Indexes are
+   still maintained (fsck and verify stay meaningful); only access-path
+   selection is disabled.  COMPO_NO_INDEX=1 sets the initial state so
+   the bench matrix can toggle the axis per subprocess. *)
+let index_planning =
+  ref
+    (match Sys.getenv_opt "COMPO_NO_INDEX" with
+    | Some ("1" | "true" | "yes") -> false
+    | Some _ | None -> true)
+
+let index_planning_enabled () = !index_planning
+let set_index_planning_enabled b = index_planning := b
+
 (* [attr <cmp> const] (either side) against the registered indexes *)
 let index_plan t ~cls where =
+  if not !index_planning then None
+  else
   let flip = function
     | Expr.Lt -> Expr.Gt
     | Expr.Le -> Expr.Ge

@@ -110,6 +110,15 @@ val indexes : t -> (string * string) list
 
 val ordered_indexes : t -> (string * string) list
 
+val index_planning_enabled : unit -> bool
+val set_index_planning_enabled : bool -> unit
+(** Process-wide access-path ablation switch (default on; initial state
+    honours [COMPO_NO_INDEX=1]).  While off, {!select} and
+    {!explain_select} ignore registered indexes and run the sequential
+    scan + filter plan; index {e maintenance} is unaffected, so
+    {!verify_indexes} and fsck stay meaningful.  The bench matrix uses
+    this to measure what index access paths actually buy per cell. *)
+
 val verify_indexes : t -> string list
 (** Cross-check every registered index against the store (see
     {!Index.verify}); [[]] when all are consistent.  Used by fsck. *)

@@ -1,0 +1,56 @@
+(** Minimal JSON reader/writer for the repo's own report files.
+
+    Every [BENCH_*.json] report and metrics snapshot in this repo is
+    written by hand-rolled printers ({!Metrics.to_json}, the bench
+    harness, the ablation matrix); this module is the matching reader,
+    so the matrix runner and [compo benchdiff] can load them back
+    without a third-party JSON dependency (the build environment pins
+    no yojson).  It parses standard JSON — objects, arrays, strings
+    with the common escapes, numbers as [float], booleans, null — and
+    is not meant as a general-purpose codec: surrogate pairs and exotic
+    escapes are passed through as-is. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse one JSON value; the error carries a byte offset. Trailing
+    whitespace is allowed, trailing garbage is not. *)
+
+val parse_file : string -> (t, string) result
+(** {!parse} of a file's contents; IO errors surface as [Error]. *)
+
+(** {1 Accessors} — all total, [None]/default on shape mismatch *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on anything else or when absent. *)
+
+val to_float : t -> float option
+(** [Num] (and [Bool] as 0/1) as float. *)
+
+val to_string : t -> string option
+val to_list : t -> t list
+(** Elements of an [Arr]; [[]] on anything else. *)
+
+val obj_fields : t -> (string * t) list
+(** Fields of an [Obj]; [[]] on anything else. *)
+
+(** {1 Rendering} *)
+
+val number_to_string : float -> string
+(** Canonical number rendering: integers without a fraction part,
+    everything else via ["%.9g"] — never ["nan"]/["inf"] (those render
+    as [null] in {!to_buffer}, mirroring {!Metrics.to_json}). *)
+
+val escape_string : string -> string
+(** JSON string escaping (quotes included). *)
+
+val to_buffer : Buffer.t -> t -> unit
+(** Compact rendering (no insignificant whitespace). *)
+
+val to_string_json : t -> string

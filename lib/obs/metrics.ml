@@ -451,6 +451,69 @@ let snapshot_to_file ?registry path =
     ~finally:(fun () -> close_out oc)
     (fun () -> output_string oc (to_json ?registry ()))
 
+(* The inverse of [to_json]: the ablation-matrix runner reads the
+   snapshot files its cell subprocesses wrote and pulls key metrics out
+   of them, so snapshots are data a harness can diff, not just logs.
+   Histograms come back as [hist_snapshot]s with only the non-empty
+   buckets [to_json] kept; [quantile] still works on those. *)
+let read_snapshot_file path =
+  let ( let* ) = Result.bind in
+  let module J = Json_min in
+  let float_of j = Option.value ~default:Float.nan (J.to_float j) in
+  let opt_float field obj =
+    match J.member field obj with Some j -> float_of j | None -> Float.nan
+  in
+  let int_field field obj =
+    match Option.bind (J.member field obj) J.to_float with
+    | Some f -> int_of_float f
+    | None -> 0
+  in
+  let metric_of_entry entry =
+    let* name =
+      match Option.bind (J.member "name" entry) J.to_string with
+      | Some n -> Ok n
+      | None -> Error (path ^ ": metric entry without a name")
+    in
+    match Option.bind (J.member "kind" entry) J.to_string with
+    | Some "counter" -> Ok (name, Counter (int_field "value" entry))
+    | Some "gauge" -> Ok (name, Gauge (opt_float "value" entry))
+    | Some "histogram" ->
+        let buckets =
+          J.to_list (Option.value ~default:(J.Arr []) (J.member "buckets" entry))
+          |> List.map (fun b -> (opt_float "le" b, int_field "count" b))
+          |> Array.of_list
+        in
+        Ok
+          ( name,
+            Histogram
+              {
+                h_buckets = buckets;
+                h_overflow = int_field "overflow" entry;
+                h_count = int_field "count" entry;
+                h_sum = opt_float "sum" entry;
+                h_min = opt_float "min" entry;
+                h_max = opt_float "max" entry;
+              } )
+    | Some other -> Error (path ^ ": unknown metric kind " ^ other)
+    | None -> Error (path ^ ": metric " ^ name ^ " without a kind")
+  in
+  let* root = J.parse_file path in
+  match J.member "metrics" root with
+  | None -> Error (path ^ ": no \"metrics\" array")
+  | Some entries ->
+      List.fold_left
+        (fun acc entry ->
+          let* acc = acc in
+          let* m = metric_of_entry entry in
+          Ok (m :: acc))
+        (Ok []) (J.to_list entries)
+      |> Result.map List.rev
+
+let metric_scalar = function
+  | Counter c -> float_of_int c
+  | Gauge v -> v
+  | Histogram snap -> float_of_int snap.h_count
+
 let to_line_protocol ?registry () =
   let b = Buffer.create 1024 in
   List.iter

@@ -146,3 +146,13 @@ val to_json : ?registry:registry -> unit -> string
 val snapshot_to_file : ?registry:registry -> string -> unit
 (** Write {!to_json} to a file.  The bench harness drops one next to each
     [BENCH_*.json] so runs carry their metric snapshot. *)
+
+val read_snapshot_file : string -> ((string * metric) list, string) result
+(** Read a {!snapshot_to_file} file back.  The ablation-matrix runner
+    uses this to pull key counters out of a cell subprocess's snapshot;
+    histograms are reconstructed from the non-empty buckets the writer
+    kept, so {!quantile} remains usable on them. *)
+
+val metric_scalar : metric -> float
+(** One headline number per metric for tabular diffing: a counter's
+    value, a gauge's value, a histogram's observation count. *)

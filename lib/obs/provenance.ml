@@ -43,6 +43,14 @@ let on = ref false
 let enabled () = !on && Domain.is_main_domain ()
 let enable () = on := true
 
+(* COMPO_PROVENANCE=1 switches the collector on at startup: the
+   ablation matrix uses it to measure the recording overhead as a
+   configuration axis without threading a flag through every harness. *)
+let configure_from_env ?(getenv = Sys.getenv_opt) () =
+  match getenv "COMPO_PROVENANCE" with
+  | Some ("1" | "true" | "yes") -> on := true
+  | Some _ | None -> ()
+
 (* One read in flight at a time: resolution is synchronous and the
    recursion never issues a nested [attr] call, so a single slot (hops
    accumulated in reverse) is enough. *)

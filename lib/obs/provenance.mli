@@ -72,6 +72,11 @@ val enabled : unit -> bool
 val enable : unit -> unit
 val disable : unit -> unit
 
+val configure_from_env : ?getenv:(string -> string option) -> unit -> unit
+(** [COMPO_PROVENANCE=1|true|yes] enables the collector.  Entry points
+    (CLI, bench harness) call this at startup so the ablation matrix
+    can toggle provenance recording per configuration cell. *)
+
 (** {1 Recording (producer side)}
 
     [begin_read] opens an in-flight accumulator, [add_hop] appends to

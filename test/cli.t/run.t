@@ -215,3 +215,108 @@ environment: the environment is checked first):
   $ COMPO_JOBS=banana compo stats tiny.ddl --format=table
   compo: COMPO_JOBS must be a positive integer (got 'banana')
   [1]
+
+The ablation-matrix diff (`compo benchdiff`) joins a fresh
+BENCH_matrix.json against the committed baseline on cell ids and
+classifies every cell; regressions and missing cells gate (exit 1),
+skips render loudly.  Seeded fixture pair — the fresh matrix fails one
+cell, skips another, and doubles a key metric on the third:
+
+  $ cat > matrix-base.json <<'EOF'
+  > { "experiment": "E20", "smoke": true, "cores": 4, "suite": ["E2", "E15"],
+  >   "rows": [
+  >     { "id": "cache=on index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 1.0,
+  >       "metrics": { "eval.node": 1000 } },
+  >     { "id": "cache=off index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "off", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 2.0,
+  >       "metrics": {} },
+  >     { "id": "cache=on index=on jobs=4 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "4", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 1.5,
+  >       "metrics": {} }
+  >   ] }
+  > EOF
+  $ cat > matrix-fresh.json <<'EOF'
+  > { "experiment": "E20", "smoke": true, "cores": 1, "suite": ["E2", "E15"],
+  >   "rows": [
+  >     { "id": "cache=on index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 1.1,
+  >       "metrics": { "eval.node": 2000 } },
+  >     { "id": "cache=off index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "off", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "failed", "reason": "exit 2: oracle mismatch", "wall_s": 0.2,
+  >       "metrics": {} },
+  >     { "id": "cache=on index=on jobs=4 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "4", "prov": "off", "fp": "off" },
+  >       "outcome": "skipped", "reason": "cell needs 4 cores, runner has 1", "wall_s": null,
+  >       "metrics": {} }
+  >   ] }
+  > EOF
+
+The regression (ok -> failed) gates; the new skip is loud but does not
+(a smaller runner legitimately skips multicore cells); the doubled
+eval.node shows up as a note on an otherwise-ok cell.  Trailing table
+padding is stripped for the pin:
+
+  $ compo benchdiff matrix-base.json matrix-fresh.json > benchdiff-out.txt
+  [1]
+  $ sed 's/ *$//' benchdiff-out.txt
+  verdict          cell                                                  baseline     fresh  notes
+  ok               cache=on index=on jobs=1 prov=off fp=off                 1.00s     1.10s  eval.node +100% (1000 -> 2000)
+  REGRESSION       cache=off index=on jobs=1 prov=off fp=off                2.00s    failed  ok -> failed (exit 2: oracle mismatch)
+  NEW-SKIP         cache=on index=on jobs=4 prov=off fp=off                 1.50s      skip  cell needs 4 cores, runner has 1
+  
+  3 cell(s): 1 regression(s), 1 new skip(s), 0 improvement(s)
+  
+  skipped cells (1) — not measured, not silent:
+    cache=on index=on jobs=4 prov=off fp=off             cell needs 4 cores, runner has 1
+
+A matrix diffed against itself is clean and exits 0:
+
+  $ compo benchdiff matrix-base.json matrix-base.json > /dev/null
+
+--fail-on-new-skip promotes new skips to gating failures (for runners
+that are supposed to match the baseline machine):
+
+  $ cat > matrix-skip.json <<'EOF'
+  > { "experiment": "E20", "smoke": true, "cores": 1, "suite": ["E2", "E15"],
+  >   "rows": [
+  >     { "id": "cache=on index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 1.0,
+  >       "metrics": { "eval.node": 1000 } },
+  >     { "id": "cache=off index=on jobs=1 prov=off fp=off",
+  >       "axes": { "cache": "off", "index": "on", "jobs": "1", "prov": "off", "fp": "off" },
+  >       "outcome": "ok", "wall_s": 2.0,
+  >       "metrics": {} },
+  >     { "id": "cache=on index=on jobs=4 prov=off fp=off",
+  >       "axes": { "cache": "on", "index": "on", "jobs": "4", "prov": "off", "fp": "off" },
+  >       "outcome": "skipped", "reason": "cell needs 4 cores, runner has 1", "wall_s": null,
+  >       "metrics": {} }
+  >   ] }
+  > EOF
+  $ compo benchdiff matrix-base.json matrix-skip.json > /dev/null
+  $ compo benchdiff matrix-base.json matrix-skip.json --fail-on-new-skip > /dev/null
+  [1]
+
+--summary appends the markdown rendering (what the CI job publishes to
+$GITHUB_STEP_SUMMARY) — verdict counts, the cell table, and the loud
+SKIPPED section:
+
+  $ compo benchdiff matrix-base.json matrix-skip.json --summary summary.md > /dev/null
+  $ grep -c '^|' summary.md
+  5
+  $ grep 'SKIPPED' summary.md
+  #### ⚠️ 1 cell(s) SKIPPED on this runner
+
+A matrix that does not parse is an operator error, not a verdict —
+exit 2, like a usage error:
+
+  $ echo '{ "rows": [ { "outcome": "ok" } ] }' > matrix-bad.json
+  $ compo benchdiff matrix-bad.json matrix-base.json
+  compo: benchdiff: matrix-bad.json: matrix row without an id
+  [2]
