@@ -13,13 +13,35 @@ test: build
 check: test
 	dune exec bin/compo_cli.exe -- stats schemas/gates.ddl
 
-# Observability check: run the instrumented gates workload with metrics
-# on, export the registry as OpenMetrics, and validate the exposition
-# against the text-format grammar with the checker in test/.
+# Observability check, two halves.  (1) In-process: run the
+# instrumented gates workload with metrics on, export the registry as
+# OpenMetrics, and validate the exposition against the text-format
+# grammar with the checker in test/.  (2) Over the wire: boot a live
+# server, pull its registry with a trace-stamped `compo stats
+# --connect`, validate that exposition the same way, and require the
+# server-telemetry families (server.gate.* contention profile, net.*
+# request accounting) to be present.
+OBS_SOCK := /tmp/compo-obs.sock
 obs-check: build
 	dune exec bin/compo_cli.exe -- stats schemas/gates.ddl --format=openmetrics > obs-check.om
 	dune exec test/check_openmetrics.exe -- obs-check.om
-	rm -f obs-check.om
+	rm -f $(OBS_SOCK)
+	./_build/default/bin/compo_server.exe --socket $(OBS_SOCK) --demo gates --quiet & \
+	  srv=$$!; \
+	  for i in $$(seq 1 50); do [ -S $(OBS_SOCK) ] && break; sleep 0.1; done; \
+	  [ -S $(OBS_SOCK) ] || { echo "obs-check: server never bound $(OBS_SOCK)"; kill $$srv 2>/dev/null; exit 1; }; \
+	  COMPO_TRACE_SAMPLE=1 ./_build/default/bin/compo_cli.exe stats --connect $(OBS_SOCK) --format=openmetrics > obs-check.live.om; \
+	  rc=$$?; \
+	  kill -TERM $$srv; \
+	  wait $$srv; drained=$$?; \
+	  [ $$rc -eq 0 ] || { echo "obs-check: live stats over the wire failed"; exit 1; }; \
+	  [ $$drained -eq 0 ] || { echo "obs-check: server did not drain cleanly (exit $$drained)"; exit 1; }
+	dune exec test/check_openmetrics.exe -- obs-check.live.om
+	grep -q '^# TYPE compo_server_gate_wait_seconds histogram' obs-check.live.om
+	grep -q '^# TYPE compo_server_gate_hold_seconds histogram' obs-check.live.om
+	grep -q '^# TYPE compo_server_gate_queue_depth gauge' obs-check.live.om
+	grep -q '^# TYPE compo_net_requests counter' obs-check.live.om
+	rm -f obs-check.om obs-check.live.om
 
 # Crash-recovery torture: enumerate every registered failpoint crash
 # site against a scripted workload, simulate the crash, reopen the
@@ -99,25 +121,41 @@ matrix-check: matrix
 serve: build
 	./_build/default/bin/compo_server.exe --socket /tmp/compo.sock --demo gates --populate 256
 
-# Network soak (E19): boot a server on the gates scenario, drive >= 120
-# concurrent client connections for ~10 s with the load generator
-# (--check fails on any protocol error), then SIGTERM the server and
-# require a clean drain.  The server binary is run straight from _build
-# so the signal reaches it (dune exec does not forward SIGTERM).
+# Network soak (E19): boot a server on the gates scenario with the
+# telemetry stack live (1 ms slow-query threshold, 5 % wire-trace
+# sampling), drive >= 120 concurrent client connections for ~10 s with
+# the load generator (--check fails on any protocol error), then
+# exercise the telemetry surfaces while the server is still up — the
+# slow-query log must answer over the wire with at least one captured
+# plan, SIGUSR1 must produce a flight-recorder dump that
+# `compo flightrec` parses — and finally SIGTERM the server and
+# require a clean drain.  The server binary is run straight from
+# _build so the signals reach it (dune exec does not forward them).
 SOAK_SOCK := /tmp/compo-soak.sock
 soak-check: build
-	rm -f $(SOAK_SOCK)
-	./_build/default/bin/compo_server.exe --socket $(SOAK_SOCK) --demo gates --populate 512 & \
+	rm -f $(SOAK_SOCK) soak-flightrec.json
+	COMPO_SLOW_MS=1 ./_build/default/bin/compo_server.exe --socket $(SOAK_SOCK) --demo gates --populate 512 --flightrec soak-flightrec.json & \
 	  srv=$$!; \
 	  for i in $$(seq 1 50); do [ -S $(SOAK_SOCK) ] && break; sleep 0.1; done; \
 	  [ -S $(SOAK_SOCK) ] || { echo "soak-check: server never bound $(SOAK_SOCK)"; kill $$srv 2>/dev/null; exit 1; }; \
-	  ./_build/default/bench/loadgen.exe --socket $(SOAK_SOCK) --connections 120 --duration 10 --check --json BENCH_server.json; \
+	  COMPO_TRACE_SAMPLE=0.05 ./_build/default/bench/loadgen.exe --socket $(SOAK_SOCK) --connections 120 --duration 10 --check --json BENCH_server.json; \
 	  gen=$$?; \
+	  ./_build/default/bin/compo_cli.exe slowlog --connect $(SOAK_SOCK) > soak-slowlog.txt; \
+	  slow=$$?; \
+	  kill -USR1 $$srv; \
+	  for i in $$(seq 1 50); do [ -s soak-flightrec.json ] && break; sleep 0.1; done; \
 	  kill -TERM $$srv; \
 	  wait $$srv; drained=$$?; \
 	  [ $$gen -eq 0 ] || { echo "soak-check: load generator failed"; exit 1; }; \
+	  [ $$slow -eq 0 ] || { echo "soak-check: slowlog fetch over the wire failed"; exit 1; }; \
+	  grep -q 'slow-query log: [1-9]' soak-slowlog.txt || { echo "soak-check: no slow query captured at a 1 ms threshold"; cat soak-slowlog.txt; exit 1; }; \
 	  [ $$drained -eq 0 ] || { echo "soak-check: server did not drain cleanly (exit $$drained)"; exit 1; }
 	test -s BENCH_server.json
+	grep -q '"per_op"' BENCH_server.json
+	test -s soak-flightrec.json
+	./_build/default/bin/compo_cli.exe flightrec soak-flightrec.json > soak-flightrec.txt
+	grep -q 'flight recorder: [1-9]' soak-flightrec.txt
+	rm -f soak-slowlog.txt soak-flightrec.txt
 
 # Mirrors .github/workflows/ci.yml so the pipeline is reproducible
 # locally with one command.
@@ -127,5 +165,6 @@ clean:
 	dune clean
 	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
 	rm -f BENCH_resolve_parallel.json BENCH_server.json
-	rm -f BENCH_*.metrics.json obs-check.om torture-check.log
+	rm -f BENCH_*.metrics.json obs-check.om obs-check.live.om torture-check.log
 	rm -f BENCH_matrix.fresh.json
+	rm -f soak-flightrec.json soak-flightrec.txt soak-slowlog.txt *.flightrec.json

@@ -56,17 +56,36 @@ let quantile_us snap q =
   let v = Metrics.quantile snap q *. 1e6 in
   if Float.is_nan v then 0. else v
 
+(* Per-opcode latency families in the *default* registry: the per-point
+   histogram above resets with each connection count, but these
+   accumulate over the whole run and land in the final
+   BENCH_server.metrics.json snapshot — the client-side breakdown that
+   pairs with the server's per-opcode gate profile. *)
+let loadgen_ops = [ "get_attr"; "select"; "begin"; "set_attr"; "commit" ]
+
+let op_hists =
+  List.map
+    (fun name ->
+      (name, Metrics.histogram ("net.client.request.seconds." ^ name)))
+    loadgen_ops
+
+let op_hist name = List.assoc name op_hists
+
 (* the worker op mix, shared by sync and pipelined modes *)
-let run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
-    ~proto_errors ~pipeline tid =
-  match Client.connect ~user:(Printf.sprintf "load-%d" tid) socket with
+let run_worker ~socket ~trace_sample ~stop_at ~targets ~hist ~requests
+    ~app_errors ~proto_errors ~pipeline tid =
+  match
+    Client.connect ~user:(Printf.sprintf "load-%d" tid) ~trace_sample socket
+  with
   | Error _ -> Atomic.incr proto_errors
   | Ok c ->
       let n = Array.length targets in
       let own = targets.(tid mod n) in
       let where = Expr.(path [ "Length" ] >= int 0) in
-      let record t0 =
-        Metrics.observe hist (Unix.gettimeofday () -. t0);
+      let record op t0 =
+        let dt = Unix.gettimeofday () -. t0 in
+        Metrics.observe hist dt;
+        Metrics.observe (op_hist op) dt;
         Atomic.incr requests
       in
       let count_err (r : (_, Client.error) result) =
@@ -76,10 +95,10 @@ let run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
         | Error (Client.Protocol _) | Error (Client.Io _) ->
             Atomic.incr proto_errors
       in
-      let sync op =
+      let sync name op =
         let t0 = Unix.gettimeofday () in
         let r = op () in
-        record t0;
+        record name t0;
         count_err r
       in
       let k = ref (tid * 7919) in
@@ -88,15 +107,16 @@ let run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
            incr k;
            let i = !k in
            if i mod 64 = 63 then
-             sync (fun () -> Client.select c ~cls:"Implementations" ~where ())
+             sync "select" (fun () ->
+                 Client.select c ~cls:"Implementations" ~where ())
            else if i mod 16 = 15 then begin
-             sync (fun () -> Client.begin_txn c);
-             sync (fun () ->
+             sync "begin" (fun () -> Client.begin_txn c);
+             sync "set_attr" (fun () ->
                  Client.set_attr c own "TimeBehavior" (Value.Int (i land 7)));
-             sync (fun () -> Client.commit c)
+             sync "commit" (fun () -> Client.commit c)
            end
            else if pipeline <= 1 then
-             sync (fun () ->
+             sync "get_attr" (fun () ->
                  Client.get_attr c targets.(i * 31 mod n) "Length")
            else begin
              (* pipelined burst: queue [pipeline] reads, then drain; the
@@ -124,7 +144,8 @@ let run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
              if !sent > 0 then begin
                let per = (Unix.gettimeofday () -. t0) /. float_of_int !sent in
                for _ = 1 to !sent do
-                 Metrics.observe hist per
+                 Metrics.observe hist per;
+                 Metrics.observe (op_hist "get_attr") per
                done
              end
            end
@@ -132,7 +153,7 @@ let run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
        with _ -> Atomic.incr proto_errors);
       Client.close c
 
-let run_point ~socket ~targets ~duration ~pipeline connections =
+let run_point ~socket ~trace_sample ~targets ~duration ~pipeline connections =
   let reg = Metrics.create_registry () in
   let hist = Metrics.histogram ~registry:reg "net.client.request.seconds" in
   let requests = Atomic.make 0
@@ -144,8 +165,8 @@ let run_point ~socket ~targets ~duration ~pipeline connections =
     List.init connections (fun tid ->
         Thread.create
           (fun () ->
-            run_worker ~socket ~stop_at ~targets ~hist ~requests ~app_errors
-              ~proto_errors ~pipeline tid)
+            run_worker ~socket ~trace_sample ~stop_at ~targets ~hist ~requests
+              ~app_errors ~proto_errors ~pipeline tid)
           ())
   in
   List.iter Thread.join threads;
@@ -204,6 +225,29 @@ let write_json ~path ~socket ~self_hosted ~duration ~pipeline ~populate
       0. points
   in
   Printf.bprintf buf "  \"max_rps\": %.1f,\n" max_rps;
+  (* whole-run per-opcode breakdown from the default-registry families
+     (also carried, with full buckets, by BENCH_server.metrics.json) *)
+  Buffer.add_string buf "  \"per_op\": {\n";
+  let per_op =
+    List.filter_map
+      (fun name ->
+        match Metrics.find ("net.client.request.seconds." ^ name) with
+        | Some (Metrics.Histogram h) when h.Metrics.h_count > 0 ->
+            Some (name, h)
+        | _ -> None)
+      loadgen_ops
+  in
+  let n_ops = List.length per_op in
+  List.iteri
+    (fun i (name, h) ->
+      Printf.bprintf buf
+        "    %S: { \"count\": %d, \"p50_us\": %.1f, \"p99_us\": %.1f, \
+         \"p999_us\": %.1f }%s\n"
+        name h.Metrics.h_count (quantile_us h 0.5) (quantile_us h 0.99)
+        (quantile_us h 0.999)
+        (if i = n_ops - 1 then "" else ","))
+    per_op;
+  Buffer.add_string buf "  },\n";
   Printf.bprintf buf "  \"protocol_errors_total\": %d,\n"
     (List.fold_left (fun acc p -> acc + p.proto_errors) 0 points);
   Printf.bprintf buf "  \"drain_seconds\": %.3f,\n" drain;
@@ -271,6 +315,19 @@ let () =
     | _ -> usage ()
   in
   parse (List.tl (Array.to_list Sys.argv));
+  (* telemetry env knobs, strict: a typo dies here, not mid-run *)
+  let trace_sample =
+    match Client.trace_sample_from_env () with
+    | Ok v -> v
+    | Error msg ->
+        say "loadgen: %s" msg;
+        exit 1
+  in
+  (match Compo_obs.Flightrec.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      say "loadgen: %s" msg;
+      exit 1);
   Metrics.enable ();
   (* self-host unless an external socket was given *)
   let self_hosted = !socket = None in
@@ -291,7 +348,9 @@ let () =
         (Some srv, path)
   in
   (* discover the extent once; every worker indexes into it *)
-  let probe = cok (Client.connect ~user:"loadgen-probe" socket_path) in
+  let probe =
+    cok (Client.connect ~user:"loadgen-probe" ~trace_sample socket_path)
+  in
   let targets = Array.of_list (cok (Client.select probe ~cls:"Implementations" ())) in
   Client.close probe;
   if Array.length targets = 0 then begin
@@ -304,8 +363,8 @@ let () =
     List.map
       (fun c ->
         let p =
-          run_point ~socket:socket_path ~targets ~duration:!duration
-            ~pipeline:!pipeline c
+          run_point ~socket:socket_path ~trace_sample ~targets
+            ~duration:!duration ~pipeline:!pipeline c
         in
         say "%12d %10d %10.1f %12.1f %12.1f %12.1f %6d %6d" p.connections
           p.requests

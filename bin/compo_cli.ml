@@ -48,6 +48,23 @@ let validate_jobs jobs =
           prerr_endline ("compo: --jobs " ^ msg);
           exit 1)
 
+(* COMPO_TRACE_SAMPLE, same convention: a garbage sampling rate dies
+   with one line instead of silently tracing nothing *)
+let env_trace_sample () =
+  match Compo_net.Client.trace_sample_from_env () with
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("compo: " ^ msg);
+      exit 1
+
+(* COMPO_FLIGHTREC_CAPACITY: validated (and applied) strictly at startup *)
+let configure_flightrec_env () =
+  match Compo_obs.Flightrec.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("compo: " ^ msg);
+      exit 1
+
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> contents
@@ -433,7 +450,9 @@ let cmd_stats_connect sock format =
     | `Openmetrics -> P.Fmt_openmetrics
     | `Line_protocol -> P.Fmt_line
   in
-  match Client.connect ~user:"compo-stats" sock with
+  match
+    Client.connect ~user:"compo-stats" ~trace_sample:(env_trace_sample ()) sock
+  with
   | Error e -> or_die (Error (Errors.Io_error (Client.error_to_string e)))
   | Ok c ->
       Fun.protect
@@ -443,6 +462,46 @@ let cmd_stats_connect sock format =
           | Ok text -> print_string text
           | Error e ->
               or_die (Error (Errors.Io_error (Client.error_to_string e))))
+
+(* slowlog --connect: fetch a live server's slow-query capture ring,
+   rendered server-side with the captured explain plans *)
+let cmd_slowlog sock =
+  let module Client = Compo_net.Client in
+  match
+    Client.connect ~user:"compo-slowlog" ~trace_sample:(env_trace_sample ())
+      sock
+  with
+  | Error e -> or_die (Error (Errors.Io_error (Client.error_to_string e)))
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> Client.close c)
+        (fun () ->
+          match Client.slowlog c with
+          | Ok text -> print_string text
+          | Error e ->
+              or_die (Error (Errors.Io_error (Client.error_to_string e))))
+
+(* flightrec FILE: pretty-print a compo-server flight-recorder dump *)
+let cmd_flightrec file =
+  let module F = Compo_obs.Flightrec in
+  let module J = Compo_obs.Json_min in
+  match J.parse_file file with
+  | Error msg -> or_die (Error (Errors.Io_error (file ^ ": " ^ msg)))
+  | Ok j -> (
+      match F.of_json j with
+      | Error msg -> or_die (Error (Errors.Io_error (file ^ ": " ^ msg)))
+      | Ok events ->
+          let recorded =
+            match Option.bind (J.member "recorded" j) J.to_float with
+            | Some r -> int_of_float r
+            | None -> List.length events
+          in
+          Printf.printf "flight recorder: %d event(s)%s\n"
+            (List.length events)
+            (if recorded > List.length events then
+               Printf.sprintf " (of %d recorded; oldest overwritten)" recorded
+             else "");
+          Format.printf "%a@?" F.pp_events events)
 
 let cmd_stats files format line_protocol slow_ms no_resolve_cache jobs connect =
   let module Obs = Compo_obs.Metrics in
@@ -721,6 +780,39 @@ let stats_cmd =
       const cmd_stats $ files $ format $ line_protocol $ slow
       $ no_resolve_cache_arg $ jobs_arg $ connect)
 
+let slowlog_cmd =
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCKET"
+          ~doc:"Unix socket of the compo-server to query (required).")
+  in
+  Cmd.v
+    (Cmd.info "slowlog"
+       ~doc:
+         "Fetch a live server's slow-query capture ring: requests slower \
+          than COMPO_SLOW_MS (on the server) with their captured explain \
+          plans, newest first.")
+    Term.(const cmd_slowlog $ connect)
+
+let flightrec_cmd =
+  let file =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE"
+          ~doc:
+            "Flight-recorder dump written by compo-server (SIGUSR1 or \
+             abnormal exit).")
+  in
+  Cmd.v
+    (Cmd.info "flightrec"
+       ~doc:
+         "Pretty-print a compo-server flight-recorder dump: one event per \
+          line with timestamps relative to the oldest buffered event.")
+    Term.(const cmd_flightrec $ file)
+
 let benchdiff_cmd =
   let baseline =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"BASELINE"
@@ -965,6 +1057,9 @@ let () =
   setup_logs ();
   (* COMPO_SLOW_MS / COMPO_TRACE_CAPACITY *)
   Compo_obs.Trace.configure_from_env ();
+  (* strict telemetry knobs: die before any command logic runs *)
+  ignore (env_trace_sample ());
+  configure_flightrec_env ();
   (* COMPO_FAILPOINTS: crash/fault injection for recovery testing *)
   Compo_faults.Failpoint.configure_from_env ();
   let doc = "complex and composite objects for CAD/CAM databases" in
@@ -985,6 +1080,15 @@ let () =
         ~doc:
           "Default worker-domain count for parallel selects (see --jobs, \
            which takes precedence).  Results are identical at any value.";
+      Cmd.Env.info "COMPO_TRACE_SAMPLE"
+        ~doc:
+          "Probability in [0,1] that a request sent over --connect \
+           carries a wire trace context (default 0).  Sampled ids are \
+           threaded through the server's kernel spans and provenance.";
+      Cmd.Env.info "COMPO_FLIGHTREC_CAPACITY"
+        ~doc:
+          "Flight-recorder ring capacity in events (default 4096).  Must \
+           be a positive integer.";
     ]
   in
   let info = Cmd.info "compo" ~version:"1.0.0" ~doc ~envs in
@@ -1006,6 +1110,8 @@ let () =
             checkpoint_cmd;
             demo_cmd;
             stats_cmd;
+            slowlog_cmd;
+            flightrec_cmd;
             benchdiff_cmd;
             explain_group;
             version_group;

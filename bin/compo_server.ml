@@ -43,10 +43,16 @@ let entity_count db =
   Compo_core.Store.iter (Compo_core.Database.store db) (fun _ -> incr n);
   !n
 
-let serve socket_path dir demo populate accept_domains idle_timeout drain quiet =
+let serve socket_path dir demo populate accept_domains idle_timeout drain
+    flightrec quiet =
   (match Compo_par.Pool.env_jobs () with
   | Ok _ -> ()
   | Error msg -> die ("COMPO_JOBS " ^ msg));
+  (match Compo_obs.Flightrec.configure_from_env () with
+  | Ok () -> ()
+  | Error msg -> die msg);
+  (* COMPO_SLOW_MS drives the server's slow-query capture ring *)
+  Compo_obs.Trace.configure_from_env ();
   let journal, db =
     match (dir, demo) with
     | Some _, Some _ -> die "DIR and --demo are mutually exclusive"
@@ -74,11 +80,43 @@ let serve socket_path dir demo populate accept_domains idle_timeout drain quiet 
        (Compo_core.Schema.entries (Compo_core.Database.schema db)))
     (entity_count db);
   if not quiet then flush stdout;
+  let flightrec_path =
+    match flightrec with Some p -> p | None -> socket_path ^ ".flightrec.json"
+  in
+  let dump_flightrec reason =
+    (* the dump includes its own cause as the newest event *)
+    Compo_obs.Flightrec.record ~attrs:[ ("reason", reason) ] "flightrec.dump";
+    match Compo_obs.Flightrec.dump_to_file flightrec_path with
+    | Ok () -> say "compo-server: flight recorder dumped to %s" flightrec_path
+    | Error msg ->
+        prerr_endline ("compo-server: flight recorder dump failed: " ^ msg)
+  in
+  (* an uncaught exception anywhere (acceptor domain, main thread) gets
+     the last few thousand events written out before the process dies —
+     the recorder's reason for existing *)
+  Printexc.set_uncaught_exception_handler (fun exn bt ->
+      Compo_obs.Flightrec.record
+        ~attrs:[ ("exn", Printexc.to_string exn) ]
+        "server.crash";
+      (try dump_flightrec "crash" with _ -> ());
+      prerr_endline ("compo-server: fatal: " ^ Printexc.to_string exn);
+      prerr_string (Printexc.raw_backtrace_to_string bt));
   let on_signal _ = Server.request_stop srv in
   Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* SIGUSR1 requests a dump; the handler only flips a flag, the write
+     happens here in the main loop (the recorder takes a mutex) *)
+  let usr1 = Atomic.make false in
+  if not Sys.win32 then
+    Sys.set_signal Sys.sigusr1
+      (Sys.Signal_handle (fun _ -> Atomic.set usr1 true));
   while not (Server.stop_requested srv) do
+    if Atomic.get usr1 then begin
+      Atomic.set usr1 false;
+      dump_flightrec "sigusr1";
+      if not quiet then flush stdout
+    end;
     Thread.delay 0.2
   done;
   Server.stop srv;
@@ -147,18 +185,43 @@ let drain_arg =
            get this long to commit or abort before the server aborts \
            them.")
 
+let flightrec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "flightrec" ] ~docv:"FILE"
+        ~doc:
+          "Where to dump the flight-recorder ring as JSON on $(b,SIGUSR1) \
+           and on abnormal exit (default: the socket path plus \
+           $(b,.flightrec.json)).  Pretty-print a dump with \
+           $(b,compo flightrec FILE).")
+
 let quiet_arg =
   Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress status output.")
 
 let cmd =
   let doc = "serve a compo design database over a Unix-domain socket" in
   Cmd.v
-    (Cmd.info "compo-server" ~version:"1.0.0" ~doc)
+    (Cmd.info "compo-server" ~version:"1.0.0" ~doc
+       ~envs:
+         [
+           Cmd.Env.info "COMPO_SLOW_MS"
+             ~doc:
+               "Slow-request threshold in milliseconds: requests above it \
+                get their explain plan captured into the slow-query ring \
+                (see $(b,compo slowlog)).";
+           Cmd.Env.info "COMPO_FLIGHTREC_CAPACITY"
+             ~doc:
+               "Flight-recorder ring capacity (default 4096 events).  \
+                Must be a positive integer.";
+         ])
     Term.(
       const
-        (fun socket dir demo populate accept_domains idle_timeout drain quiet ->
-        serve socket dir demo populate accept_domains idle_timeout drain quiet)
+        (fun socket dir demo populate accept_domains idle_timeout drain
+             flightrec quiet ->
+        serve socket dir demo populate accept_domains idle_timeout drain
+          flightrec quiet)
       $ socket_arg $ dir_arg $ demo_arg $ populate_arg $ accept_domains_arg
-      $ idle_timeout_arg $ drain_arg $ quiet_arg)
+      $ idle_timeout_arg $ drain_arg $ flightrec_arg $ quiet_arg)
 
 let () = exit (Cmd.eval cmd)

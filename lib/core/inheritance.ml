@@ -264,6 +264,7 @@ let explain store s name =
             r_hops = [];
             r_cache = Prov.Off;
             r_value = Value.to_string v;
+            r_trace = None;
           } )
 
 let rec subclass_members_at store s name depth =

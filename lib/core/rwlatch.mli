@@ -5,7 +5,12 @@
     over new readers, so read sections must not nest — the kernel's
     single read section per select guarantees this, and worker domains
     never take the latch at all (the submitting domain holds it across
-    the whole fan-out). *)
+    the whole fan-out).
+
+    While metrics are enabled, the slow paths profile themselves into
+    the [latch.{write,read}.{wait,hold}_seconds] histogram families —
+    the store-level counterpart of the server's [server.gate.*]
+    contention profile. *)
 
 type t
 

@@ -11,17 +11,59 @@ let error_to_string = function
 type t = {
   fd : Unix.file_descr;
   max_frame : int;
+  trace_sample : float;
+  rng : Random.State.t;
   mutable next_id : int;
   mutable sid : int;
+  mutable server_version : int;
+  mutable last_trace : string option;
   mutable closed : bool;
 }
 
 let session_id c = c.sid
+let server_version c = c.server_version
+let last_trace c = c.last_trace
+
+(* strict, per the front-end convention (Pool.parse_jobs): a garbage
+   sampling rate dies with one line at the entry points, never a silent
+   fallback *)
+let parse_trace_sample raw =
+  let raw = String.trim raw in
+  match float_of_string_opt raw with
+  | Some f when f >= 0. && f <= 1. -> Ok f
+  | Some _ | None ->
+      Error (Printf.sprintf "must be a number in [0,1] (got '%s')" raw)
+
+let trace_sample_from_env ?(getenv = Sys.getenv_opt) () =
+  match getenv "COMPO_TRACE_SAMPLE" with
+  | None -> Ok 0.
+  | Some raw -> (
+      match parse_trace_sample raw with
+      | Ok _ as ok -> ok
+      | Error msg -> Error ("COMPO_TRACE_SAMPLE " ^ msg))
+
+let gen_trace_id rng =
+  Printf.sprintf "%016Lx" (Random.State.int64 rng Int64.max_int)
 
 let send c req =
   let id = c.next_id in
   c.next_id <- id + 1;
-  match P.write_frame c.fd (P.encode_request ~id req) with
+  (* only stamp when the handshake proved the server speaks v2; an
+     unsampled request omits the field entirely, so its frame bytes are
+     identical to v1 *)
+  let trace =
+    if
+      c.trace_sample > 0.
+      && c.server_version >= 2
+      && Random.State.float c.rng 1. < c.trace_sample
+    then begin
+      let trace_id = gen_trace_id c.rng in
+      c.last_trace <- Some trace_id;
+      Some { P.trace_id; sampled = true }
+    end
+    else None
+  in
+  match P.write_frame c.fd (P.encode_request ?trace ~id req) with
   | () -> Ok id
   | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
 
@@ -57,7 +99,8 @@ let expect_unit c req =
   let* resp = rpc c req in
   match resp with P.Ok_unit -> Ok () | other -> unexpected other
 
-let connect ?(user = "client") ?(max_frame = P.default_max_frame) path =
+let connect ?(user = "client") ?(max_frame = P.default_max_frame)
+    ?(trace_sample = 0.) path =
   (* a server that hangs up (idle timeout, shutdown) must surface as an
      Io error on the next call, not kill the host process with SIGPIPE *)
   if not Sys.win32 then Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
@@ -69,12 +112,25 @@ let connect ?(user = "client") ?(max_frame = P.default_max_frame) path =
           (try Unix.close fd with Unix.Unix_error _ -> ());
           Error (Io (Unix.error_message e))
       | () -> (
-          let c = { fd; max_frame; next_id = 1; sid = 0; closed = false } in
+          let c =
+            {
+              fd;
+              max_frame;
+              trace_sample;
+              rng = Random.State.make_self_init ();
+              next_id = 1;
+              sid = 0;
+              server_version = 0;  (* unknown until the handshake answers *)
+              last_trace = None;
+              closed = false;
+            }
+          in
           match
             rpc c (P.Open_session { magic = P.magic; version = P.version; user })
           with
-          | Ok (P.Ok_session { session; server_version = _ }) ->
+          | Ok (P.Ok_session { session; server_version }) ->
               c.sid <- session;
+              c.server_version <- server_version;
               Ok c
           | Ok other ->
               (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -111,4 +167,8 @@ let explain c ~cls ?where () =
 
 let stats c fmt =
   let* resp = rpc c (P.Stats fmt) in
+  match resp with P.Ok_text s -> Ok s | other -> unexpected other
+
+let slowlog c =
+  let* resp = rpc c P.Slowlog in
   match resp with P.Ok_text s -> Ok s | other -> unexpected other

@@ -2,10 +2,19 @@ open Compo_core
 module Codec = Compo_storage.Codec
 
 let magic = "COMPONET"
-let version = 1
+let version = 2
+let min_version = 1
 let default_max_frame = 16 * 1024 * 1024
 
 type stats_format = Fmt_table | Fmt_json | Fmt_openmetrics | Fmt_line
+
+(* Wire-level trace context (v2): a client-generated id plus a sampling
+   flag, appended to a request as an optional trailing field.  A v1
+   frame simply ends where the payload ends, so the decoder treats
+   "nothing after the payload" as "no context" — that is what keeps old
+   clients working against a v2 server without per-session decode
+   state. *)
+type trace_ctx = { trace_id : string; sampled : bool }
 
 type request =
   | Open_session of { magic : string; version : int; user : string }
@@ -18,6 +27,7 @@ type request =
   | Select of { cls : string; where : Expr.t option; jobs : int option }
   | Explain of { cls : string; where : Expr.t option }
   | Stats of stats_format
+  | Slowlog
   | Close_session
 
 type response =
@@ -40,6 +50,7 @@ let request_op_name = function
   | Select _ -> "select"
   | Explain _ -> "explain"
   | Stats _ -> "stats"
+  | Slowlog -> "slowlog"
   | Close_session -> "close_session"
 
 (* ------------------------------------------------------------------ *)
@@ -60,7 +71,7 @@ let stats_format_of_byte = function
 
 let surrogate e s = Codec.Enc.int e (Surrogate.to_int s)
 
-let encode_request ~id req =
+let encode_request ?trace ~id req =
   let e = Codec.Enc.create () in
   Codec.Enc.int e id;
   (match req with
@@ -94,7 +105,19 @@ let encode_request ~id req =
   | Stats fmt ->
       Codec.Enc.byte e 10;
       Codec.Enc.byte e (stats_format_byte fmt)
-  | Close_session -> Codec.Enc.byte e 11);
+  | Close_session -> Codec.Enc.byte e 11
+  | Slowlog -> Codec.Enc.byte e 12);
+  (* the trace context rides after the payload; omitting it entirely
+     (rather than encoding None) keeps the frame bytes identical to v1,
+     so a v2 client that never samples is indistinguishable from v1 *)
+  (match trace with
+  | None -> ()
+  | Some tc ->
+      Codec.Enc.option e
+        (fun (tc : trace_ctx) ->
+          Codec.Enc.string e tc.trace_id;
+          Codec.Enc.byte e (if tc.sampled then 1 else 0))
+        (Some tc));
   Codec.Enc.contents e
 
 let encode_response ~id resp =
@@ -170,10 +193,25 @@ let decode_request body =
         let* b = Codec.Dec.byte d in
         Result.map (fun fmt -> Stats fmt) (stats_format_of_byte b)
     | 11 -> Ok Close_session
+    | 12 -> Ok Slowlog
     | op -> Error (Printf.sprintf "unknown opcode %d" op)
   in
   match req with
-  | Ok req -> finish d (id, req)
+  | Ok req -> (
+      (* v1 frames end here; v2 frames may carry a trailing trace
+         context.  Anything after the context is still framing drift. *)
+      if Codec.Dec.at_end d then Ok (id, req, None)
+      else
+        let* trace =
+          Codec.Dec.option d (fun () ->
+              match Codec.Dec.string d with
+              | Error _ as e -> e
+              | Ok trace_id -> (
+                  match Codec.Dec.byte d with
+                  | Error _ as e -> e
+                  | Ok b -> Ok { trace_id; sampled = b <> 0 }))
+        in
+        finish d (id, req, trace))
   | Error msg -> Error msg
 
 let decode_response body =

@@ -23,14 +23,29 @@ val magic : string
 (** First field of [Open_session]; rejects non-compo peers early. *)
 
 val version : int
-(** Protocol version; bumped on any incompatible frame change.  The
-    server rejects mismatched clients with [Protocol_error]. *)
+(** Protocol version this library speaks (2: optional trailing
+    trace-context on requests, [Slowlog] opcode).  The server accepts
+    any client version in [{!min_version}..{!version}] and answers the
+    handshake with its own version, so a client knows at [Ok_session]
+    time whether trace contexts may be attached. *)
+
+val min_version : int
+(** Oldest client version the server still accepts (1).  A v1 session
+    simply never carries trace contexts — the trailing field is
+    optional at the decoder, not negotiated per frame. *)
 
 val default_max_frame : int
 (** Upper bound on accepted frame bodies (16 MiB): a length prefix
     beyond it is treated as a protocol error, not an allocation. *)
 
 type stats_format = Fmt_table | Fmt_json | Fmt_openmetrics | Fmt_line
+
+type trace_ctx = { trace_id : string; sampled : bool }
+(** Wire-level trace context: a client-generated id plus a sampling
+    flag, carried as an optional trailing field on any request.  The
+    field is self-describing at the decoder — a frame that ends at the
+    payload simply has no context — so v1 clients interoperate without
+    per-session decode state. *)
 
 type request =
   | Open_session of { magic : string; version : int; user : string }
@@ -43,6 +58,9 @@ type request =
   | Select of { cls : string; where : Expr.t option; jobs : int option }
   | Explain of { cls : string; where : Expr.t option }
   | Stats of stats_format
+  | Slowlog
+      (** Fetch the server's slow-query capture ring as a text report
+          (v2). *)
   | Close_session
 
 type response =
@@ -64,8 +82,11 @@ val request_op_name : request -> string
 
 (** {1 Body codecs} *)
 
-val encode_request : id:int -> request -> string
-val decode_request : string -> (int * request, string) result
+val encode_request : ?trace:trace_ctx -> id:int -> request -> string
+(** Without [?trace] the encoded bytes are identical to a v1 frame, so
+    a v2 client that never samples is indistinguishable from v1. *)
+
+val decode_request : string -> (int * request * trace_ctx option, string) result
 val encode_response : id:int -> response -> string
 val decode_response : string -> (int * response, string) result
 

@@ -26,7 +26,19 @@
     sessions, requests (total and per opcode), bytes in/out, request
     latency histogram, protocol and application errors, forced aborts,
     and drain time.  The registry is only written when metrics are
-    enabled; the server does not flip the global switch itself. *)
+    enabled; the server does not flip the global switch itself.
+
+    The gate profiles itself under [server.gate.*]: wait-time and
+    hold-time histograms (total and per opcode) plus a queue-depth
+    gauge — the contention evidence the sharded-gate follow-up will be
+    judged against.  A request whose wire frame carried a sampled trace
+    context has the client's trace id threaded through the gate into
+    kernel spans and provenance records, so one designer operation is
+    reconstructable end to end from the trace ring.  Requests slower
+    than {!Compo_obs.Trace.slow_threshold} ([COMPO_SLOW_MS]) get their
+    [Query.explain] plan captured into a bounded ring served by the
+    [Slowlog] opcode, and connection/transaction lifecycle events feed
+    the {!Compo_obs.Flightrec} ring. *)
 
 open Compo_core
 
@@ -69,3 +81,16 @@ val drain_seconds : t -> float
 
 val forced_aborts : t -> int
 (** Transactions the last {!stop} had to abort past the deadline. *)
+
+(** {1 Slow-query capture} *)
+
+type slow_entry = {
+  sq_ts : float;  (** capture time *)
+  sq_op : string;  (** opcode name *)
+  sq_seconds : float;  (** observed request duration *)
+  sq_trace : string option;  (** wire trace id, when the frame had one *)
+  sq_plan : string;  (** [Query.explain] report (select/explain) *)
+}
+
+val slowlog_entries : t -> slow_entry list
+(** Captured slow requests, newest first (bounded at 64). *)

@@ -24,6 +24,7 @@ type read = {
   r_hops : hop list;
   r_cache : cache_outcome;
   r_value : string;
+  r_trace : string option;
 }
 
 let source_of r =
@@ -40,7 +41,18 @@ let on = ref false
    writer.  Worker domains therefore never record: off the main domain
    the layer reports itself disabled and resolution takes the plain
    (allocation-free) path. *)
-let enabled () = !on && Domain.is_main_domain ()
+(* The server's handler threads live in acceptor domains (never the
+   main domain), but every kernel entry there is serialised through one
+   gate mutex — so a domain whose kernel calls are externally
+   serialised may be granted recording.  The permit is domain-local:
+   pool worker domains keep the default [false] and still resolve
+   through the plain path. *)
+let permit_key = Domain.DLS.new_key (fun () -> false)
+let permit_domain () = Domain.DLS.set permit_key true
+
+let enabled () =
+  !on && (Domain.is_main_domain () || Domain.DLS.get permit_key)
+
 let enable () = on := true
 
 (* COMPO_PROVENANCE=1 switches the collector on at startup: the
@@ -101,6 +113,7 @@ let finish_read ~cache ~value =
         r_hops = List.rev flight.f_rev_hops;
         r_cache = cache;
         r_value = value;
+        r_trace = Trace.current_trace ();
       }
     in
     flight.f_open <- false;
@@ -142,8 +155,12 @@ let pp_hops ppf hops =
   Format.pp_close_box ppf ()
 
 let pp_read ppf r =
-  Format.fprintf ppf "@[<v>read %s.%s = %s@,cache: %s@,source: %s@,chain:@,%a@]"
+  Format.fprintf ppf "@[<v>read %s.%s = %s@,cache: %s@,source: %s%t@,chain:@,%a@]"
     r.r_object r.r_attr r.r_value
     (cache_outcome_to_string r.r_cache)
     (match source_of r with Some s -> s | None -> "none (null)")
+    (fun ppf ->
+      match r.r_trace with
+      | None -> ()
+      | Some id -> Format.fprintf ppf "@,trace: %s" id)
     pp_hops r.r_hops

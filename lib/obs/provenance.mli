@@ -55,6 +55,10 @@ type read = {
   r_hops : hop list;
   r_cache : cache_outcome;
   r_value : string;  (** rendering of the resolved value *)
+  r_trace : string option;
+      (** the wire-level trace id ({!Trace.current_trace}) active when
+          the read finished — links the chain back to the client
+          request that caused it; [None] outside a traced request *)
 }
 
 val source_of : read -> string option
@@ -64,13 +68,20 @@ val source_of : read -> string option
 (** {1 Global switch} *)
 
 val enabled : unit -> bool
-(** [true] only when recording is switched on {e and} the caller is the
-    main domain: the collector is a single global slot, so worker
+(** [true] only when recording is switched on {e and} the caller may
+    record: the main domain always may; other domains only after
+    {!permit_domain}.  The collector is a single global slot, so worker
     domains never record — parallel query workers resolve through the
     plain path instead. *)
 
 val enable : unit -> unit
 val disable : unit -> unit
+
+val permit_domain : unit -> unit
+(** Grant the calling domain recording rights.  Only sound when every
+    kernel entry from that domain is externally serialised — the
+    network server does this, because all its handler threads funnel
+    through one gate mutex; never call it from pool worker domains. *)
 
 val configure_from_env : ?getenv:(string -> string option) -> unit -> unit
 (** [COMPO_PROVENANCE=1|true|yes] enables the collector.  Entry points

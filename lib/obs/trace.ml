@@ -28,6 +28,17 @@ let threshold = ref infinity
 let slow_threshold () = !threshold
 let set_slow_threshold t = threshold := t
 
+(* Trace context: the id of the designer operation the running code is
+   serving, stamped onto every span recorded while set.  One global
+   slot, deliberately not DLS: the server only sets it while holding
+   its kernel gate (one kernel entry at a time, whatever thread or
+   domain carries it), and the CLI is single-threaded — so there is
+   never more than one writer, and DLS would actually be wrong (handler
+   threads share their acceptor domain's slots). *)
+let trace_slot = ref None
+let set_current_trace id = trace_slot := id
+let current_trace () = !trace_slot
+
 (* Environment configuration is injectable so tests can exercise the
    parsing without mutating the process environment. *)
 let configure_from_env ?(getenv = Sys.getenv_opt) () =
@@ -83,6 +94,14 @@ let record sp =
         end
       end)
 
+(* the current trace context rides along as a ["trace"] attribute, so a
+   kernel span recorded under the server's gate carries the id of the
+   wire request that caused it *)
+let stamp_trace attrs =
+  match !trace_slot with
+  | None -> attrs
+  | Some id -> ("trace", id) :: attrs
+
 let with_span ?(attrs = []) name f =
   if not (Metrics.enabled ()) then f ()
   else begin
@@ -94,8 +113,8 @@ let with_span ?(attrs = []) name f =
       let dt = Unix.gettimeofday () -. t0 in
       depth := d;
       record
-        { sp_name = name; sp_attrs = attrs; sp_depth = d; sp_start = t0;
-          sp_duration = dt };
+        { sp_name = name; sp_attrs = stamp_trace attrs; sp_depth = d;
+          sp_start = t0; sp_duration = dt };
       Metrics.observe (Metrics.histogram name) dt
     in
     match f () with
@@ -106,6 +125,16 @@ let with_span ?(attrs = []) name f =
         finish ();
         raise e
   end
+
+(* externally timed span: ring only, no histogram feed — callers that
+   measure their own wait/hold intervals observe their own histogram
+   families and use this purely to make the interval reconstructable
+   in the span ring (with the trace attribute) *)
+let note ?(attrs = []) name ~start ~duration =
+  if Metrics.enabled () then
+    record
+      { sp_name = name; sp_attrs = stamp_trace attrs;
+        sp_depth = current_depth (); sp_start = start; sp_duration = duration }
 
 let recent () =
   with_lock (fun () ->

@@ -24,6 +24,27 @@ val with_span : ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
 val current_depth : unit -> int
 (** Nesting depth of the running code (0 outside any span). *)
 
+val note :
+  ?attrs:(string * string) list -> string -> start:float -> duration:float ->
+  unit
+(** Record an externally timed span into the ring {e without} feeding a
+    histogram (unlike {!with_span}) — for callers that measure an
+    interval themselves and keep their own metric families, e.g. the
+    server's gate wait/hold profiler.  No-op while metrics are off. *)
+
+(** {1 Trace context}
+
+    A wire-level trace id propagated from a client.  While set, every
+    recorded span carries it as a [("trace", id)] attribute, so the
+    kernel spans executed on behalf of one designer operation are
+    reconstructable from the ring.  The slot is a single global, not
+    domain-local: the server only sets it while holding its kernel gate
+    (one kernel entry at a time), and the CLI is single-threaded, so
+    there is exactly one writer. *)
+
+val set_current_trace : string option -> unit
+val current_trace : unit -> string option
+
 (** {1 Ring buffer} *)
 
 val set_capacity : int -> unit

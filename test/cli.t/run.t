@@ -154,7 +154,7 @@ with the metrics array:
   $ tail -1 stats.om
   # EOF
   $ ../check_openmetrics.exe stats.om
-  check_openmetrics: OK (61 families)
+  check_openmetrics: OK (65 families)
   $ compo stats tiny.ddl --format=json | head -2
   {
     "metrics": [
@@ -214,6 +214,48 @@ environment: the environment is checked first):
   [1]
   $ COMPO_JOBS=banana compo stats tiny.ddl --format=table
   compo: COMPO_JOBS must be a positive integer (got 'banana')
+  [1]
+
+The telemetry knobs follow the same convention.  COMPO_TRACE_SAMPLE is
+a sampling probability (only floats in [0,1] make sense) and
+COMPO_FLIGHTREC_CAPACITY a ring size; garbage dies before any command
+logic runs:
+
+  $ COMPO_TRACE_SAMPLE=banana compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_TRACE_SAMPLE must be a number in [0,1] (got 'banana')
+  [1]
+  $ COMPO_TRACE_SAMPLE=1.5 compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_TRACE_SAMPLE must be a number in [0,1] (got '1.5')
+  [1]
+  $ COMPO_FLIGHTREC_CAPACITY=0 compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_FLIGHTREC_CAPACITY must be a positive integer (got '0')
+  [1]
+  $ COMPO_FLIGHTREC_CAPACITY=many compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_FLIGHTREC_CAPACITY must be a positive integer (got 'many')
+  [1]
+  $ COMPO_TRACE_SAMPLE=0.5 COMPO_FLIGHTREC_CAPACITY=64 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+
+compo flightrec pretty-prints a server flight-recorder dump (one event
+per line, timestamps relative to the oldest buffered event) and rejects
+files that are not dumps:
+
+  $ cat > flight.json <<'EOF'
+  > { "flightrec": 1, "capacity": 4096, "recorded": 3, "events": [
+  >   { "ts": 100.0, "kind": "conn.open", "attrs": { "sid": "1" } },
+  >   { "ts": 100.5, "kind": "txn.begin", "attrs": { "sid": "1" } },
+  >   { "ts": 102.25, "kind": "conn.close", "attrs": { "sid": "1" } } ] }
+  > EOF
+  $ compo flightrec flight.json
+  flight recorder: 3 event(s)
+      +0.000s  conn.open              sid=1
+      +0.500s  txn.begin              sid=1
+      +2.250s  conn.close             sid=1
+  $ echo '{ "metrics": [] }' > not-a-dump.json
+  $ compo flightrec not-a-dump.json
+  compo: i/o error: not-a-dump.json: not a flight-recorder dump (no "flightrec" field)
   [1]
 
 The ablation-matrix diff (`compo benchdiff`) joins a fresh

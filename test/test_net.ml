@@ -203,6 +203,125 @@ let test_idle_timeout_disconnects () =
       | Ok () -> Alcotest.fail "idle session must have been disconnected");
       Client.close c)
 
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+(* acceptance: a trace id sampled by the client shows up server-side in
+   the span ring (server span + gated kernel spans) and in the
+   provenance record of the inherited read it caused *)
+let test_trace_propagation () =
+  with_server (fun _srv path _db impls ->
+      let module Metrics = Compo_obs.Metrics in
+      let module Trace = Compo_obs.Trace in
+      let module Prov = Compo_obs.Provenance in
+      Metrics.enable ();
+      Prov.enable ();
+      Trace.clear ();
+      Prov.clear ();
+      Fun.protect
+        ~finally:(fun () ->
+          Prov.disable ();
+          Metrics.disable ())
+        (fun () ->
+          let c = cok (Client.connect ~trace_sample:1.0 path) in
+          Alcotest.(check int)
+            "handshake announces the server's version" P.version
+            (Client.server_version c);
+          ignore (cok (Client.get_attr c impls.(0) "Length"));
+          let tid =
+            match Client.last_trace c with
+            | Some id -> id
+            | None -> Alcotest.fail "trace_sample=1.0 must stamp every request"
+          in
+          (* the client's response arrived, so the handler has recorded
+             its spans and the provenance of the read *)
+          let spans = Trace.recent () in
+          Alcotest.(check bool)
+            "the server request span carries the wire trace id" true
+            (List.exists
+               (fun (sp : Trace.span) ->
+                 sp.Trace.sp_name = "net.server.request"
+                 && List.mem ("trace", tid) sp.Trace.sp_attrs)
+               spans);
+          Alcotest.(check bool)
+            "a gated kernel span carries the wire trace id" true
+            (List.exists
+               (fun (sp : Trace.span) ->
+                 sp.Trace.sp_name <> "net.server.request"
+                 && List.mem ("trace", tid) sp.Trace.sp_attrs)
+               spans);
+          (match Prov.last () with
+          | Some read ->
+              Alcotest.(check (option string))
+                "provenance links the read to the wire trace" (Some tid)
+                read.Prov.r_trace
+          | None -> Alcotest.fail "inherited read must record provenance");
+          Client.close c))
+
+(* compatibility: a v1 client (no trace field, version = 1 handshake)
+   still talks to the v2 server *)
+let test_old_client_handshake () =
+  with_server (fun _srv path _db impls ->
+      let fd = raw_connect path in
+      let expect what id' =
+        match P.read_frame fd with
+        | Ok body -> (
+            match P.decode_response body with
+            | Ok (id, resp) when id = id' -> resp
+            | Ok (id, _) -> Alcotest.failf "%s: response id %d" what id
+            | Error e -> Alcotest.failf "%s: undecodable: %s" what e)
+        | Error _ -> Alcotest.failf "%s: no response" what
+      in
+      P.write_frame fd
+        (P.encode_request ~id:1
+           (P.Open_session { magic = P.magic; version = 1; user = "old" }));
+      (match expect "v1 handshake" 1 with
+      | P.Ok_session { server_version; _ } ->
+          Alcotest.(check int)
+            "server still announces its own version" P.version server_version
+      | _ -> Alcotest.fail "v1 handshake must be accepted");
+      (* plain v1 frames (no trailing trace field) keep working *)
+      P.write_frame fd (P.encode_request ~id:2 P.Ping);
+      (match expect "v1 ping" 2 with
+      | P.Ok_unit -> ()
+      | _ -> Alcotest.fail "expected Ok_unit");
+      P.write_frame fd
+        (P.encode_request ~id:3 (P.Get_attr { obj = impls.(0); attr = "Length" }));
+      (match expect "v1 get_attr" 3 with
+      | P.Ok_value _ -> ()
+      | _ -> Alcotest.fail "expected Ok_value");
+      Unix.close fd)
+
+(* acceptance: a slow request's explain plan is captured and
+   retrievable through the Slowlog opcode *)
+let test_slowlog_capture () =
+  with_server (fun srv path _db _impls ->
+      let module Trace = Compo_obs.Trace in
+      Trace.set_slow_threshold 0.;
+      Fun.protect
+        ~finally:(fun () -> Trace.set_slow_threshold infinity)
+        (fun () ->
+          let c = cok (Client.connect path) in
+          let where = Expr.(path [ "Length" ] >= int 0) in
+          ignore (cok (Client.select c ~cls:"Implementations" ~where ()));
+          let text = cok (Client.slowlog c) in
+          Alcotest.(check bool)
+            "slowlog names the slow opcode" true (contains text "select");
+          Alcotest.(check bool)
+            "slowlog carries the captured plan" true (contains text "access:");
+          let entries = Server.slowlog_entries srv in
+          Alcotest.(check bool)
+            "capture ring is non-empty" true (entries <> []);
+          Alcotest.(check bool)
+            "a captured select kept its plan" true
+            (List.exists
+               (fun (e : Server.slow_entry) ->
+                 e.Server.sq_op = "select" && contains e.Server.sq_plan "access:")
+               entries);
+          Client.close c))
+
 (* acceptance: a transaction held open across shutdown gets the drain
    window and its commit lands *)
 let test_shutdown_drains_open_transaction () =
@@ -257,6 +376,10 @@ let suite =
         test_oversized_frame_rejected;
       Alcotest.test_case "idle timeout disconnects" `Quick
         test_idle_timeout_disconnects;
+      Alcotest.test_case "trace propagation" `Quick test_trace_propagation;
+      Alcotest.test_case "old client handshake" `Quick
+        test_old_client_handshake;
+      Alcotest.test_case "slowlog capture" `Quick test_slowlog_capture;
       Alcotest.test_case "shutdown drains open transaction" `Quick
         test_shutdown_drains_open_transaction;
       Alcotest.test_case "shutdown aborts straggler" `Quick

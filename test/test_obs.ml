@@ -310,6 +310,81 @@ let test_parallel_spans () =
   check_int "ring clipped to capacity" 256 (List.length (Trace.recent ()));
   Trace.set_capacity 512
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder *)
+
+module Flightrec = Compo_obs.Flightrec
+module Json = Compo_obs.Json_min
+
+(* the recorder is process-global and always armed; each test starts
+   from a clean default-capacity ring and restores it on the way out *)
+let with_flightrec f () =
+  Flightrec.set_capacity 4096;
+  Fun.protect ~finally:(fun () -> Flightrec.set_capacity 4096) f
+
+let test_flightrec_ring () =
+  Flightrec.set_capacity 4;
+  for i = 1 to 6 do
+    Flightrec.record ~attrs:[ ("i", string_of_int i) ] "t.ev"
+  done;
+  check_int "recorded counts past the capacity" 6 (Flightrec.recorded ());
+  let events = Flightrec.recent () in
+  check_int "ring clipped to capacity" 4 (List.length events);
+  Alcotest.(check (list string)) "oldest first, oldest two overwritten"
+    [ "3"; "4"; "5"; "6" ]
+    (List.map
+       (fun (e : Flightrec.event) -> List.assoc "i" e.Flightrec.ev_attrs)
+       events);
+  Flightrec.clear ();
+  check_int "clear drops the count" 0 (Flightrec.recorded ());
+  check_int "clear drops the events" 0 (List.length (Flightrec.recent ()))
+
+let test_flightrec_json_roundtrip () =
+  Flightrec.clear ();
+  Flightrec.record ~attrs:[ ("sid", "1"); ("user", "a\"b") ] "conn.open";
+  Flightrec.record "txn.begin";
+  Flightrec.record ~attrs:[ ("reason", "test") ] "flightrec.dump";
+  let dump = Flightrec.to_json () in
+  match Json.parse dump with
+  | Error msg -> Alcotest.failf "dump does not parse: %s" msg
+  | Ok j -> (
+      match Flightrec.of_json j with
+      | Error msg -> Alcotest.failf "dump does not round-trip: %s" msg
+      | Ok events ->
+          Alcotest.(check (list string)) "kinds survive, oldest first"
+            [ "conn.open"; "txn.begin"; "flightrec.dump" ]
+            (List.map (fun (e : Flightrec.event) -> e.Flightrec.ev_kind) events);
+          let first = List.hd events in
+          check_string "attrs survive escaping" "a\"b"
+            (List.assoc "user" first.Flightrec.ev_attrs))
+
+let test_flightrec_env () =
+  (match Flightrec.parse_capacity "16" with
+  | Ok 16 -> ()
+  | _ -> Alcotest.fail "16 must parse");
+  (List.iter (fun bad ->
+       match Flightrec.parse_capacity bad with
+       | Error _ -> ()
+       | Ok _ -> Alcotest.failf "'%s' must be rejected" bad))
+    [ "0"; "-3"; "banana"; "" ];
+  (* strict: garbage is an Error for the entry points to die on *)
+  (match
+     Flightrec.configure_from_env
+       ~getenv:(fun _ -> Some "banana")
+       ()
+   with
+  | Error msg ->
+      check_bool "error names the variable" true
+        (String.length msg > String.length "COMPO_FLIGHTREC_CAPACITY"
+        && String.sub msg 0 24 = "COMPO_FLIGHTREC_CAPACITY")
+  | Ok () -> Alcotest.fail "garbage capacity must be an Error");
+  (match Flightrec.configure_from_env ~getenv:(fun _ -> Some "8") () with
+  | Ok () -> check_int "capacity applied" 8 (Flightrec.capacity ())
+  | Error msg -> Alcotest.failf "valid capacity rejected: %s" msg);
+  match Flightrec.configure_from_env ~getenv:(fun _ -> None) () with
+  | Ok () -> check_int "unset leaves the ring alone" 8 (Flightrec.capacity ())
+  | Error msg -> Alcotest.failf "unset must be Ok: %s" msg
+
 let suite =
   ( "obs",
     [
@@ -337,4 +412,10 @@ let suite =
         (with_obs test_parallel_histogram);
       case "trace ring survives 4 domains of spans"
         (with_obs test_parallel_spans);
+      case "flight recorder ring wraps and clears"
+        (with_flightrec test_flightrec_ring);
+      case "flight recorder dump round-trips through json_min"
+        (with_flightrec test_flightrec_json_roundtrip);
+      case "flight recorder env validation is strict"
+        (with_flightrec test_flightrec_env);
     ] )
