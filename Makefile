@@ -82,21 +82,25 @@ bench: build
 	dune exec bench/main.exe
 
 # CI-sized benchmark: E1 plus the resolve-cache sweep E15, the
-# provenance-overhead sweep E16, the recovery-time sweep E17, and the
-# parallel-scaling sweep E18 on small grids.  Fails if the cached read
-# path is slower than the uncached one, if 4-job selects scale below
-# 1.8x on a >= 4-core machine (the gate skips, loudly, on smaller
+# provenance-overhead sweep E16, the recovery-time sweep E17, the
+# parallel-scaling sweep E18, and the compiled-plan sweep E21 on small
+# grids.  Fails if the cached read path is slower than the uncached
+# one, if 4-job selects scale below 1.8x on a >= 4-core machine (the
+# gate skips, loudly, on smaller runners), if the compiled engine is
+# less than 3x the interpreted one single-threaded (skips on 1-core
 # runners), or if any experiment does not produce its JSON report.
 bench-smoke: build
-	dune exec bench/main.exe -- --smoke --check-speedup 1.0 --check-scaling 1.8 E1 E15 E16 E17 E18
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 --check-scaling 1.8 --check-compiled-speedup 3 E1 E15 E16 E17 E18 E21
 	test -s BENCH_resolve_cache.json
 	test -s BENCH_provenance.json
 	test -s BENCH_recovery.json
 	test -s BENCH_resolve_parallel.json
+	test -s BENCH_compiled.json
 
 # Ablation matrix (E20): enumerate configuration cells (resolve cache
-# on/off, index planning on/off, provenance on/off, jobs 1/2/4,
-# failpoints armed) and run the curated E2/E9/E10/E15 suite in a fresh
+# on/off, index planning on/off, compiled engine on/off, provenance
+# on/off, jobs 1/2/4, failpoints armed) and run the curated
+# E2/E9/E10/E15 suite in a fresh
 # bench subprocess per cell.  Cells the runner cannot honestly measure
 # (jobs > cores) are recorded as SKIPPED rows with the reason — never
 # dropped.  `matrix` writes a fresh BENCH_matrix.fresh.json; `matrix-

@@ -834,6 +834,39 @@ let write_e18_json ?(skipped = false) () =
   Compo_obs.Metrics.snapshot_to_file "BENCH_resolve_parallel.metrics.json";
   say "wrote BENCH_resolve_parallel.metrics.json"
 
+(* Shared by E18/E21: [roots] independent chains of depth [depth]; every
+   node of every chain joins the "Pop" extent, so a candidate at level k
+   resolves Payload across k transmitter hops.  The resolve cache is
+   switched off so the per-candidate work is the real chain walk.
+   Returns the database and the actual population. *)
+let chain_population ~depth ~pop =
+  let ty k = "Node" ^ string_of_int k in
+  let rel k = "AllOf_Node" ^ string_of_int k in
+  let db = Database.create () in
+  ok (W.chain_schema db ~depth);
+  ok (Database.create_class db ~name:"Pop" ~member_type:(ty 0));
+  let roots = max 1 (pop / (depth + 1)) in
+  for i = 0 to roots - 1 do
+    let root =
+      ok
+        (Database.new_object db ~cls:"Pop" ~ty:(ty 0)
+           ~attrs:[ ("Payload", Value.Int (i mod 50)) ]
+           ())
+    in
+    let parent = ref root in
+    for k = 1 to depth do
+      let s = ok (Database.new_object db ~cls:"Pop" ~ty:(ty k) ()) in
+      let (_ : Surrogate.t) =
+        ok
+          (Database.bind db ~via:(rel (k - 1)) ~transmitter:!parent
+             ~inheritor:s ())
+      in
+      parent := s
+    done
+  done;
+  Store.set_resolve_cache_enabled (Database.store db) false;
+  (db, roots * (depth + 1))
+
 let e18 () =
   header "E18"
     "parallel query engine: select with an inherited-attribute predicate, \
@@ -841,40 +874,17 @@ let e18 () =
   e18_results := [];
   say "(%d core(s) available)" (Compo_par.Pool.available_cores ());
   say "%8s %10s %6s %16s %10s" "depth" "objects" "jobs" "us/select" "speedup";
-  let ty k = "Node" ^ string_of_int k in
-  let rel k = "AllOf_Node" ^ string_of_int k in
   let grid = if !smoke then [ (4, 250) ] else [ (4, 2000); (8, 1200) ] in
+  (* E18 measures the *interpreted* engine's fan-out (per-candidate chain
+     walks across worker domains); the compiled engine would turn the
+     same workload into a column scan and gut the thing being measured.
+     E21 is the compiled story. *)
+  let plan0 = Plan.enabled () in
+  Plan.set_enabled false;
+  Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
   List.iter
     (fun (depth, pop) ->
-      let db = Database.create () in
-      ok (W.chain_schema db ~depth);
-      ok (Database.create_class db ~name:"Pop" ~member_type:(ty 0));
-      (* [roots] independent chains; every node of every chain joins the
-         extent, so a candidate at level k resolves Payload across k
-         transmitter hops *)
-      let roots = max 1 (pop / (depth + 1)) in
-      for i = 0 to roots - 1 do
-        let root =
-          ok
-            (Database.new_object db ~cls:"Pop" ~ty:(ty 0)
-               ~attrs:[ ("Payload", Value.Int (i mod 50)) ]
-               ())
-        in
-        let parent = ref root in
-        for k = 1 to depth do
-          let s = ok (Database.new_object db ~cls:"Pop" ~ty:(ty k) ()) in
-          let (_ : Surrogate.t) =
-            ok
-              (Database.bind db ~via:(rel (k - 1)) ~transmitter:!parent
-                 ~inheritor:s ())
-          in
-          parent := s
-        done
-      done;
-      let population = roots * (depth + 1) in
-      (* cache off: the per-candidate work is the real chain walk, which
-         is what the worker domains parallelise *)
-      Store.set_resolve_cache_enabled (Database.store db) false;
+      let db, population = chain_population ~depth ~pop in
       let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
       let t1 = ref nan in
       List.iter
@@ -889,6 +899,88 @@ let e18 () =
     grid;
   e18_results := List.rev !e18_results;
   write_e18_json ()
+
+(* ------------------------------------------------------------------ *)
+(* E21: compiled plans vs the interpreted evaluator, same workload      *)
+
+(* (depth, population, jobs, interpreted us, compiled us, ratio) *)
+let e21_results : (int * int * int * float * float * float) list ref = ref []
+
+let write_e21_json ?(skipped = false) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E21\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"compiled query plans (closure compilation + \
+     materialized resolved-value columns) vs the interpreted evaluator on \
+     E18's workload, resolve cache off, by worker-domain count\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Printf.bprintf buf "  \"skipped\": %b,\n" skipped;
+  Printf.bprintf buf "  \"cores\": %d,\n" (Compo_par.Pool.available_cores ());
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e21_results in
+  List.iteri
+    (fun i (depth, pop, jobs, ius, cus, ratio) ->
+      Printf.bprintf buf
+        "    { \"depth\": %d, \"population\": %d, \"jobs\": %d, \
+         \"interpreted_us\": %.3f, \"compiled_us\": %.3f, \"ratio\": %.2f \
+         }%s\n"
+        depth pop jobs ius cus ratio
+        (if i = n - 1 then "" else ","))
+    !e21_results;
+  Buffer.add_string buf "  ],\n";
+  let at1 =
+    List.filter_map
+      (fun (_, _, jobs, _, _, ratio) -> if jobs = 1 then Some ratio else None)
+      !e21_results
+  in
+  (match at1 with
+  | [] -> Buffer.add_string buf "  \"single_thread_ratio\": null\n"
+  | _ ->
+      Printf.bprintf buf "  \"single_thread_ratio\": %.2f\n"
+        (List.fold_left min infinity at1));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_compiled.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_compiled.json (%d rows)" n;
+  Compo_obs.Metrics.snapshot_to_file "BENCH_compiled.metrics.json";
+  say "wrote BENCH_compiled.metrics.json"
+
+let e21 () =
+  header "E21"
+    "compiled query plans: closure compilation + materialized columns vs \
+     the interpreted evaluator (E18's workload, resolve cache off)";
+  e21_results := [];
+  say "(%d core(s) available)" (Compo_par.Pool.available_cores ());
+  say "%8s %10s %6s %16s %14s %8s" "depth" "objects" "jobs" "interp us"
+    "compiled us" "ratio";
+  let grid = if !smoke then [ (4, 250) ] else [ (4, 2000) ] in
+  let plan0 = Plan.enabled () in
+  Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
+  List.iter
+    (fun (depth, pop) ->
+      let db, population = chain_population ~depth ~pop in
+      let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
+      List.iter
+        (fun jobs ->
+          let sel () = ignore (ok (Database.select db ~cls:"Pop" ~jobs ~where ())) in
+          let batch = if !smoke then 3 else 5 in
+          Plan.set_enabled false;
+          let ti = time_per ~batch sel in
+          (* time_per's warm-up call builds the registry and columns, so
+             the compiled arm measures the steady state *)
+          Plan.set_enabled true;
+          let tc = time_per ~batch sel in
+          let ratio = ti /. tc in
+          e21_results :=
+            (depth, population, jobs, us ti, us tc, ratio) :: !e21_results;
+          say "%8d %10d %6d %16.3f %14.3f %7.2fx" depth population jobs (us ti)
+            (us tc) ratio)
+        [ 1; 2; 4 ])
+    grid;
+  e21_results := List.rev !e21_results;
+  write_e21_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
@@ -1003,12 +1095,13 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18);
+    ("E17", e17); ("E18", e18); ("E21", e21);
   ]
 
 let usage () =
-  say "usage: bench [E1 .. E18 | bechamel ...] [--smoke] [--no-resolve-cache]";
-  say "             [--check-speedup MIN] [--check-scaling MIN] [--no-bechamel]";
+  say "usage: bench [E1 .. E18, E21 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "             [--check-speedup MIN] [--check-scaling MIN]";
+  say "             [--check-compiled-speedup MIN] [--no-bechamel]";
   exit 2
 
 let () =
@@ -1021,8 +1114,16 @@ let () =
   Compo_obs.Trace.configure_from_env ();
   Compo_obs.Provenance.configure_from_env ();
   Compo_faults.Failpoint.configure_from_env ();
+  (* COMPO_NO_COMPILE is read at Plan's module init (the matrix renders
+     its compile axis through it); garbage dies here like the CLI *)
+  (match Plan.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      say "bench: %s" msg;
+      exit 2);
   let check = ref None in
   let check_scaling = ref None in
+  let check_compiled = ref None in
   let no_bechamel = ref false in
   let selected = ref [] in
   let rec parse = function
@@ -1050,6 +1151,13 @@ let () =
             parse rest
         | None -> usage ())
     | "--check-scaling" :: [] -> usage ()
+    | "--check-compiled-speedup" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f ->
+            check_compiled := Some f;
+            parse rest
+        | None -> usage ())
+    | "--check-compiled-speedup" :: [] -> usage ()
     | name :: rest ->
         let name = String.uppercase_ascii name in
         if String.equal name "BECHAMEL" then selected := "bechamel" :: !selected
@@ -1128,6 +1236,44 @@ let () =
             end
             else
               say "check-scaling: OK - worst E18 speedup at 4 jobs %.2fx >= %.2fx"
+                worst min_required));
+  (match !check_compiled with
+  | None -> ()
+  | Some min_required -> (
+      (* single-thread ratio, so the gate needs no parallelism — but a
+         1-core shared runner times too noisily to judge a perf ratio,
+         so it stands down loudly (and the report records the SKIP) *)
+      let cores = Compo_par.Pool.available_cores () in
+      if cores < 2 then begin
+        say
+          "check-compiled-speedup: SKIP - only %d core(s) available, \
+           timings too noisy to gate a perf ratio"
+          cores;
+        write_e21_json ~skipped:true ()
+      end
+      else
+        match
+          List.filter_map
+            (fun (_, _, jobs, _, _, ratio) ->
+              if jobs = 1 then Some ratio else None)
+            !e21_results
+        with
+        | [] ->
+            say "check-compiled-speedup: E21 did not run, nothing to gate on";
+            exit 2
+        | at1 ->
+            let worst = List.fold_left min infinity at1 in
+            if worst < min_required then begin
+              say
+                "check-compiled-speedup: FAIL - compiled/interpreted \
+                 single-thread ratio %.2fx < required %.2fx"
+                worst min_required;
+              exit 1
+            end
+            else
+              say
+                "check-compiled-speedup: OK - compiled/interpreted \
+                 single-thread ratio %.2fx >= %.2fx"
                 worst min_required));
   say "";
   say "bench done."

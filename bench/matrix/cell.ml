@@ -1,7 +1,7 @@
 type axis = { ax_name : string; ax_values : string list }
 
 (* canonical axis order; ids and tables render in this order *)
-let canonical = [ "cache"; "index"; "jobs"; "prov"; "fp" ]
+let canonical = [ "cache"; "index"; "compile"; "jobs"; "prov"; "fp" ]
 
 let axis_rank name =
   let rec go i = function
@@ -39,6 +39,8 @@ let env t =
       | "cache", _ -> []
       | "index", "off" -> [ ("COMPO_NO_INDEX", "1") ]
       | "index", _ -> []
+      | "compile", "off" -> [ ("COMPO_NO_COMPILE", "1") ]
+      | "compile", _ -> []
       | "jobs", n -> [ ("COMPO_JOBS", n) ]
       | "prov", "on" -> [ ("COMPO_PROVENANCE", "1") ]
       | "prov", _ -> []
@@ -77,26 +79,29 @@ let dedup cells =
 
 let default_cells () =
   let onoff name = { ax_name = name; ax_values = [ "on"; "off" ] } in
-  (* the main ablation block: every cache x index x prov combination,
-     sequential, failpoints unarmed *)
+  (* the main ablation block: every cache x index x compile x prov
+     combination, sequential, failpoints unarmed *)
   let base =
     product
       [
         onoff "cache";
         onoff "index";
+        onoff "compile";
         { ax_name = "jobs"; ax_values = [ "1" ] };
         { ax_name = "prov"; ax_values = [ "off"; "on" ] };
         { ax_name = "fp"; ax_values = [ "off" ] };
       ]
   in
-  (* the multicore block: jobs in {2,4} crossed with the cache axis —
-     the headline parallel-select claim, skipped loudly (not silently)
-     on runners with fewer cores than jobs *)
+  (* the multicore block: jobs in {2,4} crossed with the cache and
+     compile axes — the headline parallel-select claim under both
+     engines, skipped loudly (not silently) on runners with fewer cores
+     than jobs *)
   let jobs_sweep =
     product
       [
         onoff "cache";
         { ax_name = "index"; ax_values = [ "on" ] };
+        onoff "compile";
         { ax_name = "jobs"; ax_values = [ "2"; "4" ] };
         { ax_name = "prov"; ax_values = [ "off" ] };
         { ax_name = "fp"; ax_values = [ "off" ] };
@@ -108,8 +113,8 @@ let default_cells () =
     [
       make
         [
-          ("cache", "on"); ("index", "on"); ("jobs", "1"); ("prov", "off");
-          ("fp", "armed");
+          ("cache", "on"); ("index", "on"); ("compile", "on"); ("jobs", "1");
+          ("prov", "off"); ("fp", "armed");
         ];
     ]
   in

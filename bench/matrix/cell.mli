@@ -2,13 +2,14 @@
 
     A cell is one point in the configuration space the kernel already
     exposes through environment switches: resolve cache on/off, index
-    access paths on/off, worker-domain count, provenance recording
-    on/off, failpoint machinery armed/unarmed.  The matrix runner
+    access paths on/off, compiled query engine on/off, worker-domain
+    count, provenance recording on/off, failpoint machinery
+    armed/unarmed.  The matrix runner
     executes the same curated bench suite once per cell in a fresh
     subprocess, so each axis's contribution is measured, not asserted
     (docs/PERFORMANCE.md, "Ablation matrix").
 
-    Axis order is fixed (cache, index, jobs, prov, fp) and cell ids are
+    Axis order is fixed (cache, index, compile, jobs, prov, fp) and cell ids are
     derived from it, so ids are stable across runs and machines —
     [compo benchdiff] joins committed and fresh matrices on them. *)
 
@@ -28,7 +29,8 @@ val axes : t -> (string * string) list
 (** Canonically ordered [(axis, value)] pairs. *)
 
 val id : t -> string
-(** Stable identifier, e.g. ["cache=on index=on jobs=4 prov=off fp=off"]. *)
+(** Stable identifier, e.g.
+    ["cache=on index=on compile=on jobs=4 prov=off fp=off"]. *)
 
 val value : t -> string -> string option
 (** The cell's value on one axis. *)
@@ -51,10 +53,10 @@ val dedup : t list -> t list
 (** Drop cells with duplicate ids, keeping first occurrences. *)
 
 val default_cells : unit -> t list
-(** The curated enumeration (13 cells): the full
-    cache x index x prov product at [jobs=1], a jobs in {2,4} sweep
-    crossed with the cache axis, and a failpoints-armed flip of the
-    baseline. *)
+(** The curated enumeration (25 cells): the full
+    cache x index x compile x prov product at [jobs=1], a jobs in {2,4}
+    sweep crossed with the cache and compile axes, and a
+    failpoints-armed flip of the baseline. *)
 
 val failpoint_spec : string
 (** The [COMPO_FAILPOINTS] spec the armed axis uses: a WAL-append site

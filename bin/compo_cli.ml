@@ -65,6 +65,15 @@ let configure_flightrec_env () =
       prerr_endline ("compo: " ^ msg);
       exit 1
 
+(* COMPO_NO_COMPILE: same convention — a malformed toggle dies with one
+   line instead of silently picking an engine *)
+let configure_plan_env () =
+  match Plan.configure_from_env () with
+  | Ok () -> ()
+  | Error msg ->
+      prerr_endline ("compo: " ^ msg);
+      exit 1
+
 let read_file path =
   match In_channel.with_open_text path In_channel.input_all with
   | contents -> contents
@@ -1060,6 +1069,7 @@ let () =
   (* strict telemetry knobs: die before any command logic runs *)
   ignore (env_trace_sample ());
   configure_flightrec_env ();
+  configure_plan_env ();
   (* COMPO_FAILPOINTS: crash/fault injection for recovery testing *)
   Compo_faults.Failpoint.configure_from_env ();
   let doc = "complex and composite objects for CAD/CAM databases" in
@@ -1076,6 +1086,11 @@ let () =
         ~doc:"Log operations slower than this many milliseconds.";
       Cmd.Env.info "COMPO_NO_RESOLVE_CACHE"
         ~doc:"Disable the inheritance-resolution cache.";
+      Cmd.Env.info "COMPO_NO_COMPILE"
+        ~doc:
+          "Disable the compiled query engine (closure compilation and \
+           materialized resolved-value columns); selects run the \
+           interpreted evaluator.  Results are identical either way.";
       Cmd.Env.info "COMPO_JOBS"
         ~doc:
           "Default worker-domain count for parallel selects (see --jobs, \

@@ -322,11 +322,21 @@ let select t ~cls ?jobs ?where () =
     let* rows = planned jobs in
     match rows with
     | Some rows -> Ok rows
-    | None ->
+    | None -> (
         Trace.with_span "query.select" ~attrs:[ ("cls", cls) ] @@ fun () ->
-        let* members = Store.class_members t.db_store cls in
-        Obs.observe h_extent (float_of_int (List.length members));
-        Ok (Query.filter_candidates ~jobs t.db_store where members)
+        (* compiled engine first (we already hold the read latch, which
+           is try_scan's jobs > 1 contract) *)
+        let compiled =
+          match where with
+          | Some pred -> Plan.try_scan t.db_store ~cls ~jobs pred
+          | None -> None
+        in
+        match compiled with
+        | Some r -> Result.map fst r
+        | None ->
+            let* members = Store.class_members t.db_store cls in
+            Obs.observe h_extent (float_of_int (List.length members));
+            Ok (Query.filter_candidates ~jobs t.db_store where members))
 
 let select_subobjects t ~parent ~subclass ?jobs ?where () =
   Query.select_subobjects t.db_store ~parent ~subclass ?jobs ?where ()
@@ -389,33 +399,47 @@ let explain_select t ~cls ?where () =
             ex_eval_nodes = Eval.node_count () - nodes0;
             ex_access_seconds = t1 -. t0;
             ex_filter_seconds = t2 -. t1;
+            ex_plan = None;
           } )
-  | None ->
+  | None -> (
       let t0 = Unix.gettimeofday () in
       let* members = Store.class_members t.db_store cls in
       let t1 = Unix.gettimeofday () in
-      let rows =
-        match where with
-        | None -> members
-        | Some pred ->
-            List.filter
-              (fun s -> Query.matching t.db_store ~self:s pred)
-              members
+      let finish rows plan t2 =
+        Ok
+          ( rows,
+            {
+              Query.ex_cls = cls;
+              ex_access = Query.Seq_scan { extent = cls };
+              ex_where = where_str;
+              ex_residual = where_str;
+              ex_candidates = List.length members;
+              ex_rows = List.length rows;
+              ex_eval_nodes = Eval.node_count () - nodes0;
+              ex_access_seconds = t1 -. t0;
+              ex_filter_seconds = t2 -. t1;
+              ex_plan = plan;
+            } )
       in
-      let t2 = Unix.gettimeofday () in
-      Ok
-        ( rows,
-          {
-            Query.ex_cls = cls;
-            ex_access = Query.Seq_scan { extent = cls };
-            ex_where = where_str;
-            ex_residual = where_str;
-            ex_candidates = List.length members;
-            ex_rows = List.length rows;
-            ex_eval_nodes = Eval.node_count () - nodes0;
-            ex_access_seconds = t1 -. t0;
-            ex_filter_seconds = t2 -. t1;
-          } )
+      let compiled =
+        match where with
+        | Some pred -> Plan.try_scan t.db_store ~cls ~jobs:1 pred
+        | None -> None
+      in
+      match compiled with
+      | Some res ->
+          let* rows, report = res in
+          finish rows (Some report) (Unix.gettimeofday ())
+      | None ->
+          let rows =
+            match where with
+            | None -> members
+            | Some pred ->
+                List.filter
+                  (fun s -> Query.matching t.db_store ~self:s pred)
+                  members
+          in
+          finish rows None (Unix.gettimeofday ()))
 
 let explain_attr t s name = Inheritance.explain t.db_store s name
 

@@ -35,6 +35,17 @@ val eval_items : env -> Expr.path -> (item list, Errors.t) result
 val item_value : Store.t -> item -> Value.t
 (** Entities become [Ref]s; values pass through. *)
 
+val numeric_binop : Expr.binop -> Value.t -> Value.t -> (Value.t, Errors.t) result
+(** Arithmetic with the evaluator's coercion rules: [Int op Int] stays
+    exact, any other numeric pair coerces to float, division by zero and
+    non-numeric operands are [Eval_error]s.  Exposed so {!Plan}'s
+    compiled closures apply byte-identical semantics. *)
+
+val compare_values : Value.t -> Value.t -> int
+(** Comparison with the evaluator's coercion rule: numbers compare by
+    magnitude across [Int]/[Real], everything else structurally.
+    Exposed for {!Plan}. *)
+
 val node_count : unit -> int
 (** Process-wide [eval.node] counter reading (0 while metrics are
     disabled).  EXPLAIN takes a delta around the filter stage to report

@@ -1,0 +1,410 @@
+(* Compiled flat query plans: adjacency registry + closure compilation +
+   materialized resolved-value columns.  See plan.mli for the contract;
+   the load-bearing invariant throughout is that a compiled scan keeps a
+   row iff the interpreted scan would keep it (same order, same rows),
+   which the 3-way differential oracle in test/test_par_diff.ml checks
+   over hundreds of random schemas. *)
+
+module Obs = Compo_obs.Metrics
+module Pool = Compo_par.Pool
+
+let m_compiled = Obs.counter "plan.scan.compiled"
+let m_fallback = Obs.counter "plan.scan.fallback"
+let m_registry_build = Obs.counter "plan.registry.build"
+let m_col_build = Obs.counter "plan.column.build"
+let m_col_hit = Obs.counter "plan.column.hit"
+
+(* same registry cell as Query's (find-or-create by name): compiled and
+   interpreted scans feed one extent histogram *)
+let h_extent = Obs.histogram ~buckets:Obs.size_buckets "query.select.extent"
+
+(* ------------------------------------------------------------------ *)
+(* Escape hatch                                                        *)
+
+let enabled_ref =
+  ref
+    (match Sys.getenv_opt "COMPO_NO_COMPILE" with
+    | Some ("1" | "true" | "yes") -> false
+    | Some _ | None -> true)
+
+let enabled () = !enabled_ref
+let set_enabled b = enabled_ref := b
+
+let configure_from_env ?(getenv = Sys.getenv_opt) () =
+  match getenv "COMPO_NO_COMPILE" with
+  | None -> Ok ()
+  | Some (("1" | "true" | "yes") as _v) ->
+      enabled_ref := false;
+      Ok ()
+  | Some ("0" | "false" | "no") ->
+      enabled_ref := true;
+      Ok ()
+  | Some v ->
+      Error
+        (Printf.sprintf
+           "COMPO_NO_COMPILE must be a boolean (0/1/true/false/yes/no) (got \
+            '%s')"
+           v)
+
+(* ------------------------------------------------------------------ *)
+(* Per-store state, stamped against the mutation epoch AND the resolve-
+   cache generation.  The epoch alone is sound (it advances on every
+   mutation, cache enabled or not); carrying the generation as well means
+   any invalidation path that reaches the PR 2 machinery also kills the
+   compiled state, even if a future epoch-bump site is missed. *)
+
+type stamp = { st_epoch : int; st_gen : int }
+
+let current_stamp store =
+  {
+    st_epoch = Store.plan_epoch store;
+    st_gen = Resolve_cache.generation (Store.resolve_cache store);
+  }
+
+let stamp_equal a b = a.st_epoch = b.st_epoch && a.st_gen = b.st_gen
+
+(* the relationship graph flattened: one dense slot per entity, the
+   transmitter edge as an int index (-1 unbound, -2 dangling) *)
+type registry = {
+  reg_stamp : stamp;
+  reg_ids : int Surrogate.Tbl.t;  (* surrogate -> slot *)
+  reg_ents : Store.entity array;  (* slot -> entity record *)
+  reg_trans : int array;  (* slot -> transmitter slot *)
+  reg_edges : int;  (* bound entities *)
+}
+
+(* how a (type, attribute) pair resolves, memoised so the scan does not
+   re-derive the effective-attribute list from the schema per row/hop *)
+type decision = Own | Via | Absent
+
+type state = {
+  mutable s_registry : registry option;
+  s_columns : (string * string, column) Hashtbl.t;  (* (cls, attr) *)
+  s_decisions : (string * string, decision) Hashtbl.t;  (* (type, attr) *)
+}
+
+and column = {
+  col_stamp : stamp;
+  col_members : Surrogate.t array;  (* extent snapshot, class order *)
+  col_vals : Value.t array;
+  col_err : bool array;  (* the interpreter would error on this row *)
+}
+
+type Store.plan_slot += Slot of state
+
+let state_of store =
+  match Store.plan_slot store with
+  | Some (Slot st) -> st
+  | Some _ | None ->
+      let st =
+        {
+          s_registry = None;
+          s_columns = Hashtbl.create 16;
+          s_decisions = Hashtbl.create 64;
+        }
+      in
+      Store.set_plan_slot store (Slot st);
+      st
+
+let build_registry store stamp =
+  Obs.incr m_registry_build;
+  let ents = Array.of_list (Store.fold store (fun acc e -> e :: acc) []) in
+  let n = Array.length ents in
+  let ids = Surrogate.Tbl.create (max 16 (2 * n)) in
+  Array.iteri (fun i e -> Surrogate.Tbl.replace ids e.Store.id i) ents;
+  let edges = ref 0 in
+  let trans =
+    Array.init n (fun i ->
+        match ents.(i).Store.bound with
+        | None -> -1
+        | Some b -> (
+            incr edges;
+            match Surrogate.Tbl.find_opt ids b.Store.b_transmitter with
+            | Some j -> j
+            | None -> -2))
+  in
+  { reg_stamp = stamp; reg_ids = ids; reg_ents = ents; reg_trans = trans;
+    reg_edges = !edges }
+
+let registry_of store st stamp =
+  match st.s_registry with
+  | Some reg when stamp_equal reg.reg_stamp stamp -> reg
+  | Some _ | None ->
+      (* a stale registry means a mutation happened: every dependent
+         memo is dead, so drop them with it instead of letting stamp
+         checks strand them in the tables *)
+      Hashtbl.reset st.s_columns;
+      Hashtbl.reset st.s_decisions;
+      let reg = build_registry store stamp in
+      st.s_registry <- Some reg;
+      reg
+
+let decision_of st schema ty attr =
+  match Hashtbl.find_opt st.s_decisions (ty, attr) with
+  | Some d -> d
+  | None ->
+      let d =
+        match Schema.find_effective_attr schema ty attr with
+        | None -> Absent
+        | Some (_, Schema.Own) -> Own
+        | Some (_, Schema.Via _) -> Via
+      in
+      Hashtbl.replace st.s_decisions (ty, attr) d;
+      d
+
+(* ------------------------------------------------------------------ *)
+(* Column materialization                                               *)
+
+(* One cell: the value the interpreter's [Path [attr]] would produce for
+   this row, or an error mark.  The flat walk mirrors
+   [Inheritance.attr_at] hop for hop; every resolution shape it cannot
+   replicate exactly — effective-attr miss at any hop (which the
+   interpreter routes through subclass/participant/class-head fallback),
+   a dangling transmitter, a cyclic chain — delegates to the interpreter
+   for that row, so the cell is exact by construction. *)
+let fill_cell store st reg schema attr s =
+  let interp () =
+    match Eval.eval (Eval.env ~self:s store) (Expr.Path [ attr ]) with
+    | Ok v -> (v, false)
+    | Error _ -> (Value.Null, true)
+  in
+  let limit = Array.length reg.reg_ents in
+  let rec walk i hops =
+    if hops > limit then interp ()
+    else
+      let e = reg.reg_ents.(i) in
+      match decision_of st schema e.Store.type_name attr with
+      | Absent -> interp ()
+      | Own ->
+          ( Option.value ~default:Value.Null
+              (Store.Smap.find_opt attr e.Store.attrs),
+            false )
+      | Via -> (
+          match reg.reg_trans.(i) with
+          | -1 -> (Value.Null, false)
+          | j when j >= 0 -> walk j (hops + 1)
+          | _ -> interp ())
+  in
+  match Surrogate.Tbl.find_opt reg.reg_ids s with
+  | Some i -> walk i 0
+  | None -> interp ()
+
+let build_column store st reg ~attr members stamp =
+  Obs.incr m_col_build;
+  let marr = Array.of_list members in
+  let n = Array.length marr in
+  let vals = Array.make n Value.Null in
+  let errs = Array.make n false in
+  let schema = Store.schema store in
+  for i = 0 to n - 1 do
+    let v, e = fill_cell store st reg schema attr marr.(i) in
+    vals.(i) <- v;
+    errs.(i) <- e
+  done;
+  { col_stamp = stamp; col_members = marr; col_vals = vals; col_err = errs }
+
+(* returns (column, built-by-this-call) *)
+let column_of store st reg ~cls ~attr members stamp =
+  let key = (cls, attr) in
+  match Hashtbl.find_opt st.s_columns key with
+  | Some c when stamp_equal c.col_stamp stamp ->
+      Obs.incr m_col_hit;
+      (c, false)
+  | Some _ | None ->
+      let c = build_column store st reg ~attr members stamp in
+      Hashtbl.replace st.s_columns key c;
+      (c, true)
+
+(* ------------------------------------------------------------------ *)
+(* Closure compilation                                                  *)
+
+(* raised by a compiled closure exactly where the interpreter would
+   return [Error _]; the row test catches it and drops the row, which is
+   what [Query.matching] does with an interpreted error *)
+exception Row_error
+
+type cctx = { cc_cols : column array }
+
+let as_bool = function Value.Bool b -> b | _ -> raise Row_error
+
+(* first-use slot assignment: the compiled program reads columns by
+   index, the slot list remembers which attribute each index means *)
+let slot_index slots a =
+  let rec find i = function
+    | [] -> None
+    | x :: rest -> if String.equal x a then Some i else find (i + 1) rest
+  in
+  match find 0 (List.rev !slots) with
+  | Some i -> i
+  | None ->
+      let i = List.length !slots in
+      slots := a :: !slots;
+      i
+
+(* outside the [open Expr] below: Expr shadows the comparison operators
+   with expression builders *)
+let cmp_holds op c =
+  match op with
+  | Expr.Eq -> c = 0
+  | Expr.Ne -> c <> 0
+  | Expr.Lt -> c < 0
+  | Expr.Le -> c <= 0
+  | Expr.Gt -> c > 0
+  | Expr.Ge -> c >= 0
+  | _ -> assert false
+
+(* The compilable subset: single-segment paths (any name — cells that
+   need the interpreter's head-resolution fallbacks get them at fill
+   time), constants, boolean connectives with the evaluator's
+   short-circuit order, arithmetic and comparisons through the
+   evaluator's own coercions, and [in] over a non-path right-hand side.
+   Anything else returns [None] and the select runs interpreted. *)
+let rec compile counter slots expr =
+  let mk f =
+    incr counter;
+    Some f
+  in
+  let open Expr in
+  match expr with
+  | Const v -> mk (fun _ _ -> v)
+  | Path [ a ] ->
+      let slot = slot_index slots a in
+      mk (fun ctx i ->
+          let c = ctx.cc_cols.(slot) in
+          if c.col_err.(i) then raise Row_error else c.col_vals.(i))
+  | Unop (Not, e) -> (
+      match compile counter slots e with
+      | None -> None
+      | Some f -> mk (fun ctx i -> Value.Bool (not (as_bool (f ctx i)))))
+  | Unop (Neg, e) -> (
+      match compile counter slots e with
+      | None -> None
+      | Some f ->
+          mk (fun ctx i ->
+              match f ctx i with
+              | Value.Int n -> Value.Int (-n)
+              | Value.Real r -> Value.Real (-.r)
+              | _ -> raise Row_error))
+  | Binop (And, a, b) -> (
+      match (compile counter slots a, compile counter slots b) with
+      | Some fa, Some fb ->
+          mk (fun ctx i ->
+              if not (as_bool (fa ctx i)) then Value.Bool false
+              else Value.Bool (as_bool (fb ctx i)))
+      | _ -> None)
+  | Binop (Or, a, b) -> (
+      match (compile counter slots a, compile counter slots b) with
+      | Some fa, Some fb ->
+          mk (fun ctx i ->
+              if as_bool (fa ctx i) then Value.Bool true
+              else Value.Bool (as_bool (fb ctx i)))
+      | _ -> None)
+  | Binop (In, a, b) -> (
+      match b with
+      | Path _ -> None (* the interpreter expands path collections *)
+      | _ -> (
+          match (compile counter slots a, compile counter slots b) with
+          | Some fa, Some fb ->
+              mk (fun ctx i ->
+                  let v = fa ctx i in
+                  let members =
+                    match fb ctx i with
+                    | Value.Set vs | Value.List vs -> vs
+                    | w -> [ w ]
+                  in
+                  Value.Bool (List.exists (Value.equal v) members))
+          | _ -> None))
+  | Binop (((Add | Sub | Mul | Div) as op), a, b) -> (
+      match (compile counter slots a, compile counter slots b) with
+      | Some fa, Some fb ->
+          mk (fun ctx i ->
+              let x = fa ctx i in
+              let y = fb ctx i in
+              match Eval.numeric_binop op x y with
+              | Ok v -> v
+              | Error _ -> raise Row_error)
+      | _ -> None)
+  | Binop (((Eq | Ne | Lt | Le | Gt | Ge) as op), a, b) -> (
+      match (compile counter slots a, compile counter slots b) with
+      | Some fa, Some fb ->
+          mk (fun ctx i ->
+              let x = fa ctx i in
+              let y = fb ctx i in
+              Value.Bool (cmp_holds op (Eval.compare_values x y)))
+      | _ -> None)
+  | Path _ | Count _ | Sum _ | Forall _ | Exists _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* The compiled scan                                                    *)
+
+type report = {
+  rp_closures : int;
+  rp_columns : (string * int * bool) list;
+  rp_nodes : int;
+  rp_edges : int;
+}
+
+let scans = ref 0
+let compiled_scans () = !scans
+
+let try_scan store ~cls ~jobs expr =
+  if not (enabled ()) then None
+  else if Store.read_hooks_installed store then begin
+    (* hooks are the transaction layer's lock inheritance: they must
+       fire per hop, and a column scan performs no hops *)
+    Obs.incr m_fallback;
+    None
+  end
+  else
+    match Store.class_members store cls with
+    | Error _ -> None (* let the interpreted path surface the error *)
+    | Ok members -> (
+        let counter = ref 0 in
+        let slots = ref [] in
+        match compile counter slots expr with
+        | None ->
+            Obs.incr m_fallback;
+            None
+        | Some program ->
+            let st = state_of store in
+            let stamp = current_stamp store in
+            let reg = registry_of store st stamp in
+            let attrs = Array.of_list (List.rev !slots) in
+            let built = Array.make (Array.length attrs) false in
+            let cols =
+              Array.mapi
+                (fun i attr ->
+                  let c, b = column_of store st reg ~cls ~attr members stamp in
+                  built.(i) <- b;
+                  c)
+                attrs
+            in
+            let ctx = { cc_cols = cols } in
+            let test i =
+              match program ctx i with
+              | Value.Bool b -> b
+              | _ -> false
+              | exception Row_error -> false
+            in
+            Obs.observe h_extent (float_of_int (List.length members));
+            let rows =
+              if jobs <= 1 then List.filteri (fun i _ -> test i) members
+              else Pool.filteri_list ~jobs (fun i _ -> test i) members
+            in
+            incr scans;
+            Obs.incr m_compiled;
+            let rp_columns =
+              Array.to_list
+                (Array.mapi
+                   (fun i attr -> (attr, stamp.st_epoch, built.(i)))
+                   attrs)
+            in
+            Some
+              (Ok
+                 ( rows,
+                   {
+                     rp_closures = !counter;
+                     rp_columns;
+                     rp_nodes = Array.length reg.reg_ents;
+                     rp_edges = reg.reg_edges;
+                   } )))

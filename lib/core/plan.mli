@@ -1,0 +1,74 @@
+(** Compiled flat query plans for the inherited-read hot path.
+
+    The interpreted select walks an {!Expr} tree per candidate and an
+    inheritance chain per hop ({!Eval} / {!Inheritance.attr}): per row it
+    allocates an environment, re-derives the effective-attribute decision
+    from the schema, and pointer-chases transmitter bindings.  E18 shows
+    that this leaves too little work per candidate for the worker pool to
+    win.  This module replaces the per-row machinery with flat plans,
+    following Litwin's stored/inherited-relations model (PAPERS.md):
+
+    {ol
+    {- {b Adjacency registry}: the relationship graph flattened into
+       dense arrays — one slot per entity, transmitter edges as [int]
+       indexes — rebuilt lazily and stamped with the store's
+       {!Store.plan_epoch} {e and} the resolve-cache generation, so the
+       PR 2 invalidation machinery carries over.}
+    {- {b Closure compilation}: a predicate compiles to an array of
+       closures once per query instead of being re-interpreted once per
+       row.  Coercions go through {!Eval.numeric_binop} /
+       {!Eval.compare_values}, so compiled semantics are bit-identical
+       to interpreted semantics (a row is kept iff the interpreter would
+       keep it — errors drop the row in both engines, [and]/[or]
+       short-circuit identically).}
+    {- {b Materialized columns}: resolved values per (class, attribute,
+       epoch) — a select over an inherited attribute becomes a tight
+       array scan, which parallelizes for real.}}
+
+    Predicates outside the compilable subset (multi-segment paths,
+    quantifiers, [count]/[sum], [in] over a path) return [None] from
+    {!try_scan} and fall back to the interpreted engine.  The compiled
+    path also stands down while read hooks are installed: hooks carry
+    the per-hop notifications the transaction layer turns into lock
+    inheritance, and a column scan performs no hops. *)
+
+type report = {
+  rp_closures : int;  (** closures in the compiled predicate program *)
+  rp_columns : (string * int * bool) list;
+      (** materialized columns used: (attribute, plan-epoch stamp,
+          built by this call — [false] means served from cache) *)
+  rp_nodes : int;  (** adjacency registry size: entities flattened *)
+  rp_edges : int;  (** adjacency registry size: transmitter edges *)
+}
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+(** Escape hatch, modelled on {!Database.set_index_planning_enabled}.
+    The initial state honours [COMPO_NO_COMPILE] (truthy = disabled) so
+    the bench matrix can toggle the axis per subprocess. *)
+
+val configure_from_env :
+  ?getenv:(string -> string option) -> unit -> (unit, string) result
+(** Strict [COMPO_NO_COMPILE] validation for front ends: [1/true/yes]
+    disables, [0/false/no] enables, unset is a no-op, anything else is
+    an error message for a one-line die (the [COMPO_JOBS] /
+    [COMPO_TRACE_SAMPLE] convention). *)
+
+val try_scan :
+  Store.t ->
+  cls:string ->
+  jobs:int ->
+  Expr.t ->
+  (Surrogate.t list * report, Errors.t) result option
+(** Compiled sequential-scan select over a class extent.  [None] means
+    the compiled engine stands down (disabled, hooks installed, unknown
+    class, or uncompilable predicate) and the caller must run the
+    interpreted plan.  [Some rows] are bit-identical — order and
+    membership — to the interpreted scan's.  With [jobs > 1] the caller
+    must hold the store's read latch (same contract as
+    {!Query.filter_candidates}). *)
+
+val compiled_scans : unit -> int
+(** Process-wide count of selects served by the compiled engine
+    (independent of the metrics registry; the differential oracle uses
+    it to prove the compiled path actually engaged). *)

@@ -38,10 +38,20 @@ let latched_jobs store jobs =
 let select store ~cls ?jobs ?where () =
   Trace.with_span "query.select" ~attrs:[ ("cls", cls) ] @@ fun () ->
   let jobs = Pool.effective_jobs jobs in
-  let run jobs =
+  let interpreted jobs =
     let* members = Store.class_members store cls in
     Obs.observe h_extent (float_of_int (List.length members));
     Ok (filter_candidates ~jobs store where members)
+  in
+  let run jobs =
+    (* compiled engine first; [None] means it stands down (disabled,
+       hooks, unknown class, uncompilable predicate) *)
+    match where with
+    | Some pred -> (
+        match Plan.try_scan store ~cls ~jobs pred with
+        | Some r -> Result.map fst r
+        | None -> interpreted jobs)
+    | None -> interpreted jobs
   in
   if jobs <= 1 then run 1
   else
@@ -105,6 +115,7 @@ type explain = {
   ex_eval_nodes : int;
   ex_access_seconds : float;
   ex_filter_seconds : float;
+  ex_plan : Plan.report option;
 }
 
 let access_to_string = function
@@ -130,6 +141,20 @@ let pp_explain ?(timings = false) ppf ex =
       Format.fprintf ppf "  filter: %s -> %d row(s), %d eval node(s)%a" r
         ex.ex_rows ex.ex_eval_nodes time ex.ex_filter_seconds
   | None -> Format.fprintf ppf "  filter: (none) -> %d row(s)" ex.ex_rows);
+  (match ex.ex_plan with
+  | None -> Format.fprintf ppf "@,  plan: interpreted"
+  | Some r ->
+      Format.fprintf ppf
+        "@,  plan: compiled, %d closure(s), adjacency %d node(s) / %d edge(s)"
+        r.Plan.rp_closures r.Plan.rp_nodes r.Plan.rp_edges;
+      if r.Plan.rp_columns <> [] then
+        Format.fprintf ppf "@,  columns: %s"
+          (String.concat ", "
+             (List.map
+                (fun (attr, epoch, built) ->
+                  Printf.sprintf "%s@e%d (%s)" attr epoch
+                    (if built then "built" else "cached"))
+                r.Plan.rp_columns)));
   Format.fprintf ppf "@]"
 
 type aggregate = Count_values | Count_distinct | Sum | Min | Max

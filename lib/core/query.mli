@@ -98,6 +98,10 @@ type explain = {
       (** evaluator nodes spent filtering (0 while metrics are off) *)
   ex_access_seconds : float;
   ex_filter_seconds : float;
+  ex_plan : Plan.report option;
+      (** [Some] when the compiled engine ({!Plan}) served the filter
+          stage; [None] means the interpreted evaluator ran (engine
+          disabled, index access path, or uncompilable predicate) *)
 }
 
 val access_to_string : access -> string

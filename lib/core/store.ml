@@ -27,6 +27,11 @@ type class_info = {
   mutable cls_members : Surrogate.t list;  (* reversed insertion order *)
 }
 
+(* Opaque slot for the query-compilation layer (Plan), which sits above
+   this module: Plan injects its own constructor and parks its per-store
+   compiled state here, stamped against [plan_epoch]. *)
+type plan_slot = ..
+
 type t = {
   schema : Schema.t;
   gen : Surrogate.Gen.t;
@@ -41,6 +46,13 @@ type t = {
   mutable read_hooks : (int * (Surrogate.t -> unit)) list;
   mutable write_hooks : (int * (Surrogate.t -> unit)) list;
   mutable next_hook : int;
+  (* mutation stamp for compiled plans: bumped by every data or
+     structural mutation (including class-extent changes), whether or
+     not the resolve cache is enabled — the cache generation freezes
+     while the cache is disabled, so it cannot serve as a staleness
+     signal on its own *)
+  mutable plan_epoch : int;
+  mutable plan_slot : plan_slot option;
 }
 
 type hook_id = int
@@ -70,9 +82,15 @@ let create schema =
     read_hooks = [];
     write_hooks = [];
     next_hook = 1;
+    plan_epoch = 0;
+    plan_slot = None;
   }
 
 let schema t = t.schema
+let plan_epoch t = t.plan_epoch
+let plan_slot t = t.plan_slot
+let set_plan_slot t slot = t.plan_slot <- Some slot
+let bump_plan_epoch t = t.plan_epoch <- t.plan_epoch + 1
 
 (* ------------------------------------------------------------------ *)
 (* Latching: every mutator below runs [exclusively]; a parallel select
@@ -103,7 +121,9 @@ let resolve_cache_active t =
   | `Disabled | `Hooked -> false
 
 let invalidate_resolve_cache t =
-  exclusively t @@ fun () -> Resolve_cache.invalidate_global t.cache
+  exclusively t @@ fun () ->
+  bump_plan_epoch t;
+  Resolve_cache.invalidate_global t.cache
 
 (* A transmitter attribute write invalidates only the writer and its
    inheritor closure; unrelated chains keep their cached resolutions.
@@ -157,7 +177,11 @@ let remove_hook t id =
 
 let read_hooks_installed t = t.read_hooks <> []
 let notify_read t s = List.iter (fun (_, f) -> f s) t.read_hooks
-let notify_write t s = List.iter (fun (_, f) -> f s) t.write_hooks
+let notify_write t s =
+  (* every mutation site broadcasts here, so this is also where the
+     compiled-plan stamp advances *)
+  bump_plan_epoch t;
+  List.iter (fun (_, f) -> f s) t.write_hooks
 
 (* ------------------------------------------------------------------ *)
 (* Entity access                                                       *)
@@ -195,6 +219,7 @@ let create_class t ~name ~member_type =
     let* _ = Schema.find_obj_type t.schema member_type in
     Hashtbl.replace t.classes name { cls_member_type = member_type; cls_members = [] };
     t.class_order <- name :: t.class_order;
+    bump_plan_epoch t;
     Ok ()
 
 let class_names t = List.rev t.class_order
@@ -754,7 +779,8 @@ let restore_class t ~name ~member_type ~members =
   Hashtbl.replace t.classes name
     { cls_member_type = member_type; cls_members = List.rev members };
   if not (List.mem name t.class_order) then
-    t.class_order <- name :: t.class_order
+    t.class_order <- name :: t.class_order;
+  bump_plan_epoch t
 
 (* ------------------------------------------------------------------ *)
 (* Structural invariants                                               *)

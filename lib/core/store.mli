@@ -43,6 +43,28 @@ type t
 val create : Schema.t -> t
 val schema : t -> Schema.t
 
+(** {1 Compiled-plan stamping}
+
+    The query-compilation layer ({!Plan}, above this module) caches
+    flattened adjacency arrays and materialized resolved-value columns
+    per store.  Those caches are only valid against a frozen state, so
+    the store carries a monotonic mutation stamp that — unlike the
+    resolve-cache generation, which freezes while the cache is disabled
+    — advances on {e every} mutation: attribute writes, binding and
+    participant changes, deletes, class-extent changes, schema
+    evolution, restores. *)
+
+val plan_epoch : t -> int
+(** Current mutation stamp.  Plan state recorded under an older epoch is
+    stale and must be rebuilt. *)
+
+type plan_slot = ..
+(** Opaque per-store slot for compiled-plan state; {!Plan} injects its
+    own constructor (this module never inspects the contents). *)
+
+val plan_slot : t -> plan_slot option
+val set_plan_slot : t -> plan_slot -> unit
+
 (** {1 Latching}
 
     Every mutator of this module runs under the store's write latch; a

@@ -212,3 +212,36 @@ let filter_list ~jobs pred xs =
       out
     end
   end
+
+(* index-aware twin of [filter_list]: same chunk arithmetic, so the two
+   produce identical par.* metric streams for identical inputs (the CLI
+   cram tests pin par.chunks totals) *)
+let filteri_list ~jobs pred xs =
+  if jobs <= 1 then List.filteri pred xs
+  else begin
+    let arr = Array.of_list xs in
+    let len = Array.length arr in
+    let nchunks =
+      max 1 (min (jobs * chunks_per_job) ((len + min_chunk - 1) / min_chunk))
+    in
+    if nchunks <= 1 then List.filteri pred xs
+    else begin
+      let results = Array.make nchunks [] in
+      let base = len / nchunks and extra = len mod nchunks in
+      let start k = (k * base) + min k extra in
+      let tasks =
+        Array.init nchunks (fun k () ->
+            let lo = start k and hi = start (k + 1) in
+            let kept = ref [] in
+            for i = hi - 1 downto lo do
+              if pred i arr.(i) then kept := arr.(i) :: !kept
+            done;
+            results.(k) <- !kept)
+      in
+      run ~jobs tasks;
+      let t0 = Unix.gettimeofday () in
+      let out = List.concat (Array.to_list results) in
+      Metrics.observe h_merge (Unix.gettimeofday () -. t0);
+      out
+    end
+  end

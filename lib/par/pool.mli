@@ -64,6 +64,12 @@ val filter_list : jobs:int -> ('a -> bool) -> 'a list -> 'a list
     inputs (under one chunk of ~16) and [jobs <= 1] run sequentially
     on the caller. *)
 
+val filteri_list : jobs:int -> (int -> 'a -> bool) -> 'a list -> 'a list
+(** {!filter_list} with the element's position passed to the predicate
+    (the position in [xs], stable across chunking).  Same chunk shape
+    and metrics as {!filter_list}; compiled column scans use the index
+    to address materialized value arrays. *)
+
 val shutdown : unit -> unit
 (** Stop and join every pool worker.  Registered [at_exit]; safe to
     call more than once.  A later {!run} restarts the pool. *)

@@ -143,7 +143,20 @@ Query EXPLAIN renders the plan tree (deterministic without --timings):
   select Bolts
     where: (Length > 3)
     access: seq scan over class Bolts -> 2 candidate(s)
+    filter: (Length > 3) -> 2 row(s), 0 eval node(s)
+    plan: compiled, 3 closure(s), adjacency 30 node(s) / 7 edge(s)
+    columns: Length@e37 (built)
+  2 object(s)
+
+With the compiled engine off the same query runs the interpreted
+evaluator — same rows, and the plan line says so:
+
+  $ COMPO_NO_COMPILE=1 compo explain query sdb Bolts -w 'Length > 3'
+  select Bolts
+    where: (Length > 3)
+    access: seq scan over class Bolts -> 2 candidate(s)
     filter: (Length > 3) -> 2 row(s), 6 eval node(s)
+    plan: interpreted
   2 object(s)
 
 Metric exporters: the OpenMetrics exposition validates against the
@@ -154,7 +167,7 @@ with the metrics array:
   $ tail -1 stats.om
   # EOF
   $ ../check_openmetrics.exe stats.om
-  check_openmetrics: OK (65 families)
+  check_openmetrics: OK (70 families)
   $ compo stats tiny.ddl --format=json | head -2
   {
     "metrics": [
@@ -234,6 +247,24 @@ logic runs:
   compo: COMPO_FLIGHTREC_CAPACITY must be a positive integer (got 'many')
   [1]
   $ COMPO_TRACE_SAMPLE=0.5 COMPO_FLIGHTREC_CAPACITY=64 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+
+COMPO_NO_COMPILE picks the query engine, so it is a strict boolean:
+truthy disables the compiled engine, falsy keeps it, garbage dies:
+
+  $ COMPO_NO_COMPILE=maybe compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_NO_COMPILE must be a boolean (0/1/true/false/yes/no) (got 'maybe')
+  [1]
+  $ COMPO_NO_COMPILE=2 compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_NO_COMPILE must be a boolean (0/1/true/false/yes/no) (got '2')
+  [1]
+  $ COMPO_NO_COMPILE=1 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+  $ COMPO_NO_COMPILE=0 compo query sdb Bolts --where 'Length > 3'
   @17 BoltType Length=9 Diameter=10
   @24 BoltType Length=9 Diameter=10
   2 object(s)

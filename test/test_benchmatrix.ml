@@ -13,48 +13,51 @@ module J = Compo_obs.Json_min
 
 let test_default_cells () =
   let cells = Cell.default_cells () in
-  check_bool "at least 12 cells" true (List.length cells >= 12);
+  check_bool "at least 24 cells" true (List.length cells >= 24);
   let ids = List.map Cell.id cells in
   let uniq = List.sort_uniq String.compare ids in
   check_int "ids are unique" (List.length cells) (List.length uniq);
   (* every cell binds every canonical axis, in canonical order *)
   List.iter
     (fun c ->
-      check_int "five axes" 5 (List.length (Cell.axes c));
+      check_int "six axes" 6 (List.length (Cell.axes c));
       check_string "canonical axis order"
-        "cache index jobs prov fp"
+        "cache index compile jobs prov fp"
         (String.concat " " (List.map fst (Cell.axes c))))
     cells;
   (* the curated blocks are all present *)
   let mem id = List.mem id ids in
   check_bool "baseline cell" true
-    (mem "cache=on index=on jobs=1 prov=off fp=off");
+    (mem "cache=on index=on compile=on jobs=1 prov=off fp=off");
   check_bool "full-ablation corner" true
-    (mem "cache=off index=off jobs=1 prov=on fp=off");
+    (mem "cache=off index=off compile=off jobs=1 prov=on fp=off");
   check_bool "4-job cell" true
-    (mem "cache=on index=on jobs=4 prov=off fp=off");
+    (mem "cache=on index=on compile=on jobs=4 prov=off fp=off");
+  check_bool "4-job interpreted cell" true
+    (mem "cache=on index=on compile=off jobs=4 prov=off fp=off");
   check_bool "armed-failpoint flip" true
-    (mem "cache=on index=on jobs=1 prov=off fp=armed")
+    (mem "cache=on index=on compile=on jobs=1 prov=off fp=armed")
 
 let test_env_rendering () =
   let env pairs = Cell.env (Cell.make pairs) in
   let baseline =
-    [ ("cache", "on"); ("index", "on"); ("jobs", "1"); ("prov", "off");
-      ("fp", "off") ]
+    [ ("cache", "on"); ("index", "on"); ("compile", "on"); ("jobs", "1");
+      ("prov", "off"); ("fp", "off") ]
   in
   (* default values emit nothing except COMPO_JOBS, which is always
      explicit so a cell never inherits the caller's job count *)
   check_bool "baseline renders only COMPO_JOBS" true
     (env baseline = [ ("COMPO_JOBS", "1") ]);
   let flipped =
-    [ ("cache", "off"); ("index", "off"); ("jobs", "4"); ("prov", "on");
-      ("fp", "armed") ]
+    [ ("cache", "off"); ("index", "off"); ("compile", "off"); ("jobs", "4");
+      ("prov", "on"); ("fp", "armed") ]
   in
   check_bool "every non-default value emits its switch" true
     (env flipped
     = [
         ("COMPO_NO_RESOLVE_CACHE", "1");
         ("COMPO_NO_INDEX", "1");
+        ("COMPO_NO_COMPILE", "1");
         ("COMPO_JOBS", "4");
         ("COMPO_PROVENANCE", "1");
         ("COMPO_FAILPOINTS", Cell.failpoint_spec);
@@ -101,8 +104,8 @@ let matrix rows =
   { Report.m_smoke = true; m_cores = 1; m_suite = [ "E2"; "E15" ]; m_rows = rows }
 
 let baseline_pairs =
-  [ ("cache", "on"); ("index", "on"); ("jobs", "1"); ("prov", "off");
-    ("fp", "off") ]
+  [ ("cache", "on"); ("index", "on"); ("compile", "on"); ("jobs", "1");
+    ("prov", "off"); ("fp", "off") ]
 
 let with_axis axis v =
   List.map (fun (a, w) -> if a = axis then (a, v) else (a, w)) baseline_pairs
@@ -138,12 +141,12 @@ let test_report_roundtrip () =
             | Some r -> r
             | None -> Alcotest.failf "row %S lost in round-trip" id
           in
-          let ok_row = get "cache=on index=on jobs=1 prov=off fp=off" in
+          let ok_row = get "cache=on index=on compile=on jobs=1 prov=off fp=off" in
           check_bool "metrics survive" true
             (ok_row.Report.r_metrics
             = [ ("e15.min_speedup", 2.5); ("eval.node", 123456.0) ]);
           check_bool "wall survives" true (ok_row.Report.r_wall_s = 0.75);
-          let skip_row = get "cache=on index=on jobs=4 prov=off fp=off" in
+          let skip_row = get "cache=on index=on compile=on jobs=4 prov=off fp=off" in
           (match skip_row.Report.r_outcome with
           | Report.Skipped reason ->
               check_string "skip reason survives"
@@ -151,7 +154,7 @@ let test_report_roundtrip () =
           | _ -> Alcotest.fail "skip outcome lost");
           check_bool "skipped wall reads back as nan" true
             (Float.is_nan skip_row.Report.r_wall_s);
-          match (get "cache=on index=on jobs=1 prov=on fp=off").Report.r_outcome with
+          match (get "cache=on index=on compile=on jobs=1 prov=on fp=off").Report.r_outcome with
           | Report.Failed reason ->
               check_string "failure detail survives escaping"
                 "exit 2: boom \"quoted\"" reason

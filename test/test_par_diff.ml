@@ -1,9 +1,14 @@
-(* Differential oracle for the parallel query engine: over randomized
-   schemas, populations and predicates, [select ~jobs:4] must return
-   exactly what [select ~jobs:1] returns — same rows, same order, same
-   resolved values.  The generator is a hand-rolled splittable PRNG
-   (never [Random.self_init]), so every run replays the same 200+
-   seeds and a reported failure reproduces from its seed alone. *)
+(* Differential oracle for the query engines: over randomized schemas,
+   populations and predicates, three runs of the same select must return
+   exactly the same thing — same rows, same order, same resolved values:
+
+     interpreted         Plan disabled, jobs = 1   (the reference)
+     compiled            Plan enabled,  jobs = 1
+     parallel compiled   Plan enabled,  jobs = 4
+
+   The generator is a hand-rolled splittable PRNG (never
+   [Random.self_init]), so every run replays the same 200+ seeds and a
+   reported failure reproduces from its seed alone. *)
 
 open Compo_core
 open Helpers
@@ -199,20 +204,31 @@ let check_round seed =
   if rand r 2 = 0 then ok (Database.create_index db ~cls:"Pop" ~attr:"Local");
   let src = random_pred r 3 in
   let where = Some (ok (Compo_ddl.Parser.parse_expr src)) in
-  let seq = ok (Database.select db ~cls:"Pop" ~jobs:1 ?where ()) in
-  let par = ok (Database.select db ~cls:"Pop" ~jobs:4 ?where ()) in
-  if not (List.equal Surrogate.equal seq par) then
-    Alcotest.failf
-      "seed %d: rows differ for %s\n\
-       sequential: %d row(s) [%s]\n\
-       parallel:   %d row(s) [%s]\n\
-       plan:\n\
-       %s"
-      seed src (List.length seq)
-      (String.concat ", " (List.map Surrogate.to_string seq))
-      (List.length par)
-      (String.concat ", " (List.map Surrogate.to_string par))
-      (explain_both db ~cls:"Pop" where);
+  let plan0 = Plan.enabled () in
+  Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
+  let run_with enabled jobs =
+    Plan.set_enabled enabled;
+    ok (Database.select db ~cls:"Pop" ~jobs ?where ())
+  in
+  let interp = run_with false 1 in
+  let seq = run_with true 1 in
+  let par = run_with true 4 in
+  let diff label a b =
+    if not (List.equal Surrogate.equal a b) then
+      Alcotest.failf
+        "seed %d: %s rows differ for %s\n\
+         reference: %d row(s) [%s]\n\
+         other:     %d row(s) [%s]\n\
+         plan:\n\
+         %s"
+        seed label src (List.length a)
+        (String.concat ", " (List.map Surrogate.to_string a))
+        (List.length b)
+        (String.concat ", " (List.map Surrogate.to_string b))
+        (explain_both db ~cls:"Pop" where)
+  in
+  diff "interpreted vs compiled" interp seq;
+  diff "compiled vs parallel-compiled" seq par;
   (* same rows in the same order; now the same resolved values *)
   List.iter
     (fun attr ->
@@ -224,16 +240,22 @@ let check_round seed =
             | Error e -> "!" ^ Errors.to_string e)
           rows
       in
-      let vs = project seq and vp = project par in
-      if vs <> vp then
+      let vi = project interp and vs = project seq and vp = project par in
+      if vi <> vs || vs <> vp then
         Alcotest.failf "seed %d: resolved %s values differ for %s" seed attr
           src)
     [ "A"; "B"; "Local" ]
 
 let test_differential () =
+  let scans0 = Plan.compiled_scans () in
   for seed = 0 to 219 do
     check_round seed
-  done
+  done;
+  (* the oracle proves nothing if the compiled engine silently stood
+     down for every round *)
+  Alcotest.(check bool)
+    "compiled engine engaged" true
+    (Plan.compiled_scans () > scans0)
 
 (* The unplanned scan path through Query.select directly (no Database
    planner in the way), including subclass-free stores. *)
@@ -270,7 +292,8 @@ let test_edges () =
 let suite =
   ( "par-diff",
     [
-      case "select ~jobs:1 == select ~jobs:4 over 220 random rounds"
+      case
+        "interpreted == compiled == parallel-compiled over 220 random rounds"
         test_differential;
       case "Query.select direct path, 20 rounds" test_query_select_direct;
       case "degenerate shapes" test_edges;

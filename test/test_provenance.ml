@@ -231,14 +231,30 @@ let test_explain_range_and_residual () =
 let test_explain_counts_eval_nodes () =
   let db = catalog_db () in
   Metrics.enable ();
-  Fun.protect ~finally:Metrics.disable @@ fun () ->
-  let _, ex =
-    ok
-      (Database.explain_select db ~cls:"Parts"
-         ~where:Expr.(path [ "Weight" ] > int 2)
-         ())
-  in
-  check_bool "filtering spends evaluator nodes" true (ex.Query.ex_eval_nodes > 0)
+  let plan0 = Plan.enabled () in
+  Fun.protect ~finally:(fun () ->
+      Metrics.disable ();
+      Plan.set_enabled plan0)
+  @@ fun () ->
+  let where = Expr.(path [ "Weight" ] > int 2) in
+  (* interpreted engine: the filter stage spends evaluator nodes *)
+  Plan.set_enabled false;
+  let _, ex = ok (Database.explain_select db ~cls:"Parts" ~where ()) in
+  check_bool "interpreted filtering spends evaluator nodes" true
+    (ex.Query.ex_eval_nodes > 0);
+  check_bool "interpreted plan reported" true (ex.Query.ex_plan = None);
+  (* compiled engine: closures over materialized columns, no evaluator *)
+  Plan.set_enabled true;
+  let rows, ex = ok (Database.explain_select db ~cls:"Parts" ~where ()) in
+  check_int "compiled rows" 2 (List.length rows);
+  check_int "compiled filtering spends no evaluator nodes" 0
+    ex.Query.ex_eval_nodes;
+  match ex.Query.ex_plan with
+  | None -> Alcotest.fail "expected a compiled plan report"
+  | Some r ->
+      check_bool "closures compiled" true (r.Plan.rp_closures > 0);
+      check_bool "column materialized" true
+        (List.exists (fun (a, _, _) -> a = "Weight") r.Plan.rp_columns)
 
 let test_pp_explain_deterministic () =
   let db = catalog_db () in
