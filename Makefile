@@ -83,19 +83,23 @@ bench: build
 
 # CI-sized benchmark: E1 plus the resolve-cache sweep E15, the
 # provenance-overhead sweep E16, the recovery-time sweep E17, the
-# parallel-scaling sweep E18, and the compiled-plan sweep E21 on small
-# grids.  Fails if the cached read path is slower than the uncached
-# one, if 4-job selects scale below 1.8x on a >= 4-core machine (the
-# gate skips, loudly, on smaller runners), if the compiled engine is
-# less than 3x the interpreted one single-threaded (skips on 1-core
-# runners), or if any experiment does not produce its JSON report.
+# parallel-scaling sweep E18, the compiled-plan sweep E21 and the
+# delta-maintenance sweep E22 on small grids.  Fails if the cached
+# read path is slower than the uncached one, if 4-job selects scale
+# below 1.8x on a >= 4-core machine (the gate skips, loudly, on
+# smaller runners), if the compiled engine is less than 3x the
+# interpreted one single-threaded (skips on 1-core runners), if
+# delta-maintained plan state is less than 2x full rebuild on the 20%
+# write mix (same 1-core skip), or if any experiment does not produce
+# its JSON report.
 bench-smoke: build
-	dune exec bench/main.exe -- --smoke --check-speedup 1.0 --check-scaling 1.8 --check-compiled-speedup 3 E1 E15 E16 E17 E18 E21
+	dune exec bench/main.exe -- --smoke --check-speedup 1.0 --check-scaling 1.8 --check-compiled-speedup 3 --check-delta-speedup 2 E1 E15 E16 E17 E18 E21 E22
 	test -s BENCH_resolve_cache.json
 	test -s BENCH_provenance.json
 	test -s BENCH_recovery.json
 	test -s BENCH_resolve_parallel.json
 	test -s BENCH_compiled.json
+	test -s BENCH_plan_delta.json
 
 # Ablation matrix (E20): enumerate configuration cells (resolve cache
 # on/off, index planning on/off, compiled engine on/off, provenance
@@ -169,6 +173,7 @@ clean:
 	dune clean
 	rm -f BENCH_resolve_cache.json BENCH_provenance.json BENCH_recovery.json
 	rm -f BENCH_resolve_parallel.json BENCH_server.json
+	rm -f BENCH_compiled.json BENCH_plan_delta.json
 	rm -f BENCH_*.metrics.json obs-check.om obs-check.live.om torture-check.log
 	rm -f BENCH_matrix.fresh.json
 	rm -f soak-flightrec.json soak-flightrec.txt soak-slowlog.txt *.flightrec.json

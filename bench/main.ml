@@ -834,25 +834,29 @@ let write_e18_json ?(skipped = false) () =
   Compo_obs.Metrics.snapshot_to_file "BENCH_resolve_parallel.metrics.json";
   say "wrote BENCH_resolve_parallel.metrics.json"
 
-(* Shared by E18/E21: [roots] independent chains of depth [depth]; every
-   node of every chain joins the "Pop" extent, so a candidate at level k
-   resolves Payload across k transmitter hops.  The resolve cache is
-   switched off so the per-candidate work is the real chain walk.
-   Returns the database and the actual population. *)
+(* Shared by E18/E21/E22: [roots] independent chains of depth [depth];
+   every node of every chain joins the "Pop" extent, so a candidate at
+   level k resolves Payload across k transmitter hops.  The resolve
+   cache is switched off so the per-candidate work is the real chain
+   walk.  Returns the database, the actual population and the chain
+   roots (E22's write mix rewrites root Payloads, dirtying exactly one
+   subtree of resolution chains per write). *)
 let chain_population ~depth ~pop =
   let ty k = "Node" ^ string_of_int k in
   let rel k = "AllOf_Node" ^ string_of_int k in
   let db = Database.create () in
   ok (W.chain_schema db ~depth);
   ok (Database.create_class db ~name:"Pop" ~member_type:(ty 0));
-  let roots = max 1 (pop / (depth + 1)) in
-  for i = 0 to roots - 1 do
+  let nroots = max 1 (pop / (depth + 1)) in
+  let roots = ref [] in
+  for i = 0 to nroots - 1 do
     let root =
       ok
         (Database.new_object db ~cls:"Pop" ~ty:(ty 0)
            ~attrs:[ ("Payload", Value.Int (i mod 50)) ]
            ())
     in
+    roots := root :: !roots;
     let parent = ref root in
     for k = 1 to depth do
       let s = ok (Database.new_object db ~cls:"Pop" ~ty:(ty k) ()) in
@@ -865,7 +869,7 @@ let chain_population ~depth ~pop =
     done
   done;
   Store.set_resolve_cache_enabled (Database.store db) false;
-  (db, roots * (depth + 1))
+  (db, nroots * (depth + 1), List.rev !roots)
 
 let e18 () =
   header "E18"
@@ -884,7 +888,7 @@ let e18 () =
   Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
   List.iter
     (fun (depth, pop) ->
-      let db, population = chain_population ~depth ~pop in
+      let db, population, _roots = chain_population ~depth ~pop in
       let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
       let t1 = ref nan in
       List.iter
@@ -960,7 +964,7 @@ let e21 () =
   Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
   List.iter
     (fun (depth, pop) ->
-      let db, population = chain_population ~depth ~pop in
+      let db, population, _roots = chain_population ~depth ~pop in
       let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
       List.iter
         (fun jobs ->
@@ -981,6 +985,114 @@ let e21 () =
     grid;
   e21_results := List.rev !e21_results;
   write_e21_json ()
+
+(* ------------------------------------------------------------------ *)
+(* E22: delta-maintained plan state vs full rebuild under a write mix  *)
+
+(* (depth, population, write_pct, delta us/op, rebuild us/op, ratio) *)
+let e22_results : (int * int * int * float * float * float) list ref = ref []
+
+let write_e22_json ?(skipped = false) () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf "  \"experiment\": \"E22\",\n";
+  Buffer.add_string buf
+    "  \"description\": \"delta-maintained plan state (change-log patching \
+     of adjacency arrays and materialized columns) vs full epoch rebuild on \
+     a mixed read/write workload over E18's chain population, by write \
+     percentage\",\n";
+  Printf.bprintf buf "  \"smoke\": %b,\n" !smoke;
+  Printf.bprintf buf "  \"skipped\": %b,\n" skipped;
+  Printf.bprintf buf "  \"cores\": %d,\n" (Compo_par.Pool.available_cores ());
+  Buffer.add_string buf "  \"rows\": [\n";
+  let n = List.length !e22_results in
+  List.iteri
+    (fun i (depth, pop, pct, dus, rus, ratio) ->
+      Printf.bprintf buf
+        "    { \"depth\": %d, \"population\": %d, \"write_pct\": %d, \
+         \"delta_us_per_op\": %.3f, \"rebuild_us_per_op\": %.3f, \
+         \"ratio\": %.2f }%s\n"
+        depth pop pct dus rus ratio
+        (if i = n - 1 then "" else ","))
+    !e22_results;
+  Buffer.add_string buf "  ],\n";
+  let mixed =
+    List.filter_map
+      (fun (_, _, pct, _, _, ratio) -> if pct = 20 then Some ratio else None)
+      !e22_results
+  in
+  (match mixed with
+  | [] -> Buffer.add_string buf "  \"write20_ratio\": null\n"
+  | _ ->
+      Printf.bprintf buf "  \"write20_ratio\": %.2f\n"
+        (List.fold_left min infinity mixed));
+  Buffer.add_string buf "}\n";
+  let oc = open_out "BENCH_plan_delta.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  say "wrote BENCH_plan_delta.json (%d rows)" n;
+  Compo_obs.Metrics.snapshot_to_file "BENCH_plan_delta.metrics.json";
+  say "wrote BENCH_plan_delta.metrics.json"
+
+let e22 () =
+  header "E22"
+    "incremental plan maintenance: delta-patched columns vs full rebuild \
+     under a mixed read/write workload (E18's chains, resolve cache off)";
+  e22_results := [];
+  say "(%d core(s) available)" (Compo_par.Pool.available_cores ());
+  say "%8s %10s %7s %14s %16s %8s" "depth" "objects" "write%" "delta us/op"
+    "rebuild us/op" "ratio";
+  let grid = if !smoke then [ (4, 250) ] else [ (4, 2000) ] in
+  let mixes = if !smoke then [ 20 ] else [ 0; 5; 20; 50 ] in
+  let ops = if !smoke then 60 else 200 in
+  let plan0 = Plan.enabled () in
+  let delta0 = Plan.delta_enabled () in
+  Fun.protect ~finally:(fun () ->
+      Plan.set_enabled plan0;
+      Plan.set_delta_enabled delta0)
+  @@ fun () ->
+  Plan.set_enabled true;
+  List.iter
+    (fun (depth, pop) ->
+      let db, population, roots = chain_population ~depth ~pop in
+      let roots = Array.of_list roots in
+      let nroots = Array.length roots in
+      let where = ok (Compo_ddl.Parser.parse_expr "Payload < 25") in
+      List.iter
+        (fun pct ->
+          (* One "workload pass" = [ops] operations; operation i is a root
+             Payload write when (i * pct) mod 100 < pct (an even Bresenham
+             spread: pct = 20 makes every 5th op a write) and a compiled
+             select over the whole extent otherwise.  Each write dirties
+             one chain's worth of resolution dependencies, so the delta
+             arm repairs a handful of rows while the rebuild arm re-fills
+             the column from scratch before the next read. *)
+          let pass () =
+            for i = 0 to ops - 1 do
+              if i * pct mod 100 < pct then
+                ok
+                  (Database.set_attr db roots.(i mod nroots) "Payload"
+                     (Value.Int (i mod 50)))
+              else
+                ignore
+                  (ok (Database.select db ~cls:"Pop" ~jobs:1 ~where ()))
+            done
+          in
+          Plan.set_delta_enabled false;
+          let tr = time_per ~repeat:7 pass in
+          Plan.set_delta_enabled true;
+          let td = time_per ~repeat:7 pass in
+          let ratio = tr /. td in
+          let dus = us td /. float_of_int ops in
+          let rus = us tr /. float_of_int ops in
+          e22_results :=
+            (depth, population, pct, dus, rus, ratio) :: !e22_results;
+          say "%8d %10d %7d %14.3f %16.3f %7.2fx" depth population pct dus rus
+            ratio)
+        mixes)
+    grid;
+  e22_results := List.rev !e22_results;
+  write_e22_json ()
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks over the headline operations              *)
@@ -1095,13 +1207,14 @@ let experiments =
     ("E1", e1); ("E2", e2); ("E3", e3); ("E4", e4); ("E5", e5); ("E6", e6);
     ("E7", e7); ("E8", e8); ("E9", e9); ("E10", e10); ("E11", e11);
     ("E12", e12); ("E13", e13); ("E14", e14); ("E15", e15); ("E16", e16);
-    ("E17", e17); ("E18", e18); ("E21", e21);
+    ("E17", e17); ("E18", e18); ("E21", e21); ("E22", e22);
   ]
 
 let usage () =
-  say "usage: bench [E1 .. E18, E21 | bechamel ...] [--smoke] [--no-resolve-cache]";
+  say "usage: bench [E1 .. E18, E21, E22 | bechamel ...] [--smoke] [--no-resolve-cache]";
   say "             [--check-speedup MIN] [--check-scaling MIN]";
-  say "             [--check-compiled-speedup MIN] [--no-bechamel]";
+  say "             [--check-compiled-speedup MIN] [--check-delta-speedup MIN]";
+  say "             [--no-bechamel]";
   exit 2
 
 let () =
@@ -1124,6 +1237,7 @@ let () =
   let check = ref None in
   let check_scaling = ref None in
   let check_compiled = ref None in
+  let check_delta = ref None in
   let no_bechamel = ref false in
   let selected = ref [] in
   let rec parse = function
@@ -1158,6 +1272,13 @@ let () =
             parse rest
         | None -> usage ())
     | "--check-compiled-speedup" :: [] -> usage ()
+    | "--check-delta-speedup" :: v :: rest -> (
+        match float_of_string_opt v with
+        | Some f ->
+            check_delta := Some f;
+            parse rest
+        | None -> usage ())
+    | "--check-delta-speedup" :: [] -> usage ()
     | name :: rest ->
         let name = String.uppercase_ascii name in
         if String.equal name "BECHAMEL" then selected := "bechamel" :: !selected
@@ -1274,6 +1395,44 @@ let () =
               say
                 "check-compiled-speedup: OK - compiled/interpreted \
                  single-thread ratio %.2fx >= %.2fx"
+                worst min_required));
+  (match !check_delta with
+  | None -> ()
+  | Some min_required -> (
+      (* same hardware caveat as the compiled gate: a 1-core shared
+         runner times too noisily to judge a perf ratio, so the gate
+         stands down loudly and the report records the SKIP *)
+      let cores = Compo_par.Pool.available_cores () in
+      if cores < 2 then begin
+        say
+          "check-delta-speedup: SKIP - only %d core(s) available, timings \
+           too noisy to gate a perf ratio"
+          cores;
+        write_e22_json ~skipped:true ()
+      end
+      else
+        match
+          List.filter_map
+            (fun (_, _, pct, _, _, ratio) ->
+              if pct = 20 then Some ratio else None)
+            !e22_results
+        with
+        | [] ->
+            say "check-delta-speedup: E22 did not run, nothing to gate on";
+            exit 2
+        | mixed ->
+            let worst = List.fold_left min infinity mixed in
+            if worst < min_required then begin
+              say
+                "check-delta-speedup: FAIL - delta/full-rebuild ratio at \
+                 20%% writes %.2fx < required %.2fx"
+                worst min_required;
+              exit 1
+            end
+            else
+              say
+                "check-delta-speedup: OK - delta/full-rebuild ratio at \
+                 20%% writes %.2fx >= %.2fx"
                 worst min_required));
   say "";
   say "bench done."

@@ -1,7 +1,7 @@
 type axis = { ax_name : string; ax_values : string list }
 
 (* canonical axis order; ids and tables render in this order *)
-let canonical = [ "cache"; "index"; "compile"; "jobs"; "prov"; "fp" ]
+let canonical = [ "cache"; "index"; "compile"; "delta"; "jobs"; "prov"; "fp" ]
 
 let axis_rank name =
   let rec go i = function
@@ -41,6 +41,8 @@ let env t =
       | "index", _ -> []
       | "compile", "off" -> [ ("COMPO_NO_COMPILE", "1") ]
       | "compile", _ -> []
+      | "delta", "off" -> [ ("COMPO_NO_DELTA", "1") ]
+      | "delta", _ -> []
       | "jobs", n -> [ ("COMPO_JOBS", n) ]
       | "prov", "on" -> [ ("COMPO_PROVENANCE", "1") ]
       | "prov", _ -> []
@@ -87,6 +89,7 @@ let default_cells () =
         onoff "cache";
         onoff "index";
         onoff "compile";
+        { ax_name = "delta"; ax_values = [ "on" ] };
         { ax_name = "jobs"; ax_values = [ "1" ] };
         { ax_name = "prov"; ax_values = [ "off"; "on" ] };
         { ax_name = "fp"; ax_values = [ "off" ] };
@@ -102,6 +105,7 @@ let default_cells () =
         onoff "cache";
         { ax_name = "index"; ax_values = [ "on" ] };
         onoff "compile";
+        { ax_name = "delta"; ax_values = [ "on" ] };
         { ax_name = "jobs"; ax_values = [ "2"; "4" ] };
         { ax_name = "prov"; ax_values = [ "off" ] };
         { ax_name = "fp"; ax_values = [ "off" ] };
@@ -113,9 +117,23 @@ let default_cells () =
     [
       make
         [
-          ("cache", "on"); ("index", "on"); ("compile", "on"); ("jobs", "1");
-          ("prov", "off"); ("fp", "armed");
+          ("cache", "on"); ("index", "on"); ("compile", "on");
+          ("delta", "on"); ("jobs", "1"); ("prov", "off"); ("fp", "armed");
         ];
     ]
   in
-  dedup (base @ jobs_sweep @ fp_armed)
+  (* delta flips: the compiled engine with incremental plan maintenance
+     disabled (every change-log window falls back to a full epoch
+     rebuild), sequential and at the headline 4-job point — what the
+     delta machinery buys each configuration *)
+  let delta_off =
+    List.map
+      (fun jobs ->
+        make
+          [
+            ("cache", "on"); ("index", "on"); ("compile", "on");
+            ("delta", "off"); ("jobs", jobs); ("prov", "off"); ("fp", "off");
+          ])
+      [ "1"; "4" ]
+  in
+  dedup (base @ jobs_sweep @ fp_armed @ delta_off)

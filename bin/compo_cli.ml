@@ -65,8 +65,8 @@ let configure_flightrec_env () =
       prerr_endline ("compo: " ^ msg);
       exit 1
 
-(* COMPO_NO_COMPILE: same convention — a malformed toggle dies with one
-   line instead of silently picking an engine *)
+(* COMPO_NO_COMPILE / COMPO_NO_DELTA: same convention — a malformed
+   toggle dies with one line instead of silently picking an engine *)
 let configure_plan_env () =
   match Plan.configure_from_env () with
   | Ok () -> ()
@@ -1091,6 +1091,13 @@ let () =
           "Disable the compiled query engine (closure compilation and \
            materialized resolved-value columns); selects run the \
            interpreted evaluator.  Results are identical either way.";
+      Cmd.Env.info "COMPO_NO_DELTA"
+        ~doc:
+          "Disable delta maintenance of compiled-plan state: any \
+           mutation then rebuilds adjacency registries and materialized \
+           columns from scratch on the next select instead of patching \
+           them in place from the store's change log.  Results are \
+           identical either way.";
       Cmd.Env.info "COMPO_JOBS"
         ~doc:
           "Default worker-domain count for parallel selects (see --jobs, \

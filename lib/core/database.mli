@@ -144,7 +144,10 @@ val select :
     exact order the sequential plan produces.  [select ~jobs:n] is
     observationally identical to [select ~jobs:1] for every [n] — the
     differential suite ([test_par_diff]) proves it over randomized
-    schemas, populations and predicates. *)
+    schemas, populations, predicates {e and} mutation interleavings
+    (binds, unbinds, attribute writes and deletes between selects
+    exercise {!Plan}'s delta-maintained columns against the interpreted
+    engine). *)
 
 val select_subobjects :
   t -> parent:Surrogate.t -> subclass:string -> ?jobs:int -> ?where:Expr.t ->

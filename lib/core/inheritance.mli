@@ -69,7 +69,13 @@ val attr : Store.t -> Surrogate.t -> string -> (Value.t, Errors.t) result
     the relationship object and permeability decision at each hop, and
     the cache outcome (hit / miss / bypass under read hooks / off).  On a
     cache hit the chain is replayed for the trace while the cached value
-    is returned. *)
+    is returned.
+
+    {!Plan}'s flat column fill mirrors this walk hop for hop over its
+    adjacency registry (and records the chain it read as the row's
+    dependency set, so delta maintenance dirties exactly the rows whose
+    chains pass through a touched entity); any divergence between the
+    two walks is a bug the differential oracle is designed to catch. *)
 
 val explain :
   Store.t -> Surrogate.t -> string -> (Value.t * Compo_obs.Provenance.read, Errors.t) result

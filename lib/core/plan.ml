@@ -1,9 +1,11 @@
 (* Compiled flat query plans: adjacency registry + closure compilation +
-   materialized resolved-value columns.  See plan.mli for the contract;
-   the load-bearing invariant throughout is that a compiled scan keeps a
-   row iff the interpreted scan would keep it (same order, same rows),
-   which the 3-way differential oracle in test/test_par_diff.ml checks
-   over hundreds of random schemas. *)
+   materialized resolved-value columns, all delta-maintained against the
+   store's typed change log.  See plan.mli for the contract; the
+   load-bearing invariant throughout is that a compiled scan keeps a row
+   iff the interpreted scan would keep it (same order, same rows), which
+   the 3-way differential oracle in test/test_par_diff.ml checks over
+   hundreds of random schemas — now with mutation batches interleaved
+   between the selects, so the delta path itself is under the oracle. *)
 
 module Obs = Compo_obs.Metrics
 module Pool = Compo_par.Pool
@@ -14,44 +16,70 @@ let m_registry_build = Obs.counter "plan.registry.build"
 let m_col_build = Obs.counter "plan.column.build"
 let m_col_hit = Obs.counter "plan.column.hit"
 
+(* delta maintenance: batches applied, change records consumed, cells
+   refilled in place, fallbacks to a full rebuild, registry slots
+   patched, and tombstone compactions *)
+let m_delta_apply = Obs.counter "plan.delta.apply"
+let m_delta_changes = Obs.counter "plan.delta.changes"
+let m_delta_cells = Obs.counter "plan.delta.cells"
+let m_delta_rebuild = Obs.counter "plan.delta.rebuild"
+let m_delta_patch = Obs.counter "plan.delta.registry.patch"
+let m_delta_compact = Obs.counter "plan.delta.registry.compact"
+
 (* same registry cell as Query's (find-or-create by name): compiled and
    interpreted scans feed one extent histogram *)
 let h_extent = Obs.histogram ~buckets:Obs.size_buckets "query.select.extent"
 
 (* ------------------------------------------------------------------ *)
-(* Escape hatch                                                        *)
+(* Escape hatches                                                      *)
 
-let enabled_ref =
-  ref
-    (match Sys.getenv_opt "COMPO_NO_COMPILE" with
-    | Some ("1" | "true" | "yes") -> false
-    | Some _ | None -> true)
+let env_bool var =
+  match Sys.getenv_opt var with
+  | Some ("1" | "true" | "yes") -> false
+  | Some _ | None -> true
 
+let enabled_ref = ref (env_bool "COMPO_NO_COMPILE")
 let enabled () = !enabled_ref
 let set_enabled b = enabled_ref := b
 
-let configure_from_env ?(getenv = Sys.getenv_opt) () =
-  match getenv "COMPO_NO_COMPILE" with
+let delta_ref = ref (env_bool "COMPO_NO_DELTA")
+let delta_enabled () = !delta_ref
+let set_delta_enabled b = delta_ref := b
+
+let parse_bool_env name cell = function
   | None -> Ok ()
-  | Some (("1" | "true" | "yes") as _v) ->
-      enabled_ref := false;
+  | Some ("1" | "true" | "yes") ->
+      cell := false;
       Ok ()
   | Some ("0" | "false" | "no") ->
-      enabled_ref := true;
+      cell := true;
       Ok ()
   | Some v ->
       Error
         (Printf.sprintf
-           "COMPO_NO_COMPILE must be a boolean (0/1/true/false/yes/no) (got \
-            '%s')"
-           v)
+           "%s must be a boolean (0/1/true/false/yes/no) (got '%s')" name v)
+
+let configure_from_env ?(getenv = Sys.getenv_opt) () =
+  match parse_bool_env "COMPO_NO_COMPILE" enabled_ref (getenv "COMPO_NO_COMPILE") with
+  | Error _ as e -> e
+  | Ok () -> parse_bool_env "COMPO_NO_DELTA" delta_ref (getenv "COMPO_NO_DELTA")
+
+(* Delta tuning knobs, exposed for tests and benchmarks: a column whose
+   dirty fraction exceeds [dirty_threshold] is rebuilt from scratch
+   instead of refilled cell by cell; a registry with at least
+   [compact_min] slots of which a quarter are tombstones is compacted. *)
+let dirty_threshold = ref 0.5
+let set_dirty_threshold f = dirty_threshold := f
+let compact_min = ref 64
+let set_compact_min n = compact_min := max 1 n
 
 (* ------------------------------------------------------------------ *)
 (* Per-store state, stamped against the mutation epoch AND the resolve-
-   cache generation.  The epoch alone is sound (it advances on every
-   mutation, cache enabled or not); carrying the generation as well means
-   any invalidation path that reaches the PR 2 machinery also kills the
-   compiled state, even if a future epoch-bump site is missed. *)
+   cache generation.  A stale stamp no longer means "throw everything
+   away": the store's change log names what moved, and the registry and
+   each column catch up by applying exactly those records.  Only a lost
+   window (log overflow), a [Ch_global] record, or a generation bump the
+   log cannot explain forces the old wholesale rebuild. *)
 
 type stamp = { st_epoch : int; st_gen : int }
 
@@ -64,30 +92,63 @@ let current_stamp store =
 let stamp_equal a b = a.st_epoch = b.st_epoch && a.st_gen = b.st_gen
 
 (* the relationship graph flattened: one dense slot per entity, the
-   transmitter edge as an int index (-1 unbound, -2 dangling) *)
+   transmitter edge as an int index (-1 unbound, -2 dangling, -3 dead).
+   Deletions tombstone their slot in place; appends grow the arrays by
+   doubling; compaction squeezes tombstones out preserving slot order. *)
 type registry = {
-  reg_stamp : stamp;
-  reg_ids : int Surrogate.Tbl.t;  (* surrogate -> slot *)
-  reg_ents : Store.entity array;  (* slot -> entity record *)
-  reg_trans : int array;  (* slot -> transmitter slot *)
-  reg_edges : int;  (* bound entities *)
+  mutable reg_stamp : stamp;
+  reg_ids : int Surrogate.Tbl.t;  (* surrogate -> live slot *)
+  mutable reg_ents : Store.entity array;  (* slot -> entity record *)
+  mutable reg_trans : int array;  (* slot -> transmitter slot *)
+  mutable reg_len : int;  (* used slots, tombstones included *)
+  mutable reg_dead : int;  (* tombstones among them *)
+  mutable reg_edges : int;  (* bound entities *)
 }
 
 (* how a (type, attribute) pair resolves, memoised so the scan does not
    re-derive the effective-attribute list from the schema per row/hop *)
 type decision = Own | Via | Absent
 
+(* what a materialized column holds: a single resolved attribute, a
+   multi-segment reference chain, or a whole interpreter-filled
+   sub-expression (quantifiers, [in] over a path) *)
+type colspec = Cattr of string | Cpath of string list | Cexpr of Expr.t
+
+let spec_equal a b =
+  match (a, b) with
+  | Cattr x, Cattr y -> String.equal x y
+  | Cpath p, Cpath q -> List.equal String.equal p q
+  | Cexpr x, Cexpr y -> Expr.equal x y
+  | (Cattr _ | Cpath _ | Cexpr _), _ -> false
+
+let spec_key = function
+  | Cattr a -> "a:" ^ a
+  | Cpath p -> "p:" ^ String.concat "." p
+  | Cexpr e -> "e:" ^ Expr.to_string e
+
+let spec_label = function
+  | Cattr a -> a
+  | Cpath p -> String.concat "."  p
+  | Cexpr e -> Expr.to_string e
+
 type state = {
   mutable s_registry : registry option;
-  s_columns : (string * string, column) Hashtbl.t;  (* (cls, attr) *)
+  s_columns : (string * string, column) Hashtbl.t;  (* (cls, spec key) *)
   s_decisions : (string * string, decision) Hashtbl.t;  (* (type, attr) *)
+  s_lock : Mutex.t;  (* guards s_decisions during parallel column fills *)
 }
 
 and column = {
-  col_stamp : stamp;
-  col_members : Surrogate.t array;  (* extent snapshot, class order *)
-  col_vals : Value.t array;
-  col_err : bool array;  (* the interpreter would error on this row *)
+  mutable col_stamp : stamp;
+  col_cls : string;
+  col_spec : colspec;
+  mutable col_members : Surrogate.t array;  (* extent snapshot, class order *)
+  mutable col_vals : Value.t array;
+  mutable col_err : bool array;  (* the interpreter would error here *)
+  mutable col_volatile : bool array;  (* interp-filled: dirty on any change *)
+  mutable col_rows : int Surrogate.Tbl.t;  (* member -> row *)
+  mutable col_deps : Surrogate.t list array;  (* row -> resolution chain *)
+  col_rdeps : Surrogate.t list Surrogate.Tbl.t;  (* chain entity -> members *)
 }
 
 type Store.plan_slot += Slot of state
@@ -101,10 +162,14 @@ let state_of store =
           s_registry = None;
           s_columns = Hashtbl.create 16;
           s_decisions = Hashtbl.create 64;
+          s_lock = Mutex.create ();
         }
       in
       Store.set_plan_slot store (Slot st);
       st
+
+(* ------------------------------------------------------------------ *)
+(* Registry: build, patch, compact                                     *)
 
 let build_registry store stamp =
   Obs.incr m_registry_build;
@@ -124,96 +189,442 @@ let build_registry store stamp =
             | None -> -2))
   in
   { reg_stamp = stamp; reg_ids = ids; reg_ents = ents; reg_trans = trans;
-    reg_edges = !edges }
+    reg_len = n; reg_dead = 0; reg_edges = !edges }
+
+(* raised mid-delta when a record cannot be applied in place; the caller
+   falls back to the wholesale rebuild *)
+exception Rebuild
+
+let reg_append reg e =
+  let cap = Array.length reg.reg_ents in
+  if reg.reg_len >= cap then begin
+    let ncap = max 16 (2 * cap) in
+    let ents = Array.make ncap e in
+    Array.blit reg.reg_ents 0 ents 0 reg.reg_len;
+    let trans = Array.make ncap (-1) in
+    Array.blit reg.reg_trans 0 trans 0 reg.reg_len;
+    reg.reg_ents <- ents;
+    reg.reg_trans <- trans
+  end;
+  let i = reg.reg_len in
+  reg.reg_ents.(i) <- e;
+  reg.reg_trans.(i) <- -1;
+  reg.reg_len <- i + 1;
+  Surrogate.Tbl.replace reg.reg_ids e.Store.id i;
+  i
+
+(* recompute slot [i]'s transmitter edge from the entity's current
+   binding, keeping the bound-entity count in step *)
+let reg_set_edge reg i =
+  let old = reg.reg_trans.(i) in
+  let now =
+    match reg.reg_ents.(i).Store.bound with
+    | None -> -1
+    | Some b -> (
+        match Surrogate.Tbl.find_opt reg.reg_ids b.Store.b_transmitter with
+        | Some j -> j
+        | None -> -2)
+  in
+  reg.reg_trans.(i) <- now;
+  if old <> -1 && old <> -3 then reg.reg_edges <- reg.reg_edges - 1;
+  if now <> -1 then reg.reg_edges <- reg.reg_edges + 1
+
+let reg_apply store reg ch =
+  match ch with
+  | Store.Ch_created s -> (
+      match Surrogate.Tbl.find_opt reg.reg_ids s with
+      | Some _ -> ()
+      | None -> (
+          match Store.get store s with
+          | Error _ -> () (* created then deleted within the window *)
+          | Ok e ->
+              let i = reg_append reg e in
+              reg_set_edge reg i;
+              Obs.incr m_delta_patch))
+  | Store.Ch_deleted s -> (
+      match Surrogate.Tbl.find_opt reg.reg_ids s with
+      | None -> ()
+      | Some i ->
+          if reg.reg_trans.(i) <> -1 then reg.reg_edges <- reg.reg_edges - 1;
+          reg.reg_trans.(i) <- -3;
+          Surrogate.Tbl.remove reg.reg_ids s;
+          reg.reg_dead <- reg.reg_dead + 1;
+          Obs.incr m_delta_patch)
+  | Store.Ch_rebound s -> (
+      match Surrogate.Tbl.find_opt reg.reg_ids s with
+      | None -> if Store.mem store s then raise Rebuild
+      | Some i ->
+          reg_set_edge reg i;
+          Obs.incr m_delta_patch)
+  | Store.Ch_attr _ | Store.Ch_touched _ | Store.Ch_class_add _
+  | Store.Ch_class_remove _ ->
+      () (* entity records are shared with the store: reads stay live *)
+  | Store.Ch_global -> raise Rebuild
+
+(* squeeze tombstones out, preserving the relative order of live slots
+   (the property test pins this: compaction must not reshuffle) *)
+let reg_compact reg =
+  Obs.incr m_delta_compact;
+  let live = reg.reg_len - reg.reg_dead in
+  let map = Array.make reg.reg_len (-1) in
+  let next = ref 0 in
+  for i = 0 to reg.reg_len - 1 do
+    if reg.reg_trans.(i) <> -3 then begin
+      map.(i) <- !next;
+      incr next
+    end
+  done;
+  let ents = Array.make (max live 1) reg.reg_ents.(0) in
+  let trans = Array.make (max live 1) (-1) in
+  for i = 0 to reg.reg_len - 1 do
+    let ni = map.(i) in
+    if ni >= 0 then begin
+      ents.(ni) <- reg.reg_ents.(i);
+      trans.(ni) <-
+        (match reg.reg_trans.(i) with
+        | j when j >= 0 -> (match map.(j) with -1 -> -2 | nj -> nj)
+        | x -> x);
+      Surrogate.Tbl.replace reg.reg_ids reg.reg_ents.(i).Store.id ni
+    end
+  done;
+  reg.reg_ents <- ents;
+  reg.reg_trans <- trans;
+  reg.reg_len <- live;
+  reg.reg_dead <- 0
+
+let rebuild_registry store st stamp =
+  (* a wholesale rebuild means the change window could not explain the
+     drift: every dependent memo is equally unexplained, so drop them *)
+  Hashtbl.reset st.s_columns;
+  Hashtbl.reset st.s_decisions;
+  let reg = build_registry store stamp in
+  st.s_registry <- Some reg;
+  reg
+
+let window_clean = List.for_all (function Store.Ch_global -> false | _ -> true)
 
 let registry_of store st stamp =
   match st.s_registry with
   | Some reg when stamp_equal reg.reg_stamp stamp -> reg
-  | Some _ | None ->
-      (* a stale registry means a mutation happened: every dependent
-         memo is dead, so drop them with it instead of letting stamp
-         checks strand them in the tables *)
-      Hashtbl.reset st.s_columns;
-      Hashtbl.reset st.s_decisions;
-      let reg = build_registry store stamp in
-      st.s_registry <- Some reg;
-      reg
+  | Some reg when delta_enabled () -> (
+      match Store.changes_since store reg.reg_stamp.st_epoch with
+      | Some ((_ :: _) as chs) when window_clean chs -> (
+          match List.iter (reg_apply store reg) chs with
+          | () ->
+              Obs.incr m_delta_apply;
+              Obs.add m_delta_changes (List.length chs);
+              if
+                reg.reg_dead > 0
+                && reg.reg_len >= !compact_min
+                && reg.reg_dead * 4 >= reg.reg_len
+              then reg_compact reg;
+              reg.reg_stamp <- stamp;
+              reg
+          | exception Rebuild ->
+              Obs.incr m_delta_rebuild;
+              rebuild_registry store st stamp)
+      | Some [] | Some _ | None ->
+          (* an epoch-less generation bump, a global record, or a window
+             lost to log overflow: the delta cannot be trusted *)
+          Obs.incr m_delta_rebuild;
+          rebuild_registry store st stamp)
+  | Some _ | None -> rebuild_registry store st stamp
 
 let decision_of st schema ty attr =
-  match Hashtbl.find_opt st.s_decisions (ty, attr) with
-  | Some d -> d
-  | None ->
-      let d =
-        match Schema.find_effective_attr schema ty attr with
-        | None -> Absent
-        | Some (_, Schema.Own) -> Own
-        | Some (_, Schema.Via _) -> Via
-      in
-      Hashtbl.replace st.s_decisions (ty, attr) d;
-      d
+  Mutex.lock st.s_lock;
+  let d =
+    match Hashtbl.find_opt st.s_decisions (ty, attr) with
+    | Some d -> d
+    | None ->
+        let d =
+          match Schema.find_effective_attr schema ty attr with
+          | None -> Absent
+          | Some (_, Schema.Own) -> Own
+          | Some (_, Schema.Via _) -> Via
+        in
+        Hashtbl.replace st.s_decisions (ty, attr) d;
+        d
+  in
+  Mutex.unlock st.s_lock;
+  d
 
 (* ------------------------------------------------------------------ *)
 (* Column materialization                                               *)
 
-(* One cell: the value the interpreter's [Path [attr]] would produce for
-   this row, or an error mark.  The flat walk mirrors
-   [Inheritance.attr_at] hop for hop; every resolution shape it cannot
-   replicate exactly — effective-attr miss at any hop (which the
-   interpreter routes through subclass/participant/class-head fallback),
-   a dangling transmitter, a cyclic chain — delegates to the interpreter
-   for that row, so the cell is exact by construction. *)
-let fill_cell store st reg schema attr s =
-  let interp () =
-    match Eval.eval (Eval.env ~self:s store) (Expr.Path [ attr ]) with
-    | Ok v -> (v, false)
-    | Error _ -> (Value.Null, true)
-  in
-  let limit = Array.length reg.reg_ents in
-  let rec walk i hops =
-    if hops > limit then interp ()
-    else
-      let e = reg.reg_ents.(i) in
-      match decision_of st schema e.Store.type_name attr with
-      | Absent -> interp ()
-      | Own ->
-          ( Option.value ~default:Value.Null
-              (Store.Smap.find_opt attr e.Store.attrs),
-            false )
-      | Via -> (
-          match reg.reg_trans.(i) with
-          | -1 -> (Value.Null, false)
-          | j when j >= 0 -> walk j (hops + 1)
-          | _ -> interp ())
-  in
-  match Surrogate.Tbl.find_opt reg.reg_ids s with
-  | Some i -> walk i 0
-  | None -> interp ()
+(* One filled cell: the value the interpreter would produce for this row,
+   an error mark where it would error, whether the fill went through the
+   interpreter (volatile: must be refreshed on any mutation), and the
+   entities whose state the flat walk read (the resolution chain — the
+   delta pass dirties exactly the rows whose recorded chains pass through
+   a touched entity). *)
+type cell = {
+  cv : Value.t;
+  ce : bool;
+  cvol : bool;
+  cdeps : Surrogate.t list;
+}
 
-let build_column store st reg ~attr members stamp =
+let spec_expr = function
+  | Cattr a -> Expr.Path [ a ]
+  | Cpath p -> Expr.Path p
+  | Cexpr e -> e
+
+(* The flat walk mirrors [Inheritance.attr_at] hop for hop, one segment
+   at a time; every resolution shape it cannot replicate exactly —
+   effective-attr miss at any hop (which the interpreter routes through
+   subclass/participant/class-head fallback), a dangling transmitter, a
+   cyclic chain, a non-[Ref] intermediate value — delegates to the
+   interpreter for that row, so the cell is exact by construction. *)
+let fill_cell store st reg schema spec s =
+  let interp () =
+    match Eval.eval (Eval.env ~self:s store) (spec_expr spec) with
+    | Ok v -> { cv = v; ce = false; cvol = true; cdeps = [] }
+    | Error _ -> { cv = Value.Null; ce = true; cvol = true; cdeps = [] }
+  in
+  match spec with
+  | Cexpr _ -> interp ()
+  | Cattr _ | Cpath _ -> (
+      let segs = match spec with Cattr a -> [ a ] | Cpath p -> p | Cexpr _ -> [] in
+      let limit = reg.reg_len in
+      (* resolve one attribute segment from slot [i]; None delegates *)
+      let rec walk attr i hops deps =
+        if hops > limit then None
+        else if reg.reg_trans.(i) = -3 then None
+        else
+          let e = reg.reg_ents.(i) in
+          let deps = e.Store.id :: deps in
+          match decision_of st schema e.Store.type_name attr with
+          | Absent -> None
+          | Own ->
+              Some
+                ( Option.value ~default:Value.Null
+                    (Store.Smap.find_opt attr e.Store.attrs),
+                  deps )
+          | Via -> (
+              match reg.reg_trans.(i) with
+              | -1 -> Some (Value.Null, deps)
+              | j when j >= 0 -> walk attr j (hops + 1) deps
+              | _ -> None)
+      in
+      let rec segs_walk segs s deps =
+        match Surrogate.Tbl.find_opt reg.reg_ids s with
+        | None -> None
+        | Some i -> (
+            match segs with
+            | [] -> None
+            | [ attr ] -> walk attr i 0 deps
+            | attr :: rest -> (
+                match walk attr i 0 deps with
+                | Some (Value.Ref r, deps) -> segs_walk rest r deps
+                | Some _ | None -> None))
+      in
+      match segs_walk segs s [] with
+      | Some (v, deps) -> { cv = v; ce = false; cvol = false; cdeps = deps }
+      | None -> interp ())
+
+let rdeps_add tbl d m =
+  Surrogate.Tbl.replace tbl d
+    (m :: Option.value ~default:[] (Surrogate.Tbl.find_opt tbl d))
+
+let rdeps_remove tbl d m =
+  match Surrogate.Tbl.find_opt tbl d with
+  | None -> ()
+  | Some ms -> (
+      match List.filter (fun x -> not (Surrogate.equal x m)) ms with
+      | [] -> Surrogate.Tbl.remove tbl d
+      | ms -> Surrogate.Tbl.replace tbl d ms)
+
+let dummy_cell = { cv = Value.Null; ce = false; cvol = false; cdeps = [] }
+
+(* fill every row; worker domains are safe here because the fill only
+   reads store state (the read latch is held for jobs > 1) and the
+   decision memo takes the state lock *)
+let fill_all store st reg spec marr ~jobs =
+  let n = Array.length marr in
+  let cells = Array.make n dummy_cell in
+  let schema = Store.schema store in
+  let fill i = cells.(i) <- fill_cell store st reg schema spec marr.(i) in
+  if jobs > 1 && n >= 256 then Pool.iter_range ~jobs n fill
+  else
+    for i = 0 to n - 1 do
+      fill i
+    done;
+  cells
+
+let build_column store st reg ~cls ~spec members stamp ~jobs =
   Obs.incr m_col_build;
+  let marr = Array.of_list members in
+  let n = Array.length marr in
+  let cells = fill_all store st reg spec marr ~jobs in
+  let rows = Surrogate.Tbl.create (max 16 (2 * n)) in
+  Array.iteri (fun i m -> Surrogate.Tbl.replace rows m i) marr;
+  let rdeps = Surrogate.Tbl.create (max 16 (2 * n)) in
+  Array.iteri
+    (fun i c -> List.iter (fun d -> rdeps_add rdeps d marr.(i)) c.cdeps)
+    cells;
+  {
+    col_stamp = stamp;
+    col_cls = cls;
+    col_spec = spec;
+    col_members = marr;
+    col_vals = Array.map (fun c -> c.cv) cells;
+    col_err = Array.map (fun c -> c.ce) cells;
+    col_volatile = Array.map (fun c -> c.cvol) cells;
+    col_rows = rows;
+    col_deps = Array.map (fun c -> c.cdeps) cells;
+    col_rdeps = rdeps;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Column delta                                                        *)
+
+let col_relevant_attr spec a =
+  match spec with
+  | Cattr b -> String.equal a b
+  | Cpath segs -> List.mem a segs
+  | Cexpr _ -> false (* every expression cell is volatile anyway *)
+
+exception Col_rebuild
+
+let refill_row store st reg schema col m i =
+  List.iter (fun d -> rdeps_remove col.col_rdeps d m) col.col_deps.(i);
+  let c = fill_cell store st reg schema col.col_spec m in
+  col.col_vals.(i) <- c.cv;
+  col.col_err.(i) <- c.ce;
+  col.col_volatile.(i) <- c.cvol;
+  col.col_deps.(i) <- c.cdeps;
+  List.iter (fun d -> rdeps_add col.col_rdeps d m) c.cdeps;
+  Obs.incr m_delta_cells
+
+(* membership changed: realign to the current extent, copying clean
+   cells across by surrogate and filling new or dirty rows *)
+let realign store st reg col members dirty =
+  let schema = Store.schema store in
   let marr = Array.of_list members in
   let n = Array.length marr in
   let vals = Array.make n Value.Null in
   let errs = Array.make n false in
+  let vols = Array.make n false in
+  let deps = Array.make n [] in
+  let rows = Surrogate.Tbl.create (max 16 (2 * n)) in
+  (* members leaving the extent take their rdeps contributions along *)
+  let keep = Surrogate.Tbl.create (max 16 (2 * n)) in
+  Array.iter (fun m -> Surrogate.Tbl.replace keep m ()) marr;
+  Array.iteri
+    (fun i m ->
+      if not (Surrogate.Tbl.mem keep m) then
+        List.iter (fun d -> rdeps_remove col.col_rdeps d m) col.col_deps.(i))
+    col.col_members;
+  Array.iteri
+    (fun i' m ->
+      Surrogate.Tbl.replace rows m i';
+      match Surrogate.Tbl.find_opt col.col_rows m with
+      | Some i when not (Surrogate.Tbl.mem dirty m) ->
+          vals.(i') <- col.col_vals.(i);
+          errs.(i') <- col.col_err.(i);
+          vols.(i') <- col.col_volatile.(i);
+          deps.(i') <- col.col_deps.(i)
+      | found ->
+          (match found with
+          | Some i ->
+              List.iter
+                (fun d -> rdeps_remove col.col_rdeps d m)
+                col.col_deps.(i)
+          | None -> ());
+          let c = fill_cell store st reg schema col.col_spec m in
+          vals.(i') <- c.cv;
+          errs.(i') <- c.ce;
+          vols.(i') <- c.cvol;
+          deps.(i') <- c.cdeps;
+          List.iter (fun d -> rdeps_add col.col_rdeps d m) c.cdeps;
+          Obs.incr m_delta_cells)
+    marr;
+  col.col_members <- marr;
+  col.col_vals <- vals;
+  col.col_err <- errs;
+  col.col_volatile <- vols;
+  col.col_rows <- rows;
+  col.col_deps <- deps
+
+let apply_column_delta store st reg col members stamp chs =
   let schema = Store.schema store in
-  for i = 0 to n - 1 do
-    let v, e = fill_cell store st reg schema attr marr.(i) in
-    vals.(i) <- v;
-    errs.(i) <- e
-  done;
-  { col_stamp = stamp; col_members = marr; col_vals = vals; col_err = errs }
+  let n = Array.length col.col_members in
+  let dirty = Surrogate.Tbl.create 16 in
+  let mark m =
+    if Surrogate.Tbl.mem col.col_rows m then Surrogate.Tbl.replace dirty m ()
+  in
+  let mark_rdeps x =
+    List.iter mark
+      (Option.value ~default:[] (Surrogate.Tbl.find_opt col.col_rdeps x))
+  in
+  let membership = ref false in
+  List.iter
+    (fun ch ->
+      match ch with
+      | Store.Ch_attr (x, a) ->
+          if col_relevant_attr col.col_spec a then mark_rdeps x
+      | Store.Ch_rebound x ->
+          mark_rdeps x;
+          mark x
+      | Store.Ch_deleted x ->
+          mark_rdeps x;
+          if Surrogate.Tbl.mem col.col_rows x then membership := true
+      | Store.Ch_created _ -> ()
+      | Store.Ch_touched x -> mark_rdeps x
+      | Store.Ch_class_add (c, _) | Store.Ch_class_remove (c, _) ->
+          if String.equal c col.col_cls then membership := true
+      | Store.Ch_global -> raise Col_rebuild)
+    chs;
+  (* interpreter-filled cells depend on arbitrary state: any mutation at
+     all dirties them *)
+  (match chs with
+  | [] -> ()
+  | _ :: _ ->
+      Array.iteri
+        (fun i m -> if col.col_volatile.(i) then mark m)
+        col.col_members);
+  (if !membership then realign store st reg col members dirty
+   else
+     let d = Surrogate.Tbl.length dirty in
+     if d > 0 then
+       if n > 0 && float_of_int d /. float_of_int n > !dirty_threshold then
+         raise Col_rebuild
+       else
+         Surrogate.Tbl.iter
+           (fun m () ->
+             match Surrogate.Tbl.find_opt col.col_rows m with
+             | None -> ()
+             | Some i -> refill_row store st reg schema col m i)
+           dirty);
+  Obs.incr m_delta_apply;
+  col.col_stamp <- stamp
 
 (* returns (column, built-by-this-call) *)
-let column_of store st reg ~cls ~attr members stamp =
-  let key = (cls, attr) in
+let column_of store st reg ~cls ~spec members stamp ~jobs =
+  let key = (cls, spec_key spec) in
+  let rebuild () =
+    let c = build_column store st reg ~cls ~spec members stamp ~jobs in
+    Hashtbl.replace st.s_columns key c;
+    (c, true)
+  in
   match Hashtbl.find_opt st.s_columns key with
-  | Some c when stamp_equal c.col_stamp stamp ->
+  | Some c when spec_equal c.col_spec spec && stamp_equal c.col_stamp stamp ->
       Obs.incr m_col_hit;
       (c, false)
-  | Some _ | None ->
-      let c = build_column store st reg ~attr members stamp in
-      Hashtbl.replace st.s_columns key c;
-      (c, true)
+  | Some c when spec_equal c.col_spec spec && delta_enabled () -> (
+      match Store.changes_since store c.col_stamp.st_epoch with
+      | Some ((_ :: _) as chs) when window_clean chs -> (
+          match apply_column_delta store st reg c members stamp chs with
+          | () ->
+              Obs.incr m_col_hit;
+              (c, false)
+          | exception Col_rebuild ->
+              Obs.incr m_delta_rebuild;
+              rebuild ())
+      | Some [] | Some _ | None ->
+          Obs.incr m_delta_rebuild;
+          rebuild ())
+  | Some _ | None -> rebuild ()
 
 (* ------------------------------------------------------------------ *)
 (* Closure compilation                                                  *)
@@ -228,17 +639,17 @@ type cctx = { cc_cols : column array }
 let as_bool = function Value.Bool b -> b | _ -> raise Row_error
 
 (* first-use slot assignment: the compiled program reads columns by
-   index, the slot list remembers which attribute each index means *)
-let slot_index slots a =
+   index, the slot list remembers which column spec each index means *)
+let slot_index slots spec =
   let rec find i = function
     | [] -> None
-    | x :: rest -> if String.equal x a then Some i else find (i + 1) rest
+    | x :: rest -> if spec_equal x spec then Some i else find (i + 1) rest
   in
   match find 0 (List.rev !slots) with
   | Some i -> i
   | None ->
       let i = List.length !slots in
-      slots := a :: !slots;
+      slots := spec :: !slots;
       i
 
 (* outside the [open Expr] below: Expr shadows the comparison operators
@@ -253,25 +664,32 @@ let cmp_holds op c =
   | Expr.Ge -> c >= 0
   | _ -> assert false
 
-(* The compilable subset: single-segment paths (any name — cells that
-   need the interpreter's head-resolution fallbacks get them at fill
-   time), constants, boolean connectives with the evaluator's
-   short-circuit order, arithmetic and comparisons through the
-   evaluator's own coercions, and [in] over a non-path right-hand side.
-   Anything else returns [None] and the select runs interpreted. *)
+(* The compilable subset now covers the whole expression grammar.  Paths
+   of any length and the quantifier forms ([count]/[sum]/[forall]/
+   [exists], plus [in] over a path right-hand side) become materialized
+   columns — multi-segment reference chains fill flat, everything the
+   flat walk cannot replicate is filled per-row by the interpreter and
+   marked volatile.  Constants, boolean connectives (the evaluator's
+   short-circuit order), arithmetic and comparisons compile to closures
+   over those columns. *)
 let rec compile counter slots expr =
   let mk f =
     incr counter;
     Some f
   in
+  let col_read spec =
+    let slot = slot_index slots spec in
+    mk (fun ctx i ->
+        let c = ctx.cc_cols.(slot) in
+        if c.col_err.(i) then raise Row_error else c.col_vals.(i))
+  in
   let open Expr in
   match expr with
   | Const v -> mk (fun _ _ -> v)
-  | Path [ a ] ->
-      let slot = slot_index slots a in
-      mk (fun ctx i ->
-          let c = ctx.cc_cols.(slot) in
-          if c.col_err.(i) then raise Row_error else c.col_vals.(i))
+  | Path [ a ] -> col_read (Cattr a)
+  | Path [] -> None
+  | Path p -> col_read (Cpath p)
+  | (Count _ | Sum _ | Forall _ | Exists _) as q -> col_read (Cexpr q)
   | Unop (Not, e) -> (
       match compile counter slots e with
       | None -> None
@@ -301,7 +719,10 @@ let rec compile counter slots expr =
       | _ -> None)
   | Binop (In, a, b) -> (
       match b with
-      | Path _ -> None (* the interpreter expands path collections *)
+      | Path _ ->
+          (* the interpreter expands path collections; materialize the
+             whole membership test as one interpreter-filled column *)
+          col_read (Cexpr expr)
       | _ -> (
           match (compile counter slots a, compile counter slots b) with
           | Some fa, Some fb ->
@@ -332,7 +753,6 @@ let rec compile counter slots expr =
               let y = fb ctx i in
               Value.Bool (cmp_holds op (Eval.compare_values x y)))
       | _ -> None)
-  | Path _ | Count _ | Sum _ | Forall _ | Exists _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* The compiled scan                                                    *)
@@ -369,15 +789,17 @@ let try_scan store ~cls ~jobs expr =
             let st = state_of store in
             let stamp = current_stamp store in
             let reg = registry_of store st stamp in
-            let attrs = Array.of_list (List.rev !slots) in
-            let built = Array.make (Array.length attrs) false in
+            let specs = Array.of_list (List.rev !slots) in
+            let built = Array.make (Array.length specs) false in
             let cols =
               Array.mapi
-                (fun i attr ->
-                  let c, b = column_of store st reg ~cls ~attr members stamp in
+                (fun i spec ->
+                  let c, b =
+                    column_of store st reg ~cls ~spec members stamp ~jobs
+                  in
                   built.(i) <- b;
                   c)
-                attrs
+                specs
             in
             let ctx = { cc_cols = cols } in
             let test i =
@@ -396,8 +818,9 @@ let try_scan store ~cls ~jobs expr =
             let rp_columns =
               Array.to_list
                 (Array.mapi
-                   (fun i attr -> (attr, stamp.st_epoch, built.(i)))
-                   attrs)
+                   (fun i spec ->
+                     (spec_label spec, stamp.st_epoch, built.(i)))
+                   specs)
             in
             Some
               (Ok
@@ -405,6 +828,105 @@ let try_scan store ~cls ~jobs expr =
                    {
                      rp_closures = !counter;
                      rp_columns;
-                     rp_nodes = Array.length reg.reg_ents;
+                     rp_nodes = reg.reg_len - reg.reg_dead;
                      rp_edges = reg.reg_edges;
                    } )))
+
+(* ------------------------------------------------------------------ *)
+(* Introspection for tests                                              *)
+
+(* live registry surrogates in slot order, plus the tombstone count *)
+let registry_live store =
+  match Store.plan_slot store with
+  | Some (Slot { s_registry = Some reg; _ }) ->
+      let acc = ref [] in
+      for i = reg.reg_len - 1 downto 0 do
+        if reg.reg_trans.(i) <> -3 then
+          acc := reg.reg_ents.(i).Store.id :: !acc
+      done;
+      Some (!acc, reg.reg_dead)
+  | Some _ | None -> None
+
+(* the column-equivalence invariant: every delta-maintained structure
+   that claims to be current must equal a from-scratch derivation *)
+let self_check store =
+  match Store.plan_slot store with
+  | Some (Slot st) -> (
+      let problems = ref [] in
+      let report fmt =
+        Printf.ksprintf (fun s -> problems := s :: !problems) fmt
+      in
+      let stamp = current_stamp store in
+      (match st.s_registry with
+      | Some reg when stamp_equal reg.reg_stamp stamp ->
+          let live = ref 0 in
+          for i = 0 to reg.reg_len - 1 do
+            if reg.reg_trans.(i) <> -3 then begin
+              incr live;
+              let e = reg.reg_ents.(i) in
+              if not (Store.mem store e.Store.id) then
+                report "registry slot %d holds deleted entity %s" i
+                  (Surrogate.to_string e.Store.id);
+              (match Surrogate.Tbl.find_opt reg.reg_ids e.Store.id with
+              | Some j when j = i -> ()
+              | _ -> report "registry id map misses slot %d" i);
+              let expect =
+                match e.Store.bound with
+                | None -> -1
+                | Some b -> (
+                    match
+                      Surrogate.Tbl.find_opt reg.reg_ids b.Store.b_transmitter
+                    with
+                    | Some j -> j
+                    | None -> -2)
+              in
+              if reg.reg_trans.(i) <> expect then
+                report "slot %d transmitter edge is %d, expected %d" i
+                  reg.reg_trans.(i) expect
+            end
+          done;
+          if !live <> Store.entity_count store then
+            report "registry has %d live slots, store has %d entities" !live
+              (Store.entity_count store);
+          let schema = Store.schema store in
+          Hashtbl.iter
+            (fun (cls, _) col ->
+              if stamp_equal col.col_stamp stamp then
+                match Store.class_members store cls with
+                | Error _ ->
+                    report "column %s/%s over unknown class" cls
+                      (spec_label col.col_spec)
+                | Ok members ->
+                    let marr = Array.of_list members in
+                    if Array.length marr <> Array.length col.col_members then
+                      report "column %s/%s has %d rows, extent has %d" cls
+                        (spec_label col.col_spec)
+                        (Array.length col.col_members)
+                        (Array.length marr)
+                    else
+                      Array.iteri
+                        (fun i m ->
+                          if not (Surrogate.equal m col.col_members.(i)) then
+                            report "column %s/%s row %d member drifted" cls
+                              (spec_label col.col_spec) i
+                          else
+                            let c =
+                              fill_cell store st reg schema col.col_spec m
+                            in
+                            if
+                              (not (Value.equal c.cv col.col_vals.(i)))
+                              || c.ce <> col.col_err.(i)
+                            then
+                              report
+                                "column %s/%s row %d (%s): delta %s/%b, \
+                                 rebuild %s/%b"
+                                cls
+                                (spec_label col.col_spec)
+                                i (Surrogate.to_string m)
+                                (Value.to_string col.col_vals.(i))
+                                col.col_err.(i) (Value.to_string c.cv) c.ce)
+                        marr)
+            st.s_columns
+      | Some _ | None -> ());
+      List.rev !problems)
+  | Some _ | None -> []

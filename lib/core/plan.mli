@@ -1,4 +1,5 @@
-(** Compiled flat query plans for the inherited-read hot path.
+(** Compiled flat query plans for the inherited-read hot path, kept
+    fresh by delta maintenance against the store's change log.
 
     The interpreted select walks an {!Expr} tree per candidate and an
     inheritance chain per hop ({!Eval} / {!Inheritance.attr}): per row it
@@ -11,33 +12,45 @@
     {ol
     {- {b Adjacency registry}: the relationship graph flattened into
        dense arrays — one slot per entity, transmitter edges as [int]
-       indexes — rebuilt lazily and stamped with the store's
-       {!Store.plan_epoch} {e and} the resolve-cache generation, so the
-       PR 2 invalidation machinery carries over.}
+       indexes — stamped with the store's {!Store.plan_epoch} {e and}
+       the resolve-cache generation.  A stale stamp is caught up by
+       replaying {!Store.changes_since}: deletions tombstone their slot
+       (compacted past a threshold, preserving slot order), creations
+       append, rebinds re-derive the edge.  Only a lost window, a
+       {!Store.Ch_global} record, or an epoch-less generation bump
+       forces the old wholesale rebuild (counted in
+       [plan.delta.rebuild]).}
     {- {b Closure compilation}: a predicate compiles to an array of
        closures once per query instead of being re-interpreted once per
        row.  Coercions go through {!Eval.numeric_binop} /
        {!Eval.compare_values}, so compiled semantics are bit-identical
        to interpreted semantics (a row is kept iff the interpreter would
        keep it — errors drop the row in both engines, [and]/[or]
-       short-circuit identically).}
-    {- {b Materialized columns}: resolved values per (class, attribute,
-       epoch) — a select over an inherited attribute becomes a tight
-       array scan, which parallelizes for real.}}
+       short-circuit identically).  The compilable subset covers the
+       whole grammar: multi-segment paths fill flat along strict
+       reference chains, and quantifiers ([count]/[sum]/[forall]/
+       [exists], plus [in] over a path) materialize as
+       interpreter-filled columns.}
+    {- {b Materialized columns}: resolved values per (class, spec) — a
+       select over an inherited attribute becomes a tight array scan,
+       which parallelizes for real.  Each row records the resolution
+       chain it read, so a mutation dirties exactly the rows whose
+       chains pass through the touched entity; a dirty fraction past
+       {!set_dirty_threshold} falls back to a from-scratch rebuild.
+       Interpreter-filled cells (quantifiers, fallback shapes) are
+       {e volatile}: any mutation at all refreshes them.}}
 
-    Predicates outside the compilable subset (multi-segment paths,
-    quantifiers, [count]/[sum], [in] over a path) return [None] from
-    {!try_scan} and fall back to the interpreted engine.  The compiled
-    path also stands down while read hooks are installed: hooks carry
-    the per-hop notifications the transaction layer turns into lock
-    inheritance, and a column scan performs no hops. *)
+    The compiled path stands down while read hooks are installed: hooks
+    carry the per-hop notifications the transaction layer turns into
+    lock inheritance, and a column scan performs no hops. *)
 
 type report = {
   rp_closures : int;  (** closures in the compiled predicate program *)
   rp_columns : (string * int * bool) list;
-      (** materialized columns used: (attribute, plan-epoch stamp,
-          built by this call — [false] means served from cache) *)
-  rp_nodes : int;  (** adjacency registry size: entities flattened *)
+      (** materialized columns used: (spec label, plan-epoch stamp,
+          built from scratch by this call — [false] means served from
+          cache or caught up by delta) *)
+  rp_nodes : int;  (** adjacency registry size: live entities *)
   rp_edges : int;  (** adjacency registry size: transmitter edges *)
 }
 
@@ -47,12 +60,30 @@ val set_enabled : bool -> unit
     The initial state honours [COMPO_NO_COMPILE] (truthy = disabled) so
     the bench matrix can toggle the axis per subprocess. *)
 
+val delta_enabled : unit -> bool
+val set_delta_enabled : bool -> unit
+(** Delta-maintenance escape hatch, honouring [COMPO_NO_DELTA] the same
+    way: disabled means every stale stamp takes the wholesale-rebuild
+    path (PR 9 behaviour), which is the E22 comparison baseline. *)
+
 val configure_from_env :
   ?getenv:(string -> string option) -> unit -> (unit, string) result
-(** Strict [COMPO_NO_COMPILE] validation for front ends: [1/true/yes]
-    disables, [0/false/no] enables, unset is a no-op, anything else is
-    an error message for a one-line die (the [COMPO_JOBS] /
-    [COMPO_TRACE_SAMPLE] convention). *)
+(** Strict [COMPO_NO_COMPILE] / [COMPO_NO_DELTA] validation for front
+    ends: [1/true/yes] disables, [0/false/no] enables, unset is a
+    no-op, anything else is an error message for a one-line die (the
+    [COMPO_JOBS] / [COMPO_TRACE_SAMPLE] convention). *)
+
+val set_dirty_threshold : float -> unit
+(** Dirty-fraction fallback knob: a column whose dirty rows exceed this
+    fraction of its extent is rebuilt from scratch (counted in
+    [plan.delta.rebuild]) instead of refilled cell by cell.  Default
+    0.5; [0.] makes any dirty row rebuild, [>= 1.] never falls back. *)
+
+val set_compact_min : int -> unit
+(** Registry compaction floor: tombstones are squeezed out (preserving
+    live-slot order) only when the registry has at least this many
+    slots and a quarter of them are dead.  Default 64; tests lower it
+    to force compactions on small stores.  Clamped to [>= 1]. *)
 
 val try_scan :
   Store.t ->
@@ -61,14 +92,31 @@ val try_scan :
   Expr.t ->
   (Surrogate.t list * report, Errors.t) result option
 (** Compiled sequential-scan select over a class extent.  [None] means
-    the compiled engine stands down (disabled, hooks installed, unknown
-    class, or uncompilable predicate) and the caller must run the
-    interpreted plan.  [Some rows] are bit-identical — order and
-    membership — to the interpreted scan's.  With [jobs > 1] the caller
-    must hold the store's read latch (same contract as
-    {!Query.filter_candidates}). *)
+    the compiled engine stands down (disabled, hooks installed, or
+    unknown class) and the caller must run the interpreted plan.
+    [Some rows] are bit-identical — order and membership — to the
+    interpreted scan's.  With [jobs > 1] the caller must hold the
+    store's read latch (same contract as {!Query.filter_candidates}). *)
 
 val compiled_scans : unit -> int
 (** Process-wide count of selects served by the compiled engine
     (independent of the metrics registry; the differential oracle uses
     it to prove the compiled path actually engaged). *)
+
+(** {2 Introspection for the property suite} *)
+
+val registry_live : Store.t -> (Surrogate.t list * int) option
+(** Live registry surrogates in slot order plus the current tombstone
+    count, or [None] when no registry has been built.  The compaction
+    property test pins that the live order is invariant across
+    {!set_compact_min}-forced compactions. *)
+
+val self_check : Store.t -> string list
+(** The column-equivalence invariant, checked exhaustively: every
+    delta-maintained structure whose stamp claims to be current must
+    equal a from-scratch derivation — registry slots against live store
+    entities and current transmitter bindings, column rows against the
+    class extent, every cell against a fresh fill.  Returns
+    human-readable problem descriptions; [[]] means consistent.  Stale
+    structures (not yet caught up) are skipped, since they make no
+    currency claim. *)

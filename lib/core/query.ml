@@ -45,7 +45,8 @@ let select store ~cls ?jobs ?where () =
   in
   let run jobs =
     (* compiled engine first; [None] means it stands down (disabled,
-       hooks, unknown class, uncompilable predicate) *)
+       hooks, unknown class — the delta-maintained plan state makes
+       this cheap to take even on write-heavy interleavings) *)
     match where with
     | Some pred -> (
         match Plan.try_scan store ~cls ~jobs pred with

@@ -101,7 +101,8 @@ type explain = {
   ex_plan : Plan.report option;
       (** [Some] when the compiled engine ({!Plan}) served the filter
           stage; [None] means the interpreted evaluator ran (engine
-          disabled, index access path, or uncompilable predicate) *)
+          disabled, index access path, or read hooks installed — with
+          the widened compiler, every predicate shape compiles) *)
 }
 
 val access_to_string : access -> string

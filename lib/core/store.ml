@@ -32,6 +32,20 @@ type class_info = {
    compiled state here, stamped against [plan_epoch]. *)
 type plan_slot = ..
 
+(* One typed record per epoch bump, so the plan layer can maintain its
+   registry and columns by delta instead of rebuilding from scratch.
+   Precision is best-effort: a site that cannot name what changed emits
+   [Ch_global], which consumers treat as "rebuild everything". *)
+type change =
+  | Ch_created of Surrogate.t
+  | Ch_deleted of Surrogate.t
+  | Ch_attr of Surrogate.t * string
+  | Ch_rebound of Surrogate.t
+  | Ch_class_add of string * Surrogate.t
+  | Ch_class_remove of string * Surrogate.t
+  | Ch_touched of Surrogate.t
+  | Ch_global
+
 type t = {
   schema : Schema.t;
   gen : Surrogate.Gen.t;
@@ -53,6 +67,12 @@ type t = {
      signal on its own *)
   mutable plan_epoch : int;
   mutable plan_slot : plan_slot option;
+  (* bounded change log: newest first, covering exactly the epoch window
+     (change_floor, plan_epoch]; length = plan_epoch - change_floor.  On
+     overflow the window restarts at the current epoch, and
+     [changes_since] answers [None] for anything older. *)
+  mutable change_log : change list;
+  mutable change_floor : int;
 }
 
 type hook_id = int
@@ -84,13 +104,36 @@ let create schema =
     next_hook = 1;
     plan_epoch = 0;
     plan_slot = None;
+    change_log = [];
+    change_floor = 0;
   }
 
 let schema t = t.schema
 let plan_epoch t = t.plan_epoch
 let plan_slot t = t.plan_slot
 let set_plan_slot t slot = t.plan_slot <- Some slot
-let bump_plan_epoch t = t.plan_epoch <- t.plan_epoch + 1
+
+let change_log_cap = 512
+
+(* the only place the plan epoch advances: one change record per bump *)
+let record_change t ch =
+  t.plan_epoch <- t.plan_epoch + 1;
+  if t.plan_epoch - t.change_floor > change_log_cap then begin
+    t.change_log <- [ ch ];
+    t.change_floor <- t.plan_epoch - 1
+  end
+  else t.change_log <- ch :: t.change_log
+
+let changes_since t since =
+  if since < t.change_floor then None
+  else if since > t.plan_epoch then None
+  else
+    let rec take n acc = function
+      | _ when n = 0 -> Some acc
+      | [] -> None (* length invariant broken; refuse to guess *)
+      | ch :: rest -> take (n - 1) (ch :: acc) rest
+    in
+    take (t.plan_epoch - since) [] t.change_log
 
 (* ------------------------------------------------------------------ *)
 (* Latching: every mutator below runs [exclusively]; a parallel select
@@ -122,8 +165,12 @@ let resolve_cache_active t =
 
 let invalidate_resolve_cache t =
   exclusively t @@ fun () ->
-  bump_plan_epoch t;
+  record_change t Ch_global;
   Resolve_cache.invalidate_global t.cache
+
+(* for sites that record a precise change through [notify_write] but
+   still need the PR 2 machinery globally invalidated *)
+let invalidate_cache_only t = Resolve_cache.invalidate_global t.cache
 
 (* A transmitter attribute write invalidates only the writer and its
    inheritor closure; unrelated chains keep their cached resolutions.
@@ -177,10 +224,11 @@ let remove_hook t id =
 
 let read_hooks_installed t = t.read_hooks <> []
 let notify_read t s = List.iter (fun (_, f) -> f s) t.read_hooks
-let notify_write t s =
+let notify_write ?change t s =
   (* every mutation site broadcasts here, so this is also where the
-     compiled-plan stamp advances *)
-  bump_plan_epoch t;
+     compiled-plan stamp advances; callers that know what changed pass a
+     precise record, anyone else gets the conservative [Ch_global] *)
+  record_change t (Option.value ~default:Ch_global change);
   List.iter (fun (_, f) -> f s) t.write_hooks
 
 (* ------------------------------------------------------------------ *)
@@ -219,7 +267,7 @@ let create_class t ~name ~member_type =
     let* _ = Schema.find_obj_type t.schema member_type in
     Hashtbl.replace t.classes name { cls_member_type = member_type; cls_members = [] };
     t.class_order <- name :: t.class_order;
-    bump_plan_epoch t;
+    record_change t Ch_global;
     Ok ()
 
 let class_names t = List.rev t.class_order
@@ -248,7 +296,7 @@ let insert_into_class t ~cls s =
   else begin
     c.cls_members <- s :: c.cls_members;
     e.classes_of <- cls :: e.classes_of;
-    notify_write t s;
+    notify_write ~change:(Ch_class_add (cls, s)) t s;
     Ok ()
   end
 
@@ -258,7 +306,7 @@ let remove_from_class t ~cls s =
   let* e = get t s in
   c.cls_members <- List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members;
   e.classes_of <- List.filter (fun n -> not (String.equal n cls)) e.classes_of;
-  notify_write t s;
+  notify_write ~change:(Ch_class_remove (cls, s)) t s;
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -349,7 +397,7 @@ let create_object t ?cls ~ty attrs =
     | None -> Ok ()
     | Some cls -> insert_into_class t ~cls e.id
   in
-  notify_write t e.id;
+  notify_write ~change:(Ch_created e.id) t e.id;
   Ok e.id
 
 let own_subclass_def t parent_ty name =
@@ -375,7 +423,8 @@ let create_subobject t ~parent ~subclass attrs =
     Smap.update subclass
       (function Some ms -> Some (ms @ [ e.id ]) | None -> Some [ e.id ])
       pe.subobjs;
-  notify_write t parent;
+  record_change t (Ch_created e.id);
+  notify_write ~change:(Ch_touched parent) t parent;
   Ok e.id
 
 (* ------------------------------------------------------------------ *)
@@ -501,7 +550,7 @@ let make_relationship t ~ty ~participants ~attrs =
 let create_relationship t ~ty ~participants ?(attrs = []) () =
   exclusively t @@ fun () ->
   let* e = make_relationship t ~ty ~participants ~attrs in
-  notify_write t e.id;
+  notify_write ~change:(Ch_created e.id) t e.id;
   Ok e.id
 
 let own_subrel_def t parent_ty name =
@@ -533,7 +582,8 @@ let create_subrel t ~parent ~subrel ~participants ?(attrs = []) () =
     Smap.update subrel
       (function Some ms -> Some (ms @ [ e.id ]) | None -> Some [ e.id ])
       pe.subrels;
-  notify_write t parent;
+  record_change t (Ch_created e.id);
+  notify_write ~change:(Ch_touched parent) t parent;
   Ok e.id
 
 (* ------------------------------------------------------------------ *)
@@ -552,7 +602,7 @@ let set_attr t s name value =
   Obs.incr m_attr_write;
   e.attrs <- Smap.add name value e.attrs;
   invalidate_resolved_for_write t s;
-  notify_write t s;
+  notify_write ~change:(Ch_attr (s, name)) t s;
   Ok ()
 
 let subclass_members t s name =
@@ -601,8 +651,8 @@ let set_participant t s name value =
         index_referrer t s value;
         (* rewiring may change who an inheritance link names, so no scope
            is safe to keep *)
-        invalidate_resolve_cache t;
-        notify_write t s;
+        invalidate_cache_only t;
+        notify_write ~change:(Ch_touched s) t s;
         Ok ()
 
 let owner_of t s = Result.map (fun e -> e.owner) (get t s)
@@ -653,9 +703,11 @@ let add_inheritance_link t ~ty ~transmitter ~inheritor ~attrs =
   ie.bound <- Some { b_link = e.id; b_via = ty; b_transmitter = transmitter };
   te.inheritor_links <- e.id :: te.inheritor_links;
   (* binding changes what every transitive inheritor of [inheritor]
-     resolves to; a global bump is the only sound scope *)
-  invalidate_resolve_cache t;
-  notify_write t inheritor;
+     resolves to; the resolve cache drops globally, while the plan layer
+     gets a precise [Ch_rebound] it can scope through its dep tables *)
+  record_change t (Ch_created e.id);
+  invalidate_cache_only t;
+  notify_write ~change:(Ch_rebound inheritor) t inheritor;
   Ok e.id
 
 (* ------------------------------------------------------------------ *)
@@ -667,12 +719,15 @@ let rec remove_inheritance_link t link =
   if le.kind <> Inheritance_link then
     Error (Errors.Invalid_binding (Surrogate.to_string link ^ " is not an inheritance link"))
   else begin
-    (match Smap.find_opt "inheritor" le.participants with
-    | Some (Value.Ref i) -> (
-        match get t i with
-        | Ok ie -> ie.bound <- None
-        | Error _ -> ())
-    | Some _ | None -> ());
+    let inheritor =
+      match Smap.find_opt "inheritor" le.participants with
+      | Some (Value.Ref i) ->
+          (match get t i with
+          | Ok ie -> ie.bound <- None
+          | Error _ -> ());
+          Some i
+      | Some _ | None -> None
+    in
     (match Smap.find_opt "transmitter" le.participants with
     | Some (Value.Ref tr) -> (
         match get t tr with
@@ -690,7 +745,10 @@ let rec remove_inheritance_link t link =
     Surrogate.Tbl.remove t.entities link;
     (* unbind: previously resolved inherited values must become
        unobservable immediately — reads yield [Null] from the next call *)
-    invalidate_resolve_cache t;
+    record_change t (Ch_deleted link);
+    record_change t
+      (match inheritor with Some i -> Ch_rebound i | None -> Ch_global);
+    invalidate_cache_only t;
     Ok ()
   end
 
@@ -741,7 +799,8 @@ and delete t ?(force = false) s =
       match Hashtbl.find_opt t.classes cls with
       | Some c ->
           c.cls_members <-
-            List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members
+            List.filter (fun m -> not (Surrogate.equal m s)) c.cls_members;
+          record_change t (Ch_class_remove (cls, s))
       | None -> ())
     e.classes_of;
   (* detach from owner *)
@@ -751,15 +810,16 @@ and delete t ?(force = false) s =
       | Ok oe ->
           let drop = List.filter (fun m -> not (Surrogate.equal m s)) in
           oe.subobjs <- Smap.map drop oe.subobjs;
-          oe.subrels <- Smap.map drop oe.subrels
+          oe.subrels <- Smap.map drop oe.subrels;
+          record_change t (Ch_touched o)
       | Error _ -> ())
   | None -> ());
   (* drop referrer index contributions of this entity *)
   Smap.iter (fun _ v -> unindex_referrer t s v) e.participants;
   Obs.incr m_delete;
   Surrogate.Tbl.remove t.entities s;
-  invalidate_resolve_cache t;
-  notify_write t s;
+  invalidate_cache_only t;
+  notify_write ~change:(Ch_deleted s) t s;
   Ok ()
 
 (* ------------------------------------------------------------------ *)
@@ -780,7 +840,7 @@ let restore_class t ~name ~member_type ~members =
     { cls_member_type = member_type; cls_members = List.rev members };
   if not (List.mem name t.class_order) then
     t.class_order <- name :: t.class_order;
-  bump_plan_epoch t
+  record_change t Ch_global
 
 (* ------------------------------------------------------------------ *)
 (* Structural invariants                                               *)

@@ -43,7 +43,7 @@ type t
 val create : Schema.t -> t
 val schema : t -> Schema.t
 
-(** {1 Compiled-plan stamping}
+(** {1 Compiled-plan stamping and the change log}
 
     The query-compilation layer ({!Plan}, above this module) caches
     flattened adjacency arrays and materialized resolved-value columns
@@ -52,11 +52,49 @@ val schema : t -> Schema.t
     resolve-cache generation, which freezes while the cache is disabled
     — advances on {e every} mutation: attribute writes, binding and
     participant changes, deletes, class-extent changes, schema
-    evolution, restores. *)
+    evolution, restores.
+
+    Since the delta-maintenance rework, a stale stamp no longer means
+    "rebuild everything": every bump appends one typed {!change} record
+    to a bounded log, and {!changes_since} hands a consumer the exact
+    window between its recorded epoch and now.  Only when the window has
+    been lost (overflow) or contains {!Ch_global} must the consumer fall
+    back to a full rebuild. *)
 
 val plan_epoch : t -> int
 (** Current mutation stamp.  Plan state recorded under an older epoch is
-    stale and must be rebuilt. *)
+    stale; the holder may catch up by applying {!changes_since} its
+    recorded epoch, rebuilding only when that returns [None] or a window
+    containing {!Ch_global}. *)
+
+type change =
+  | Ch_created of Surrogate.t  (** entity added (object, rel, or link) *)
+  | Ch_deleted of Surrogate.t  (** entity removed *)
+  | Ch_attr of Surrogate.t * string  (** local attribute written *)
+  | Ch_rebound of Surrogate.t
+      (** the entity's binding changed: bound, unbound, or its link died
+          — re-derive the transmitter edge from current state *)
+  | Ch_class_add of string * Surrogate.t  (** (class, member) inserted *)
+  | Ch_class_remove of string * Surrogate.t  (** (class, member) removed *)
+  | Ch_touched of Surrogate.t
+      (** structural change local to the entity (participants, subobject
+          membership): resolution chains keep their shape, but any state
+          derived by interpreting expressions against it is dirty *)
+  | Ch_global  (** unscoped mutation: rebuild everything *)
+
+(** One record per {!plan_epoch} bump; the record for bump [e -> e+1]
+    describes that transition. *)
+
+val changes_since : t -> int -> change list option
+(** [changes_since t e] is the in-order change window covering epochs
+    [(e, plan_epoch t]] — [Some []] when already current — or [None]
+    when the bounded log no longer reaches back to [e] (the caller must
+    treat its state as arbitrarily stale and rebuild). *)
+
+val change_log_cap : int
+(** Retention bound of the change log, in records.  Mutation bursts
+    longer than this between two consumers' catch-ups force those
+    consumers into a full rebuild. *)
 
 type plan_slot = ..
 (** Opaque per-store slot for compiled-plan state; {!Plan} injects its
@@ -140,7 +178,12 @@ val read_hooks_installed : t -> bool
     not be invoked from worker domains. *)
 
 val notify_read : t -> Surrogate.t -> unit
-val notify_write : t -> Surrogate.t -> unit
+
+val notify_write : ?change:change -> t -> Surrogate.t -> unit
+(** Fire the write hooks and advance {!plan_epoch}, logging [change]
+    (default {!Ch_global}: external callers that cannot describe their
+    mutation precisely must not leave delta consumers with a stale
+    window). *)
 
 (** {1 Classes} *)
 

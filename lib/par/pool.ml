@@ -213,6 +213,35 @@ let filter_list ~jobs pred xs =
     end
   end
 
+(* side-effecting fan-out over [0, n): same chunk arithmetic as the
+   filters; used by the plan layer to fill materialized-column cells in
+   parallel (each index owns a distinct result slot, so no merge) *)
+let iter_range ~jobs n f =
+  if jobs <= 1 || n < 2 * min_chunk then
+    for i = 0 to n - 1 do
+      f i
+    done
+  else begin
+    let nchunks =
+      max 1 (min (jobs * chunks_per_job) ((n + min_chunk - 1) / min_chunk))
+    in
+    if nchunks <= 1 then
+      for i = 0 to n - 1 do
+        f i
+      done
+    else begin
+      let base = n / nchunks and extra = n mod nchunks in
+      let start k = (k * base) + min k extra in
+      let tasks =
+        Array.init nchunks (fun k () ->
+            for i = start k to start (k + 1) - 1 do
+              f i
+            done)
+      in
+      run ~jobs tasks
+    end
+  end
+
 (* index-aware twin of [filter_list]: same chunk arithmetic, so the two
    produce identical par.* metric streams for identical inputs (the CLI
    cram tests pin par.chunks totals) *)

@@ -64,6 +64,15 @@ val filter_list : jobs:int -> ('a -> bool) -> 'a list -> 'a list
     inputs (under one chunk of ~16) and [jobs <= 1] run sequentially
     on the caller. *)
 
+val iter_range : jobs:int -> int -> (int -> unit) -> unit
+(** [iter_range ~jobs n f] runs [f i] for every [i] in [[0, n)], fanned
+    out over the pool in the filters' chunk shape.  [f] must be
+    domain-safe and each index must own its writes (distinct result
+    slots); there is no merge step and no ordering guarantee between
+    chunks.  Small ranges and [jobs <= 1] run sequentially on the
+    caller.  The plan layer fills materialized-column cells through
+    this. *)
+
 val filteri_list : jobs:int -> (int -> 'a -> bool) -> 'a list -> 'a list
 (** {!filter_list} with the element's position passed to the predicate
     (the position in [xs], stable across chunking).  Same chunk shape

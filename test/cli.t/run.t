@@ -167,7 +167,7 @@ with the metrics array:
   $ tail -1 stats.om
   # EOF
   $ ../check_openmetrics.exe stats.om
-  check_openmetrics: OK (70 families)
+  check_openmetrics: OK (76 families)
   $ compo stats tiny.ddl --format=json | head -2
   {
     "metrics": [
@@ -265,6 +265,26 @@ truthy disables the compiled engine, falsy keeps it, garbage dies:
   @24 BoltType Length=9 Diameter=10
   2 object(s)
   $ COMPO_NO_COMPILE=0 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+
+COMPO_NO_DELTA follows the same convention: truthy pins the compiled
+engine's plan state to full rebuilds (incremental maintenance off),
+falsy keeps delta maintenance, garbage dies.  Rows never change either
+way — only how the plan state is kept fresh:
+
+  $ COMPO_NO_DELTA=maybe compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_NO_DELTA must be a boolean (0/1/true/false/yes/no) (got 'maybe')
+  [1]
+  $ COMPO_NO_DELTA=2 compo query sdb Bolts --where 'Length > 3'
+  compo: COMPO_NO_DELTA must be a boolean (0/1/true/false/yes/no) (got '2')
+  [1]
+  $ COMPO_NO_DELTA=1 compo query sdb Bolts --where 'Length > 3'
+  @17 BoltType Length=9 Diameter=10
+  @24 BoltType Length=9 Diameter=10
+  2 object(s)
+  $ COMPO_NO_DELTA=0 compo query sdb Bolts --where 'Length > 3'
   @17 BoltType Length=9 Diameter=10
   @24 BoltType Length=9 Diameter=10
   2 object(s)

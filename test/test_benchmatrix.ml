@@ -13,44 +13,48 @@ module J = Compo_obs.Json_min
 
 let test_default_cells () =
   let cells = Cell.default_cells () in
-  check_bool "at least 24 cells" true (List.length cells >= 24);
+  check_bool "at least 26 cells" true (List.length cells >= 26);
   let ids = List.map Cell.id cells in
   let uniq = List.sort_uniq String.compare ids in
   check_int "ids are unique" (List.length cells) (List.length uniq);
   (* every cell binds every canonical axis, in canonical order *)
   List.iter
     (fun c ->
-      check_int "six axes" 6 (List.length (Cell.axes c));
+      check_int "seven axes" 7 (List.length (Cell.axes c));
       check_string "canonical axis order"
-        "cache index compile jobs prov fp"
+        "cache index compile delta jobs prov fp"
         (String.concat " " (List.map fst (Cell.axes c))))
     cells;
   (* the curated blocks are all present *)
   let mem id = List.mem id ids in
   check_bool "baseline cell" true
-    (mem "cache=on index=on compile=on jobs=1 prov=off fp=off");
+    (mem "cache=on index=on compile=on delta=on jobs=1 prov=off fp=off");
   check_bool "full-ablation corner" true
-    (mem "cache=off index=off compile=off jobs=1 prov=on fp=off");
+    (mem "cache=off index=off compile=off delta=on jobs=1 prov=on fp=off");
   check_bool "4-job cell" true
-    (mem "cache=on index=on compile=on jobs=4 prov=off fp=off");
+    (mem "cache=on index=on compile=on delta=on jobs=4 prov=off fp=off");
   check_bool "4-job interpreted cell" true
-    (mem "cache=on index=on compile=off jobs=4 prov=off fp=off");
+    (mem "cache=on index=on compile=off delta=on jobs=4 prov=off fp=off");
   check_bool "armed-failpoint flip" true
-    (mem "cache=on index=on compile=on jobs=1 prov=off fp=armed")
+    (mem "cache=on index=on compile=on delta=on jobs=1 prov=off fp=armed");
+  check_bool "delta-off flip" true
+    (mem "cache=on index=on compile=on delta=off jobs=1 prov=off fp=off");
+  check_bool "4-job delta-off flip" true
+    (mem "cache=on index=on compile=on delta=off jobs=4 prov=off fp=off")
 
 let test_env_rendering () =
   let env pairs = Cell.env (Cell.make pairs) in
   let baseline =
-    [ ("cache", "on"); ("index", "on"); ("compile", "on"); ("jobs", "1");
-      ("prov", "off"); ("fp", "off") ]
+    [ ("cache", "on"); ("index", "on"); ("compile", "on"); ("delta", "on");
+      ("jobs", "1"); ("prov", "off"); ("fp", "off") ]
   in
   (* default values emit nothing except COMPO_JOBS, which is always
      explicit so a cell never inherits the caller's job count *)
   check_bool "baseline renders only COMPO_JOBS" true
     (env baseline = [ ("COMPO_JOBS", "1") ]);
   let flipped =
-    [ ("cache", "off"); ("index", "off"); ("compile", "off"); ("jobs", "4");
-      ("prov", "on"); ("fp", "armed") ]
+    [ ("cache", "off"); ("index", "off"); ("compile", "off");
+      ("delta", "off"); ("jobs", "4"); ("prov", "on"); ("fp", "armed") ]
   in
   check_bool "every non-default value emits its switch" true
     (env flipped
@@ -58,6 +62,7 @@ let test_env_rendering () =
         ("COMPO_NO_RESOLVE_CACHE", "1");
         ("COMPO_NO_INDEX", "1");
         ("COMPO_NO_COMPILE", "1");
+        ("COMPO_NO_DELTA", "1");
         ("COMPO_JOBS", "4");
         ("COMPO_PROVENANCE", "1");
         ("COMPO_FAILPOINTS", Cell.failpoint_spec);

@@ -8,7 +8,15 @@
 
    The generator is a hand-rolled splittable PRNG (never
    [Random.self_init]), so every run replays the same 200+ seeds and a
-   reported failure reproduces from its seed alone. *)
+   reported failure reproduces from its seed alone.
+
+   The mutation-interleaved rounds keep one database alive and run
+   randomized attribute writes, rebinds, unbinds, creates and deletes
+   between the selects, so the compiled runs go through delta-maintained
+   registries and columns rather than fresh builds; the predicates there
+   also draw multi-segment paths and quantifiers, which the widened
+   compiler must serve.  A divergence reports the seed plus the full
+   mutation script. *)
 
 open Compo_core
 open Helpers
@@ -66,6 +74,9 @@ let random_schema r db =
             { Schema.attr_name = "A"; attr_domain = Domain.Integer };
             { Schema.attr_name = "B"; attr_domain = Domain.Integer };
             { Schema.attr_name = "Local"; attr_domain = Domain.Integer };
+            (* a reference to any population member: the second segment
+               of the mutation rounds' P.A / P.B / P.Local predicates *)
+            { Schema.attr_name = "P"; attr_domain = Domain.Ref None };
           ];
         ot_subclasses = [];
         ot_subrels = [];
@@ -118,12 +129,15 @@ let random_schema r db =
   Ok depth
 
 (* ------------------------------------------------------------------ *)
-(* Random population: 100..1000 objects across the chain levels; a
-   level-k object binds to a random level-(k-1) object, so inherited
-   reads resolve across k transmitter hops. *)
+(* Random population: 100..1000 objects across the chain levels
+   ([cap] trims that for the quadratic quantifier predicates of the
+   mutation rounds); a level-k object binds to a random level-(k-1)
+   object, so inherited reads resolve across k transmitter hops.
+   Returns the per-level membership, which the mutation engine keeps
+   updating as it creates and deletes. *)
 
-let random_population r db ~depth =
-  let n = 100 + rand r 901 in
+let random_population ?(cap = 1001) r db ~depth =
+  let n = min cap (100 + rand r 901) in
   let by_level = Array.make (depth + 1) [] in
   let* () =
     let rec go i =
@@ -161,7 +175,7 @@ let random_population r db ~depth =
     in
     go 0
   in
-  Ok n
+  Ok (n, by_level)
 
 (* ------------------------------------------------------------------ *)
 (* Random predicate over A / B / Local: comparison leaves, And/Or/Not
@@ -186,6 +200,160 @@ let rec random_pred r depth =
     | _ -> Printf.sprintf "(not %s)" (random_pred r (depth - 1))
 
 (* ------------------------------------------------------------------ *)
+(* Wider predicates for the mutation rounds: the plain comparison
+   leaves, plus multi-segment paths through the P reference and the
+   quantifier forms — exactly the shapes the widened compiler serves
+   with flat or interpreter-filled columns.  Still string-rendered and
+   parsed, so a reported predicate replays through the CLI verbatim. *)
+
+let ops = [| "="; "<>"; "<"; "<="; ">"; ">=" |]
+
+let rec random_pred_wide r depth =
+  if depth = 0 || rand r 3 = 0 then
+    match rand r 10 with
+    | 0 | 1 ->
+        Printf.sprintf "P.%s %s %d"
+          (pick r [| "A"; "B"; "Local" |])
+          (pick r ops) (rand r 20)
+    | 2 ->
+        Printf.sprintf "(exists p in Pop : p.%s %s %s)"
+          (pick r [| "A"; "B"; "Local" |])
+          (pick r ops)
+          (pick r [| "A"; "B"; "Local" |])
+    | 3 ->
+        Printf.sprintf "(for p in Pop : p.Local %s %d)" (pick r ops)
+          (rand r 20)
+    | 4 ->
+        Printf.sprintf "((count (Pop) where (Local %s %d)) %s %d)" (pick r ops)
+          (rand r 20) (pick r ops) (rand r 40)
+    | 5 -> Printf.sprintf "((sum (Pop.Local)) %s %d)" (pick r ops) (rand r 2000)
+    | _ ->
+        Printf.sprintf "%s %s %d"
+          (pick r [| "A"; "B"; "Local" |])
+          (pick r ops) (rand r 20)
+  else
+    match rand r 3 with
+    | 0 ->
+        Printf.sprintf "(%s and %s)"
+          (random_pred_wide r (depth - 1))
+          (random_pred_wide r (depth - 1))
+    | 1 ->
+        Printf.sprintf "(%s or %s)"
+          (random_pred_wide r (depth - 1))
+          (random_pred_wide r (depth - 1))
+    | _ -> Printf.sprintf "(not %s)" (random_pred_wide r (depth - 1))
+
+(* ------------------------------------------------------------------ *)
+(* The mutation engine.  Every step appends one line to [script]
+   (including the errors it tolerated — deleting a member someone still
+   binds to, rebinding a just-deleted inheritor, ... are all legitimate
+   interleavings whose Error results are part of the round), so a
+   divergence reports an exact replayable trace. *)
+
+let surr = Surrogate.to_string
+
+let random_mutation r db levels script =
+  let log fmt = Printf.ksprintf (Buffer.add_string script) fmt in
+  let tolerate what res =
+    match res with
+    | Ok () -> log "%s\n" what
+    | Error e -> log "%s -> %s\n" what (Errors.to_string e)
+  in
+  let depth = Array.length levels - 1 in
+  let pick_level p =
+    match
+      List.filter
+        (fun k -> levels.(k) <> [] && p k)
+        (List.init (depth + 1) Fun.id)
+    with
+    | [] -> None
+    | ks -> Some (List.nth ks (rand r (List.length ks)))
+  in
+  let pick_member k = pick r (Array.of_list levels.(k)) in
+  match rand r 12 with
+  | 0 | 1 | 2 | 3 -> (
+      (* attribute write: the bread and butter of column deltas *)
+      match pick_level (fun _ -> true) with
+      | None -> ()
+      | Some k ->
+          let s = pick_member k in
+          let attr = if k = 0 then pick r [| "A"; "B"; "Local" |] else "Local" in
+          let v = rand r 20 in
+          tolerate
+            (Printf.sprintf "set %s.%s = %d" (surr s) attr v)
+            (Database.set_attr db s attr (Value.Int v)))
+  | 4 | 5 -> (
+      (* re-point a level-0 reference: dirties second-segment chains *)
+      match levels.(0) with
+      | [] -> ()
+      | _ ->
+          let s = pick_member 0 in
+          let target = pick r (Array.of_list (List.concat (Array.to_list levels))) in
+          tolerate
+            (Printf.sprintf "set %s.P = %s" (surr s) (surr target))
+            (Database.set_attr db s "P" (Value.Ref target)))
+  | 6 | 7 -> (
+      (* disconnect, then usually reconnect elsewhere: Ch_rebound *)
+      match pick_level (fun k -> k > 0) with
+      | None -> ()
+      | Some k ->
+          let s = pick_member k in
+          tolerate
+            (Printf.sprintf "unbind %s" (surr s))
+            (Database.unbind db s);
+          if levels.(k - 1) <> [] && rand r 4 > 0 then
+            let t = pick_member (k - 1) in
+            tolerate
+              (Printf.sprintf "bind %s via %s -> %s" (surr s)
+                 (rel (k - 1))
+                 (surr t))
+              (Result.map
+                 (fun (_ : Surrogate.t) -> ())
+                 (Database.bind db ~via:(rel (k - 1)) ~transmitter:t
+                    ~inheritor:s ())))
+  | 8 | 9 -> (
+      (* grow the population: Ch_created + class membership *)
+      match pick_level (fun k -> k = 0 || levels.(k - 1) <> []) with
+      | None -> ()
+      | Some k -> (
+          let attrs =
+            if k = 0 then
+              [
+                ("A", Value.Int (rand r 20));
+                ("B", Value.Int (rand r 20));
+                ("Local", Value.Int (rand r 20));
+              ]
+            else [ ("Local", Value.Int (rand r 20)) ]
+          in
+          match Database.new_object db ~cls:"Pop" ~ty:(ty k) ~attrs () with
+          | Error e -> log "create T%d -> %s\n" k (Errors.to_string e)
+          | Ok s ->
+              levels.(k) <- s :: levels.(k);
+              log "create %s : T%d\n" (surr s) k;
+              if k > 0 then
+                let t = pick_member (k - 1) in
+                tolerate
+                  (Printf.sprintf "bind %s via %s -> %s" (surr s)
+                     (rel (k - 1))
+                     (surr t))
+                  (Result.map
+                     (fun (_ : Surrogate.t) -> ())
+                     (Database.bind db ~via:(rel (k - 1)) ~transmitter:t
+                        ~inheritor:s ()))))
+  | _ -> (
+      (* shrink it: tombstones in the registry, realignment in columns *)
+      match pick_level (fun _ -> true) with
+      | None -> ()
+      | Some k -> (
+          let s = pick_member k in
+          match Database.delete db ~force:true s with
+          | Ok () ->
+              levels.(k) <-
+                List.filter (fun x -> not (Surrogate.equal x s)) levels.(k);
+              log "delete %s\n" (surr s)
+          | Error e -> log "delete %s -> %s\n" (surr s) (Errors.to_string e)))
+
+(* ------------------------------------------------------------------ *)
 (* One differential round.  On mismatch, report the seed and the plan
    of both runs so the failure reproduces and explains itself. *)
 
@@ -198,7 +366,7 @@ let check_round seed =
   let r = make_rng seed in
   let db = Database.create () in
   let depth = ok (random_schema r db) in
-  let (_ : int) = ok (random_population r db ~depth) in
+  let (_ : int * Surrogate.t list array) = ok (random_population r db ~depth) in
   (* half the seeds register an index on Local, covering the planned
      (index access + parallel residual) path as well as the scan path *)
   if rand r 2 = 0 then ok (Database.create_index db ~cls:"Pop" ~attr:"Local");
@@ -257,6 +425,70 @@ let test_differential () =
     "compiled engine engaged" true
     (Plan.compiled_scans () > scans0)
 
+(* ------------------------------------------------------------------ *)
+(* Mutation-interleaved torture: one database per seed stays alive for
+   ten rounds of (mutation batch; 3-way check), so from round two
+   onward the compiled engines run on delta-maintained plan state.  30
+   seeds x 10 rounds = 300 mutating rounds.  The per-round check is the
+   same 3-way diff as above, but over the widened predicate pool
+   (multi-segment paths, quantifiers); a failure reports the seed, the
+   predicate and the full mutation script executed so far. *)
+
+let check_mutation_seed seed =
+  let r = make_rng seed in
+  let db = Database.create () in
+  let depth = ok (random_schema r db) in
+  let _n, levels = ok (random_population ~cap:160 r db ~depth) in
+  (* seed the P references so multi-segment predicates resolve *)
+  let all = List.concat (Array.to_list levels) in
+  List.iter
+    (fun s ->
+      if rand r 2 = 0 then
+        ok (Database.set_attr db s "P" (Value.Ref (pick r (Array.of_list all)))))
+    levels.(0);
+  let script = Buffer.create 256 in
+  let plan0 = Plan.enabled () in
+  Fun.protect ~finally:(fun () -> Plan.set_enabled plan0) @@ fun () ->
+  for round = 0 to 9 do
+    for _ = 0 to 2 + rand r 4 do
+      random_mutation r db levels script
+    done;
+    let src = random_pred_wide r 2 in
+    let where = Some (ok (Compo_ddl.Parser.parse_expr src)) in
+    let run_with enabled jobs =
+      Plan.set_enabled enabled;
+      ok (Database.select db ~cls:"Pop" ~jobs ?where ())
+    in
+    let interp = run_with false 1 in
+    let seq = run_with true 1 in
+    let par = run_with true 4 in
+    let diff label a b =
+      if not (List.equal Surrogate.equal a b) then
+        Alcotest.failf
+          "seed %d round %d: %s rows differ for %s\n\
+           reference: %d row(s) [%s]\n\
+           other:     %d row(s) [%s]\n\
+           mutation script so far:\n\
+           %s"
+          seed round label src (List.length a)
+          (String.concat ", " (List.map Surrogate.to_string a))
+          (List.length b)
+          (String.concat ", " (List.map Surrogate.to_string b))
+          (Buffer.contents script)
+    in
+    diff "interpreted vs compiled" interp seq;
+    diff "compiled vs parallel-compiled" seq par
+  done
+
+let test_mutation_interleaved () =
+  let scans0 = Plan.compiled_scans () in
+  for seed = 2000 to 2029 do
+    check_mutation_seed seed
+  done;
+  Alcotest.(check bool)
+    "compiled engine engaged under mutation" true
+    (Plan.compiled_scans () > scans0)
+
 (* The unplanned scan path through Query.select directly (no Database
    planner in the way), including subclass-free stores. *)
 let test_query_select_direct () =
@@ -264,7 +496,9 @@ let test_query_select_direct () =
     let r = make_rng seed in
     let db = Database.create () in
     let depth = ok (random_schema r db) in
-    let (_ : int) = ok (random_population r db ~depth) in
+    let (_ : int * Surrogate.t list array) =
+      ok (random_population r db ~depth)
+    in
     let src = random_pred r 3 in
     let where = ok (Compo_ddl.Parser.parse_expr src) in
     let store = Database.store db in
@@ -282,7 +516,9 @@ let test_edges () =
   let depth = ok (random_schema r db) in
   let empty = ok (Database.select db ~cls:"Pop" ~jobs:4 ()) in
   check_int "empty extent" 0 (List.length empty);
-  let (_ : int) = ok (random_population r db ~depth) in
+  let (_ : int * Surrogate.t list array) =
+    ok (random_population r db ~depth)
+  in
   let all_seq = ok (Database.select db ~cls:"Pop" ~jobs:1 ()) in
   let all_par = ok (Database.select db ~cls:"Pop" ~jobs:64 ()) in
   Alcotest.(check bool)
@@ -295,6 +531,9 @@ let suite =
       case
         "interpreted == compiled == parallel-compiled over 220 random rounds"
         test_differential;
+      case
+        "mutation-interleaved: 300 rounds of deltas under the same oracle"
+        test_mutation_interleaved;
       case "Query.select direct path, 20 rounds" test_query_select_direct;
       case "degenerate shapes" test_edges;
     ] )

@@ -1,0 +1,386 @@
+(* Property suite for delta-maintained plan state (the incremental
+   twin of test_par_diff's black-box oracle):
+
+   - column equivalence: after any random mutation sequence, every
+     delta-maintained structure claiming currency must equal a
+     from-scratch derivation ([Plan.self_check] refills every cell);
+   - tombstone compaction preserves live row order;
+   - the dirty-fraction fallback actually fires (plan.delta.rebuild);
+   - a lost change-log window (overflow) falls back to a full rebuild;
+   - COMPO_NO_DELTA is a strict boolean and disables the delta path;
+
+   plus the widened-compiler ports: the quantifier and multi-segment
+   shapes from test_eval / test_query_composite re-asserted through the
+   compiled engine, with engagement checks so a silent stand-down fails
+   the suite. *)
+
+open Compo_core
+open Helpers
+module Obs = Compo_obs.Metrics
+module G = Compo_scenarios.Gates
+module D = Test_par_diff
+
+(* Every test toggles process-global plan knobs; reset them on exit. *)
+let with_plan f () =
+  Fun.protect
+    ~finally:(fun () ->
+      Plan.set_enabled true;
+      Plan.set_delta_enabled true;
+      Plan.set_dirty_threshold 0.5;
+      Plan.set_compact_min 64)
+    f
+
+let with_metrics f =
+  Obs.reset ();
+  Obs.enable ();
+  Fun.protect ~finally:(fun () -> Obs.disable ()) f
+
+(* a compiled select that must actually engage the compiled engine *)
+let compiled_select db ~cls where =
+  let scans0 = Plan.compiled_scans () in
+  let rows = ok (Database.select db ~cls ~where ()) in
+  Alcotest.(check bool) "compiled engine engaged" true
+    (Plan.compiled_scans () > scans0);
+  rows
+
+let interp_select db ~cls where =
+  Plan.set_enabled false;
+  Fun.protect ~finally:(fun () -> Plan.set_enabled true) @@ fun () ->
+  ok (Database.select db ~cls ~where ())
+
+let check_rows = Alcotest.(check (list surrogate))
+
+(* ------------------------------------------------------------------ *)
+(* A tiny single-type population for the targeted structure tests. *)
+
+let flat_db n =
+  let db = Database.create () in
+  ok
+    (Database.define_obj_type db
+       {
+         Schema.ot_name = "T";
+         ot_inheritor_in = None;
+         ot_attrs =
+           [
+             { Schema.attr_name = "A"; attr_domain = Domain.Integer };
+             { Schema.attr_name = "P"; attr_domain = Domain.Ref None };
+             { Schema.attr_name = "W"; attr_domain = Domain.Ref None };
+           ];
+         ot_subclasses = [];
+         ot_subrels = [];
+         ot_constraints = [];
+       });
+  ok (Database.create_class db ~name:"All" ~member_type:"T");
+  let objs =
+    List.init n (fun i ->
+        ok
+          (Database.new_object db ~cls:"All" ~ty:"T"
+             ~attrs:[ ("A", Value.Int i) ]
+             ()))
+  in
+  (db, objs)
+
+(* ------------------------------------------------------------------ *)
+(* Column equivalence: random mutation batches against Test_par_diff's
+   chain schema, then the exhaustive self-check after every compiled
+   select.  The selects draw from the widened pool so single-attribute,
+   multi-segment and quantifier columns all get delta-maintained. *)
+
+let test_column_equivalence () =
+  for seed = 3000 to 3009 do
+    let r = D.make_rng seed in
+    let db = Database.create () in
+    let depth = ok (D.random_schema r db) in
+    let _n, levels = ok (D.random_population ~cap:120 r db ~depth) in
+    let all = List.concat (Array.to_list levels) in
+    List.iter
+      (fun s ->
+        if D.rand r 2 = 0 then
+          ok
+            (Database.set_attr db s "P"
+               (Value.Ref (D.pick r (Array.of_list all)))))
+      levels.(0);
+    let script = Buffer.create 256 in
+    for round = 0 to 7 do
+      for _ = 0 to D.rand r 5 do
+        D.random_mutation r db levels script
+      done;
+      let src = D.random_pred_wide r 2 in
+      let where = ok (Compo_ddl.Parser.parse_expr src) in
+      let (_ : Surrogate.t list) =
+        ok (Database.select db ~cls:"Pop" ~where ())
+      in
+      match Plan.self_check (Database.store db) with
+      | [] -> ()
+      | problems ->
+          Alcotest.failf
+            "seed %d round %d (%s): delta state diverged from rebuild:\n\
+             %s\n\
+             mutation script:\n\
+             %s"
+            seed round src
+            (String.concat "\n" problems)
+            (Buffer.contents script)
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Compaction: force the threshold down, delete a third of the extent,
+   and require (a) the tombstones actually got squeezed out and (b) the
+   surviving live slots kept their relative order. *)
+
+let test_compaction_preserves_order () =
+  Plan.set_compact_min 1;
+  let db, objs = flat_db 42 in
+  let where = Expr.(path [ "A" ] >= int 0) in
+  let (_ : Surrogate.t list) = compiled_select db ~cls:"All" where in
+  let before, dead0 =
+    match Plan.registry_live (Database.store db) with
+    | Some s -> s
+    | None -> Alcotest.fail "no registry after a compiled select"
+  in
+  check_int "fresh registry has no tombstones" 0 dead0;
+  let victims =
+    List.filteri (fun i _ -> i mod 3 = 0) objs
+  in
+  List.iter (fun s -> ok (Database.delete db ~force:true s)) victims;
+  let rows = compiled_select db ~cls:"All" where in
+  check_int "survivors" (42 - List.length victims) (List.length rows);
+  let after, dead1 =
+    match Plan.registry_live (Database.store db) with
+    | Some s -> s
+    | None -> Alcotest.fail "registry vanished"
+  in
+  check_int "compaction ran: no tombstones left" 0 dead1;
+  let expected =
+    List.filter
+      (fun s -> not (List.exists (Surrogate.equal s) victims))
+      before
+  in
+  check_rows "live slot order preserved across compaction" expected after;
+  match Plan.self_check (Database.store db) with
+  | [] -> ()
+  | ps -> Alcotest.failf "post-compaction self-check: %s" (String.concat "; " ps)
+
+(* ------------------------------------------------------------------ *)
+(* Dirty-fraction fallback: at threshold 0 any dirty row rebuilds the
+   column from scratch; at threshold 1 the same write is absorbed by
+   refilling cells in place. *)
+
+let test_dirty_fraction_fallback () =
+  with_metrics @@ fun () ->
+  let db, objs = flat_db 20 in
+  let where = Expr.(path [ "A" ] > int 5) in
+  let (_ : Surrogate.t list) = compiled_select db ~cls:"All" where in
+  Plan.set_dirty_threshold 0.;
+  ok (Database.set_attr db (List.hd objs) "A" (Value.Int 100));
+  let rebuilds0 = Obs.counter_value "plan.delta.rebuild" in
+  let rows = compiled_select db ~cls:"All" where in
+  Alcotest.(check bool) "mutated row now matches" true
+    (List.exists (Surrogate.equal (List.hd objs)) rows);
+  Alcotest.(check bool) "threshold 0: fallback rebuild fired" true
+    (Obs.counter_value "plan.delta.rebuild" > rebuilds0);
+  Plan.set_dirty_threshold 1.;
+  ok (Database.set_attr db (List.hd objs) "A" (Value.Int (-1)));
+  let rebuilds1 = Obs.counter_value "plan.delta.rebuild" in
+  let cells1 = Obs.counter_value "plan.delta.cells" in
+  let rows = compiled_select db ~cls:"All" where in
+  Alcotest.(check bool) "mutated row dropped again" true
+    (not (List.exists (Surrogate.equal (List.hd objs)) rows));
+  check_int "threshold 1: no fallback rebuild" rebuilds1
+    (Obs.counter_value "plan.delta.rebuild");
+  Alcotest.(check bool) "threshold 1: cells refilled in place" true
+    (Obs.counter_value "plan.delta.cells" > cells1)
+
+(* ------------------------------------------------------------------ *)
+(* Change-log overflow: more mutations than Store.change_log_cap lose
+   the window, so the next select must take the wholesale rebuild (and
+   still be right). *)
+
+let test_overflow_falls_back () =
+  with_metrics @@ fun () ->
+  let db, objs = flat_db 8 in
+  let where = Expr.(path [ "A" ] >= int 4) in
+  let (_ : Surrogate.t list) = compiled_select db ~cls:"All" where in
+  let victim = List.hd objs in
+  for i = 1 to Store.change_log_cap + 50 do
+    ok (Database.set_attr db victim "A" (Value.Int (i mod 9)))
+  done;
+  let rebuilds0 = Obs.counter_value "plan.delta.rebuild" in
+  let builds0 = Obs.counter_value "plan.registry.build" in
+  let rows = compiled_select db ~cls:"All" where in
+  check_rows "overflow still selects correctly"
+    (interp_select db ~cls:"All" where)
+    rows;
+  Alcotest.(check bool) "lost window counted as delta rebuild" true
+    (Obs.counter_value "plan.delta.rebuild" > rebuilds0);
+  Alcotest.(check bool) "registry rebuilt from scratch" true
+    (Obs.counter_value "plan.registry.build" > builds0)
+
+(* ------------------------------------------------------------------ *)
+(* COMPO_NO_DELTA: strict boolean, and off really disables the delta
+   path (rows stay correct either way — the escape hatch is about
+   maintenance strategy, not semantics). *)
+
+let ok_result = function
+  | Ok () -> ()
+  | Error msg -> Alcotest.failf "unexpected config error: %s" msg
+
+let test_no_delta_env () =
+  let getenv v = function x when x = "COMPO_NO_DELTA" -> v | _ -> None in
+  (match Plan.configure_from_env ~getenv:(getenv (Some "maybe")) () with
+  | Ok () -> Alcotest.fail "COMPO_NO_DELTA=maybe must be rejected"
+  | Error msg ->
+      Alcotest.(check bool) "error names the variable" true
+        (contains msg "COMPO_NO_DELTA"));
+  ok_result (Plan.configure_from_env ~getenv:(getenv (Some "1")) ());
+  Alcotest.(check bool) "1 disables" false (Plan.delta_enabled ());
+  ok_result (Plan.configure_from_env ~getenv:(getenv (Some "0")) ());
+  Alcotest.(check bool) "0 enables" true (Plan.delta_enabled ());
+  ok_result (Plan.configure_from_env ~getenv:(getenv None) ());
+  Alcotest.(check bool) "unset is a no-op" true (Plan.delta_enabled ());
+  (* behaviour with the hatch pulled: stale stamps rebuild, same rows *)
+  Plan.set_delta_enabled false;
+  let db, objs = flat_db 12 in
+  let where = Expr.(path [ "A" ] < int 6) in
+  let r0 = compiled_select db ~cls:"All" where in
+  check_int "before the write" 6 (List.length r0);
+  ok (Database.set_attr db (List.nth objs 8) "A" (Value.Int 0));
+  let r1 = compiled_select db ~cls:"All" where in
+  check_rows "no-delta rows match interpreted"
+    (interp_select db ~cls:"All" where)
+    r1;
+  check_int "after the write" 7 (List.length r1)
+
+(* ------------------------------------------------------------------ *)
+(* Widened-compiler ports (test_eval / test_query_composite shapes,
+   re-asserted through the compiled scan with engagement checks). *)
+
+(* count over an inherited collection: top-down component selection *)
+let test_compiled_count () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  let unbound =
+    ok (Database.new_object db ~cls:"Implementations" ~ty:"GateImplementation" ())
+  in
+  ignore unbound;
+  let where = Expr.(count [ "Pins" ] = int 3) in
+  let rows = compiled_select db ~cls:"Implementations" where in
+  check_rows "count(Pins) = 3 finds the bound implementation" [ impl ] rows;
+  check_rows "parity with interpreted"
+    (interp_select db ~cls:"Implementations" where)
+    rows
+
+(* count with an inline filter over subobject collections *)
+let test_compiled_count_filtered () =
+  let db = gates_db () in
+  let _eg1 = ok (G.new_elementary_gate db ~func:"NOR" ~x:0 ~y:0 ()) in
+  ok (Database.create_class db ~name:"EGates" ~member_type:"ElementaryGate");
+  let eg2 = ok (Database.new_object db ~cls:"EGates" ~ty:"ElementaryGate" ()) in
+  ignore eg2;
+  let where =
+    Expr.(count ~where:(path [ "Pins"; "InOut" ] = enum "OUT") [ "Pins" ] = int 1)
+  in
+  let rows = compiled_select db ~cls:"EGates" where in
+  check_rows "parity with interpreted"
+    (interp_select db ~cls:"EGates" where)
+    rows
+
+(* sum along a 2-segment path (Bores.Length, the paper's steel demo) *)
+let test_compiled_sum () =
+  let db = steel_db () in
+  let with_bores =
+    ok
+      (Compo_scenarios.Steel.new_girder_interface db ~length:100 ~height:10
+         ~width:10
+         ~bores:[ (10, 2, (0, 0)); (10, 3, (5, 0)); (12, 5, (9, 0)) ])
+  in
+  let without =
+    ok
+      (Compo_scenarios.Steel.new_girder_interface db ~length:50 ~height:5
+         ~width:5 ~bores:[])
+  in
+  ignore without;
+  let where = Expr.(sum [ "Bores"; "Length" ] = int 10) in
+  let rows = compiled_select db ~cls:"GirderInterfaces" where in
+  check_rows "sum over bores selects the bored interface" [ with_bores ] rows;
+  check_rows "parity with interpreted"
+    (interp_select db ~cls:"GirderInterfaces" where)
+    rows
+
+(* forall / exists with binders over inherited collections *)
+let test_compiled_forall_exists () =
+  let db = gates_db () in
+  let iface = ok (G.nor_interface db) in
+  let impl = ok (G.new_implementation db ~interface:iface ()) in
+  let unbound =
+    ok (Database.new_object db ~cls:"Implementations" ~ty:"GateImplementation" ())
+  in
+  (* exists an OUT pin: true through the binding, false (empty range)
+     for the unbound implementation *)
+  let ex = Expr.(exists [ ("p", [ "Pins" ]) ] (path [ "p"; "InOut" ] = enum "OUT")) in
+  let rows = compiled_select db ~cls:"Implementations" ex in
+  check_rows "exists finds only the bound implementation" [ impl ] rows;
+  check_rows "exists parity"
+    (interp_select db ~cls:"Implementations" ex)
+    rows;
+  (* forall over the empty range is true: the unbound one qualifies *)
+  let fa = Expr.(forall [ ("p", [ "Pins" ]) ] (int 1 = int 2)) in
+  let rows = compiled_select db ~cls:"Implementations" fa in
+  check_rows "forall-empty = true keeps exactly the unbound one" [ unbound ]
+    rows;
+  check_rows "forall parity"
+    (interp_select db ~cls:"Implementations" fa)
+    rows
+
+(* strict 3-segment reference chain: flat multi-segment fill *)
+let test_compiled_multi_segment () =
+  let db, objs = flat_db 6 in
+  let a = List.nth objs 0 and p = List.nth objs 1 and w = List.nth objs 2 in
+  ok (Database.set_attr db p "P" (Value.Ref a));
+  ok (Database.set_attr db w "W" (Value.Ref p));
+  let where = Expr.(path [ "W"; "P"; "A" ] = int 0) in
+  let rows = compiled_select db ~cls:"All" where in
+  check_rows "W.P.A resolves across two references" [ w ] rows;
+  check_rows "parity with interpreted"
+    (interp_select db ~cls:"All" where)
+    rows;
+  (* the maintained version: re-point the middle reference and the
+     delta pass must dirty exactly the dependent chain *)
+  let a2 = List.nth objs 3 in
+  ok (Database.set_attr db a2 "A" (Value.Int 0));
+  ok (Database.set_attr db p "P" (Value.Ref a2));
+  let rows = compiled_select db ~cls:"All" where in
+  check_rows "still matches through the new chain" [ w ] rows;
+  ok (Database.set_attr db a2 "A" (Value.Int 99));
+  let rows = compiled_select db ~cls:"All" where in
+  check_rows "second-segment write breaks the match" [] rows;
+  match Plan.self_check (Database.store db) with
+  | [] -> ()
+  | ps -> Alcotest.failf "multi-segment self-check: %s" (String.concat "; " ps)
+
+let suite =
+  ( "plan-delta",
+    [
+      case "column equivalence under random mutation sequences"
+        (with_plan test_column_equivalence);
+      case "tombstone compaction preserves live row order"
+        (with_plan test_compaction_preserves_order);
+      case "dirty-fraction fallback fires (plan.delta.rebuild)"
+        (with_plan test_dirty_fraction_fallback);
+      case "change-log overflow falls back to a full rebuild"
+        (with_plan test_overflow_falls_back);
+      case "COMPO_NO_DELTA: strict boolean, correct either way"
+        (with_plan test_no_delta_env);
+      case "compiled count over inherited pins"
+        (with_plan test_compiled_count);
+      case "compiled filtered count over subobjects"
+        (with_plan test_compiled_count_filtered);
+      case "compiled sum along Bores.Length"
+        (with_plan test_compiled_sum);
+      case "compiled forall / exists with binders"
+        (with_plan test_compiled_forall_exists);
+      case "compiled 3-segment reference chain, delta-maintained"
+        (with_plan test_compiled_multi_segment);
+    ] )
